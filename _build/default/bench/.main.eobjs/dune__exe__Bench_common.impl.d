@@ -1,0 +1,1 @@
+bench/bench_common.ml: Ast Filename Float Fun Hashtbl List Pipeline Polymage_apps Polymage_codegen Polymage_compiler Polymage_ir Polymage_rt Printf String Sys Types Unix

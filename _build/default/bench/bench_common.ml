@@ -1,0 +1,143 @@
+(* Shared machinery for the benchmark harness: app execution, timing,
+   generated-C compilation and measurement. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module App = Polymage_apps.App
+module Cgen = Polymage_codegen.Cgen
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_ms ?(repeats = 1) f =
+  ignore (f ());
+  (* warm-up *)
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let _, t = time f in
+    if t < !best then best := t
+  done;
+  !best *. 1000.
+
+(* Benchmark-scale parameter bindings: the paper sizes divided by a
+   linear factor (the interpreter back end is ~100x slower per point
+   than compiled code; the generated-C measurements use the same sizes
+   for comparability).  Sizes keep the divisibility the pyramids
+   need. *)
+let bench_env ?(scale = 4) (app : App.t) =
+  let round16 v = max 32 (v / scale / 16 * 16) in
+  List.map (fun (p, v) -> (p, round16 v)) app.default_env
+
+let images_for (app : App.t) (plan : C.Plan.t) env =
+  List.map
+    (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
+    plan.pipe.Pipeline.images
+
+(* Native-executor time for one configuration (ms). *)
+let native_ms ?repeats ?pool (app : App.t) opts env =
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  let images = images_for app plan env in
+  time_ms ?repeats (fun () -> Rt.Executor.run ?pool plan env ~images)
+
+(* ---- generated-C measurements ---- *)
+
+let c_fill (im : Ast.image) =
+  let n = List.length im.iextents in
+  let x = Printf.sprintf "c%d" (max 0 (n - 2)) in
+  let y = if n >= 2 then Printf.sprintf "c%d" (n - 1) else "0" in
+  let ch = if n >= 3 then "c0" else "0" in
+  (* values in [0, 1); the camera RAW input is scaled to 10 bits *)
+  let base = Printf.sprintf "((double)imod(%s*7 + %s*13 + %s*5, 32) / 32.0)" x y ch in
+  if im.iname = "raw" then Printf.sprintf "(%s * 1023.0)" base else base
+
+exception Cc_failed of string
+
+(* Compile the plan's C with gcc; [run_exe] measures one thread-count
+   setting with the binary's internal best-of-n timer. *)
+let c_compile ?(runs = 3) ~optimize (app : App.t) opts env =
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  let src = Cgen.emit_with_main ~time_runs:runs plan ~fill:c_fill ~env in
+  let tmp = Filename.temp_file "pm_bench" ".c" in
+  let oc = open_out tmp in
+  output_string oc src;
+  close_out oc;
+  let exe = tmp ^ ".exe" in
+  let flags =
+    if optimize then "-O3 -march=native -fopenmp"
+    else "-O1 -fno-tree-vectorize -fopenmp"
+  in
+  let cmd =
+    Printf.sprintf "gcc %s -std=gnu99 -o %s %s -lm 2>/dev/null" flags exe tmp
+  in
+  if Sys.command cmd <> 0 then raise (Cc_failed ("gcc failed on " ^ app.name));
+  Sys.remove tmp;
+  exe
+
+let run_exe ?(threads = 1) exe =
+  let outf = exe ^ ".out" in
+  let rc =
+    Sys.command (Printf.sprintf "OMP_NUM_THREADS=%d %s > %s" threads exe outf)
+  in
+  if rc <> 0 then raise (Cc_failed ("run failed: " ^ exe));
+  let ic = open_in outf in
+  let result = ref nan in
+  (try
+     while true do
+       let l = input_line ic in
+       match String.split_on_char ' ' l with
+       | [ "TIME_MS"; v ] -> result := float_of_string v
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove outf;
+  !result
+
+let c_time_ms ?runs ?(optimize = true) ?(threads = 1) (app : App.t) opts env =
+  let exe = c_compile ?runs ~optimize app opts env in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove exe with Sys_error _ -> ())
+    (fun () -> run_exe ~threads exe)
+
+(* Mini autotuner on the compiled back end (the paper's Table 2
+   numbers are autotuned, §3.8); memoized per app + size. *)
+let tune_menu = [ ([| 32; 256 |], 0.4); ([| 64; 512 |], 0.4);
+                  ([| 256; 256 |], 0.5); ([| 32; 256 |], 0.1) ]
+
+let tuned : (string, int array * float) Hashtbl.t = Hashtbl.create 8
+
+let best_c_config (app : App.t) env =
+  let key = app.name ^ "@" ^ String.concat "," (List.map (fun (_, v) -> string_of_int v) env) in
+  match Hashtbl.find_opt tuned key with
+  | Some cfg -> cfg
+  | None ->
+    let best = ref (nan, ([| 32; 256 |], 0.4)) in
+    List.iter
+      (fun (tile, th) ->
+        let opts =
+          C.Options.with_threshold th
+            (C.Options.with_tile tile (C.Options.opt_vec ~estimates:env ()))
+        in
+        match c_time_ms ~optimize:true app opts env with
+        | t ->
+          let b, _ = !best in
+          if Float.is_nan b || t < b then best := (t, (tile, th))
+        | exception Cc_failed _ -> ())
+      tune_menu;
+    let _, cfg = !best in
+    Hashtbl.replace tuned key cfg;
+    cfg
+
+let stage_count (app : App.t) =
+  Pipeline.n_stages (Pipeline.build ~outputs:app.outputs)
+
+let env_desc env =
+  String.concat "x"
+    (List.map (fun ((_ : Types.param), v) -> string_of_int v) env)
+
+let hr () = print_endline (String.make 78 '-')
+
+let printf = Printf.printf

@@ -1,0 +1,496 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§4) plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe            -- everything, bench scale
+     dune exec bench/main.exe -- --help  -- selection flags
+
+   Numbers are produced on two back ends:
+   - "native": the OCaml executor (closure-compiled, per-tile
+     scratchpads, Domain pool).  ~100x slower per point than compiled
+     code, used at reduced sizes; all relative comparisons (the
+     paper's shape) are between native runs.
+   - "C": the generated C compiled with gcc (-O1 for the non-vec
+     configurations, -O3 -march=native for vec), timed inside the
+     binary, mirroring the paper's methodology of timing the compiled
+     output.  This machine has a single core, so multi-worker results
+     measure overhead, not speedup (see EXPERIMENTS.md). *)
+open Bench_common
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module Poly = Polymage_poly
+module Tune = Polymage_tune.Tune
+
+let opt_workers = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the computation patterns of the DSL                        *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  hr ();
+  printf "Table 1: computation patterns (base vs opt+vec, native, ms)\n";
+  hr ();
+  let open Polymage_dsl.Dsl in
+  let n = 512 in
+  let x = Polymage_ir.Types.var ~name:"x" ()
+  and y = Polymage_ir.Types.var ~name:"y" () in
+  let img = image ~name:"pat_in" Float [ ib (n + 4); ib ((2 * n) + 4) ] in
+  let dom s =
+    [ (x, interval (ib 0) (ib (s + 3)));
+      (y, interval (ib 0) (ib ((2 * s) + 3))) ]
+  in
+  let interior s =
+    in_box [ (v x, i 2, i s); (v y, i 2, i (2 * s)) ]
+  in
+  let chain name rhs_of =
+    (* two stages of the pattern, so fusion has something to do *)
+    let a = func ~name:(name ^ "_a") Float (dom n) in
+    define a [ case (interior n) (rhs_of (fun ix iy -> img_at img [ ix; iy ])) ];
+    let b = func ~name:(name ^ "_b") Float (dom n) in
+    define b [ case (interior n) (rhs_of (fun ix iy -> app a [ ix; iy ])) ];
+    b
+  in
+  let patterns =
+    [
+      ("point-wise", chain "pw" (fun s -> (fl 2.0 *: s (v x) (v y)) +: fl 1.));
+      ( "stencil",
+        chain "st" (fun s ->
+            fl 0.2
+            *: (s (v x -: i 1) (v y) +: s (v x +: i 1) (v y)
+               +: s (v x) (v y -: i 1) +: s (v x) (v y +: i 1)
+               +: s (v x) (v y))) );
+    ]
+  in
+  let down =
+    let a = func ~name:"tp_down" Float (dom (n / 2)) in
+    define a
+      [
+        case
+          (interior (n / 2))
+          (fl 0.25
+          *: (img_at img [ i 2 *: v x; i 2 *: v y ]
+             +: img_at img [ (i 2 *: v x) +: i 1; i 2 *: v y ]
+             +: img_at img [ i 2 *: v x; (i 2 *: v y) +: i 1 ]
+             +: img_at img [ (i 2 *: v x) +: i 1; (i 2 *: v y) +: i 1 ]));
+      ];
+    a
+  in
+  let up =
+    let half = image ~name:"pat_half" Float [ ib ((n / 2) + 4); ib (n + 4) ] in
+    let a = func ~name:"tp_up" Float (dom n) in
+    define a
+      [ case (interior n) (upsample2 (fun idx -> img_at half idx) (v x) (v y)) ];
+    a
+  in
+  let hist =
+    let b = Polymage_ir.Types.var ~name:"b" () in
+    let h = func ~name:"tp_hist" Int [ (b, interval (ib 0) (ib 255)) ] in
+    let rx = Polymage_ir.Types.var ~name:"rx" ()
+    and ry = Polymage_ir.Types.var ~name:"ry" () in
+    accumulate h
+      ~over:
+        [ (rx, interval (ib 0) (ib (n + 3)));
+          (ry, interval (ib 0) (ib ((2 * n) + 3))) ]
+      ~index:[ floor_ (img_at img [ v rx; v ry ] *: fl 255.) ]
+      ~value:(fl 1.) Polymage_ir.Ast.Rsum;
+    h
+  in
+  let titer =
+    let t = Polymage_ir.Types.var ~name:"t" () in
+    let f =
+      func ~name:"tp_heat" Float
+        [ (t, interval (ib 0) (ib 8)); (x, interval (ib 0) (ib (n + 3))) ]
+    in
+    define f
+      [
+        case (v t =: i 0) (img_at img [ v x; i 2 ]);
+        case
+          ((v t >=: i 1) &&: (v x >=: i 1) &&: (v x <=: i (n + 2)))
+          (fl (1. /. 3.)
+          *: (app f [ v t -: i 1; v x -: i 1 ]
+             +: app f [ v t -: i 1; v x ]
+             +: app f [ v t -: i 1; v x +: i 1 ]));
+      ];
+    f
+  in
+  let all =
+    patterns
+    @ [ ("downsample", down); ("upsample", up); ("histogram", hist);
+        ("time-iterated", titer) ]
+  in
+  printf "%-14s %10s %10s %8s\n" "pattern" "base" "opt+vec" "speedup";
+  List.iter
+    (fun (name, out) ->
+      let env = [] in
+      let images (plan : C.Plan.t) =
+        List.map
+          (fun im ->
+            (im, Rt.Buffer.of_image im env Polymage_apps.Synth.textured))
+          plan.pipe.Polymage_ir.Pipeline.images
+      in
+      let t_of opts =
+        let plan = C.Compile.run opts ~outputs:[ out ] in
+        let imgs = images plan in
+        time_ms (fun () -> Rt.Executor.run plan env ~images:imgs)
+      in
+      let tb = t_of (C.Options.base ~estimates:env ()) in
+      let to_ = t_of (C.Options.opt_vec ~estimates:env ()) in
+      printf "%-14s %10.2f %10.2f %7.2fx\n" name tb to_ (tb /. to_))
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ~scale () =
+  hr ();
+  printf
+    "Table 2: benchmarks (bench scale: paper sizes / %d per dimension)\n"
+    scale;
+  printf "  native = OCaml executor; C = generated C via gcc;\n";
+  printf "  library = hand-written per-stage routines (OpenCV stand-in)\n";
+  hr ();
+  printf "%-16s %6s %11s | %9s %9s %6s | %9s %9s %6s | %9s %6s\n" "app"
+    "stages" "size" "nat base" "nat o+v" "spdup" "C base" "C opt+v" "spdup"
+    "library" "vs lib";
+  List.iter
+    (fun (app : App.t) ->
+      let env = bench_env ~scale app in
+      let base = C.Options.base ~estimates:env () in
+      let tile, th = best_c_config app env in
+      let optv =
+        C.Options.with_threshold th
+          (C.Options.with_tile tile (C.Options.opt_vec ~estimates:env ()))
+      in
+      let nb = native_ms app base env in
+      let no = native_ms app optv env in
+      let cb =
+        try c_time_ms ~optimize:false app base env with Cc_failed _ -> nan
+      in
+      let co =
+        try c_time_ms ~optimize:true app optv env with Cc_failed _ -> nan
+      in
+      let lib =
+        match Polymage_ref.Reference.for_app app with
+        | None -> nan
+        | Some reference ->
+          ignore (reference env);
+          let _, t = time (fun () -> reference env) in
+          t *. 1000.
+      in
+      printf
+        "%-16s %6d %11s | %9.1f %9.1f %5.2fx | %9.2f %9.2f %5.2fx | %9.1f %5.2fx\n"
+        app.name (stage_count app) (env_desc env) nb no (nb /. no) cb co
+        (cb /. co) lib (lib /. co))
+    (Apps.all ());
+  printf
+    "\n  (opt+v uses the per-app autotuned tile/threshold; 'vs lib' is\n";
+  printf "   library time / generated-C opt+vec time)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: tiling strategies — overlapped vs parallelogram            *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 ~scale () =
+  hr ();
+  printf "Figure 5: tiling strategies (native executor)\n";
+  printf
+    "  overlapped: parallel tiles, scratchpad storage, redundant halo;\n";
+  printf
+    "  parallelogram: no redundancy, but sequential tiles and full\n";
+  printf
+    "  buffers; split: two-phase trapezoids, parallel within phases,\n";
+  printf "  no redundancy, full buffers (paper section 3.2)\n";
+  hr ();
+  printf "%-16s | %13s %13s | %13s %13s | %9s %9s\n" "app" "overlap 1w"
+    "overlap 4w" "parallelogram" "split" "scr cells" "full cells";
+  List.iter
+    (fun name ->
+      let app = Apps.find name in
+      let env = bench_env ~scale:(scale * 2) app in
+      let opt = C.Options.opt_vec ~estimates:env () in
+      let para = { opt with C.Options.tiling = C.Options.Parallelogram } in
+      let split = { opt with C.Options.tiling = C.Options.Split } in
+      let t_o1 = native_ms app opt env in
+      let t_o4 = native_ms app { opt with C.Options.workers = 4 } env in
+      let t_p = native_ms app para env in
+      let t_s = native_ms app split env in
+      let s_o = C.Storage.stats (C.Compile.run opt ~outputs:app.outputs) env in
+      let s_p =
+        (* parallelogram materializes every member *)
+        C.Storage.stats
+          (C.Compile.run { para with C.Options.scratchpads = false }
+             ~outputs:app.outputs)
+          env
+      in
+      printf "%-16s | %10.1f ms %10.1f ms | %10.1f ms %10.1f ms | %9d %9d\n"
+        app.name t_o1 t_o4 t_p t_s s_o.C.Storage.scratch_cells
+        s_p.C.Storage.full_cells)
+    [ "unsharp_mask"; "harris"; "pyramid_blend" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: tile shapes, tight vs over-approximated                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  hr ();
+  printf "Figure 6: overlapped tile shapes, tight vs over-approximated\n";
+  printf "  (per tiled group: overlap per canonical dim, and redundant\n";
+  printf "   computation fraction at the paper's default 32x256 tile)\n";
+  hr ();
+  List.iter
+    (fun (app : App.t) ->
+      let env = app.small_env in
+      let opts = C.Options.opt ~estimates:env () in
+      let plan = C.Compile.run opts ~outputs:app.outputs in
+      Array.iteri
+        (fun k item ->
+          match (item : C.Plan.item) with
+          | C.Plan.Straight _ -> ()
+          | C.Plan.Tiled g ->
+            let show o =
+              String.concat ";" (Array.to_list (Array.map string_of_int o))
+            in
+            let tight = Poly.Tiling.overlap g.sched in
+            let naive = Poly.Tiling.overlap ~naive:true g.sched in
+            let rf = Poly.Tiling.relative_overlap g.sched ~tile:[| 32; 256 |] in
+            let rfn =
+              Poly.Tiling.relative_overlap ~naive:true g.sched
+                ~tile:[| 32; 256 |]
+            in
+            printf
+              "%-16s group %d (%d stages): tight=[%s] naive=[%s]  redundancy %5.1f%% vs %5.1f%%\n"
+              app.name k
+              (Array.length g.members)
+              (show tight) (show naive) (100. *. rf) (100. *. rfn))
+        plan.items)
+    (Apps.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: autotuning                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 ~quick () =
+  hr ();
+  printf "Figure 9: autotuning (1-worker vs 4-worker times per config)\n";
+  hr ();
+  let tiles = if quick then [ 16; 64 ] else [ 16; 32; 64; 128 ] in
+  List.iter
+    (fun name ->
+      let app = Apps.find name in
+      let env = app.small_env in
+      let plan0 =
+        C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
+      in
+      let images = images_for app plan0 env in
+      let r =
+        Tune.explore ~tiles ~thresholds:Tune.paper_thresholds ~workers:4
+          ~outputs:app.outputs ~env ~images ()
+      in
+      printf "%s (%s): %d configurations\n" app.name (env_desc env)
+        (List.length r.samples);
+      printf "  %6s %6s %6s %10s %10s %7s\n" "tile_y" "tile_x" "thresh"
+        "t_seq(ms)" "t_par(ms)" "groups";
+      List.iter
+        (fun (s : Tune.sample) ->
+          printf "  %6d %6d %6.1f %10.2f %10.2f %7d%s\n" s.tile.(0)
+            s.tile.(1) s.threshold (s.time_seq *. 1000.)
+            (s.time_par *. 1000.) s.n_groups
+            (if s == r.best then "  <= best" else ""))
+        r.samples)
+    [ "pyramid_blend"; "camera_pipe"; "interpolate" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: configuration speedups                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 ~scale () =
+  hr ();
+  printf "Figure 10: speedup over PolyMage(base, 1 thread), generated C\n";
+  printf "  ('vec' = gcc -O3 auto-vectorization, 'base/opt' = -O1, as the\n";
+  printf "   paper's configurations map onto this back end; single-core\n";
+  printf "   machine: thread counts >1 measure OpenMP overhead, not scaling)\n";
+  hr ();
+  List.iter
+    (fun (app : App.t) ->
+      let env = bench_env ~scale app in
+      let tile, th = best_c_config app env in
+      let opt_opts =
+        C.Options.with_threshold th
+          (C.Options.with_tile tile (C.Options.opt ~estimates:env ()))
+      in
+      let base_opts = C.Options.base ~estimates:env () in
+      let configs =
+        [
+          ("base", base_opts, false);
+          ("base+vec", base_opts, true);
+          ("opt", opt_opts, false);
+          ("opt+vec", opt_opts, true);
+        ]
+      in
+      match
+        List.map
+          (fun (name, opts, optimize) ->
+            (name, c_compile ~optimize app opts env))
+          configs
+      with
+      | exception Cc_failed msg -> printf "%s: %s\n" app.name msg
+      | exes ->
+        let base_t = run_exe ~threads:1 (List.assoc "base" exes) in
+        printf "%s (%s), base(1t) = %.2f ms\n" app.name (env_desc env) base_t;
+        printf "  %-10s" "config";
+        List.iter (fun w -> printf " %6dt" w) opt_workers;
+        printf "\n";
+        List.iter
+          (fun (name, exe) ->
+            printf "  %-10s" name;
+            List.iter
+              (fun w -> printf " %6.2fx" (base_t /. run_exe ~threads:w exe))
+              opt_workers;
+            printf "\n";
+            Sys.remove exe)
+          exes)
+    (Apps.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablations ~scale () =
+  hr ();
+  printf "Ablations (native executor)\n";
+  hr ();
+  let apps = [ Apps.find "harris"; Apps.find "pyramid_blend" ] in
+  List.iter
+    (fun (app : App.t) ->
+      (* half-linear size: the ablations make many native runs *)
+      let env = bench_env ~scale:(scale * 2) app in
+      let opt = C.Options.opt_vec ~estimates:env () in
+      printf "%s (%s)\n" app.name (env_desc env);
+      let t_scr = native_ms app opt env in
+      let t_full =
+        native_ms app { opt with C.Options.scratchpads = false } env
+      in
+      let stats o = C.Storage.stats (C.Compile.run o ~outputs:app.outputs) env in
+      let s_on = stats opt
+      and s_off = stats { opt with C.Options.scratchpads = false } in
+      printf
+        "  scratchpads     : on %8.1f ms (%d full + %d scratch cells) | off %8.1f ms (%d full cells)\n"
+        t_scr s_on.C.Storage.full_cells s_on.C.Storage.scratch_cells t_full
+        s_off.C.Storage.full_cells;
+      let t_naive =
+        native_ms app { opt with C.Options.naive_overlap = true } env
+      in
+      printf "  tile shape      : tight %8.1f ms | over-approximated %8.1f ms\n"
+        t_scr t_naive;
+      let t_noinl = native_ms app { opt with C.Options.inline_on = false } env in
+      printf "  inlining        : on %8.1f ms | off %8.1f ms\n" t_scr t_noinl;
+      let t_nosplit =
+        native_ms app { opt with C.Options.split_cases = false } env
+      in
+      printf "  case splitting  : on %8.1f ms | off %8.1f ms\n" t_scr t_nosplit;
+      printf "  threshold sweep :";
+      List.iter
+        (fun th ->
+          let o = C.Options.with_threshold th opt in
+          let plan = C.Compile.run o ~outputs:app.outputs in
+          let t = native_ms app o env in
+          printf " %.1f->(%d items, %.1f ms)" th
+            (Array.length plan.items)
+            t)
+        [ 0.2; 0.4; 0.5; 1.0 ];
+      printf "\n")
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  hr ();
+  printf "Bechamel micro-benchmarks (harris, small size)\n";
+  hr ();
+  let open Bechamel in
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let runner opts =
+    let plan = C.Compile.run opts ~outputs:app.outputs in
+    let images = images_for app plan env in
+    Staged.stage (fun () -> ignore (Rt.Executor.run plan env ~images))
+  in
+  let tests =
+    [
+      (* Table 2's two headline configurations *)
+      Test.make ~name:"table2-base" (runner (C.Options.base ~estimates:env ()));
+      Test.make ~name:"table2-opt_vec"
+        (runner (C.Options.opt_vec ~estimates:env ()));
+      (* Figure 10's intermediate configurations *)
+      Test.make ~name:"fig10-base_vec"
+        (runner (C.Options.base_vec ~estimates:env ()));
+      Test.make ~name:"fig10-opt" (runner (C.Options.opt ~estimates:env ()));
+      (* Figure 9: one non-default tile configuration *)
+      Test.make ~name:"fig9-tile8x8"
+        (runner
+           (C.Options.with_tile [| 8; 8 |] (C.Options.opt_vec ~estimates:env ())));
+    ]
+  in
+  let test = Test.make_grouped ~name:"polymage" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name est ->
+      match Analyze.OLS.estimates est with
+      | Some [ t ] -> printf "  %-28s %12.3f ms/run\n" name (t /. 1e6)
+      | _ -> printf "  %-28s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let run_table1 = ref false
+  and run_table2 = ref false
+  and run_fig5 = ref false
+  and run_fig6 = ref false
+  and run_fig9 = ref false
+  and run_fig10 = ref false
+  and run_abl = ref false
+  and run_bech = ref false
+  and quick = ref false
+  and scale = ref 4 in
+  let any = ref false in
+  let set r () =
+    any := true;
+    r := true
+  in
+  Arg.parse
+    [
+      ("--table1", Arg.Unit (set run_table1), "Table 1 patterns");
+      ("--table2", Arg.Unit (set run_table2), "Table 2 benchmarks");
+      ("--fig5", Arg.Unit (set run_fig5), "Figure 5 tiling strategies");
+      ("--fig6", Arg.Unit (set run_fig6), "Figure 6 tile shapes");
+      ("--fig9", Arg.Unit (set run_fig9), "Figure 9 autotuning");
+      ("--fig10", Arg.Unit (set run_fig10), "Figure 10 speedups");
+      ("--ablations", Arg.Unit (set run_abl), "design-choice ablations");
+      ("--bechamel", Arg.Unit (set run_bech), "bechamel micro-benchmarks");
+      ("--quick", Arg.Set quick, "smaller search spaces");
+      ("--scale", Arg.Set_int scale, "size divisor vs paper sizes (default 4)");
+    ]
+    (fun _ -> ())
+    "polymage benchmark harness";
+  let all = not !any in
+  if all || !run_table1 then table1 ();
+  if all || !run_table2 then table2 ~scale:!scale ();
+  if all || !run_fig5 then fig5 ~scale:!scale ();
+  if all || !run_fig6 then fig6 ();
+  if all || !run_fig9 then fig9 ~quick:!quick ();
+  if all || !run_fig10 then fig10 ~scale:!scale ();
+  if all || !run_abl then ablations ~scale:!scale ();
+  if all || !run_bech then bechamel ();
+  hr ();
+  printf "done.\n"

@@ -1,0 +1,289 @@
+(* Command-line driver for the PolyMage reproduction: inspect pipeline
+   graphs (Fig. 2), watch the compiler phases (Fig. 4), print the
+   grouping (Fig. 8), emit C (Fig. 7), execute, and autotune (§3.8). *)
+open Cmdliner
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module App = Polymage_apps.App
+module Cgen = Polymage_codegen.Cgen
+module Tune = Polymage_tune.Tune
+
+let app_arg =
+  let parse s =
+    match Apps.find s with
+    | app -> Ok app
+    | exception Not_found ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown app %S (known: %s)" s
+              (String.concat ", " Apps.names)))
+  in
+  Arg.conv (parse, fun ppf (a : App.t) -> Format.pp_print_string ppf a.name)
+
+let app_pos =
+  Arg.(required & pos 0 (some app_arg) None & info [] ~docv:"APP")
+
+let size_flag =
+  Arg.(
+    value
+    & opt (some (pair ~sep:'x' int int)) None
+    & info [ "size" ] ~docv:"RxC" ~doc:"Image size (default: small size)")
+
+let env_of (app : App.t) = function
+  | None -> app.small_env
+  | Some (r, c) -> (
+    match app.small_env with
+    | [ (pr, _); (pc, _) ] -> [ (pr, r); (pc, c) ]
+    | other -> other)
+
+let config_flag =
+  Arg.(
+    value
+    & opt (enum [ ("base", `Base); ("base+vec", `BaseVec); ("opt", `Opt); ("opt+vec", `OptVec) ]) `OptVec
+    & info [ "config" ] ~doc:"Configuration: base, base+vec, opt, opt+vec")
+
+let tile_flag =
+  Arg.(
+    value
+    & opt (list int) [ 32; 256 ]
+    & info [ "tile" ] ~doc:"Tile sizes per canonical dimension")
+
+let threshold_flag =
+  Arg.(
+    value & opt float 0.4
+    & info [ "threshold" ] ~doc:"Overlap threshold (Algorithm 1)")
+
+let workers_flag =
+  Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Worker domains")
+
+let options_of config tile threshold workers env =
+  let mk =
+    match config with
+    | `Base -> C.Options.base
+    | `BaseVec -> C.Options.base_vec
+    | `Opt -> C.Options.opt
+    | `OptVec -> C.Options.opt_vec
+  in
+  C.Options.with_threshold threshold
+    (C.Options.with_tile (Array.of_list tile) (mk ~workers ~estimates:env ()))
+
+(* ---- commands ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (app : App.t) ->
+        Printf.printf "%-16s %2d stages  %s\n" app.name
+          (Pipeline.n_stages (Pipeline.build ~outputs:app.outputs))
+          app.description)
+      (Apps.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark applications")
+    Term.(const run $ const ())
+
+let graph_cmd =
+  let run (app : App.t) =
+    print_string (Pipeline.to_dot (Pipeline.build ~outputs:app.outputs))
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print the stage graph in Graphviz format (Fig. 2)")
+    Term.(const run $ app_pos)
+
+let compile_cmd =
+  let run (app : App.t) size config tile threshold workers =
+    let env = env_of app size in
+    let opts = options_of config tile threshold workers env in
+    ignore (C.Compile.phases Format.std_formatter opts ~outputs:app.outputs)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Run the compiler phases verbosely and print the plan (Fig. 4)")
+    Term.(
+      const run $ app_pos $ size_flag $ config_flag $ tile_flag
+      $ threshold_flag $ workers_flag)
+
+let groups_cmd =
+  let run (app : App.t) size tile threshold =
+    let env = env_of app size in
+    let opts = options_of `Opt tile threshold 1 env in
+    let plan = C.Compile.run opts ~outputs:app.outputs in
+    match plan.grouping with
+    | None -> print_endline "no grouping (base configuration)"
+    | Some g -> Format.printf "%a" (C.Grouping.pp plan.pipe) g
+  in
+  Cmd.v (Cmd.info "groups" ~doc:"Print the grouping of stages (Fig. 8)")
+    Term.(const run $ app_pos $ size_flag $ tile_flag $ threshold_flag)
+
+let codegen_cmd =
+  let out_flag =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o" ] ~docv:"FILE" ~doc:"Write the C to FILE")
+  in
+  let run (app : App.t) size config tile threshold out =
+    let env = env_of app size in
+    let opts = options_of config tile threshold 1 env in
+    let plan = C.Compile.run opts ~outputs:app.outputs in
+    let src = Cgen.emit plan in
+    match out with
+    | None -> print_string src
+    | Some f ->
+      let oc = open_out f in
+      output_string oc src;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" f (String.length src)
+  in
+  Cmd.v (Cmd.info "codegen" ~doc:"Emit the generated C (Fig. 7)")
+    Term.(
+      const run $ app_pos $ size_flag $ config_flag $ tile_flag
+      $ threshold_flag $ out_flag)
+
+let run_cmd =
+  let repeats_flag =
+    Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"Timed repetitions")
+  in
+  let run (app : App.t) size config tile threshold workers repeats =
+    let env = env_of app size in
+    let opts = options_of config tile threshold workers env in
+    let plan = C.Compile.run opts ~outputs:app.outputs in
+    let images =
+      List.map
+        (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
+        plan.pipe.Pipeline.images
+    in
+    let res = ref (Rt.Executor.run plan env ~images) in
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      res := Rt.Executor.run plan env ~images;
+      let t = Unix.gettimeofday () -. t0 in
+      if t < !best then best := t
+    done;
+    Printf.printf "%s: %.2f ms (best of %d)\n" app.name (!best *. 1000.)
+      repeats;
+    List.iter
+      (fun (f, (b : Rt.Buffer.t)) ->
+        Printf.printf "  output %s: %d values, checksum %.17g\n" f.Ast.fname
+          (Rt.Buffer.size b)
+          (Array.fold_left ( +. ) 0. b.data))
+      (!res).outputs
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute the pipeline and report timing")
+    Term.(
+      const run $ app_pos $ size_flag $ config_flag $ tile_flag
+      $ threshold_flag $ workers_flag $ repeats_flag)
+
+let tune_cmd =
+  let tiles_flag =
+    Arg.(
+      value
+      & opt (list int) [ 16; 32; 64; 128 ]
+      & info [ "tiles" ] ~doc:"Tile size menu")
+  in
+  let run (app : App.t) size tiles workers =
+    let env = env_of app size in
+    let plan0 =
+      C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
+    in
+    let images =
+      List.map
+        (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
+        plan0.pipe.Pipeline.images
+    in
+    let r =
+      Tune.explore ~tiles ~workers ~outputs:app.outputs ~env ~images ()
+    in
+    List.iter
+      (fun (s : Tune.sample) ->
+        Printf.printf "tile=%dx%d thresh=%.1f  seq %.2f ms  par %.2f ms%s\n"
+          s.tile.(0) s.tile.(1) s.threshold (s.time_seq *. 1000.)
+          (s.time_par *. 1000.)
+          (if s == r.best then "   <= best" else ""))
+      r.samples
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Autotune tile sizes and threshold (§3.8)")
+    Term.(const run $ app_pos $ size_flag $ tiles_flag $ workers_flag)
+
+let process_cmd =
+  let input_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"INPUT.pgm" ~doc:"Input image (binary PGM)")
+  in
+  let out_flag =
+    Arg.(
+      value & opt string "out.pgm"
+      & info [ "o" ] ~docv:"FILE" ~doc:"Output image file")
+  in
+  let normalize_flag =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:"Min-max normalize the output to [0,1] before writing")
+  in
+  let run (app : App.t) input out normalize =
+    (* Only apps with a single 2-D input image whose extents are R+k /
+       C+k can be driven from a file; sizes are inferred from it. *)
+    let pipe = Pipeline.build ~outputs:app.outputs in
+    let im =
+      match pipe.images with
+      | [ im ] when List.length im.Ast.iextents = 2 -> im
+      | _ ->
+        Printf.eprintf "%s does not take a single 2-D input image\n" app.name;
+        exit 1
+    in
+    let img = Rt.Image_io.read_pgm input in
+    let rows = img.Rt.Buffer.dims.(0) and cols = img.Rt.Buffer.dims.(1) in
+    let env =
+      match (app.small_env, im.Ast.iextents) with
+      | [ (pr, _); (pc, _) ], [ er; ec ] ->
+        (* extent = param + k: recover k by evaluating at param = 0 *)
+        let kr = Abound.eval er [ (pr, 0); (pc, 0) ] in
+        let kc = Abound.eval ec [ (pr, 0); (pc, 0) ] in
+        [ (pr, rows - kr); (pc, cols - kc) ]
+      | _ ->
+        Printf.eprintf "cannot infer parameters for %s\n" app.name;
+        exit 1
+    in
+    let opts = C.Options.opt_vec ~estimates:env () in
+    let plan = C.Compile.run opts ~outputs:app.outputs in
+    let res = Rt.Executor.run plan env ~images:[ (im, img) ] in
+    let b = Rt.Executor.output_buffer res (List.hd app.outputs) in
+    let b =
+      if not normalize then b
+      else begin
+        let mn = Array.fold_left Float.min infinity b.Rt.Buffer.data in
+        let mx = Array.fold_left Float.max neg_infinity b.Rt.Buffer.data in
+        let scale = if mx > mn then 1. /. (mx -. mn) else 1. in
+        let c = Rt.Buffer.create ~lo:b.Rt.Buffer.lo ~dims:b.Rt.Buffer.dims in
+        Array.iteri
+          (fun k v -> c.Rt.Buffer.data.(k) <- (v -. mn) *. scale)
+          b.Rt.Buffer.data;
+        c
+      end
+    in
+    (match Array.length b.Rt.Buffer.dims with
+    | 2 -> Rt.Image_io.write_pgm out b
+    | 3 -> Rt.Image_io.write_ppm out b
+    | _ ->
+      Printf.eprintf "unsupported output rank\n";
+      exit 1);
+    Printf.printf "%s: %s -> %s (%dx%d input)\n" app.name input out rows cols
+  in
+  Cmd.v
+    (Cmd.info "process"
+       ~doc:"Run a pipeline on a PGM image file and write the result")
+    Term.(const run $ app_pos $ input_pos $ out_flag $ normalize_flag)
+
+let () =
+  let doc = "PolyMage: automatic optimization for image processing pipelines" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "polymage" ~doc)
+          [
+            list_cmd; graph_cmd; compile_cmd; groups_cmd; codegen_cmd;
+            run_cmd; tune_cmd; process_cmd;
+          ]))

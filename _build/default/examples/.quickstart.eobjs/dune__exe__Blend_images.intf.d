@@ -1,0 +1,1 @@
+examples/blend_images.mli:

@@ -1,0 +1,1 @@
+examples/corner_detection.ml: Array Format List Polymage_apps Polymage_compiler Polymage_ir Polymage_rt

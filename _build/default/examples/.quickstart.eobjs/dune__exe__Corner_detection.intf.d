@@ -1,0 +1,1 @@
+examples/corner_detection.mli:

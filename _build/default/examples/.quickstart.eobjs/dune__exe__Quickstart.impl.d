@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Polymage_apps Polymage_compiler Polymage_dsl Polymage_ir Polymage_rt Unix

@@ -1,0 +1,1 @@
+examples/tune_and_export.mli:

@@ -1,0 +1,46 @@
+(* Autotune a pipeline (paper §3.8) and export the winning schedule as
+   C code (paper Fig. 7):
+
+     dune exec examples/tune_and_export.exe
+     -> prints the explored configurations and writes camera_pipe.c *)
+
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module Tune = Polymage_tune.Tune
+module Cgen = Polymage_codegen.Cgen
+
+let () =
+  let app = Apps.find "camera_pipe" in
+  let env = app.small_env in
+  let plan0 =
+    C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
+  in
+  let images =
+    List.map
+      (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
+      plan0.pipe.Polymage_ir.Pipeline.images
+  in
+  Format.printf "exploring tile sizes {16,32,64} x thresholds {0.2,0.4,0.5}...@.";
+  let r =
+    Tune.explore ~tiles:[ 16; 32; 64 ] ~workers:2 ~outputs:app.outputs ~env
+      ~images ()
+  in
+  List.iter
+    (fun (s : Tune.sample) ->
+      Format.printf "  tile %3dx%-3d thresh %.1f: %7.2f ms%s@." s.tile.(0)
+        s.tile.(1) s.threshold (s.time_par *. 1000.)
+        (if s == r.best then "   <= best" else ""))
+    r.samples;
+  let best = Tune.best_options r ~estimates:env ~workers:4 in
+  Format.printf "best: tile %dx%d, threshold %.1f@." r.best.tile.(0)
+    r.best.tile.(1) r.best.threshold;
+  let plan = C.Compile.run best ~outputs:app.outputs in
+  let src = Cgen.emit plan in
+  let oc = open_out "camera_pipe.c" in
+  output_string oc src;
+  close_out oc;
+  Format.printf "wrote camera_pipe.c (%d lines) — compile with:@."
+    (List.length (String.split_on_char '\n' src));
+  Format.printf "  gcc -O3 -fopenmp -c camera_pipe.c@.";
+  Format.printf "tune-and-export OK@."

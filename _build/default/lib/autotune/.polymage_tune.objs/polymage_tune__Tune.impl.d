@@ -1,0 +1,1 @@
+lib/autotune/tune.ml: Fun List Option Polymage_compiler Polymage_rt Unix

@@ -1,0 +1,1 @@
+lib/autotune/tune.mli: Ast Polymage_compiler Polymage_ir Polymage_rt Types

@@ -1,0 +1,83 @@
+module C = Polymage_compiler
+module Rt = Polymage_rt
+
+let paper_tiles = [ 8; 16; 32; 64; 128; 256; 512 ]
+let paper_thresholds = [ 0.2; 0.4; 0.5 ]
+
+type sample = {
+  tile : int array;
+  threshold : float;
+  time_seq : float;
+  time_par : float;
+  n_groups : int;
+}
+
+type result = { samples : sample list; best : sample }
+
+let time_run ~repeats pool plan env images =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    ignore (Rt.Executor.run ?pool plan env ~images);
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best then best := t
+  done;
+  !best
+
+let explore ?(tiles = [ 16; 32; 64; 128 ]) ?(thresholds = paper_thresholds)
+    ?(workers = 4) ?(repeats = 1) ~outputs ~env ~images () =
+  let pool = if workers > 1 then Some (Rt.Pool.create workers) else None in
+  let samples = ref [] in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Rt.Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun ty ->
+          List.iter
+            (fun tx ->
+              List.iter
+                (fun threshold ->
+                  let tile = [| ty; tx |] in
+                  let opts =
+                    C.Options.with_threshold threshold
+                      (C.Options.with_tile tile
+                         (C.Options.opt_vec ~estimates:env ()))
+                  in
+                  let plan = C.Compile.run opts ~outputs in
+                  (* one warm-up at this configuration *)
+                  ignore (Rt.Executor.run plan env ~images);
+                  let time_seq =
+                    let plan1 =
+                      C.Compile.run { opts with workers = 1 } ~outputs
+                    in
+                    time_run ~repeats None plan1 env images
+                  in
+                  let time_par =
+                    time_run ~repeats pool
+                      { plan with opts = { plan.opts with workers } }
+                      env images
+                  in
+                  samples :=
+                    {
+                      tile;
+                      threshold;
+                      time_seq;
+                      time_par;
+                      n_groups = C.Plan.n_tiled_groups plan;
+                    }
+                    :: !samples)
+                thresholds)
+            tiles)
+        tiles);
+  let samples = List.rev !samples in
+  let best =
+    List.fold_left
+      (fun acc s -> if s.time_par < acc.time_par then s else acc)
+      (List.hd samples) samples
+  in
+  { samples; best }
+
+let best_options r ~estimates ~workers =
+  let o = C.Options.opt_vec ~workers ~estimates () in
+  C.Options.with_threshold r.best.threshold
+    (C.Options.with_tile r.best.tile o)

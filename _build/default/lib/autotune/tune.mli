@@ -1,0 +1,47 @@
+(** Autotuner (paper §3.8): explore the small model-driven parameter
+    space — tile sizes per tiled dimension and the overlap threshold —
+    by compiling and actually running each configuration, and report
+    every sample (paper Fig. 9) plus the best configuration.
+
+    The paper's full space is tile sizes {8..512} per dimension and
+    thresholds {0.2, 0.4, 0.5}; pass subsets to bound wall-clock time
+    on slow machines. *)
+
+open Polymage_ir
+module C := Polymage_compiler
+module Rt := Polymage_rt
+
+val paper_tiles : int list
+(** [8; 16; 32; 64; 128; 256; 512] *)
+
+val paper_thresholds : float list
+(** [0.2; 0.4; 0.5] *)
+
+type sample = {
+  tile : int array;
+  threshold : float;
+  time_seq : float;  (** seconds, 1 worker *)
+  time_par : float;  (** seconds, [workers] workers *)
+  n_groups : int;  (** tiled groups in the plan *)
+}
+
+type result = { samples : sample list; best : sample }
+
+val explore :
+  ?tiles:int list ->
+  ?thresholds:float list ->
+  ?workers:int ->
+  ?repeats:int ->
+  outputs:Ast.func list ->
+  env:Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  unit ->
+  result
+(** Run the search.  [tiles] are used for both tiled dimensions (the
+    benchmarks tile 2, as in the paper); each configuration is timed
+    [repeats] times (default 1) and the minimum is kept.  [best]
+    minimizes the parallel time. *)
+
+val best_options :
+  result -> estimates:Types.bindings -> workers:int -> C.Options.t
+(** Full optimization options with the winning tile/threshold. *)

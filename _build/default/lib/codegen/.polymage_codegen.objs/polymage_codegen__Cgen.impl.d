@@ -1,0 +1,1 @@
+lib/codegen/cgen.ml: Abound Array Ast Buffer Expr Float Hashtbl Interval List Option Pipeline Polymage_compiler Polymage_ir Polymage_poly Printf String Types

@@ -1,0 +1,1 @@
+lib/codegen/cgen.mli: Ast Polymage_compiler Polymage_ir Types

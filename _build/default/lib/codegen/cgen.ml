@@ -1,0 +1,835 @@
+open Polymage_ir
+module C = Polymage_compiler
+module Poly = Polymage_poly
+
+let spf = Printf.sprintf
+
+(* ---------- emission buffer with indentation ---------- *)
+
+type ctx = { b : Buffer.t; mutable ind : int }
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.b (String.make (2 * ctx.ind) ' ');
+      Buffer.add_string ctx.b s;
+      Buffer.add_char ctx.b '\n')
+    fmt
+
+let blank ctx = Buffer.add_char ctx.b '\n'
+let push ctx = ctx.ind <- ctx.ind + 1
+let pop ctx = ctx.ind <- ctx.ind - 1
+
+(* ---------- naming ---------- *)
+
+let pname (p : Types.param) = "P_" ^ p.pname
+let iname (im : Ast.image) = "img_" ^ im.iname
+let bname (f : Ast.func) = "B_" ^ f.fname
+let sname (f : Ast.func) = "S_" ^ f.fname
+let vname (v : Types.var) = spf "v%d" v.vid
+
+(* ---------- parametric bounds ---------- *)
+
+let cbound (a : Abound.t) =
+  let cst, terms, den = Abound.to_linear a in
+  let lin =
+    List.fold_left
+      (fun acc (p, k) ->
+        if k = 1 then spf "%s + %s" acc (pname p)
+        else spf "%s + %d*%s" acc k (pname p))
+      (string_of_int cst) terms
+  in
+  if den = 1 then spf "(%s)" lin else spf "floord(%s, %d)" lin den
+
+(* ---------- expressions ---------- *)
+
+let cfloat x =
+  if Float.is_integer x && Float.abs x < 1e9 then spf "%.1f" x
+  else spf "%h" x
+
+(* Renderers for stage/image reads, switched per emission context. *)
+type readers = {
+  rf : Ast.func -> string list -> string;
+  ri : Ast.image -> string list -> string;
+}
+
+(* Integer-shaped index expressions; None falls back to
+   (int)floor(double). *)
+let rec iexp e =
+  let open Ast in
+  match e with
+  | Var v -> Some (vname v)
+  | Const x when Float.is_integer x -> Some (string_of_int (int_of_float x))
+  | Param p -> Some (pname p)
+  | Binop (Add, a, b) -> map2 "+" a b
+  | Binop (Sub, a, b) -> map2 "-" a b
+  | Binop (Mul, a, b) -> map2 "*" a b
+  | IDiv (a, n) ->
+    Option.map (fun s -> spf "floord(%s, %d)" s n) (iexp a)
+  | IMod (a, n) -> Option.map (fun s -> spf "imod(%s, %d)" s n) (iexp a)
+  | Unop (Neg, a) -> Option.map (fun s -> spf "(-%s)" s) (iexp a)
+  | _ -> None
+
+and map2 op a b =
+  match (iexp a, iexp b) with
+  | Some x, Some y -> Some (spf "(%s %s %s)" x op y)
+  | _ -> None
+
+let rec dexp rd e =
+  let open Ast in
+  let index a =
+    match iexp a with
+    | Some s -> s
+    | None -> spf "(int)floor(%s)" (dexp rd a)
+  in
+  match e with
+  | Const x -> cfloat x
+  | Var v -> spf "(double)%s" (vname v)
+  | Param p -> spf "(double)%s" (pname p)
+  | Call (f, args) -> rd.rf f (List.map index args)
+  | Img (im, args) -> rd.ri im (List.map index args)
+  | Binop (op, a, b) -> (
+    let x = dexp rd a and y = dexp rd b in
+    match op with
+    | Add -> spf "(%s + %s)" x y
+    | Sub -> spf "(%s - %s)" x y
+    | Mul -> spf "(%s * %s)" x y
+    | Div -> spf "(%s / %s)" x y
+    | Min -> spf "fmin(%s, %s)" x y
+    | Max -> spf "fmax(%s, %s)" x y
+    | Pow -> spf "pow(%s, %s)" x y)
+  | Unop (op, a) -> (
+    let x = dexp rd a in
+    match op with
+    | Neg -> spf "(-%s)" x
+    | Abs -> spf "fabs(%s)" x
+    | Sqrt -> spf "sqrt(%s)" x
+    | Exp -> spf "exp(%s)" x
+    | Log -> spf "log(%s)" x
+    | Floor -> spf "floor(%s)" x)
+  | IDiv (a, n) -> spf "floor(%s / %d.0)" (dexp rd a) n
+  | IMod (a, n) ->
+    let x = dexp rd a in
+    spf "(%s - %d.0*floor(%s / %d.0))" x n x n
+  | Select (c, a, b) ->
+    spf "(%s ? %s : %s)" (cexp rd c) (dexp rd a) (dexp rd b)
+  | Cast (ty, a) -> store_of ty (dexp rd a)
+
+and cexp rd c =
+  let open Ast in
+  match c with
+  | Cmp (op, a, b) ->
+    let s =
+      match op with
+      | Lt -> "<"
+      | Le -> "<="
+      | Gt -> ">"
+      | Ge -> ">="
+      | Eq -> "=="
+      | Ne -> "!="
+    in
+    spf "(%s %s %s)" (dexp rd a) s (dexp rd b)
+  | And (a, b) -> spf "(%s && %s)" (cexp rd a) (cexp rd b)
+  | Or (a, b) -> spf "(%s || %s)" (cexp rd a) (cexp rd b)
+  | Not a -> spf "(!%s)" (cexp rd a)
+
+and store_of ty v =
+  match (ty : Types.scalar) with
+  | Double -> v
+  | Float -> spf "cs_float(%s)" v
+  | UChar -> spf "cs_uchar(%s)" v
+  | Short -> spf "cs_short(%s)" v
+  | Int -> spf "cs_int(%s)" v
+
+(* ---------- buffer geometry ---------- *)
+
+(* Every stage gets lo/ext/stride int variables; images get ext/stride. *)
+let emit_geometry ctx (pipe : Pipeline.t) =
+  List.iter
+    (fun (im : Ast.image) ->
+      List.iteri
+        (fun d e -> line ctx "const int %s_ext%d = %s;" im.iname d (cbound e))
+        im.iextents;
+      let n = List.length im.iextents in
+      line ctx "const int %s_str%d = 1;" im.iname (n - 1);
+      for d = n - 2 downto 0 do
+        line ctx "const int %s_str%d = %s_str%d * %s_ext%d;" im.iname d
+          im.iname (d + 1) im.iname (d + 1)
+      done)
+    pipe.images;
+  Array.iter
+    (fun (f : Ast.func) ->
+      List.iteri
+        (fun d (iv : Interval.t) ->
+          line ctx "const int %s_lo%d = %s;" f.fname d (cbound iv.lo);
+          line ctx "const int %s_hi%d = %s;" f.fname d (cbound iv.hi);
+          line ctx "const int %s_ext%d = imax(0, %s_hi%d - %s_lo%d + 1);"
+            f.fname d f.fname d f.fname d)
+        f.fdom;
+      let n = Ast.func_arity f in
+      line ctx "const int %s_str%d = 1;" f.fname (n - 1);
+      for d = n - 2 downto 0 do
+        line ctx "const int %s_str%d = %s_str%d * %s_ext%d;" f.fname d f.fname
+          (d + 1) f.fname (d + 1)
+      done;
+      line ctx "const long %s_total = (long)%s_str0 * %s_ext0;" f.fname
+        f.fname f.fname)
+    pipe.stages
+
+let buffer_read (f : Ast.func) args =
+  let parts =
+    List.mapi
+      (fun d a ->
+        let n = Ast.func_arity f in
+        if d = n - 1 then spf "(%s - %s_lo%d)" a f.fname d
+        else spf "(%s - %s_lo%d)*%s_str%d" a f.fname d f.fname d)
+      args
+  in
+  spf "%s[%s]" (bname f) (String.concat " + " parts)
+
+let image_read (im : Ast.image) args =
+  let n = List.length im.iextents in
+  let parts =
+    List.mapi
+      (fun d a ->
+        if d = n - 1 then spf "(%s)" a
+        else spf "(%s)*%s_str%d" a im.iname d)
+      args
+  in
+  spf "%s[%s]" (iname im) (String.concat " + " parts)
+
+let default_readers = { rf = buffer_read; ri = image_read }
+
+(* ---------- symbolic case boxes ---------- *)
+
+(* Per stage dim: lower/upper bound C expressions (domain intersected
+   with the case condition box when analyzable). *)
+let piece_bounds (f : Ast.func) (c : Ast.case) =
+  let dom = Array.of_list f.fdom in
+  match c.ccond with
+  | None ->
+    Some
+      (Array.map
+         (fun (iv : Interval.t) -> (cbound iv.lo, cbound iv.hi))
+         dom)
+  | Some cond -> (
+    match Expr.box_of_cond f.fvars cond with
+    | None -> None
+    | Some box ->
+      Some
+        (Array.mapi
+           (fun d (blo, bhi) ->
+             let dlo = cbound dom.(d).lo and dhi = cbound dom.(d).hi in
+             ( (match blo with
+               | Some a -> spf "imax(%s, %s)" dlo (cbound a)
+               | None -> dlo),
+               match bhi with
+               | Some a -> spf "imin(%s, %s)" dhi (cbound a)
+               | None -> dhi ))
+           box))
+
+(* Emit a loop nest over symbolic bounds; [body] emits the innermost
+   statement(s) given the context.  Bounds are pre-bound to local
+   variables to keep inner loops clean. *)
+let emit_loops ctx ?(parallel = false) ?(ivdep = true) tag (f : Ast.func)
+    (bounds : (string * string) array) body =
+  let n = Array.length bounds in
+  Array.iteri
+    (fun d (lo, hi) ->
+      line ctx "const int %s_l%d = %s, %s_u%d = %s;" tag d lo tag d hi)
+    bounds;
+  List.iteri
+    (fun d v ->
+      if d = 0 && parallel then line ctx "#pragma omp parallel for";
+      if d = n - 1 && ivdep then line ctx "#pragma ivdep";
+      line ctx "for (int %s = %s_l%d; %s <= %s_u%d; %s++) {" (vname v) tag d
+        (vname v) tag d (vname v);
+      push ctx)
+    f.fvars;
+  body ();
+  for _ = 1 to n do
+    pop ctx;
+    line ctx "}"
+  done
+
+(* ---------- straight stages ---------- *)
+
+let emit_store ctx rd (f : Ast.func) target_index (case : Ast.case) =
+  let rhs = store_of f.ftyp (dexp rd case.rhs) in
+  line ctx "%s = %s;" target_index rhs
+
+let emit_straight ctx (plan : C.Plan.t) i =
+  let pipe = plan.pipe in
+  let f = pipe.stages.(i) in
+  line ctx "/* ---- stage %s ---- */" f.fname;
+  match f.fbody with
+  | Ast.Undefined -> assert false
+  | Ast.Cases cases ->
+    line ctx "%s = (double*)calloc(%s_total, sizeof(double));" (bname f)
+      f.fname;
+    let parallel = not pipe.self_recursive.(i) in
+    List.iteri
+      (fun k (case : Ast.case) ->
+        let target () =
+          buffer_read f (List.map (fun v -> vname v) f.fvars)
+        in
+        match
+          if plan.opts.split_cases then piece_bounds f case else None
+        with
+        | Some bounds ->
+          line ctx "{ /* case %d (split) */" k;
+          push ctx;
+          emit_loops ctx ~parallel (spf "c%d_%d" i k) f bounds (fun () ->
+              emit_store ctx default_readers f (target ()) case);
+          pop ctx;
+          line ctx "}"
+        | None ->
+          line ctx "{ /* case %d (guarded) */" k;
+          push ctx;
+          let dom =
+            Array.of_list
+              (List.map
+                 (fun (iv : Interval.t) -> (cbound iv.lo, cbound iv.hi))
+                 f.fdom)
+          in
+          emit_loops ctx ~parallel ~ivdep:false (spf "c%d_%d" i k) f dom
+            (fun () ->
+              match case.ccond with
+              | Some cond ->
+                line ctx "if (%s) {" (cexp default_readers cond);
+                push ctx;
+                emit_store ctx default_readers f (target ()) case;
+                pop ctx;
+                line ctx "}"
+              | None -> emit_store ctx default_readers f (target ()) case);
+          pop ctx;
+          line ctx "}")
+      cases
+  | Ast.Reduce r ->
+    line ctx "%s = (double*)malloc(%s_total * sizeof(double));" (bname f)
+      f.fname;
+    line ctx "for (long z = 0; z < %s_total; z++) %s[z] = %s;" f.fname
+      (bname f) (cfloat r.rinit);
+    (* reduction loops (sequential) *)
+    List.iteri
+      (fun d (iv : Interval.t) ->
+        line ctx "for (int %s = %s; %s <= %s; %s++) {"
+          (vname (List.nth r.rvars d))
+          (cbound iv.lo)
+          (vname (List.nth r.rvars d))
+          (cbound iv.hi)
+          (vname (List.nth r.rvars d));
+        push ctx)
+      r.rdom;
+    let idxs =
+      List.map
+        (fun e ->
+          match iexp e with
+          | Some s -> s
+          | None -> spf "(int)floor(%s)" (dexp default_readers e))
+        r.rindex
+    in
+    let cell = buffer_read f idxs in
+    let v = dexp default_readers r.rvalue in
+    (match r.rop with
+    | Rsum -> line ctx "%s += %s;" cell v
+    | Rmul -> line ctx "%s *= %s;" cell v
+    | Rmin -> line ctx "%s = fmin(%s, %s);" cell cell v
+    | Rmax -> line ctx "%s = fmax(%s, %s);" cell cell v);
+    for _ = 1 to List.length r.rdom do
+      pop ctx;
+      line ctx "}"
+    done
+
+(* ---------- tiled groups ---------- *)
+
+let emit_tiled ctx (plan : C.Plan.t) gi (g : C.Plan.tiled) =
+  let sched = g.sched in
+  let ncd = sched.n_cdims in
+  let naive = plan.opts.naive_overlap in
+  let tau = Poly.Tiling.scaled_tile sched ~tile:g.tile in
+  let gtag = spf "g%d" gi in
+  line ctx "/* ---- overlapped-tile group %d: %s ---- */" gi
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun (m : C.Plan.member) -> m.ms.func.Ast.fname)
+             g.members)));
+  (* Full buffers. *)
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      if m.live_out || not plan.opts.scratchpads then
+        line ctx "%s = (double*)calloc(%s_total, sizeof(double));"
+          (bname m.ms.func) m.ms.func.Ast.fname)
+    g.members;
+  (* Tile space bounds (scaled). *)
+  for d = 0 to ncd - 1 do
+    line ctx "int %s_splo%d = INT_MAX, %s_sphi%d = INT_MIN;" gtag d gtag d
+  done;
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      let f = m.ms.func in
+      List.iteri
+        (fun j _ ->
+          let d = m.ms.align.(j) in
+          if d >= 0 then begin
+            let s = m.ms.scale.(j) in
+            line ctx "%s_splo%d = imin(%s_splo%d, %d * %s_lo%d);" gtag d gtag
+              d s f.Ast.fname j;
+            line ctx "%s_sphi%d = imax(%s_sphi%d, %d * %s_hi%d);" gtag d gtag
+              d s f.Ast.fname j
+          end)
+        f.Ast.fdom)
+    g.members;
+  for d = 0 to ncd - 1 do
+    line ctx "const int %s_nt%d = imax(1, ceild(%s_sphi%d - %s_splo%d + 1, %d));"
+      gtag d gtag d gtag d tau.(d)
+  done;
+  let widen (ms : Poly.Schedule.stage_sched) d =
+    if naive then (ms.widen_l_naive.(d), ms.widen_r_naive.(d))
+    else (ms.widen_l.(d), ms.widen_r.(d))
+  in
+  (* Scratch extents as C expressions (constant for aligned dims). *)
+  let scratch_ext (ms : Poly.Schedule.stage_sched) j =
+    let d = ms.align.(j) in
+    if d < 0 then spf "%s_ext%d" ms.func.Ast.fname j
+    else begin
+      let wl, wr = widen ms d in
+      let span = tau.(d) + wl + wr in
+      (* clamped to the domain extent, as in Storage.scratch_extents *)
+      spf "imin(%d, %s_ext%d)"
+        (((span - 1) / ms.scale.(j)) + 2)
+        ms.func.Ast.fname j
+    end
+  in
+  (* Per-thread scratchpads (paper §3.6): geometry is loop-invariant,
+     storage is allocated once per thread inside the parallel region
+     (stack arrays as in Fig. 7 would overflow for large tiles). *)
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      if m.used_in_group && plan.opts.scratchpads then begin
+        let ms = m.ms in
+        let f = ms.func in
+        let exts = List.mapi (fun j _ -> scratch_ext ms j) f.Ast.fdom in
+        line ctx "const long %s_sc_total = (long)%s;" f.Ast.fname
+          (String.concat " * " exts);
+        List.iteri
+          (fun j e -> line ctx "const int %s_sext%d = %s;" f.Ast.fname j e)
+          exts;
+        let n = Ast.func_arity f in
+        line ctx "const int %s_sstr%d = 1;" f.Ast.fname (n - 1);
+        for d = n - 2 downto 0 do
+          line ctx "const int %s_sstr%d = %s_sstr%d * %s_sext%d;" f.Ast.fname
+            d f.Ast.fname (d + 1) f.Ast.fname (d + 1)
+        done
+      end)
+    g.members;
+  line ctx "#pragma omp parallel";
+  line ctx "{";
+  push ctx;
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      if m.used_in_group && plan.opts.scratchpads then
+        line ctx "double* %s = (double*)malloc(sizeof(double) * %s_sc_total);"
+          (sname m.ms.func) m.ms.func.Ast.fname)
+    g.members;
+  line ctx "#pragma omp for";
+  line ctx "for (int T0 = 0; T0 < %s_nt0; T0++) {" gtag;
+  push ctx;
+  for d = 1 to ncd - 1 do
+    line ctx "for (int T%d = 0; T%d < %s_nt%d; T%d++) {" d d gtag d d;
+    push ctx
+  done;
+  for d = 0 to ncd - 1 do
+    line ctx "const int base%d = %s_splo%d + T%d * %d;" d gtag d d tau.(d)
+  done;
+  (* Member evaluation, in group topological order. *)
+  let in_scratch = Hashtbl.create 8 in
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      if m.used_in_group && plan.opts.scratchpads then
+        Hashtbl.replace in_scratch m.ms.func.Ast.fid m.ms)
+    g.members;
+  let scratch_read (f : Ast.func) args =
+    let n = Ast.func_arity f in
+    let parts =
+      List.mapi
+        (fun j a ->
+          if j = n - 1 then spf "(%s - st_%s_%d)" a f.fname j
+          else spf "(%s - st_%s_%d)*%s_sstr%d" a f.fname j f.fname j)
+        args
+    in
+    spf "%s[%s]" (sname f) (String.concat " + " parts)
+  in
+  let rd =
+    {
+      rf =
+        (fun f args ->
+          if Hashtbl.mem in_scratch f.Ast.fid then scratch_read f args
+          else buffer_read f args);
+      ri = image_read;
+    }
+  in
+  (* Widened ([st, en]) and owned ([ost, oen]) ranges per member and
+     dim, declared up front: consumers index producers' scratchpads
+     relative to the producers' [st_] origins. *)
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      let ms = m.ms in
+      let f = ms.func in
+      List.iteri
+        (fun j _ ->
+          let d = ms.align.(j) in
+          if d < 0 then begin
+            line ctx "const int st_%s_%d = %s_lo%d, en_%s_%d = %s_hi%d;"
+              f.Ast.fname j f.Ast.fname j f.Ast.fname j f.Ast.fname j;
+            line ctx
+              "const int ost_%s_%d = st_%s_%d, oen_%s_%d = en_%s_%d;"
+              f.Ast.fname j f.Ast.fname j f.Ast.fname j f.Ast.fname j
+          end
+          else begin
+            let s = ms.scale.(j) in
+            let wl, wr = widen ms d in
+            line ctx
+              "const int st_%s_%d = imax(%s_lo%d, ceild(base%d - %d, %d));"
+              f.Ast.fname j f.Ast.fname j d wl s;
+            line ctx
+              "const int en_%s_%d = imin(%s_hi%d, floord(base%d + %d, %d));"
+              f.Ast.fname j f.Ast.fname j d
+              (tau.(d) - 1 + wr)
+              s;
+            line ctx
+              "const int ost_%s_%d = imax(%s_lo%d, ceild(base%d, %d));"
+              f.Ast.fname j f.Ast.fname j d s;
+            line ctx
+              "const int oen_%s_%d = imin(%s_hi%d, floord(base%d + %d, %d));"
+              f.Ast.fname j f.Ast.fname j d
+              (tau.(d) - 1)
+              s
+          end)
+        f.Ast.fdom)
+    g.members;
+  Array.iteri
+    (fun k (m : C.Plan.member) ->
+      let ms = m.ms in
+      let f = ms.func in
+      let use_scratch = m.used_in_group && plan.opts.scratchpads in
+      line ctx "{ /* member %s */" f.Ast.fname;
+      push ctx;
+      let cases =
+        match f.Ast.fbody with Ast.Cases cs -> cs | _ -> assert false
+      in
+      let needs_zero =
+        not (List.exists (fun (c : Ast.case) -> c.ccond = None) cases)
+      in
+      if use_scratch && needs_zero then begin
+        (* Zero the tile window, but skip it when a single boxed piece
+           provably covers the whole window (the interior-tile common
+           case) — zeroing whole scratchpads per tile would dominate
+           on deeply fused groups. *)
+        let cover =
+          match cases with
+          | [ c ] -> (
+            match piece_bounds f c with
+            | Some bs ->
+              Some
+                (String.concat " && "
+                   (List.mapi
+                      (fun j (lo, hi) ->
+                        spf "(%s) <= st_%s_%d && (%s) >= en_%s_%d" lo
+                          f.Ast.fname j hi f.Ast.fname j)
+                      (Array.to_list bs)))
+            | None -> None)
+          | _ -> None
+        in
+        let emit_zero () =
+          let bs =
+            Array.of_list
+              (List.mapi
+                 (fun j _ ->
+                   (spf "st_%s_%d" f.Ast.fname j, spf "en_%s_%d" f.Ast.fname j))
+                 f.Ast.fdom)
+          in
+          emit_loops ctx (spf "z%d_%d" gi k) f bs (fun () ->
+              line ctx "%s = 0.0;"
+                (scratch_read f (List.map vname f.Ast.fvars)))
+        in
+        match cover with
+        | Some cexpr ->
+          line ctx "if (!(%s)) {" cexpr;
+          push ctx;
+          emit_zero ();
+          pop ctx;
+          line ctx "}"
+        | None -> emit_zero ()
+      end;
+      (* Which range this member computes: widened when it feeds the
+         group, owned otherwise. *)
+      let lo_var j =
+        if m.used_in_group then spf "st_%s_%d" f.Ast.fname j
+        else spf "ost_%s_%d" f.Ast.fname j
+      in
+      let hi_var j =
+        if m.used_in_group then spf "en_%s_%d" f.Ast.fname j
+        else spf "oen_%s_%d" f.Ast.fname j
+      in
+      let target args =
+        if use_scratch then scratch_read f args else buffer_read f args
+      in
+      List.iteri
+        (fun kc (case : Ast.case) ->
+          let bounds =
+            match
+              if plan.opts.split_cases then piece_bounds f case else None
+            with
+            | Some bs ->
+              Some
+                (Array.mapi
+                   (fun j (lo, hi) ->
+                     ( spf "imax(%s, %s)" (lo_var j) lo,
+                       spf "imin(%s, %s)" (hi_var j) hi ))
+                   bs)
+            | None -> None
+          in
+          match bounds with
+          | Some bs ->
+            emit_loops ctx (spf "m%d_%d_%d" gi k kc) f bs (fun () ->
+                emit_store ctx rd f
+                  (target (List.map vname f.Ast.fvars))
+                  case)
+          | None ->
+            let bs =
+              Array.of_list
+                (List.mapi (fun j _ -> (lo_var j, hi_var j)) f.Ast.fdom)
+            in
+            emit_loops ctx ~ivdep:false (spf "m%d_%d_%d" gi k kc) f bs
+              (fun () ->
+                match case.ccond with
+                | Some cond ->
+                  line ctx "if (%s) {" (cexp rd cond);
+                  push ctx;
+                  emit_store ctx rd f
+                    (target (List.map vname f.Ast.fvars))
+                    case;
+                  pop ctx;
+                  line ctx "}"
+                | None ->
+                  emit_store ctx rd f
+                    (target (List.map vname f.Ast.fvars))
+                    case))
+        cases;
+      (* Copy the owned region of live-outs out of the scratchpad. *)
+      if m.live_out && use_scratch then begin
+        let bs =
+          Array.of_list
+            (List.mapi
+               (fun j _ ->
+                 (spf "ost_%s_%d" f.Ast.fname j, spf "oen_%s_%d" f.Ast.fname j))
+               f.Ast.fdom)
+        in
+        emit_loops ctx (spf "cp%d_%d" gi k) f bs (fun () ->
+            let args = List.map vname f.Ast.fvars in
+            line ctx "%s = %s;" (buffer_read f args) (scratch_read f args))
+      end;
+      pop ctx;
+      line ctx "}")
+    g.members;
+  for _ = 1 to ncd - 1 do
+    pop ctx;
+    line ctx "}"
+  done;
+  pop ctx;
+  line ctx "}";
+  (* end of the omp-for tile loop; free the per-thread scratchpads *)
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      if m.used_in_group && plan.opts.scratchpads then
+        line ctx "free(%s);" (sname m.ms.func))
+    g.members;
+  pop ctx;
+  line ctx "}"
+
+(* ---------- whole translation unit ---------- *)
+
+let preamble =
+  {|#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+#include <limits.h>
+#include <stdio.h>
+
+static inline int floord(int a, int b) { return a >= 0 ? a / b : -((-a + b - 1) / b); }
+static inline int ceild(int a, int b) { return -floord(-a, b); }
+static inline int imod(int a, int b) { int r = a % b; return r < 0 ? r + b : r; }
+static inline int imax(int a, int b) { return a > b ? a : b; }
+static inline int imin(int a, int b) { return a < b ? a : b; }
+static inline double cs_uchar(double v) { double r = round(v); return r < 0 ? 0 : (r > 255 ? 255 : r); }
+static inline double cs_short(double v) { double r = round(v); return r < -32768 ? -32768 : (r > 32767 ? 32767 : r); }
+static inline double cs_int(double v) { return round(v); }
+static inline double cs_float(double v) { return (double)(float)v; }
+|}
+
+let func_name ?name (plan : C.Plan.t) =
+  match name with
+  | Some n -> n
+  | None -> (
+    match plan.pipe.outputs with
+    | f :: _ -> "pipeline_" ^ f.Ast.fname
+    | [] -> "pipeline")
+
+let signature ?name (plan : C.Plan.t) =
+  let pipe = plan.pipe in
+  let params =
+    List.map (fun p -> spf "int %s" (pname p)) pipe.params
+  in
+  let imgs =
+    List.map (fun im -> spf "const double* %s" (iname im)) pipe.images
+  in
+  let outs =
+    List.map
+      (fun (f : Ast.func) -> spf "double** out_%s" f.fname)
+      pipe.outputs
+  in
+  spf "void %s(%s)" (func_name ?name plan)
+    (String.concat ", " (params @ imgs @ outs))
+
+let emit ?name (plan : C.Plan.t) =
+  (match plan.opts.tiling with
+  | C.Options.Overlap -> ()
+  | C.Options.Parallelogram | C.Options.Split ->
+    invalid_arg
+      "Cgen.emit: the C back end implements overlapped tiling only \
+       (the other strategies are native-executor comparison modes)");
+  let ctx = { b = Buffer.create 4096; ind = 0 } in
+  Buffer.add_string ctx.b preamble;
+  blank ctx;
+  line ctx "%s" (signature ?name plan);
+  line ctx "{";
+  push ctx;
+  let pipe = plan.pipe in
+  emit_geometry ctx pipe;
+  Array.iter
+    (fun (f : Ast.func) -> line ctx "double* %s = NULL;" (bname f))
+    pipe.stages;
+  blank ctx;
+  Array.iteri
+    (fun k item ->
+      (match (item : C.Plan.item) with
+      | Straight i -> emit_straight ctx plan i
+      | Tiled g -> emit_tiled ctx plan k g);
+      blank ctx)
+    plan.items;
+  (* Hand outputs to the caller, free the rest. *)
+  List.iter
+    (fun (f : Ast.func) -> line ctx "*out_%s = %s;" f.fname (bname f))
+    pipe.outputs;
+  Array.iteri
+    (fun i (f : Ast.func) ->
+      if not (Pipeline.is_output pipe i) then
+        line ctx "if (%s) free(%s);" (bname f) (bname f))
+    pipe.stages;
+  pop ctx;
+  line ctx "}";
+  Buffer.contents ctx.b
+
+let emit_with_main ?name ?(time_runs = 0) (plan : C.Plan.t) ~fill ~env =
+  let pipe = plan.pipe in
+  let base = emit ?name plan in
+  let ctx = { b = Buffer.create 1024; ind = 0 } in
+  if time_runs > 0 then begin
+    line ctx "#include <time.h>";
+    line ctx "static double now_ms(void) {";
+    line ctx "  struct timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);";
+    line ctx "  return ts.tv_sec * 1e3 + ts.tv_nsec * 1e-6;";
+    line ctx "}";
+    blank ctx
+  end;
+  line ctx "int main(void)";
+  line ctx "{";
+  push ctx;
+  List.iter
+    (fun (p : Types.param) ->
+      line ctx "const int %s = %d;" (pname p) (Types.bind_exn env p))
+    pipe.params;
+  (* Fill input images. *)
+  List.iter
+    (fun (im : Ast.image) ->
+      let n = List.length im.iextents in
+      List.iteri
+        (fun d e -> line ctx "const int %s_ext%d = %s;" im.iname d (cbound e))
+        im.iextents;
+      let total =
+        String.concat " * "
+          (List.mapi (fun d _ -> spf "%s_ext%d" im.iname d) im.iextents)
+      in
+      line ctx "double* %s = (double*)malloc(sizeof(double) * %s);" (iname im)
+        total;
+      let rec loops d =
+        if d = n then begin
+          (* row-major flattened index: ((c0*e1 + c1)*e2 + c2)... *)
+          let pos =
+            let rec go d acc =
+              if d = n then acc
+              else go (d + 1) (spf "(%s * %s_ext%d + c%d)" acc im.iname d d)
+            in
+            go 1 "c0"
+          in
+          line ctx "%s[%s] = %s;" (iname im) pos (fill im)
+        end
+        else begin
+          line ctx "for (int c%d = 0; c%d < %s_ext%d; c%d++) {" d d im.iname d
+            d;
+          push ctx;
+          loops (d + 1);
+          pop ctx;
+          line ctx "}"
+        end
+      in
+      loops 0)
+    pipe.images;
+  (* Outputs, call, checksum. *)
+  List.iter
+    (fun (f : Ast.func) -> line ctx "double* res_%s = NULL;" f.fname)
+    pipe.outputs;
+  let args =
+    List.map pname pipe.params
+    @ List.map iname pipe.images
+    @ List.map (fun (f : Ast.func) -> spf "&res_%s" f.fname) pipe.outputs
+  in
+  line ctx "%s(%s);" (func_name ?name plan) (String.concat ", " args);
+  if time_runs > 0 then begin
+    (* timed repetitions: free the outputs of the warm-up/previous run *)
+    line ctx "double t_best = 1e30;";
+    line ctx "for (int rep = 0; rep < %d; rep++) {" time_runs;
+    push ctx;
+    List.iter
+      (fun (f : Ast.func) -> line ctx "free(res_%s);" f.fname)
+      pipe.outputs;
+    line ctx "double t0 = now_ms();";
+    line ctx "%s(%s);" (func_name ?name plan) (String.concat ", " args);
+    line ctx "double t1 = now_ms();";
+    line ctx "if (t1 - t0 < t_best) t_best = t1 - t0;";
+    pop ctx;
+    line ctx "}";
+    line ctx "printf(\"TIME_MS %%.3f\\n\", t_best);"
+  end;
+  List.iter
+    (fun (f : Ast.func) ->
+      let exts =
+        List.map
+          (fun (iv : Interval.t) ->
+            spf "imax(0, (%s) - (%s) + 1)" (cbound iv.hi) (cbound iv.lo))
+          f.fdom
+      in
+      let total = String.concat " * " (List.map (fun e -> spf "(long)%s" e) exts) in
+      line ctx "{ double s = 0; long n = %s;" total;
+      push ctx;
+      line ctx "for (long z = 0; z < n; z++) s += res_%s[z];" f.fname;
+      line ctx "printf(\"%s %%ld %%.17g\\n\", n, s);" f.fname;
+      pop ctx;
+      line ctx "}")
+    pipe.outputs;
+  line ctx "return 0;";
+  pop ctx;
+  line ctx "}";
+  base ^ "\n" ^ Buffer.contents ctx.b

@@ -1,0 +1,38 @@
+(** C back end: emit a complete, compilable C translation unit for an
+    execution plan, mirroring the paper's generated code (Fig. 7):
+    one function per pipeline with OpenMP-parallel overlapped-tile
+    loops, per-tile stack scratchpads with relative indexing, loop
+    nests split per case, and [ivdep]-annotated unit-stride inner
+    loops.
+
+    All values are computed in [double] (matching the native
+    executor), with element-type rounding/saturation applied on store,
+    so a compiled run is numerically comparable to the OCaml executor
+    — the round-trip test in the suite checks exactly that. *)
+
+open Polymage_ir
+module C := Polymage_compiler
+
+val emit : ?name:string -> C.Plan.t -> string
+(** The pipeline function alone:
+    [void pipeline_<name>(int <param>.., const double* <image>..,
+    double** out_<stage>..)].  Output buffers are allocated inside
+    (caller frees). *)
+
+val emit_with_main :
+  ?name:string ->
+  ?time_runs:int ->
+  C.Plan.t ->
+  fill:(Ast.image -> string) ->
+  env:Types.bindings ->
+  string
+(** The pipeline function plus a [main] that binds the given parameter
+    values, fills every input image with the C expression returned by
+    [fill] (over coordinates [c0], [c1], ...), runs the pipeline, and
+    prints one checksum line per output:
+    ["<name> <count> <sum>"].  Used by the differential test against
+    the native executor.  With [time_runs > 0] the main additionally
+    times that many repetitions of the pipeline call (after one
+    warm-up) and prints ["TIME_MS <best>"] — this is how the benchmark
+    harness measures the generated code, mirroring the paper's
+    methodology of timing compiled output. *)

@@ -1,0 +1,1 @@
+lib/compiler/bounds_check.ml: Abound Array Ast Expr Format Interval List Option Pipeline Polymage_ir Polymage_poly Polymage_util Types

@@ -1,0 +1,1 @@
+lib/compiler/bounds_check.mli: Format Pipeline Polymage_ir

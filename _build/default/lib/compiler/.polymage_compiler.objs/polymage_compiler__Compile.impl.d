@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Bounds_check Format List Pipeline Plan Polymage_ir Storage

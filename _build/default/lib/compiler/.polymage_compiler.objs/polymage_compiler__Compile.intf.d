@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Ast Bounds_check Format Options Plan Polymage_ir

@@ -1,0 +1,1 @@
+lib/compiler/grouping.ml: Array Ast Format Hashtbl Interval List Pipeline Polymage_ir Polymage_poly Polymage_util String Types

@@ -1,0 +1,1 @@
+lib/compiler/grouping.mli: Format Pipeline Polymage_ir Types

@@ -1,0 +1,1 @@
+lib/compiler/inline.ml: Array Ast Expr Hashtbl List Option Pipeline Polymage_ir Polymage_poly

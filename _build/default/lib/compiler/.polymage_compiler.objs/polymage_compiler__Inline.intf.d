@@ -1,0 +1,1 @@
+lib/compiler/inline.mli: Ast Pipeline Polymage_ir

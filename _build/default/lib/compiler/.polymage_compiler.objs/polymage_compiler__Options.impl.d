@@ -1,0 +1,1 @@
+lib/compiler/options.ml: Array Format Polymage_ir String Types

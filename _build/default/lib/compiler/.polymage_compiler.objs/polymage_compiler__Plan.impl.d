@@ -1,0 +1,1 @@
+lib/compiler/plan.ml: Array Ast Format Grouping Inline List Options Pipeline Polymage_ir Polymage_poly String

@@ -1,0 +1,1 @@
+lib/compiler/plan.mli: Ast Format Grouping Options Pipeline Polymage_ir Polymage_poly

@@ -1,0 +1,1 @@
+lib/compiler/storage.ml: Array Ast Format Interval List Plan Polymage_ir Polymage_poly

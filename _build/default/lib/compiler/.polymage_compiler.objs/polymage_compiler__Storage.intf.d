@@ -1,0 +1,1 @@
+lib/compiler/storage.mli: Format Plan Polymage_ir Polymage_poly Types

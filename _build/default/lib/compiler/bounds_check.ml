@@ -1,0 +1,187 @@
+open Polymage_ir
+module Poly = Polymage_poly
+module Q = Polymage_util.Rational
+
+type diag = { stage : string; target : string; dim : int; detail : string }
+
+let pp_diag ppf d =
+  Format.fprintf ppf "%s: access to %s, dim %d: %s" d.stage d.target d.dim
+    d.detail
+
+(* Bounds of one affine access over the consumer box [lo, hi] (per the
+   access's variable), as rational affine forms.  floor((n*x+o)/d) is
+   bounded below by (n*x+o-d+1)/d and above by (n*x+o)/d. *)
+let access_bounds (a : Poly.Access.dim) (lo : Abound.t) (hi : Abound.t) =
+  let n = a.num and d = a.den and o = a.off in
+  let at bound extra =
+    Abound.add
+      (Abound.scale (Q.make n d) bound)
+      (Abound.constq (Q.make extra d))
+  in
+  if n >= 0 then (at lo (o - d + 1), at hi o) else (at hi (o - d + 1), at lo o)
+
+let check (pipe : Pipeline.t) =
+  let diags = ref [] in
+  let report stage target dim detail = diags := { stage; target; dim; detail } :: !diags in
+  let check_refs f (vars : Types.var list) (bounds : (Abound.t * Abound.t) list)
+      (cond : Ast.cond option) (exprs : Ast.expr list) =
+    (* Effective per-variable bounds: the case condition's box sides
+       override the domain sides they constrain. *)
+    let eff = Array.of_list bounds in
+    (match cond with
+    | None -> ()
+    | Some c -> (
+      match Expr.box_of_cond vars c with
+      | None -> ()
+      | Some box ->
+        Array.iteri
+          (fun i (blo, bhi) ->
+            let lo, hi = eff.(i) in
+            eff.(i) <-
+              ( (match blo with Some b -> b | None -> lo),
+                match bhi with Some b -> b | None -> hi ))
+          box));
+    let var_bounds v =
+      let rec go i = function
+        | [] -> None
+        | w :: tl -> if Types.var_equal v w then Some eff.(i) else go (i + 1) tl
+      in
+      go 0 vars
+    in
+    let check_site (site : Poly.Access.ref_site) =
+      let target_name, prod_bounds, skip =
+        match site.target with
+        | `Func g ->
+          ( g.Ast.fname,
+            List.map (fun (iv : Interval.t) -> (iv.lo, iv.hi)) g.Ast.fdom,
+            Ast.func_equal g f (* self-reference: time-iterated *) )
+        | `Img im ->
+          ( im.Ast.iname,
+            List.map
+              (fun e -> (Abound.const 0, Abound.add_int e (-1)))
+              im.Ast.iextents,
+            false )
+      in
+      if not skip then
+        Array.iteri
+          (fun dim acc ->
+            match (acc : Poly.Access.t) with
+            | Dynamic -> ()
+            | Affine a -> (
+              let plo, phi = List.nth prod_bounds dim in
+              let arange =
+                match a.v with
+                | None ->
+                  let c = Abound.constq (Q.make a.off a.den) in
+                  Some (c, c)
+                | Some v -> (
+                  match var_bounds v with
+                  | None -> None (* foreign variable; not analyzable *)
+                  | Some (lo, hi) -> Some (access_bounds a lo hi))
+              in
+              match arange with
+              | None -> ()
+              | Some (amin, amax) ->
+                if not (Abound.nonneg_for_nonneg_params (Abound.sub amin plo))
+                then
+                  report f.Ast.fname target_name dim
+                    (Format.asprintf
+                       "lower bound not provable: min index %a < domain \
+                        lower %a"
+                       Abound.pp amin Abound.pp plo);
+                if not (Abound.nonneg_for_nonneg_params (Abound.sub phi amax))
+                then
+                  report f.Ast.fname target_name dim
+                    (Format.asprintf
+                       "upper bound not provable: max index %a > domain \
+                        upper %a"
+                       Abound.pp amax Abound.pp phi)))
+          site.dims
+    in
+    List.iter
+      (fun e ->
+        let sites = ref [] in
+        let on_call g args =
+          sites :=
+            { Poly.Access.target = `Func g; dims = Poly.Access.of_args args }
+            :: !sites
+        in
+        let on_img im args =
+          sites :=
+            { Poly.Access.target = `Img im; dims = Poly.Access.of_args args }
+            :: !sites
+        in
+        Expr.iter ~on_call ~on_img e;
+        List.iter check_site !sites)
+      exprs;
+    Option.iter
+      (fun c ->
+        let sites = ref [] in
+        let on_call g args =
+          sites :=
+            { Poly.Access.target = `Func g; dims = Poly.Access.of_args args }
+            :: !sites
+        in
+        Expr.iter_cond ~on_call c;
+        List.iter check_site !sites)
+      cond
+  in
+  Array.iter
+    (fun (f : Ast.func) ->
+      match f.fbody with
+      | Undefined -> ()
+      | Cases cases ->
+        let bounds =
+          List.map (fun (iv : Interval.t) -> (iv.lo, iv.hi)) f.fdom
+        in
+        List.iter
+          (fun { Ast.ccond; rhs } -> check_refs f f.fvars bounds ccond [ rhs ])
+          cases
+      | Reduce r ->
+        let bounds =
+          List.map (fun (iv : Interval.t) -> (iv.lo, iv.hi)) r.rdom
+        in
+        check_refs f r.rvars bounds None (r.rvalue :: r.rindex);
+        (* The accumulator's own cell index must land in its domain
+           when it is affine in the reduction variables. *)
+        List.iteri
+          (fun dim e ->
+            match Poly.Access.of_expr e with
+            | Poly.Access.Dynamic -> ()
+            | Poly.Access.Affine a -> (
+              let iv = List.nth f.fdom dim in
+              let arange =
+                match a.v with
+                | None ->
+                  let c = Abound.constq (Q.make a.off a.den) in
+                  Some (c, c)
+                | Some rv ->
+                  List.combine r.rvars bounds
+                  |> List.find_opt (fun (w, _) -> Types.var_equal rv w)
+                  |> Option.map (fun (_, (lo, hi)) -> access_bounds a lo hi)
+              in
+              match arange with
+              | None -> ()
+              | Some (amin, amax) ->
+                if
+                  not
+                    (Abound.nonneg_for_nonneg_params (Abound.sub amin iv.lo))
+                  || not
+                       (Abound.nonneg_for_nonneg_params
+                          (Abound.sub iv.hi amax))
+                then
+                  report f.fname (f.fname ^ " (accumulator domain)") dim
+                    (Format.asprintf "index range [%a, %a] not within %a"
+                       Abound.pp amin Abound.pp amax Interval.pp iv)))
+          r.rindex)
+    pipe.stages;
+  List.rev !diags
+
+let check_exn pipe =
+  match check pipe with
+  | [] -> ()
+  | ds ->
+    invalid_arg
+      (Format.asprintf "@[<v>bounds check failed:@,%a@]"
+         (Format.pp_print_list pp_diag)
+         ds)

@@ -1,0 +1,30 @@
+(** Static bounds checking (paper §3): every analyzable (affine)
+    reference to a stage or image must stay inside the producer's
+    domain, for all nonnegative parameter values.
+
+    The check is symbolic and conservative: for a consumer case whose
+    condition restricts variables to a parametric box, each affine
+    access is bounded over that box with exact rational affine
+    arithmetic; an access is accepted when
+    [access_min - producer_lo >= 0] and [producer_hi - access_max >= 0]
+    hold coefficient-wise.  Non-affine (data-dependent) accesses are
+    not analyzed, exactly as in the paper. *)
+
+open Polymage_ir
+
+type diag = {
+  stage : string;  (** consuming stage *)
+  target : string;  (** producer stage or image *)
+  dim : int;
+  detail : string;
+}
+
+val check : Pipeline.t -> diag list
+(** All potential out-of-domain accesses.  An empty list means every
+    analyzable access is provably within bounds. *)
+
+val check_exn : Pipeline.t -> unit
+(** @raise Invalid_argument with a readable report if {!check} finds
+    any violation. *)
+
+val pp_diag : Format.formatter -> diag -> unit

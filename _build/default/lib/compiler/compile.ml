@@ -1,0 +1,29 @@
+open Polymage_ir
+
+exception Bounds_error of Bounds_check.diag list
+
+let run ?(check_bounds = true) opts ~outputs =
+  let pipe = Pipeline.build ~outputs in
+  if check_bounds then begin
+    match Bounds_check.check pipe with
+    | [] -> ()
+    | ds -> raise (Bounds_error ds)
+  end;
+  Plan.build pipe opts
+
+let phases ppf opts ~outputs =
+  Format.fprintf ppf "== build stage graph ==@.";
+  let pipe = Pipeline.build ~outputs in
+  Pipeline.pp_summary ppf pipe;
+  Format.fprintf ppf "== static bounds check ==@.";
+  (match Bounds_check.check pipe with
+  | [] -> Format.fprintf ppf "all analyzable accesses in bounds@."
+  | ds ->
+    List.iter (fun d -> Format.fprintf ppf "%a@." Bounds_check.pp_diag d) ds;
+    raise (Bounds_error ds));
+  Format.fprintf ppf "== inlining, grouping, scheduling ==@.";
+  let plan = Plan.build pipe opts in
+  Plan.pp ppf plan;
+  Format.fprintf ppf "== storage ==@.";
+  Format.fprintf ppf "%a@." Storage.pp_stats (Storage.stats plan opts.estimates);
+  plan

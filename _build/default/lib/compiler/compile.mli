@@ -1,0 +1,18 @@
+(** Compiler driver (paper Fig. 4): build the stage graph, check
+    bounds statically, inline point-wise stages, group, schedule and
+    produce an execution {!Plan.t}. *)
+
+open Polymage_ir
+
+exception Bounds_error of Bounds_check.diag list
+
+val run :
+  ?check_bounds:bool -> Options.t -> outputs:Ast.func list -> Plan.t
+(** Compile a pipeline given its live-out stages.
+    @raise Bounds_error when [check_bounds] (default true) finds a
+    potential out-of-domain access.
+    @raise Pipeline.Invalid_pipeline on malformed specifications. *)
+
+val phases : Format.formatter -> Options.t -> outputs:Ast.func list -> Plan.t
+(** Like {!run} but narrates each compiler phase to the formatter
+    (the CLI's verbose mode). *)

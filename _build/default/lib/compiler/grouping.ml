@@ -1,0 +1,139 @@
+open Polymage_ir
+module Poly = Polymage_poly
+
+type t = { groups : int list array; of_stage : int array }
+
+type config = {
+  estimates : Types.bindings;
+  tile : int array;
+  threshold : float;
+  min_size : int;
+  naive_overlap : bool;
+}
+
+let default_config ~estimates =
+  {
+    estimates;
+    tile = [| 32; 256 |];
+    threshold = 0.4;
+    min_size = 0;
+    naive_overlap = false;
+  }
+
+let domain_points (f : Ast.func) env =
+  List.fold_left (fun acc iv -> acc * Interval.size iv env) 1 f.Ast.fdom
+
+(* Mutable grouping state: a union of stage index lists per live group. *)
+type state = { mutable members : int list; mutable alive : bool }
+
+let run (pipe : Pipeline.t) (cfg : config) =
+  let n = Pipeline.n_stages pipe in
+  let states = Array.init n (fun i -> { members = [ i ]; alive = true }) in
+  let of_stage = Array.init n (fun i -> i) in
+  let group_size g =
+    List.fold_left
+      (fun acc i -> acc + domain_points pipe.stages.(i) cfg.estimates)
+      0 states.(g).members
+  in
+  (* Distinct child groups of group [g] (consumer side). *)
+  let children g =
+    let cs = ref [] in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j ->
+            let gj = of_stage.(j) in
+            if gj <> g && not (List.mem gj !cs) then cs := gj :: !cs)
+          pipe.consumers.(i))
+      states.(g).members;
+    !cs
+  in
+  let try_merge g child =
+    let merged = states.(g).members @ states.(child).members in
+    match Poly.Schedule.solve pipe merged with
+    | Error _ -> None
+    | Ok sched ->
+      let overlap =
+        Poly.Tiling.relative_overlap ~naive:cfg.naive_overlap sched
+          ~tile:cfg.tile
+      in
+      if overlap < cfg.threshold then Some (List.sort compare merged)
+      else None
+  in
+  let converged = ref false in
+  while not !converged do
+    converged := true;
+    (* Candidate groups: alive, with exactly one child group, above the
+       size filter; sorted by decreasing size. *)
+    let cands =
+      Array.to_list (Array.init n (fun g -> g))
+      |> List.filter (fun g ->
+             states.(g).alive
+             && group_size g >= cfg.min_size
+             && match children g with [ _ ] -> true | _ -> false)
+      |> List.sort (fun a b -> compare (group_size b) (group_size a))
+    in
+    let rec attempt = function
+      | [] -> ()
+      | g :: rest -> (
+        match children g with
+        | [ child ] -> (
+          match try_merge g child with
+          | Some merged ->
+            states.(child).members <- merged;
+            states.(g).alive <- false;
+            List.iter (fun i -> of_stage.(i) <- child) merged;
+            converged := false
+          | None -> attempt rest)
+        | _ -> attempt rest)
+    in
+    attempt cands
+  done;
+  (* Compact group numbering. *)
+  let live =
+    Array.to_list (Array.init n (fun g -> g))
+    |> List.filter (fun g -> states.(g).alive)
+  in
+  let remap = Hashtbl.create 16 in
+  List.iteri (fun k g -> Hashtbl.replace remap g k) live;
+  let groups =
+    Array.of_list
+      (List.map (fun g -> List.sort compare states.(g).members) live)
+  in
+  let of_stage = Array.map (fun g -> Hashtbl.find remap g) of_stage in
+  { groups; of_stage }
+
+let quotient_succs (pipe : Pipeline.t) (t : t) g =
+  let cs = ref [] in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          let gj = t.of_stage.(j) in
+          if gj <> g && not (List.mem gj !cs) then cs := gj :: !cs)
+        pipe.consumers.(i))
+    t.groups.(g);
+  !cs
+
+let valid (pipe : Pipeline.t) (t : t) =
+  let n = Pipeline.n_stages pipe in
+  let covered = Array.make n 0 in
+  Array.iter (fun ms -> List.iter (fun i -> covered.(i) <- covered.(i) + 1) ms) t.groups;
+  Array.for_all (fun c -> c = 1) covered
+  && Array.for_all
+       (fun i -> List.mem i t.groups.(t.of_stage.(i)))
+       (Array.init n (fun i -> i))
+  && Polymage_util.Topo.is_acyclic ~n:(Array.length t.groups)
+       ~succs:(quotient_succs pipe t)
+
+let group_order (pipe : Pipeline.t) (t : t) =
+  Polymage_util.Topo.sort ~n:(Array.length t.groups)
+    ~succs:(quotient_succs pipe t)
+
+let pp (pipe : Pipeline.t) ppf (t : t) =
+  Array.iteri
+    (fun g ms ->
+      Format.fprintf ppf "group %d: {%s}@." g
+        (String.concat ", "
+           (List.map (fun i -> pipe.stages.(i).Ast.fname) ms)))
+    t.groups

@@ -1,0 +1,44 @@
+(** Iterative grouping of pipeline stages — Algorithm 1 of the paper.
+
+    Starting with one group per stage, repeatedly merge a group into
+    its unique child group when (a) the merged group's dependences can
+    be made constant by alignment and scaling, and (b) the redundant
+    computation introduced by overlapped tiling — the overlap as a
+    fraction of the tile — stays below the threshold.  Candidates are
+    visited largest-first (by domain size under the parameter
+    estimates).  Greedy, terminates in at most |S|-1 merges. *)
+
+open Polymage_ir
+
+type t = {
+  groups : int list array;
+      (** members (pipeline stage indices) per group, topologically
+          ordered within the group *)
+  of_stage : int array;  (** stage index -> group index *)
+}
+
+type config = {
+  estimates : Types.bindings;  (** approximate parameter values *)
+  tile : int array;  (** tile sizes per canonical dim, sink pixels *)
+  threshold : float;  (** overlap threshold, e.g. 0.2 / 0.4 / 0.5 *)
+  min_size : int;
+      (** groups whose estimated domain is smaller are left alone
+          (the paper's "very small functions" filter); 0 disables *)
+  naive_overlap : bool;
+      (** estimate overlap with the over-approximated tile shape *)
+}
+
+val default_config : estimates:Types.bindings -> config
+(** tile = [|32; 256|], threshold = 0.4, min_size = 0,
+    tight overlap. *)
+
+val run : Pipeline.t -> config -> t
+
+val valid : Pipeline.t -> t -> bool
+(** Groups partition the stages and the quotient graph is acyclic
+    (checked by tests). *)
+
+val group_order : Pipeline.t -> t -> int list
+(** Topological order of group indices (producers first). *)
+
+val pp : Pipeline.t -> Format.formatter -> t -> unit

@@ -1,0 +1,169 @@
+open Polymage_ir
+module Poly = Polymage_poly
+
+let is_pointwise (f : Ast.func) =
+  match f.fbody with
+  | Undefined | Reduce _ -> false
+  | Cases _ ->
+    let ok = ref true in
+    List.iter
+      (fun (site : Poly.Access.ref_site) ->
+        let identity_ok =
+          match site.target with
+          | `Func _ -> Array.for_all Poly.Access.is_identity site.dims
+          | `Img _ ->
+            Array.for_all
+              (fun a ->
+                Poly.Access.is_identity a
+                ||
+                match a with
+                | Poly.Access.Affine { v = None; _ } -> true
+                | _ -> false)
+              site.dims
+        in
+        if not identity_ok then ok := false)
+      (Poly.Access.refs_of_body f.fbody);
+    !ok
+
+let body_size (f : Ast.func) =
+  match f.fbody with
+  | Undefined -> 0
+  | Reduce r -> Expr.size r.rvalue
+  | Cases cs -> List.fold_left (fun acc c -> acc + Expr.size c.Ast.rhs) 0 cs
+
+(* The inlined form of a point-wise producer at index expressions
+   [args]: its cases folded into nested selects, variables substituted
+   by the arguments.  Out-of-case points read 0, matching the
+   zero-initialized buffer a materialized stage would have. *)
+let inlined_value (f : Ast.func) (args : Ast.expr list) =
+  let sub = List.combine f.fvars args in
+  match f.fbody with
+  | Cases cases ->
+    List.fold_right
+      (fun { Ast.ccond; rhs } acc ->
+        let rhs = Expr.subst sub rhs in
+        match ccond with
+        | None -> rhs
+        | Some c -> Ast.Select (Expr.subst_cond sub c, rhs, acc))
+      cases (Ast.Const 0.)
+  | Undefined | Reduce _ -> assert false
+
+let run ?(max_size = 256) ?(small_size = 16) (pipe : Pipeline.t) =
+  let inlined = ref [] in
+  let n = Pipeline.n_stages pipe in
+  (* Is every access to stage [i] (from any consumer) an identity
+     access?  Then inlining duplicates no computation at all. *)
+  let read_pointwise = Array.make n true in
+  Array.iter
+    (fun (c : Ast.func) ->
+      List.iter
+        (fun (site : Poly.Access.ref_site) ->
+          match site.target with
+          | `Img _ -> ()
+          | `Func p -> (
+            match Pipeline.stage_index pipe p with
+            | exception Not_found -> ()
+            | j ->
+              if not (Array.for_all Poly.Access.is_identity site.dims) then
+                read_pointwise.(j) <- false))
+        (Poly.Access.refs_of_body c.fbody))
+    pipe.stages;
+  (* Static part of the decision; the size/point-wise part is checked
+     on the rewritten body (chained inlining can grow it). *)
+  let static_ok = Array.make n false in
+  Array.iteri
+    (fun i _ ->
+      static_ok.(i) <-
+        (not (Pipeline.is_output pipe i)) && not pipe.self_recursive.(i))
+    pipe.stages;
+  let inlinable = Array.make n false in
+  (* Rewrite stages in topological order; [fresh] maps old stage ids to
+     their rewritten bodies' funcs (for surviving stages).  Inlinable
+     producers are substituted transitively: their rewritten bodies
+     (which already contain no inlinable calls) are what gets pasted. *)
+  let fresh : (int, Ast.func) Hashtbl.t = Hashtbl.create 16 in
+  let rewritten : (int, Ast.func) Hashtbl.t = Hashtbl.create 16 in
+  let rewrite_expr consumer e =
+    Expr.map_calls
+      (fun g args ->
+        match Pipeline.stage_index pipe g with
+        | exception Not_found -> None
+        | j ->
+          if Ast.func_equal g consumer then
+            (* self reference: keep pointing at the consumer's own
+               fresh version, patched afterwards *)
+            None
+          else if inlinable.(j) then begin
+            let g' = Hashtbl.find rewritten j in
+            inlined := (g.Ast.fname, consumer.Ast.fname) :: !inlined;
+            Some (inlined_value g' args)
+          end
+          else Some (Ast.Call (Hashtbl.find fresh j, args)))
+      e
+  in
+  let rewrite_cond consumer c =
+    let rec go c =
+      match (c : Ast.cond) with
+      | Cmp (op, a, b) -> Ast.Cmp (op, rewrite_expr consumer a, rewrite_expr consumer b)
+      | And (a, b) -> And (go a, go b)
+      | Or (a, b) -> Or (go a, go b)
+      | Not a -> Not (go a)
+    in
+    go c
+  in
+  Array.iteri
+    (fun i f ->
+      let body' =
+        match f.Ast.fbody with
+        | Ast.Undefined -> Ast.Undefined
+        | Cases cs ->
+          Ast.Cases
+            (List.map
+               (fun { Ast.ccond; rhs } ->
+                 {
+                   Ast.ccond = Option.map (rewrite_cond f) ccond;
+                   rhs = Expr.simplify (rewrite_expr f rhs);
+                 })
+               cs)
+        | Reduce r ->
+          Ast.Reduce
+            {
+              r with
+              rindex = List.map (rewrite_expr f) r.rindex;
+              rvalue = Expr.simplify (rewrite_expr f r.rvalue);
+            }
+      in
+      let f' =
+        Ast.func ~name:f.fname f.ftyp (List.combine f.fvars f.fdom)
+      in
+      f'.fbody <- body';
+      (* Patch self references to point at the fresh func. *)
+      let patch_self e =
+        Expr.map_calls
+          (fun g args ->
+            if Ast.func_equal g f then Some (Ast.Call (f', args)) else None)
+          e
+      in
+      (match f'.fbody with
+      | Cases cs ->
+        f'.fbody <-
+          Cases
+            (List.map
+               (fun ({ Ast.ccond = _; rhs } as c) ->
+                 { c with rhs = patch_self rhs })
+               cs)
+      | Reduce r -> f'.fbody <- Reduce { r with rvalue = patch_self r.rvalue }
+      | Undefined -> ());
+      Hashtbl.replace rewritten i f';
+      inlinable.(i) <-
+        static_ok.(i) && is_pointwise f'
+        && body_size f' <= max_size
+        && (read_pointwise.(i) || body_size f' <= small_size);
+      if not inlinable.(i) then Hashtbl.replace fresh i f')
+    pipe.stages;
+  let outputs =
+    List.map
+      (fun f -> Hashtbl.find fresh (Pipeline.stage_index pipe f))
+      pipe.outputs
+  in
+  (Pipeline.build ~outputs, List.rev !inlined)

@@ -1,0 +1,36 @@
+(** Inlining of point-wise producers (paper §3).
+
+    A stage is point-wise when every stage reference in its body is an
+    identity access ([f(x, y)]) and every image reference uses identity
+    or constant indices; substituting such a stage into its consumers
+    introduces (almost) no redundant computation, so it is always
+    profitable (the paper's Ixx/Ixy/det/trace example).  Stencil and
+    sampling producers are never inlined — the schedule transformations
+    handle their locality instead.
+
+    Inlining rewrites the pipeline into a fresh one: stage bodies are
+    immutable from the outside's perspective, so new [func] values are
+    created for all surviving stages.  Piecewise producers are inlined
+    as nested [Select]s with a default of 0 (matching the executor's
+    zero-initialized buffers). *)
+
+open Polymage_ir
+
+val is_pointwise : Ast.func -> bool
+
+val run :
+  ?max_size:int ->
+  ?small_size:int ->
+  Pipeline.t ->
+  Pipeline.t * (string * string) list
+(** [run pipe] returns the rewritten pipeline and the list of
+    (inlined stage, consumer) pairs.  A stage is inlined when it is
+    point-wise, not a pipeline output, not self-recursive, its body has
+    at most [max_size] nodes (default 256), and either (a) every
+    consumer reads it with identity accesses — substitution duplicates
+    nothing — or (b) its body is tiny (at most [small_size] nodes,
+    default 16), so duplicating it inside a stencil or sampling
+    consumer costs almost nothing (the paper's Ixx-into-Sxx case).
+    Stencil/sampling consumers of larger bodies keep the producer as a
+    stage — §3: "we restrict our inlining to cases where the consumer
+    functions are point-wise". *)

@@ -1,0 +1,54 @@
+open Polymage_ir
+
+type tiling_mode = Overlap | Parallelogram | Split
+
+type t = {
+  grouping_on : bool;
+  tiling : tiling_mode;
+  inline_on : bool;
+  vec : bool;
+  split_cases : bool;
+  workers : int;
+  tile : int array;
+  threshold : float;
+  min_size : int;
+  naive_overlap : bool;
+  scratchpads : bool;
+  estimates : Types.bindings;
+}
+
+let base ?(workers = 1) ~estimates () =
+  {
+    grouping_on = false;
+    tiling = Overlap;
+    inline_on = true;
+    vec = false;
+    split_cases = true;
+    workers;
+    tile = [| 32; 256 |];
+    threshold = 0.4;
+    min_size = 0;
+    naive_overlap = false;
+    scratchpads = true;
+    estimates;
+  }
+
+let base_vec ?workers ~estimates () =
+  { (base ?workers ~estimates ()) with vec = true }
+
+let opt ?workers ~estimates () =
+  { (base ?workers ~estimates ()) with grouping_on = true }
+
+let opt_vec ?workers ~estimates () =
+  { (opt ?workers ~estimates ()) with vec = true }
+
+let with_tile tile t = { t with tile }
+let with_threshold threshold t = { t with threshold }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{grouping=%b inline=%b vec=%b split=%b workers=%d tile=[%s] \
+     thresh=%.2f scratch=%b naive_overlap=%b}"
+    t.grouping_on t.inline_on t.vec t.split_cases t.workers
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.tile)))
+    t.threshold t.scratchpads t.naive_overlap

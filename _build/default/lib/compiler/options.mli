@@ -1,0 +1,57 @@
+(** Compilation options: the configurations of the paper's evaluation
+    (Fig. 10) plus the ablation knobs called out in DESIGN.md. *)
+
+open Polymage_ir
+
+(** Which tiling strategy the executor uses for fused groups (paper
+    §3.2 / Fig. 5).  [Overlap] is PolyMage's choice: tiles recompute
+    their halo and run concurrently with scratchpad storage.
+    [Parallelogram] skews each stage's window by its level and incurs
+    no redundant computation, but tiles are dependent — execution is
+    sequential — and every stage needs a full buffer (no storage
+    optimization).  [Split] evaluates upward-shrinking trapezoids in a
+    first parallel phase and the complementary downward trapezoids in
+    a second (2^d phases for d tiled dimensions): parallel and
+    redundancy-free, but boundary values must stay live across phases,
+    so again every stage is fully materialized — exactly the
+    trade-offs of the paper's Fig. 5 table. *)
+type tiling_mode = Overlap | Parallelogram | Split
+
+type t = {
+  grouping_on : bool;  (** fuse stages and tile with overlap (§3.4-3.5) *)
+  tiling : tiling_mode;
+  inline_on : bool;  (** inline point-wise producers (§3) *)
+  vec : bool;
+      (** "vectorized" inner loops: bounds-check-free accesses and
+          4x-unrolled innermost loops — the role icc auto-vectorization
+          plays in the paper *)
+  split_cases : bool;
+      (** split loop nests per case box instead of testing conditions
+          per point (§3.7: "avoids branching in the innermost loops by
+          splitting function domains") *)
+  workers : int;  (** parallel worker domains (OpenMP threads) *)
+  tile : int array;  (** tile sizes per canonical dim, sink pixels *)
+  threshold : float;  (** overlap threshold o_thresh (§3.5) *)
+  min_size : int;  (** grouping small-stage filter *)
+  naive_overlap : bool;  (** over-approximated tile shapes (ablation) *)
+  scratchpads : bool;
+      (** store intermediates in per-tile scratchpads (§3.6); when
+          false, grouped intermediates use full buffers (ablation) *)
+  estimates : Types.bindings;  (** parameter estimates for grouping *)
+}
+
+val base : ?workers:int -> estimates:Types.bindings -> unit -> t
+(** Paper's "PolyMage (base)": scalar optimizations including
+    inlining, but no grouping, tiling or storage optimization, and no
+    vectorization. *)
+
+val base_vec : ?workers:int -> estimates:Types.bindings -> unit -> t
+val opt : ?workers:int -> estimates:Types.bindings -> unit -> t
+(** All optimizations except vectorization. *)
+
+val opt_vec : ?workers:int -> estimates:Types.bindings -> unit -> t
+(** The full configuration, "PolyMage (opt+vec)". *)
+
+val with_tile : int array -> t -> t
+val with_threshold : float -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,131 @@
+open Polymage_ir
+module Poly = Polymage_poly
+
+type member = {
+  ms : Poly.Schedule.stage_sched;
+  live_out : bool;
+  used_in_group : bool;
+}
+
+type tiled = {
+  sched : Poly.Schedule.t;
+  members : member array;
+  tile : int array;
+}
+
+type item = Straight of int | Tiled of tiled
+
+type t = {
+  pipe : Pipeline.t;
+  source_outputs : Ast.func list;
+  items : item array;
+  opts : Options.t;
+  grouping : Grouping.t option;
+  inlined : (string * string) list;
+}
+
+let build (pipe : Pipeline.t) (opts : Options.t) =
+  let source_outputs = pipe.outputs in
+  let pipe, inlined =
+    if opts.inline_on then Inline.run pipe else (pipe, [])
+  in
+  if not opts.grouping_on then
+    {
+      pipe;
+      source_outputs;
+      items = Array.init (Pipeline.n_stages pipe) (fun i -> Straight i);
+      opts;
+      grouping = None;
+      inlined;
+    }
+  else begin
+    let gcfg =
+      {
+        Grouping.estimates = opts.estimates;
+        tile = opts.tile;
+        threshold = opts.threshold;
+        min_size = opts.min_size;
+        naive_overlap = opts.naive_overlap;
+      }
+    in
+    let grouping = Grouping.run pipe gcfg in
+    let order = Grouping.group_order pipe grouping in
+    let items =
+      List.map
+        (fun g ->
+          let members = grouping.groups.(g) in
+          match members with
+          | [ i ] -> Straight i
+          | _ -> (
+            match Poly.Schedule.solve pipe members with
+            | Error f ->
+              (* The grouping only ever merges solvable sets, so this
+                 is unreachable; fail loudly if the invariant breaks. *)
+              invalid_arg
+                (Format.asprintf "Plan.build: unschedulable group: %a"
+                   Poly.Schedule.pp_failure f)
+            | Ok sched ->
+              let in_group i = grouping.of_stage.(i) = g in
+              let members =
+                Array.map
+                  (fun (ms : Poly.Schedule.stage_sched) ->
+                    let i = ms.sidx in
+                    let live_out =
+                      Pipeline.is_output pipe i
+                      || List.exists
+                           (fun c -> not (in_group c))
+                           pipe.consumers.(i)
+                    in
+                    let used_in_group =
+                      List.exists in_group pipe.consumers.(i)
+                    in
+                    { ms; live_out; used_in_group })
+                  sched.members
+              in
+              Tiled { sched; members; tile = opts.tile }))
+        order
+    in
+    {
+      pipe;
+      source_outputs;
+      items = Array.of_list items;
+      opts;
+      grouping = Some grouping;
+      inlined;
+    }
+  end
+
+let n_tiled_groups t =
+  Array.fold_left
+    (fun acc -> function Tiled _ -> acc + 1 | Straight _ -> acc)
+    0 t.items
+
+let n_straight t = Array.length t.items - n_tiled_groups t
+
+let pp ppf t =
+  Format.fprintf ppf "plan: %d items (%d tiled groups, %d straight)@."
+    (Array.length t.items) (n_tiled_groups t) (n_straight t);
+  if t.inlined <> [] then
+    Format.fprintf ppf "inlined: %s@."
+      (String.concat ", "
+         (List.map (fun (p, c) -> p ^ " into " ^ c) t.inlined));
+  Array.iteri
+    (fun k item ->
+      match item with
+      | Straight i ->
+        let f = t.pipe.stages.(i) in
+        let kind =
+          match f.Ast.fbody with
+          | Ast.Reduce _ -> " (reduction)"
+          | _ -> if t.pipe.self_recursive.(i) then " (self-recursive)" else ""
+        in
+        Format.fprintf ppf "[%d] straight %s%s@." k f.Ast.fname kind
+      | Tiled g ->
+        Format.fprintf ppf "[%d] tiled group (tile=[%s], overlap=[%s]):@." k
+          (String.concat ";"
+             (Array.to_list (Array.map string_of_int g.tile)))
+          (String.concat ";"
+             (Array.to_list
+                (Array.map string_of_int (Poly.Tiling.overlap g.sched))));
+        Poly.Schedule.pp ppf g.sched)
+    t.items

@@ -1,0 +1,51 @@
+(** Execution plans: the output of the compiler, consumed by the
+    native executor and the C code generator.
+
+    A plan is a topologically ordered list of execution items.  A
+    [Straight] item evaluates one stage over its whole domain into a
+    full buffer (also used for reductions and time-iterated stages).
+    A [Tiled] item evaluates a fused group with overlapped tiles:
+    intermediates live in per-tile scratchpads, live-outs are written
+    to full buffers (§3.4–3.7). *)
+
+open Polymage_ir
+module Poly = Polymage_poly
+
+type member = {
+  ms : Poly.Schedule.stage_sched;
+  live_out : bool;
+      (** consumed outside the group, or a pipeline output: gets a
+          full buffer *)
+  used_in_group : bool;  (** read by another member: gets a scratchpad *)
+}
+
+type tiled = {
+  sched : Poly.Schedule.t;
+  members : member array;  (** same order as [sched.members] *)
+  tile : int array;  (** tile sizes per canonical dim, sink pixels *)
+}
+
+type item = Straight of int | Tiled of tiled
+
+type t = {
+  pipe : Pipeline.t;  (** the (possibly inlined) pipeline *)
+  source_outputs : Ast.func list;
+      (** the user's output stages, in the same order as
+          [pipe.outputs]; inlining rewrites stages into fresh values,
+          so results are keyed by these originals *)
+  items : item array;  (** topological execution order *)
+  opts : Options.t;
+  grouping : Grouping.t option;
+  inlined : (string * string) list;  (** (producer, consumer) pairs *)
+}
+
+val build : Pipeline.t -> Options.t -> t
+(** Group (when enabled), schedule each multi-stage group, and order
+    the items.  Single-member groups, reductions and time-iterated
+    stages become [Straight] items. *)
+
+val n_tiled_groups : t -> int
+val n_straight : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable plan summary: groups, schedules, overlaps. *)

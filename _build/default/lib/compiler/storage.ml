@@ -1,0 +1,60 @@
+open Polymage_ir
+module Poly = Polymage_poly
+
+let scratch_extents ~naive (g : Plan.tiled) env
+    (ms : Poly.Schedule.stage_sched) =
+  let tau = Poly.Tiling.scaled_tile g.sched ~tile:g.tile in
+  let doms = Array.of_list ms.func.Ast.fdom in
+  Array.of_list
+    (List.mapi
+       (fun j _ ->
+         let d = ms.align.(j) in
+         if d < 0 then Interval.size doms.(j) env
+         else begin
+           let wl = if naive then ms.widen_l_naive.(d) else ms.widen_l.(d) in
+           let wr = if naive then ms.widen_r_naive.(d) else ms.widen_r.(d) in
+           let span = tau.(d) + wl + wr in
+           let s = ms.scale.(j) in
+           (* a tile window never holds more points than the whole
+              domain extent (tiles larger than the image) *)
+           min (((span - 1) / s) + 2) (Interval.size doms.(j) env)
+         end)
+       ms.func.Ast.fdom)
+
+type stats = { full_cells : int; scratch_cells : int; unopt_cells : int }
+
+let domain_cells (f : Ast.func) env =
+  List.fold_left (fun acc iv -> acc * Interval.size iv env) 1 f.Ast.fdom
+
+let stats (plan : Plan.t) env =
+  let full = ref 0 and scratch = ref 0 and unopt = ref 0 in
+  Array.iter
+    (fun (f : Ast.func) -> unopt := !unopt + domain_cells f env)
+    plan.pipe.stages;
+  Array.iter
+    (fun item ->
+      match (item : Plan.item) with
+      | Straight i -> full := !full + domain_cells plan.pipe.stages.(i) env
+      | Tiled g ->
+        Array.iter
+          (fun (m : Plan.member) ->
+            if m.live_out then full := !full + domain_cells m.ms.func env;
+            if m.used_in_group then
+              if plan.opts.scratchpads then
+                scratch :=
+                  !scratch
+                  + Array.fold_left ( * ) 1
+                      (scratch_extents ~naive:plan.opts.naive_overlap g env
+                         m.ms)
+              else if not m.live_out then
+                (* ablation: grouped intermediates in full buffers *)
+                full := !full + domain_cells m.ms.func env)
+          g.members)
+    plan.items;
+  { full_cells = !full; scratch_cells = !scratch; unopt_cells = !unopt }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "full buffers: %d cells, scratchpads (per worker): %d cells, \
+     unoptimized: %d cells"
+    s.full_cells s.scratch_cells s.unopt_cells

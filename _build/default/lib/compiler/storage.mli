@@ -1,0 +1,31 @@
+(** Storage mapping (paper §3.6): scratchpad sizing for intermediates
+    of tiled groups, and storage statistics for the ablation study.
+
+    Intermediate values of a fused group are only consumed inside the
+    tile, so they live in small per-worker scratchpads indexed
+    relative to the tile origin; only live-outs get full buffers. *)
+
+open Polymage_ir
+
+val scratch_extents :
+  naive:bool ->
+  Plan.tiled ->
+  Types.bindings ->
+  Polymage_poly.Schedule.stage_sched ->
+  int array
+(** Allocation extent of a member's scratchpad, per stage dimension:
+    aligned dimensions cover one widened tile
+    ([ceil((tile_scaled + widen_l + widen_r) / scale)] points, plus
+    slack), residual dimensions cover the whole domain extent. *)
+
+type stats = {
+  full_cells : int;  (** cells in full buffers the plan allocates *)
+  scratch_cells : int;
+      (** cells in scratchpads, per worker (reused across tiles) *)
+  unopt_cells : int;
+      (** cells if every stage had a full buffer (the base config) *)
+}
+
+val stats : Plan.t -> Types.bindings -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

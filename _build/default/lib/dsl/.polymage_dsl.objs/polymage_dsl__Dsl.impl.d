@@ -1,0 +1,1 @@
+lib/dsl/dsl.ml: Abound Ast Expr Format Interval List Option Polymage_ir Polymage_util Types

@@ -1,0 +1,1 @@
+lib/dsl/dsl.mli: Abound Ast Interval Polymage_ir Types

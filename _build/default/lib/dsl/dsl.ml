@@ -1,0 +1,198 @@
+open Polymage_ir
+module Q = Polymage_util.Rational
+
+type expr = Ast.expr
+type cond = Ast.cond
+type scalar = Types.scalar = UChar | Short | Int | Float | Double
+
+let parameter = Types.param
+let variable = Types.var
+let image ~name ty extents = Ast.image ~name ty extents
+let interval lo hi = Interval.make lo hi
+let func ~name ty var_dom = Ast.func ~name ty var_dom
+let ib = Abound.const
+let param_b = Abound.of_param
+let ( +~ ) = Abound.add
+let ( -~ ) = Abound.sub
+let ( *~ ) k b = Abound.scale (Q.of_int k) b
+let ( /~ ) b k = Abound.scale (Q.make 1 k) b
+let i n = Ast.Const (float_of_int n)
+let fl x = Ast.Const x
+let v x = Ast.Var x
+let p x = Ast.Param x
+let app f args = Ast.Call (f, args)
+let img_at im args = Ast.Img (im, args)
+let ( +: ) a b = Ast.Binop (Add, a, b)
+let ( -: ) a b = Ast.Binop (Sub, a, b)
+let ( *: ) a b = Ast.Binop (Mul, a, b)
+let ( /: ) a b = Ast.Binop (Div, a, b)
+let ( /^ ) a n = Ast.IDiv (a, n)
+let ( %^ ) a n = Ast.IMod (a, n)
+let neg a = Ast.Unop (Neg, a)
+let abs_ a = Ast.Unop (Abs, a)
+let sqrt_ a = Ast.Unop (Sqrt, a)
+let exp_ a = Ast.Unop (Exp, a)
+let log_ a = Ast.Unop (Log, a)
+let floor_ a = Ast.Unop (Floor, a)
+let pow_ a b = Ast.Binop (Pow, a, b)
+let min_ a b = Ast.Binop (Min, a, b)
+let max_ a b = Ast.Binop (Max, a, b)
+let clamp e lo hi = max_ lo (min_ e hi)
+let cast ty e = Ast.Cast (ty, e)
+let select c a b = Ast.Select (c, a, b)
+let ( <: ) a b = Ast.Cmp (Lt, a, b)
+let ( <=: ) a b = Ast.Cmp (Le, a, b)
+let ( >: ) a b = Ast.Cmp (Gt, a, b)
+let ( >=: ) a b = Ast.Cmp (Ge, a, b)
+let ( =: ) a b = Ast.Cmp (Eq, a, b)
+let ( <>: ) a b = Ast.Cmp (Ne, a, b)
+let ( &&: ) a b = Ast.And (a, b)
+let ( ||: ) a b = Ast.Or (a, b)
+let not_ a = Ast.Not a
+let between e lo hi = (e >=: lo) &&: (e <=: hi)
+
+let in_box = function
+  | [] -> invalid_arg "Dsl.in_box: empty box"
+  | (e, lo, hi) :: rest ->
+    List.fold_left
+      (fun acc (e, lo, hi) -> acc &&: between e lo hi)
+      (between e lo hi) rest
+
+exception Definition_error of string
+
+let def_error fmt = Format.kasprintf (fun s -> raise (Definition_error s)) fmt
+let case c rhs = { Ast.ccond = Some c; rhs }
+let always rhs = { Ast.ccond = None; rhs }
+
+let check_vars f allowed e =
+  List.iter
+    (fun var ->
+      if not (List.exists (Types.var_equal var) allowed) then
+        def_error "definition of %s uses foreign variable %a" f.Ast.fname
+          Types.pp_var var)
+    (Expr.free_vars e)
+
+let define f cases =
+  (match f.Ast.fbody with
+  | Undefined -> ()
+  | _ -> def_error "stage %s is already defined" f.fname);
+  if cases = [] then def_error "stage %s defined with no cases" f.fname;
+  List.iter
+    (fun { Ast.ccond; rhs } ->
+      check_vars f f.fvars rhs;
+      Option.iter
+        (fun c ->
+          let rec go = function
+            | Ast.Cmp (_, a, b) ->
+              check_vars f f.fvars a;
+              check_vars f f.fvars b
+            | Ast.And (a, b) | Ast.Or (a, b) ->
+              go a;
+              go b
+            | Ast.Not a -> go a
+          in
+          go c)
+        ccond)
+    cases;
+  f.fbody <- Cases cases
+
+let accumulate f ~over ?init ~index ~value op =
+  (match f.Ast.fbody with
+  | Undefined -> ()
+  | _ -> def_error "stage %s is already defined" f.fname);
+  if List.length index <> Ast.func_arity f then
+    def_error "accumulator %s indexed with %d expressions (arity %d)" f.fname
+      (List.length index) (Ast.func_arity f);
+  let rvars = List.map fst over in
+  List.iter (check_vars f rvars) index;
+  check_vars f rvars value;
+  let init = match init with Some x -> x | None -> Ast.redop_init op in
+  f.fbody <-
+    Reduce
+      {
+        rvars;
+        rdom = List.map snd over;
+        rinit = init;
+        rindex = index;
+        rvalue = value;
+        rop = op;
+      }
+
+(* Kernel centre: middle row/column (for the usual odd-sized kernels). *)
+let centred_taps w =
+  let rows = List.length w in
+  let cols = match w with [] -> 0 | r :: _ -> List.length r in
+  let ci = rows / 2 and cj = cols / 2 in
+  List.concat
+    (List.mapi
+       (fun r row -> List.mapi (fun c wt -> (r - ci, c - cj, wt)) row)
+       w)
+
+let weighted_sum terms =
+  match terms with
+  | [] -> Ast.Const 0.
+  | (w0, e0) :: rest ->
+    let term w e = if w = 1.0 then e else fl w *: e in
+    List.fold_left (fun acc (w, e) -> acc +: term w e) (term w0 e0) rest
+
+let stencil sample ?(scale = 1.0) w x y =
+  let terms =
+    List.filter_map
+      (fun (dx, dy, wt) ->
+        if wt = 0.0 then None
+        else Some (wt, sample [ x +: i dx; y +: i dy ]))
+      (centred_taps w)
+  in
+  let s = weighted_sum terms in
+  if scale = 1.0 then s else fl scale *: s
+
+let stencil1d sample ?(scale = 1.0) w x =
+  let n = List.length w in
+  let c = n / 2 in
+  let terms =
+    List.mapi (fun k wt -> (k - c, wt)) w
+    |> List.filter_map (fun (d, wt) ->
+           if wt = 0.0 then None else Some (wt, sample (x +: i d)))
+  in
+  let s = weighted_sum terms in
+  if scale = 1.0 then s else fl scale *: s
+
+let downsample2 sample ?(scale = 1.0) w x y =
+  let terms =
+    List.filter_map
+      (fun (dx, dy, wt) ->
+        if wt = 0.0 then None
+        else Some (wt, sample [ (i 2 *: x) +: i dx; (i 2 *: y) +: i dy ]))
+      (centred_taps w)
+  in
+  let s = weighted_sum terms in
+  if scale = 1.0 then s else fl scale *: s
+
+let upsample2 sample x y =
+  (* Separable bilinear interpolation of the half-resolution grid:
+     even coordinates copy, odd coordinates average the two
+     neighbours.  All four index forms are affine ((x +- 1)/2), so the
+     scaling phase can fuse across the resolution change (paper
+     Fig. 6). *)
+  let along_y ix =
+    select
+      (y %^ 2 =: i 0)
+      (sample [ ix; y /^ 2 ])
+      (fl 0.5 *: (sample [ ix; (y -: i 1) /^ 2 ] +: sample [ ix; (y +: i 1) /^ 2 ]))
+  in
+  select
+    (x %^ 2 =: i 0)
+    (along_y (x /^ 2))
+    (fl 0.5
+    *: (select
+          (y %^ 2 =: i 0)
+          (sample [ (x -: i 1) /^ 2; y /^ 2 ])
+          (fl 0.5
+          *: (sample [ (x -: i 1) /^ 2; (y -: i 1) /^ 2 ]
+             +: sample [ (x -: i 1) /^ 2; (y +: i 1) /^ 2 ]))
+       +: select
+            (y %^ 2 =: i 0)
+            (sample [ (x +: i 1) /^ 2; y /^ 2 ])
+            (fl 0.5
+            *: (sample [ (x +: i 1) /^ 2; (y -: i 1) /^ 2 ]
+               +: sample [ (x +: i 1) /^ 2; (y +: i 1) /^ 2 ]))))

@@ -1,0 +1,177 @@
+(** The PolyMage surface language, embedded in OCaml (paper §2).
+
+    Mirrors the Python-embedded constructs of the paper —
+    [Parameter], [Image], [Variable], [Interval], [Function], [Case],
+    [Condition], [Stencil], [Accumulator]/[Accumulate] — with OCaml
+    operators for expressions and conditions.  OCaml plays the role of
+    the meta-language: pyramids and multi-stage pipelines are built
+    with ordinary loops and functions (cf. paper Fig. 1 lines 37–41).
+
+    {[
+      let r = parameter ~name:"R" () in
+      let img = image ~name:"I" Float [ param_b r + ib 2; ... ] in
+      let x = variable ~name:"x" () and y = variable ~name:"y" () in
+      let row = interval (ib 0) (param_b r + ib 1) in
+      let blur = func ~name:"blur" Float [ (x, row); (y, col) ] in
+      define blur
+        [ case
+            ((v x >=: i 1) &&: (v x <=: p r))
+            (stencil (img_at img) ~scale:(1. /. 9.)
+               [ [ 1.; 1.; 1. ]; [ 1.; 1.; 1. ]; [ 1.; 1.; 1. ] ]
+               (v x) (v y)) ]
+    ]} *)
+
+open Polymage_ir
+
+(** {1 Re-exported IR vocabulary} *)
+
+type expr = Ast.expr
+type cond = Ast.cond
+type scalar = Types.scalar = UChar | Short | Int | Float | Double
+
+(** {1 Declarations} *)
+
+val parameter : ?name:string -> unit -> Types.param
+val variable : ?name:string -> unit -> Types.var
+val image : name:string -> scalar -> Abound.t list -> Ast.image
+val interval : Abound.t -> Abound.t -> Interval.t
+
+(** Inclusive bounds, step 1 (as in the paper's [Interval(lo,hi,1)]). *)
+
+val func :
+  name:string -> scalar -> (Types.var * Interval.t) list -> Ast.func
+
+(** A [Function] with its variable domain; define it with {!define}. *)
+
+(** {1 Affine bounds for domains and extents} *)
+
+(** Constant bound. *)
+val ib : int -> Abound.t
+val param_b : Types.param -> Abound.t
+val ( +~ ) : Abound.t -> Abound.t -> Abound.t
+val ( -~ ) : Abound.t -> Abound.t -> Abound.t
+val ( *~ ) : int -> Abound.t -> Abound.t
+val ( /~ ) : Abound.t -> int -> Abound.t
+
+(** Rational division of a bound (pyramid extents such as [R/4]). *)
+
+(** {1 Expressions} *)
+
+(** Integer literal. *)
+val i : int -> expr
+
+(** Float literal. *)
+val fl : float -> expr
+val v : Types.var -> expr
+val p : Types.param -> expr
+
+(** Stage value reference. *)
+val app : Ast.func -> expr list -> expr
+
+(** Image pixel reference. *)
+val img_at : Ast.image -> expr list -> expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+
+(** Floor division by a constant. *)
+val ( /^ ) : expr -> int -> expr
+
+(** Remainder by a constant. *)
+val ( %^ ) : expr -> int -> expr
+val neg : expr -> expr
+val abs_ : expr -> expr
+val sqrt_ : expr -> expr
+val exp_ : expr -> expr
+val log_ : expr -> expr
+val floor_ : expr -> expr
+val pow_ : expr -> expr -> expr
+val min_ : expr -> expr -> expr
+val max_ : expr -> expr -> expr
+val clamp : expr -> expr -> expr -> expr
+
+(** [clamp e lo hi] *)
+
+val cast : scalar -> expr -> expr
+val select : cond -> expr -> expr -> expr
+
+(** {1 Conditions} *)
+
+val ( <: ) : expr -> expr -> cond
+val ( <=: ) : expr -> expr -> cond
+val ( >: ) : expr -> expr -> cond
+val ( >=: ) : expr -> expr -> cond
+val ( =: ) : expr -> expr -> cond
+val ( <>: ) : expr -> expr -> cond
+val ( &&: ) : cond -> cond -> cond
+val ( ||: ) : cond -> cond -> cond
+val not_ : cond -> cond
+
+val between : expr -> expr -> expr -> cond
+
+(** [between e lo hi] is [lo <= e && e <= hi]. *)
+
+val in_box : (expr * expr * expr) list -> cond
+
+(** Conjunction of [between] constraints; the common interior-domain
+    condition of stencil stages (paper Fig. 1 lines 7–11). *)
+
+(** {1 Definitions} *)
+
+exception Definition_error of string
+
+val case : cond -> expr -> Ast.case
+val always : expr -> Ast.case
+
+(** A case with no condition (whole domain). *)
+
+val define : Ast.func -> Ast.case list -> unit
+
+(** Set the function's body.  Checks that every variable used belongs
+    to the function's domain, and that the function was not already
+    defined. @raise Definition_error otherwise. *)
+
+val accumulate :
+  Ast.func ->
+  over:(Types.var * Interval.t) list ->
+  ?init:float ->
+  index:expr list ->
+  value:expr ->
+  Ast.redop ->
+  unit
+
+(** Define an [Accumulator] (paper Fig. 3): for every point of the
+    reduction domain [over], fold [value] into the cell addressed by
+    [index] with the given operator.  [index] expressions range over
+    the reduction variables. @raise Definition_error on misuse. *)
+
+(** {1 Common patterns (paper Table 1)} *)
+
+val stencil :
+  (expr list -> expr) ->
+  ?scale:float ->
+  float list list ->
+  expr ->
+  expr ->
+  expr
+
+(** [stencil sample ~scale w x y] builds
+    [scale * sum_ij w_ij * sample [x + i - ci; y + j - cj]] with the
+    kernel centred at [(ci, cj)]; zero-weight taps are skipped (the
+    paper's [Stencil] construct). *)
+
+val stencil1d :
+  (expr -> expr) -> ?scale:float -> float list -> expr -> expr
+
+val downsample2 :
+  (expr list -> expr) -> ?scale:float -> float list list -> expr -> expr -> expr
+
+(** 2x-decimating stencil: taps at [(2x + i - ci, 2y + j - cj)]. *)
+
+val upsample2 :
+  (expr list -> expr) -> expr -> expr -> expr
+
+(** Bilinear 2x upsampling of a half-resolution sampler (Table 1's
+    Upsample pattern, made well-defined with even/odd interpolation). *)

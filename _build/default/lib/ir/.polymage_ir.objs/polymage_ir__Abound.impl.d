@@ -1,0 +1,1 @@
+lib/ir/abound.ml: Format List Polymage_util Types

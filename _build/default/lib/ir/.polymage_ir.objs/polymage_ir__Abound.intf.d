@@ -1,0 +1,1 @@
+lib/ir/abound.mli: Format Polymage_util Types

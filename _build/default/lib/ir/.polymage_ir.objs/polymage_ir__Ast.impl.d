@@ -1,0 +1,1 @@
+lib/ir/ast.ml: Abound Float Interval List Types

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Abound Array Ast Float Format Hashtbl List Option Polymage_util Types

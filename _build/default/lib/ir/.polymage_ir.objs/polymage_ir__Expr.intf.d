@@ -1,0 +1,1 @@
+lib/ir/expr.mli: Abound Ast Format Types

@@ -1,0 +1,1 @@
+lib/ir/pipeline.ml: Abound Array Ast Buffer Expr Format Hashtbl Interval List Option Polymage_util Printf String Types

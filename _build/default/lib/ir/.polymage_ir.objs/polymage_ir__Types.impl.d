@@ -1,0 +1,1 @@
+lib/ir/types.ml: Float Format Int32 List Printf

@@ -1,0 +1,75 @@
+module Q = Polymage_util.Rational
+
+type t = { c : Q.t; terms : (Types.param * Q.t) list }
+(* [terms] is kept sorted by parameter id with nonzero coefficients. *)
+
+let const n = { c = Q.of_int n; terms = [] }
+let constq q = { c = q; terms = [] }
+let of_param p = { c = Q.zero; terms = [ (p, Q.one) ] }
+
+let norm terms =
+  terms
+  |> List.filter (fun (_, q) -> Q.sign q <> 0)
+  |> List.sort (fun ((a : Types.param), _) (b, _) ->
+         compare (a : Types.param).pid b.pid)
+
+let merge f a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], r -> List.map (fun (p, q) -> (p, f Q.zero q)) r
+    | l, [] -> List.map (fun (p, q) -> (p, f q Q.zero)) l
+    | ((px, qx) :: xt as l), ((py, qy) :: yt as r) ->
+      if (px : Types.param).pid = py.pid then (px, f qx qy) :: go xt yt
+      else if px.pid < py.pid then (px, f qx Q.zero) :: go xt r
+      else (py, f Q.zero qy) :: go l yt
+  in
+  norm (go a b)
+
+let add a b = { c = Q.add a.c b.c; terms = merge Q.add a.terms b.terms }
+let neg a = { c = Q.neg a.c; terms = List.map (fun (p, q) -> (p, Q.neg q)) a.terms }
+let sub a b = add a (neg b)
+let add_int a n = { a with c = Q.add a.c (Q.of_int n) }
+
+let scale s a =
+  {
+    c = Q.mul s a.c;
+    terms = norm (List.map (fun (p, q) -> (p, Q.mul s q)) a.terms);
+  }
+
+let evalq a env =
+  List.fold_left
+    (fun acc (p, q) -> Q.add acc (Q.mul q (Q.of_int (Types.bind_exn env p))))
+    a.c a.terms
+
+let eval a env = Q.floor (evalq a env)
+let params a = List.map fst a.terms
+let to_const a = if a.terms = [] && Q.is_int a.c then Some (Q.to_int_exn a.c) else None
+
+let equal a b =
+  Q.equal a.c b.c
+  && List.length a.terms = List.length b.terms
+  && List.for_all2
+       (fun ((p : Types.param), q) ((p' : Types.param), q') ->
+         p.pid = p'.pid && Q.equal q q')
+       a.terms b.terms
+
+let nonneg_for_nonneg_params a =
+  Q.sign a.c >= 0 && List.for_all (fun (_, q) -> Q.sign q >= 0) a.terms
+
+let to_linear a =
+  let den = Q.lcm_dens (a.c :: List.map snd a.terms) in
+  let scaleq q = Q.to_int_exn (Q.mul q (Q.of_int den)) in
+  (scaleq a.c, List.map (fun (p, q) -> (p, scaleq q)) a.terms, den)
+
+let pp ppf a =
+  let first = ref true in
+  let sep () = if !first then first := false else Format.fprintf ppf " + " in
+  if Q.sign a.c <> 0 || a.terms = [] then (
+    sep ();
+    Q.pp ppf a.c);
+  List.iter
+    (fun (p, q) ->
+      sep ();
+      if Q.equal q Q.one then Types.pp_param ppf p
+      else Format.fprintf ppf "%a*%a" Q.pp q Types.pp_param p)
+    a.terms

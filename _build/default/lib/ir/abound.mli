@@ -1,0 +1,46 @@
+(** Affine bounds: rational affine forms over pipeline parameters.
+
+    Interval bounds and image extents in the DSL are restricted to
+    affine expressions of parameters and constants (paper §2).  We
+    additionally allow rational coefficients so that pyramid levels can
+    be written as e.g. [R/2^k + 1]; a bound evaluates to
+    [floor(const + sum coef_i * param_i)] under concrete bindings. *)
+
+type t
+
+val const : int -> t
+val constq : Polymage_util.Rational.t -> t
+val of_param : Types.param -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val add_int : t -> int -> t
+val scale : Polymage_util.Rational.t -> t -> t
+val neg : t -> t
+
+val eval : t -> Types.bindings -> int
+(** Evaluate under bindings, flooring the exact rational result.
+    @raise Not_found if a parameter is unbound. *)
+
+val evalq : t -> Types.bindings -> Polymage_util.Rational.t
+(** Evaluate exactly, without flooring. *)
+
+val params : t -> Types.param list
+(** Parameters occurring with nonzero coefficient. *)
+
+val to_const : t -> int option
+(** [Some c] when the bound is the constant [c] (integral). *)
+
+val equal : t -> t -> bool
+
+val nonneg_for_nonneg_params : t -> bool
+(** Conservative test: true when the form is provably [>= 0] for every
+    assignment of nonnegative parameter values (all coefficients and
+    the constant are [>= 0]).  Used by the static bounds checker. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_linear : t -> int * (Types.param * int) list * int
+(** [(num_const, num_terms, den)] such that the bound evaluates to
+    [floor((num_const + sum coef_i * p_i) / den)] with all integers —
+    the common-denominator form used by the C code generator. *)

@@ -1,0 +1,88 @@
+type image = {
+  iid : int;
+  iname : string;
+  ityp : Types.scalar;
+  iextents : Abound.t list;
+}
+
+type binop = Add | Sub | Mul | Div | Min | Max | Pow
+type unop = Neg | Abs | Sqrt | Exp | Log | Floor
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Const of float
+  | Var of Types.var
+  | Param of Types.param
+  | Call of func * expr list
+  | Img of image * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | IDiv of expr * int
+  | IMod of expr * int
+  | Select of cond * expr * expr
+  | Cast of Types.scalar * expr
+
+and cond =
+  | Cmp of cmp * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+and case = { ccond : cond option; rhs : expr }
+and redop = Rsum | Rmul | Rmin | Rmax
+
+and reduction = {
+  rvars : Types.var list;
+  rdom : Interval.t list;
+  rinit : float;
+  rindex : expr list;
+  rvalue : expr;
+  rop : redop;
+}
+
+and body = Undefined | Cases of case list | Reduce of reduction
+
+and func = {
+  fid : int;
+  fname : string;
+  ftyp : Types.scalar;
+  fvars : Types.var list;
+  fdom : Interval.t list;
+  mutable fbody : body;
+}
+
+let image_counter = ref 0
+
+let image ~name ityp iextents =
+  incr image_counter;
+  { iid = !image_counter; iname = name; ityp; iextents }
+
+let func_counter = ref 0
+
+let func ~name ftyp var_dom =
+  incr func_counter;
+  {
+    fid = !func_counter;
+    fname = name;
+    ftyp;
+    fvars = List.map fst var_dom;
+    fdom = List.map snd var_dom;
+    fbody = Undefined;
+  }
+
+let func_equal a b = a.fid = b.fid
+let image_equal a b = a.iid = b.iid
+let func_arity f = List.length f.fvars
+
+let apply_redop op a b =
+  match op with
+  | Rsum -> a +. b
+  | Rmul -> a *. b
+  | Rmin -> Float.min a b
+  | Rmax -> Float.max a b
+
+let redop_init = function
+  | Rsum -> 0.
+  | Rmul -> 1.
+  | Rmin -> Float.infinity
+  | Rmax -> Float.neg_infinity

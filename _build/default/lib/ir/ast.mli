@@ -1,0 +1,100 @@
+(** Abstract syntax of PolyMage pipelines (paper §2).
+
+    A pipeline is a DAG of {!func} stages.  Each stage maps a
+    multi-dimensional integer domain to a scalar value, defined either
+    piecewise by {!case} expressions ([Function]) or by a reduction
+    ({!reduction}, the [Accumulator] construct).  Stage bodies refer to
+    other stages ([Call]) and to input images ([Img]); those references
+    induce the producer-consumer edges of the pipeline graph. *)
+
+(** An input image: element type plus per-dimension extents (sizes);
+    valid indices along dimension [i] are [0 .. extent_i - 1]. *)
+type image = {
+  iid : int;
+  iname : string;
+  ityp : Types.scalar;
+  iextents : Abound.t list;
+}
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** real division *)
+  | Min
+  | Max
+  | Pow
+
+type unop = Neg | Abs | Sqrt | Exp | Log | Floor
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Const of float
+  | Var of Types.var
+  | Param of Types.param
+  | Call of func * expr list  (** value of another (or the same) stage *)
+  | Img of image * expr list  (** input image pixel *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | IDiv of expr * int  (** floor division by a positive constant *)
+  | IMod of expr * int  (** nonnegative remainder by a positive constant *)
+  | Select of cond * expr * expr
+  | Cast of Types.scalar * expr
+      (** round/saturate to the given element type (paper's camera
+          pipeline works on 8/16-bit data) *)
+
+and cond =
+  | Cmp of cmp * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+(** One arm of a piecewise definition: [Case(cond, rhs)].  A missing
+    condition means "everywhere in the domain". *)
+and case = { ccond : cond option; rhs : expr }
+
+and redop = Rsum | Rmul | Rmin | Rmax
+
+(** An [Accumulator] body (paper Fig. 3): iterate [rvars] over [rdom];
+    for each point, combine [rvalue] into the accumulator cell at
+    index [rindex] (expressions over [rvars], possibly data-dependent
+    as in a histogram) with [rop].  Cells start at [rinit]. *)
+and reduction = {
+  rvars : Types.var list;
+  rdom : Interval.t list;
+  rinit : float;
+  rindex : expr list;
+  rvalue : expr;
+  rop : redop;
+}
+
+and body = Undefined | Cases of case list | Reduce of reduction
+
+and func = {
+  fid : int;
+  fname : string;
+  ftyp : Types.scalar;
+  fvars : Types.var list;
+  fdom : Interval.t list;
+  mutable fbody : body;
+}
+
+val image : name:string -> Types.scalar -> Abound.t list -> image
+
+val func :
+  name:string ->
+  Types.scalar ->
+  (Types.var * Interval.t) list ->
+  func
+(** Fresh stage with an [Undefined] body; define it by mutating
+    [fbody] (mirrors the paper's [f.defn = ...] style). *)
+
+val func_equal : func -> func -> bool
+val image_equal : image -> image -> bool
+val func_arity : func -> int
+
+val apply_redop : redop -> float -> float -> float
+val redop_init : redop -> float
+(** Neutral element of the reduction operator (used when [rinit] is
+    taken as default). *)

@@ -1,0 +1,435 @@
+open Ast
+module Q = Polymage_util.Rational
+
+let rec iter ?(on_call = fun _ _ -> ()) ?(on_img = fun _ _ -> ()) e =
+  let self e = iter ~on_call ~on_img e in
+  match e with
+  | Const _ | Var _ | Param _ -> ()
+  | Call (f, args) ->
+    on_call f args;
+    List.iter self args
+  | Img (im, args) ->
+    on_img im args;
+    List.iter self args
+  | Binop (_, a, b) ->
+    self a;
+    self b
+  | Unop (_, a) | IDiv (a, _) | IMod (a, _) | Cast (_, a) -> self a
+  | Select (c, a, b) ->
+    iter_cond ~on_call ~on_img c;
+    self a;
+    self b
+
+and iter_cond ?(on_call = fun _ _ -> ()) ?(on_img = fun _ _ -> ()) c =
+  match c with
+  | Cmp (_, a, b) ->
+    iter ~on_call ~on_img a;
+    iter ~on_call ~on_img b
+  | And (a, b) | Or (a, b) ->
+    iter_cond ~on_call ~on_img a;
+    iter_cond ~on_call ~on_img b
+  | Not a -> iter_cond ~on_call ~on_img a
+
+let iter_body ?(on_call = fun _ _ -> ()) ?(on_img = fun _ _ -> ()) b =
+  match b with
+  | Undefined -> ()
+  | Cases cs ->
+    List.iter
+      (fun { ccond; rhs } ->
+        Option.iter (iter_cond ~on_call ~on_img) ccond;
+        iter ~on_call ~on_img rhs)
+      cs
+  | Reduce r ->
+    List.iter (iter ~on_call ~on_img) r.rindex;
+    iter ~on_call ~on_img r.rvalue
+
+let called_funcs b =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let on_call f _ =
+    if not (Hashtbl.mem seen f.fid) then (
+      Hashtbl.add seen f.fid ();
+      acc := f :: !acc)
+  in
+  iter_body ~on_call b;
+  List.rev !acc
+
+let used_images b =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let on_img im _ =
+    if not (Hashtbl.mem seen im.iid) then (
+      Hashtbl.add seen im.iid ();
+      acc := im :: !acc)
+  in
+  iter_body ~on_img b;
+  List.rev !acc
+
+let rec subst sub e =
+  let self = subst sub in
+  match e with
+  | Const _ | Param _ -> e
+  | Var v -> (
+    match List.find_opt (fun (w, _) -> Types.var_equal v w) sub with
+    | Some (_, e') -> e'
+    | None -> e)
+  | Call (f, args) -> Call (f, List.map self args)
+  | Img (im, args) -> Img (im, List.map self args)
+  | Binop (op, a, b) -> Binop (op, self a, self b)
+  | Unop (op, a) -> Unop (op, self a)
+  | IDiv (a, n) -> IDiv (self a, n)
+  | IMod (a, n) -> IMod (self a, n)
+  | Select (c, a, b) -> Select (subst_cond sub c, self a, self b)
+  | Cast (ty, a) -> Cast (ty, self a)
+
+and subst_cond sub c =
+  match c with
+  | Cmp (op, a, b) -> Cmp (op, subst sub a, subst sub b)
+  | And (a, b) -> And (subst_cond sub a, subst_cond sub b)
+  | Or (a, b) -> Or (subst_cond sub a, subst_cond sub b)
+  | Not a -> Not (subst_cond sub a)
+
+let rec map_calls rw e =
+  let self = map_calls rw in
+  match e with
+  | Const _ | Var _ | Param _ -> e
+  | Call (f, args) -> (
+    let args = List.map self args in
+    match rw f args with Some e' -> e' | None -> Call (f, args))
+  | Img (im, args) -> Img (im, List.map self args)
+  | Binop (op, a, b) -> Binop (op, self a, self b)
+  | Unop (op, a) -> Unop (op, self a)
+  | IDiv (a, n) -> IDiv (self a, n)
+  | IMod (a, n) -> IMod (self a, n)
+  | Select (c, a, b) -> Select (map_calls_cond rw c, self a, self b)
+  | Cast (ty, a) -> Cast (ty, self a)
+
+and map_calls_cond rw c =
+  match c with
+  | Cmp (op, a, b) -> Cmp (op, map_calls rw a, map_calls rw b)
+  | And (a, b) -> And (map_calls_cond rw a, map_calls_cond rw b)
+  | Or (a, b) -> Or (map_calls_cond rw a, map_calls_cond rw b)
+  | Not a -> Not (map_calls_cond rw a)
+
+let rec size e =
+  match e with
+  | Const _ | Var _ | Param _ -> 1
+  | Call (_, args) | Img (_, args) ->
+    List.fold_left (fun acc a -> acc + size a) 1 args
+  | Binop (_, a, b) -> 1 + size a + size b
+  | Unop (_, a) | IDiv (a, _) | IMod (a, _) | Cast (_, a) -> 1 + size a
+  | Select (c, a, b) -> 1 + size_cond c + size a + size b
+
+and size_cond = function
+  | Cmp (_, a, b) -> 1 + size a + size b
+  | And (a, b) | Or (a, b) -> 1 + size_cond a + size_cond b
+  | Not a -> 1 + size_cond a
+
+let free_vars e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go e =
+    match e with
+    | Var v ->
+      if not (Hashtbl.mem seen v.vid) then (
+        Hashtbl.add seen v.vid ();
+        acc := v :: !acc)
+    | Const _ | Param _ -> ()
+    | Call (_, args) | Img (_, args) -> List.iter go args
+    | Binop (_, a, b) ->
+      go a;
+      go b
+    | Unop (_, a) | IDiv (a, _) | IMod (a, _) | Cast (_, a) -> go a
+    | Select (c, a, b) ->
+      go_cond c;
+      go a;
+      go b
+  and go_cond = function
+    | Cmp (_, a, b) ->
+      go a;
+      go b
+    | And (a, b) | Or (a, b) ->
+      go_cond a;
+      go_cond b
+    | Not a -> go_cond a
+  in
+  go e;
+  List.rev !acc
+
+let apply_binop op a b =
+  match op with
+  | Add -> a +. b
+  | Sub -> a -. b
+  | Mul -> a *. b
+  | Div -> a /. b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+  | Pow -> Float.pow a b
+
+let apply_unop op a =
+  match op with
+  | Neg -> -.a
+  | Abs -> Float.abs a
+  | Sqrt -> Float.sqrt a
+  | Exp -> Float.exp a
+  | Log -> Float.log a
+  | Floor -> Float.floor a
+
+let apply_cmp op a b =
+  match op with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+(* Floor division/modulo on float-encoded integers; exact as long as
+   the operand is integral (which loop coordinates always are). *)
+let fdiv a n = Float.floor (a /. float_of_int n)
+let fmod a n = a -. (float_of_int n *. fdiv a n)
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ | Param _ -> e
+  | Call (f, args) -> Call (f, List.map simplify args)
+  | Img (im, args) -> Img (im, List.map simplify args)
+  | Binop (op, a, b) -> (
+    let a = simplify a and b = simplify b in
+    match (op, a, b) with
+    | _, Const x, Const y -> Const (apply_binop op x y)
+    | Add, Const 0., e | Add, e, Const 0. -> e
+    | Sub, e, Const 0. -> e
+    | Mul, Const 1., e | Mul, e, Const 1. -> e
+    | Mul, Const 0., _ | Mul, _, Const 0. -> Const 0.
+    | Div, e, Const 1. -> e
+    | _ -> Binop (op, a, b))
+  | Unop (op, a) -> (
+    let a = simplify a in
+    match a with
+    | Const x -> Const (apply_unop op x)
+    | _ -> (
+      match (op, a) with Neg, Unop (Neg, e) -> e | _ -> Unop (op, a)))
+  | IDiv (a, n) -> (
+    let a = simplify a in
+    match a with
+    | Const x -> Const (fdiv x n)
+    | _ -> if n = 1 then a else IDiv (a, n))
+  | IMod (a, n) -> (
+    let a = simplify a in
+    match a with
+    | Const x -> Const (fmod x n)
+    | _ -> if n = 1 then Const 0. else IMod (a, n))
+  | Select (c, a, b) -> (
+    let c = simplify_cond c in
+    match c with
+    | `True -> simplify a
+    | `False -> simplify b
+    | `Cond c -> Select (c, simplify a, simplify b))
+  | Cast (ty, a) -> (
+    let a = simplify a in
+    match a with
+    | Const x -> Const (Types.clamp_store ty x)
+    | _ -> Cast (ty, a))
+
+and simplify_cond c =
+  match c with
+  | Cmp (op, a, b) -> (
+    match (simplify a, simplify b) with
+    | Const x, Const y -> if apply_cmp op x y then `True else `False
+    | a, b -> `Cond (Cmp (op, a, b)))
+  | And (a, b) -> (
+    match (simplify_cond a, simplify_cond b) with
+    | `False, _ | _, `False -> `False
+    | `True, x | x, `True -> x
+    | `Cond a, `Cond b -> `Cond (And (a, b)))
+  | Or (a, b) -> (
+    match (simplify_cond a, simplify_cond b) with
+    | `True, _ | _, `True -> `True
+    | `False, x | x, `False -> x
+    | `Cond a, `Cond b -> `Cond (Or (a, b)))
+  | Not a -> (
+    match simplify_cond a with
+    | `True -> `False
+    | `False -> `True
+    | `Cond a -> `Cond (Not a))
+
+let rec eval ~var ~param ~call ~img e =
+  let self e = eval ~var ~param ~call ~img e in
+  match e with
+  | Const x -> x
+  | Var v -> var v
+  | Param p -> param p
+  | Call (f, args) -> call f (Array.of_list (List.map self args))
+  | Img (im, args) -> img im (Array.of_list (List.map self args))
+  | Binop (op, a, b) -> apply_binop op (self a) (self b)
+  | Unop (op, a) -> apply_unop op (self a)
+  | IDiv (a, n) -> fdiv (self a) n
+  | IMod (a, n) -> fmod (self a) n
+  | Select (c, a, b) ->
+    if eval_cond ~var ~param ~call ~img c then self a else self b
+  | Cast (ty, a) -> Types.clamp_store ty (self a)
+
+and eval_cond ~var ~param ~call ~img c =
+  let goe e = eval ~var ~param ~call ~img e in
+  let go c = eval_cond ~var ~param ~call ~img c in
+  match c with
+  | Cmp (op, a, b) -> apply_cmp op (goe a) (goe b)
+  | And (a, b) -> go a && go b
+  | Or (a, b) -> go a || go b
+  | Not a -> not (go a)
+
+let rec to_abound e =
+  let ( let* ) = Option.bind in
+  match e with
+  | Const x ->
+    if Float.is_integer x then Some (Abound.const (int_of_float x))
+    else None
+  | Param p -> Some (Abound.of_param p)
+  | Binop (Add, a, b) ->
+    let* a = to_abound a in
+    let* b = to_abound b in
+    Some (Abound.add a b)
+  | Binop (Sub, a, b) ->
+    let* a = to_abound a in
+    let* b = to_abound b in
+    Some (Abound.sub a b)
+  | Binop (Mul, Const c, b) when Float.is_integer c ->
+    let* b = to_abound b in
+    Some (Abound.scale (Q.of_int (int_of_float c)) b)
+  | Binop (Mul, a, Const c) when Float.is_integer c ->
+    let* a = to_abound a in
+    Some (Abound.scale (Q.of_int (int_of_float c)) a)
+  | IDiv (a, n) ->
+    (* floor((affine)/n): exact as a rational form only when we keep
+       the floor; we return the rational scaling, which matches the
+       floored evaluation performed by {!Abound.eval}. *)
+    let* a = to_abound a in
+    Some (Abound.scale (Q.make 1 n) a)
+  | Unop (Neg, a) ->
+    let* a = to_abound a in
+    Some (Abound.neg a)
+  | _ -> None
+
+let box_of_cond vars c =
+  let n = List.length vars in
+  let box = Array.make n (None, None) in
+  let index_of v =
+    let rec go i = function
+      | [] -> None
+      | w :: tl -> if Types.var_equal v w then Some i else go (i + 1) tl
+    in
+    go 0 vars
+  in
+  let tighten_lo i b =
+    let lo, hi = box.(i) in
+    let lo =
+      match lo with None -> Some b | Some _ -> Some b
+      (* conjunction: keep the last; exact max would need parameter
+         knowledge, and the checker treats each constraint anyway *)
+    in
+    box.(i) <- (lo, hi)
+  in
+  let tighten_hi i b =
+    let lo, hi = box.(i) in
+    let hi = match hi with None -> Some b | Some _ -> Some b in
+    box.(i) <- (lo, hi)
+  in
+  let rec go c =
+    match c with
+    | And (a, b) -> go a && go b
+    | Cmp (op, Var v, e) -> (
+      match (index_of v, to_abound e) with
+      | Some i, Some b -> (
+        match op with
+        | Ge -> tighten_lo i b; true
+        | Gt -> tighten_lo i (Abound.add_int b 1); true
+        | Le -> tighten_hi i b; true
+        | Lt -> tighten_hi i (Abound.add_int b (-1)); true
+        | Eq ->
+          tighten_lo i b;
+          tighten_hi i b;
+          true
+        | Ne -> false)
+      | _ -> false)
+    | Cmp (op, e, Var v) ->
+      let flip =
+        match op with
+        | Lt -> Gt
+        | Le -> Ge
+        | Gt -> Lt
+        | Ge -> Le
+        | Eq -> Eq
+        | Ne -> Ne
+      in
+      go (Cmp (flip, Var v, e))
+    | Or _ | Not _ | Cmp _ -> false
+  in
+  if go c then Some box else None
+
+let rec pp ppf e =
+  match e with
+  | Const x ->
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Format.fprintf ppf "%d" (int_of_float x)
+    else Format.fprintf ppf "%g" x
+  | Var v -> Types.pp_var ppf v
+  | Param p -> Types.pp_param ppf p
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f.fname (pp_args ()) args
+  | Img (im, args) ->
+    Format.fprintf ppf "%s(%a)" im.iname (pp_args ()) args
+  | Binop (op, a, b) ->
+    let s =
+      match op with
+      | Add -> "+"
+      | Sub -> "-"
+      | Mul -> "*"
+      | Div -> "/"
+      | Min -> "min"
+      | Max -> "max"
+      | Pow -> "pow"
+    in
+    (match op with
+    | Min | Max | Pow -> Format.fprintf ppf "%s(%a, %a)" s pp a pp b
+    | _ -> Format.fprintf ppf "(%a %s %a)" pp a s pp b)
+  | Unop (op, a) ->
+    let s =
+      match op with
+      | Neg -> "-"
+      | Abs -> "abs"
+      | Sqrt -> "sqrt"
+      | Exp -> "exp"
+      | Log -> "log"
+      | Floor -> "floor"
+    in
+    Format.fprintf ppf "%s(%a)" s pp a
+  | IDiv (a, n) -> Format.fprintf ppf "(%a /# %d)" pp a n
+  | IMod (a, n) -> Format.fprintf ppf "(%a %%# %d)" pp a n
+  | Select (c, a, b) ->
+    Format.fprintf ppf "select(%a, %a, %a)" pp_cond c pp a pp b
+  | Cast (ty, a) -> Format.fprintf ppf "(%a)(%a)" Types.pp_scalar ty pp a
+
+and pp_args () ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    pp ppf args
+
+and pp_cond ppf c =
+  match c with
+  | Cmp (op, a, b) ->
+    let s =
+      match op with
+      | Lt -> "<"
+      | Le -> "<="
+      | Gt -> ">"
+      | Ge -> ">="
+      | Eq -> "=="
+      | Ne -> "!="
+    in
+    Format.fprintf ppf "%a %s %a" pp a s pp b
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp_cond a pp_cond b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_cond a pp_cond b
+  | Not a -> Format.fprintf ppf "!(%a)" pp_cond a
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,86 @@
+(** Operations over IR expressions, conditions and stage bodies:
+    traversal, substitution, constant folding, structural evaluation,
+    affine analysis of conditions, and pretty-printing. *)
+
+open Ast
+
+val iter :
+  ?on_call:(func -> expr list -> unit) ->
+  ?on_img:(image -> expr list -> unit) ->
+  expr ->
+  unit
+(** Depth-first traversal invoking the callbacks on every stage /
+    image reference (including references inside index expressions
+    and conditions). *)
+
+val iter_cond :
+  ?on_call:(func -> expr list -> unit) ->
+  ?on_img:(image -> expr list -> unit) ->
+  cond ->
+  unit
+
+val iter_body :
+  ?on_call:(func -> expr list -> unit) ->
+  ?on_img:(image -> expr list -> unit) ->
+  body ->
+  unit
+
+val called_funcs : body -> func list
+(** Distinct stages referenced by a body, in first-occurrence order. *)
+
+val used_images : body -> image list
+
+val subst : (Types.var * expr) list -> expr -> expr
+(** Simultaneous substitution of variables by expressions. *)
+
+val subst_cond : (Types.var * expr) list -> cond -> cond
+
+val map_calls : (func -> expr list -> expr option) -> expr -> expr
+(** Rewrite stage references bottom-up: where the callback returns
+    [Some e], the call is replaced by [e] (whose sub-calls are *not*
+    revisited); [None] keeps the call (with rewritten arguments). *)
+
+val size : expr -> int
+(** Node count, used as the inlining cost metric. *)
+
+val free_vars : expr -> Types.var list
+
+val simplify : expr -> expr
+(** Constant folding and algebraic identities ([x*1], [x+0], ...).
+    Semantics-preserving (verified by property tests). *)
+
+val eval :
+  var:(Types.var -> float) ->
+  param:(Types.param -> float) ->
+  call:(func -> float array -> float) ->
+  img:(image -> float array -> float) ->
+  expr ->
+  float
+(** Reference structural evaluator (slow; the runtime compiles
+    closures instead — property tests check they agree). *)
+
+val eval_cond :
+  var:(Types.var -> float) ->
+  param:(Types.param -> float) ->
+  call:(func -> float array -> float) ->
+  img:(image -> float array -> float) ->
+  cond ->
+  bool
+
+val to_abound : expr -> Abound.t option
+(** [Some b] when the expression is affine in parameters only
+    (no variables, no data references). *)
+
+val box_of_cond :
+  Types.var list -> cond -> (Abound.t option * Abound.t option) array option
+(** Interpret a condition as a rectangular restriction of the given
+    variables: a conjunction of comparisons between a variable and a
+    parameter-affine expression.  Returns per-variable optional
+    lower/upper tightenings, or [None] when the condition is not of
+    that shape (disjunctions, data-dependent tests, multi-variable
+    comparisons).  Used by the static bounds checker and by code
+    generation to split domains (paper §3.7). *)
+
+val pp : Format.formatter -> expr -> unit
+val pp_cond : Format.formatter -> cond -> unit
+val to_string : expr -> string

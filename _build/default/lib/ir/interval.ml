@@ -1,0 +1,16 @@
+type t = { lo : Abound.t; hi : Abound.t }
+
+let make lo hi = { lo; hi }
+let of_ints lo hi = { lo = Abound.const lo; hi = Abound.const hi }
+
+let extent_of p =
+  { lo = Abound.const 0; hi = Abound.add_int (Abound.of_param p) (-1) }
+
+let eval t env = (Abound.eval t.lo env, Abound.eval t.hi env)
+
+let size t env =
+  let lo, hi = eval t env in
+  max 0 (hi - lo + 1)
+
+let equal a b = Abound.equal a.lo b.lo && Abound.equal a.hi b.hi
+let pp ppf t = Format.fprintf ppf "[%a..%a]" Abound.pp t.lo Abound.pp t.hi

@@ -1,0 +1,24 @@
+(** Parametric intervals: the [Interval] construct of the DSL
+    (paper §2).  Bounds are inclusive affine forms over parameters;
+    the step is fixed to 1 (the paper's benchmarks never use another
+    step — interleaving is expressed with conditions instead). *)
+
+type t = { lo : Abound.t; hi : Abound.t }
+
+val make : Abound.t -> Abound.t -> t
+
+val of_ints : int -> int -> t
+(** [of_ints lo hi] is the constant interval [lo..hi]. *)
+
+val extent_of : Types.param -> t
+(** [0 .. p-1], the canonical interval for an image dimension of
+    extent [p]. *)
+
+val eval : t -> Types.bindings -> int * int
+(** Concrete inclusive bounds under parameter bindings. *)
+
+val size : t -> Types.bindings -> int
+(** Number of points, [max 0 (hi - lo + 1)]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

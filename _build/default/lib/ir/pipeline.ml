@@ -1,0 +1,239 @@
+open Ast
+
+exception Invalid_pipeline of string
+
+type t = {
+  outputs : func list;
+  stages : func array;
+  producers : int list array;
+  consumers : int list array;
+  level : int array;
+  self_recursive : bool array;
+  images : image list;
+  params : Types.param list;
+}
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_pipeline s)) fmt
+
+(* Depth-first collection of all stages reachable from the outputs.
+   Uses an explicit grey set to detect cycles early with a readable
+   message (Topo would catch them too, but without stage names). *)
+let collect outputs =
+  let acc = ref [] in
+  let state = Hashtbl.create 16 in
+  let rec visit path f =
+    match Hashtbl.find_opt state f.fid with
+    | Some `Done -> ()
+    | Some `Active ->
+      invalid "cycle through stage %s (path: %s)" f.fname
+        (String.concat " -> " (List.rev_map (fun g -> g.fname) path))
+    | None ->
+      Hashtbl.add state f.fid `Active;
+      (match f.fbody with
+      | Undefined -> invalid "stage %s has no definition" f.fname
+      | _ -> ());
+      let deps =
+        List.filter (fun g -> not (func_equal g f)) (Expr.called_funcs f.fbody)
+      in
+      List.iter (visit (f :: path)) deps;
+      Hashtbl.replace state f.fid `Done;
+      acc := f :: !acc
+  in
+  List.iter (visit []) outputs;
+  List.rev !acc
+
+let check_arities f =
+  let on_call g args =
+    if List.length args <> func_arity g then
+      invalid "stage %s references %s with %d indices (expected %d)" f.fname
+        g.fname (List.length args) (func_arity g)
+  in
+  let on_img (im : image) args =
+    if List.length args <> List.length im.iextents then
+      invalid "stage %s references image %s with %d indices (expected %d)"
+        f.fname im.iname (List.length args)
+        (List.length im.iextents)
+  in
+  Expr.iter_body ~on_call ~on_img f.fbody
+
+let build ~outputs =
+  if outputs = [] then invalid "pipeline has no outputs";
+  let order = collect outputs in
+  let stages = Array.of_list order in
+  let n = Array.length stages in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i f -> Hashtbl.replace index f.fid i) stages;
+  Array.iter check_arities stages;
+  let producers = Array.make n [] in
+  let consumers = Array.make n [] in
+  let self_recursive = Array.make n false in
+  Array.iteri
+    (fun i f ->
+      let deps = Expr.called_funcs f.fbody in
+      List.iter
+        (fun g ->
+          if func_equal g f then self_recursive.(i) <- true
+          else
+            let j = Hashtbl.find index g.fid in
+            if not (List.mem j producers.(i)) then (
+              producers.(i) <- j :: producers.(i);
+              consumers.(j) <- i :: consumers.(j)))
+        deps)
+    stages;
+  let level =
+    Polymage_util.Topo.levels ~n ~succs:(fun i -> consumers.(i))
+  in
+  let images =
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    Array.iter
+      (fun f ->
+        List.iter
+          (fun im ->
+            if not (Hashtbl.mem seen im.iid) then (
+              Hashtbl.add seen im.iid ();
+              acc := im :: !acc))
+          (Expr.used_images f.fbody))
+      stages;
+    List.rev !acc
+  in
+  let params =
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let add (p : Types.param) =
+      if not (Hashtbl.mem seen p.pid) then (
+        Hashtbl.add seen p.pid ();
+        acc := p :: !acc)
+    in
+    let add_bound b = List.iter add (Abound.params b) in
+    let add_dom dom =
+      List.iter
+        (fun (iv : Interval.t) ->
+          add_bound iv.lo;
+          add_bound iv.hi)
+        dom
+    in
+    Array.iter
+      (fun f ->
+        add_dom f.fdom;
+        let collect_e e =
+          let rec go e =
+            match e with
+            | Param p -> add p
+            | Const _ | Var _ -> ()
+            | Call (_, args) | Img (_, args) -> List.iter go args
+            | Binop (_, a, b) ->
+              go a;
+              go b
+            | Unop (_, a) | IDiv (a, _) | IMod (a, _) | Cast (_, a) -> go a
+            | Select (c, a, b) ->
+              go_c c;
+              go a;
+              go b
+          and go_c = function
+            | Cmp (_, a, b) ->
+              go a;
+              go b
+            | And (a, b) | Or (a, b) ->
+              go_c a;
+              go_c b
+            | Not a -> go_c a
+          in
+          go e
+        in
+        match f.fbody with
+        | Undefined -> ()
+        | Cases cs ->
+          List.iter
+            (fun { ccond; rhs } ->
+              Option.iter
+                (fun c ->
+                  let rec go_c = function
+                    | Cmp (_, a, b) ->
+                      collect_e a;
+                      collect_e b
+                    | And (a, b) | Or (a, b) ->
+                      go_c a;
+                      go_c b
+                    | Not a -> go_c a
+                  in
+                  go_c c)
+                ccond;
+              collect_e rhs)
+            cs
+        | Reduce r ->
+          add_dom r.rdom;
+          List.iter collect_e r.rindex;
+          collect_e r.rvalue)
+      stages;
+    List.iter
+      (fun (im : image) -> List.iter add_bound im.iextents)
+      images;
+    List.rev !acc
+  in
+  {
+    outputs;
+    stages;
+    producers;
+    consumers;
+    level;
+    self_recursive;
+    images;
+    params;
+  }
+
+let n_stages t = Array.length t.stages
+
+let stage_index t f =
+  let n = Array.length t.stages in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if func_equal t.stages.(i) f then i
+    else go (i + 1)
+  in
+  go 0
+
+let is_output t i = List.exists (func_equal t.stages.(i)) t.outputs
+let max_level t = Array.fold_left max 0 t.level
+
+let to_dot t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "digraph pipeline {\n  rankdir=TB;\n";
+  List.iter
+    (fun (im : image) ->
+      Buffer.add_string b
+        (Printf.sprintf "  img_%d [label=\"%s\", shape=box];\n" im.iid
+           im.iname))
+    t.images;
+  Array.iteri
+    (fun i f ->
+      let shape =
+        match f.fbody with Reduce _ -> "diamond" | _ -> "ellipse"
+      in
+      let style = if is_output t i then ", style=bold" else "" in
+      Buffer.add_string b
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" i f.fname shape
+           style))
+    t.stages;
+  Array.iteri
+    (fun i f ->
+      List.iter
+        (fun j -> Buffer.add_string b (Printf.sprintf "  n%d -> n%d;\n" j i))
+        t.producers.(i);
+      List.iter
+        (fun (im : image) ->
+          Buffer.add_string b (Printf.sprintf "  img_%d -> n%d;\n" im.iid i))
+        (Expr.used_images f.fbody))
+    t.stages;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let pp_summary ppf t =
+  Array.iteri
+    (fun i f ->
+      Format.fprintf ppf "%-20s level=%d producers=[%s]%s@." f.fname
+        t.level.(i)
+        (String.concat ", "
+           (List.map (fun j -> t.stages.(j).fname) t.producers.(i)))
+        (if t.self_recursive.(i) then " (self-recursive)" else ""))
+    t.stages

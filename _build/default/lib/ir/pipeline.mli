@@ -1,0 +1,42 @@
+(** Pipeline graphs (paper §3): the DAG extracted from a specification,
+    with stages as nodes and producer-consumer edges.  Stage levels in
+    a topological sort seed the initial schedules. *)
+
+open Ast
+
+exception Invalid_pipeline of string
+(** Raised on cyclic stage graphs, undefined stage bodies, or arity
+    mismatches in stage references. *)
+
+type t = private {
+  outputs : func list;  (** live-out stages, as given by the user *)
+  stages : func array;  (** all reachable stages, producers first *)
+  producers : int list array;
+      (** per stage, indices of the distinct stages it reads
+          (self-references of time-iterated stages excluded) *)
+  consumers : int list array;
+  level : int array;  (** longest-path level; sources are 0 *)
+  self_recursive : bool array;
+      (** stage reads its own values (time-iterated / summed-area) *)
+  images : image list;  (** input images, in first-use order *)
+  params : Types.param list;  (** all parameters mentioned anywhere *)
+}
+
+val build : outputs:func list -> t
+(** Extract the graph reachable from [outputs].  Checks that every
+    stage body is defined, stage references have the right arity, and
+    the graph (minus self-loops) is acyclic.
+    @raise Invalid_pipeline otherwise. *)
+
+val n_stages : t -> int
+val stage_index : t -> func -> int
+(** @raise Not_found for a stage outside the pipeline. *)
+
+val is_output : t -> int -> bool
+val max_level : t -> int
+
+val to_dot : t -> string
+(** Graphviz rendering of the stage graph (paper Fig. 2). *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line per stage: name, level, producers. *)

@@ -1,0 +1,66 @@
+type scalar = UChar | Short | Int | Float | Double
+
+let scalar_equal (a : scalar) b = a = b
+
+let pp_scalar ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | UChar -> "uchar"
+    | Short -> "short"
+    | Int -> "int"
+    | Float -> "float"
+    | Double -> "double")
+
+let c_name = function
+  | UChar -> "unsigned char"
+  | Short -> "short"
+  | Int -> "int"
+  | Float -> "float"
+  | Double -> "double"
+
+let clamp_store ty v =
+  let round_clamp lo hi =
+    let r = Float.round v in
+    if r < lo then lo else if r > hi then hi else r
+  in
+  match ty with
+  | UChar -> round_clamp 0. 255.
+  | Short -> round_clamp (-32768.) 32767.
+  | Int -> Float.round v
+  | Float -> Int32.float_of_bits (Int32.bits_of_float v)
+  | Double -> v
+
+type var = { vid : int; vname : string }
+
+let var_counter = ref 0
+
+let var ?name () =
+  incr var_counter;
+  let vid = !var_counter in
+  let vname = match name with Some n -> n | None -> Printf.sprintf "x%d" vid in
+  { vid; vname }
+
+let var_equal a b = a.vid = b.vid
+let pp_var ppf v = Format.pp_print_string ppf v.vname
+
+type param = { pid : int; pname : string }
+
+let param_counter = ref 0
+
+let param ?name () =
+  incr param_counter;
+  let pid = !param_counter in
+  let pname =
+    match name with Some n -> n | None -> Printf.sprintf "p%d" pid
+  in
+  { pid; pname }
+
+let param_equal a b = a.pid = b.pid
+let pp_param ppf p = Format.pp_print_string ppf p.pname
+
+type bindings = (param * int) list
+
+let bind_exn env p =
+  match List.find_opt (fun (q, _) -> param_equal p q) env with
+  | Some (_, v) -> v
+  | None -> raise Not_found

@@ -1,0 +1,49 @@
+(** Base vocabulary of the PolyMage IR: scalar element types, loop
+    variables and pipeline parameters (paper §2: [Variable] and
+    [Parameter] constructs). *)
+
+(** Element type of an image or function value.  The runtime computes
+    in double precision; the element type drives rounding/clamping on
+    store ([Cast]) and declared types in generated C. *)
+type scalar =
+  | UChar
+  | Short
+  | Int
+  | Float
+  | Double
+
+val scalar_equal : scalar -> scalar -> bool
+val pp_scalar : Format.formatter -> scalar -> unit
+
+val c_name : scalar -> string
+(** C type name used by the code generator. *)
+
+val clamp_store : scalar -> float -> float
+(** Value actually stored for a given element type: integral types are
+    rounded and saturated to their range, [Float] is rounded to single
+    precision, [Double] stored as is. *)
+
+(** A loop variable (a dimension label of a function domain). *)
+type var = private { vid : int; vname : string }
+
+val var : ?name:string -> unit -> var
+(** Fresh variable; automatic names are [x0], [x1], ... *)
+
+val var_equal : var -> var -> bool
+val pp_var : Format.formatter -> var -> unit
+
+(** A pipeline parameter: an unknown positive integer (image width,
+    number of pyramid levels, ...) fixed at execution time. *)
+type param = private { pid : int; pname : string }
+
+val param : ?name:string -> unit -> param
+(** Fresh parameter; automatic names are [p0], [p1], ... *)
+
+val param_equal : param -> param -> bool
+val pp_param : Format.formatter -> param -> unit
+
+type bindings = (param * int) list
+(** Concrete values for parameters, supplied when a pipeline runs. *)
+
+val bind_exn : bindings -> param -> int
+(** Look up a parameter value. @raise Not_found if unbound. *)

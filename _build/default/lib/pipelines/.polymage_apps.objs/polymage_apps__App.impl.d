@@ -1,0 +1,1 @@
+lib/pipelines/app.ml: Ast Polymage_ir Types

@@ -1,0 +1,1 @@
+lib/pipelines/app.mli: Ast Polymage_ir Types

@@ -1,0 +1,1 @@
+lib/pipelines/apps.ml: App Bilateral Camera Harris Interpolate Laplacian List Pyramid Unsharp

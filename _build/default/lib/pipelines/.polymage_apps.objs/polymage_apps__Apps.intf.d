@@ -1,0 +1,1 @@
+lib/pipelines/apps.mli: App

@@ -1,0 +1,1 @@
+lib/pipelines/bilateral.ml: App List Polymage_dsl Synth

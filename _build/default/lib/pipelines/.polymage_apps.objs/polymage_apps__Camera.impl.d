@@ -1,0 +1,1 @@
+lib/pipelines/camera.ml: App Array Polymage_dsl Synth

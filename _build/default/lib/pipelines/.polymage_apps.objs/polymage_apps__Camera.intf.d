@@ -1,0 +1,1 @@
+lib/pipelines/camera.mli: App

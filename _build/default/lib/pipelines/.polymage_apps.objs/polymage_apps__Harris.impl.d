@@ -1,0 +1,1 @@
+lib/pipelines/harris.ml: App Polymage_dsl Synth

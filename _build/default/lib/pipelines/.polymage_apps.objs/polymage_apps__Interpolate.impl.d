@@ -1,0 +1,1 @@
+lib/pipelines/interpolate.ml: App Array List Polymage_dsl Printf Synth

@@ -1,0 +1,1 @@
+lib/pipelines/interpolate.mli: App

@@ -1,0 +1,1 @@
+lib/pipelines/laplacian.ml: App Array List Polymage_dsl Polymage_ir Printf Synth

@@ -1,0 +1,1 @@
+lib/pipelines/laplacian.mli: App

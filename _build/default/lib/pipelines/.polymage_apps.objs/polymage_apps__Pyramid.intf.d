@@ -1,0 +1,1 @@
+lib/pipelines/pyramid.mli: App

@@ -1,0 +1,1 @@
+lib/pipelines/synth.ml: Array Float

@@ -1,0 +1,1 @@
+lib/pipelines/unsharp.ml: App Polymage_dsl Synth

@@ -1,0 +1,1 @@
+lib/pipelines/unsharp.mli: App

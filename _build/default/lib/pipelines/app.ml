@@ -1,0 +1,15 @@
+open Polymage_ir
+
+type t = {
+  name : string;
+  description : string;
+  outputs : Ast.func list;
+  tile_dims : int;
+  default_env : Types.bindings;
+  small_env : Types.bindings;
+  fill : Types.bindings -> Ast.image -> int array -> float;
+}
+
+let make ~name ~description ~outputs ?(tile_dims = 2) ~default_env ~small_env
+    ~fill () =
+  { name; description; outputs; tile_dims; default_env; small_env; fill }

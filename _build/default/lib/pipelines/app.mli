@@ -1,0 +1,32 @@
+(** Benchmark application descriptor: a pipeline specification plus
+    everything needed to run it (parameter bindings for the paper's
+    image sizes and for fast tests, and synthetic input generators —
+    see DESIGN.md, substitution of the paper's photographic inputs). *)
+
+open Polymage_ir
+
+type t = {
+  name : string;
+  description : string;
+  outputs : Ast.func list;
+  tile_dims : int;
+      (** how many canonical dimensions are worth tiling (the paper's
+          benchmarks have 2) *)
+  default_env : Types.bindings;  (** paper-scale image size *)
+  small_env : Types.bindings;  (** small size for tests *)
+  fill : Types.bindings -> Ast.image -> int array -> float;
+      (** synthetic input generator, dispatched on the image; receives
+          the parameter bindings so workloads can scale with the
+          image size *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  outputs:Ast.func list ->
+  ?tile_dims:int ->
+  default_env:Types.bindings ->
+  small_env:Types.bindings ->
+  fill:(Types.bindings -> Ast.image -> int array -> float) ->
+  unit ->
+  t

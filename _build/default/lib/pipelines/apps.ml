@@ -1,0 +1,18 @@
+let builders : (string * (unit -> App.t)) list =
+  [
+    ("unsharp_mask", Unsharp.build);
+    ("bilateral_grid", Bilateral.build);
+    ("harris", Harris.build);
+    ("camera_pipe", Camera.build);
+    ("pyramid_blend", (fun () -> Pyramid.build ()));
+    ("interpolate", (fun () -> Interpolate.build ()));
+    ("local_laplacian", (fun () -> Laplacian.build ()));
+  ]
+
+let names = List.map fst builders
+let all () = List.map (fun (_, b) -> b ()) builders
+
+let find name =
+  match List.assoc_opt name builders with
+  | Some b -> b ()
+  | None -> raise Not_found

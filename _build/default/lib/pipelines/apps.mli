@@ -1,0 +1,9 @@
+(** Registry of the paper's seven benchmark applications (§4). *)
+
+val all : unit -> App.t list
+(** Fresh instances of every benchmark, in the paper's Table 2 order. *)
+
+val find : string -> App.t
+(** Build one benchmark by name. @raise Not_found for unknown names. *)
+
+val names : string list

@@ -1,0 +1,110 @@
+open Polymage_dsl.Dsl
+
+let sigma_s = 8 (* spatial sampling *)
+let zbins = 16 (* intensity bins *)
+
+(* Grid geometry: spatial cells [0 .. R/8] shifted by a ghost border
+   of 2 (for the 5-tap blur), intensity bins [0 .. 15] shifted by 2. *)
+let build () =
+  let r = parameter ~name:"R" () and c = parameter ~name:"C" () in
+  let img = image ~name:"I" Float [ param_b r; param_b c ] in
+  let x = variable ~name:"x" () and y = variable ~name:"y" () in
+  let gx = variable ~name:"gx" ()
+  and gy = variable ~name:"gy" ()
+  and gz = variable ~name:"gz" () in
+  let rows = interval (ib 0) (param_b r -~ ib 1) in
+  let cols = interval (ib 0) (param_b c -~ ib 1) in
+  let gext p = (param_b p /~ sigma_s) +~ ib 4 in
+  let grid_dom =
+    [
+      (gx, interval (ib 0) (gext r));
+      (gy, interval (ib 0) (gext c));
+      (gz, interval (ib 0) (ib (zbins + 3)));
+    ]
+  in
+  (* Histogram-style grid construction (Accumulator, paper Fig. 3):
+     every pixel lands in cell (x/8+2, y/8+2, bin(I)+2). *)
+  let zindex =
+    clamp (floor_ (img_at img [ v x; v y ] *: fl (float_of_int zbins)))
+      (i 0)
+      (i (zbins - 1))
+    +: i 2
+  in
+  let over = [ (x, rows); (y, cols) ] in
+  let cell = [ (v x /^ sigma_s) +: i 2; (v y /^ sigma_s) +: i 2; zindex ] in
+  let grid_i = func ~name:"gridI" Float grid_dom in
+  accumulate grid_i ~over ~index:cell ~value:(img_at img [ v x; v y ]) Rsum;
+  let grid_w = func ~name:"gridW" Float grid_dom in
+  accumulate grid_w ~over ~index:cell ~value:(fl 1.0) Rsum;
+
+  (* 5-tap binomial blur along each grid axis, on both channels. *)
+  let w5 = [ 1. /. 16.; 4. /. 16.; 6. /. 16.; 4. /. 16.; 1. /. 16. ] in
+  let interior =
+    in_box
+      [
+        (v gx, i 2, (p r /^ sigma_s) +: i 2);
+        (v gy, i 2, (p c /^ sigma_s) +: i 2);
+        (v gz, i 2, i (zbins + 1));
+      ]
+  in
+  let blur_axis name src axis =
+    let f = func ~name Float grid_dom in
+    let at k =
+      match axis with
+      | `Z -> [ v gx; v gy; v gz +: i k ]
+      | `X -> [ v gx +: i k; v gy; v gz ]
+      | `Y -> [ v gx; v gy +: i k; v gz ]
+    in
+    define f
+      [
+        case interior
+          (List.fold_left
+             (fun acc (k, w) -> acc +: (fl w *: app src (at k)))
+             (fl (List.nth w5 0) *: app src (at (-2)))
+             [ (-1, List.nth w5 1); (0, List.nth w5 2);
+               (1, List.nth w5 3); (2, List.nth w5 4) ]);
+      ];
+    f
+  in
+  let bzi = blur_axis "blurzI" grid_i `Z in
+  let bzw = blur_axis "blurzW" grid_w `Z in
+  let bxi = blur_axis "blurxI" bzi `X in
+  let bxw = blur_axis "blurxW" bzw `X in
+  let byi = blur_axis "bluryI" bxi `Y in
+  let byw = blur_axis "bluryW" bxw `Y in
+
+  (* Slice: trilinear interpolation of the blurred grid at the pixel's
+     (fractional) grid coordinates — data-dependent in z. *)
+  let out = func ~name:"bilateral" Float [ (x, rows); (y, cols) ] in
+  let fs = float_of_int sigma_s in
+  let xi = (v x /^ sigma_s) +: i 2
+  and yi = (v y /^ sigma_s) +: i 2 in
+  let xf = fl (1. /. fs) *: (v x %^ sigma_s) in
+  let yf = fl (1. /. fs) *: (v y %^ sigma_s) in
+  let zv =
+    clamp (img_at img [ v x; v y ] *: fl (float_of_int zbins))
+      (fl 0.) (fl (float_of_int zbins -. 1e-3))
+  in
+  let zi = floor_ zv +: i 2 in
+  let zf = zv -: floor_ zv in
+  let tri src =
+    let corner dx dy dz =
+      app src [ xi +: i dx; yi +: i dy; zi +: i dz ]
+    in
+    let lerp w a b = ((fl 1.0 -: w) *: a) +: (w *: b) in
+    lerp xf
+      (lerp yf (lerp zf (corner 0 0 0) (corner 0 0 1))
+         (lerp zf (corner 0 1 0) (corner 0 1 1)))
+      (lerp yf (lerp zf (corner 1 0 0) (corner 1 0 1))
+         (lerp zf (corner 1 1 0) (corner 1 1 1)))
+  in
+  define out
+    [ always (tri byi /: max_ (tri byw) (fl 1e-6)) ];
+
+  App.make ~name:"bilateral_grid"
+    ~description:"Bilateral grid: histogram reduction, 3-D blurs, trilinear slice"
+    ~outputs:[ out ]
+    ~default_env:[ (r, 2560); (c, 1536) ]
+    ~small_env:[ (r, 96); (c, 64) ]
+    ~fill:(fun _ _ coords -> Synth.textured coords)
+    ()

@@ -1,0 +1,9 @@
+(** Bilateral grid (paper Table 2, Chen et al.): build a coarse 3-D
+    grid of (sum, count) by a histogram-style reduction, blur it along
+    all three axes, and slice it back with trilinear interpolation for
+    edge-aware smoothing.  Exercises the Accumulator construct and
+    data-dependent slicing; the compiler fuses the blur stencils into
+    one group and keeps the reduction and the slice separate, matching
+    the paper's description. *)
+
+val build : unit -> App.t

@@ -1,0 +1,230 @@
+open Polymage_dsl.Dsl
+
+(* Output is (3, 2R, 2C) starting at spatial index 2; the RAW mosaic
+   is (2R+4, 2C+4), 10-bit values, GRBG layout:
+       G R      rows 2x   : G at even col, R at odd col
+       B G      rows 2x+1 : B at even col, G at odd col
+
+   Stage structure follows the FCam-style pipeline the paper
+   benchmarks: hot-pixel suppression, black level + white balance,
+   deinterleave, gradient-guided demosaic, recombination, color matrix
+   correction, luma sharpening, and a gamma tone curve applied through
+   a lookup table (the LUT stays in its own group — its consumers
+   index it with computed values). *)
+let build () =
+  let r = parameter ~name:"R" () and c = parameter ~name:"C" () in
+  let raw =
+    image ~name:"raw" Short
+      [ (2 *~ param_b r) +~ ib 4; (2 *~ param_b c) +~ ib 4 ]
+  in
+  let x = variable ~name:"x" () and y = variable ~name:"y" () in
+  let full_rows = interval (ib 0) ((2 *~ param_b r) +~ ib 3) in
+  let full_cols = interval (ib 0) ((2 *~ param_b c) +~ ib 3) in
+  let full_dom = [ (x, full_rows); (y, full_cols) ] in
+  let half_rows = interval (ib 0) (param_b r +~ ib 1) in
+  let half_cols = interval (ib 0) (param_b c +~ ib 1) in
+  let half_dom = [ (x, half_rows); (y, half_cols) ] in
+  let full_interior =
+    in_box
+      [ (v x, i 2, (i 2 *: p r) +: i 1); (v y, i 2, (i 2 *: p c) +: i 1) ]
+  in
+
+  (* Hot-pixel suppression: clamp each sensor value to the range of
+     its same-color neighbours two pixels away. *)
+  let denoised = func ~name:"denoised" Float full_dom in
+  let at dx dy = img_at raw [ v x +: i dx; v y +: i dy ] in
+  define denoised
+    [
+      case full_interior
+        (clamp (at 0 0)
+           (min_ (min_ (at (-2) 0) (at 2 0)) (min_ (at 0 (-2)) (at 0 2)))
+           (max_ (max_ (at (-2) 0) (at 2 0)) (max_ (at 0 (-2)) (at 0 2))));
+    ];
+
+  (* Black level subtraction and per-channel white balance, by Bayer
+     phase (point-wise; the inliner folds it into the deinterleave). *)
+  let black = 16.0 in
+  let gain_r = 1.9 and gain_b = 1.4 and gain_g = 1.0 in
+  let balanced = func ~name:"balanced" Float full_dom in
+  let d00 = app denoised [ v x; v y ] -: fl black in
+  define balanced
+    [
+      case full_interior
+        (max_ (fl 0.)
+           (select
+              (v x %^ 2 =: i 0)
+              (select (v y %^ 2 =: i 0) (fl gain_g *: d00) (fl gain_r *: d00))
+              (select (v y %^ 2 =: i 0) (fl gain_b *: d00) (fl gain_g *: d00))));
+    ];
+
+  (* Deinterleave the mosaic into four half-resolution planes. *)
+  let plane name dx dy =
+    let f = func ~name Float half_dom in
+    define f
+      [
+        always
+          (app balanced [ (i 2 *: v x) +: i dx; (i 2 *: v y) +: i dy ]);
+      ];
+    f
+  in
+  let gr = plane "gr" 0 0 in
+  let rp = plane "r" 0 1 in
+  let bp = plane "b" 1 0 in
+  let gb = plane "gb" 1 1 in
+
+  let half_interior = in_box [ (v x, i 1, p r); (v y, i 1, p c) ] in
+  let interp name e =
+    let f = func ~name Float half_dom in
+    define f [ case half_interior e ];
+    f
+  in
+  let g2 a b = fl 0.5 *: (a +: b) in
+  let g4 a b cc d = fl 0.25 *: (a +: b +: cc +: d) in
+  let pv f dx dy = app f [ v x +: i dx; v y +: i dy ] in
+
+  (* Gradient-guided green interpolation at red and blue sites (the
+     FCam demosaic's directional selection). *)
+  let gh_r = interp "gh_r" (abs_ (pv gr 0 0 -: pv gr 0 1)) in
+  let gv_r = interp "gv_r" (abs_ (pv gb 0 0 -: pv gb (-1) 0)) in
+  let g_r =
+    interp "g_r"
+      (select
+         (app gh_r [ v x; v y ] <: app gv_r [ v x; v y ])
+         (g2 (pv gr 0 0) (pv gr 0 1))
+         (g2 (pv gb 0 0) (pv gb (-1) 0)))
+  in
+  let gh_b = interp "gh_b" (abs_ (pv gb 0 0 -: pv gb 0 (-1))) in
+  let gv_b = interp "gv_b" (abs_ (pv gr 0 0 -: pv gr 1 0)) in
+  let g_b =
+    interp "g_b"
+      (select
+         (app gh_b [ v x; v y ] <: app gv_b [ v x; v y ])
+         (g2 (pv gb 0 0) (pv gb 0 (-1)))
+         (g2 (pv gr 0 0) (pv gr 1 0)))
+  in
+
+  (* Red/blue at the other sites: plane-space averages. *)
+  let r_gr = interp "r_gr" (g2 (pv rp 0 0) (pv rp 0 (-1))) in
+  let r_gb = interp "r_gb" (g2 (pv rp 0 0) (pv rp 1 0)) in
+  let r_b =
+    interp "r_b" (g4 (pv rp 0 0) (pv rp 1 0) (pv rp 0 (-1)) (pv rp 1 (-1)))
+  in
+  let b_gr = interp "b_gr" (g2 (pv bp 0 0) (pv bp (-1) 0)) in
+  let b_gb = interp "b_gb" (g2 (pv bp 0 0) (pv bp 0 1)) in
+  let b_r =
+    interp "b_r" (g4 (pv bp 0 0) (pv bp (-1) 0) (pv bp 0 1) (pv bp (-1) 1))
+  in
+
+  (* Recombine to full resolution by Bayer phase. *)
+  let phase e00 e01 e10 e11 =
+    let h f = app f [ v x /^ 2; v y /^ 2 ] in
+    select
+      (v x %^ 2 =: i 0)
+      (select (v y %^ 2 =: i 0) (h e00) (h e01))
+      (select (v y %^ 2 =: i 0) (h e10) (h e11))
+  in
+  let fullc name e00 e01 e10 e11 =
+    let f = func ~name Float full_dom in
+    define f [ case full_interior (phase e00 e01 e10 e11) ];
+    f
+  in
+  let red = fullc "red" r_gr rp r_b r_gb in
+  let green = fullc "green" gr g_r g_b gb in
+  let blue = fullc "blue" b_gr b_r bp b_gb in
+
+  (* Color matrix correction (point-wise; gets inlined). *)
+  let mat =
+    [|
+      [| 1.6; -0.4; -0.2 |]; [| -0.3; 1.5; -0.2 |]; [| -0.1; -0.5; 1.6 |];
+    |]
+  in
+  let corrected k name =
+    let f = func ~name Float full_dom in
+    let row = mat.(k) in
+    define f
+      [
+        case full_interior
+          (clamp
+             ((fl row.(0) *: app red [ v x; v y ])
+             +: (fl row.(1) *: app green [ v x; v y ])
+             +: (fl row.(2) *: app blue [ v x; v y ]))
+             (fl 0.) (fl 1023.));
+      ];
+    f
+  in
+  let ccr = corrected 0 "ccr" in
+  let ccg = corrected 1 "ccg" in
+  let ccb = corrected 2 "ccb" in
+
+  (* Luma sharpening: unsharp mask on the luminance channel. *)
+  let luma = func ~name:"luma" Float full_dom in
+  define luma
+    [
+      case full_interior
+        ((fl 0.299 *: app ccr [ v x; v y ])
+        +: (fl 0.587 *: app ccg [ v x; v y ])
+        +: (fl 0.114 *: app ccb [ v x; v y ]));
+    ];
+  let sharp_interior =
+    in_box [ (v x, i 3, (i 2 *: p r)); (v y, i 3, (i 2 *: p c)) ]
+  in
+  let lblurx = func ~name:"lblurx" Float full_dom in
+  define lblurx
+    [
+      case sharp_interior
+        (stencil1d (fun ix -> app luma [ ix; v y ]) ~scale:0.25
+           [ 1.; 2.; 1. ] (v x));
+    ];
+  let lblury = func ~name:"lblury" Float full_dom in
+  define lblury
+    [
+      case sharp_interior
+        (stencil1d (fun iy -> app lblurx [ v x; iy ]) ~scale:0.25
+           [ 1.; 2.; 1. ] (v y));
+    ];
+  let sharp_amount = 0.4 in
+  let detail = func ~name:"detail" Float full_dom in
+  define detail
+    [
+      case sharp_interior
+        (fl sharp_amount *: (app luma [ v x; v y ] -: app lblury [ v x; v y ]));
+    ];
+
+  (* Gamma tone curve as a 1024-entry LUT (its own group: the apply
+     stages index it with computed values). *)
+  let z = variable ~name:"z" () in
+  let curve = func ~name:"curve" Float [ (z, interval (ib 0) (ib 1023)) ] in
+  define curve
+    [ always (fl 255.0 *: pow_ (v z /: fl 1023.0) (fl (1.0 /. 2.2))) ];
+
+  (* Final interleaved 8-bit output with sharpening folded in. *)
+  let ch = variable ~name:"ch" () in
+  let out =
+    func ~name:"processed" UChar
+      [ (ch, interval (ib 0) (ib 2)); (x, full_rows); (y, full_cols) ]
+  in
+  let lut cc =
+    app curve
+      [
+        floor_
+          (clamp (app cc [ v x; v y ] +: app detail [ v x; v y ]) (fl 0.)
+             (fl 1023.));
+      ]
+  in
+  define out
+    [
+      case full_interior
+        (cast UChar
+           (select (v ch =: i 0) (lut ccr)
+              (select (v ch =: i 1) (lut ccg) (lut ccb))));
+    ];
+
+  App.make ~name:"camera_pipe"
+    ~description:
+      "Camera RAW pipeline: hot-pixel, demosaic, color correction, sharpen, \
+       tone LUT"
+    ~outputs:[ out ]
+    ~default_env:[ (r, 1264); (c, 960) ]
+    ~small_env:[ (r, 48); (c, 40) ]
+    ~fill:(fun _ _ coords -> Synth.bayer_raw coords)
+    ()

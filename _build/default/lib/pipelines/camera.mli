@@ -1,0 +1,10 @@
+(** Camera raw-processing pipeline (paper Table 2, FCam-style,
+    ~28 stages): hot-pixel suppression on the Bayer mosaic,
+    deinterleave into the four GRBG planes, demosaic by directional
+    interpolation, recombination to full resolution, color matrix
+    correction, and a gamma tone curve applied through a lookup table.
+    The LUT is indexed by computed values (data-dependent), so it
+    stays in its own group while everything else fuses — exactly the
+    grouping the paper reports. *)
+
+val build : unit -> App.t

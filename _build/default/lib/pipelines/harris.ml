@@ -1,0 +1,87 @@
+open Polymage_dsl.Dsl
+
+(* Direct transcription of paper Figure 1. *)
+let build () =
+  let r = parameter ~name:"R" () and cc = parameter ~name:"C" () in
+  let img =
+    image ~name:"I" Float [ param_b r +~ ib 2; param_b cc +~ ib 2 ]
+  in
+  let x = variable ~name:"x" () and y = variable ~name:"y" () in
+  let row = interval (ib 0) (param_b r +~ ib 1) in
+  let col = interval (ib 0) (param_b cc +~ ib 1) in
+  let dom = [ (x, row); (y, col) ] in
+  let c = in_box [ (v x, i 1, p r); (v y, i 1, p cc) ] in
+  let cb =
+    in_box [ (v x, i 2, p r -: i 1); (v y, i 2, p cc -: i 1) ]
+  in
+  let sample = img_at img in
+
+  let iy = func ~name:"Iy" Float dom in
+  define iy
+    [
+      case c
+        (stencil sample ~scale:(1. /. 12.)
+           [ [ -1.; -2.; -1. ]; [ 0.; 0.; 0. ]; [ 1.; 2.; 1. ] ]
+           (v x) (v y));
+    ];
+
+  let ix = func ~name:"Ix" Float dom in
+  define ix
+    [
+      case c
+        (stencil sample ~scale:(1. /. 12.)
+           [ [ -1.; 0.; 1. ]; [ -2.; 0.; 2. ]; [ -1.; 0.; 1. ] ]
+           (v x) (v y));
+    ];
+
+  let pointwise name a b =
+    let f = func ~name Float dom in
+    define f [ case c (app a [ v x; v y ] *: app b [ v x; v y ]) ];
+    f
+  in
+  let ixx = pointwise "Ixx" ix ix in
+  let iyy = pointwise "Iyy" iy iy in
+  let ixy = pointwise "Ixy" ix iy in
+
+  let box name src =
+    let f = func ~name Float dom in
+    define f
+      [
+        case cb
+          (stencil
+             (fun idx -> app src idx)
+             [ [ 1.; 1.; 1. ]; [ 1.; 1.; 1. ]; [ 1.; 1.; 1. ] ]
+             (v x) (v y));
+      ];
+    f
+  in
+  let sxx = box "Sxx" ixx in
+  let syy = box "Syy" iyy in
+  let sxy = box "Sxy" ixy in
+
+  let det = func ~name:"det" Float dom in
+  define det
+    [
+      case cb
+        ((app sxx [ v x; v y ] *: app syy [ v x; v y ])
+        -: (app sxy [ v x; v y ] *: app sxy [ v x; v y ]));
+    ];
+
+  let trace = func ~name:"trace" Float dom in
+  define trace [ case cb (app sxx [ v x; v y ] +: app syy [ v x; v y ]) ];
+
+  let harris = func ~name:"harris" Float dom in
+  define harris
+    [
+      case cb
+        (app det [ v x; v y ]
+        -: (fl 0.04 *: app trace [ v x; v y ] *: app trace [ v x; v y ]));
+    ];
+
+  App.make ~name:"harris"
+    ~description:"Harris corner detection (paper Fig. 1)"
+    ~outputs:[ harris ]
+    ~default_env:[ (r, 6400); (cc, 6400) ]
+    ~small_env:[ (r, 96); (cc, 72) ]
+    ~fill:(fun _ _ coords -> Synth.checker ~period:12 coords)
+    ()

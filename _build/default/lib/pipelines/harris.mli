@@ -1,0 +1,6 @@
+(** Harris corner detection (paper Fig. 1 / Table 2, 11 stages):
+    Sobel-style gradients, products, 3x3 box sums, determinant/trace
+    corner response.  A direct transcription of the paper's Figure 1
+    specification. *)
+
+val build : unit -> App.t

@@ -1,0 +1,139 @@
+open Polymage_dsl.Dsl
+
+let pow2 k = 1 lsl k
+
+(* Level-k grids span [0 .. R/2^k + 3] spatially (2-pixel ghost
+   border, interior from 2), with a residual channel dimension
+   c in [0 .. 3]; channel 3 is the alpha/weight plane. *)
+let build ?(levels = 5) () =
+  let r = parameter ~name:"R" () and c = parameter ~name:"C" () in
+  let rgba =
+    image ~name:"rgba" Float
+      [ ib 4; param_b r +~ ib 4; param_b c +~ ib 4 ]
+  in
+  let ch = variable ~name:"ch" ()
+  and x = variable ~name:"x" ()
+  and y = variable ~name:"y" () in
+  let chans = interval (ib 0) (ib 3) in
+  let dom_at k =
+    [
+      (ch, chans);
+      (x, interval (ib 0) ((param_b r /~ pow2 k) +~ ib 3));
+      (y, interval (ib 0) ((param_b c /~ pow2 k) +~ ib 3));
+    ]
+  in
+  let interior k =
+    in_box
+      [ (v x, i 2, p r /^ pow2 k); (v y, i 2, p c /^ pow2 k) ]
+  in
+
+  (* Alpha-premultiplied level 0. *)
+  let d0 = func ~name:"d0" Float (dom_at 0) in
+  define d0
+    [
+      case (interior 0)
+        (select (v ch =: i 3)
+           (img_at rgba [ i 3; v x; v y ])
+           (img_at rgba [ v ch; v x; v y ] *: img_at rgba [ i 3; v x; v y ]));
+    ];
+
+  (* Separable decimation: columns then rows (two stages per level,
+     as in the Halide benchmark). *)
+  let w3 = [ 0.25; 0.5; 0.25 ] in
+  let downs =
+    let rec go k acc prev =
+      if k > levels then List.rev acc
+      else begin
+        let dy =
+          func ~name:(Printf.sprintf "dy%d" k) Float
+            [
+              (ch, chans);
+              (x, interval (ib 0) ((param_b r /~ pow2 (k - 1)) +~ ib 3));
+              (y, interval (ib 0) ((param_b c /~ pow2 k) +~ ib 3));
+            ]
+        in
+        define dy
+          [
+            case
+              (in_box
+                 [
+                   (v x, i 2, p r /^ pow2 (k - 1));
+                   (v y, i 2, p c /^ pow2 k);
+                 ])
+              (stencil1d
+                 (fun iy -> app prev [ v ch; v x; iy ])
+                 w3
+                 (i 2 *: v y));
+          ];
+        let d = func ~name:(Printf.sprintf "d%d" k) Float (dom_at k) in
+        define d
+          [
+            case (interior k)
+              (stencil1d
+                 (fun ix -> app dy [ v ch; ix; v y ])
+                 w3
+                 (i 2 *: v x));
+          ];
+        go (k + 1) (d :: acc) d
+      end
+    in
+    go 1 [] d0
+  in
+  let d_at = Array.of_list (d0 :: downs) in
+
+  (* Pull phase: u_levels = d_levels; going up,
+     u_k = d_k + (1 - alpha_k) * upsample(u_{k+1}). *)
+  let rec pull k =
+    if k = levels then d_at.(k)
+    else begin
+      let deeper = pull (k + 1) in
+      let up =
+        func ~name:(Printf.sprintf "up%d" (k + 1)) Float (dom_at k)
+      in
+      define up
+        [
+          case (interior k)
+            (upsample2
+               (fun idx ->
+                 match idx with
+                 | [ ix; iy ] -> app deeper [ v ch; ix; iy ]
+                 | _ -> assert false)
+               (v x) (v y));
+        ];
+      let u = func ~name:(Printf.sprintf "u%d" k) Float (dom_at k) in
+      define u
+        [
+          case (interior k)
+            (app d_at.(k) [ v ch; v x; v y ]
+            +: ((fl 1.0 -: app d_at.(k) [ i 3; v x; v y ])
+               *: app up [ v ch; v x; v y ]));
+        ];
+      u
+    end
+  in
+  let u0 = pull 0 in
+
+  (* Normalize by the interpolated alpha. *)
+  let out = func ~name:"interpolated" Float (dom_at 0) in
+  define out
+    [
+      case (interior 0)
+        (app u0 [ v ch; v x; v y ]
+        /: max_ (app u0 [ i 3; v x; v y ]) (fl 1e-6));
+    ];
+
+  App.make ~name:"interpolate"
+    ~description:
+      (Printf.sprintf "Pull-push multiscale interpolation, %d levels" levels)
+    ~outputs:[ out ]
+    ~default_env:[ (r, 2560); (c, 1536) ]
+    ~small_env:[ (r, 96); (c, 64) ]
+    ~fill:(fun _ _ coords ->
+      (* RGBA: alpha knocks out a grid of holes to interpolate. *)
+      let chn = coords.(0) and xx = coords.(1) and yy = coords.(2) in
+      let alpha =
+        if xx >= 12 && yy >= 12 && ((xx / 6) + (yy / 6)) mod 4 = 0 then 0.0
+        else 1.0
+      in
+      if chn = 3 then alpha else alpha *. Synth.textured [| chn; xx; yy |])
+    ()

@@ -1,0 +1,9 @@
+(** Multiscale interpolation (paper Table 2, ~30 stages): interpolate
+    the colors of masked-out pixels by pushing alpha-weighted values
+    down a pyramid with separable decimation and pulling them back up
+    with blending, normalizing at the end — the classic pull-push
+    algorithm on RGBA data.  Exercises fusion across both downsampling
+    and upsampling stages with a residual channel dimension. *)
+
+val build : ?levels:int -> unit -> App.t
+(** [levels] is the pyramid depth (default 5). *)

@@ -1,0 +1,165 @@
+open Polymage_dsl.Dsl
+
+let pow2 k = 1 lsl k
+let w5 = [ 1.; 4.; 6.; 4.; 1. ]
+let w5x5 = List.map (fun a -> List.map (fun b -> a *. b /. 256.) w5) w5
+
+let build ?(k_levels = 4) ?(j_levels = 4) () =
+  let kk = k_levels and jj = j_levels in
+  let r = parameter ~name:"R" () and c = parameter ~name:"C" () in
+  let img = image ~name:"I" Float [ param_b r +~ ib 4; param_b c +~ ib 4 ] in
+  let x = variable ~name:"x" () and y = variable ~name:"y" () in
+  let dom_at j =
+    [
+      (x, interval (ib 0) ((param_b r /~ pow2 j) +~ ib 3));
+      (y, interval (ib 0) ((param_b c /~ pow2 j) +~ ib 3));
+    ]
+  in
+  let interior j =
+    in_box [ (v x, i 2, p r /^ pow2 j); (v y, i 2, p c /^ pow2 j) ]
+  in
+  let gauss_level name j sample =
+    let g = func ~name Float (dom_at j) in
+    define g [ case (interior j) (downsample2 sample w5x5 (v x) (v y)) ];
+    g
+  in
+  let pyramid tag sample0 =
+    (* levels 1..jj-1 of a Gaussian pyramid over the sampler *)
+    let rec go j acc prev =
+      if j >= jj then List.rev acc
+      else
+        let g =
+          gauss_level (Printf.sprintf "%s_G%d" tag j) j prev
+        in
+        go (j + 1) (g :: acc) (fun idx -> app g idx)
+    in
+    go 1 [] sample0
+  in
+
+  (* Input Gaussian pyramid (controls the interpolation). *)
+  let in_g = pyramid "inG" (fun idx -> img_at img idx) in
+  let in_g_at j idx =
+    if j = 0 then img_at img idx else app (List.nth in_g (j - 1)) idx
+  in
+
+  (* K remapped copies and their Gaussian pyramids. *)
+  let alpha = 0.25 and beta = 1.0 in
+  let remaps =
+    List.init kk (fun k ->
+        let gk = float_of_int k /. float_of_int (kk - 1) in
+        let f = func ~name:(Printf.sprintf "remap%d" k) Float (dom_at 0) in
+        let d = img_at img [ v x; v y ] -: fl gk in
+        define f
+          [
+            case (interior 0)
+              (fl gk +: (fl beta *: d)
+              +: (fl alpha *: d *: exp_ (fl (-8.0) *: d *: d)));
+          ];
+        f)
+  in
+  let g_pyr =
+    List.map
+      (fun rm ->
+        Array.of_list
+          (rm :: pyramid (rm.Polymage_ir.Ast.fname ^ "p")
+                   (fun idx -> app rm idx)))
+      remaps
+  in
+  let g_pyr = Array.of_list g_pyr in
+
+  (* Upsampled versions of each remapped pyramid level (for Laplacian
+     coefficients on level j we need gPyramid[k][j+1] on grid j). *)
+  let ups =
+    Array.init kk (fun k ->
+        Array.init (jj - 1) (fun j ->
+            let u =
+              func
+                ~name:(Printf.sprintf "up_k%d_j%d" k (j + 1))
+                Float (dom_at j)
+            in
+            define u
+              [
+                case (interior j)
+                  (upsample2
+                     (fun idx ->
+                       match idx with
+                       | [ ix; iy ] -> app g_pyr.(k).(j + 1) [ ix; iy ]
+                       | _ -> assert false)
+                     (v x) (v y));
+              ];
+            u))
+  in
+
+  (* Output Laplacian pyramid: at each level, interpolate between the
+     two remap pyramids bracketing the local input intensity — the
+     data-dependent part of the benchmark. *)
+  let out_l =
+    List.init jj (fun j ->
+        let f = func ~name:(Printf.sprintf "outL%d" j) Float (dom_at j) in
+        let level =
+          clamp (in_g_at j [ v x; v y ]) (fl 0.) (fl 0.9999)
+          *: fl (float_of_int (kk - 1))
+        in
+        let lap k idx =
+          if j = jj - 1 then app g_pyr.(k).(j) idx
+          else
+            match idx with
+            | [ ix; iy ] ->
+              app g_pyr.(k).(j) [ ix; iy ] -: app ups.(k).(j) [ ix; iy ]
+            | _ -> assert false
+        in
+        let li = floor_ level in
+        let lf = level -: li in
+        (* select chain over the K-1 brackets *)
+        let rec bracket k =
+          let blend =
+            ((fl 1.0 -: lf) *: lap k [ v x; v y ])
+            +: (lf *: lap (k + 1) [ v x; v y ])
+          in
+          if k >= kk - 2 then blend
+          else select (li <=: fl (float_of_int k)) blend (bracket (k + 1))
+        in
+        define f [ case (interior j) (bracket 0) ];
+        f)
+  in
+
+  (* Collapse the output pyramid. *)
+  let rec collapse j =
+    if j = jj - 1 then List.nth out_l j
+    else begin
+      let deeper = collapse (j + 1) in
+      let u =
+        func ~name:(Printf.sprintf "outG_up%d" (j + 1)) Float (dom_at j)
+      in
+      define u
+        [
+          case (interior j)
+            (upsample2
+               (fun idx ->
+                 match idx with
+                 | [ ix; iy ] -> app deeper [ ix; iy ]
+                 | _ -> assert false)
+               (v x) (v y));
+        ];
+      let o = func ~name:(Printf.sprintf "outG%d" j) Float (dom_at j) in
+      define o
+        [
+          case (interior j)
+            (app (List.nth out_l j) [ v x; v y ] +: app u [ v x; v y ]);
+        ];
+      o
+    end
+  in
+  let out = collapse 0 in
+
+  let sz = pow2 jj * 4 in
+  App.make ~name:"local_laplacian"
+    ~description:
+      (Printf.sprintf
+         "Local Laplacian filter, %d intensity levels x %d pyramid levels"
+         kk jj)
+    ~outputs:[ out ]
+    ~default_env:[ (r, 2560); (c, 1536) ]
+    ~small_env:[ (r, sz); (c, sz) ]
+    ~fill:(fun _ _ coords -> Synth.textured coords)
+    ()

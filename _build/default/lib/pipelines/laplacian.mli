@@ -1,0 +1,11 @@
+(** Local Laplacian filter (paper Table 2, the most complex benchmark):
+    local contrast enhancement via K remapped Gaussian pyramids and a
+    data-dependent interpolation between them when assembling the
+    output Laplacian pyramid (Paris et al., Aubry et al.; structured
+    after the Halide benchmark).  Stage count scales as O(K * J).
+
+    The paper runs K = 8 intensity levels and J = 8 pyramid levels
+    (99 stages); the default here is K = 4, J = 4 (~40 stages) to keep
+    expression sizes manageable — pass larger values to scale up. *)
+
+val build : ?k_levels:int -> ?j_levels:int -> unit -> App.t

@@ -1,0 +1,130 @@
+open Polymage_dsl.Dsl
+
+(* Pyramid level geometry: level k spans [0 .. R/2^k + 3] per spatial
+   dim (a 2-pixel ghost border), with the computed interior at
+   [2 .. R/2^k + 1]; everything outside the interior stays 0. *)
+
+let pow2 k = 1 lsl k
+
+(* 5x5 binomial kernel (outer product of [1 4 6 4 1]/16). *)
+let w5 = [ 1.; 4.; 6.; 4.; 1. ]
+
+let w5x5 =
+  List.map (fun a -> List.map (fun b -> a *. b /. 256.) w5) w5
+
+let build ?(levels = 4) () =
+  let r = parameter ~name:"R" () and c = parameter ~name:"C" () in
+  let x = variable ~name:"x" () and y = variable ~name:"y" () in
+  let extent p k = (param_b p /~ pow2 k) +~ ib 3 in
+  let dom_at k =
+    [
+      (x, interval (ib 0) (extent r k));
+      (y, interval (ib 0) (extent c k));
+    ]
+  in
+  (* Interior stops at R/2^k (not the full ghost extent) so that the
+     5-tap decimating stencil 2x+2 stays inside the previous level. *)
+  let interior k =
+    in_box
+      [
+        (v x, i 2, p r /^ pow2 k);
+        (v y, i 2, p c /^ pow2 k);
+      ]
+  in
+  let img name = image ~name Float [ param_b r +~ ib 4; param_b c +~ ib 4 ] in
+  let i1 = img "I1" and i2 = img "I2" and m = img "M" in
+
+  (* Gaussian pyramid of a sampler: level 0 is the source itself. *)
+  let gaussian_pyramid tag sample0 =
+    let rec go k acc prev_sample =
+      if k > levels then List.rev acc
+      else begin
+        let g = func ~name:(Printf.sprintf "%s_G%d" tag k) Float (dom_at k) in
+        define g
+          [ case (interior k) (downsample2 prev_sample w5x5 (v x) (v y)) ];
+        go (k + 1) (g :: acc) (fun idx -> app g idx)
+      end
+    in
+    go 1 [] sample0
+    (* returns [G1; ...; Glevels] *)
+  in
+  let sample_img im idx = img_at im idx in
+  let g1 = gaussian_pyramid "a" (sample_img i1) in
+  let g2 = gaussian_pyramid "b" (sample_img i2) in
+  let gm = gaussian_pyramid "m" (sample_img m) in
+
+  (* Upsample stage of level-k data onto the level-(k-1) grid. *)
+  let upsample tag k sample =
+    let u = func ~name:(Printf.sprintf "%s_U%d" tag k) Float (dom_at (k - 1)) in
+    define u [ case (interior (k - 1)) (upsample2 sample (v x) (v y)) ];
+    u
+  in
+
+  (* Laplacian levels: L_k = G_k - upsample(G_{k+1}) for k < levels;
+     the coarsest level is the Gaussian itself. *)
+  let laplacian tag sample0 gs =
+    let arr = Array.of_list gs in
+    List.init levels (fun k ->
+        let gk_sample =
+          if k = 0 then sample0 else fun idx -> app arr.(k - 1) idx
+        in
+        let u = upsample tag (k + 1) (fun idx -> app arr.(k) idx) in
+        let l = func ~name:(Printf.sprintf "%s_L%d" tag k) Float (dom_at k) in
+        define l
+          [ case (interior k) (gk_sample [ v x; v y ] -: app u [ v x; v y ]) ];
+        l)
+    @ [ List.nth gs (levels - 1) ]
+  in
+  let l1 = laplacian "a" (sample_img i1) g1 in
+  let l2 = laplacian "b" (sample_img i2) g2 in
+
+  (* Blend each level with the mask pyramid. *)
+  let mask_at k idx =
+    if k = 0 then img_at m idx else app (List.nth gm (k - 1)) idx
+  in
+  let blended =
+    List.init (levels + 1) (fun k ->
+        let b = func ~name:(Printf.sprintf "blend%d" k) Float (dom_at k) in
+        let mk = mask_at k [ v x; v y ] in
+        define b
+          [
+            case (interior k)
+              ((mk *: app (List.nth l1 k) [ v x; v y ])
+              +: ((fl 1.0 -: mk) *: app (List.nth l2 k) [ v x; v y ]));
+          ];
+        b)
+  in
+
+  (* Collapse: O_levels = blend_levels; O_k = blend_k + upsample(O_{k+1}). *)
+  let rec collapse k =
+    if k = levels then List.nth blended k
+    else begin
+      let deeper = collapse (k + 1) in
+      let u = upsample "o" (k + 1) (fun idx -> app deeper idx) in
+      let o = func ~name:(Printf.sprintf "out%d" k) Float (dom_at k) in
+      define o
+        [
+          case (interior k)
+            (app (List.nth blended k) [ v x; v y ] +: app u [ v x; v y ]);
+        ];
+      o
+    end
+  in
+  let out = collapse 0 in
+
+  let sz = pow2 levels * 8 in
+  App.make ~name:"pyramid_blend"
+    ~description:
+      (Printf.sprintf
+         "Pyramid blending with %d levels (Laplacian blend + collapse)"
+         levels)
+    ~outputs:[ out ]
+    ~default_env:[ (r, 2048); (c, 2048) ]
+    ~small_env:[ (r, sz); (c, sz / 2) ]
+    ~fill:(fun env im coords ->
+      let split = (Polymage_ir.Types.bind_exn env c / 2) + 2 in
+      match im.Polymage_ir.Ast.iname with
+      | "I1" -> Synth.half_focus ~left:true ~split coords
+      | "I2" -> Synth.half_focus ~left:false ~split coords
+      | _ -> Synth.mask_left ~split coords)
+    ()

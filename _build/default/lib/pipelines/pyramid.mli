@@ -1,0 +1,9 @@
+(** Pyramid blending (paper Fig. 8 / Table 2, ~44 stages): blend two
+    images with a mask by building Laplacian pyramids, blending each
+    level with the mask's Gaussian pyramid, and collapsing.  The
+    deepest multi-resolution benchmark: fusing across pyramid levels
+    requires the scaling transformation of §3.3. *)
+
+val build : ?levels:int -> unit -> App.t
+(** [levels] is the pyramid depth (default 4, as in paper Fig. 8).
+    Image sizes must be divisible by [2^levels]. *)

@@ -1,0 +1,58 @@
+(* Coordinates may have 2 or 3 dims; the last two are (row, col) and a
+   leading channel perturbs the value slightly so channels differ. *)
+let rc c =
+  let n = Array.length c in
+  if n >= 2 then (c.(n - 2), c.(n - 1), if n >= 3 then c.(0) else 0)
+  else (c.(0), 0, 0)
+
+let gradient c =
+  let x, y, ch = rc c in
+  let v = (0.37 *. float_of_int x) +. (0.61 *. float_of_int y) in
+  Float.rem (v /. 97.3 +. (0.07 *. float_of_int ch)) 1.0
+
+let checker ?(period = 16) c =
+  let x, y, ch = rc c in
+  let b = (x / period) + (y / period) + ch in
+  if b land 1 = 0 then 0.1 else 0.9
+
+(* splitmix-style integer hash: deterministic, uncorrelated. *)
+let hash3 x y ch =
+  let z = ref ((x * 0x9e3779b1) lxor (y * 0x85ebca77) lxor (ch * 0xc2b2ae3d)) in
+  z := (!z lxor (!z lsr 13)) * 0x27d4eb2f;
+  z := !z lxor (!z lsr 15);
+  float_of_int (!z land 0xffff) /. 65536.0
+
+let noise c =
+  let x, y, ch = rc c in
+  hash3 x y ch
+
+let textured c =
+  let g = gradient c and k = checker c and n = noise c in
+  let v = (0.55 *. g) +. (0.35 *. k) +. (0.1 *. n) in
+  if v >= 1.0 then 0.999 else v
+
+let bayer_raw c =
+  let x, y, _ = rc c in
+  (* Scene radiance, then GRBG mosaic channel gains. *)
+  let scene = textured [| x; y |] in
+  let gain =
+    match (x land 1, y land 1) with
+    | 0, 0 -> 0.9 (* G (on R row) *)
+    | 0, 1 -> 0.6 (* R *)
+    | 1, 0 -> 0.7 (* B *)
+    | _ -> 0.9 (* G (on B row) *)
+  in
+  Float.round (scene *. gain *. 1023.0)
+
+let half_focus ~left ~split c =
+  let x, y, ch = rc c in
+  let sharp = textured c in
+  (* Cheap blur stand-in: sample the texture at a coarser grid. *)
+  let blurred = textured [| ch; x / 4 * 4; y / 4 * 4 |] in
+  let in_left = y < split in
+  if (left && in_left) || ((not left) && not in_left) then sharp else blurred
+
+let mask_left ~split c =
+  let _, y, _ = rc c in
+  let t = (float_of_int split -. float_of_int y) /. 16.0 in
+  if t >= 1.0 then 1.0 else if t <= 0.0 then 0.0 else t

@@ -1,0 +1,32 @@
+(** Deterministic synthetic input images.
+
+    The paper's inputs are photographs and RAW captures; the
+    optimizations measured are data-independent, so benchmarks and
+    tests use synthetic images with comparable statistics
+    (see DESIGN.md substitutions).  All generators are pure functions
+    of the pixel coordinates, so the same image can be regenerated for
+    the reference implementations. *)
+
+val gradient : int array -> float
+(** Smooth diagonal ramp in [0, 1). *)
+
+val checker : ?period:int -> int array -> float
+(** Checkerboard in {0.1, 0.9}; corners make Harris respond. *)
+
+val noise : int array -> float
+(** Deterministic white-ish noise in [0, 1) (hash of coordinates). *)
+
+val textured : int array -> float
+(** Gradient + checker + noise mix in [0, 1); the default workload. *)
+
+val bayer_raw : int array -> float
+(** A GRBG-mosaicked synthetic scene, values in [0, 1023] (10-bit
+    RAW, as a camera sensor produces). *)
+
+val half_focus : left:bool -> split:int -> int array -> float
+(** Scene where one half is sharp [textured] and the other blurred —
+    the pyramid-blending inputs of paper Fig. 8.  [split] is the
+    column where focus changes. *)
+
+val mask_left : split:int -> int array -> float
+(** Smooth vertical step mask (1 left of [split], 0 right of it). *)

@@ -1,0 +1,68 @@
+open Polymage_dsl.Dsl
+
+(* Layout follows the PolyMage benchmark: channel-major (c, x, y) with
+   a 2-pixel ghost border on the spatial dims; the output is defined
+   on the interior [2, R+1] x [2, C+1]. *)
+let build () =
+  let r = parameter ~name:"R" () and c = parameter ~name:"C" () in
+  let img =
+    image ~name:"img" Float [ ib 3; param_b r +~ ib 4; param_b c +~ ib 4 ]
+  in
+  let ch = variable ~name:"c" ()
+  and x = variable ~name:"x" ()
+  and y = variable ~name:"y" () in
+  let chans = interval (ib 0) (ib 2) in
+  let rows = interval (ib 0) (param_b r +~ ib 3) in
+  let cols = interval (ib 0) (param_b c +~ ib 3) in
+  let dom = [ (ch, chans); (x, rows); (y, cols) ] in
+  let w5 = [ 1. /. 16.; 4. /. 16.; 6. /. 16.; 4. /. 16.; 1. /. 16. ] in
+
+  let blurx = func ~name:"blurx" Float dom in
+  define blurx
+    [
+      case
+        (between (v x) (i 2) (p r +: i 1))
+        (stencil1d
+           (fun ix -> img_at img [ v ch; ix; v y ])
+           w5 (v x));
+    ];
+
+  let blury = func ~name:"blury" Float dom in
+  let interior =
+    in_box [ (v x, i 2, p r +: i 1); (v y, i 2, p c +: i 1) ]
+  in
+  define blury
+    [
+      case interior
+        (stencil1d (fun iy -> app blurx [ v ch; v x; iy ]) w5 (v y));
+    ];
+
+  let weight = 3.0 and threshold = 0.01 in
+  let sharpen = func ~name:"sharpen" Float dom in
+  define sharpen
+    [
+      case interior
+        ((img_at img [ v ch; v x; v y ] *: fl (1.0 +. weight))
+        -: (app blury [ v ch; v x; v y ] *: fl weight));
+    ];
+
+  let masked = func ~name:"masked" Float dom in
+  define masked
+    [
+      case interior
+        (select
+           (abs_
+              (img_at img [ v ch; v x; v y ]
+              -: app blury [ v ch; v x; v y ])
+           <: fl threshold)
+           (img_at img [ v ch; v x; v y ])
+           (app sharpen [ v ch; v x; v y ]));
+    ];
+
+  App.make ~name:"unsharp_mask"
+    ~description:"Unsharp mask: separable Gaussian blur + thresholded sharpen"
+    ~outputs:[ masked ]
+    ~default_env:[ (r, 2048); (c, 2048) ]
+    ~small_env:[ (r, 96); (c, 80) ]
+    ~fill:(fun _ _ coords -> Synth.textured coords)
+    ()

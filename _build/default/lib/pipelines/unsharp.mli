@@ -1,0 +1,6 @@
+(** Unsharp Mask (paper Table 2, 4 stages): a separable Gaussian blur
+    followed by thresholded sharpening of a 3-channel image.  The
+    simplest benchmark — a straight chain of stencils where fusing
+    everything into one group is clearly right. *)
+
+val build : unit -> App.t

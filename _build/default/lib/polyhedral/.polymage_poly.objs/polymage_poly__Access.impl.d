@@ -1,0 +1,1 @@
+lib/polyhedral/access.ml: Array Ast Expr Float Format List Polymage_ir Types

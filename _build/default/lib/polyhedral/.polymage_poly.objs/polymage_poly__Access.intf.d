@@ -1,0 +1,1 @@
+lib/polyhedral/access.mli: Ast Format Polymage_ir Types

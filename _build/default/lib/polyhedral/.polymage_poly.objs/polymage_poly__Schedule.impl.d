@@ -1,0 +1,1 @@
+lib/polyhedral/schedule.ml: Access Array Ast Format Hashtbl Interval List Pipeline Polymage_ir Polymage_util Printf String Types

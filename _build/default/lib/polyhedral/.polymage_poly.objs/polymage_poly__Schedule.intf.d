@@ -1,0 +1,1 @@
+lib/polyhedral/schedule.mli: Ast Format Pipeline Polymage_ir Types

@@ -1,0 +1,1 @@
+lib/polyhedral/tiling.mli: Schedule

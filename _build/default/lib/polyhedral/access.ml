@@ -1,0 +1,86 @@
+open Polymage_ir
+
+type dim = { v : Types.var option; num : int; den : int; off : int }
+type t = Affine of dim | Dynamic
+
+let const_int e =
+  match e with
+  | Ast.Const x when Float.is_integer x -> Some (int_of_float x)
+  | _ -> None
+
+(* Recognize floor((num*v + off)/den).  Composition rules:
+   (e + c), (e - c), (c * e), (e * c), floor(e / n) with
+   floor(floor(a/b)/c) = floor(a/(b*c)) for positive b, c. *)
+let rec of_expr e =
+  match e with
+  | Ast.Var v -> Affine { v = Some v; num = 1; den = 1; off = 0 }
+  | Ast.Const x when Float.is_integer x ->
+    Affine { v = None; num = 0; den = 1; off = int_of_float x }
+  | Ast.Binop (Add, a, b) -> (
+    match (const_int b, const_int a) with
+    | Some c, _ -> shift (of_expr a) c
+    | _, Some c -> shift (of_expr b) c
+    | _ -> Dynamic)
+  | Ast.Binop (Sub, a, b) -> (
+    match const_int b with Some c -> shift (of_expr a) (-c) | None -> Dynamic)
+  | Ast.Binop (Mul, a, b) -> (
+    match (const_int a, const_int b) with
+    | Some c, _ -> scale (of_expr b) c
+    | _, Some c -> scale (of_expr a) c
+    | _ -> Dynamic)
+  | Ast.IDiv (a, n) -> divide (of_expr a) n
+  | Ast.Unop (Neg, a) -> scale (of_expr a) (-1)
+  | _ -> Dynamic
+
+(* Shifting under a floor is only exact when the shift is a multiple of
+   the denominator: floor((nv+o)/d) + c = floor((nv+o+cd)/d). *)
+and shift a c =
+  match a with
+  | Dynamic -> Dynamic
+  | Affine d -> Affine { d with off = d.off + (c * d.den) }
+
+and scale a c =
+  match a with
+  | Dynamic -> Dynamic
+  | Affine d ->
+    if d.den = 1 then Affine { d with num = d.num * c; off = d.off * c }
+    else Dynamic
+
+and divide a n =
+  if n <= 0 then Dynamic
+  else
+    match a with
+    | Dynamic -> Dynamic
+    | Affine d ->
+      if d.num >= 0 && d.den >= 1 then Affine { d with den = d.den * n }
+      else Dynamic
+
+let of_expr e = of_expr (Expr.simplify e)
+let of_args args = Array.of_list (List.map of_expr args)
+
+let is_identity = function
+  | Affine { v = Some _; num = 1; den = 1; off = 0 } -> true
+  | _ -> false
+
+let is_shift = function
+  | Affine { v = Some _; num = 1; den = 1; off = _ } -> true
+  | _ -> false
+
+let pp ppf = function
+  | Dynamic -> Format.pp_print_string ppf "dynamic"
+  | Affine { v; num; den; off } ->
+    let vs = match v with Some v -> Format.asprintf "%a" Types.pp_var v | None -> "0" in
+    if den = 1 then Format.fprintf ppf "%d*%s%+d" num vs off
+    else Format.fprintf ppf "floor((%d*%s%+d)/%d)" num vs off den
+
+type ref_site = {
+  target : [ `Func of Ast.func | `Img of Ast.image ];
+  dims : t array;
+}
+
+let refs_of_body body =
+  let acc = ref [] in
+  let on_call f args = acc := { target = `Func f; dims = of_args args } :: !acc in
+  let on_img im args = acc := { target = `Img im; dims = of_args args } :: !acc in
+  Expr.iter_body ~on_call ~on_img body;
+  List.rev !acc

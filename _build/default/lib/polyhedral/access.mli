@@ -1,0 +1,47 @@
+(** Affine access functions.
+
+    Every stage/image reference is analyzed per dimension into the
+    canonical form [floor((num * v + off) / den)] over a single loop
+    variable [v] (paper §3.3): stencils are [v + off], downsampling is
+    [num*v + off], upsampling is [floor((v + off)/den)].  Anything else
+    (data-dependent indices, multi-variable expressions, parameter
+    offsets, clamped borders) is [Dynamic] — still executable, but
+    opaque to the polyhedral analyses, so it blocks grouping and is
+    skipped by the static bounds checker, exactly as in the paper. *)
+
+open Polymage_ir
+
+type dim = {
+  v : Types.var option;  (** [None] means a constant index [off/den] *)
+  num : int;
+  den : int;  (** strictly positive *)
+  off : int;
+}
+
+type t = Affine of dim | Dynamic
+
+val of_expr : Ast.expr -> t
+(** Analyze one index expression. *)
+
+val of_args : Ast.expr list -> t array
+
+val is_identity : t -> bool
+(** [v + 0] with [num = den = 1]: a point-wise access along this
+    dimension. *)
+
+val is_shift : t -> bool
+(** [v + off] with [num = den = 1]: a stencil access. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** All stage and image references made by a body, with their analyzed
+    index vectors. *)
+type ref_site = {
+  target : [ `Func of Ast.func | `Img of Ast.image ];
+  dims : t array;
+}
+
+val refs_of_body : Ast.body -> ref_site list
+(** Every reference occurrence (not deduplicated — each textual access
+    contributes its own dependence vector, as in the paper's Sxx
+    example with four vectors). *)

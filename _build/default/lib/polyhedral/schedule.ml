@@ -1,0 +1,321 @@
+open Polymage_ir
+module Q = Polymage_util.Rational
+
+type stage_sched = {
+  func : Ast.func;
+  sidx : int;
+  align : int array;
+  scale : int array;
+  widen_l : int array;
+  widen_r : int array;
+  widen_l_naive : int array;
+  widen_r_naive : int array;
+}
+
+type t = {
+  members : stage_sched array;
+  n_cdims : int;
+  sink : int;
+  slope_l : int array;
+  slope_r : int array;
+}
+
+type failure =
+  | No_unique_sink
+  | Dynamic_intra_edge of string
+  | Inconsistent of string
+  | Unsupported_stage of string
+
+exception Fail of failure
+
+let pp_failure ppf = function
+  | No_unique_sink -> Format.pp_print_string ppf "no unique sink stage"
+  | Dynamic_intra_edge s ->
+    Format.fprintf ppf "non-affine access inside the group (stage %s)" s
+  | Inconsistent s -> Format.fprintf ppf "alignment/scaling conflict: %s" s
+  | Unsupported_stage s ->
+    Format.fprintf ppf "stage %s is a reduction or self-recursive" s
+
+(* Pending (rational) assignment of one stage during the solve. *)
+type pending = {
+  p_align : int array;  (* stage dim -> canonical dim or -1 *)
+  p_scale : Q.t array;  (* stage dim -> rational scale (1 if residual) *)
+  mutable p_set : bool array;  (* stage dim assigned yet? *)
+}
+
+let var_index f v =
+  let rec go i = function
+    | [] -> None
+    | w :: tl -> if Types.var_equal v w then Some i else go (i + 1) tl
+  in
+  go 0 f.Ast.fvars
+
+let solve (pipe : Pipeline.t) members =
+  try
+    let in_group = Hashtbl.create 8 in
+    List.iter (fun i -> Hashtbl.replace in_group i ()) members;
+    let mem i = Hashtbl.mem in_group i in
+    (* Only plain piecewise stages can be tiled. *)
+    List.iter
+      (fun i ->
+        let f = pipe.stages.(i) in
+        match f.Ast.fbody with
+        | Ast.Reduce _ -> raise (Fail (Unsupported_stage f.fname))
+        | _ ->
+          if pipe.self_recursive.(i) then
+            raise (Fail (Unsupported_stage f.fname)))
+      members;
+    (* Unique sink: the member with no consumers inside the group. *)
+    let sinks =
+      List.filter
+        (fun i -> not (List.exists mem pipe.consumers.(i)))
+        members
+    in
+    let sink_idx =
+      match sinks with [ s ] -> s | _ -> raise (Fail No_unique_sink)
+    in
+    let sink_f = pipe.stages.(sink_idx) in
+    let n_cdims = Ast.func_arity sink_f in
+    (* Member list in pipeline topological order (producers first). *)
+    let ordered = List.sort compare members in
+    let pend = Hashtbl.create 8 in
+    let get_pending i =
+      match Hashtbl.find_opt pend i with
+      | Some p -> p
+      | None ->
+        let a = Ast.func_arity pipe.stages.(i) in
+        let p =
+          {
+            p_align = Array.make a (-1);
+            p_scale = Array.make a Q.one;
+            p_set = Array.make a false;
+          }
+        in
+        Hashtbl.replace pend i p;
+        p
+    in
+    (* Sink: identity alignment, unit scaling. *)
+    let ps = get_pending sink_idx in
+    Array.iteri
+      (fun d _ ->
+        ps.p_align.(d) <- d;
+        ps.p_scale.(d) <- Q.one;
+        ps.p_set.(d) <- true)
+      ps.p_align;
+    let assign consumer_name p j (cd : int) (sc : Q.t) =
+      (* Constrain producer dim [j] to canonical dim [cd] (or residual
+         when [cd] < 0) with scale [sc]; checks consistency with any
+         earlier constraint. *)
+      if p.p_set.(j) then begin
+        if p.p_align.(j) <> cd || (cd >= 0 && not (Q.equal p.p_scale.(j) sc))
+        then
+          raise
+            (Fail
+               (Inconsistent
+                  (Printf.sprintf
+                     "conflicting requirements on a dimension used by %s"
+                     consumer_name)))
+      end
+      else begin
+        p.p_align.(j) <- cd;
+        p.p_scale.(j) <- (if cd >= 0 then sc else Q.one);
+        p.p_set.(j) <- true
+      end
+    in
+    (* Propagate from consumers to producers, consumers first. *)
+    List.iter
+      (fun ci ->
+        let c = pipe.stages.(ci) in
+        let pc = get_pending ci in
+        if not (Array.for_all (fun b -> b) pc.p_set) then
+          raise
+            (Fail
+               (Inconsistent
+                  (Printf.sprintf "stage %s not reachable from the group sink"
+                     c.fname)));
+        List.iter
+          (fun (site : Access.ref_site) ->
+            match site.target with
+            | `Img _ -> ()
+            | `Func p when Ast.func_equal p c -> ()
+            | `Func p -> (
+              match Pipeline.stage_index pipe p with
+              | exception Not_found -> ()
+              | pi ->
+                if mem pi then begin
+                  let pp_ = get_pending pi in
+                  Array.iteri
+                    (fun j acc ->
+                      match (acc : Access.t) with
+                      | Dynamic -> raise (Fail (Dynamic_intra_edge c.fname))
+                      | Affine { v = None; _ } ->
+                        (* constant index: producer dim is residual *)
+                        assign c.fname pp_ j (-1) Q.one
+                      | Affine { v = Some v; num; den; off = _ } -> (
+                        match var_index c v with
+                        | None ->
+                          (* index depends on a reduction variable or a
+                             foreign variable: opaque *)
+                          raise (Fail (Dynamic_intra_edge c.fname))
+                        | Some i ->
+                          if pc.p_align.(i) < 0 then
+                            (* residual consumer dim: producer dim is
+                               residual too *)
+                            assign c.fname pp_ j (-1) Q.one
+                          else if num <= 0 then
+                            raise
+                              (Fail
+                                 (Inconsistent
+                                    (Printf.sprintf
+                                       "non-positive access coefficient in %s"
+                                       c.fname)))
+                          else
+                            let sc =
+                              Q.mul pc.p_scale.(i) (Q.make den num)
+                            in
+                            assign c.fname pp_ j pc.p_align.(i) sc))
+                    site.dims
+                end))
+          (Access.refs_of_body c.Ast.fbody))
+      (List.rev ordered);
+    (* Each canonical dim may be claimed by at most one dim per stage. *)
+    Hashtbl.iter
+      (fun i (p : pending) ->
+        let seen = Array.make n_cdims false in
+        Array.iter
+          (fun d ->
+            if d >= 0 then begin
+              if seen.(d) then
+                raise
+                  (Fail
+                     (Inconsistent
+                        (Printf.sprintf
+                           "two dimensions of %s map to one canonical \
+                            dimension"
+                           pipe.stages.(i).fname)));
+              seen.(d) <- true
+            end)
+          p.p_align)
+      pend;
+    (* Normalize scales to integers per canonical dimension. *)
+    let denoms = Array.make n_cdims [] in
+    Hashtbl.iter
+      (fun _ (p : pending) ->
+        Array.iteri
+          (fun j d -> if d >= 0 then denoms.(d) <- p.p_scale.(j) :: denoms.(d))
+          p.p_align)
+      pend;
+    let lcm_per_dim = Array.map Q.lcm_dens denoms in
+    let int_scale p j =
+      let d = p.p_align.(j) in
+      if d < 0 then 1
+      else Q.to_int_exn (Q.mul p.p_scale.(j) (Q.of_int lcm_per_dim.(d)))
+    in
+    (* Dependence offset intervals per intra-group edge, in scaled
+       space, then tight widening by reverse-topological walk. *)
+    let order = Array.of_list ordered in
+    let pos = Hashtbl.create 8 in
+    Array.iteri (fun k i -> Hashtbl.replace pos i k) order;
+    let n = Array.length order in
+    let wl = Array.init n (fun _ -> Array.make n_cdims 0) in
+    let wr = Array.init n (fun _ -> Array.make n_cdims 0) in
+    (* Uniform maximal slopes for the over-approximated shape. *)
+    let slope_l = Array.make n_cdims 0 in
+    let slope_r = Array.make n_cdims 0 in
+    let edges = ref [] in
+    (* collect (consumer_pos, producer_pos, canonical dim, lo, hi) *)
+    List.iter
+      (fun ci ->
+        let c = pipe.stages.(ci) in
+        List.iter
+          (fun (site : Access.ref_site) ->
+            match site.target with
+            | `Img _ -> ()
+            | `Func p when Ast.func_equal p c -> ()
+            | `Func p -> (
+              match Pipeline.stage_index pipe p with
+              | exception Not_found -> ()
+              | pi ->
+                if mem pi then
+                  let pp_ = Hashtbl.find pend pi in
+                  Array.iteri
+                    (fun j acc ->
+                      match (acc : Access.t) with
+                      | Affine { v = Some _; num = _; den; off }
+                        when pp_.p_align.(j) >= 0 ->
+                        let d = pp_.p_align.(j) in
+                        let sp = int_scale pp_ j in
+                        (* delta = sp*(off - r)/den, r in [0, den-1] *)
+                        let lo = Q.floor (Q.make (sp * (off - den + 1)) den) in
+                        let hi = Q.ceil (Q.make (sp * off) den) in
+                        edges :=
+                          ( Hashtbl.find pos ci,
+                            Hashtbl.find pos pi,
+                            d,
+                            lo,
+                            hi )
+                          :: !edges;
+                        slope_l.(d) <- max slope_l.(d) (max 0 (-lo));
+                        slope_r.(d) <- max slope_r.(d) (max 0 hi)
+                      | _ -> ())
+                    site.dims))
+          (Access.refs_of_body c.Ast.fbody))
+      ordered;
+    (* Tight widening: consumers before producers. *)
+    for k = n - 1 downto 0 do
+      List.iter
+        (fun (ck, pk, d, lo, hi) ->
+          if ck = k then begin
+            wl.(pk).(d) <- max wl.(pk).(d) (max 0 (wl.(ck).(d) - lo));
+            wr.(pk).(d) <- max wr.(pk).(d) (max 0 (wr.(ck).(d) + hi))
+          end)
+        !edges
+    done;
+    let sink_pos = Hashtbl.find pos sink_idx in
+    let members_arr =
+      Array.mapi
+        (fun k i ->
+          let f = pipe.stages.(i) in
+          let p = Hashtbl.find pend i in
+          let h = pipe.level.(sink_idx) - pipe.level.(i) in
+          {
+            func = f;
+            sidx = i;
+            align = Array.copy p.p_align;
+            scale = Array.init (Array.length p.p_align) (int_scale p);
+            widen_l = wl.(k);
+            widen_r = wr.(k);
+            widen_l_naive = Array.map (fun s -> s * h) slope_l;
+            widen_r_naive = Array.map (fun s -> s * h) slope_r;
+          })
+        order
+    in
+    Ok { members = members_arr; n_cdims; sink = sink_pos; slope_l; slope_r }
+  with Fail f -> Error f
+
+let member t sidx =
+  Array.find_opt (fun (m : stage_sched) -> m.sidx = sidx) t.members
+
+let scaled_domain ~n_cdims (m : stage_sched) env =
+  let arr = Array.make n_cdims (0, 0) in
+  List.iteri
+    (fun j (iv : Interval.t) ->
+      let d = m.align.(j) in
+      if d >= 0 then
+        let lo, hi = Interval.eval iv env in
+        let s = m.scale.(j) in
+        arr.(d) <- (s * lo, s * hi))
+    m.func.Ast.fdom;
+  arr
+
+let pp ppf t =
+  Array.iteri
+    (fun k (m : stage_sched) ->
+      Format.fprintf ppf "%s%-18s align=[%s] scale=[%s] widen_l=[%s] widen_r=[%s]@."
+        (if k = t.sink then "*" else " ")
+        m.func.Ast.fname
+        (String.concat ";" (Array.to_list (Array.map string_of_int m.align)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int m.scale)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int m.widen_l)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int m.widen_r))))
+    t.members

@@ -1,0 +1,68 @@
+(** Alignment, scaling, and overlapped-tile shapes for a group of
+    heterogeneous stages (paper §3.3–3.4).
+
+    The canonical iteration space of a group is the domain of its sink
+    stage.  Each member stage dimension is aligned to a canonical
+    dimension and given an integer scaling factor so that every
+    intra-group dependence has a constant offset interval in the scaled
+    space (Fig. 6).  From those offsets we compute, per stage and
+    canonical dimension, the tight left/right widening of an overlapped
+    tile: stage [f] inside tile [[T, T+tau)] evaluates scaled
+    coordinates [[T - widen_l, T + tau + widen_r)] intersected with its
+    own domain.  This is the exact (per-level) tile shape of the paper;
+    the over-approximated shape — uniform maximal slope at every level
+    — is also computed for the Fig. 6 ablation. *)
+
+open Polymage_ir
+
+type stage_sched = {
+  func : Ast.func;
+  sidx : int;  (** index of the stage in the pipeline *)
+  align : int array;
+      (** per stage dimension: canonical dimension, or [-1] for a
+          residual dimension iterated fully inside the tile *)
+  scale : int array;
+      (** per stage dimension: integer scaling factor into canonical
+          space (1 for residual dimensions) *)
+  widen_l : int array;  (** per canonical dimension, tight shape *)
+  widen_r : int array;
+  widen_l_naive : int array;  (** over-approximated shape (ablation) *)
+  widen_r_naive : int array;
+}
+
+type t = {
+  members : stage_sched array;  (** pipeline topological order *)
+  n_cdims : int;  (** canonical dimensionality (the sink's arity) *)
+  sink : int;  (** index into [members] *)
+  slope_l : int array;
+      (** per canonical dim, the maximal leftward dependence offset of
+          any intra-group edge (the uniform hyperplane slope of the
+          over-approximated shape, and the skew of parallelogram
+          tiling) *)
+  slope_r : int array;  (** maximal rightward dependence offset *)
+}
+
+type failure =
+  | No_unique_sink
+  | Dynamic_intra_edge of string  (** stage name with the opaque access *)
+  | Inconsistent of string  (** alignment/scaling conflict description *)
+  | Unsupported_stage of string  (** reduction or self-recursive stage *)
+
+val solve : Pipeline.t -> int list -> (t, failure) result
+(** [solve pipe members] computes the group schedule for the given
+    stage indices, or explains why the stages cannot be fused with
+    overlapped tiling (Algorithm 1's [hasConstantDependenceVectors]
+    test is [Result.is_ok]). *)
+
+val member : t -> int -> stage_sched option
+(** Schedule of pipeline stage [sidx] inside this group, if any. *)
+
+val scaled_domain :
+  n_cdims:int -> stage_sched -> Types.bindings -> (int * int) array
+(** Concrete scaled bounds of the stage domain per canonical dimension:
+    for stage dim [j] aligned to canonical dim [d] with scale [s],
+    the scaled range is [[s*lo, s*hi]].  Canonical dimensions not
+    covered by any stage dimension get [(0, 0)]. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+let sink_scale (t : Schedule.t) =
+  let s = Array.make t.n_cdims 1 in
+  let sink = t.members.(t.sink) in
+  Array.iteri
+    (fun j d -> if d >= 0 then s.(d) <- sink.scale.(j))
+    sink.align;
+  s
+
+let overlap ?(naive = false) (t : Schedule.t) =
+  let o = Array.make t.n_cdims 0 in
+  Array.iter
+    (fun (m : Schedule.stage_sched) ->
+      for d = 0 to t.n_cdims - 1 do
+        let l = if naive then m.widen_l_naive.(d) else m.widen_l.(d) in
+        let r = if naive then m.widen_r_naive.(d) else m.widen_r.(d) in
+        o.(d) <- max o.(d) (l + r)
+      done)
+    t.members;
+  o
+
+let scaled_tile (t : Schedule.t) ~tile =
+  let s = sink_scale t in
+  Array.init t.n_cdims (fun d ->
+      let n = Array.length tile in
+      let base = if n = 0 then 32 else if d < n then tile.(d) else tile.(n - 1) in
+      max 1 (base * s.(d)))
+
+let relative_overlap ?naive (t : Schedule.t) ~tile =
+  if Array.length t.members <= 1 then 0.
+  else begin
+    let o = overlap ?naive t in
+    let tau = scaled_tile t ~tile in
+    let num = ref 1.0 and den = ref 1.0 in
+    for d = 0 to t.n_cdims - 1 do
+      num := !num *. float_of_int (tau.(d) + o.(d));
+      den := !den *. float_of_int tau.(d)
+    done;
+    (!num /. !den) -. 1.0
+  end

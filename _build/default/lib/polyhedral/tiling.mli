@@ -1,0 +1,25 @@
+(** Overlapped-tile arithmetic shared by the grouping heuristic, the
+    plan builder and the executor (paper §3.4–3.5).
+
+    Tile sizes are specified in sink pixels per canonical dimension;
+    in the scaled canonical space a tile spans [tile_d * sink_scale_d]
+    points, and stages widen it by their per-dimension overlap. *)
+
+val sink_scale : Schedule.t -> int array
+(** Scaling factor of the sink stage per canonical dimension (1 for
+    canonical dimensions not covered by a sink dimension). *)
+
+val overlap : ?naive:bool -> Schedule.t -> int array
+(** Per canonical dimension, the widest widening over all member
+    stages, [max_f (widen_l_f + widen_r_f)].  [naive] selects the
+    over-approximated tile shape (Fig. 6 ablation). *)
+
+val relative_overlap :
+  ?naive:bool -> Schedule.t -> tile:int array -> float
+(** Redundant-computation estimate used by Algorithm 1 line 11:
+    [prod_d (tau_d + o_d) / prod_d tau_d - 1] where [tau_d] is the tile
+    size in scaled space and [o_d] the group overlap.  0 when the group
+    has a single stage. *)
+
+val scaled_tile : Schedule.t -> tile:int array -> int array
+(** Tile extents in scaled canonical space ([tile_d * sink_scale_d]). *)

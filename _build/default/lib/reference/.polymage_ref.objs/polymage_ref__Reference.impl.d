@@ -1,0 +1,1 @@
+lib/reference/reference.ml: Abound Array Ast Float List Pipeline Polymage_apps Polymage_ir Polymage_rt Types

@@ -1,0 +1,1 @@
+lib/reference/reference.mli: Ast Polymage_apps Polymage_ir Polymage_rt Types

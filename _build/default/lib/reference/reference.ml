@@ -1,0 +1,287 @@
+open Polymage_ir
+module Rt = Polymage_rt
+module App = Polymage_apps.App
+
+(* The reference routines locate parameters and input images by name
+   in the app's pipeline (the apps use stable names: R, C, img/I/...).
+   Hot loops work on plain float matrices — these routines stand in
+   for tuned library code (OpenCV) in Table 2, so they avoid any
+   per-access indirection. *)
+let lookup_param (pipe : Pipeline.t) env name =
+  match
+    List.find_opt (fun (p : Types.param) -> p.pname = name) pipe.params
+  with
+  | Some p -> Types.bind_exn env p
+  | None -> invalid_arg ("Reference: missing parameter " ^ name)
+
+let lookup_image (pipe : Pipeline.t) name =
+  match
+    List.find_opt (fun (im : Ast.image) -> im.iname = name) pipe.images
+  with
+  | Some im -> im
+  | None -> invalid_arg ("Reference: missing image " ^ name)
+
+(* Materialize a 2-D image into a matrix via the app's generator. *)
+let matrix2 env fill (im : Ast.image) =
+  let dims = List.map (fun e -> Abound.eval e env) im.iextents in
+  match dims with
+  | [ rows; cols ] ->
+    Array.init rows (fun x ->
+        Array.init cols (fun y -> fill im [| x; y |]))
+  | _ -> invalid_arg "Reference.matrix2: not a 2-D image"
+
+let matrix3 env fill (im : Ast.image) =
+  let dims = List.map (fun e -> Abound.eval e env) im.iextents in
+  match dims with
+  | [ chans; rows; cols ] ->
+    Array.init chans (fun c ->
+        Array.init rows (fun x ->
+            Array.init cols (fun y -> fill im [| c; x; y |])))
+  | _ -> invalid_arg "Reference.matrix3: not a 3-D image"
+
+(* ---------- Unsharp mask ---------- *)
+
+let w5 = [| 1. /. 16.; 4. /. 16.; 6. /. 16.; 4. /. 16.; 1. /. 16. |]
+
+let unsharp env ~fill (app : App.t) =
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let r = lookup_param pipe env "R" and c = lookup_param pipe env "C" in
+  let img = matrix3 env fill (lookup_image pipe "img") in
+  let rows = r + 4 and cols = c + 4 in
+  let mk () = Array.init 3 (fun _ -> Array.make_matrix rows cols 0.) in
+  let blurx = mk () and blury = mk () in
+  for ch = 0 to 2 do
+    let ic = img.(ch) and bx = blurx.(ch) in
+    for x = 2 to r + 1 do
+      let m2 = ic.(x - 2)
+      and m1 = ic.(x - 1)
+      and z = ic.(x)
+      and p1 = ic.(x + 1)
+      and p2 = ic.(x + 2)
+      and dst = bx.(x) in
+      for y = 0 to c + 3 do
+        dst.(y) <-
+          (w5.(0) *. m2.(y)) +. (w5.(1) *. m1.(y)) +. (w5.(2) *. z.(y))
+          +. (w5.(3) *. p1.(y)) +. (w5.(4) *. p2.(y))
+      done
+    done
+  done;
+  for ch = 0 to 2 do
+    let bx = blurx.(ch) and by = blury.(ch) in
+    for x = 2 to r + 1 do
+      let s = bx.(x) and dst = by.(x) in
+      for y = 2 to c + 1 do
+        dst.(y) <-
+          (w5.(0) *. s.(y - 2)) +. (w5.(1) *. s.(y - 1)) +. (w5.(2) *. s.(y))
+          +. (w5.(3) *. s.(y + 1)) +. (w5.(4) *. s.(y + 2))
+      done
+    done
+  done;
+  let weight = 3.0 and threshold = 0.01 in
+  let out = Rt.Buffer.of_func (List.hd app.outputs) env in
+  let data = out.Rt.Buffer.data in
+  for ch = 0 to 2 do
+    let ic = img.(ch) and by = blury.(ch) in
+    for x = 2 to r + 1 do
+      let irow = ic.(x) and brow = by.(x) in
+      let base = ((ch * rows) + x) * cols in
+      for y = 2 to c + 1 do
+        let i = irow.(y) and b = brow.(y) in
+        let sharp = (i *. (1.0 +. weight)) -. (b *. weight) in
+        data.(base + y) <-
+          (if Float.abs (i -. b) < threshold then i else sharp)
+      done
+    done
+  done;
+  out
+
+(* ---------- Harris corner detection ---------- *)
+
+let harris env ~fill (app : App.t) =
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let r = lookup_param pipe env "R" and c = lookup_param pipe env "C" in
+  let img = matrix2 env fill (lookup_image pipe "I") in
+  let rows = r + 2 and cols = c + 2 in
+  let mk () = Array.make_matrix rows cols 0. in
+  let ix = mk () and iy = mk () in
+  for x = 1 to r do
+    let up = img.(x - 1) and mid = img.(x) and dn = img.(x + 1) in
+    let iyr = iy.(x) and ixr = ix.(x) in
+    for y = 1 to c do
+      iyr.(y) <-
+        1. /. 12.
+        *. (((-1.) *. up.(y - 1)) +. ((-2.) *. up.(y)) +. ((-1.) *. up.(y + 1))
+           +. dn.(y - 1) +. (2. *. dn.(y)) +. dn.(y + 1));
+      ixr.(y) <-
+        1. /. 12.
+        *. (((-1.) *. up.(y - 1)) +. up.(y + 1)
+           +. ((-2.) *. mid.(y - 1)) +. (2. *. mid.(y + 1))
+           +. ((-1.) *. dn.(y - 1)) +. dn.(y + 1))
+    done
+  done;
+  let out = Rt.Buffer.of_func (List.hd app.outputs) env in
+  let data = out.Rt.Buffer.data in
+  for x = 2 to r - 1 do
+    let base = x * cols in
+    for y = 2 to c - 1 do
+      let sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+      for dx = -1 to 1 do
+        let ixr = ix.(x + dx) and iyr = iy.(x + dx) in
+        for dy = -1 to 1 do
+          let a = ixr.(y + dy) and b = iyr.(y + dy) in
+          sxx := !sxx +. (a *. a);
+          syy := !syy +. (b *. b);
+          sxy := !sxy +. (a *. b)
+        done
+      done;
+      let det = (!sxx *. !syy) -. (!sxy *. !sxy) in
+      let trace = !sxx +. !syy in
+      data.(base + y) <- det -. (0.04 *. trace *. trace)
+    done
+  done;
+  out
+
+(* ---------- Pyramid blending ---------- *)
+
+let w5x5 =
+  let w = [| 1.; 4.; 6.; 4.; 1. |] in
+  Array.init 5 (fun i -> Array.init 5 (fun j -> w.(i) *. w.(j) /. 256.))
+
+let pyramid_blend ?(levels = 4) env ~fill (app : App.t) =
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let r = lookup_param pipe env "R" and c = lookup_param pipe env "C" in
+  let i1 = matrix2 env fill (lookup_image pipe "I1") in
+  let i2 = matrix2 env fill (lookup_image pipe "I2") in
+  let m = matrix2 env fill (lookup_image pipe "M") in
+  let size k = ((r lsr k) + 4, (c lsr k) + 4) in
+  let hi k = (r lsr k, c lsr k) in
+  let mk k =
+    let rows, cols = size k in
+    Array.make_matrix rows cols 0.
+  in
+  let down (src : float array array) k =
+    let d = mk k in
+    let hx, hy = hi k in
+    for x = 2 to hx do
+      let dst = d.(x) in
+      for y = 2 to hy do
+        let acc = ref 0. in
+        for dx = -2 to 2 do
+          let srow = src.((2 * x) + dx) and wrow = w5x5.(dx + 2) in
+          for dy = -2 to 2 do
+            acc := !acc +. (wrow.(dy + 2) *. srow.((2 * y) + dy))
+          done
+        done;
+        dst.(y) <- !acc
+      done
+    done;
+    d
+  in
+  let pyramid src0 =
+    let rec go k acc prev =
+      if k > levels then List.rev acc
+      else
+        let g = down prev k in
+        go (k + 1) (g :: acc) g
+    in
+    go 1 [] src0
+  in
+  let g1 = Array.of_list (pyramid i1) in
+  let g2 = Array.of_list (pyramid i2) in
+  let gm = Array.of_list (pyramid m) in
+  (* upsample level-k data onto the level-(k-1) grid (even/odd
+     bilinear, matching Dsl.upsample2) *)
+  let up (g : float array array) k =
+    let u = mk (k - 1) in
+    let hx, hy = hi (k - 1) in
+    let ay ix y =
+      let row = g.(ix) in
+      if y land 1 = 0 then row.(y / 2)
+      else 0.5 *. (row.((y - 1) / 2) +. row.((y + 1) / 2))
+    in
+    for x = 2 to hx do
+      let dst = u.(x) in
+      if x land 1 = 0 then
+        for y = 2 to hy do
+          dst.(y) <- ay (x / 2) y
+        done
+      else
+        for y = 2 to hy do
+          dst.(y) <- 0.5 *. (ay ((x - 1) / 2) y +. ay ((x + 1) / 2) y)
+        done
+    done;
+    u
+  in
+  let blend k =
+    let b = mk k in
+    let hx, hy = hi k in
+    let mask = if k = 0 then m else gm.(k - 1) in
+    if k = levels then begin
+      let s1 = g1.(k - 1) and s2 = g2.(k - 1) in
+      for x = 2 to hx do
+        let mr = mask.(x) and r1 = s1.(x) and r2 = s2.(x) and dst = b.(x) in
+        for y = 2 to hy do
+          let mv = mr.(y) in
+          dst.(y) <- (mv *. r1.(y)) +. ((1.0 -. mv) *. r2.(y))
+        done
+      done;
+      b
+    end
+    else begin
+      let u1 = up g1.(k) (k + 1) in
+      let u2 = up g2.(k) (k + 1) in
+      let s1 = if k = 0 then i1 else g1.(k - 1) in
+      let s2 = if k = 0 then i2 else g2.(k - 1) in
+      for x = 2 to hx do
+        let mr = mask.(x)
+        and r1 = s1.(x)
+        and r2 = s2.(x)
+        and ur1 = u1.(x)
+        and ur2 = u2.(x)
+        and dst = b.(x) in
+        for y = 2 to hy do
+          let mv = mr.(y) in
+          let l1 = r1.(y) -. ur1.(y) in
+          let l2 = r2.(y) -. ur2.(y) in
+          dst.(y) <- (mv *. l1) +. ((1.0 -. mv) *. l2)
+        done
+      done;
+      b
+    end
+  in
+  let rec collapse k =
+    if k = levels then blend k
+    else begin
+      let deeper = collapse (k + 1) in
+      let u = up deeper (k + 1) in
+      let b = blend k in
+      let o = mk k in
+      let hx, hy = hi k in
+      for x = 2 to hx do
+        let br = b.(x) and ur = u.(x) and dst = o.(x) in
+        for y = 2 to hy do
+          dst.(y) <- br.(y) +. ur.(y)
+        done
+      done;
+      o
+    end
+  in
+  let o0 = collapse 0 in
+  let out = Rt.Buffer.of_func (List.hd app.outputs) env in
+  let data = out.Rt.Buffer.data in
+  let cols = c + 4 in
+  for x = 0 to r + 3 do
+    let src = o0.(x) and base = x * cols in
+    for y = 0 to c + 3 do
+      data.(base + y) <- src.(y)
+    done
+  done;
+  out
+
+let for_app (app : App.t) =
+  match app.name with
+  | "unsharp_mask" -> Some (fun env -> unsharp env ~fill:(app.fill env) app)
+  | "harris" -> Some (fun env -> harris env ~fill:(app.fill env) app)
+  | "pyramid_blend" ->
+    Some (fun env -> pyramid_blend env ~fill:(app.fill env) app)
+  | _ -> None

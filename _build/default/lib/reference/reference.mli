@@ -1,0 +1,38 @@
+(** Hand-written, library-style implementations of the benchmarks the
+    paper compares against OpenCV (Table 2: Unsharp Mask, Harris,
+    Pyramid Blending).
+
+    Each routine processes full buffers stage by stage with plain
+    OCaml loops and no cross-stage fusion — the "optimized library
+    routine" point in the design space (see DESIGN.md substitutions).
+    They double as independent correctness oracles: the test suite
+    checks the compiler's output against them numerically. *)
+
+open Polymage_ir
+module Rt := Polymage_rt
+module App := Polymage_apps.App
+
+val unsharp :
+  Types.bindings ->
+  fill:(Ast.image -> int array -> float) ->
+  App.t ->
+  Rt.Buffer.t
+(** Runs the unsharp-mask computation directly; the returned buffer
+    has the same domain as the app's output stage. *)
+
+val harris :
+  Types.bindings ->
+  fill:(Ast.image -> int array -> float) ->
+  App.t ->
+  Rt.Buffer.t
+
+val pyramid_blend :
+  ?levels:int ->
+  Types.bindings ->
+  fill:(Ast.image -> int array -> float) ->
+  App.t ->
+  Rt.Buffer.t
+
+val for_app : App.t -> (Types.bindings -> Rt.Buffer.t) option
+(** The reference implementation for a registered app, when one
+    exists, already wired to the app's synthetic inputs. *)

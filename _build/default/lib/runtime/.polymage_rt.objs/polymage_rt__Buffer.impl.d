@@ -1,0 +1,1 @@
+lib/runtime/buffer.ml: Abound Array Ast Float Interval List Polymage_ir Printf

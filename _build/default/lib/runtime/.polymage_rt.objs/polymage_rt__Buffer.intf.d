@@ -1,0 +1,1 @@
+lib/runtime/buffer.mli: Ast Polymage_ir Types

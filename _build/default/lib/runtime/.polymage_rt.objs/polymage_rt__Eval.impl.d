@@ -1,0 +1,1 @@
+lib/runtime/eval.ml: Array Ast Buffer Expr Float Format List Polymage_ir Printf Types

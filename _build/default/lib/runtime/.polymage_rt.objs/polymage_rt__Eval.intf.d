@@ -1,0 +1,1 @@
+lib/runtime/eval.mli: Ast Buffer Polymage_ir Types

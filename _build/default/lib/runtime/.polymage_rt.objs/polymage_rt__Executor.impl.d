@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Abound Array Ast Buffer Domain Eval Expr Float Hashtbl Interval List Option Pipeline Polymage_compiler Polymage_ir Polymage_poly Pool Printf Types

@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Ast Buffer Polymage_compiler Polymage_ir Pool Types

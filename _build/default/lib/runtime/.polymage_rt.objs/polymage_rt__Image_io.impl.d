@@ -1,0 +1,1 @@
+lib/runtime/image_io.ml: Array Buffer Char Float Fun Printf Stdlib String

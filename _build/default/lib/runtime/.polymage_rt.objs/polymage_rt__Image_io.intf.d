@@ -1,0 +1,1 @@
+lib/runtime/image_io.mli: Buffer

@@ -1,0 +1,100 @@
+open Polymage_ir
+
+type t = {
+  data : float array;
+  lo : int array;
+  dims : int array;
+  strides : int array;
+}
+
+let strides_of dims =
+  let n = Array.length dims in
+  let s = Array.make n 1 in
+  for d = n - 2 downto 0 do
+    s.(d) <- s.(d + 1) * dims.(d + 1)
+  done;
+  s
+
+let create ~lo ~dims =
+  Array.iter
+    (fun e -> if e < 0 then invalid_arg "Buffer.create: negative extent")
+    dims;
+  let total = Array.fold_left ( * ) 1 dims in
+  { data = Array.make (max total 1) 0.; lo; dims; strides = strides_of dims }
+
+let of_func (f : Ast.func) env =
+  let lo, dims =
+    List.split
+      (List.map
+         (fun (iv : Interval.t) ->
+           let l, h = Interval.eval iv env in
+           (l, max 0 (h - l + 1)))
+         f.fdom)
+  in
+  create ~lo:(Array.of_list lo) ~dims:(Array.of_list dims)
+
+let of_image (im : Ast.image) env gen =
+  let dims =
+    Array.of_list (List.map (fun e -> max 0 (Abound.eval e env)) im.iextents)
+  in
+  let b = create ~lo:(Array.make (Array.length dims) 0) ~dims in
+  let n = Array.length dims in
+  let coords = Array.make n 0 in
+  let rec go d pos =
+    if d = n then b.data.(pos) <- gen coords
+    else
+      for x = 0 to dims.(d) - 1 do
+        coords.(d) <- x;
+        go (d + 1) (pos + (x * b.strides.(d)))
+      done
+  in
+  if Array.fold_left ( * ) 1 dims > 0 then go 0 0;
+  b
+
+let rank b = Array.length b.dims
+
+let index_exn b coords =
+  let n = Array.length b.dims in
+  if Array.length coords <> n then
+    invalid_arg "Buffer: coordinate rank mismatch";
+  let pos = ref 0 in
+  for d = 0 to n - 1 do
+    let x = coords.(d) - b.lo.(d) in
+    if x < 0 || x >= b.dims.(d) then
+      invalid_arg
+        (Printf.sprintf "Buffer: index %d out of [%d, %d) in dim %d"
+           coords.(d) b.lo.(d) (b.lo.(d) + b.dims.(d)) d);
+    pos := !pos + (x * b.strides.(d))
+  done;
+  !pos
+
+let get b coords = b.data.(index_exn b coords)
+let set b coords v = b.data.(index_exn b coords) <- v
+
+let offset_of_origin b =
+  let pos = ref 0 in
+  for d = 0 to Array.length b.dims - 1 do
+    pos := !pos - (b.lo.(d) * b.strides.(d))
+  done;
+  !pos
+
+let size b = Array.fold_left ( * ) 1 b.dims
+let fill b v = Array.fill b.data 0 (Array.length b.data) v
+
+let max_abs_diff a b =
+  if a.dims <> b.dims then Float.nan
+  else begin
+    let m = ref 0. in
+    let n = size a in
+    for i = 0 to n - 1 do
+      let d = Float.abs (a.data.(i) -. b.data.(i)) in
+      if d > !m || Float.is_nan d then m := d
+    done;
+    !m
+  end
+
+let equal ?(eps = 0.) a b =
+  a.dims = b.dims && a.lo = b.lo
+  &&
+  let d = max_abs_diff a b in
+  (not (Float.is_nan d)) && d <= eps

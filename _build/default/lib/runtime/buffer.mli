@@ -1,0 +1,43 @@
+(** Dense n-dimensional value buffers.
+
+    A buffer stores double-precision values for a stage domain or an
+    input image in row-major order.  Domains need not start at zero:
+    [lo] records the lower bound per dimension, and indexing is by
+    absolute domain coordinates. *)
+
+open Polymage_ir
+
+type t = private {
+  data : float array;
+  lo : int array;  (** inclusive lower bound per dimension *)
+  dims : int array;  (** extent per dimension *)
+  strides : int array;  (** row-major, last dimension contiguous *)
+}
+
+val create : lo:int array -> dims:int array -> t
+(** Zero-initialized. @raise Invalid_argument on negative extents. *)
+
+val of_func : Ast.func -> Types.bindings -> t
+(** A zero-initialized buffer covering the stage's concrete domain. *)
+
+val of_image : Ast.image -> Types.bindings -> (int array -> float) -> t
+(** Allocate an input image buffer and fill it pointwise from the
+    generator (synthetic workloads). *)
+
+val rank : t -> int
+val get : t -> int array -> float
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : t -> int array -> float -> unit
+val offset_of_origin : t -> int
+(** The flattened position of coordinate (0,...,0):
+    [- sum lo_d * stride_d].  Absolute coordinates [x] map to
+    [offset_of_origin + sum x_d * stride_d]. *)
+
+val size : t -> int
+val fill : t -> float -> unit
+val equal : ?eps:float -> t -> t -> bool
+(** Same shape and values (within [eps], default exact). *)
+
+val max_abs_diff : t -> t -> float
+(** Largest absolute difference; [nan] when shapes differ. *)

@@ -1,0 +1,222 @@
+open Polymage_ir
+
+exception Runtime_error of string
+
+type source = Src_func of int | Src_img of int
+
+type view = {
+  mutable data : float array;
+  mutable off : int;
+  strides : int array;
+  mutable descr : string;
+}
+
+let view_of_strides descr strides =
+  { data = [||]; off = 0; strides; descr }
+
+let attach_buffer v (b : Buffer.t) =
+  if v.strides <> b.strides then
+    invalid_arg "Eval.attach_buffer: stride mismatch";
+  v.data <- b.data;
+  v.off <- Buffer.offset_of_origin b
+
+let attach_scratch v data ~start =
+  let off = ref 0 in
+  for d = 0 to Array.length start - 1 do
+    off := !off - (start.(d) * v.strides.(d))
+  done;
+  v.data <- data;
+  v.off <- !off
+
+let view_of_buffer descr (b : Buffer.t) =
+  let v = view_of_strides descr b.strides in
+  attach_buffer v b;
+  v
+
+let var_pos vars v =
+  let rec go i = function
+    | [] ->
+      raise
+        (Runtime_error
+           (Format.asprintf "unbound variable %a at runtime" Types.pp_var v))
+    | w :: tl -> if Types.var_equal v w then i else go (i + 1) tl
+  in
+  go 0 vars
+
+(* ---- index expressions (int-valued) ---- *)
+
+let rec compile_index ~vars ~bindings e : int array -> int =
+  match e with
+  | Ast.Var v ->
+    let i = var_pos vars v in
+    fun c -> Array.unsafe_get c i
+  | Ast.Const x when Float.is_integer x ->
+    let k = int_of_float x in
+    fun _ -> k
+  | Ast.Param p ->
+    let k = Types.bind_exn bindings p in
+    fun _ -> k
+  | Ast.Binop (Add, a, Ast.Const x) when Float.is_integer x ->
+    let fa = compile_index ~vars ~bindings a in
+    let k = int_of_float x in
+    fun c -> fa c + k
+  | Ast.Binop (Add, Ast.Const x, a) when Float.is_integer x ->
+    let fa = compile_index ~vars ~bindings a in
+    let k = int_of_float x in
+    fun c -> fa c + k
+  | Ast.Binop (Sub, a, Ast.Const x) when Float.is_integer x ->
+    let fa = compile_index ~vars ~bindings a in
+    let k = int_of_float x in
+    fun c -> fa c - k
+  | Ast.Binop (Mul, Ast.Const x, a) when Float.is_integer x ->
+    let fa = compile_index ~vars ~bindings a in
+    let k = int_of_float x in
+    fun c -> k * fa c
+  | Ast.Binop (Mul, a, Ast.Const x) when Float.is_integer x ->
+    let fa = compile_index ~vars ~bindings a in
+    let k = int_of_float x in
+    fun c -> k * fa c
+  | Ast.Binop (Add, a, b) ->
+    let fa = compile_index ~vars ~bindings a
+    and fb = compile_index ~vars ~bindings b in
+    fun c -> fa c + fb c
+  | Ast.Binop (Sub, a, b) ->
+    let fa = compile_index ~vars ~bindings a
+    and fb = compile_index ~vars ~bindings b in
+    fun c -> fa c - fb c
+  | Ast.IDiv (a, n) ->
+    let fa = compile_index ~vars ~bindings a in
+    fun c ->
+      let x = fa c in
+      if x >= 0 then x / n else -(((-x) + n - 1) / n)
+  | Ast.IMod (a, n) ->
+    let fa = compile_index ~vars ~bindings a in
+    fun c ->
+      let r = fa c mod n in
+      if r < 0 then r + n else r
+  | _ -> raise Exit (* caller falls back to the float path *)
+
+(* ---- float expressions ---- *)
+
+let rec compile ~unsafe ~vars ~bindings ~lookup e : int array -> float =
+  let self e = compile ~unsafe ~vars ~bindings ~lookup e in
+  let index e =
+    match compile_index ~vars ~bindings (Expr.simplify e) with
+    | f -> f
+    | exception Exit ->
+      let f = self e in
+      fun c -> int_of_float (Float.floor (f c))
+  in
+  match e with
+  | Ast.Const x -> fun _ -> x
+  | Ast.Param p ->
+    let x = float_of_int (Types.bind_exn bindings p) in
+    fun _ -> x
+  | Ast.Var v ->
+    let i = var_pos vars v in
+    fun c -> float_of_int (Array.unsafe_get c i)
+  | Ast.Call (f, args) ->
+    read ~unsafe
+      (lookup (Src_func f.Ast.fid))
+      (Array.of_list (List.map index args))
+  | Ast.Img (im, args) ->
+    read ~unsafe
+      (lookup (Src_img im.Ast.iid))
+      (Array.of_list (List.map index args))
+  | Ast.Binop (op, a, b) -> (
+    let fa = self a and fb = self b in
+    match op with
+    | Add -> fun c -> fa c +. fb c
+    | Sub -> fun c -> fa c -. fb c
+    | Mul -> fun c -> fa c *. fb c
+    | Div -> fun c -> fa c /. fb c
+    | Min -> fun c -> Float.min (fa c) (fb c)
+    | Max -> fun c -> Float.max (fa c) (fb c)
+    | Pow -> fun c -> Float.pow (fa c) (fb c))
+  | Ast.Unop (op, a) -> (
+    let fa = self a in
+    match op with
+    | Neg -> fun c -> -.fa c
+    | Abs -> fun c -> Float.abs (fa c)
+    | Sqrt -> fun c -> Float.sqrt (fa c)
+    | Exp -> fun c -> Float.exp (fa c)
+    | Log -> fun c -> Float.log (fa c)
+    | Floor -> fun c -> Float.floor (fa c))
+  | Ast.IDiv (a, n) ->
+    let fa = self a in
+    let fn = float_of_int n in
+    fun c -> Float.floor (fa c /. fn)
+  | Ast.IMod (a, n) ->
+    let fa = self a in
+    let fn = float_of_int n in
+    fun c ->
+      let x = fa c in
+      x -. (fn *. Float.floor (x /. fn))
+  | Ast.Select (cond, a, b) ->
+    let fc = compile_cond ~unsafe ~vars ~bindings ~lookup cond in
+    let fa = self a and fb = self b in
+    fun c -> if fc c then fa c else fb c
+  | Ast.Cast (ty, a) ->
+    let fa = self a in
+    fun c -> Types.clamp_store ty (fa c)
+
+and read ~unsafe (v : view) (idxs : (int array -> int) array) =
+  match idxs with
+  | [| i0 |] ->
+    let s0 = v.strides.(0) in
+    if unsafe then fun c ->
+      Array.unsafe_get v.data (v.off + (i0 c * s0))
+    else fun c -> checked_get v (v.off + (i0 c * s0))
+  | [| i0; i1 |] ->
+    let s0 = v.strides.(0) and s1 = v.strides.(1) in
+    if unsafe then fun c ->
+      Array.unsafe_get v.data (v.off + (i0 c * s0) + (i1 c * s1))
+    else fun c -> checked_get v (v.off + (i0 c * s0) + (i1 c * s1))
+  | [| i0; i1; i2 |] ->
+    let s0 = v.strides.(0) and s1 = v.strides.(1) and s2 = v.strides.(2) in
+    if unsafe then fun c ->
+      Array.unsafe_get v.data (v.off + (i0 c * s0) + (i1 c * s1) + (i2 c * s2))
+    else fun c ->
+      checked_get v (v.off + (i0 c * s0) + (i1 c * s1) + (i2 c * s2))
+  | _ ->
+    let n = Array.length idxs in
+    fun c ->
+      let pos = ref v.off in
+      for d = 0 to n - 1 do
+        pos := !pos + (idxs.(d) c * v.strides.(d))
+      done;
+      if unsafe then Array.unsafe_get v.data !pos else checked_get v !pos
+
+and checked_get v pos =
+  if pos < 0 || pos >= Array.length v.data then
+    raise
+      (Runtime_error
+         (Printf.sprintf "access to %s out of window (position %d of %d)"
+            v.descr pos (Array.length v.data)))
+  else Array.unsafe_get v.data pos
+
+and compile_cond ~unsafe ~vars ~bindings ~lookup cond : int array -> bool =
+  let selfc c = compile_cond ~unsafe ~vars ~bindings ~lookup c in
+  let selfe e = compile ~unsafe ~vars ~bindings ~lookup e in
+  match cond with
+  | Ast.Cmp (op, a, b) -> (
+    let fa = selfe a and fb = selfe b in
+    match op with
+    | Lt -> fun c -> fa c < fb c
+    | Le -> fun c -> fa c <= fb c
+    | Gt -> fun c -> fa c > fb c
+    | Ge -> fun c -> fa c >= fb c
+    | Eq -> fun c -> fa c = fb c
+    | Ne -> fun c -> fa c <> fb c)
+  | Ast.And (a, b) ->
+    let fa = selfc a and fb = selfc b in
+    fun c -> fa c && fb c
+  | Ast.Or (a, b) ->
+    let fa = selfc a and fb = selfc b in
+    fun c -> fa c || fb c
+  | Ast.Not a ->
+    let fa = selfc a in
+    fun c -> not (fa c)
+
+let compile ~unsafe ~vars ~bindings ~lookup e =
+  compile ~unsafe ~vars ~bindings ~lookup (Expr.simplify e)

@@ -1,0 +1,58 @@
+(** Expression-to-closure compiler: the native back end's equivalent
+    of emitting C (paper §3.7).  Each stage body is compiled once per
+    worker into closures over a coordinate array; stage and image
+    references read through mutable {!view}s whose base offset is
+    repositioned per tile, which is exactly the paper's relative
+    indexing into scratchpads. *)
+
+open Polymage_ir
+
+exception Runtime_error of string
+
+(** Where a reference reads from: a stage's buffer/scratchpad or an
+    input image. *)
+type source = Src_func of int  (** [fid] *) | Src_img of int  (** [iid] *)
+
+(** A repositionable window onto a flat float array.  The value at
+    absolute coordinates [x] lives at [off + sum x_d * strides_d].
+    [strides] are fixed at creation; [data]/[off] move per tile. *)
+type view = {
+  mutable data : float array;
+  mutable off : int;
+  strides : int array;
+  mutable descr : string;  (** for error messages *)
+}
+
+val view_of_strides : string -> int array -> view
+(** A view with no storage attached yet. *)
+
+val attach_buffer : view -> Buffer.t -> unit
+(** Point the view at a full buffer (absolute indexing). *)
+
+val attach_scratch : view -> float array -> start:int array -> unit
+(** Point the view at a scratchpad holding the window that begins at
+    absolute coordinates [start] (relative indexing, §3.6). *)
+
+val view_of_buffer : string -> Buffer.t -> view
+
+val compile :
+  unsafe:bool ->
+  vars:Types.var list ->
+  bindings:Types.bindings ->
+  lookup:(source -> view) ->
+  Ast.expr ->
+  (int array -> float)
+(** Compile an expression to a closure over the loop coordinate array
+    (ordered as [vars]).  Parameters are folded to constants.
+    [lookup] resolves each referenced source to its view; it is called
+    once per reference site, at compile time.
+    @raise Runtime_error (at call time) on an out-of-window access in
+    safe mode. *)
+
+val compile_cond :
+  unsafe:bool ->
+  vars:Types.var list ->
+  bindings:Types.bindings ->
+  lookup:(source -> view) ->
+  Ast.cond ->
+  (int array -> bool)

@@ -1,0 +1,917 @@
+open Polymage_ir
+module Poly = Polymage_poly
+module C = Polymage_compiler
+
+type result = {
+  buffers : Buffer.t option array;
+  outputs : (Ast.func * Buffer.t) list;
+}
+
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let ceil_div a b = -floor_div (-a) b
+
+(* One arm of a piecewise stage definition, with its concrete box when
+   the condition is box-analyzable (loop splitting, §3.7). *)
+type piece = {
+  pbox : (int * int) array option;  (* absolute bounds per stage dim *)
+  pcond : Ast.cond option;  (* tested per point when pbox is None *)
+  prhs : Ast.expr;
+}
+
+let concrete_dom (f : Ast.func) env =
+  Array.of_list (List.map (fun iv -> Interval.eval iv env) f.Ast.fdom)
+
+(* Split a stage body into pieces under the concrete domain. *)
+let pieces_of (opts : C.Options.t) (f : Ast.func) env cases =
+  let dom = concrete_dom f env in
+  List.map
+    (fun { Ast.ccond; rhs } ->
+      match ccond with
+      | None -> { pbox = Some (Array.copy dom); pcond = None; prhs = rhs }
+      | Some c ->
+        if not opts.split_cases then { pbox = None; pcond = Some c; prhs = rhs }
+        else (
+          match Expr.box_of_cond f.fvars c with
+          | None -> { pbox = None; pcond = Some c; prhs = rhs }
+          | Some box ->
+            let b =
+              Array.mapi
+                (fun d (blo, bhi) ->
+                  let dlo, dhi = dom.(d) in
+                  ( (match blo with
+                    | Some a -> max dlo (Abound.eval a env)
+                    | None -> dlo),
+                    match bhi with
+                    | Some a -> min dhi (Abound.eval a env)
+                    | None -> dhi ))
+                box
+            in
+            { pbox = Some b; pcond = None; prhs = rhs }))
+    cases
+
+(* Compiled form of a piece for one worker. *)
+type cpiece = {
+  cbox : (int * int) array option;
+  ccond : (int array -> bool) option;
+  crhs : int array -> float;
+}
+
+let intersect_box a b =
+  Array.init (Array.length a) (fun d ->
+      let alo, ahi = a.(d) and blo, bhi = b.(d) in
+      (max alo blo, min ahi bhi))
+
+let box_empty b = Array.exists (fun (lo, hi) -> lo > hi) b
+
+(* Evaluate compiled pieces over [box] (absolute bounds per stage dim),
+   writing through [view].  The innermost dimension is a tight loop
+   with an incrementally maintained position; [vec] additionally
+   unrolls it by 4 (the SIMD stand-in). *)
+let run_pieces ~vec ~ty (view : Eval.view) (coords : int array)
+    (cpieces : cpiece list) (box : (int * int) array) =
+  let n = Array.length box in
+  if n = 0 then invalid_arg "Executor: zero-dimensional stage";
+  let slast = view.strides.(n - 1) in
+  List.iter
+    (fun cp ->
+      let b =
+        match cp.cbox with Some pb -> intersect_box pb box | None -> box
+      in
+      if not (box_empty b) then begin
+        let write_row lo hi =
+          (* position of (coords with last dim = lo) *)
+          let pos0 = ref view.off in
+          for d = 0 to n - 2 do
+            pos0 := !pos0 + (coords.(d) * view.strides.(d))
+          done;
+          let pos0 = !pos0 + (lo * slast) in
+          let data = view.data in
+          match cp.ccond with
+          | Some cnd ->
+            for j = lo to hi do
+              coords.(n - 1) <- j;
+              if cnd coords then
+                data.(pos0 + ((j - lo) * slast)) <-
+                  Types.clamp_store ty (cp.crhs coords)
+            done
+          | None ->
+            if vec then begin
+              (* 4x unrolled, bounds-check-free *)
+              let j = ref lo in
+              while !j + 3 <= hi do
+                let j0 = !j in
+                coords.(n - 1) <- j0;
+                let v0 = cp.crhs coords in
+                coords.(n - 1) <- j0 + 1;
+                let v1 = cp.crhs coords in
+                coords.(n - 1) <- j0 + 2;
+                let v2 = cp.crhs coords in
+                coords.(n - 1) <- j0 + 3;
+                let v3 = cp.crhs coords in
+                let base = pos0 + ((j0 - lo) * slast) in
+                Array.unsafe_set data base (Types.clamp_store ty v0);
+                Array.unsafe_set data (base + slast) (Types.clamp_store ty v1);
+                Array.unsafe_set data (base + (2 * slast)) (Types.clamp_store ty v2);
+                Array.unsafe_set data (base + (3 * slast)) (Types.clamp_store ty v3);
+                j := j0 + 4
+              done;
+              for j2 = !j to hi do
+                coords.(n - 1) <- j2;
+                Array.unsafe_set data
+                  (pos0 + ((j2 - lo) * slast))
+                  (Types.clamp_store ty (cp.crhs coords))
+              done
+            end
+            else
+              for j = lo to hi do
+                coords.(n - 1) <- j;
+                data.(pos0 + ((j - lo) * slast)) <-
+                  Types.clamp_store ty (cp.crhs coords)
+              done
+        in
+        let rec outer d =
+          if d = n - 1 then
+            let lo, hi = b.(n - 1) in
+            write_row lo hi
+          else
+            let lo, hi = b.(d) in
+            for x = lo to hi do
+              coords.(d) <- x;
+              outer (d + 1)
+            done
+        in
+        outer 0
+      end)
+    cpieces
+
+(* Zero a box of the view (scratch initialization for partially
+   covered domains). *)
+let zero_box (view : Eval.view) (coords : int array) (box : (int * int) array) =
+  let n = Array.length box in
+  let slast = view.strides.(n - 1) in
+  let rec outer d =
+    if d = n - 1 then begin
+      let lo, hi = box.(n - 1) in
+      let pos0 = ref view.off in
+      for k = 0 to n - 2 do
+        pos0 := !pos0 + (coords.(k) * view.strides.(k))
+      done;
+      let pos0 = !pos0 + (lo * slast) in
+      for j = 0 to hi - lo do
+        view.data.(pos0 + (j * slast)) <- 0.
+      done
+    end
+    else begin
+      let lo, hi = box.(d) in
+      for x = lo to hi do
+        coords.(d) <- x;
+        outer (d + 1)
+      done
+    end
+  in
+  if not (box_empty box) then outer 0
+
+(* Copy [box] from [src] view to [dst] view (live-outs that also feed
+   the group: widened values live in the scratchpad, the owned region
+   is copied out). *)
+let copy_box (src : Eval.view) (dst : Eval.view) (coords : int array)
+    (box : (int * int) array) =
+  let n = Array.length box in
+  let sl = src.strides.(n - 1) and dl = dst.strides.(n - 1) in
+  let rec outer d =
+    if d = n - 1 then begin
+      let lo, hi = box.(n - 1) in
+      let spos = ref src.off and dpos = ref dst.off in
+      for k = 0 to n - 2 do
+        spos := !spos + (coords.(k) * src.strides.(k));
+        dpos := !dpos + (coords.(k) * dst.strides.(k))
+      done;
+      let spos = !spos + (lo * sl) and dpos = !dpos + (lo * dl) in
+      for j = 0 to hi - lo do
+        dst.data.(dpos + (j * dl)) <- src.data.(spos + (j * sl))
+      done
+    end
+    else begin
+      let lo, hi = box.(d) in
+      for x = lo to hi do
+        coords.(d) <- x;
+        outer (d + 1)
+      done
+    end
+  in
+  if not (box_empty box) then outer 0
+
+(* ---------- shared source lookup ---------- *)
+
+let make_lookup (pipe : Pipeline.t) buffers images ~local =
+  (* [local fid] lets tiled groups route in-group references to
+     per-worker scratch views. *)
+  let fid_to_idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (f : Ast.func) -> Hashtbl.replace fid_to_idx f.fid i)
+    pipe.stages;
+  fun (src : Eval.source) ->
+    match src with
+    | Eval.Src_img iid -> (
+      match
+        List.find_opt (fun ((im : Ast.image), _) -> im.iid = iid) images
+      with
+      | Some (im, b) -> Eval.view_of_buffer im.iname b
+      | None -> invalid_arg "Executor: missing input image")
+    | Eval.Src_func fid -> (
+      match local fid with
+      | Some v -> v
+      | None -> (
+        match Hashtbl.find_opt fid_to_idx fid with
+        | None -> invalid_arg "Executor: reference to a foreign stage"
+        | Some i -> (
+          match buffers.(i) with
+          | Some b -> Eval.view_of_buffer pipe.stages.(i).Ast.fname b
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Executor: stage %s read before computed"
+                 pipe.stages.(i).Ast.fname))))
+
+(* ---------- straight items ---------- *)
+
+let exec_straight pool (plan : C.Plan.t) env buffers images i =
+  let opts = plan.opts in
+  let pipe = plan.pipe in
+  let f = pipe.stages.(i) in
+  let buf = Buffer.of_func f env in
+  buffers.(i) <- Some buf;
+  match f.fbody with
+  | Ast.Undefined -> assert false
+  | Ast.Cases cases ->
+    let dom = concrete_dom f env in
+    if Array.exists (fun (lo, hi) -> lo > hi) dom then ()
+    else begin
+      let pieces = pieces_of opts f env cases in
+      let nd = Array.length dom in
+      let lo0, hi0 = dom.(0) in
+      let rows = hi0 - lo0 + 1 in
+      let sequential = pipe.self_recursive.(i) in
+      let chunks =
+        if sequential || Pool.size pool = 1 then 1
+        else min rows (Pool.size pool * 4)
+      in
+      let key =
+        Domain.DLS.new_key (fun () ->
+            let lookup =
+              make_lookup pipe buffers images ~local:(fun fid ->
+                  if fid = f.fid then
+                    Some (Eval.view_of_buffer f.fname buf)
+                  else None)
+            in
+            let cps =
+              List.map
+                (fun p ->
+                  {
+                    cbox = p.pbox;
+                    ccond =
+                      Option.map
+                        (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars
+                           ~bindings:env ~lookup)
+                        p.pcond;
+                    crhs =
+                      Eval.compile ~unsafe:opts.vec ~vars:f.fvars
+                        ~bindings:env ~lookup p.prhs;
+                  })
+                pieces
+            in
+            (cps, Eval.view_of_buffer f.fname buf, Array.make nd 0))
+      in
+      let run_chunk c =
+        let cps, view, coords = Domain.DLS.get key in
+        let per = ceil_div rows chunks in
+        let clo = lo0 + (c * per) in
+        let chi = min hi0 (clo + per - 1) in
+        if clo <= chi then begin
+          let box = Array.copy dom in
+          box.(0) <- (clo, chi);
+          run_pieces ~vec:opts.vec ~ty:f.ftyp view coords cps box
+        end
+      in
+      if chunks = 1 then run_chunk 0 else Pool.parallel_for pool ~n:chunks run_chunk
+    end
+  | Ast.Reduce r ->
+    Buffer.fill buf r.rinit;
+    let rdom =
+      Array.of_list (List.map (fun iv -> Interval.eval iv env) r.rdom)
+    in
+    if Array.exists (fun (lo, hi) -> lo > hi) rdom then ()
+    else begin
+      let nrv = Array.length rdom in
+      let lo0, hi0 = rdom.(0) in
+      let rows = hi0 - lo0 + 1 in
+      (* Privatized parallel reduction: the operators are associative
+         and commutative, so chunks of the outer reduction dimension
+         accumulate into private copies which are then folded into the
+         result (safe for any cell-index function, including
+         data-dependent histograms). *)
+      let nchunks =
+        if Pool.size pool > 1 && Buffer.size buf <= 1 lsl 20 && rows >= 2
+        then min rows (Pool.size pool * 2)
+        else 1
+      in
+      let neutral = Ast.redop_init r.rop in
+      let accumulate_range (target : Buffer.t) clo chi =
+        let lookup = make_lookup pipe buffers images ~local:(fun _ -> None) in
+        let value_fn =
+          Eval.compile ~unsafe:false ~vars:r.rvars ~bindings:env ~lookup
+            r.rvalue
+        in
+        let idx_fns =
+          List.map
+            (fun e ->
+              let fe =
+                Eval.compile ~unsafe:false ~vars:r.rvars ~bindings:env
+                  ~lookup e
+              in
+              fun c -> int_of_float (Float.floor (fe c)))
+            r.rindex
+          |> Array.of_list
+        in
+        let coords = Array.make nrv 0 in
+        let cell = Array.make (Array.length idx_fns) 0 in
+        let rec go d =
+          if d = nrv then begin
+            for k = 0 to Array.length idx_fns - 1 do
+              cell.(k) <- idx_fns.(k) coords
+            done;
+            let v = value_fn coords in
+            Buffer.set target cell
+              (Types.clamp_store f.ftyp
+                 (Ast.apply_redop r.rop (Buffer.get target cell) v))
+          end
+          else begin
+            let lo, hi = if d = 0 then (clo, chi) else rdom.(d) in
+            for x = lo to hi do
+              coords.(d) <- x;
+              go (d + 1)
+            done
+          end
+        in
+        go 0
+      in
+      if nchunks = 1 then accumulate_range buf lo0 hi0
+      else begin
+        let partials = Array.make nchunks None in
+        let per = ceil_div rows nchunks in
+        Pool.parallel_for pool ~n:nchunks (fun ci ->
+            let clo = lo0 + (ci * per) in
+            let chi = min hi0 (clo + per - 1) in
+            if clo <= chi then begin
+              let p = Buffer.of_func f env in
+              Buffer.fill p neutral;
+              accumulate_range p clo chi;
+              partials.(ci) <- Some p
+            end);
+        Array.iter
+          (function
+            | None -> ()
+            | Some (p : Buffer.t) ->
+              let n = Buffer.size buf in
+              for k = 0 to n - 1 do
+                buf.data.(k) <-
+                  Types.clamp_store f.ftyp
+                    (Ast.apply_redop r.rop buf.data.(k) p.data.(k))
+              done)
+          partials
+      end
+    end
+
+(* ---------- tiled groups ---------- *)
+
+type wmember = {
+  mview : Eval.view;  (* where the stage writes (scratch or buffer) *)
+  mbufview : Eval.view option;  (* full-buffer view for live-outs *)
+  mscratch : float array option;  (* scratch storage, when used *)
+  mcpieces : cpiece list;
+  mcoords : int array;
+  mneeds_zero : bool;  (* pieces may not cover the whole box *)
+}
+
+let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
+  let opts = plan.opts in
+  let pipe = plan.pipe in
+  let sched = g.sched in
+  let ncd = sched.n_cdims in
+  let naive = opts.naive_overlap in
+  let tau = Poly.Tiling.scaled_tile sched ~tile:g.tile in
+  let nm = Array.length g.members in
+  (* Allocate full buffers: live-outs always; every member when the
+     scratchpad optimization is disabled. *)
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      if m.live_out || not opts.scratchpads then
+        buffers.(m.ms.sidx) <- Some (Buffer.of_func m.ms.func env))
+    g.members;
+  (* Tile space: bounding box of the members' scaled domains. *)
+  let space_lo = Array.make ncd max_int and space_hi = Array.make ncd min_int in
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      let sd = Poly.Schedule.scaled_domain ~n_cdims:ncd m.ms env in
+      let covers = Array.make ncd false in
+      Array.iter (fun d -> if d >= 0 then covers.(d) <- true) m.ms.align;
+      Array.iteri
+        (fun d (lo, hi) ->
+          if covers.(d) then begin
+            if lo < space_lo.(d) then space_lo.(d) <- lo;
+            if hi > space_hi.(d) then space_hi.(d) <- hi
+          end)
+        sd)
+    g.members;
+  for d = 0 to ncd - 1 do
+    if space_lo.(d) = max_int then begin
+      space_lo.(d) <- 0;
+      space_hi.(d) <- 0
+    end
+  done;
+  let n_tiles =
+    Array.init ncd (fun d ->
+        max 1 (ceil_div (space_hi.(d) - space_lo.(d) + 1) tau.(d)))
+  in
+  let total_tiles = Array.fold_left ( * ) 1 n_tiles in
+  (* Concrete domains, widened/owned range computation per member. *)
+  let doms = Array.map (fun (m : C.Plan.member) -> concrete_dom m.ms.func env) g.members in
+  let widen_of (ms : Poly.Schedule.stage_sched) d =
+    if naive then (ms.widen_l_naive.(d), ms.widen_r_naive.(d))
+    else (ms.widen_l.(d), ms.widen_r.(d))
+  in
+  (* Per-worker compiled state. *)
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let wmembers = Array.make nm None in
+        let local fid =
+          (* in-group references read the member's scratch/buffer view *)
+          let rec find k =
+            if k >= nm then None
+            else if g.members.(k).ms.func.Ast.fid = fid then
+              Option.map (fun (w : wmember) -> w.mview) wmembers.(k)
+            else find (k + 1)
+          in
+          find 0
+        in
+        let lookup = make_lookup pipe buffers images ~local in
+        Array.iteri
+          (fun k (m : C.Plan.member) ->
+            let ms = m.ms in
+            let f = ms.func in
+            let use_scratch = m.used_in_group && opts.scratchpads in
+            let mview, mscratch =
+              if use_scratch then begin
+                let ext = C.Storage.scratch_extents ~naive g env ms in
+                let total = max 1 (Array.fold_left ( * ) 1 ext) in
+                let data = Array.make total 0. in
+                let strides =
+                  let n = Array.length ext in
+                  let s = Array.make n 1 in
+                  for d = n - 2 downto 0 do
+                    s.(d) <- s.(d + 1) * ext.(d + 1)
+                  done;
+                  s
+                in
+                let v = Eval.view_of_strides (f.fname ^ "[scratch]") strides in
+                v.Eval.data <- data;
+                (v, Some data)
+              end
+              else
+                ( Eval.view_of_buffer f.fname
+                    (Option.get buffers.(ms.sidx)),
+                  None )
+            in
+            let mbufview =
+              if m.live_out then
+                Some
+                  (Eval.view_of_buffer f.fname (Option.get buffers.(ms.sidx)))
+              else None
+            in
+            let cases =
+              match f.Ast.fbody with
+              | Ast.Cases cs -> cs
+              | _ -> invalid_arg "Executor: non-pure stage in tiled group"
+            in
+            let pieces = pieces_of opts f env cases in
+            let mcpieces =
+              List.map
+                (fun pc ->
+                  {
+                    cbox = pc.pbox;
+                    ccond =
+                      Option.map
+                        (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars
+                           ~bindings:env ~lookup)
+                        pc.pcond;
+                    crhs =
+                      Eval.compile ~unsafe:opts.vec ~vars:f.fvars
+                        ~bindings:env ~lookup pc.prhs;
+                  })
+                pieces
+            in
+            let mneeds_zero =
+              not
+                (List.exists
+                   (fun pc -> pc.pbox = None && pc.pcond = None)
+                   pieces
+                || List.exists
+                     (fun pc ->
+                       match pc.pbox with
+                       | Some b -> b = doms.(k) && pc.pcond = None
+                       | None -> false)
+                     pieces)
+            in
+            wmembers.(k) <-
+              Some { mview; mbufview; mscratch; mcpieces; mcoords = Array.make (Ast.func_arity f) 0; mneeds_zero })
+          g.members;
+        Array.map Option.get wmembers)
+  in
+  let run_tile t =
+    let wmembers = Domain.DLS.get key in
+    (* tile index per canonical dim *)
+    let tidx = Array.make ncd 0 in
+    let rem = ref t in
+    for d = ncd - 1 downto 0 do
+      tidx.(d) <- !rem mod n_tiles.(d);
+      rem := !rem / n_tiles.(d)
+    done;
+    let base = Array.init ncd (fun d -> space_lo.(d) + (tidx.(d) * tau.(d))) in
+    Array.iteri
+      (fun k (m : C.Plan.member) ->
+        let ms = m.ms in
+        let w = wmembers.(k) in
+        let arity = Array.length w.mcoords in
+        let widened = Array.make arity (0, 0) in
+        let owned = Array.make arity (0, 0) in
+        let start = Array.make arity 0 in
+        for j = 0 to arity - 1 do
+          let dlo, dhi = doms.(k).(j) in
+          let d = ms.align.(j) in
+          if d < 0 then begin
+            widened.(j) <- (dlo, dhi);
+            owned.(j) <- (dlo, dhi);
+            start.(j) <- dlo
+          end
+          else begin
+            let s = ms.scale.(j) in
+            let wl, wr = widen_of ms d in
+            let xlo = max dlo (ceil_div (base.(d) - wl) s) in
+            let xhi = min dhi (floor_div (base.(d) + tau.(d) - 1 + wr) s) in
+            widened.(j) <- (xlo, xhi);
+            let olo = max dlo (ceil_div base.(d) s) in
+            let ohi = min dhi (floor_div (base.(d) + tau.(d) - 1) s) in
+            owned.(j) <- (olo, ohi);
+            start.(j) <- xlo
+          end
+        done;
+        let use_scratch = m.used_in_group && opts.scratchpads in
+        if use_scratch then
+          Eval.attach_scratch w.mview (Option.get w.mscratch) ~start;
+        (* Which box does this member compute in this tile? *)
+        let box = if m.used_in_group then widened else owned in
+        if not (box_empty box) then begin
+          (* zero the window only when the pieces may not cover it in
+             this tile (a single boxed piece covering the whole window
+             is the common interior-tile case) *)
+          let covered =
+            match w.mcpieces with
+            | [ { cbox = Some pb; ccond = None; _ } ] ->
+              let ok = ref true in
+              Array.iteri
+                (fun d (lo, hi) ->
+                  let plo, phi = pb.(d) in
+                  if plo > lo || phi < hi then ok := false)
+                box;
+              !ok
+            | _ -> false
+          in
+          if use_scratch && w.mneeds_zero && not covered then
+            zero_box w.mview w.mcoords box;
+          run_pieces ~vec:opts.vec ~ty:ms.func.Ast.ftyp w.mview w.mcoords
+            w.mcpieces box;
+          (* Live-outs computed in scratch: copy the owned region out. *)
+          match w.mbufview with
+          | Some bv when use_scratch ->
+            if not (box_empty owned) then
+              copy_box w.mview bv w.mcoords owned
+          | _ -> ()
+        end)
+      g.members
+  in
+  Pool.parallel_for pool ~n:total_tiles run_tile
+
+(* ---------- parallelogram tiling (paper §3.2 / Fig. 5) ----------
+
+   The alternative tiling strategy the paper compares against: each
+   stage's tile window is skewed by [height * slope] instead of being
+   widened, so nothing is recomputed — but a tile depends on its left
+   neighbours, execution is sequential (the paper: wavefront
+   parallelism "effectively reduces to sequential execution"), and
+   every member needs a full buffer since consumers read values across
+   tile boundaries (no scratchpad storage optimization). *)
+
+let exec_parallelogram (plan : C.Plan.t) env buffers images
+    (g : C.Plan.tiled) =
+  let opts = plan.opts in
+  let pipe = plan.pipe in
+  let sched = g.sched in
+  let ncd = sched.n_cdims in
+  let tau = Poly.Tiling.scaled_tile sched ~tile:g.tile in
+  let sink_level = pipe.level.(sched.members.(sched.sink).sidx) in
+  let height m = sink_level - pipe.level.((m : C.Plan.member).ms.sidx) in
+  (* Every member materializes. *)
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      buffers.(m.ms.sidx) <- Some (Buffer.of_func m.ms.func env))
+    g.members;
+  let h_max = Array.fold_left (fun acc m -> max acc (height m)) 0 g.members in
+  let skew = sched.slope_r in
+  (* Tile space, extended left so the most-skewed member still covers
+     its whole domain. *)
+  let space_lo = Array.make ncd max_int and space_hi = Array.make ncd min_int in
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      let sd = Poly.Schedule.scaled_domain ~n_cdims:ncd m.ms env in
+      let covers = Array.make ncd false in
+      Array.iter (fun d -> if d >= 0 then covers.(d) <- true) m.ms.align;
+      Array.iteri
+        (fun d (lo, hi) ->
+          if covers.(d) then begin
+            if lo < space_lo.(d) then space_lo.(d) <- lo;
+            if hi > space_hi.(d) then space_hi.(d) <- hi
+          end)
+        sd)
+    g.members;
+  for d = 0 to ncd - 1 do
+    if space_lo.(d) = max_int then begin
+      space_lo.(d) <- 0;
+      space_hi.(d) <- 0
+    end;
+    space_lo.(d) <- space_lo.(d) - (h_max * skew.(d))
+  done;
+  let n_tiles =
+    Array.init ncd (fun d ->
+        max 1 (ceil_div (space_hi.(d) - space_lo.(d) + 1) tau.(d)))
+  in
+  let total_tiles = Array.fold_left ( * ) 1 n_tiles in
+  let doms =
+    Array.map (fun (m : C.Plan.member) -> concrete_dom m.ms.func env) g.members
+  in
+  (* Compile once (sequential: one worker's worth of state). *)
+  let lookup = make_lookup pipe buffers images ~local:(fun _ -> None) in
+  let compiled =
+    Array.mapi
+      (fun k (m : C.Plan.member) ->
+        let f = m.ms.func in
+        let cases =
+          match f.Ast.fbody with
+          | Ast.Cases cs -> cs
+          | _ -> invalid_arg "Executor: non-pure stage in tiled group"
+        in
+        let cps =
+          List.map
+            (fun pc ->
+              {
+                cbox = pc.pbox;
+                ccond =
+                  Option.map
+                    (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars
+                       ~bindings:env ~lookup)
+                    pc.pcond;
+                crhs =
+                  Eval.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env
+                    ~lookup pc.prhs;
+              })
+            (pieces_of opts f env cases)
+        in
+        ( cps,
+          Eval.view_of_buffer f.fname (Option.get buffers.(m.ms.sidx)),
+          Array.make (Ast.func_arity f) 0,
+          height g.members.(k) ))
+      g.members
+  in
+  let tidx = Array.make ncd 0 in
+  for t = 0 to total_tiles - 1 do
+    let rem = ref t in
+    for d = ncd - 1 downto 0 do
+      tidx.(d) <- !rem mod n_tiles.(d);
+      rem := !rem / n_tiles.(d)
+    done;
+    let base = Array.init ncd (fun d -> space_lo.(d) + (tidx.(d) * tau.(d))) in
+    Array.iteri
+      (fun k (m : C.Plan.member) ->
+        let ms = m.ms in
+        let cps, view, coords, h = compiled.(k) in
+        let arity = Array.length coords in
+        let box = Array.make arity (0, 0) in
+        for j = 0 to arity - 1 do
+          let dlo, dhi = doms.(k).(j) in
+          let d = ms.align.(j) in
+          if d < 0 then box.(j) <- (dlo, dhi)
+          else begin
+            let s = ms.scale.(j) in
+            let shift = h * skew.(d) in
+            let lo = max dlo (ceil_div (base.(d) + shift) s) in
+            let hi = min dhi (floor_div (base.(d) + tau.(d) - 1 + shift) s) in
+            box.(j) <- (lo, hi)
+          end
+        done;
+        if not (box_empty box) then
+          run_pieces ~vec:opts.vec ~ty:ms.func.Ast.ftyp view coords cps box)
+      g.members
+  done
+
+(* ---------- split tiling (paper §3.2 / Fig. 5) ----------
+
+   The two-phase strategy: upward-shrinking trapezoids first, then the
+   complementary downward trapezoids rooted at the tile boundaries.
+   With d tiled dimensions there are 2^d phases (one per subset of
+   "downward" dimensions), executed in order of subset size; regions
+   within a phase are independent and run in parallel.  No redundant
+   computation, but values at trapezoid boundaries must stay live for
+   the later phases, so every member gets a full buffer — the paper's
+   reason to prefer overlapped tiling for storage optimization. *)
+
+let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
+  let opts = plan.opts in
+  let pipe = plan.pipe in
+  let sched = g.sched in
+  let ncd = sched.n_cdims in
+  let sink_level = pipe.level.(sched.members.(sched.sink).sidx) in
+  let height (m : C.Plan.member) = sink_level - pipe.level.(m.ms.sidx) in
+  let h_max = Array.fold_left (fun acc m -> max acc (height m)) 0 g.members in
+  (* symmetric slope per dim; level-from-bottom ell = h_max - height *)
+  let sigma =
+    Array.init ncd (fun d -> max sched.slope_l.(d) sched.slope_r.(d))
+  in
+  (* tiles must be wide enough that the sink's upward window is
+     nonempty and phases only depend on earlier phases *)
+  let tau0 = Poly.Tiling.scaled_tile sched ~tile:g.tile in
+  let tau =
+    Array.init ncd (fun d -> max tau0.(d) ((2 * h_max * sigma.(d)) + 2))
+  in
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      buffers.(m.ms.sidx) <- Some (Buffer.of_func m.ms.func env))
+    g.members;
+  let space_lo = Array.make ncd max_int and space_hi = Array.make ncd min_int in
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      let sd = Poly.Schedule.scaled_domain ~n_cdims:ncd m.ms env in
+      let covers = Array.make ncd false in
+      Array.iter (fun d -> if d >= 0 then covers.(d) <- true) m.ms.align;
+      Array.iteri
+        (fun d (lo, hi) ->
+          if covers.(d) then begin
+            if lo < space_lo.(d) then space_lo.(d) <- lo;
+            if hi > space_hi.(d) then space_hi.(d) <- hi
+          end)
+        sd)
+    g.members;
+  for d = 0 to ncd - 1 do
+    if space_lo.(d) = max_int then begin
+      space_lo.(d) <- 0;
+      space_hi.(d) <- 0
+    end
+  done;
+  let n_tiles =
+    Array.init ncd (fun d ->
+        max 1 (ceil_div (space_hi.(d) - space_lo.(d) + 1) tau.(d)))
+  in
+  let doms =
+    Array.map (fun (m : C.Plan.member) -> concrete_dom m.ms.func env) g.members
+  in
+  (* Per-worker compiled state (full-buffer views only). *)
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let lookup = make_lookup pipe buffers images ~local:(fun _ -> None) in
+        Array.map
+          (fun (m : C.Plan.member) ->
+            let f = m.ms.func in
+            let cases =
+              match f.Ast.fbody with
+              | Ast.Cases cs -> cs
+              | _ -> invalid_arg "Executor: non-pure stage in tiled group"
+            in
+            let cps =
+              List.map
+                (fun pc ->
+                  {
+                    cbox = pc.pbox;
+                    ccond =
+                      Option.map
+                        (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars
+                           ~bindings:env ~lookup)
+                        pc.pcond;
+                    crhs =
+                      Eval.compile ~unsafe:opts.vec ~vars:f.fvars
+                        ~bindings:env ~lookup pc.prhs;
+                  })
+                (pieces_of opts f env cases)
+            in
+            ( cps,
+              Eval.view_of_buffer f.fname (Option.get buffers.(m.ms.sidx)),
+              Array.make (Ast.func_arity f) 0 ))
+          g.members)
+  in
+  (* Phase = bitmask of "downward" dimensions. *)
+  let run_region mask (idx : int array) =
+    let compiled = Domain.DLS.get key in
+    Array.iteri
+      (fun k (m : C.Plan.member) ->
+        let ms = m.ms in
+        let cps, view, coords = compiled.(k) in
+        let ell = h_max - height m in
+        let arity = Array.length coords in
+        let box = Array.make arity (0, 0) in
+        for j = 0 to arity - 1 do
+          let dlo, dhi = doms.(k).(j) in
+          let d = ms.align.(j) in
+          if d < 0 then box.(j) <- (dlo, dhi)
+          else begin
+            let s = ms.scale.(j) in
+            let shrink = ell * sigma.(d) in
+            let wlo, whi =
+              if mask land (1 lsl d) = 0 then begin
+                (* upward trapezoid of tile idx.(d) *)
+                let base = space_lo.(d) + (idx.(d) * tau.(d)) in
+                (base + shrink, base + tau.(d) - 1 - shrink)
+              end
+              else begin
+                (* downward trapezoid at boundary idx.(d) *)
+                let b = space_lo.(d) + (idx.(d) * tau.(d)) in
+                (b - shrink, b + shrink - 1)
+              end
+            in
+            box.(j) <- (max dlo (ceil_div wlo s), min dhi (floor_div whi s))
+          end
+        done;
+        if not (box_empty box) then
+          run_pieces ~vec:opts.vec ~ty:ms.func.Ast.ftyp view coords cps box)
+      g.members
+  in
+  (* Enumerate phases by popcount, regions within a phase in parallel. *)
+  let masks = List.init (1 lsl ncd) (fun m -> m) in
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+  in
+  List.iter
+    (fun mask ->
+      let counts =
+        Array.init ncd (fun d ->
+            if mask land (1 lsl d) = 0 then n_tiles.(d) else n_tiles.(d) + 1)
+      in
+      let total = Array.fold_left ( * ) 1 counts in
+      Pool.parallel_for pool ~n:total (fun t ->
+          let idx = Array.make ncd 0 in
+          let rem = ref t in
+          for d = ncd - 1 downto 0 do
+            idx.(d) <- !rem mod counts.(d);
+            rem := !rem / counts.(d)
+          done;
+          run_region mask idx))
+    (List.sort (fun a b -> compare (popcount a) (popcount b)) masks)
+
+(* ---------- driver ---------- *)
+
+let run ?pool (plan : C.Plan.t) env ~images =
+  let pipe = plan.pipe in
+  (* Check provided images. *)
+  List.iter
+    (fun (im : Ast.image) ->
+      if not (List.exists (fun (jm, _) -> Ast.image_equal im jm) images) then
+        invalid_arg
+          (Printf.sprintf "Executor.run: input image %s not provided"
+             im.iname))
+    pipe.images;
+  let buffers = Array.make (Pipeline.n_stages pipe) None in
+  let go pool =
+    Array.iter
+      (fun item ->
+        match (item : C.Plan.item) with
+        | Straight i -> exec_straight pool plan env buffers images i
+        | Tiled g -> (
+          match plan.opts.tiling with
+          | C.Options.Overlap -> exec_tiled pool plan env buffers images g
+          | C.Options.Parallelogram ->
+            exec_parallelogram plan env buffers images g
+          | C.Options.Split -> exec_split pool plan env buffers images g))
+      plan.items;
+    let outputs =
+      List.map2
+        (fun src f ->
+          let i = Pipeline.stage_index pipe f in
+          (src, Option.get buffers.(i)))
+        plan.source_outputs pipe.outputs
+    in
+    { buffers; outputs }
+  in
+  match pool with
+  | Some p -> go p
+  | None -> Pool.with_pool plan.opts.workers go
+
+let output_buffer r f =
+  match List.find_opt (fun (g, _) -> Ast.func_equal f g) r.outputs with
+  | Some (_, b) -> b
+  | None -> raise Not_found

@@ -1,0 +1,33 @@
+(** Plan execution: the native back end.
+
+    Runs an execution {!C.Plan.t} under concrete parameter bindings.
+    [Straight] items evaluate whole stages into full buffers
+    (parallelized over outer-dimension chunks); [Tiled] items run
+    overlapped tiles in parallel over a worker pool, with per-worker
+    scratchpads for intermediates and relative indexing, following the
+    paper's generated-code structure (Fig. 7). *)
+
+open Polymage_ir
+module C = Polymage_compiler
+
+type result = {
+  buffers : Buffer.t option array;
+      (** per pipeline stage: the full buffer, when one was allocated
+          (straight stages and group live-outs) *)
+  outputs : (Ast.func * Buffer.t) list;
+}
+
+val run :
+  ?pool:Pool.t ->
+  C.Plan.t ->
+  Types.bindings ->
+  images:(Ast.image * Buffer.t) list ->
+  result
+(** Execute the plan.  Every input image of the pipeline must be
+    provided with matching extents.  When [pool] is absent a pool of
+    [plan.opts.workers] workers is created for the call.
+    @raise Eval.Runtime_error on out-of-window accesses (safe mode)
+    @raise Invalid_argument on missing images or malformed plans. *)
+
+val output_buffer : result -> Ast.func -> Buffer.t
+(** Buffer of a given output stage. @raise Not_found if absent. *)

@@ -1,0 +1,120 @@
+exception Format_error of string
+
+let byte_of v =
+  let b = int_of_float (Float.round (255. *. v)) in
+  if b < 0 then 0 else if b > 255 then 255 else b
+
+let write_header oc magic cols rows = Printf.fprintf oc "%s\n%d %d\n255\n" magic cols rows
+
+let write_pgm file (b : Buffer.t) =
+  if Array.length b.dims <> 2 then
+    invalid_arg "Image_io.write_pgm: 2-D buffer expected";
+  let rows = b.dims.(0) and cols = b.dims.(1) in
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      write_header oc "P5" cols rows;
+      for x = 0 to rows - 1 do
+        for y = 0 to cols - 1 do
+          output_char oc (Char.chr (byte_of b.data.((x * cols) + y)))
+        done
+      done)
+
+let write_ppm file (b : Buffer.t) =
+  if Array.length b.dims <> 3 || b.dims.(0) <> 3 then
+    invalid_arg "Image_io.write_ppm: (3, rows, cols) buffer expected";
+  let rows = b.dims.(1) and cols = b.dims.(2) in
+  let plane = rows * cols in
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      write_header oc "P6" cols rows;
+      for x = 0 to rows - 1 do
+        for y = 0 to cols - 1 do
+          for ch = 0 to 2 do
+            output_char oc
+              (Char.chr (byte_of b.data.((ch * plane) + (x * cols) + y)))
+          done
+        done
+      done)
+
+(* Netpbm headers: tokens separated by whitespace, with # comments. *)
+let read_token ic =
+  let buf = Stdlib.Buffer.create 8 in
+  let rec skip () =
+    match input_char ic with
+    | ' ' | '\t' | '\n' | '\r' -> skip ()
+    | '#' ->
+      let rec to_eol () =
+        match input_char ic with '\n' -> skip () | _ -> to_eol ()
+      in
+      to_eol ()
+    | c -> c
+  in
+  let rec collect c =
+    match c with
+    | ' ' | '\t' | '\n' | '\r' -> Stdlib.Buffer.contents buf
+    | c ->
+      Stdlib.Buffer.add_char buf c;
+      (match input_char ic with
+      | c -> collect c
+      | exception End_of_file -> Stdlib.Buffer.contents buf)
+  in
+  match skip () with
+  | c -> collect c
+  | exception End_of_file -> raise (Format_error "unexpected end of file")
+
+let read_int ic =
+  let t = read_token ic in
+  match int_of_string_opt t with
+  | Some n -> n
+  | None -> raise (Format_error ("expected integer, got " ^ t))
+
+let with_in file f =
+  let ic = open_in_bin file in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let read_raster ic n =
+  let bytes = really_input_string ic n in
+  bytes
+
+let read_pgm file =
+  with_in file (fun ic ->
+      (match read_token ic with
+      | "P5" -> ()
+      | m -> raise (Format_error ("not a binary PGM: " ^ m)));
+      let cols = read_int ic in
+      let rows = read_int ic in
+      let maxv = read_int ic in
+      if maxv <= 0 || maxv > 255 then
+        raise (Format_error "unsupported max value");
+      let raster = read_raster ic (rows * cols) in
+      let b = Buffer.create ~lo:[| 0; 0 |] ~dims:[| rows; cols |] in
+      for k = 0 to (rows * cols) - 1 do
+        b.data.(k) <- float_of_int (Char.code raster.[k]) /. float_of_int maxv
+      done;
+      b)
+
+let read_ppm file =
+  with_in file (fun ic ->
+      (match read_token ic with
+      | "P6" -> ()
+      | m -> raise (Format_error ("not a binary PPM: " ^ m)));
+      let cols = read_int ic in
+      let rows = read_int ic in
+      let maxv = read_int ic in
+      if maxv <= 0 || maxv > 255 then
+        raise (Format_error "unsupported max value");
+      let raster = read_raster ic (rows * cols * 3) in
+      let b = Buffer.create ~lo:[| 0; 0; 0 |] ~dims:[| 3; rows; cols |] in
+      let plane = rows * cols in
+      for k = 0 to plane - 1 do
+        for ch = 0 to 2 do
+          b.data.((ch * plane) + k) <-
+            float_of_int (Char.code raster.[(k * 3) + ch])
+            /. float_of_int maxv
+        done
+      done;
+      b)

@@ -1,0 +1,26 @@
+(** Minimal Netpbm image I/O (binary PGM/PPM), so pipelines can consume
+    and produce files any image viewer understands.  Values are mapped
+    between the byte range [0, 255] and the unit interval [0., 1.].
+
+    Grayscale buffers are 2-D (rows, cols); color buffers are 3-D in
+    the channel-major layout the benchmark apps use (c, rows, cols)
+    with c in [0, 2]. *)
+
+exception Format_error of string
+
+val write_pgm : string -> Buffer.t -> unit
+(** Write a 2-D buffer as binary PGM, clamping values to [0, 1].
+    @raise Invalid_argument on a buffer that is not 2-D. *)
+
+val write_ppm : string -> Buffer.t -> unit
+(** Write a 3-D channel-major buffer as binary PPM.
+    @raise Invalid_argument on a buffer that is not 3-D with 3
+    channels. *)
+
+val read_pgm : string -> Buffer.t
+(** Read a binary (P5) PGM into a 2-D buffer with values in [0, 1]
+    and lower bounds 0. @raise Format_error on malformed input. *)
+
+val read_ppm : string -> Buffer.t
+(** Read a binary (P6) PPM into a channel-major 3-D buffer.
+    @raise Format_error on malformed input. *)

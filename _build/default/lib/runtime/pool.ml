@@ -1,0 +1,112 @@
+type job = {
+  f : int -> unit;
+  n : int;
+  next : int Atomic.t;
+  active : int Atomic.t;  (* workers still draining this job *)
+  error : exn option Atomic.t;
+}
+
+type t = {
+  mutable workers : unit Domain.t array;
+  mutex : Mutex.t;
+  have_work : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable stop : bool;
+}
+
+let drain (j : job) =
+  let rec go () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.n then begin
+      (try j.f i with
+      | e -> ignore (Atomic.compare_and_set j.error None (Some e)));
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop t () =
+  let last_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !last_gen do
+      Condition.wait t.have_work t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      last_gen := t.generation;
+      let j = Option.get t.job in
+      Mutex.unlock t.mutex;
+      drain j;
+      Mutex.lock t.mutex;
+      if Atomic.fetch_and_add j.active (-1) = 1 then
+        Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create workers =
+  if workers < 1 then invalid_arg "Pool.create: need at least one worker";
+  let t =
+    {
+      workers = [||];
+      mutex = Mutex.create ();
+      have_work = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+    }
+  in
+  t.workers <- Array.init (workers - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = Array.length t.workers + 1
+
+let parallel_for t ~n f =
+  if n <= 0 then ()
+  else if Array.length t.workers = 0 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let j =
+      {
+        f;
+        n;
+        next = Atomic.make 0;
+        active = Atomic.make (Array.length t.workers + 1);
+        error = Atomic.make None;
+      }
+    in
+    Mutex.lock t.mutex;
+    t.job <- Some j;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.have_work;
+    Mutex.unlock t.mutex;
+    drain j;
+    Mutex.lock t.mutex;
+    if Atomic.fetch_and_add j.active (-1) <> 1 then
+      while Atomic.get j.active > 0 do
+        Condition.wait t.work_done t.mutex
+      done
+    else Condition.broadcast t.work_done;
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    match Atomic.get j.error with Some e -> raise e | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers
+
+let with_pool workers f =
+  let t = create workers in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,27 @@
+(** A reusable pool of worker domains — the OpenMP-parallel-for
+    substitute used to run tiles and row chunks concurrently
+    (paper §3.7 marks the outermost tile loop parallel).
+
+    The pool keeps [workers - 1] OCaml 5 domains alive across calls;
+    the calling domain participates too.  Work items are distributed
+    with an atomic counter (dynamic self-scheduling), which matches
+    OpenMP's dynamic schedule and balances the uneven boundary tiles. *)
+
+type t
+
+val create : int -> t
+(** [create workers] with [workers >= 1].  [create 1] executes
+    everything inline on the caller. *)
+
+val size : t -> int
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** Run [f 0 .. f (n-1)], distributing indices over the pool.  An
+    exception raised by any worker is re-raised on the caller (first
+    one wins). Not reentrant. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** Create, use, and always shut down. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must not be used afterwards. *)

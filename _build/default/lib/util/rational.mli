@@ -1,0 +1,55 @@
+(** Exact rational arithmetic over native integers.
+
+    PolyMage's alignment-and-scaling phase (paper §3.3) solves for
+    per-dimension scaling factors that are ratios of small sampling
+    factors, so exact rationals over [int] suffice (no overflow in
+    practice: factors are products of 2s and 3s bounded by pipeline
+    depth).  Values are kept normalized: positive denominator, gcd 1. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Invalid_argument if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** Multiplicative inverse. @raise Division_by_zero on zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sign : t -> int
+
+val is_int : t -> bool
+(** [is_int q] is true iff [q] has denominator 1. *)
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val floor : t -> int
+(** Largest integer [<= q] (floor division, correct for negatives). *)
+
+val ceil : t -> int
+(** Smallest integer [>= q]. *)
+
+val to_float : t -> float
+
+val lcm_dens : t list -> int
+(** Least common multiple of the denominators; 1 for the empty list. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

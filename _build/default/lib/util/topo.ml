@@ -1,0 +1,44 @@
+exception Cycle of int list
+
+(* Depth-first search with three colours; on finding a back edge the
+   current stack suffix is the cycle. *)
+let sort ~n ~succs =
+  let state = Array.make n `White in
+  let order = ref [] in
+  let stack = ref [] in
+  let rec visit u =
+    match state.(u) with
+    | `Black -> ()
+    | `Grey ->
+      let rec take acc = function
+        | [] -> acc
+        | v :: _ when v = u -> u :: acc
+        | v :: tl -> take (v :: acc) tl
+      in
+      raise (Cycle (take [] !stack))
+    | `White ->
+      state.(u) <- `Grey;
+      stack := u :: !stack;
+      List.iter visit (succs u);
+      stack := List.tl !stack;
+      state.(u) <- `Black;
+      order := u :: !order
+  in
+  for u = 0 to n - 1 do
+    visit u
+  done;
+  !order
+
+let levels ~n ~succs =
+  let order = sort ~n ~succs in
+  let level = Array.make n 0 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v -> if level.(v) < level.(u) + 1 then level.(v) <- level.(u) + 1)
+        (succs u))
+    order;
+  level
+
+let is_acyclic ~n ~succs =
+  match sort ~n ~succs with _ -> true | exception Cycle _ -> false

@@ -1,0 +1,18 @@
+(** Topological ordering and level assignment for small DAGs indexed by
+    contiguous integers [0..n-1].  Used for pipeline stage graphs
+    (paper §3: the leading schedule dimension of every stage is its
+    level in a topological sort of the pipeline DAG). *)
+
+exception Cycle of int list
+(** Raised when the graph has a cycle; carries one cycle's node ids. *)
+
+val sort : n:int -> succs:(int -> int list) -> int list
+(** [sort ~n ~succs] is a topological order of the [n] nodes
+    (producers before consumers). @raise Cycle on cyclic input. *)
+
+val levels : n:int -> succs:(int -> int list) -> int array
+(** [levels ~n ~succs] assigns each node the length of the longest
+    path from any source to it (sources get level 0).
+    @raise Cycle on cyclic input. *)
+
+val is_acyclic : n:int -> succs:(int -> int list) -> bool

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float List Pipeline Polymage_apps Polymage_compiler Polymage_dsl Polymage_ir Polymage_rt

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Ast Float Helpers List Option Pipeline Polymage_apps Polymage_compiler Polymage_ir Polymage_ref Polymage_rt Types

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Ast Filename Float Lazy List Pipeline Polymage_apps Polymage_codegen Polymage_compiler Polymage_ir Polymage_rt Printf String Sys

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Ast Format Helpers List Pipeline Polymage_apps Polymage_compiler Polymage_dsl Polymage_ir Types

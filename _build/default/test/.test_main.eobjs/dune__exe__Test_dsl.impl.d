@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Array Ast Expr Float List Polymage_dsl Polymage_ir Types

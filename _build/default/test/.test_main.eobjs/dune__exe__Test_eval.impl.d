@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Ast Expr Float Polymage_dsl Polymage_ir Polymage_rt Printf QCheck QCheck_alcotest Types

@@ -1,0 +1,1 @@
+test/test_exec_matrix.ml: Alcotest Hashtbl Helpers List Polymage_apps Polymage_compiler Printf

@@ -1,0 +1,1 @@
+test/test_ir.ml: Abound Alcotest Array Ast Expr Float Helpers List Pipeline Polymage_dsl Polymage_ir Polymage_util QCheck QCheck_alcotest String Types

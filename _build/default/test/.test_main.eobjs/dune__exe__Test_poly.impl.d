@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Ast Format Helpers List Pipeline Polymage_apps Polymage_compiler Polymage_dsl Polymage_ir Polymage_poly Polymage_rt Printf Types

@@ -1,0 +1,1 @@
+test/test_random.ml: Array List Polymage_compiler Polymage_dsl Polymage_ir Polymage_rt Printf QCheck QCheck_alcotest String Types

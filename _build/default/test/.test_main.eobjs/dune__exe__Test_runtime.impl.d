@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Ast Atomic Filename Helpers Polymage_apps Polymage_compiler Polymage_dsl Polymage_ir Polymage_rt Printf Sys Types

@@ -1,0 +1,1 @@
+test/test_tune.ml: Alcotest Helpers List Polymage_apps Polymage_compiler Polymage_rt Polymage_tune

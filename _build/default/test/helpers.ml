@@ -1,0 +1,58 @@
+(* Shared utilities for the test suites. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module App = Polymage_apps.App
+
+let images_for (app : App.t) (plan : C.Plan.t) env =
+  List.map
+    (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
+    plan.pipe.Pipeline.images
+
+let run_app (app : App.t) (opts : C.Options.t) env =
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  let images = images_for app plan env in
+  let res = Rt.Executor.run plan env ~images in
+  (plan, res)
+
+let output_of (app : App.t) res =
+  Rt.Executor.output_buffer res (List.hd app.outputs)
+
+let check_buffers_equal ?(eps = 1e-9) what a b =
+  let d = Rt.Buffer.max_abs_diff a b in
+  if Float.is_nan d then Alcotest.failf "%s: buffer shapes differ" what;
+  if d > eps then Alcotest.failf "%s: max abs diff %g > %g" what d eps
+
+(* A tiny two-stage blur pipeline used by several unit suites. *)
+let blur_pipeline () =
+  let open Polymage_dsl.Dsl in
+  let r = parameter ~name:"R" () and c = parameter ~name:"C" () in
+  let img = image ~name:"in" Float [ param_b r +~ ib 2; param_b c +~ ib 2 ] in
+  let x = variable ~name:"x" () and y = variable ~name:"y" () in
+  let dom =
+    [
+      (x, interval (ib 0) (param_b r +~ ib 1));
+      (y, interval (ib 0) (param_b c +~ ib 1));
+    ]
+  in
+  let interior = in_box [ (v x, i 1, p r); (v y, i 1, p c) ] in
+  let bx = func ~name:"bx" Float dom in
+  define bx
+    [
+      case interior
+        (fl (1. /. 3.)
+        *: (img_at img [ v x -: i 1; v y ]
+           +: img_at img [ v x; v y ]
+           +: img_at img [ v x +: i 1; v y ]));
+    ];
+  let by = func ~name:"by" Float dom in
+  define by
+    [
+      case interior
+        (fl (1. /. 3.)
+        *: (app bx [ v x; v y -: i 1 ]
+           +: app bx [ v x; v y ]
+           +: app bx [ v x; v y +: i 1 ]));
+    ];
+  (r, c, img, by)

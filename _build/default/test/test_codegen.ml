@@ -1,0 +1,172 @@
+(* C back end: structural properties of the emitted code (paper
+   Fig. 7), gcc syntax acceptance for every app in both
+   configurations, and a full compile-run-compare round trip. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module Cgen = Polymage_codegen.Cgen
+
+let have_gcc = lazy (Sys.command "gcc --version > /dev/null 2>&1" = 0)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let structure () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts =
+    C.Options.with_tile [| 32; 256 |] (C.Options.opt ~estimates:env ())
+  in
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  let src = Cgen.emit plan in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains src needle))
+    [
+      "#pragma omp parallel";  (* parallel region around the tiles *)
+      "#pragma omp for";  (* parallel tile loop *)
+      "#pragma ivdep";  (* unit-stride inner loops *)
+      "double* S_";  (* per-thread scratchpads *)
+      "ceild(base";  (* relative tile geometry *)
+      "out_harris";  (* live-out returned *)
+      "calloc";
+    ];
+  (* base plan has no scratchpads *)
+  let plan_b = C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs in
+  let src_b = Cgen.emit plan_b in
+  Alcotest.(check bool) "base has no scratchpads" false (contains src_b "double S_")
+
+let syntax_all_apps () =
+  if not (Lazy.force have_gcc) then ()
+  else
+    List.iter
+      (fun (app : Polymage_apps.App.t) ->
+        List.iter
+          (fun opts ->
+            let plan = C.Compile.run opts ~outputs:app.outputs in
+            let src = Cgen.emit plan in
+            let tmp = Filename.temp_file "pm_syn" ".c" in
+            let oc = open_out tmp in
+            output_string oc src;
+            close_out oc;
+            let rc =
+              Sys.command
+                (Printf.sprintf "gcc -fsyntax-only -std=c99 %s 2>/dev/null" tmp)
+            in
+            if rc <> 0 then
+              Alcotest.failf "%s: generated C rejected by gcc (source: %s)"
+                app.name tmp;
+            Sys.remove tmp)
+          [
+            C.Options.base ~estimates:app.small_env ();
+            C.Options.opt ~estimates:app.small_env ();
+          ])
+      (Apps.all ())
+
+(* Differential round trip: same simple polynomial input on both
+   back ends, checksums must agree to the last bit. *)
+let roundtrip name () =
+  if not (Lazy.force have_gcc) then ()
+  else begin
+    let app = Apps.find name in
+    let env = app.small_env in
+    let opts =
+      C.Options.with_tile [| 16; 16 |] (C.Options.opt ~estimates:env ())
+    in
+    let plan = C.Compile.run opts ~outputs:app.outputs in
+    let c_fill (im : Ast.image) =
+      let n = List.length im.iextents in
+      let x = Printf.sprintf "c%d" (max 0 (n - 2)) in
+      let y = if n >= 2 then Printf.sprintf "c%d" (n - 1) else "0" in
+      let ch = if n >= 3 then "c0" else "0" in
+      Printf.sprintf "(double)imod(%s*7 + %s*13 + %s*5, 32) / 8.0" x y ch
+    in
+    let ocaml_fill (c : int array) =
+      let n = Array.length c in
+      let x = if n >= 2 then c.(n - 2) else c.(0) in
+      let y = if n >= 2 then c.(n - 1) else 0 in
+      let ch = if n >= 3 then c.(0) else 0 in
+      float_of_int (((x * 7) + (y * 13) + (ch * 5)) mod 32) /. 8.0
+    in
+    let src = Cgen.emit_with_main plan ~fill:c_fill ~env in
+    let tmp = Filename.temp_file "pm_rt" ".c" in
+    let oc = open_out tmp in
+    output_string oc src;
+    close_out oc;
+    let exe = tmp ^ ".exe" in
+    let rc = Sys.command (Printf.sprintf "gcc -O1 -std=c99 -o %s %s -lm" exe tmp) in
+    Alcotest.(check int) "gcc compiles" 0 rc;
+    let outf = tmp ^ ".out" in
+    let rc = Sys.command (Printf.sprintf "%s > %s" exe outf) in
+    Alcotest.(check int) "pipeline runs" 0 rc;
+    let ic = open_in outf in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let images =
+      List.map
+        (fun im -> (im, Rt.Buffer.of_image im env ocaml_fill))
+        plan.pipe.Pipeline.images
+    in
+    let res = Rt.Executor.run plan env ~images in
+    List.iter
+      (fun (f, (b : Rt.Buffer.t)) ->
+        let sum = Array.fold_left ( +. ) 0. b.Rt.Buffer.data in
+        let prefix = f.Ast.fname ^ " " in
+        match
+          List.find_opt
+            (fun l ->
+              String.length l > String.length prefix
+              && String.sub l 0 (String.length prefix) = prefix)
+            !lines
+        with
+        | None -> Alcotest.fail "missing checksum line"
+        | Some l -> (
+          match String.split_on_char ' ' l with
+          | [ _; n; s ] ->
+            Alcotest.(check int) "count" (Rt.Buffer.size b) (int_of_string n);
+            let cs = float_of_string s in
+            let rel = Float.abs (cs -. sum) /. (Float.abs sum +. 1e-9) in
+            Alcotest.(check bool) "checksum matches" true (rel <= 1e-12)
+          | _ -> Alcotest.fail "bad checksum line"))
+      res.outputs;
+    Sys.remove tmp;
+    Sys.remove exe;
+    Sys.remove outf
+  end
+
+let parallelogram_rejected () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts =
+    { (C.Options.opt ~estimates:env ()) with
+      C.Options.tiling = C.Options.Parallelogram }
+  in
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  match Cgen.emit plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "C back end must reject parallelogram plans"
+
+let suite =
+  ( "codegen",
+    [
+      Alcotest.test_case "Fig.7 structure" `Quick structure;
+      Alcotest.test_case "parallelogram rejected" `Quick parallelogram_rejected;
+      Alcotest.test_case "gcc accepts all apps" `Slow syntax_all_apps;
+      Alcotest.test_case "roundtrip harris" `Slow (roundtrip "harris");
+      Alcotest.test_case "roundtrip camera" `Slow (roundtrip "camera_pipe");
+      Alcotest.test_case "roundtrip pyramid" `Slow (roundtrip "pyramid_blend");
+      (* bilateral covers reductions in C, local_laplacian covers the
+         data-dependent select chains *)
+      Alcotest.test_case "roundtrip bilateral" `Slow
+        (roundtrip "bilateral_grid");
+      Alcotest.test_case "roundtrip local laplacian" `Slow
+        (roundtrip "local_laplacian");
+    ] )

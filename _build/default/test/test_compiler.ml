@@ -1,0 +1,288 @@
+(* Compiler phases: bounds checking, inlining, grouping (Algorithm 1
+   invariants), storage statistics, plan shapes. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Apps = Polymage_apps.Apps
+open Polymage_dsl.Dsl
+
+(* ---------- bounds checking ---------- *)
+
+let bounds_accepts_apps () =
+  List.iter
+    (fun (app : Polymage_apps.App.t) ->
+      let pipe = Pipeline.build ~outputs:app.outputs in
+      match C.Bounds_check.check pipe with
+      | [] -> ()
+      | ds ->
+        Alcotest.failf "%s: %a" app.name
+          (Format.pp_print_list C.Bounds_check.pp_diag)
+          ds)
+    (Apps.all ())
+
+let bounds_rejects () =
+  let r = parameter ~name:"R" () in
+  let x = Types.var ~name:"x" () in
+  let img = image ~name:"bi" Float [ param_b r ] in
+  (* reads img at x+1 over the full [0, R-1]: off the end *)
+  let f = func ~name:"bad" Float [ (x, interval (ib 0) (param_b r -~ ib 1)) ] in
+  define f [ always (img_at img [ v x +: i 1 ]) ];
+  let pipe = Pipeline.build ~outputs:[ f ] in
+  (match C.Bounds_check.check pipe with
+  | [] -> Alcotest.fail "out-of-bounds stencil must be reported"
+  | d :: _ ->
+    Alcotest.(check string) "stage" "bad" d.stage;
+    Alcotest.(check string) "target" "bi" d.target);
+  (* lower bound violation guarded by a case condition is fine *)
+  let g = func ~name:"ok" Float [ (x, interval (ib 0) (param_b r -~ ib 1)) ] in
+  define g
+    [ case (between (v x) (i 1) (p r -: i 1)) (img_at img [ v x -: i 1 ]) ];
+  let pipe = Pipeline.build ~outputs:[ g ] in
+  (match C.Bounds_check.check pipe with
+  | [] -> ()
+  | ds ->
+    Alcotest.failf "guarded access wrongly reported: %a"
+      (Format.pp_print_list C.Bounds_check.pp_diag)
+      ds);
+  (* unguarded version of the same access is rejected *)
+  let h = func ~name:"bad2" Float [ (x, interval (ib 0) (param_b r -~ ib 1)) ] in
+  define h [ always (img_at img [ v x -: i 1 ]) ];
+  let pipe = Pipeline.build ~outputs:[ h ] in
+  (match C.Bounds_check.check pipe with
+  | [] -> Alcotest.fail "lower-bound violation must be reported"
+  | _ -> ());
+  (* accumulator cell index out of the accumulator domain *)
+  let a = func ~name:"acc" Float [ (x, interval (ib 0) (ib 7)) ] in
+  let rx = Types.var ~name:"rx" () in
+  accumulate a
+    ~over:[ (rx, interval (ib 0) (ib 15)) ]
+    ~index:[ v rx ] ~value:(fl 1.) Ast.Rsum;
+  let pipe = Pipeline.build ~outputs:[ a ] in
+  (match C.Bounds_check.check pipe with
+  | [] -> Alcotest.fail "accumulator overflow must be reported"
+  | _ -> ());
+  (* Compile.run surfaces the diagnostics *)
+  match
+    C.Compile.run (C.Options.base ~estimates:[ (r, 32) ] ()) ~outputs:[ f ]
+  with
+  | exception C.Compile.Bounds_error _ -> ()
+  | _ -> Alcotest.fail "Compile.run must raise Bounds_error"
+
+(* ---------- inlining ---------- *)
+
+let inline_units () =
+  let r = parameter ~name:"R" () in
+  let x = Types.var ~name:"x" () in
+  let img = image ~name:"ii" Float [ param_b r +~ ib 2 ] in
+  let dom = [ (x, interval (ib 0) (param_b r +~ ib 1)) ] in
+  let stencil_stage = func ~name:"st" Float dom in
+  define stencil_stage
+    [
+      case (between (v x) (i 1) (p r))
+        (img_at img [ v x -: i 1 ] +: img_at img [ v x +: i 1 ]);
+    ];
+  let pw = func ~name:"pw" Float dom in
+  define pw [ always (app stencil_stage [ v x ] *: fl 2.) ];
+  let sink = func ~name:"sink" Float dom in
+  define sink [ always (app pw [ v x ] +: fl 1.) ];
+  Alcotest.(check bool) "stencil not pointwise" false
+    (C.Inline.is_pointwise stencil_stage);
+  Alcotest.(check bool) "pw pointwise" true (C.Inline.is_pointwise pw);
+  let pipe = Pipeline.build ~outputs:[ sink ] in
+  let pipe', inlined = C.Inline.run pipe in
+  Alcotest.(check int) "pw disappears" 2 (Pipeline.n_stages pipe');
+  Alcotest.(check bool) "pw recorded" true
+    (List.exists (fun (p, _) -> p = "pw") inlined)
+
+let inline_preserves_semantics () =
+  (* Run apps with inlining on and off; outputs agree up to the
+     single-precision rounding of materialized intermediates (camera
+     additionally quantizes to 8 bits, so one count of difference is
+     possible at rounding boundaries). *)
+  List.iter
+    (fun (name, eps) ->
+      let app = Apps.find name in
+      let env = app.small_env in
+      let with_inline = C.Options.base ~estimates:env () in
+      let without = { with_inline with C.Options.inline_on = false } in
+      let _, r1 = Helpers.run_app app with_inline env in
+      let _, r2 = Helpers.run_app app without env in
+      Helpers.check_buffers_equal ~eps
+        (app.name ^ " inline on/off")
+        (Helpers.output_of app r1) (Helpers.output_of app r2))
+    [ ("harris", 1e-5); ("pyramid_blend", 1e-5); ("camera_pipe", 1.0) ]
+
+(* ---------- grouping ---------- *)
+
+let grouping_invariants () =
+  List.iter
+    (fun (app : Polymage_apps.App.t) ->
+      let env = app.small_env in
+      let pipe = Pipeline.build ~outputs:app.outputs in
+      let pipe, _ = C.Inline.run pipe in
+      let cfg = C.Grouping.default_config ~estimates:env in
+      let g = C.Grouping.run pipe cfg in
+      Alcotest.(check bool)
+        (app.name ^ " grouping valid")
+        true
+        (C.Grouping.valid pipe g);
+      (* group_order is a topological order of the quotient graph *)
+      let order = C.Grouping.group_order pipe g in
+      Alcotest.(check int)
+        (app.name ^ " order covers")
+        (Array.length g.groups) (List.length order))
+    (Apps.all ())
+
+let grouping_threshold_monotone () =
+  (* a larger overlap threshold can only allow more merging *)
+  let app = Apps.find "pyramid_blend" in
+  let env = app.small_env in
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let pipe, _ = C.Inline.run pipe in
+  let groups_at t =
+    let cfg =
+      { (C.Grouping.default_config ~estimates:env) with
+        C.Grouping.threshold = t; tile = [| 16; 16 |] }
+    in
+    Array.length (C.Grouping.run pipe cfg).groups
+  in
+  let g02 = groups_at 0.2 and g05 = groups_at 0.5 and g2 = groups_at 2.0 in
+  Alcotest.(check bool) "0.5 merges at least as much as 0.2" true (g05 <= g02);
+  Alcotest.(check bool) "2.0 merges at least as much as 0.5" true (g2 <= g05)
+
+let grouping_tile_dependence () =
+  (* bigger tiles amortize overlap: fewer groups *)
+  let app = Apps.find "pyramid_blend" in
+  let env = app.small_env in
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let pipe, _ = C.Inline.run pipe in
+  let groups_with tile =
+    let cfg =
+      { (C.Grouping.default_config ~estimates:env) with C.Grouping.tile }
+    in
+    Array.length (C.Grouping.run pipe cfg).groups
+  in
+  Alcotest.(check bool) "64x64 merges >= 8x8" true
+    (groups_with [| 64; 64 |] <= groups_with [| 8; 8 |])
+
+(* ---------- storage ---------- *)
+
+let storage_stats () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts = C.Options.opt ~estimates:env () in
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  let s = C.Storage.stats plan env in
+  Alcotest.(check bool) "scratch smaller than full-replacement" true
+    (s.scratch_cells < s.unopt_cells);
+  Alcotest.(check bool) "full buffers only for live-outs" true
+    (s.full_cells < s.unopt_cells);
+  (* base plan allocates everything *)
+  let plan_b = C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs in
+  let sb = C.Storage.stats plan_b env in
+  Alcotest.(check int) "base full = unopt" sb.unopt_cells sb.full_cells;
+  Alcotest.(check int) "base no scratch" 0 sb.scratch_cells
+
+let plan_shapes () =
+  let app = Apps.find "bilateral_grid" in
+  let env = app.small_env in
+  let plan = C.Compile.run (C.Options.opt ~estimates:env ()) ~outputs:app.outputs in
+  (* the two grid reductions must be straight items, blurs tiled *)
+  Alcotest.(check bool) "has tiled groups" true (C.Plan.n_tiled_groups plan >= 1);
+  let has_reduction_straight =
+    Array.exists
+      (function
+        | C.Plan.Straight i -> (
+          match plan.pipe.stages.(i).Ast.fbody with
+          | Ast.Reduce _ -> true
+          | _ -> false)
+        | _ -> false)
+      plan.items
+  in
+  Alcotest.(check bool) "reductions straight" true has_reduction_straight;
+  (* tiled members are never reductions *)
+  Array.iter
+    (function
+      | C.Plan.Tiled g ->
+        Array.iter
+          (fun (m : C.Plan.member) ->
+            match m.ms.func.Ast.fbody with
+            | Ast.Reduce _ -> Alcotest.fail "reduction inside tiled group"
+            | _ -> ())
+          g.members
+      | C.Plan.Straight _ -> ())
+    plan.items
+
+let suite =
+  ( "compiler",
+    [
+      Alcotest.test_case "bounds accepts all apps" `Quick bounds_accepts_apps;
+      Alcotest.test_case "bounds rejections" `Quick bounds_rejects;
+      Alcotest.test_case "inline units" `Quick inline_units;
+      Alcotest.test_case "inline preserves semantics" `Slow
+        inline_preserves_semantics;
+      Alcotest.test_case "grouping invariants" `Quick grouping_invariants;
+      Alcotest.test_case "grouping threshold monotone" `Quick
+        grouping_threshold_monotone;
+      Alcotest.test_case "grouping tile dependence" `Quick
+        grouping_tile_dependence;
+      Alcotest.test_case "storage stats" `Quick storage_stats;
+      Alcotest.test_case "plan shapes" `Quick plan_shapes;
+    ] )
+
+(* min_size keeps small stages out of groups; an absurd threshold
+   disables grouping entirely. *)
+let grouping_min_size () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let pipe, _ = C.Inline.run pipe in
+  let groups_with min_size =
+    let cfg =
+      { (C.Grouping.default_config ~estimates:env) with C.Grouping.min_size }
+    in
+    Array.length (C.Grouping.run pipe cfg).groups
+  in
+  Alcotest.(check int) "huge min_size disables merging"
+    (Pipeline.n_stages pipe)
+    (groups_with max_int);
+  Alcotest.(check bool) "normal min_size merges" true (groups_with 0 < Pipeline.n_stages pipe)
+
+(* Inlining limits: a huge point-wise body is not inlined. *)
+let inline_size_limit () =
+  let open Polymage_dsl.Dsl in
+  let x = Types.var ~name:"ix" () in
+  let dom = [ (x, interval (ib 0) (ib 63)) ] in
+  let im = image ~name:"inl_img" Float [ ib 64 ] in
+  let big = func ~name:"big_pw" Float dom in
+  (* a point-wise body with ~600 nodes *)
+  let rec grow n acc =
+    if n = 0 then acc else grow (n - 1) (acc +: (img_at im [ v x ] *: fl 1.5))
+  in
+  define big [ always (grow 200 (img_at im [ v x ])) ];
+  let sink = func ~name:"inl_sink" Float dom in
+  define sink [ always (app big [ v x ] +: fl 1.) ];
+  let pipe = Pipeline.build ~outputs:[ sink ] in
+  let pipe', inlined = C.Inline.run pipe in
+  Alcotest.(check int) "big body kept" 2 (Pipeline.n_stages pipe');
+  Alcotest.(check (list (pair string string))) "nothing inlined" [] inlined;
+  (* with a custom limit it does get inlined *)
+  let pipe'', _ = C.Inline.run ~max_size:10000 ~small_size:10000 pipe in
+  Alcotest.(check int) "inlined under a larger limit" 1
+    (Pipeline.n_stages pipe'')
+
+(* Pyramid-style rational bounds pass the checker at every level. *)
+let rational_bounds_check () =
+  let app = Apps.find "local_laplacian" in
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  Alcotest.(check int) "no diagnostics" 0
+    (List.length (C.Bounds_check.check pipe))
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        Alcotest.test_case "grouping min_size" `Quick grouping_min_size;
+        Alcotest.test_case "inline size limit" `Quick inline_size_limit;
+        Alcotest.test_case "rational bounds (pyramids)" `Quick
+          rational_bounds_check;
+      ] )

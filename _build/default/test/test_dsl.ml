@@ -1,0 +1,164 @@
+(* Surface-language semantics: the pattern helpers (paper Table 1 /
+   the Stencil construct) must build expressions that evaluate to the
+   arithmetic they abbreviate, and misuse must be rejected. *)
+open Polymage_ir
+open Polymage_dsl.Dsl
+
+let xv = Types.var ~name:"dx" ()
+let yv = Types.var ~name:"dy" ()
+
+(* Evaluate an expression at a point over a synthetic "image": the
+   sampler returns a known function of the coordinates. *)
+let sample_fn cs =
+  match cs with
+  | [ a; b ] -> (3.7 *. a) +. (1.3 *. b) +. (0.01 *. a *. b)
+  | _ -> Alcotest.fail "2-D sample expected"
+
+let img = image ~name:"dsl_img" Float [ ib 64; ib 64 ]
+
+let eval_at x y e =
+  Expr.eval
+    ~var:(fun w ->
+      if Types.var_equal w xv then float_of_int x
+      else if Types.var_equal w yv then float_of_int y
+      else Alcotest.fail "foreign var")
+    ~param:(fun _ -> Alcotest.fail "no params")
+    ~call:(fun _ _ -> Alcotest.fail "no calls")
+    ~img:(fun _ args -> sample_fn (Array.to_list args))
+    e
+
+let near = Alcotest.float 1e-9
+
+let stencil_semantics () =
+  (* 3x3 weighted stencil vs the hand-written sum *)
+  let w = [ [ 1.; 2.; 1. ]; [ 2.; 4.; 2. ]; [ 1.; 2.; 1. ] ] in
+  let e =
+    stencil (fun idx -> img_at img idx) ~scale:(1. /. 16.) w (v xv) (v yv)
+  in
+  let x = 10 and y = 20 in
+  let expected =
+    List.fold_left ( +. ) 0.
+      (List.concat
+         (List.mapi
+            (fun r row ->
+              List.mapi
+                (fun c wt ->
+                  wt /. 16.
+                  *. sample_fn
+                       [ float_of_int (x + r - 1); float_of_int (y + c - 1) ])
+                row)
+            w))
+  in
+  Alcotest.check near "3x3 stencil" expected (eval_at x y e);
+  (* zero taps are skipped but do not change the value *)
+  let sparse = [ [ 0.; 1.; 0. ]; [ 1.; 0.; 1. ]; [ 0.; 1.; 0. ] ] in
+  let e = stencil (fun idx -> img_at img idx) sparse (v xv) (v yv) in
+  let expected =
+    sample_fn [ 9.; 20. ] +. sample_fn [ 10.; 19. ] +. sample_fn [ 10.; 21. ]
+    +. sample_fn [ 11.; 20. ]
+  in
+  Alcotest.check near "sparse stencil" expected (eval_at x y e)
+
+let stencil1d_semantics () =
+  let e =
+    stencil1d (fun ix -> img_at img [ ix; v yv ]) ~scale:0.2
+      [ 1.; 2.; 4.; 2.; 1. ] (v xv)
+  in
+  let x = 8 and y = 5 in
+  let expected =
+    0.2
+    *. ((1. *. sample_fn [ 6.; 5. ]) +. (2. *. sample_fn [ 7.; 5. ])
+       +. (4. *. sample_fn [ 8.; 5. ])
+       +. (2. *. sample_fn [ 9.; 5. ])
+       +. (1. *. sample_fn [ 10.; 5. ]))
+  in
+  Alcotest.check near "5-tap row stencil" expected (eval_at x y e)
+
+let downsample_semantics () =
+  let e =
+    downsample2 (fun idx -> img_at img idx) [ [ 1.; 1. ]; [ 1.; 1. ] ]
+      (v xv) (v yv)
+  in
+  (* 2x2 kernel centred at (1,1): taps (2x-1..2x, 2y-1..2y) *)
+  let x = 6 and y = 4 in
+  let expected =
+    sample_fn [ 11.; 7. ] +. sample_fn [ 11.; 8. ] +. sample_fn [ 12.; 7. ]
+    +. sample_fn [ 12.; 8. ]
+  in
+  Alcotest.check near "2x decimation" expected (eval_at x y e)
+
+let upsample_semantics () =
+  let e = upsample2 (fun idx -> img_at img idx) (v xv) (v yv) in
+  (* even/even copies *)
+  Alcotest.check near "even/even" (sample_fn [ 5.; 7. ]) (eval_at 10 14 e);
+  (* odd x averages the two x-neighbours *)
+  Alcotest.check near "odd/even"
+    (0.5 *. (sample_fn [ 5.; 7. ] +. sample_fn [ 6.; 7. ]))
+    (eval_at 11 14 e);
+  (* odd/odd averages all four corners *)
+  Alcotest.check near "odd/odd"
+    (0.25
+    *. (sample_fn [ 5.; 7. ] +. sample_fn [ 5.; 8. ] +. sample_fn [ 6.; 7. ]
+       +. sample_fn [ 6.; 8. ]))
+    (eval_at 11 15 e)
+
+let clamp_semantics () =
+  Alcotest.check near "clamp low" 2. (eval_at 0 0 (clamp (fl (-5.)) (fl 2.) (fl 7.)));
+  Alcotest.check near "clamp high" 7. (eval_at 0 0 (clamp (fl 50.) (fl 2.) (fl 7.)));
+  Alcotest.check near "clamp mid" 4.5 (eval_at 0 0 (clamp (fl 4.5) (fl 2.) (fl 7.)))
+
+let accumulate_misuse () =
+  let b = Types.var ~name:"bins" () in
+  let acc = func ~name:"misuse_acc" Int [ (b, interval (ib 0) (ib 9)) ] in
+  let rx = Types.var ~name:"mrx" () in
+  (* wrong index arity *)
+  (match
+     accumulate acc
+       ~over:[ (rx, interval (ib 0) (ib 9)) ]
+       ~index:[ v rx; v rx ] ~value:(fl 1.) Ast.Rsum
+   with
+  | exception Definition_error _ -> ()
+  | _ -> Alcotest.fail "index arity must be checked");
+  (* foreign variable in the value *)
+  let acc2 = func ~name:"misuse_acc2" Int [ (b, interval (ib 0) (ib 9)) ] in
+  let other = Types.var ~name:"other" () in
+  match
+    accumulate acc2
+      ~over:[ (rx, interval (ib 0) (ib 9)) ]
+      ~index:[ v rx ] ~value:(v other) Ast.Rsum
+  with
+  | exception Definition_error _ -> ()
+  | _ -> Alcotest.fail "foreign variable must be rejected"
+
+let redop_defaults () =
+  Alcotest.check near "sum neutral" 0. (Ast.redop_init Ast.Rsum);
+  Alcotest.check near "mul neutral" 1. (Ast.redop_init Ast.Rmul);
+  Alcotest.(check bool) "min neutral" true
+    (Ast.redop_init Ast.Rmin = Float.infinity);
+  Alcotest.(check bool) "max neutral" true
+    (Ast.redop_init Ast.Rmax = Float.neg_infinity);
+  Alcotest.check near "apply min" 3. (Ast.apply_redop Ast.Rmin 3. 5.);
+  Alcotest.check near "apply max" 5. (Ast.apply_redop Ast.Rmax 3. 5.)
+
+let scalar_store () =
+  Alcotest.check near "uchar clamps" 255. (Types.clamp_store Types.UChar 300.);
+  Alcotest.check near "uchar floor" 0. (Types.clamp_store Types.UChar (-3.));
+  Alcotest.check near "uchar rounds" 3. (Types.clamp_store Types.UChar 2.5);
+  Alcotest.check near "short clamps" (-32768.)
+    (Types.clamp_store Types.Short (-40000.));
+  Alcotest.(check bool) "float32 rounding is lossy" true
+    (Types.clamp_store Types.Float 0.1 <> 0.1);
+  Alcotest.check near "double exact" 0.1 (Types.clamp_store Types.Double 0.1)
+
+let suite =
+  ( "dsl",
+    [
+      Alcotest.test_case "stencil (Table 1)" `Quick stencil_semantics;
+      Alcotest.test_case "stencil1d" `Quick stencil1d_semantics;
+      Alcotest.test_case "downsample2 (Table 1)" `Quick downsample_semantics;
+      Alcotest.test_case "upsample2 (Table 1)" `Quick upsample_semantics;
+      Alcotest.test_case "clamp" `Quick clamp_semantics;
+      Alcotest.test_case "accumulate misuse" `Quick accumulate_misuse;
+      Alcotest.test_case "reduction operators" `Quick redop_defaults;
+      Alcotest.test_case "element-type stores" `Quick scalar_store;
+    ] )

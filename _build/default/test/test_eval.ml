@@ -1,0 +1,150 @@
+(* The closure compiler (Eval) must agree with the structural
+   reference evaluator (Expr.eval) on arbitrary expressions, including
+   stage and image reads — this pins the runtime's expression
+   semantics to the IR's. *)
+open Polymage_ir
+module Rt = Polymage_rt
+open Polymage_dsl.Dsl
+
+(* Fixed scene: one producer buffer and one image, both 16x16 with lo
+   (2,2) for the producer, plus a parameter bound to 5. *)
+let xvar = Types.var ~name:"ex" ()
+let yvar = Types.var ~name:"ey" ()
+let par = Types.param ~name:"ep" ()
+let bindings = [ (par, 5) ]
+let img = image ~name:"eval_img" Float [ ib 16; ib 16 ]
+let prod = func ~name:"eval_prod" Float
+    [ (xvar, interval (ib 2) (ib 17)); (yvar, interval (ib 2) (ib 17)) ]
+
+let () = define prod [ always (v xvar +: v yvar) ]
+
+let prod_buf =
+  let b = Rt.Buffer.create ~lo:[| 2; 2 |] ~dims:[| 16; 16 |] in
+  for x = 2 to 17 do
+    for y = 2 to 17 do
+      Rt.Buffer.set b [| x; y |] (float_of_int ((x * 31) + y) /. 7.)
+    done
+  done;
+  b
+
+let img_buf =
+  Rt.Buffer.of_image img bindings (fun c ->
+      float_of_int ((c.(0) * 13) + (c.(1) * 3)) /. 11.)
+
+(* Random expressions whose reads always land inside the windows:
+   producer indices are clamped into [4, 15] via affine shifts of the
+   loop variables, which range over [6, 12]. *)
+let gen_expr =
+  let open QCheck.Gen in
+  let idx dv =
+    let* d = int_range (-2) 2 in
+    return (dv +: i d)
+  in
+  let leaf =
+    oneof
+      [
+        map (fun n -> fl (float_of_int n /. 4.)) (int_range (-12) 12);
+        return (v xvar);
+        return (v yvar);
+        return (p par);
+        ( let* ix = idx (v xvar) in
+          let* iy = idx (v yvar) in
+          return (app prod [ ix; iy ]) );
+        ( let* ix = idx (v xvar) in
+          let* iy = idx (v yvar) in
+          return (img_at img [ ix; iy ]) );
+      ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          (2, map2 (fun a b -> a +: b) (go (n - 1)) (go (n - 1)));
+          (2, map2 (fun a b -> a *: b) (go (n - 1)) (go (n - 1)));
+          (1, map2 (fun a b -> a -: b) (go (n - 1)) (go (n - 1)));
+          (1, map (fun a -> sqrt_ (abs_ a)) (go (n - 1)));
+          (1, map (fun a -> a /^ 2) (go (n - 1)));
+          (1, map (fun a -> cast UChar a) (go (n - 1)));
+          ( 1,
+            map2 (fun a b -> select (a <=: b) (a +: fl 1.) b) (go (n - 1))
+              (go (n - 1)) );
+          (1, map2 min_ (go (n - 1)) (go (n - 1)));
+        ]
+  in
+  go 4
+
+let oracle e (x, y) =
+  Expr.eval
+    ~var:(fun w ->
+      if Types.var_equal w xvar then float_of_int x
+      else if Types.var_equal w yvar then float_of_int y
+      else Alcotest.fail "foreign var")
+    ~param:(fun q ->
+      if Types.param_equal q par then 5. else Alcotest.fail "foreign param")
+    ~call:(fun f args ->
+      assert (Ast.func_equal f prod);
+      Rt.Buffer.get prod_buf (Array.map int_of_float args))
+    ~img:(fun im args ->
+      assert (Ast.image_equal im img);
+      Rt.Buffer.get img_buf (Array.map int_of_float args))
+    e
+
+let compiled unsafe e =
+  let lookup = function
+    | Rt.Eval.Src_func _ -> Rt.Eval.view_of_buffer "prod" prod_buf
+    | Rt.Eval.Src_img _ -> Rt.Eval.view_of_buffer "img" img_buf
+  in
+  Rt.Eval.compile ~unsafe ~vars:[ xvar; yvar ] ~bindings ~lookup e
+
+let agree unsafe (e, (x, y)) =
+  let a = oracle e (x, y) in
+  let f = compiled unsafe e in
+  let b = f [| x; y |] in
+  (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) <= 1e-12
+
+let point = QCheck.Gen.(pair (int_range 6 12) (int_range 6 12))
+
+let suite =
+  ( "eval",
+    [
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~name:"compiled == oracle (safe)" ~count:300
+           (QCheck.make
+              ~print:(fun (e, (x, y)) ->
+                Printf.sprintf "%s @ (%d,%d)" (Expr.to_string e) x y)
+              QCheck.Gen.(pair gen_expr point))
+           (agree false));
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~name:"compiled == oracle (unsafe)" ~count:300
+           (QCheck.make
+              ~print:(fun (e, (x, y)) ->
+                Printf.sprintf "%s @ (%d,%d)" (Expr.to_string e) x y)
+              QCheck.Gen.(pair gen_expr point))
+           (agree true));
+      Alcotest.test_case "out-of-window read reports" `Quick (fun () ->
+          let e = app prod [ v xvar +: i 100; v yvar ] in
+          let f = compiled false e in
+          match f [| 6; 6 |] with
+          | exception Rt.Eval.Runtime_error _ -> ()
+          | _ -> Alcotest.fail "expected Runtime_error");
+      Alcotest.test_case "view repositioning" `Quick (fun () ->
+          (* reading through a scratch view attached at an offset start
+             must agree with absolute reads *)
+          let data = Array.init 25 (fun k -> float_of_int k) in
+          let view = Rt.Eval.view_of_strides "scr" [| 5; 1 |] in
+          Rt.Eval.attach_scratch view data ~start:[| 10; 20 |];
+          let e = app prod [ v xvar; v yvar ] in
+          let lookup = function
+            | Rt.Eval.Src_func _ -> view
+            | Rt.Eval.Src_img _ -> Alcotest.fail "no image"
+          in
+          let f =
+            Rt.Eval.compile ~unsafe:false ~vars:[ xvar; yvar ] ~bindings
+              ~lookup e
+          in
+          (* absolute (11, 22) is scratch cell (1, 2) = 7 *)
+          Alcotest.(check (float 0.)) "relative indexing" 7.
+            (f [| 11; 22 |]));
+    ] )

@@ -1,0 +1,102 @@
+(* The central correctness property (DESIGN.md invariant 1): for every
+   benchmark and every legal combination of compile options, the
+   optimized executor produces exactly the output of the base
+   configuration. *)
+module C = Polymage_compiler
+module Apps = Polymage_apps.Apps
+
+let variants env =
+  let opt = C.Options.opt ~estimates:env () in
+  [
+    ("opt tile 32x256 (paper default)", opt);
+    ("opt+vec", C.Options.opt_vec ~estimates:env ());
+    ("opt tile 8x8", C.Options.with_tile [| 8; 8 |] opt);
+    ("opt tile 16x64", C.Options.with_tile [| 16; 64 |] opt);
+    ("opt tile 13x27 (odd)", C.Options.with_tile [| 13; 27 |] opt);
+    ("opt thresh 0.2", C.Options.with_threshold 0.2 opt);
+    ("opt thresh 2.0 (merge-everything)", C.Options.with_threshold 2.0 opt);
+    ("opt no scratchpads", { opt with C.Options.scratchpads = false });
+    ("opt naive overlap", { opt with C.Options.naive_overlap = true });
+    ("opt no case splitting", { opt with C.Options.split_cases = false });
+    ("opt 3 workers", { opt with C.Options.workers = 3 });
+    ( "parallelogram tiling",
+      { opt with C.Options.tiling = C.Options.Parallelogram } );
+    ( "parallelogram tiling 16x16",
+      {
+        (C.Options.with_tile [| 16; 16 |] opt) with
+        C.Options.tiling = C.Options.Parallelogram;
+      } );
+    ("split tiling", { opt with C.Options.tiling = C.Options.Split });
+    ( "split tiling 16x16 3 workers",
+      {
+        (C.Options.with_tile [| 16; 16 |] opt) with
+        C.Options.tiling = C.Options.Split;
+        workers = 3;
+      } );
+    ( "opt+vec naive overlap no scratch",
+      {
+        (C.Options.opt_vec ~estimates:env ()) with
+        C.Options.naive_overlap = true;
+        scratchpads = false;
+      } );
+  ]
+
+(* Baseline outputs are computed once per app and shared by the
+   per-variant cases. *)
+let baselines = Hashtbl.create 8
+
+let baseline name =
+  match Hashtbl.find_opt baselines name with
+  | Some b -> b
+  | None ->
+    let app = Apps.find name in
+    let env = app.small_env in
+    let _, base = Helpers.run_app app (C.Options.base ~estimates:env ()) env in
+    let b = (app, env, Helpers.output_of app base) in
+    Hashtbl.replace baselines name b;
+    b
+
+let variant_case name vname () =
+  let app, env, expected = baseline name in
+  let opts = List.assoc vname (variants env) in
+  let _, res = Helpers.run_app app opts env in
+  Helpers.check_buffers_equal ~eps:1e-9
+    (Printf.sprintf "%s / %s" name vname)
+    expected (Helpers.output_of app res)
+
+(* Disabling inlining changes which intermediates get materialized
+   (and therefore rounded to single precision), so it is compared
+   against a base plan with inlining disabled too — then the tiling
+   machinery must again match exactly. *)
+let no_inline_case name () =
+  let app = Apps.find name in
+  let env = app.small_env in
+  let base_ni =
+    { (C.Options.base ~estimates:env ()) with C.Options.inline_on = false }
+  in
+  let opt_ni =
+    { (C.Options.opt ~estimates:env ()) with C.Options.inline_on = false }
+  in
+  let _, r1 = Helpers.run_app app base_ni env in
+  let _, r2 = Helpers.run_app app opt_ni env in
+  Helpers.check_buffers_equal ~eps:1e-9
+    (name ^ " / no-inline opt vs no-inline base")
+    (Helpers.output_of app r1) (Helpers.output_of app r2)
+
+let variant_names = List.map fst (variants [])
+
+let suite =
+  ( "exec-matrix",
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun vname ->
+            Alcotest.test_case
+              (Printf.sprintf "%s / %s" name vname)
+              `Slow (variant_case name vname))
+          variant_names
+        @ [
+            Alcotest.test_case (name ^ " / no-inlining") `Slow
+              (no_inline_case name);
+          ])
+      Apps.names )

@@ -1,0 +1,195 @@
+(* IR tests: affine bounds, expression simplification (semantics
+   preserved, checked by qcheck), condition boxes, pipeline graphs. *)
+open Polymage_ir
+module Q = Polymage_util.Rational
+open Polymage_dsl.Dsl
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* ---------- Abound ---------- *)
+
+let abound_units () =
+  let r = parameter ~name:"r" () and c = parameter ~name:"c" () in
+  let env = [ (r, 100); (c, 7) ] in
+  let b = param_b r +~ ib 2 in
+  Alcotest.(check int) "R+2" 102 (Abound.eval b env);
+  let half = param_b r /~ 8 in
+  Alcotest.(check int) "R/8 floors" 12 (Abound.eval half env);
+  let mix = (param_b r /~ 4) +~ (param_b c /~ 2) +~ ib 1 in
+  (* exact rational evaluation then one floor: 25 + 3.5 + 1 = 29.5 *)
+  Alcotest.(check int) "single floor at the end" 29 (Abound.eval mix env);
+  Alcotest.(check bool) "nonneg" true (Abound.nonneg_for_nonneg_params b);
+  Alcotest.(check bool) "not nonneg" false
+    (Abound.nonneg_for_nonneg_params (Abound.sub (ib 0) (param_b r)));
+  let cst, terms, den = Abound.to_linear mix in
+  Alcotest.(check int) "linear den" 4 den;
+  Alcotest.(check int) "linear const" 4 cst;
+  Alcotest.(check int) "linear terms" 2 (List.length terms)
+
+(* ---------- expression simplification ---------- *)
+
+(* Random closed expressions over two variables (no stage reads). *)
+let arb_expr =
+  let open QCheck.Gen in
+  let x = Types.var ~name:"tx" () and y = Types.var ~name:"ty" () in
+  let leaf =
+    oneof
+      [
+        map (fun n -> fl (float_of_int n)) (int_range (-8) 8);
+        return (v x);
+        return (v y);
+      ]
+  in
+  let rec expr n =
+    if n = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          (2, map2 (fun a b -> a +: b) (expr (n - 1)) (expr (n - 1)));
+          (2, map2 (fun a b -> a -: b) (expr (n - 1)) (expr (n - 1)));
+          (2, map2 (fun a b -> a *: b) (expr (n - 1)) (expr (n - 1)));
+          (1, map (fun a -> neg a) (expr (n - 1)));
+          (1, map (fun a -> a /^ 2) (expr (n - 1)));
+          (1, map (fun a -> a %^ 3) (expr (n - 1)));
+          (1, map (fun a -> min_ a (fl 2.)) (expr (n - 1)));
+          ( 1,
+            map2
+              (fun a b -> select (a <: b) a b)
+              (expr (n - 1))
+              (expr (n - 1)) );
+        ]
+  in
+  let gen = expr 4 in
+  (QCheck.make ~print:Expr.to_string gen, x, y)
+
+let eval_closed x y (xv, yv) e =
+  Expr.eval
+    ~var:(fun w ->
+      if Types.var_equal w x then float_of_int xv
+      else if Types.var_equal w y then float_of_int yv
+      else Alcotest.fail "unexpected var")
+    ~param:(fun _ -> Alcotest.fail "unexpected param")
+    ~call:(fun _ _ -> Alcotest.fail "unexpected call")
+    ~img:(fun _ _ -> Alcotest.fail "unexpected img")
+    e
+
+let simplify_preserves =
+  let arb, x, y = arb_expr in
+  prop "simplify preserves evaluation" 500
+    QCheck.(pair arb (pair (int_range (-5) 5) (int_range (-5) 5)))
+    (fun (e, pt) ->
+      let a = eval_closed x y pt e in
+      let b = eval_closed x y pt (Expr.simplify e) in
+      (Float.is_nan a && Float.is_nan b) || a = b)
+
+let simplify_units () =
+  let x = Types.var ~name:"x" () in
+  let e = Expr.simplify ((v x +: i 0) *: fl 1.0) in
+  (match e with Ast.Var _ -> () | _ -> Alcotest.fail "x*1+0 should fold");
+  (match Expr.simplify (fl 2. *: fl 3.) with
+  | Ast.Const 6. -> ()
+  | _ -> Alcotest.fail "const folding");
+  match Expr.simplify (select (i 1 <: i 2) (v x) (fl 0.)) with
+  | Ast.Var _ -> ()
+  | _ -> Alcotest.fail "true select folds"
+
+(* ---------- condition boxes ---------- *)
+
+let box_units () =
+  let x = Types.var ~name:"x" () and y = Types.var ~name:"y" () in
+  let r = Types.param ~name:"R" () in
+  let c = in_box [ (v x, i 2, p r -: i 1); (v y, i 1, p r) ] in
+  (match Expr.box_of_cond [ x; y ] c with
+  | None -> Alcotest.fail "box expected"
+  | Some box ->
+    let lo0, hi0 = box.(0) and lo1, hi1 = box.(1) in
+    let ev = function
+      | Some b -> Abound.eval b [ (r, 10) ]
+      | None -> Alcotest.fail "bound expected"
+    in
+    Alcotest.(check int) "x lo" 2 (ev lo0);
+    Alcotest.(check int) "x hi" 9 (ev hi0);
+    Alcotest.(check int) "y lo" 1 (ev lo1);
+    Alcotest.(check int) "y hi" 10 (ev hi1));
+  (* disjunction is not a box *)
+  (match Expr.box_of_cond [ x ] ((v x <: i 1) ||: (v x >: i 5)) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "disjunction must not be a box");
+  (* data-dependent condition is not a box *)
+  let im = image ~name:"t" Float [ ib 4 ] in
+  match Expr.box_of_cond [ x ] (img_at im [ v x ] <: fl 0.5) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "data-dependent must not be a box"
+
+(* ---------- pipeline graphs ---------- *)
+
+let pipeline_units () =
+  let r, c, img, out = Helpers.blur_pipeline () in
+  ignore r;
+  ignore c;
+  let pipe = Pipeline.build ~outputs:[ out ] in
+  Alcotest.(check int) "stages" 2 (Pipeline.n_stages pipe);
+  Alcotest.(check int) "levels" 1 (Pipeline.max_level pipe);
+  Alcotest.(check int) "images" 1 (List.length pipe.images);
+  Alcotest.(check bool) "img found" true
+    (List.exists (fun i -> Ast.image_equal i img) pipe.images);
+  Alcotest.(check int) "params" 2 (List.length pipe.params);
+  let dot = Pipeline.to_dot pipe in
+  Alcotest.(check bool) "dot has edges" true
+    (String.length dot > 0
+    && String.length (String.concat "" (String.split_on_char '>' dot))
+       < String.length dot)
+
+let pipeline_errors () =
+  let x = Types.var ~name:"x" () in
+  let dom = [ (x, interval (ib 0) (ib 9)) ] in
+  let a = func ~name:"a" Float dom in
+  let b = func ~name:"b" Float dom in
+  (* mutual cycle *)
+  a.Ast.fbody <- Ast.Cases [ { ccond = None; rhs = app b [ v x ] } ];
+  b.Ast.fbody <- Ast.Cases [ { ccond = None; rhs = app a [ v x ] } ];
+  (match Pipeline.build ~outputs:[ b ] with
+  | exception Pipeline.Invalid_pipeline _ -> ()
+  | _ -> Alcotest.fail "cycle must be rejected");
+  (* undefined stage *)
+  let u = func ~name:"u" Float dom in
+  let consumer = func ~name:"cons" Float dom in
+  define consumer [ always (app u [ v x ]) ];
+  (match Pipeline.build ~outputs:[ consumer ] with
+  | exception Pipeline.Invalid_pipeline _ -> ()
+  | _ -> Alcotest.fail "undefined stage must be rejected");
+  (* arity mismatch *)
+  let w = func ~name:"w" Float dom in
+  define w [ always (v x) ];
+  let bad = func ~name:"bad" Float dom in
+  define bad [ always (app w [ v x; v x ]) ];
+  match Pipeline.build ~outputs:[ bad ] with
+  | exception Pipeline.Invalid_pipeline _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+
+let dsl_errors () =
+  let x = Types.var ~name:"x" () and y = Types.var ~name:"y" () in
+  let dom = [ (x, interval (ib 0) (ib 9)) ] in
+  let f = func ~name:"f" Float dom in
+  (match define f [ always (v y) ] with
+  | exception Definition_error _ -> ()
+  | _ -> Alcotest.fail "foreign variable must be rejected");
+  let g = func ~name:"g" Float dom in
+  define g [ always (v x) ];
+  match define g [ always (v x) ] with
+  | exception Definition_error _ -> ()
+  | _ -> Alcotest.fail "double definition must be rejected"
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "abound" `Quick abound_units;
+      Alcotest.test_case "simplify units" `Quick simplify_units;
+      Alcotest.test_case "condition boxes" `Quick box_units;
+      Alcotest.test_case "pipeline graph" `Quick pipeline_units;
+      Alcotest.test_case "pipeline errors" `Quick pipeline_errors;
+      Alcotest.test_case "dsl definition errors" `Quick dsl_errors;
+      simplify_preserves;
+    ] )

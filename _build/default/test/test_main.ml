@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "polymage"
+    [
+      Test_util.suite;
+      Test_ir.suite;
+      Test_dsl.suite;
+      Test_poly.suite;
+      Test_compiler.suite;
+      Test_runtime.suite;
+      Test_eval.suite;
+      Test_more_props.suite;
+      Test_exec_matrix.suite;
+      Test_random.suite;
+      Test_apps.suite;
+      Test_codegen.suite;
+      Test_tune.suite;
+    ]

@@ -1,0 +1,286 @@
+(* Additional property tests: affine access extraction semantics,
+   Abound's linear form, buffer round trips, grouping monotonicity
+   with respect to the tile-shape approximation, and app-variant
+   equivalences for the parameterized pipelines. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Poly = Polymage_poly
+module Apps = Polymage_apps.Apps
+open Polymage_dsl.Dsl
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* ---- access extraction: the analyzed form computes the same index
+   as the original expression ---- *)
+
+let xv = Types.var ~name:"ax" ()
+
+let access_gen =
+  QCheck.Gen.(
+    let* num = int_range 1 4 in
+    let* den = oneofl [ 1; 2; 4 ] in
+    let* off = int_range (-6) 6 in
+    (* build floor((num*x + off) / den) syntactically, in two shapes *)
+    let* shape = bool in
+    let e =
+      if den = 1 then (i num *: v xv) +: i off
+      else if shape && num = 1 then (v xv +: i off) /^ den
+      else ((i num *: v xv) +: i off) /^ den
+    in
+    return (num, den, off, e))
+
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let access_semantics =
+  prop "access extraction computes floor((n*x+o)/d)" 300
+    (QCheck.make
+       ~print:(fun ((n, d, o, e), x) ->
+         Printf.sprintf "n=%d d=%d o=%d x=%d e=%s" n d o x (Expr.to_string e))
+       QCheck.Gen.(pair access_gen (int_range (-20) 20)))
+    (fun ((_, _, _, e), x) ->
+      match Poly.Access.of_expr e with
+      | Poly.Access.Dynamic -> false
+      | Poly.Access.Affine a ->
+        let expected =
+          Expr.eval
+            ~var:(fun _ -> float_of_int x)
+            ~param:(fun _ -> assert false)
+            ~call:(fun _ _ -> assert false)
+            ~img:(fun _ _ -> assert false)
+            e
+        in
+        let got =
+          match a.v with
+          | None -> floor_div a.off a.den
+          | Some _ -> floor_div ((a.num * x) + a.off) a.den
+        in
+        float_of_int got = expected)
+
+(* ---- Abound.to_linear agrees with eval ---- *)
+
+let ab_param = Types.param ~name:"abp" ()
+let ab_param2 = Types.param ~name:"abq" ()
+
+let abound_gen =
+  QCheck.Gen.(
+    let* c = int_range (-20) 20 in
+    let* k1 = int_range (-4) 4 in
+    let* k2 = int_range (-4) 4 in
+    let* d = oneofl [ 1; 2; 3; 4; 8 ] in
+    let b =
+      Abound.add
+        (Abound.add (Abound.const c)
+           (Abound.scale
+              (Polymage_util.Rational.make k1 d)
+              (Abound.of_param ab_param)))
+        (Abound.scale
+           (Polymage_util.Rational.make k2 d)
+           (Abound.of_param ab_param2))
+    in
+    return b)
+
+let abound_linear =
+  prop "to_linear is floor((c + sum k_i p_i) / den)" 300
+    (QCheck.make
+       ~print:(fun (b, (p1, p2)) ->
+         Format.asprintf "%a @@ (%d,%d)" Abound.pp b p1 p2)
+       QCheck.Gen.(pair abound_gen (pair (int_range 0 40) (int_range 0 40))))
+    (fun (b, (p1, p2)) ->
+      let env = [ (ab_param, p1); (ab_param2, p2) ] in
+      let cst, terms, den = Abound.to_linear b in
+      let num =
+        List.fold_left
+          (fun acc (p, k) -> acc + (k * Types.bind_exn env p))
+          cst terms
+      in
+      floor_div num den = Abound.eval b env)
+
+(* ---- buffer round trips ---- *)
+
+let buffer_roundtrip =
+  prop "buffer set/get round trip" 200
+    (QCheck.make
+       QCheck.Gen.(
+         let* r = int_range 1 6 and* c = int_range 1 6 in
+         let* lr = int_range (-3) 3 and* lc = int_range (-3) 3 in
+         let* pts =
+           list_size (int_range 1 20)
+             (triple (int_range 0 (r - 1)) (int_range 0 (c - 1))
+                (map float_of_int (int_range (-100) 100)))
+         in
+         return (r, c, lr, lc, pts)))
+    (fun (r, c, lr, lc, pts) ->
+      let b = Rt.Buffer.create ~lo:[| lr; lc |] ~dims:[| r; c |] in
+      List.iter
+        (fun (x, y, v) -> Rt.Buffer.set b [| lr + x; lc + y |] v)
+        pts;
+      (* last write per coordinate wins *)
+      let expect = Hashtbl.create 8 in
+      List.iter (fun (x, y, v) -> Hashtbl.replace expect (x, y) v) pts;
+      Hashtbl.fold
+        (fun (x, y) v acc ->
+          acc && Rt.Buffer.get b [| lr + x; lc + y |] = v)
+        expect true)
+
+(* ---- grouping: over-approximated shapes merge no more than tight ---- *)
+
+let naive_overlap_merges_less () =
+  List.iter
+    (fun name ->
+      let app = Apps.find name in
+      let env = app.small_env in
+      let pipe = Pipeline.build ~outputs:app.outputs in
+      let pipe, _ = C.Inline.run pipe in
+      let groups_of naive =
+        let cfg =
+          { (C.Grouping.default_config ~estimates:env) with
+            C.Grouping.naive_overlap = naive }
+        in
+        Array.length (C.Grouping.run pipe cfg).groups
+      in
+      Alcotest.(check bool)
+        (name ^ ": naive shapes => at least as many groups")
+        true
+        (groups_of true >= groups_of false))
+    [ "harris"; "pyramid_blend"; "local_laplacian" ]
+
+(* ---- parameterized app variants stay correct ---- *)
+
+let variant_equiv build name =
+  let app : Polymage_apps.App.t = build () in
+  let env = app.small_env in
+  let _, r1 = Helpers.run_app app (C.Options.base ~estimates:env ()) env in
+  let _, r2 =
+    Helpers.run_app app
+      (C.Options.with_tile [| 8; 16 |] (C.Options.opt_vec ~estimates:env ()))
+      env
+  in
+  Helpers.check_buffers_equal ~eps:1e-9 name (Helpers.output_of app r1)
+    (Helpers.output_of app r2)
+
+let variants () =
+  variant_equiv (fun () -> Polymage_apps.Pyramid.build ~levels:3 ()) "pyramid L3";
+  variant_equiv (fun () -> Polymage_apps.Pyramid.build ~levels:5 ()) "pyramid L5";
+  variant_equiv
+    (fun () -> Polymage_apps.Interpolate.build ~levels:3 ())
+    "interpolate L3";
+  variant_equiv
+    (fun () -> Polymage_apps.Laplacian.build ~k_levels:3 ~j_levels:3 ())
+    "laplacian K3 J3";
+  variant_equiv
+    (fun () -> Polymage_apps.Laplacian.build ~k_levels:2 ~j_levels:5 ())
+    "laplacian K2 J5"
+
+(* ---- storage scales with tile size, not image size ---- *)
+
+let scratch_scaling () =
+  let app = Apps.find "harris" in
+  let small = app.small_env in
+  let big = List.map (fun (p, v) -> (p, v * 4)) small in
+  let opts = C.Options.opt ~estimates:small () in
+  let scratch env =
+    (C.Storage.stats (C.Compile.run opts ~outputs:app.outputs) env)
+      .C.Storage.scratch_cells
+  in
+  (* the y-tile dominates the scratch extent; quadrupling the image
+     must grow scratch by far less than 16x (it is tile-bound) *)
+  let s_small = scratch small and s_big = scratch big in
+  Alcotest.(check bool) "scratch is tile-bound" true
+    (s_big <= s_small * 6);
+  let full env =
+    (C.Storage.stats (C.Compile.run opts ~outputs:app.outputs) env)
+      .C.Storage.full_cells
+  in
+  Alcotest.(check bool) "full buffers are image-bound" true
+    (full big >= full small * 10)
+
+let suite =
+  ( "more-properties",
+    [
+      access_semantics;
+      abound_linear;
+      buffer_roundtrip;
+      Alcotest.test_case "naive overlap merges less" `Quick
+        naive_overlap_merges_less;
+      Alcotest.test_case "parameterized app variants" `Slow variants;
+      Alcotest.test_case "scratch scales with tiles" `Quick scratch_scaling;
+    ] )
+
+(* The paper: "The generated pipeline is optimized for the parameter
+   values around the estimates.  However, the implementation is valid
+   for all parameter sizes."  Compile with deliberately wrong
+   estimates and run at very different sizes. *)
+let wrong_estimates_still_correct () =
+  List.iter
+    (fun name ->
+      let app = Apps.find name in
+      let run_env = app.small_env in
+      (* estimates an order of magnitude off, in both directions *)
+      List.iter
+        (fun factor ->
+          let est =
+            List.map
+              (fun (p, v) -> (p, max 16 (v * factor / 4)))
+              app.small_env
+          in
+          let opts = C.Options.opt_vec ~estimates:est () in
+          let _, r1 = Helpers.run_app app opts run_env in
+          let _, r2 =
+            Helpers.run_app app (C.Options.base ~estimates:run_env ()) run_env
+          in
+          Helpers.check_buffers_equal ~eps:1e-9
+            (Printf.sprintf "%s estimates x%d/4" name factor)
+            (Helpers.output_of app r2) (Helpers.output_of app r1))
+        [ 1; 40 ])
+    [ "harris"; "pyramid_blend" ]
+
+(* Failure injection: an input buffer with the wrong extents must be
+   caught (safe mode reports the out-of-window access). *)
+let wrong_image_extent_detected () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts = C.Options.opt ~estimates:env () in
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  let im = List.hd plan.pipe.Pipeline.images in
+  (* too small by half in each dimension *)
+  let bad =
+    Rt.Buffer.create ~lo:[| 0; 0 |] ~dims:[| 40; 30 |]
+  in
+  match Rt.Executor.run plan env ~images:[ (im, bad) ] with
+  | exception Rt.Eval.Runtime_error _ -> ()
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undersized input must be detected"
+
+(* Compile.phases runs the verbose pipeline (Fig. 4) without error and
+   narrates every phase. *)
+let phases_smoke () =
+  let app = Apps.find "unsharp_mask" in
+  let buf = Stdlib.Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let opts = C.Options.opt ~estimates:app.small_env () in
+  let plan = C.Compile.phases ppf opts ~outputs:app.outputs in
+  Format.pp_print_flush ppf ();
+  let s = Stdlib.Buffer.contents buf in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true
+        (let lh = String.length s and ln = String.length needle in
+         let rec go i =
+           i + ln <= lh && (String.sub s i ln = needle || go (i + 1))
+         in
+         go 0))
+    [ "stage graph"; "bounds check"; "grouping"; "storage" ];
+  Alcotest.(check bool) "plan produced" true (Array.length plan.items > 0)
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        Alcotest.test_case "valid for all parameter sizes" `Slow
+          wrong_estimates_still_correct;
+        Alcotest.test_case "wrong image extents detected" `Quick
+          wrong_image_extent_detected;
+        Alcotest.test_case "compiler phases narration" `Quick phases_smoke;
+      ] )

@@ -1,0 +1,355 @@
+(* Polyhedral layer: access extraction, alignment & scaling (paper
+   Fig. 6), overlapped-tile widening, overlap estimates. *)
+open Polymage_ir
+module Poly = Polymage_poly
+open Polymage_dsl.Dsl
+
+let access_units () =
+  let x = Types.var ~name:"x" () in
+  let check name e expected =
+    let got = Format.asprintf "%a" Poly.Access.pp (Poly.Access.of_expr e) in
+    Alcotest.(check string) name expected got
+  in
+  check "identity" (v x) "1*x+0";
+  check "shift" (v x +: i 3) "1*x+3";
+  check "downsample" ((i 2 *: v x) -: i 1) "2*x-1";
+  check "upsample" ((v x +: i 1) /^ 2) "floor((1*x+1)/2)";
+  check "nested div" ((v x /^ 2) /^ 2) "floor((1*x+0)/4)";
+  check "shift under div" ((v x /^ 2) +: i 1) "floor((1*x+2)/2)";
+  check "constant" (i 5) "0*0+5";
+  check "dynamic (param shift)" (v x +: p (Types.param ~name:"q" ())) "dynamic";
+  check "dynamic (nonlinear)" (v x *: v x) "dynamic";
+  Alcotest.(check bool) "is_identity" true (Poly.Access.is_identity (Poly.Access.of_expr (v x)));
+  Alcotest.(check bool) "shift not identity" false
+    (Poly.Access.is_identity (Poly.Access.of_expr (v x +: i 1)));
+  Alcotest.(check bool) "shift is stencil" true
+    (Poly.Access.is_shift (Poly.Access.of_expr (v x -: i 4)))
+
+(* The heterogeneous chain of paper Fig. 6:
+     f(x) = in(x);  g(x) = f(2x-1) * f(2x+1);  h(x) = g(2x-1) * g(2x+1);
+     fup(x) = h(x/2) * h(x/2+1);  fout(x) = fup(x/2).
+   Expected scaling: f:1, g:2, h:4, fup:2, fout:1 -> normalized
+   against the sink fout (scale 1) gives 1,2,4,2,1 after clearing
+   denominators: fout=4?  The absolute factors depend on
+   normalization; what matters and is asserted here is the ratio
+   between consecutive stages. *)
+let fig6_chain () =
+  let n = Types.param ~name:"N" () in
+  let x = Types.var ~name:"x" () in
+  let img = image ~name:"fin" Float [ (4 *~ param_b n) +~ ib 4 ] in
+  let dom sz = [ (x, interval (ib 0) sz) ] in
+  let f = func ~name:"f" Float (dom ((4 *~ param_b n) +~ ib 3)) in
+  define f [ always (img_at img [ v x ]) ];
+  let g = func ~name:"g" Float (dom ((2 *~ param_b n) +~ ib 1)) in
+  define g
+    [ always (app f [ (i 2 *: v x) -: i 1 ] *: app f [ (i 2 *: v x) +: i 1 ]) ];
+  let h = func ~name:"h" Float (dom (param_b n)) in
+  define h
+    [ always (app g [ (i 2 *: v x) -: i 1 ] *: app g [ (i 2 *: v x) +: i 1 ]) ];
+  let fup = func ~name:"fup" Float (dom ((2 *~ param_b n) -~ ib 2)) in
+  define fup [ always (app h [ v x /^ 2 ] *: app h [ (v x /^ 2) +: i 1 ]) ];
+  let fout = func ~name:"fout" Float (dom ((4 *~ param_b n) -~ ib 6)) in
+  define fout [ always (app fup [ v x /^ 2 ]) ];
+  (fout, [ f; g; h; fup; fout ])
+
+let scale_of sched (name : string) =
+  let m =
+    Array.to_list sched.Poly.Schedule.members
+    |> List.find (fun (m : Poly.Schedule.stage_sched) ->
+           m.func.Ast.fname = name)
+  in
+  m.scale.(0)
+
+let scaling_fig6 () =
+  let fout, stages = fig6_chain () in
+  ignore stages;
+  let pipe = Pipeline.build ~outputs:[ fout ] in
+  let members = List.init (Pipeline.n_stages pipe) (fun i -> i) in
+  match Poly.Schedule.solve pipe members with
+  | Error e -> Alcotest.failf "solve failed: %a" Poly.Schedule.pp_failure e
+  | Ok sched ->
+    let s name = scale_of sched name in
+    (* consecutive ratios: g = 2f, h = 2g, fup = h/2, fout = fup/2 *)
+    Alcotest.(check int) "g/f" (2 * s "f") (s "g");
+    Alcotest.(check int) "h/g" (2 * s "g") (s "h");
+    Alcotest.(check int) "h/fup" (2 * s "fup") (s "h");
+    Alcotest.(check int) "fup/fout" (2 * s "fout") (s "fup");
+    (* all dependences constant => widening finite and nonnegative *)
+    Array.iter
+      (fun (m : Poly.Schedule.stage_sched) ->
+        Alcotest.(check bool) "widen_l >= 0" true (m.widen_l.(0) >= 0);
+        Alcotest.(check bool) "widen_r >= 0" true (m.widen_r.(0) >= 0))
+      sched.members
+
+let scaling_failures () =
+  let x = Types.var ~name:"x" () and y = Types.var ~name:"y" () in
+  let dom2 = [ (x, interval (ib 0) (ib 31)); (y, interval (ib 0) (ib 31)) ] in
+  (* f(x,y) = g(x,y) + g(y,x): transposed access cannot be aligned *)
+  let g = func ~name:"g" Float dom2 in
+  define g [ always (v x +: v y) ];
+  let f = func ~name:"f" Float dom2 in
+  define f [ always (app g [ v x; v y ] +: app g [ v y; v x ]) ];
+  let pipe = Pipeline.build ~outputs:[ f ] in
+  (match Poly.Schedule.solve pipe [ 0; 1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "transposed access must not be schedulable");
+  (* f(x) = g(x/2) + g(x/4): two inconsistent scalings *)
+  let x1 = Types.var ~name:"x1" () in
+  let dom1 = [ (x1, interval (ib 0) (ib 63)) ] in
+  let g1 = func ~name:"g1" Float [ (x1, interval (ib 0) (ib 63)) ] in
+  define g1 [ always (v x1) ];
+  let f1 = func ~name:"f1" Float dom1 in
+  define f1 [ always (app g1 [ v x1 /^ 2 ] +: app g1 [ v x1 /^ 4 ]) ];
+  let pipe1 = Pipeline.build ~outputs:[ f1 ] in
+  (match Poly.Schedule.solve pipe1 [ 0; 1 ] with
+  | Error (Poly.Schedule.Inconsistent _) -> ()
+  | Error e -> Alcotest.failf "unexpected failure: %a" Poly.Schedule.pp_failure e
+  | Ok _ -> Alcotest.fail "inconsistent scaling must fail");
+  (* reductions are not tiled *)
+  let im = image ~name:"ri" Float [ ib 16 ] in
+  let acc = func ~name:"acc" Float [ (x1, interval (ib 0) (ib 15)) ] in
+  let rx = Types.var ~name:"rx" () in
+  accumulate acc
+    ~over:[ (rx, interval (ib 0) (ib 15)) ]
+    ~index:[ img_at im [ v rx ] ]
+    ~value:(fl 1.) Ast.Rsum;
+  let cons = func ~name:"consr" Float [ (x1, interval (ib 0) (ib 15)) ] in
+  define cons [ always (app acc [ v x1 ]) ];
+  let pipe2 = Pipeline.build ~outputs:[ cons ] in
+  match Poly.Schedule.solve pipe2 [ 0; 1 ] with
+  | Error (Poly.Schedule.Unsupported_stage _) -> ()
+  | _ -> Alcotest.fail "reduction must be unsupported in tiled groups"
+
+let widening_blur () =
+  (* two 3-tap blurs: the producer must widen by exactly 1 on the
+     blurred axis, tight shape; the naive shape with a 2-level group
+     is identical here. *)
+  let r, c, _img, out = Helpers.blur_pipeline () in
+  ignore r;
+  ignore c;
+  let pipe = Pipeline.build ~outputs:[ out ] in
+  match Poly.Schedule.solve pipe [ 0; 1 ] with
+  | Error e -> Alcotest.failf "solve: %a" Poly.Schedule.pp_failure e
+  | Ok sched ->
+    let bx =
+      Array.to_list sched.members
+      |> List.find (fun (m : Poly.Schedule.stage_sched) -> m.func.Ast.fname = "bx")
+    in
+    Alcotest.(check (array int)) "bx widen_l" [| 0; 1 |] bx.widen_l;
+    Alcotest.(check (array int)) "bx widen_r" [| 0; 1 |] bx.widen_r;
+    let o = Poly.Tiling.overlap sched in
+    Alcotest.(check (array int)) "group overlap" [| 0; 2 |] o;
+    let frac = Poly.Tiling.relative_overlap sched ~tile:[| 16; 16 |] in
+    Alcotest.(check (float 1e-9)) "overlap fraction" (18. /. 16. -. 1.) frac
+
+let naive_vs_tight () =
+  (* a 3-level chain of y-stencils: tight shape widens level-0 by 2,
+     naive by 2 as well (uniform slope 1 * height 2) -- they differ
+     once dependences are not uniform; build one asymmetric case. *)
+  let x = Types.var ~name:"x" () in
+  let dom = [ (x, interval (ib 0) (ib 127)) ] in
+  let im = image ~name:"nin" Float [ ib 128 ] in
+  let a = func ~name:"na" Float dom in
+  define a
+    [
+      case (between (v x) (i 4) (i 123))
+        (img_at im [ v x -: i 4 ] +: img_at im [ v x +: i 4 ]);
+    ];
+  (* b reads a far (radius 3), c reads b near (radius 1) *)
+  let b = func ~name:"nb" Float dom in
+  define b
+    [
+      case (between (v x) (i 4) (i 123))
+        (app a [ v x -: i 3 ] +: app a [ v x +: i 3 ]);
+    ];
+  let c = func ~name:"nc" Float dom in
+  define c
+    [
+      case (between (v x) (i 4) (i 123))
+        (app b [ v x -: i 1 ] +: app b [ v x +: i 1 ]);
+    ];
+  let pipe = Pipeline.build ~outputs:[ c ] in
+  match Poly.Schedule.solve pipe [ 0; 1; 2 ] with
+  | Error e -> Alcotest.failf "solve: %a" Poly.Schedule.pp_failure e
+  | Ok sched ->
+    let m name =
+      Array.to_list sched.members
+      |> List.find (fun (m : Poly.Schedule.stage_sched) -> m.func.Ast.fname = name)
+    in
+    (* tight: a widens by 3+1 = 4; naive: uniform max slope 3 over
+       height 2 = 6 *)
+    Alcotest.(check int) "tight a" 4 ((m "na").widen_l.(0));
+    Alcotest.(check int) "naive a" 6 ((m "na").widen_l_naive.(0));
+    Alcotest.(check bool) "naive >= tight everywhere" true
+      (Array.for_all
+         (fun (ms : Poly.Schedule.stage_sched) ->
+           ms.widen_l_naive.(0) >= ms.widen_l.(0)
+           && ms.widen_r_naive.(0) >= ms.widen_r.(0))
+         sched.members)
+
+let suite =
+  ( "polyhedral",
+    [
+      Alcotest.test_case "access extraction" `Quick access_units;
+      Alcotest.test_case "fig6 scaling chain" `Quick scaling_fig6;
+      Alcotest.test_case "scaling failures" `Quick scaling_failures;
+      Alcotest.test_case "widening (blur)" `Quick widening_blur;
+      Alcotest.test_case "naive vs tight shapes" `Quick naive_vs_tight;
+    ] )
+
+(* 3-D groups: the camera pipeline's final group has a 3-D canonical
+   space with half-resolution members scaled by 2; bilateral's blur
+   group tiles all three grid axes; interpolate's channel dimension is
+   residual through the whole pyramid. *)
+let three_d_groups () =
+  let check_app name pred =
+    let app = Polymage_apps.Apps.find name in
+    let env = app.Polymage_apps.App.small_env in
+    let opts =
+      Polymage_compiler.Options.opt ~estimates:env ()
+    in
+    let plan =
+      Polymage_compiler.Compile.run opts ~outputs:app.Polymage_apps.App.outputs
+    in
+    let found = ref false in
+    Array.iter
+      (function
+        | Polymage_compiler.Plan.Tiled g -> if pred g then found := true
+        | Polymage_compiler.Plan.Straight _ -> ())
+      plan.items;
+    Alcotest.(check bool) name true !found
+  in
+  (* camera: a 3-D-canonical group containing scale-2 members *)
+  check_app "camera_pipe" (fun g ->
+      g.sched.n_cdims = 3
+      && Array.exists
+           (fun (m : Poly.Schedule.stage_sched) ->
+             Array.exists (fun s -> s = 2) m.scale)
+           g.sched.members);
+  (* bilateral: a 3-D group whose z axis needs widening too *)
+  check_app "bilateral_grid" (fun g ->
+      g.sched.n_cdims = 3
+      && Array.exists (fun o -> o > 0) (Poly.Tiling.overlap g.sched));
+  (* interpolate: 3-D canonical space where the channel axis needs no
+     widening (point-wise along channels) *)
+  check_app "interpolate" (fun g ->
+      g.sched.n_cdims = 3 && (Poly.Tiling.overlap g.sched).(0) = 0)
+
+(* Residual dimensions: a stage read only at constant indices along
+   one dimension is iterated fully inside the tile. *)
+let residual_dims () =
+  let open Polymage_dsl.Dsl in
+  let c = Types.var ~name:"rc" ()
+  and x = Types.var ~name:"rx2" ()
+  and y = Types.var ~name:"ry2" () in
+  let im = image ~name:"res_img" Float [ ib 2; ib 36; ib 36 ] in
+  let prod =
+    func ~name:"res_prod" Float
+      [
+        (c, interval (ib 0) (ib 1));
+        (x, interval (ib 0) (ib 35));
+        (y, interval (ib 0) (ib 35));
+      ]
+  in
+  define prod [ always (img_at im [ v c; v x; v y ] *: fl 2.) ];
+  let sink =
+    func ~name:"res_sink" Float
+      [ (x, interval (ib 0) (ib 35)); (y, interval (ib 0) (ib 35)) ]
+  in
+  define sink
+    [
+      case
+        (in_box [ (v x, i 1, i 34); (v y, i 1, i 34) ])
+        (app prod [ i 0; v x -: i 1; v y ] +: app prod [ i 1; v x +: i 1; v y ]);
+    ];
+  let pipe = Pipeline.build ~outputs:[ sink ] in
+  match Poly.Schedule.solve pipe [ 0; 1 ] with
+  | Error e -> Alcotest.failf "solve: %a" Poly.Schedule.pp_failure e
+  | Ok sched ->
+    Alcotest.(check int) "canonical dims from the 2-D sink" 2 sched.n_cdims;
+    let prod_s =
+      Array.to_list sched.members
+      |> List.find (fun (m : Poly.Schedule.stage_sched) ->
+             m.func.Ast.fname = "res_prod")
+    in
+    Alcotest.(check (array int)) "channel residual, x/y aligned"
+      [| -1; 0; 1 |] prod_s.align;
+    (* the x stencil widens the producer by one on each side *)
+    Alcotest.(check int) "widen_l" 1 prod_s.widen_l.(0);
+    Alcotest.(check int) "widen_r" 1 prod_s.widen_r.(0);
+    (* and the executor handles the residual dimension: tiled == naive *)
+    let module C = Polymage_compiler in
+    let module Rt = Polymage_rt in
+    let env = [] in
+    let images (plan : C.Plan.t) =
+      List.map
+        (fun im ->
+          ( im,
+            Rt.Buffer.of_image im env (fun co ->
+                float_of_int ((co.(0) * 100) + (co.(1) * 10) + co.(2))) ))
+        plan.pipe.Pipeline.images
+    in
+    let run opts =
+      let plan = C.Compile.run opts ~outputs:[ sink ] in
+      let r = Rt.Executor.run plan env ~images:(images plan) in
+      Rt.Executor.output_buffer r sink
+    in
+    let b1 = run (C.Options.base ~estimates:env ()) in
+    let b2 =
+      run (C.Options.with_tile [| 8; 8 |] (C.Options.opt_vec ~estimates:env ()))
+    in
+    Alcotest.(check bool) "residual exec equal" true
+      (Rt.Buffer.equal b1 b2)
+
+let deep_chain_widening () =
+  (* a chain of k 3-tap stencils must widen the first stage by exactly
+     k-1 on each side (tight shapes accumulate +1 per level) *)
+  let open Polymage_dsl.Dsl in
+  let x = Types.var ~name:"wx" () in
+  let depth = 5 in
+  let dom = [ (x, interval (ib 0) (ib 255)) ] in
+  let im = image ~name:"wimg" Float [ ib 256 ] in
+  let first = func ~name:"w0" Float dom in
+  define first
+    [
+      case
+        (between (v x) (i depth) (i (255 - depth)))
+        (img_at im [ v x -: i 1 ] +: img_at im [ v x +: i 1 ]);
+    ];
+  let rec chain k prev =
+    if k = depth then prev
+    else begin
+      let f = func ~name:(Printf.sprintf "w%d" k) Float dom in
+      define f
+        [
+          case
+            (between (v x) (i depth) (i (255 - depth)))
+            (app prev [ v x -: i 1 ] +: app prev [ v x +: i 1 ]);
+        ];
+      chain (k + 1) f
+    end
+  in
+  let out = chain 1 first in
+  let pipe = Pipeline.build ~outputs:[ out ] in
+  let members = List.init (Pipeline.n_stages pipe) (fun i -> i) in
+  match Poly.Schedule.solve pipe members with
+  | Error e -> Alcotest.failf "solve: %a" Poly.Schedule.pp_failure e
+  | Ok sched ->
+    let w0 =
+      Array.to_list sched.members
+      |> List.find (fun (m : Poly.Schedule.stage_sched) ->
+             m.func.Ast.fname = "w0")
+    in
+    Alcotest.(check int) "w0 widen_l" (depth - 1) w0.widen_l.(0);
+    Alcotest.(check int) "w0 widen_r" (depth - 1) w0.widen_r.(0);
+    Alcotest.(check int) "slope_l" 1 sched.slope_l.(0);
+    Alcotest.(check int) "slope_r" 1 sched.slope_r.(0)
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        Alcotest.test_case "3-D groups" `Quick three_d_groups;
+        Alcotest.test_case "residual dimensions" `Quick residual_dims;
+        Alcotest.test_case "deep chain widening" `Quick deep_chain_widening;
+      ] )

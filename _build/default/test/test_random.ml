@@ -1,0 +1,226 @@
+(* Property-based testing on randomly generated pipelines: arbitrary
+   DAGs of point-wise, stencil, down- and up-sampling stages must
+   execute identically under the base and the fully optimized
+   configurations, for random tile sizes and thresholds. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+open Polymage_dsl.Dsl
+
+(* Stage grids follow the pyramid convention: logical size s, domain
+   [0 .. s+3], computed interior [2 .. s].  All four operation kinds
+   keep accesses inside the producer's domain (see Pyramid). *)
+type op = Point | Stencil | Down | Up
+
+let gen_pipeline =
+  let open QCheck.Gen in
+  let* n_stages = int_range 2 8 in
+  let* ops =
+    list_repeat n_stages
+      (frequency
+         [ (3, return Point); (3, return Stencil); (2, return Down); (2, return Up) ])
+  in
+  let* extra_edges = list_repeat n_stages (int_range 0 10) in
+  let* coeffs = list_repeat n_stages (int_range 1 3) in
+  return (ops, extra_edges, coeffs)
+
+let build_random (ops, extra_edges, coeffs) =
+  let x = Types.var ~name:"x" () and y = Types.var ~name:"y" () in
+  let base_size = 64 in
+  let img = image ~name:"rin" Float [ ib (base_size + 4); ib (base_size + 4) ] in
+  let dom s =
+    [ (x, interval (ib 0) (ib (s + 3))); (y, interval (ib 0) (ib (s + 3))) ]
+  in
+  let interior s = in_box [ (v x, i 2, i s); (v y, i 2, i s) ] in
+  (* stage list with their logical sizes; the image is size base_size *)
+  let stages = ref [] in
+  let idx = ref 0 in
+  List.iter2
+    (fun op (extra, coef) ->
+      let k = !idx in
+      incr idx;
+      (* producer: previous stage or the image *)
+      let prev_size, prev_sample =
+        match !stages with
+        | [] -> (base_size, fun ix iy -> img_at img [ ix; iy ])
+        | (s, f) :: _ -> (s, fun ix iy -> app f [ ix; iy ])
+      in
+      let op =
+        (* keep sizes within [8, 128] *)
+        match op with
+        | Down when prev_size < 16 -> Stencil
+        | Up when prev_size > 64 -> Stencil
+        | o -> o
+      in
+      let size, rhs =
+        match op with
+        | Point ->
+          ( prev_size,
+            (fl (float_of_int coef) *: prev_sample (v x) (v y)) +: fl 0.5 )
+        | Stencil ->
+          ( prev_size,
+            fl (1. /. 5.)
+            *: (prev_sample (v x -: i 1) (v y)
+               +: prev_sample (v x +: i 1) (v y)
+               +: prev_sample (v x) (v y -: i 1)
+               +: prev_sample (v x) (v y +: i 1)
+               +: prev_sample (v x) (v y)) )
+        | Down ->
+          ( prev_size / 2,
+            prev_sample ((i 2 *: v x) -: i 1) (i 2 *: v y)
+            +: prev_sample (i 2 *: v x) ((i 2 *: v y) +: i 1) )
+        | Up ->
+          ( prev_size * 2,
+            prev_sample ((v x -: i 1) /^ 2) (v y /^ 2)
+            +: prev_sample ((v x +: i 1) /^ 2) ((v y +: i 1) /^ 2) )
+      in
+      (* occasionally add a same-size point-wise side input, making the
+         graph a DAG rather than a chain *)
+      let rhs =
+        let same_size =
+          List.filter (fun (s, _) -> s = size) !stages
+        in
+        if same_size <> [] && extra mod 3 = 0 then
+          let _, g = List.nth same_size (extra mod List.length same_size) in
+          rhs +: app g [ v x; v y ]
+        else rhs
+      in
+      let f = func ~name:(Printf.sprintf "s%d" k) Float (dom size) in
+      define f [ case (interior size) rhs ];
+      stages := (size, f) :: !stages)
+    ops
+    (List.combine extra_edges coeffs);
+  match !stages with
+  | (_, out) :: _ -> (img, out)
+  | [] -> assert false
+
+let exec_equal (spec : op list * int list * int list)
+    ((tile, threshold, vec), para) =
+  let img, out = build_random spec in
+  let env = [] in
+  let images plan =
+    ignore plan;
+    [
+      ( img,
+        Rt.Buffer.of_image img env (fun c ->
+            float_of_int (((c.(0) * 13) + (c.(1) * 29)) mod 23) /. 7.) );
+    ]
+  in
+  let base = C.Options.base ~estimates:env () in
+  let plan_b = C.Compile.run base ~outputs:[ out ] in
+  let rb = Rt.Executor.run plan_b env ~images:(images plan_b) in
+  let opts =
+    C.Options.with_threshold threshold
+      (C.Options.with_tile [| tile; tile |]
+         (if vec then C.Options.opt_vec ~estimates:env ()
+          else C.Options.opt ~estimates:env ()))
+  in
+  let opts =
+    match para with
+    | 0 -> opts
+    | 1 -> { opts with C.Options.tiling = C.Options.Parallelogram }
+    | _ -> { opts with C.Options.tiling = C.Options.Split }
+  in
+  let plan_o = C.Compile.run opts ~outputs:[ out ] in
+  let ro = Rt.Executor.run plan_o env ~images:(images plan_o) in
+  let a = Rt.Executor.output_buffer rb out in
+  let b = Rt.Executor.output_buffer ro out in
+  Rt.Buffer.max_abs_diff a b <= 1e-9
+
+let arb =
+  QCheck.make
+    ~print:(fun ((ops, _, _), ((t, th, v), para)) ->
+      Printf.sprintf "ops=[%s] tile=%d thresh=%g vec=%b mode=%d"
+        (String.concat ";"
+           (List.map
+              (function
+                | Point -> "P" | Stencil -> "S" | Down -> "D" | Up -> "U")
+              ops))
+        t th v para)
+    QCheck.Gen.(
+      pair gen_pipeline
+        (pair
+           (triple (oneofl [ 4; 8; 16; 33 ]) (oneofl [ 0.2; 0.5; 4.0 ]) bool)
+           (int_range 0 2)))
+
+let suite =
+  ( "random-pipelines",
+    [
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~name:"tiled == naive on random DAGs" ~count:60 arb
+           (fun (spec, cfg) -> exec_equal spec cfg));
+    ] )
+
+(* 1-D chains: exercises single-loop tiling, where the inner loop IS
+   the tiled loop. *)
+let exec_equal_1d (ops : op list) tile =
+  let x = Types.var ~name:"ox" () in
+  let base_size = 256 in
+  let img = image ~name:"rin1" Float [ ib (base_size + 4) ] in
+  let dom s = [ (x, interval (ib 0) (ib (s + 3))) ] in
+  let interior s = between (v x) (i 2) (i s) in
+  let stages = ref [] in
+  List.iteri
+    (fun k op ->
+      let prev_size, prev =
+        match !stages with
+        | [] -> (base_size, fun ix -> img_at img [ ix ])
+        | (s, f) :: _ -> (s, fun ix -> app f [ ix ])
+      in
+      let op =
+        match op with
+        | Down when prev_size < 32 -> Stencil
+        | Up when prev_size > 256 -> Stencil
+        | o -> o
+      in
+      let size, rhs =
+        match op with
+        | Point -> (prev_size, (fl 1.5 *: prev (v x)) -: fl 0.25)
+        | Stencil ->
+          ( prev_size,
+            fl (1. /. 3.)
+            *: (prev (v x -: i 1) +: prev (v x) +: prev (v x +: i 1)) )
+        | Down -> (prev_size / 2, prev ((i 2 *: v x) -: i 1) +: prev (i 2 *: v x))
+        | Up -> (prev_size * 2, prev ((v x -: i 1) /^ 2) +: prev ((v x +: i 1) /^ 2))
+      in
+      let f = func ~name:(Printf.sprintf "o%d" k) Float (dom size) in
+      define f [ case (interior size) rhs ];
+      stages := (size, f) :: !stages)
+    ops;
+  let out = snd (List.hd !stages) in
+  let env = [] in
+  let images (_ : C.Plan.t) =
+    [ (img, Rt.Buffer.of_image img env (fun c -> float_of_int (c.(0) mod 19) /. 5.)) ]
+  in
+  let run opts =
+    let plan = C.Compile.run opts ~outputs:[ out ] in
+    Rt.Executor.output_buffer
+      (Rt.Executor.run plan env ~images:(images plan))
+      out
+  in
+  let a = run (C.Options.base ~estimates:env ()) in
+  let b =
+    run (C.Options.with_tile [| tile |] (C.Options.opt_vec ~estimates:env ()))
+  in
+  Rt.Buffer.max_abs_diff a b <= 1e-9
+
+let arb_1d =
+  QCheck.make
+    ~print:(fun (ops, t) ->
+      Printf.sprintf "1d ops=%d tile=%d" (List.length ops) t)
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 2 7)
+           (frequency
+              [ (2, return Point); (3, return Stencil); (2, return Down);
+                (2, return Up) ]))
+        (oneofl [ 4; 16; 64 ]))
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        QCheck_alcotest.to_alcotest
+          (QCheck.Test.make ~name:"tiled == naive on random 1-D chains"
+             ~count:40 arb_1d (fun (ops, t) -> exec_equal_1d ops t));
+      ] )

@@ -1,0 +1,201 @@
+(* Runtime: buffers, the worker pool, and the executor on the core
+   computation patterns of paper Table 1 (point-wise, stencil,
+   up/downsample are covered by the apps; histogram and time-iterated
+   are covered here). *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+open Polymage_dsl.Dsl
+
+let buffer_units () =
+  let b = Rt.Buffer.create ~lo:[| 2; -1 |] ~dims:[| 3; 4 |] in
+  Rt.Buffer.set b [| 2; -1 |] 1.5;
+  Rt.Buffer.set b [| 4; 2 |] 2.5;
+  Alcotest.(check (float 0.)) "get lo corner" 1.5 (Rt.Buffer.get b [| 2; -1 |]);
+  Alcotest.(check (float 0.)) "get hi corner" 2.5 (Rt.Buffer.get b [| 4; 2 |]);
+  Alcotest.(check int) "size" 12 (Rt.Buffer.size b);
+  Alcotest.(check bool) "oob raises" true
+    (match Rt.Buffer.get b [| 5; 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "rank mismatch raises" true
+    (match Rt.Buffer.get b [| 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let c = Rt.Buffer.create ~lo:[| 2; -1 |] ~dims:[| 3; 4 |] in
+  Alcotest.(check bool) "not equal" false (Rt.Buffer.equal b c);
+  Rt.Buffer.set c [| 2; -1 |] 1.5;
+  Rt.Buffer.set c [| 4; 2 |] 2.5;
+  Alcotest.(check bool) "equal" true (Rt.Buffer.equal b c)
+
+let pool_units () =
+  Rt.Pool.with_pool 4 (fun p ->
+      Alcotest.(check int) "size" 4 (Rt.Pool.size p);
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Rt.Pool.parallel_for p ~n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "each index exactly once" true
+        (Array.for_all (fun h -> h = 1) hits);
+      (* pool is reusable *)
+      let total = Atomic.make 0 in
+      Rt.Pool.parallel_for p ~n:100 (fun i ->
+          ignore (Atomic.fetch_and_add total i));
+      Alcotest.(check int) "sum" 4950 (Atomic.get total);
+      (* exceptions propagate *)
+      Alcotest.(check bool) "exception propagates" true
+        (match
+           Rt.Pool.parallel_for p ~n:50 (fun i ->
+               if i = 33 then failwith "boom")
+         with
+        | exception Failure _ -> true
+        | () -> false);
+      (* and the pool still works afterwards *)
+      Rt.Pool.parallel_for p ~n:10 (fun _ -> ()));
+  (* single-worker pool runs inline *)
+  Rt.Pool.with_pool 1 (fun p -> Rt.Pool.parallel_for p ~n:5 (fun _ -> ()))
+
+let histogram_exec () =
+  (* paper Fig. 3: grayscale histogram *)
+  let r = parameter ~name:"R" () and c = parameter ~name:"C" () in
+  let img = image ~name:"hi" Float [ param_b r; param_b c ] in
+  let x = Types.var ~name:"x" () and y = Types.var ~name:"y" () in
+  let bins = Types.var ~name:"b" () in
+  let hist = func ~name:"hist" Int [ (bins, interval (ib 0) (ib 255)) ] in
+  accumulate hist
+    ~over:
+      [
+        (x, interval (ib 0) (param_b r -~ ib 1));
+        (y, interval (ib 0) (param_b c -~ ib 1));
+      ]
+    ~index:[ img_at img [ v x; v y ] ]
+    ~value:(fl 1.) Ast.Rsum;
+  let env = [ (r, 40); (c, 30) ] in
+  let opts = C.Options.opt_vec ~estimates:env () in
+  let plan = C.Compile.run opts ~outputs:[ hist ] in
+  let ib_ =
+    Rt.Buffer.of_image img env (fun co ->
+        float_of_int (((co.(0) * 37) + (co.(1) * 11)) mod 256))
+  in
+  let res = Rt.Executor.run plan env ~images:[ (img, ib_) ] in
+  let h = Rt.Executor.output_buffer res hist in
+  let total = Array.fold_left ( +. ) 0. h.Rt.Buffer.data in
+  Alcotest.(check (float 0.)) "histogram counts all pixels" 1200. total;
+  (* spot-check one bin against a direct count *)
+  let direct = ref 0 in
+  for xx = 0 to 39 do
+    for yy = 0 to 29 do
+      if ((xx * 37) + (yy * 11)) mod 256 = 42 then incr direct
+    done
+  done;
+  Alcotest.(check (float 0.))
+    "bin 42" (float_of_int !direct)
+    (Rt.Buffer.get h [| 42 |]);
+  (* privatized parallel reduction gives the same counts *)
+  let plan4 =
+    C.Compile.run (C.Options.opt_vec ~workers:4 ~estimates:env ())
+      ~outputs:[ hist ]
+  in
+  let res4 = Rt.Executor.run plan4 env ~images:[ (img, ib_) ] in
+  let h4 = Rt.Executor.output_buffer res4 hist in
+  Alcotest.(check bool) "parallel histogram identical" true
+    (Rt.Buffer.equal h h4)
+
+let time_iterated_exec () =
+  (* paper Table 1: f(t,x) = g(f(t-1,x)); here f(t,x) = f(t-1,x)+x,
+     f(0,x) = 0, so f(T,x) = T*x. *)
+  let t = Types.var ~name:"t" () and x = Types.var ~name:"x" () in
+  let steps = 5 and width = 16 in
+  let f =
+    func ~name:"heat" Float
+      [ (t, interval (ib 0) (ib steps)); (x, interval (ib 0) (ib (width - 1))) ]
+  in
+  define f
+    [
+      case (v t =: i 0) (fl 0.);
+      case (v t >=: i 1) (app f [ v t -: i 1; v x ] +: v x);
+    ];
+  let env = [] in
+  let plan = C.Compile.run (C.Options.opt ~estimates:env ()) ~outputs:[ f ] in
+  (* self-recursive stages must stay straight *)
+  Alcotest.(check int) "no tiled groups" 0 (C.Plan.n_tiled_groups plan);
+  let res = Rt.Executor.run plan env ~images:[] in
+  let b = Rt.Executor.output_buffer res f in
+  for xx = 0 to width - 1 do
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "f(%d,%d)" steps xx)
+      (float_of_int (steps * xx))
+      (Rt.Buffer.get b [| steps; xx |])
+  done
+
+let workers_equivalence () =
+  (* multi-worker execution must give identical results *)
+  let app = Polymage_apps.Apps.find "harris" in
+  let env = app.small_env in
+  let o1 = C.Options.opt_vec ~workers:1 ~estimates:env () in
+  let o4 = C.Options.opt_vec ~workers:4 ~estimates:env () in
+  let _, r1 = Helpers.run_app app o1 env in
+  let _, r4 = Helpers.run_app app o4 env in
+  Helpers.check_buffers_equal ~eps:0. "workers 1 vs 4"
+    (Helpers.output_of app r1) (Helpers.output_of app r4)
+
+let missing_image_rejected () =
+  let app = Polymage_apps.Apps.find "harris" in
+  let env = app.small_env in
+  let plan = C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs in
+  match Rt.Executor.run plan env ~images:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing input image must be rejected"
+
+let suite =
+  ( "runtime",
+    [
+      Alcotest.test_case "buffer" `Quick buffer_units;
+      Alcotest.test_case "pool" `Quick pool_units;
+      Alcotest.test_case "histogram (Table 1)" `Quick histogram_exec;
+      Alcotest.test_case "time-iterated (Table 1)" `Quick time_iterated_exec;
+      Alcotest.test_case "workers equivalence" `Quick workers_equivalence;
+      Alcotest.test_case "missing image" `Quick missing_image_rejected;
+    ] )
+
+let image_io_roundtrip () =
+  let tmp = Filename.temp_file "pm_img" ".pgm" in
+  let b = Rt.Buffer.create ~lo:[| 0; 0 |] ~dims:[| 7; 11 |] in
+  for x = 0 to 6 do
+    for y = 0 to 10 do
+      Rt.Buffer.set b [| x; y |] (float_of_int (((x * 11) + y) mod 256) /. 255.)
+    done
+  done;
+  Rt.Image_io.write_pgm tmp b;
+  let b' = Rt.Image_io.read_pgm tmp in
+  Alcotest.(check bool) "pgm round trip" true
+    (Rt.Buffer.equal ~eps:(1. /. 255.) b b');
+  Sys.remove tmp;
+  let tmp = Filename.temp_file "pm_img" ".ppm" in
+  let c3 = Rt.Buffer.create ~lo:[| 0; 0; 0 |] ~dims:[| 3; 5; 4 |] in
+  for ch = 0 to 2 do
+    for x = 0 to 4 do
+      for y = 0 to 3 do
+        Rt.Buffer.set c3 [| ch; x; y |]
+          (float_of_int (((ch * 83) + (x * 17) + y) mod 256) /. 255.)
+      done
+    done
+  done;
+  Rt.Image_io.write_ppm tmp c3;
+  let c3' = Rt.Image_io.read_ppm tmp in
+  Alcotest.(check bool) "ppm round trip" true
+    (Rt.Buffer.equal ~eps:(1. /. 255.) c3 c3');
+  Sys.remove tmp;
+  (* malformed input is reported *)
+  let bad = Filename.temp_file "pm_img" ".pgm" in
+  let oc = open_out bad in
+  output_string oc "P9 nope";
+  close_out oc;
+  (match Rt.Image_io.read_pgm bad with
+  | exception Rt.Image_io.Format_error _ -> ()
+  | _ -> Alcotest.fail "bad magic must be rejected");
+  Sys.remove bad
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [ Alcotest.test_case "image io round trip" `Quick image_io_roundtrip ] )

@@ -1,0 +1,49 @@
+(* Autotuner: the search covers the requested space, returns the best
+   sample, and the winning configuration still computes the right
+   answer. *)
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module Tune = Polymage_tune.Tune
+
+let tune_harris () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let plan0 = C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs in
+  let images = Helpers.images_for app plan0 env in
+  let r =
+    Tune.explore ~tiles:[ 8; 32 ] ~thresholds:[ 0.2; 0.5 ] ~workers:2
+      ~outputs:app.outputs ~env ~images ()
+  in
+  Alcotest.(check int) "space size" (2 * 2 * 2) (List.length r.samples);
+  Alcotest.(check bool) "best is a sample" true (List.memq r.best r.samples);
+  List.iter
+    (fun (s : Tune.sample) ->
+      Alcotest.(check bool) "times positive" true
+        (s.time_seq > 0. && s.time_par > 0.);
+      Alcotest.(check bool) "best minimizes parallel time" true
+        (r.best.time_par <= s.time_par))
+    r.samples;
+  (* winning configuration is still correct *)
+  let best = Tune.best_options r ~estimates:env ~workers:1 in
+  let rb = Rt.Executor.run plan0 env ~images in
+  let plan_best = C.Compile.run best ~outputs:app.outputs in
+  let rbest = Rt.Executor.run plan_best env ~images in
+  Helpers.check_buffers_equal ~eps:1e-9 "tuned output"
+    (Helpers.output_of app rb) (Helpers.output_of app rbest)
+
+let paper_space () =
+  Alcotest.(check int) "paper tile menu" 7 (List.length Tune.paper_tiles);
+  Alcotest.(check int) "paper thresholds" 3 (List.length Tune.paper_thresholds);
+  (* 7^2 * 3 = 147 configurations for a 2-D pipeline, as in §3.8 *)
+  Alcotest.(check int) "147 configs"
+    147
+    (List.length Tune.paper_tiles * List.length Tune.paper_tiles
+    * List.length Tune.paper_thresholds)
+
+let suite =
+  ( "autotune",
+    [
+      Alcotest.test_case "paper space" `Quick paper_space;
+      Alcotest.test_case "tune harris" `Slow tune_harris;
+    ] )

@@ -1,0 +1,102 @@
+(* Unit and property tests for the utility library: exact rationals
+   and topological sorting. *)
+module Q = Polymage_util.Rational
+module Topo = Polymage_util.Topo
+
+let qgen =
+  QCheck.Gen.(
+    map2 (fun n d -> Q.make n (if d = 0 then 1 else d)) (int_range (-50) 50)
+      (int_range (-12) 12))
+
+let arb_q = QCheck.make ~print:Q.to_string qgen
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let abs_int x = abs x
+
+let rational_props =
+  [
+    prop "add commutative" 500
+      (QCheck.pair arb_q arb_q)
+      (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a));
+    prop "mul associative" 500
+      (QCheck.triple arb_q arb_q arb_q)
+      (fun (a, b, c) ->
+        Q.equal (Q.mul (Q.mul a b) c) (Q.mul a (Q.mul b c)));
+    prop "add/sub roundtrip" 500
+      (QCheck.pair arb_q arb_q)
+      (fun (a, b) -> Q.equal (Q.sub (Q.add a b) b) a);
+    prop "normalized: den > 0, gcd 1" 500 arb_q (fun a ->
+        let open Q in
+        a.den > 0
+        &&
+        let rec gcd x y = if y = 0 then x else gcd y (x mod y) in
+        gcd (abs_int a.num) a.den <= 1 || gcd (abs_int a.num) a.den = 1);
+    prop "floor <= q < floor+1" 500 arb_q (fun a ->
+        let f = Q.floor a in
+        Q.compare (Q.of_int f) a <= 0 && Q.compare a (Q.of_int (f + 1)) < 0);
+    prop "ceil = -floor(-q)" 500 arb_q (fun a ->
+        Q.ceil a = -Q.floor (Q.neg a));
+    prop "inv . inv = id (nonzero)" 500 arb_q (fun a ->
+        QCheck.assume (Q.sign a <> 0);
+        Q.equal (Q.inv (Q.inv a)) a);
+  ]
+
+let rational_units () =
+  Alcotest.(check int) "floor -7/2" (-4) (Q.floor (Q.make (-7) 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Q.ceil (Q.make (-7) 2));
+  Alcotest.(check int) "floor 7/2" 3 (Q.floor (Q.make 7 2));
+  Alcotest.(check bool) "normalize sign" true (Q.equal (Q.make 1 (-2)) (Q.make (-1) 2));
+  Alcotest.(check int) "lcm of dens" 12 (Q.lcm_dens [ Q.make 1 4; Q.make 1 6 ]);
+  Alcotest.(check bool) "is_int" true (Q.is_int (Q.make 8 4));
+  Alcotest.check_raises "make 1 0" (Invalid_argument "Rational.make: zero denominator")
+    (fun () -> ignore (Q.make 1 0))
+
+let topo_units () =
+  (* diamond: 0 -> 1,2 -> 3 *)
+  let succs = function 0 -> [ 1; 2 ] | 1 -> [ 3 ] | 2 -> [ 3 ] | _ -> [] in
+  let order = Topo.sort ~n:4 ~succs in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i u -> pos.(u) <- i) order;
+  Alcotest.(check bool) "0 before 1" true (pos.(0) < pos.(1));
+  Alcotest.(check bool) "1 before 3" true (pos.(1) < pos.(3));
+  Alcotest.(check bool) "2 before 3" true (pos.(2) < pos.(3));
+  let levels = Topo.levels ~n:4 ~succs in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 1; 2 |] levels;
+  Alcotest.(check bool) "acyclic" true (Topo.is_acyclic ~n:4 ~succs);
+  let cyclic = function 0 -> [ 1 ] | 1 -> [ 2 ] | _ -> [ 0 ] in
+  Alcotest.(check bool) "cycle detected" false (Topo.is_acyclic ~n:3 ~succs:cyclic);
+  (match Topo.sort ~n:3 ~succs:cyclic with
+  | exception Topo.Cycle cyc ->
+    Alcotest.(check int) "cycle length" 3 (List.length cyc)
+  | _ -> Alcotest.fail "expected Cycle")
+
+let topo_props =
+  [
+    prop "random DAG sorts consistently" 200
+      QCheck.(pair (int_range 1 20) (list (pair small_nat small_nat)))
+      (fun (n, edges) ->
+        (* keep only forward edges to guarantee acyclicity *)
+        let edges =
+          List.filter_map
+            (fun (a, b) ->
+              let a = a mod n and b = b mod n in
+              if a < b then Some (a, b) else None)
+            edges
+        in
+        let succs u = List.filter_map (fun (a, b) -> if a = u then Some b else None) edges in
+        let order = Topo.sort ~n ~succs in
+        let pos = Array.make n 0 in
+        List.iteri (fun i u -> pos.(u) <- i) order;
+        List.length order = n
+        && List.for_all (fun (a, b) -> pos.(a) < pos.(b)) edges);
+  ]
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "rational units" `Quick rational_units;
+      Alcotest.test_case "topo units" `Quick topo_units;
+    ]
+    @ rational_props @ topo_props )
