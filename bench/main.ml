@@ -404,6 +404,59 @@ let ablations ~scale () =
     apps
 
 (* ------------------------------------------------------------------ *)
+(* Row-kernel ablation (the native executor's compilation strategy)     *)
+(* ------------------------------------------------------------------ *)
+
+let kernels_bench ~scale ~json () =
+  hr ();
+  printf "Row kernels (native executor: CSE + access cursors + hoisting)\n";
+  printf "  -k = closure trees (kernels=false), +k = flat row kernels\n";
+  hr ();
+  printf "%-16s %11s | %9s %9s %6s | %9s %9s %6s\n" "app" "size" "base-k"
+    "base+k" "spdup" "o+v-k" "o+v+k" "spdup";
+  let rows =
+    List.map
+      (fun (app : App.t) ->
+        let env = bench_env ~scale app in
+        let base = C.Options.base ~estimates:env () in
+        let optv = C.Options.opt_vec ~estimates:env () in
+        let nk o = { o with C.Options.kernels = false } in
+        let t_b_nk = native_ms ~repeats:3 app (nk base) env in
+        let t_b = native_ms ~repeats:3 app base env in
+        let t_o_nk = native_ms ~repeats:3 app (nk optv) env in
+        let t_o = native_ms ~repeats:3 app optv env in
+        printf "%-16s %11s | %9.1f %9.1f %5.2fx | %9.1f %9.1f %5.2fx\n"
+          app.name (env_desc env) t_b_nk t_b (t_b_nk /. t_b) t_o_nk t_o
+          (t_o_nk /. t_o);
+        (app.name, env_desc env, t_b_nk, t_b, t_o_nk, t_o))
+      (Apps.all ())
+  in
+  match json with
+  | None -> ()
+  | Some file ->
+    (* hand-rolled: the JSON is flat and we add no dependencies *)
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "{\n  \"bench\": \"kernels\",\n  \"scale\": %d,\n  \"apps\": [\n"
+         scale);
+    List.iteri
+      (fun i (name, size, t_b_nk, t_b, t_o_nk, t_o) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"name\": \"%s\", \"size\": \"%s\",\n\
+             \     \"base_nokernels_ms\": %.3f, \"base_ms\": %.3f,\n\
+             \     \"opt_vec_nokernels_ms\": %.3f, \"opt_vec_ms\": %.3f,\n\
+             \     \"kernel_speedup_base\": %.3f, \"kernel_speedup_opt_vec\": %.3f}%s\n"
+             name size t_b_nk t_b t_o_nk t_o (t_b_nk /. t_b) (t_o_nk /. t_o)
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string b "  ]\n}\n";
+    let oc = open_out file in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    printf "  wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
 (* ------------------------------------------------------------------ *)
 
@@ -460,8 +513,10 @@ let () =
   and run_fig9 = ref false
   and run_fig10 = ref false
   and run_abl = ref false
+  and run_kern = ref false
   and run_bech = ref false
   and quick = ref false
+  and json = ref None
   and scale = ref 4 in
   let any = ref false in
   let set r () =
@@ -477,7 +532,11 @@ let () =
       ("--fig9", Arg.Unit (set run_fig9), "Figure 9 autotuning");
       ("--fig10", Arg.Unit (set run_fig10), "Figure 10 speedups");
       ("--ablations", Arg.Unit (set run_abl), "design-choice ablations");
+      ("--kernels", Arg.Unit (set run_kern), "row-kernel ablation");
       ("--bechamel", Arg.Unit (set run_bech), "bechamel micro-benchmarks");
+      ( "--json",
+        Arg.String (fun s -> json := Some s),
+        "FILE  write the row-kernel timings as JSON" );
       ("--quick", Arg.Set quick, "smaller search spaces");
       ("--scale", Arg.Set_int scale, "size divisor vs paper sizes (default 4)");
     ]
@@ -491,6 +550,7 @@ let () =
   if all || !run_fig9 then fig9 ~quick:!quick ();
   if all || !run_fig10 then fig10 ~scale:!scale ();
   if all || !run_abl then ablations ~scale:!scale ();
+  if all || !run_kern then kernels_bench ~scale:!scale ~json:!json ();
   if all || !run_bech then bechamel ();
   hr ();
   printf "done.\n"

@@ -144,9 +144,16 @@ let run_cmd =
   let repeats_flag =
     Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"Timed repetitions")
   in
-  let run (app : App.t) size config tile threshold workers repeats =
+  let no_kernels_flag =
+    Arg.(
+      value & flag
+      & info [ "no-kernels" ]
+          ~doc:"Evaluate with closure trees instead of row kernels (ablation)")
+  in
+  let run (app : App.t) size config tile threshold workers repeats no_kernels =
     let env = env_of app size in
     let opts = options_of config tile threshold workers env in
+    let opts = { opts with C.Options.kernels = not no_kernels } in
     let plan = C.Compile.run opts ~outputs:app.outputs in
     let images =
       List.map
@@ -173,7 +180,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute the pipeline and report timing")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ workers_flag $ repeats_flag)
+      $ threshold_flag $ workers_flag $ repeats_flag $ no_kernels_flag)
 
 let tune_cmd =
   let tiles_flag =

@@ -14,6 +14,7 @@ type t = {
   min_size : int;
   naive_overlap : bool;
   scratchpads : bool;
+  kernels : bool;
   estimates : Types.bindings;
 }
 
@@ -30,6 +31,7 @@ let base ?(workers = 1) ~estimates () =
     min_size = 0;
     naive_overlap = false;
     scratchpads = true;
+    kernels = true;
     estimates;
   }
 
@@ -48,7 +50,7 @@ let with_threshold threshold t = { t with threshold }
 let pp ppf t =
   Format.fprintf ppf
     "{grouping=%b inline=%b vec=%b split=%b workers=%d tile=[%s] \
-     thresh=%.2f scratch=%b naive_overlap=%b}"
+     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b}"
     t.grouping_on t.inline_on t.vec t.split_cases t.workers
     (String.concat ";" (Array.to_list (Array.map string_of_int t.tile)))
-    t.threshold t.scratchpads t.naive_overlap
+    t.threshold t.scratchpads t.naive_overlap t.kernels

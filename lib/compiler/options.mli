@@ -37,6 +37,11 @@ type t = {
   scratchpads : bool;
       (** store intermediates in per-tile scratchpads (§3.6); when
           false, grouped intermediates use full buffers (ablation) *)
+  kernels : bool;
+      (** compile stage bodies to flat row kernels (CSE + access
+          cursors + loop-invariant hoisting) instead of closure trees
+          in the native executor; when false, every expression node is
+          an indirect call (ablation, default on) *)
   estimates : Types.bindings;  (** parameter estimates for grouping *)
 }
 

@@ -26,8 +26,18 @@ let ( +: ) a b = Ast.Binop (Add, a, b)
 let ( -: ) a b = Ast.Binop (Sub, a, b)
 let ( *: ) a b = Ast.Binop (Mul, a, b)
 let ( /: ) a b = Ast.Binop (Div, a, b)
-let ( /^ ) a n = Ast.IDiv (a, n)
-let ( %^ ) a n = Ast.IMod (a, n)
+let check_divisor what n =
+  if n <= 0 then
+    invalid_arg
+      (Printf.sprintf "Dsl.( %s ): divisor must be positive, got %d" what n)
+
+let ( /^ ) a n =
+  check_divisor "/^" n;
+  Ast.IDiv (a, n)
+
+let ( %^ ) a n =
+  check_divisor "%^" n;
+  Ast.IMod (a, n)
 let neg a = Ast.Unop (Neg, a)
 let abs_ a = Ast.Unop (Abs, a)
 let sqrt_ a = Ast.Unop (Sqrt, a)

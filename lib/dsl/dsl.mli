@@ -76,10 +76,12 @@ val ( -: ) : expr -> expr -> expr
 val ( *: ) : expr -> expr -> expr
 val ( /: ) : expr -> expr -> expr
 
-(** Floor division by a constant. *)
+(** Floor division by a constant.
+    @raise Invalid_argument if the divisor is not positive. *)
 val ( /^ ) : expr -> int -> expr
 
-(** Remainder by a constant. *)
+(** Remainder by a constant.
+    @raise Invalid_argument if the divisor is not positive. *)
 val ( %^ ) : expr -> int -> expr
 val neg : expr -> expr
 val abs_ : expr -> expr

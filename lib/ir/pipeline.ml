@@ -42,6 +42,52 @@ let collect outputs =
   List.iter (visit []) outputs;
   List.rev !acc
 
+(* Integer division/modulo with a non-positive divisor would otherwise
+   surface as a bare [Division_by_zero] (or a wrong flooring) deep
+   inside a compiled closure; reject it when the pipeline is built. *)
+let check_divisors f =
+  let bad what n =
+    invalid "stage %s: %s with non-positive divisor %d" f.fname what n
+  in
+  let rec go e =
+    match e with
+    | Const _ | Var _ | Param _ -> ()
+    | Call (_, args) | Img (_, args) -> List.iter go args
+    | Binop (_, a, b) ->
+      go a;
+      go b
+    | Unop (_, a) | Cast (_, a) -> go a
+    | IDiv (a, n) ->
+      if n <= 0 then bad "integer division" n;
+      go a
+    | IMod (a, n) ->
+      if n <= 0 then bad "integer modulo" n;
+      go a
+    | Select (c, a, b) ->
+      go_c c;
+      go a;
+      go b
+  and go_c = function
+    | Cmp (_, a, b) ->
+      go a;
+      go b
+    | And (a, b) | Or (a, b) ->
+      go_c a;
+      go_c b
+    | Not a -> go_c a
+  in
+  match f.fbody with
+  | Undefined -> ()
+  | Cases cs ->
+    List.iter
+      (fun { ccond; rhs } ->
+        Option.iter go_c ccond;
+        go rhs)
+      cs
+  | Reduce r ->
+    List.iter go r.rindex;
+    go r.rvalue
+
 let check_arities f =
   let on_call g args =
     if List.length args <> func_arity g then
@@ -64,6 +110,7 @@ let build ~outputs =
   let index = Hashtbl.create n in
   Array.iteri (fun i f -> Hashtbl.replace index f.fid i) stages;
   Array.iter check_arities stages;
+  Array.iter check_divisors stages;
   let producers = Array.make n [] in
   let consumers = Array.make n [] in
   let self_recursive = Array.make n false in

@@ -86,14 +86,10 @@ let rec compile_index ~vars ~bindings e : int array -> int =
     fun c -> fa c - fb c
   | Ast.IDiv (a, n) ->
     let fa = compile_index ~vars ~bindings a in
-    fun c ->
-      let x = fa c in
-      if x >= 0 then x / n else -(((-x) + n - 1) / n)
+    fun c -> Polymage_util.Intmath.floor_div (fa c) n
   | Ast.IMod (a, n) ->
     let fa = compile_index ~vars ~bindings a in
-    fun c ->
-      let r = fa c mod n in
-      if r < 0 then r + n else r
+    fun c -> Polymage_util.Intmath.pos_mod (fa c) n
   | _ -> raise Exit (* caller falls back to the float path *)
 
 (* ---- float expressions ---- *)

@@ -35,6 +35,11 @@ val attach_scratch : view -> float array -> start:int array -> unit
 
 val view_of_buffer : string -> Buffer.t -> view
 
+val checked_get : view -> int -> float
+(** Read a flat position with the window check of safe mode.
+    @raise Runtime_error when the position is outside the view's
+    current storage. *)
+
 val compile :
   unsafe:bool ->
   vars:Types.var list ->

@@ -7,8 +7,8 @@ type result = {
   outputs : (Ast.func * Buffer.t) list;
 }
 
-let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
-let ceil_div a b = -floor_div (-a) b
+let floor_div = Polymage_util.Intmath.floor_div
+let ceil_div = Polymage_util.Intmath.ceil_div
 
 (* One arm of a piecewise stage definition, with its concrete box when
    the condition is box-analyzable (loop splitting, §3.7). *)
@@ -49,12 +49,34 @@ let pieces_of (opts : C.Options.t) (f : Ast.func) env cases =
             { pbox = Some b; pcond = None; prhs = rhs }))
     cases
 
-(* Compiled form of a piece for one worker. *)
+(* Compiled form of a piece for one worker.  [ckern] is the flat row
+   kernel (CSE + cursors + hoisting) used for unconditional pieces;
+   [crhs] is the closure fallback, always present. *)
 type cpiece = {
   cbox : (int * int) array option;
   ccond : (int array -> bool) option;
   crhs : int array -> float;
+  ckern : Kernel.t option;
 }
+
+(* Shared by all executors: compile one piece for the current worker.
+   The kernel is only attempted for unconditional pieces (a per-point
+   condition needs the scalar loop anyway) and when the option is on. *)
+let compile_cpiece (opts : C.Options.t) (f : Ast.func) env lookup p =
+  {
+    cbox = p.pbox;
+    ccond =
+      Option.map
+        (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars ~bindings:env
+           ~lookup)
+        p.pcond;
+    crhs = Eval.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup p.prhs;
+    ckern =
+      (if opts.kernels && p.pcond = None then
+         Kernel.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup
+           ~self:f.Ast.fid p.prhs
+       else None);
+  }
 
 let intersect_box a b =
   Array.init (Array.length a) (fun d ->
@@ -94,7 +116,12 @@ let run_pieces ~vec ~ty (view : Eval.view) (coords : int array)
                 data.(pos0 + ((j - lo) * slast)) <-
                   Types.clamp_store ty (cp.crhs coords)
             done
-          | None ->
+          | None -> (
+            match cp.ckern with
+            | Some k ->
+              Kernel.run_row k ~vec ~ty ~data ~pos0 ~dstride:slast ~coords
+                ~lo ~hi
+            | None ->
             if vec then begin
               (* 4x unrolled, bounds-check-free *)
               let j = ref lo in
@@ -127,7 +154,7 @@ let run_pieces ~vec ~ty (view : Eval.view) (coords : int array)
                 coords.(n - 1) <- j;
                 data.(pos0 + ((j - lo) * slast)) <-
                   Types.clamp_store ty (cp.crhs coords)
-              done
+              done)
         in
         let rec outer d =
           if d = n - 1 then
@@ -263,22 +290,7 @@ let exec_straight pool (plan : C.Plan.t) env buffers images i =
                     Some (Eval.view_of_buffer f.fname buf)
                   else None)
             in
-            let cps =
-              List.map
-                (fun p ->
-                  {
-                    cbox = p.pbox;
-                    ccond =
-                      Option.map
-                        (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars
-                           ~bindings:env ~lookup)
-                        p.pcond;
-                    crhs =
-                      Eval.compile ~unsafe:opts.vec ~vars:f.fvars
-                        ~bindings:env ~lookup p.prhs;
-                  })
-                pieces
-            in
+            let cps = List.map (compile_cpiece opts f env lookup) pieces in
             (cps, Eval.view_of_buffer f.fname buf, Array.make nd 0))
       in
       let run_chunk c =
@@ -493,22 +505,7 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
               | _ -> invalid_arg "Executor: non-pure stage in tiled group"
             in
             let pieces = pieces_of opts f env cases in
-            let mcpieces =
-              List.map
-                (fun pc ->
-                  {
-                    cbox = pc.pbox;
-                    ccond =
-                      Option.map
-                        (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars
-                           ~bindings:env ~lookup)
-                        pc.pcond;
-                    crhs =
-                      Eval.compile ~unsafe:opts.vec ~vars:f.fvars
-                        ~bindings:env ~lookup pc.prhs;
-                  })
-                pieces
-            in
+            let mcpieces = List.map (compile_cpiece opts f env lookup) pieces in
             let mneeds_zero =
               not
                 (List.exists
@@ -669,20 +666,7 @@ let exec_parallelogram (plan : C.Plan.t) env buffers images
           | _ -> invalid_arg "Executor: non-pure stage in tiled group"
         in
         let cps =
-          List.map
-            (fun pc ->
-              {
-                cbox = pc.pbox;
-                ccond =
-                  Option.map
-                    (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars
-                       ~bindings:env ~lookup)
-                    pc.pcond;
-                crhs =
-                  Eval.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env
-                    ~lookup pc.prhs;
-              })
-            (pieces_of opts f env cases)
+          List.map (compile_cpiece opts f env lookup) (pieces_of opts f env cases)
         in
         ( cps,
           Eval.view_of_buffer f.fname (Option.get buffers.(m.ms.sidx)),
@@ -794,19 +778,7 @@ let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
               | _ -> invalid_arg "Executor: non-pure stage in tiled group"
             in
             let cps =
-              List.map
-                (fun pc ->
-                  {
-                    cbox = pc.pbox;
-                    ccond =
-                      Option.map
-                        (Eval.compile_cond ~unsafe:opts.vec ~vars:f.fvars
-                           ~bindings:env ~lookup)
-                        pc.pcond;
-                    crhs =
-                      Eval.compile ~unsafe:opts.vec ~vars:f.fvars
-                        ~bindings:env ~lookup pc.prhs;
-                  })
+              List.map (compile_cpiece opts f env lookup)
                 (pieces_of opts f env cases)
             in
             ( cps,

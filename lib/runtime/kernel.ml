@@ -1,0 +1,862 @@
+open Polymage_ir
+
+(* ------------------------------------------------------------------ *)
+(* Affine analysis of index expressions                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Nonaffine
+
+let var_index vars v =
+  let rec go i = function
+    | [] -> raise Nonaffine
+    | w :: tl -> if Types.var_equal v w then i else go (i + 1) tl
+  in
+  go 0 vars
+
+let affine_of ~vars ~bindings e =
+  let n = List.length vars in
+  let coefs = Array.make n 0 in
+  let const = ref 0 in
+  let const_of e =
+    match e with
+    | Ast.Const x when Float.is_integer x -> Some (int_of_float x)
+    | Ast.Param p -> (
+      match Types.bind_exn bindings p with
+      | k -> Some k
+      | exception Not_found -> raise Nonaffine)
+    | _ -> None
+  in
+  let rec go mult e =
+    match const_of e with
+    | Some k -> const := !const + (mult * k)
+    | None -> (
+      match e with
+      | Ast.Var v ->
+        let i = var_index vars v in
+        coefs.(i) <- coefs.(i) + mult
+      | Ast.Binop (Add, a, b) ->
+        go mult a;
+        go mult b
+      | Ast.Binop (Sub, a, b) ->
+        go mult a;
+        go (-mult) b
+      | Ast.Unop (Neg, a) -> go (-mult) a
+      | Ast.Binop (Mul, a, b) -> (
+        match const_of a with
+        | Some k -> go (mult * k) b
+        | None -> (
+          match const_of b with
+          | Some k -> go (mult * k) a
+          | None -> raise Nonaffine))
+      | _ -> raise Nonaffine)
+  in
+  match go 1 e with
+  | () -> Some (coefs, !const)
+  | exception Nonaffine -> None
+
+(* ------------------------------------------------------------------ *)
+(* Affine select conditions                                             *)
+(* ------------------------------------------------------------------ *)
+
+let floor_div = Polymage_util.Intmath.floor_div
+let ceil_div = Polymage_util.Intmath.ceil_div
+
+(* A select condition that is affine in the loop variables, resolved
+   at row setup into the interval of innermost coordinates where it
+   holds (exact integer arithmetic, so it decides exactly as the
+   per-pixel float comparison would).  The per-pixel test is then two
+   integer compares instead of evaluating comparison sub-tapes — the
+   common case: inlining guards every inlined producer with its
+   domain's [in_box] condition. *)
+type acond =
+  | Acmp of Ast.cmp * int array * int
+      (* lhs - rhs as (coefs, const); [Ne] only when the innermost
+         coefficient is 0 (its true-set is not an interval) *)
+  | Aand of acond * acond
+  | Aor of acond * acond  (* both sides row-invariant *)
+  | Anot of acond  (* row-invariant argument *)
+
+type iselect = {
+  iacond : acond;
+  ijvar : int;  (* innermost coordinate slot *)
+  mutable itlo : int;  (* condition holds iff itlo <= j <= ithi *)
+  mutable ithi : int;
+}
+
+(* Classify a condition as affine in the loop variables.  Returns the
+   compiled tree and whether it depends on the innermost variable.
+   [Or] over innermost-dependent sides and [Not] of them are rejected
+   (their true-set need not be an interval), as is [Ne]. *)
+let acond_of_cond ~vars ~bindings c =
+  let n = List.length vars in
+  let rec go c =
+    match c with
+    | Ast.Cmp (op, a, b) -> (
+      match (affine_of ~vars ~bindings a, affine_of ~vars ~bindings b) with
+      | Some (ca, ka), Some (cb, kb) ->
+        let d = Array.init n (fun i -> ca.(i) - cb.(i)) in
+        let jdep = n > 0 && d.(n - 1) <> 0 in
+        if jdep && op = Ast.Ne then None else Some (Acmp (op, d, ka - kb), jdep)
+      | _ -> None)
+    | Ast.And (a, b) -> (
+      match (go a, go b) with
+      | Some (na, ja), Some (nb, jb) -> Some (Aand (na, nb), ja || jb)
+      | _ -> None)
+    | Ast.Or (a, b) -> (
+      match (go a, go b) with
+      | Some (na, false), Some (nb, false) -> Some (Aor (na, nb), false)
+      | _ -> None)
+    | Ast.Not a -> (
+      match go a with
+      | Some (na, false) -> Some (Anot na, false)
+      | _ -> None)
+  in
+  go c
+
+(* Interval of innermost coordinates where [k*j + b >= 0], k <> 0. *)
+let ge_interval k b =
+  if k > 0 then (ceil_div (-b) k, max_int) else (min_int, floor_div b (-k))
+
+let whole = (min_int, max_int)
+let empty = (max_int, min_int)
+
+(* Evaluate at row start: outer coordinates are set in [coords]. *)
+let rec eval_acond coords nv c =
+  match c with
+  | Acmp (op, coefs, k0) ->
+    let b = ref k0 in
+    for v = 0 to nv - 2 do
+      b := !b + (coefs.(v) * Array.unsafe_get coords v)
+    done;
+    let b = !b and k = coefs.(nv - 1) in
+    if k = 0 then begin
+      let t =
+        match op with
+        | Ast.Lt -> b < 0
+        | Ast.Le -> b <= 0
+        | Ast.Gt -> b > 0
+        | Ast.Ge -> b >= 0
+        | Ast.Eq -> b = 0
+        | Ast.Ne -> b <> 0
+      in
+      if t then whole else empty
+    end
+    else begin
+      match op with
+      | Ast.Ge -> ge_interval k b
+      | Ast.Gt -> ge_interval k (b - 1)
+      | Ast.Le -> ge_interval (-k) (-b)
+      | Ast.Lt -> ge_interval (-k) (-b - 1)
+      | Ast.Eq -> if -b mod k = 0 then let j0 = -b / k in (j0, j0) else empty
+      | Ast.Ne -> assert false (* rejected by acond_of_cond *)
+    end
+  | Aand (a, b) ->
+    let lo1, hi1 = eval_acond coords nv a and lo2, hi2 = eval_acond coords nv b in
+    (max lo1 lo2, min hi1 hi2)
+  | Aor (a, b) ->
+    (* both row-invariant: whole or empty *)
+    let lo1, hi1 = eval_acond coords nv a and lo2, hi2 = eval_acond coords nv b in
+    (min lo1 lo2, max hi1 hi2)
+  | Anot a ->
+    (* row-invariant argument: its interval is whole or empty *)
+    let lo, hi = eval_acond coords nv a in
+    if lo <= hi then empty else whole
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing keys: structural equality with funcs/images/vars        *)
+(* compared by identity (func bodies may be cyclic through self-        *)
+(* recursion, so generic structural equality must not be used).         *)
+(* ------------------------------------------------------------------ *)
+
+(* Constants compare by bit pattern: merging 0. with -0. (numerically
+   equal) would change stored bits downstream. *)
+let const_equal x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let rec eq_expr a b =
+  a == b
+  ||
+  match (a, b) with
+  | Ast.Const x, Ast.Const y -> const_equal x y
+  | Ast.Var v, Ast.Var w -> Types.var_equal v w
+  | Ast.Param p, Ast.Param q -> Types.param_equal p q
+  | Ast.Call (f, xs), Ast.Call (g, ys) -> f.Ast.fid = g.Ast.fid && eq_args xs ys
+  | Ast.Img (im, xs), Ast.Img (jm, ys) ->
+    im.Ast.iid = jm.Ast.iid && eq_args xs ys
+  | Ast.Binop (o1, a1, b1), Ast.Binop (o2, a2, b2) ->
+    o1 = o2 && eq_expr a1 a2 && eq_expr b1 b2
+  | Ast.Unop (o1, a1), Ast.Unop (o2, a2) -> o1 = o2 && eq_expr a1 a2
+  | Ast.IDiv (a1, n1), Ast.IDiv (a2, n2) -> n1 = n2 && eq_expr a1 a2
+  | Ast.IMod (a1, n1), Ast.IMod (a2, n2) -> n1 = n2 && eq_expr a1 a2
+  | Ast.Select (c1, a1, b1), Ast.Select (c2, a2, b2) ->
+    eq_cond c1 c2 && eq_expr a1 a2 && eq_expr b1 b2
+  | Ast.Cast (t1, a1), Ast.Cast (t2, a2) ->
+    Types.scalar_equal t1 t2 && eq_expr a1 a2
+  | _ -> false
+
+and eq_args xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> eq_expr x y && eq_args xs ys
+  | _ -> false
+
+and eq_cond a b =
+  match (a, b) with
+  | Ast.Cmp (o1, a1, b1), Ast.Cmp (o2, a2, b2) ->
+    o1 = o2 && eq_expr a1 a2 && eq_expr b1 b2
+  | Ast.And (a1, b1), Ast.And (a2, b2) | Ast.Or (a1, b1), Ast.Or (a2, b2) ->
+    eq_cond a1 a2 && eq_cond b1 b2
+  | Ast.Not a1, Ast.Not a2 -> eq_cond a1 a2
+  | _ -> false
+
+let hc h v = (h * 31) + v
+
+let rec hash_expr e =
+  match e with
+  | Ast.Const x -> hc 3 (Hashtbl.hash (Int64.bits_of_float x))
+  | Ast.Var v -> hc 5 v.Types.vid
+  | Ast.Param p -> hc 7 p.Types.pid
+  | Ast.Call (f, xs) -> List.fold_left (fun h a -> hc h (hash_expr a)) (hc 11 f.Ast.fid) xs
+  | Ast.Img (im, xs) ->
+    List.fold_left (fun h a -> hc h (hash_expr a)) (hc 13 im.Ast.iid) xs
+  | Ast.Binop (op, a, b) ->
+    hc (hc (hc 17 (Hashtbl.hash op)) (hash_expr a)) (hash_expr b)
+  | Ast.Unop (op, a) -> hc (hc 19 (Hashtbl.hash op)) (hash_expr a)
+  | Ast.IDiv (a, n) -> hc (hc 23 n) (hash_expr a)
+  | Ast.IMod (a, n) -> hc (hc 29 n) (hash_expr a)
+  | Ast.Select (c, a, b) ->
+    hc (hc (hc 31 (hash_cond c)) (hash_expr a)) (hash_expr b)
+  | Ast.Cast (ty, a) -> hc (hc 37 (Hashtbl.hash ty)) (hash_expr a)
+
+and hash_cond c =
+  match c with
+  | Ast.Cmp (op, a, b) ->
+    hc (hc (hc 41 (Hashtbl.hash op)) (hash_expr a)) (hash_expr b)
+  | Ast.And (a, b) -> hc (hc 43 (hash_cond a)) (hash_cond b)
+  | Ast.Or (a, b) -> hc (hc 47 (hash_cond a)) (hash_cond b)
+  | Ast.Not a -> hc 53 (hash_cond a)
+
+module H = Hashtbl.Make (struct
+  type t = Ast.expr
+
+  let equal = eq_expr
+  let hash = hash_expr
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled form                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* An affine buffer access, strength-reduced: the flattened position
+   is an affine function of the loop coordinates, so the row loop
+   advances it by a constant [cdelta] instead of recomputing the
+   multiply-and-sum per pixel.  [cview] is the (repositionable) window
+   the executor moves between tiles; [cpos] is recomputed from
+   [cview.off] at every row start. *)
+type cursor = {
+  cview : Eval.view;
+  ccoefs : int array;  (* position coefficient per loop variable *)
+  cconst : int;  (* position constant (excluding view offset) *)
+  cdelta : int;  (* = ccoefs.(innermost) *)
+  mutable cpos : int;
+}
+
+(* One instruction of the flat tape.  The first [int] of every
+   constructor is the destination register. *)
+type instr =
+  | Oconst of int * float
+  | Ovar of int * int  (* coordinate position *)
+  | Oload of int * cursor
+  | Oopaque of int * (int array -> float)  (* closure fallback *)
+  | Oadd of int * int * int
+  | Osub of int * int * int
+  | Omul of int * int * int
+  | Odiv of int * int * int
+  | Omin of int * int * int
+  | Omax of int * int * int
+  | Opow of int * int * int
+  | Oneg of int * int
+  | Oabs of int * int
+  | Osqrt of int * int
+  | Oexp of int * int
+  | Olog of int * int
+  | Ofloor of int * int
+  | Oidiv of int * int * float
+  | Oimod of int * int * float
+  | Ocast of int * Types.scalar * int
+  | Oselect of int * sdec * instr array * int * instr array * int
+      (* arms are lazy sub-tapes: only the taken branch executes,
+         preserving the closure path's guarding semantics *)
+
+and sdec = Saff of iselect | Sdyn of scond
+
+and scond =
+  | Scmp of Ast.cmp * instr array * int * instr array * int
+  | Sand of scond * scond
+  | Sor of scond * scond
+  | Snot of scond
+
+type t = {
+  nvars : int;
+  regs : float array;
+  cursors : cursor array;
+  iselects : iselect array;  (* affine selects to resolve per row *)
+  invariant : instr array;  (* once per row *)
+  inner : instr array;  (* once per pixel *)
+  root : int;
+  unsafe : bool;
+}
+
+type info = {
+  n_regs : int;
+  n_invariant : int;
+  n_inner : int;
+  n_cursors : int;
+}
+
+let stats t =
+  {
+    n_regs = Array.length t.regs;
+    n_invariant = Array.length t.invariant;
+    n_inner = Array.length t.inner;
+    n_cursors = Array.length t.cursors;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  shape : nshape;
+  n_inner : bool;  (* value depends on the innermost variable *)
+  n_self : bool;  (* transitively reads the stage being computed *)
+}
+
+and nshape =
+  | Nconst of float
+  | Nvar of int
+  | Ncursor of cursor
+  | Nopaque of (int array -> float)
+  | Nbin of Ast.binop * int * int
+  | Nun of Ast.unop * int
+  | Nidiv of int * int
+  | Nimod of int * int
+  | Ncast of Types.scalar * int
+  | Nselect of nsel * int * int
+
+and nsel = NSaff of iselect | NSdyn of ncond
+
+and ncond =
+  | NCcmp of Ast.cmp * int * int
+  | NCand of ncond * ncond
+  | NCor of ncond * ncond
+  | NCnot of ncond
+
+let compile ~unsafe ~vars ~bindings ~lookup ~self e =
+  let nvars = List.length vars in
+  if nvars = 0 then None
+  else begin
+    let e = Expr.simplify e in
+    let inner_var = List.nth vars (nvars - 1) in
+    let tbl = H.create 64 in
+    let nodes : (int, node) Hashtbl.t = Hashtbl.create 64 in
+    let n_nodes = ref 0 in
+    let cursors = ref [] in
+    let iselects = ref [] in
+    let add shape n_inner n_self =
+      let id = !n_nodes in
+      incr n_nodes;
+      Hashtbl.replace nodes id { shape; n_inner; n_self };
+      id
+    in
+    let node id = Hashtbl.find nodes id in
+    let inner1 a = (node a).n_inner and self1 a = (node a).n_self in
+    (* Fallback: compile the whole subtree with the closure compiler.
+       Bit-identical to the pre-kernel executor by construction. *)
+    let mk_opaque sub =
+      let f = Eval.compile ~unsafe ~vars ~bindings ~lookup sub in
+      let uses_inner =
+        List.exists (Types.var_equal inner_var) (Expr.free_vars sub)
+      in
+      let reads_self = ref false in
+      Expr.iter
+        ~on_call:(fun (g : Ast.func) _ ->
+          if g.Ast.fid = self then reads_self := true)
+        sub;
+      add (Nopaque f) uses_inner !reads_self
+    in
+    let mk_access whole src is_self args =
+      match
+        List.map
+          (fun a ->
+            match affine_of ~vars ~bindings (Expr.simplify a) with
+            | Some af -> af
+            | None -> raise Nonaffine)
+          args
+      with
+      | affs ->
+        let v : Eval.view = lookup src in
+        let nd = List.length affs in
+        if Array.length v.Eval.strides <> nd then mk_opaque whole
+        else begin
+          let ccoefs = Array.make nvars 0 in
+          let cconst = ref 0 in
+          List.iteri
+            (fun d (coefs, k) ->
+              let s = v.Eval.strides.(d) in
+              for i = 0 to nvars - 1 do
+                ccoefs.(i) <- ccoefs.(i) + (s * coefs.(i))
+              done;
+              cconst := !cconst + (s * k))
+            affs;
+          let cur =
+            {
+              cview = v;
+              ccoefs;
+              cconst = !cconst;
+              cdelta = ccoefs.(nvars - 1);
+              cpos = 0;
+            }
+          in
+          cursors := cur :: !cursors;
+          add (Ncursor cur) (cur.cdelta <> 0) is_self
+        end
+      | exception Nonaffine -> mk_opaque whole
+    in
+    let rec cons e =
+      match H.find_opt tbl e with
+      | Some id -> id
+      | None ->
+        let id =
+          match e with
+          | Ast.Const x -> add (Nconst x) false false
+          | Ast.Param p -> (
+            match Types.bind_exn bindings p with
+            | k -> add (Nconst (float_of_int k)) false false
+            | exception Not_found -> mk_opaque e (* raises like Eval *))
+          | Ast.Var v -> (
+            match var_index vars v with
+            | i -> add (Nvar i) (Types.var_equal v inner_var) false
+            | exception Nonaffine -> mk_opaque e)
+          | Ast.Call (f, args) ->
+            mk_access e (Eval.Src_func f.Ast.fid) (f.Ast.fid = self) args
+          | Ast.Img (im, args) -> mk_access e (Eval.Src_img im.Ast.iid) false args
+          | Ast.Binop (op, a, b) ->
+            let ia = cons a in
+            let ib = cons b in
+            add (Nbin (op, ia, ib)) (inner1 ia || inner1 ib)
+              (self1 ia || self1 ib)
+          | Ast.Unop (op, a) ->
+            let ia = cons a in
+            add (Nun (op, ia)) (inner1 ia) (self1 ia)
+          | Ast.IDiv (a, n) ->
+            let ia = cons a in
+            add (Nidiv (ia, n)) (inner1 ia) (self1 ia)
+          | Ast.IMod (a, n) ->
+            let ia = cons a in
+            add (Nimod (ia, n)) (inner1 ia) (self1 ia)
+          | Ast.Cast (ty, a) ->
+            let ia = cons a in
+            add (Ncast (ty, ia)) (inner1 ia) (self1 ia)
+          | Ast.Select (c, a, b) -> (
+            let ia = cons a in
+            let ib = cons b in
+            match acond_of_cond ~vars ~bindings c with
+            | Some (ac, jdep) ->
+              let isel =
+                { iacond = ac; ijvar = nvars - 1; itlo = 0; ithi = -1 }
+              in
+              iselects := isel :: !iselects;
+              add
+                (Nselect (NSaff isel, ia, ib))
+                (jdep || inner1 ia || inner1 ib)
+                (self1 ia || self1 ib)
+            | None ->
+              let nc, ci, cs = cons_cond c in
+              add
+                (Nselect (NSdyn nc, ia, ib))
+                (ci || inner1 ia || inner1 ib)
+                (cs || self1 ia || self1 ib))
+        in
+        H.replace tbl e id;
+        id
+    and cons_cond c =
+      match c with
+      | Ast.Cmp (op, a, b) ->
+        let ia = cons a in
+        let ib = cons b in
+        ( NCcmp (op, ia, ib),
+          inner1 ia || inner1 ib,
+          self1 ia || self1 ib )
+      | Ast.And (a, b) ->
+        let na, ia, sa = cons_cond a in
+        let nb, ib, sb = cons_cond b in
+        (NCand (na, nb), ia || ib, sa || sb)
+      | Ast.Or (a, b) ->
+        let na, ia, sa = cons_cond a in
+        let nb, ib, sb = cons_cond b in
+        (NCor (na, nb), ia || ib, sa || sb)
+      | Ast.Not a ->
+        let na, ia, sa = cons_cond a in
+        (NCnot na, ia, sa)
+    in
+    let root = cons e in
+    (* A kernel that degenerates to one closure call has no advantage
+       over the closure path: report "not compilable". *)
+    match (node root).shape with
+    | Nopaque _ -> None
+    | _ ->
+      (* ---- schedule the DAG into tapes ---- *)
+      let hoistable id =
+        let n = node id in
+        (not n.n_inner) && not n.n_self
+      in
+      let rec emit buf avail id =
+        if not (Hashtbl.mem avail id) then begin
+          let n = node id in
+          let ins =
+            match n.shape with
+            | Nconst x -> Oconst (id, x)
+            | Nvar i -> Ovar (id, i)
+            | Ncursor cur -> Oload (id, cur)
+            | Nopaque f -> Oopaque (id, f)
+            | Nbin (op, a, b) -> (
+              emit buf avail a;
+              emit buf avail b;
+              match op with
+              | Add -> Oadd (id, a, b)
+              | Sub -> Osub (id, a, b)
+              | Mul -> Omul (id, a, b)
+              | Div -> Odiv (id, a, b)
+              | Min -> Omin (id, a, b)
+              | Max -> Omax (id, a, b)
+              | Pow -> Opow (id, a, b))
+            | Nun (op, a) -> (
+              emit buf avail a;
+              match op with
+              | Neg -> Oneg (id, a)
+              | Abs -> Oabs (id, a)
+              | Sqrt -> Osqrt (id, a)
+              | Exp -> Oexp (id, a)
+              | Log -> Olog (id, a)
+              | Floor -> Ofloor (id, a))
+            | Nidiv (a, k) ->
+              emit buf avail a;
+              Oidiv (id, a, float_of_int k)
+            | Nimod (a, k) ->
+              emit buf avail a;
+              Oimod (id, a, float_of_int k)
+            | Ncast (ty, a) ->
+              emit buf avail a;
+              Ocast (id, ty, a)
+            | Nselect (sel, a, b) ->
+              let sd =
+                match sel with
+                | NSaff s -> Saff s
+                | NSdyn c -> Sdyn (emit_cond avail c)
+              in
+              let bt = emit_block avail a in
+              let be = emit_block avail b in
+              Oselect (id, sd, bt, a, be, b)
+          in
+          Hashtbl.replace avail id ();
+          buf := ins :: !buf
+        end
+      and emit_block avail root =
+        (* lazily-executed fragment: additions to availability must not
+           leak to code that runs unconditionally *)
+        let local = Hashtbl.copy avail in
+        let buf = ref [] in
+        emit buf local root;
+        Array.of_list (List.rev !buf)
+      and emit_cond avail c =
+        match c with
+        | NCcmp (op, a, b) ->
+          Scmp (op, emit_block avail a, a, emit_block avail b, b)
+        | NCand (a, b) -> Sand (emit_cond avail a, emit_cond avail b)
+        | NCor (a, b) -> Sor (emit_cond avail a, emit_cond avail b)
+        | NCnot a -> Snot (emit_cond avail a)
+      in
+      let avail = Hashtbl.create 64 in
+      let inv_buf = ref [] in
+      (* Hoist pass: walk the unconditionally-evaluated spine and move
+         every maximal row-invariant subtree to the per-row tape.
+         Select arms stay lazy, so they are never entered here. *)
+      let rec hoist id =
+        if hoistable id then emit inv_buf avail id
+        else
+          match (node id).shape with
+          | Nbin (_, a, b) ->
+            hoist a;
+            hoist b
+          | Nun (_, a) | Nidiv (a, _) | Nimod (a, _) | Ncast (_, a) -> hoist a
+          | Nselect _ | Nconst _ | Nvar _ | Ncursor _ | Nopaque _ -> ()
+      in
+      hoist root;
+      let inner_buf = ref [] in
+      emit inner_buf avail root;
+      (* Keep the kernel only when it beats the closure tree.  A fully
+         native tape (every access a cursor, every select affine)
+         always does: no indirect calls left.  One with embedded
+         closures or dynamically-evaluated selects does closure-path
+         work plus tape overhead — worth it only if hash-consing found
+         real sharing, i.e. the closure tree would recompute shared
+         subtrees the tape evaluates once (references in excess of
+         emissions; re-emission inside lazy blocks cancels out). *)
+      let rec tape_native tape =
+        Array.for_all
+          (fun ins ->
+            match ins with
+            | Oopaque _ -> false
+            | Oselect (_, Sdyn _, _, _, _, _) -> false
+            | Oselect (_, Saff _, bt, _, be, _) ->
+              tape_native bt && tape_native be
+            | _ -> true)
+          tape
+      in
+      let inv = Array.of_list (List.rev !inv_buf)
+      and inn = Array.of_list (List.rev !inner_buf) in
+      let cse_savings () =
+        let refs = Array.make !n_nodes 0 and emits = Array.make !n_nodes 0 in
+        let bump r = refs.(r) <- refs.(r) + 1 in
+        let rec walk tape =
+          Array.iter
+            (fun ins ->
+              (match ins with
+              | Oconst (d, _) | Ovar (d, _) | Oload (d, _) | Oopaque (d, _)
+              | Oadd (d, _, _) | Osub (d, _, _) | Omul (d, _, _)
+              | Odiv (d, _, _) | Omin (d, _, _) | Omax (d, _, _)
+              | Opow (d, _, _) | Oneg (d, _) | Oabs (d, _) | Osqrt (d, _)
+              | Oexp (d, _) | Olog (d, _) | Ofloor (d, _) | Oidiv (d, _, _)
+              | Oimod (d, _, _) | Ocast (d, _, _) | Oselect (d, _, _, _, _, _)
+                ->
+                emits.(d) <- emits.(d) + 1);
+              match ins with
+              | Oconst _ | Ovar _ | Oload _ | Oopaque _ -> ()
+              | Oadd (_, a, b) | Osub (_, a, b) | Omul (_, a, b)
+              | Odiv (_, a, b) | Omin (_, a, b) | Omax (_, a, b)
+              | Opow (_, a, b) ->
+                bump a;
+                bump b
+              | Oneg (_, a) | Oabs (_, a) | Osqrt (_, a) | Oexp (_, a)
+              | Olog (_, a) | Ofloor (_, a) | Oidiv (_, a, _)
+              | Oimod (_, a, _) | Ocast (_, _, a) ->
+                bump a
+              | Oselect (_, dec, bt, rt, be, re) ->
+                (match dec with Sdyn c -> walk_cond c | Saff _ -> ());
+                walk bt;
+                bump rt;
+                walk be;
+                bump re)
+            tape
+        and walk_cond c =
+          match c with
+          | Scmp (_, ba, ra, bb, rb) ->
+            walk ba;
+            bump ra;
+            walk bb;
+            bump rb
+          | Sand (a, b) | Sor (a, b) ->
+            walk_cond a;
+            walk_cond b
+          | Snot a -> walk_cond a
+        in
+        walk inv;
+        walk inn;
+        let s = ref 0 in
+        for r = 0 to !n_nodes - 1 do
+          let cheap =
+            match (node r).shape with
+            | Nconst _ | Nvar _ -> true
+            | _ -> false
+          in
+          if (not cheap) && refs.(r) > emits.(r) then
+            s := !s + (refs.(r) - emits.(r))
+        done;
+        !s
+      in
+      if not ((tape_native inv && tape_native inn) || cse_savings () >= 4)
+      then None
+      else
+        Some
+          {
+            nvars;
+            regs = Array.make (max 1 !n_nodes) 0.;
+            cursors = Array.of_list (List.rev !cursors);
+            iselects = Array.of_list (List.rev !iselects);
+            invariant = inv;
+            inner = inn;
+            root;
+            unsafe;
+          }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec run_tape regs (tape : instr array) coords unsafe =
+  for k = 0 to Array.length tape - 1 do
+    match Array.unsafe_get tape k with
+    | Oconst (d, x) -> Array.unsafe_set regs d x
+    | Ovar (d, i) ->
+      Array.unsafe_set regs d (float_of_int (Array.unsafe_get coords i))
+    | Oload (d, cur) ->
+      Array.unsafe_set regs d
+        (if unsafe then Array.unsafe_get cur.cview.Eval.data cur.cpos
+         else Eval.checked_get cur.cview cur.cpos)
+    | Oopaque (d, f) -> Array.unsafe_set regs d (f coords)
+    | Oadd (d, a, b) ->
+      Array.unsafe_set regs d
+        (Array.unsafe_get regs a +. Array.unsafe_get regs b)
+    | Osub (d, a, b) ->
+      Array.unsafe_set regs d
+        (Array.unsafe_get regs a -. Array.unsafe_get regs b)
+    | Omul (d, a, b) ->
+      Array.unsafe_set regs d
+        (Array.unsafe_get regs a *. Array.unsafe_get regs b)
+    | Odiv (d, a, b) ->
+      Array.unsafe_set regs d
+        (Array.unsafe_get regs a /. Array.unsafe_get regs b)
+    | Omin (d, a, b) ->
+      Array.unsafe_set regs d
+        (Float.min (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+    | Omax (d, a, b) ->
+      Array.unsafe_set regs d
+        (Float.max (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+    | Opow (d, a, b) ->
+      Array.unsafe_set regs d
+        (Float.pow (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+    | Oneg (d, a) -> Array.unsafe_set regs d (-.(Array.unsafe_get regs a))
+    | Oabs (d, a) ->
+      Array.unsafe_set regs d (Float.abs (Array.unsafe_get regs a))
+    | Osqrt (d, a) ->
+      Array.unsafe_set regs d (Float.sqrt (Array.unsafe_get regs a))
+    | Oexp (d, a) ->
+      Array.unsafe_set regs d (Float.exp (Array.unsafe_get regs a))
+    | Olog (d, a) ->
+      Array.unsafe_set regs d (Float.log (Array.unsafe_get regs a))
+    | Ofloor (d, a) ->
+      Array.unsafe_set regs d (Float.floor (Array.unsafe_get regs a))
+    | Oidiv (d, a, fn) ->
+      Array.unsafe_set regs d (Float.floor (Array.unsafe_get regs a /. fn))
+    | Oimod (d, a, fn) ->
+      let x = Array.unsafe_get regs a in
+      Array.unsafe_set regs d (x -. (fn *. Float.floor (x /. fn)))
+    | Ocast (d, ty, a) ->
+      Array.unsafe_set regs d (Types.clamp_store ty (Array.unsafe_get regs a))
+    | Oselect (d, dec, bt, rt, be, re) ->
+      let taken =
+        match dec with
+        | Saff s ->
+          let j = Array.unsafe_get coords s.ijvar in
+          j >= s.itlo && j <= s.ithi
+        | Sdyn c -> run_scond regs coords unsafe c
+      in
+      if taken then begin
+        run_tape regs bt coords unsafe;
+        Array.unsafe_set regs d (Array.unsafe_get regs rt)
+      end
+      else begin
+        run_tape regs be coords unsafe;
+        Array.unsafe_set regs d (Array.unsafe_get regs re)
+      end
+  done
+
+and run_scond regs coords unsafe c =
+  match c with
+  | Scmp (op, ba, ra, bb, rb) ->
+    run_tape regs ba coords unsafe;
+    run_tape regs bb coords unsafe;
+    let x = Array.unsafe_get regs ra and y = Array.unsafe_get regs rb in
+    (match op with
+    | Ast.Lt -> x < y
+    | Ast.Le -> x <= y
+    | Ast.Gt -> x > y
+    | Ast.Ge -> x >= y
+    | Ast.Eq -> x = y
+    | Ast.Ne -> x <> y)
+  | Sand (a, b) ->
+    run_scond regs coords unsafe a && run_scond regs coords unsafe b
+  | Sor (a, b) ->
+    run_scond regs coords unsafe a || run_scond regs coords unsafe b
+  | Snot a -> not (run_scond regs coords unsafe a)
+
+let run_row t ~vec ~ty ~data ~pos0 ~dstride ~coords ~lo ~hi =
+  let nv = t.nvars in
+  let cursors = t.cursors in
+  (* row setup: absolute start position per cursor, from the view's
+     current offset (the executor repositions views between tiles) *)
+  for c = 0 to Array.length cursors - 1 do
+    let cur = Array.unsafe_get cursors c in
+    let p = ref (cur.cview.Eval.off + cur.cconst + (cur.cdelta * lo)) in
+    for v = 0 to nv - 2 do
+      p := !p + (cur.ccoefs.(v) * Array.unsafe_get coords v)
+    done;
+    cur.cpos <- !p
+  done;
+  let isels = t.iselects in
+  for s = 0 to Array.length isels - 1 do
+    let is = Array.unsafe_get isels s in
+    let tlo, thi = eval_acond coords nv is.iacond in
+    is.itlo <- tlo;
+    is.ithi <- thi
+  done;
+  coords.(nv - 1) <- lo;
+  let regs = t.regs and unsafe = t.unsafe in
+  run_tape regs t.invariant coords unsafe;
+  let inner = t.inner and root = t.root in
+  let ncur = Array.length cursors in
+  let advance () =
+    for c = 0 to ncur - 1 do
+      let cur = Array.unsafe_get cursors c in
+      cur.cpos <- cur.cpos + cur.cdelta
+    done
+  in
+  if vec then begin
+    (* 4x unrolled, bounds-check-free stores: mirrors the closure
+       path's "vectorized" row loop *)
+    let j = ref lo and pos = ref pos0 in
+    while !j + 3 <= hi do
+      let j0 = !j in
+      coords.(nv - 1) <- j0;
+      run_tape regs inner coords unsafe;
+      let v0 = Types.clamp_store ty (Array.unsafe_get regs root) in
+      advance ();
+      coords.(nv - 1) <- j0 + 1;
+      run_tape regs inner coords unsafe;
+      let v1 = Types.clamp_store ty (Array.unsafe_get regs root) in
+      advance ();
+      coords.(nv - 1) <- j0 + 2;
+      run_tape regs inner coords unsafe;
+      let v2 = Types.clamp_store ty (Array.unsafe_get regs root) in
+      advance ();
+      coords.(nv - 1) <- j0 + 3;
+      run_tape regs inner coords unsafe;
+      let v3 = Types.clamp_store ty (Array.unsafe_get regs root) in
+      advance ();
+      let base = !pos in
+      Array.unsafe_set data base v0;
+      Array.unsafe_set data (base + dstride) v1;
+      Array.unsafe_set data (base + (2 * dstride)) v2;
+      Array.unsafe_set data (base + (3 * dstride)) v3;
+      pos := base + (4 * dstride);
+      j := j0 + 4
+    done;
+    for j2 = !j to hi do
+      coords.(nv - 1) <- j2;
+      run_tape regs inner coords unsafe;
+      Array.unsafe_set data !pos (Types.clamp_store ty (Array.unsafe_get regs root));
+      advance ();
+      pos := !pos + dstride
+    done
+  end
+  else begin
+    let pos = ref pos0 in
+    for j = lo to hi do
+      coords.(nv - 1) <- j;
+      run_tape regs inner coords unsafe;
+      data.(!pos) <- Types.clamp_store ty (Array.unsafe_get regs root);
+      advance ();
+      pos := !pos + dstride
+    done
+  end

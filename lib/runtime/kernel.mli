@@ -1,0 +1,87 @@
+(** Flat row kernels for the native executor.
+
+    The closure compiler ({!Eval.compile}) turns each AST node into an
+    [int array -> float] closure; evaluating a pixel then walks a tree
+    of indirect calls, each of which boxes its float result.  This
+    module instead compiles a stage body into a flat instruction tape
+    over a preallocated float register file, with three optimizations:
+
+    - {b common-subexpression elimination} — the body is hash-consed
+      into a DAG, so a shared subexpression is computed once per pixel
+      (or once per row, see below) no matter how often it occurs;
+    - {b access cursors} — a stage/image reference whose indices are
+      affine in the loop variables is strength-reduced to a flat
+      position that advances by a constant per pixel, replacing the
+      per-pixel multiply-and-sum of the closure path;
+    - {b loop-invariant hoisting} — maximal subtrees independent of
+      the innermost variable are evaluated once per row.
+
+    [Select] arms (and comparison operands) compile to nested lazy
+    sub-tapes: only the taken branch executes, preserving the guarding
+    semantics of the closure path (a select arm may be out-of-window
+    when not taken).  Anything the tape cannot express — non-affine
+    accesses, unbound parameters — falls back to an embedded closure
+    for that subtree, so compilation never changes semantics.
+
+    All arithmetic replicates {!Eval} operation by operation, so a
+    kernel is bit-identical to the closure path. *)
+
+open Polymage_ir
+
+type t
+
+type info = {
+  n_regs : int;
+  n_invariant : int;  (** instructions run once per row *)
+  n_inner : int;  (** instructions run once per pixel *)
+  n_cursors : int;  (** strength-reduced accesses *)
+}
+
+val stats : t -> info
+
+val affine_of :
+  vars:Types.var list ->
+  bindings:Types.bindings ->
+  Ast.expr ->
+  (int array * int) option
+(** [affine_of ~vars ~bindings e] is [Some (coefs, const)] when [e]
+    equals [const + sum coefs.(i) * vars_i] for all variable values,
+    with parameters folded via [bindings]; [None] when [e] is not
+    affine in [vars] (or a parameter is unbound).  Exposed for
+    property tests of cursor stride computation. *)
+
+val compile :
+  unsafe:bool ->
+  vars:Types.var list ->
+  bindings:Types.bindings ->
+  lookup:(Eval.source -> Eval.view) ->
+  self:int ->
+  Ast.expr ->
+  t option
+(** Compile a stage body to a row kernel.  [vars] orders the
+    coordinate array (last = innermost); [self] is the [fid] of the
+    stage being computed — reads of it are never hoisted, since the
+    row being written may alias them.  Returns [None] when the body
+    would degenerate to a single fallback closure (no advantage) or
+    the stage has no variables.  Like {!Eval.compile}, [lookup] is
+    called once per reference site at compile time, so the kernel must
+    be built where the closure would have been (per worker, after
+    views exist). *)
+
+val run_row :
+  t ->
+  vec:bool ->
+  ty:Types.scalar ->
+  data:float array ->
+  pos0:int ->
+  dstride:int ->
+  coords:int array ->
+  lo:int ->
+  hi:int ->
+  unit
+(** Evaluate one row: for [j] from [lo] to [hi], set the innermost
+    coordinate to [j] and store the clamped result at
+    [pos0 + (j - lo) * dstride] in [data].  Outer coordinates must
+    already be set in [coords] (its innermost slot is clobbered).
+    [vec] selects the 4x-unrolled loop with unchecked stores,
+    mirroring the closure path's vectorized row loop. *)

@@ -1,0 +1,14 @@
+(* Floor/ceil integer division and positive modulo, shared by the
+   runtime executors and the polyhedral machinery.  OCaml's [/] and
+   [mod] truncate toward zero; tile and window arithmetic needs the
+   flooring variants. *)
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r < 0 <> (b < 0) then q - 1 else q
+
+let ceil_div a b = -floor_div (-a) b
+
+let pos_mod a n =
+  let r = a mod n in
+  if r < 0 then r + abs n else r

@@ -1,0 +1,14 @@
+(** Flooring integer division helpers.  OCaml's [/] and [mod] truncate
+    toward zero; loop-bound and tile arithmetic needs the flooring
+    behaviour for negative operands. *)
+
+val floor_div : int -> int -> int
+(** [floor_div a b] is [floor (a / b)] in exact arithmetic, for any
+    nonzero [b] and any sign of [a]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] in exact arithmetic. *)
+
+val pos_mod : int -> int -> int
+(** [pos_mod a n] is the representative of [a mod n] in
+    [\[0, abs n)]. *)

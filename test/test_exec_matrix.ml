@@ -7,7 +7,20 @@ module Apps = Polymage_apps.Apps
 
 let variants env =
   let opt = C.Options.opt ~estimates:env () in
+  let no_k o = { o with C.Options.kernels = false } in
   [
+    (* The baseline uses row kernels (kernels=true is the default);
+       disabling them exercises the closure trees, so these variants
+       pin kernel-vs-closure bit-identity on every executor. *)
+    ("base no kernels", no_k (C.Options.base ~estimates:env ()));
+    ("base+vec", { (C.Options.base ~estimates:env ()) with C.Options.vec = true });
+    ( "base+vec no kernels",
+      no_k { (C.Options.base ~estimates:env ()) with C.Options.vec = true } );
+    ("opt no kernels", no_k opt);
+    ("opt+vec no kernels", no_k (C.Options.opt_vec ~estimates:env ()));
+    ( "parallelogram no kernels",
+      no_k { opt with C.Options.tiling = C.Options.Parallelogram } );
+    ("split no kernels", no_k { opt with C.Options.tiling = C.Options.Split });
     ("opt tile 32x256 (paper default)", opt);
     ("opt+vec", C.Options.opt_vec ~estimates:env ());
     ("opt tile 8x8", C.Options.with_tile [| 8; 8 |] opt);

@@ -1,0 +1,185 @@
+(* Property tests for the row-kernel compiler's affine access
+   analysis (cursor stride computation), plus regression tests for the
+   non-positive-divisor validation added alongside it. *)
+open Polymage_ir
+module Kernel = Polymage_rt.Kernel
+module Dsl = Polymage_dsl.Dsl
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* A random expression that is affine in [vars] by construction:
+   sums, differences and negations of variables, integer constants and
+   bound parameters, with multiplication restricted to a const-like
+   factor on either side. *)
+let affine_instance =
+  let open QCheck.Gen in
+  let* nv = int_range 2 3 in
+  let vars = List.init nv (fun _ -> Types.var ()) in
+  let* np = int_range 0 2 in
+  let params = List.init np (fun _ -> Types.param ()) in
+  let* pvals = flatten_l (List.map (fun _ -> int_range 1 20) params) in
+  let bindings = List.combine params pvals in
+  let varr = Array.of_list vars and parr = Array.of_list params in
+  let const_leaf =
+    oneof
+      ([ map (fun c -> Ast.Const (float_of_int c)) (int_range (-9) 9) ]
+      @
+      if np > 0 then
+        [ map (fun i -> Ast.Param parr.(i)) (int_range 0 (np - 1)) ]
+      else [])
+  in
+  let leaf =
+    oneof
+      [ const_leaf; map (fun i -> Ast.Var varr.(i)) (int_range 0 (nv - 1)) ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          ( 2,
+            map2
+              (fun a b -> Ast.Binop (Ast.Add, a, b))
+              (tree (depth - 1)) (tree (depth - 1)) );
+          ( 2,
+            map2
+              (fun a b -> Ast.Binop (Ast.Sub, a, b))
+              (tree (depth - 1)) (tree (depth - 1)) );
+          (1, map (fun a -> Ast.Unop (Ast.Neg, a)) (tree (depth - 1)));
+          ( 1,
+            map2
+              (fun c a -> Ast.Binop (Ast.Mul, c, a))
+              const_leaf (tree (depth - 1)) );
+          ( 1,
+            map2
+              (fun a c -> Ast.Binop (Ast.Mul, a, c))
+              (tree (depth - 1)) const_leaf );
+        ]
+  in
+  let* e = tree 4 in
+  let* coords =
+    list_repeat 5 (flatten_l (List.map (fun _ -> int_range (-50) 50) vars))
+  in
+  return (vars, bindings, e, coords)
+
+let arb_affine =
+  QCheck.make
+    ~print:(fun (_, _, e, _) -> Expr.to_string e)
+    affine_instance
+
+let eval_at vars bindings e coord =
+  let var v =
+    let rec idx i = function
+      | [] -> QCheck.Test.fail_report "free var not in vars"
+      | w :: tl -> if Types.var_equal v w then i else idx (i + 1) tl
+    in
+    float_of_int (List.nth coord (idx 0 vars))
+  in
+  let param p = float_of_int (Types.bind_exn bindings p) in
+  Expr.eval ~var ~param
+    ~call:(fun _ _ -> QCheck.Test.fail_report "unexpected call")
+    ~img:(fun _ _ -> QCheck.Test.fail_report "unexpected img")
+    e
+
+let affine_props =
+  [
+    prop "affine_of matches direct evaluation" 500 arb_affine
+      (fun (vars, bindings, e, coords) ->
+        match Kernel.affine_of ~vars ~bindings e with
+        | None -> false (* affine by construction: must be recognized *)
+        | Some (coefs, const) ->
+          Array.length coefs = List.length vars
+          && List.for_all
+               (fun coord ->
+                 let lin =
+                   List.fold_left ( + ) const
+                     (List.mapi (fun i c -> coefs.(i) * c) coord)
+                 in
+                 eval_at vars bindings e coord = float_of_int lin)
+               coords);
+    prop "affine_of is invariant under simplify" 500 arb_affine
+      (fun (vars, bindings, e, _) ->
+        match
+          ( Kernel.affine_of ~vars ~bindings e,
+            Kernel.affine_of ~vars ~bindings (Expr.simplify e) )
+        with
+        | Some (c1, k1), Some (c2, k2) -> c1 = c2 && k1 = k2
+        | _ -> false);
+  ]
+
+let nonaffine_units () =
+  let x = Types.var () and y = Types.var () in
+  let vars = [ x; y ] in
+  let none name e =
+    Alcotest.(check bool)
+      name true
+      (Kernel.affine_of ~vars ~bindings:[] e = None)
+  in
+  none "var * var" (Ast.Binop (Ast.Mul, Ast.Var x, Ast.Var y));
+  none "integer division" (Ast.IDiv (Ast.Var x, 2));
+  none "modulo" (Ast.IMod (Ast.Var y, 2));
+  none "sqrt" (Ast.Unop (Ast.Sqrt, Ast.Var x));
+  none "non-integer constant" (Ast.Binop (Ast.Add, Ast.Var x, Ast.Const 0.5));
+  none "unbound parameter" (Ast.Param (Types.param ()));
+  none "division by expr" (Ast.Binop (Ast.Div, Ast.Var x, Ast.Const 2.));
+  (* sanity: the same shapes with legal ingredients are accepted *)
+  let p = Types.param () in
+  match
+    Kernel.affine_of ~vars
+      ~bindings:[ (p, 7) ]
+      (Ast.Binop
+         ( Ast.Add,
+           Ast.Binop (Ast.Mul, Ast.Param p, Ast.Var y),
+           Ast.Binop (Ast.Sub, Ast.Var x, Ast.Const 3.) ))
+  with
+  | Some (coefs, const) ->
+    Alcotest.(check (array int)) "coefs p*y + x - 3" [| 1; 7 |] coefs;
+    Alcotest.(check int) "const p*y + x - 3" (-3) const
+  | None -> Alcotest.fail "p*y + x - 3 should be affine"
+
+(* Non-positive divisors are rejected at both entry points: the DSL
+   operators and pipeline construction (for IRs built directly). *)
+let divisor_units () =
+  let x = Types.var () in
+  let raises name f =
+    Alcotest.(check bool)
+      name true
+      (match f () with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+  in
+  raises "( /^ ) 0" (fun () -> Dsl.( /^ ) (Ast.Var x) 0);
+  raises "( /^ ) -2" (fun () -> Dsl.( /^ ) (Ast.Var x) (-2));
+  raises "( %^ ) 0" (fun () -> Dsl.( %^ ) (Ast.Var x) 0);
+  raises "( %^ ) -1" (fun () -> Dsl.( %^ ) (Ast.Var x) (-1));
+  let build_with e =
+    let f =
+      Ast.func ~name:"bad" Types.Float
+        [ (x, Interval.of_ints 0 7) ]
+    in
+    f.Ast.fbody <- Ast.Cases [ { ccond = None; rhs = e } ];
+    Pipeline.build ~outputs:[ f ]
+  in
+  let rejects name e =
+    Alcotest.(check bool)
+      name true
+      (match build_with e with
+      | exception Pipeline.Invalid_pipeline _ -> true
+      | _ -> false)
+  in
+  rejects "build rejects IDiv by 0" (Ast.IDiv (Ast.Var x, 0));
+  rejects "build rejects IMod by -2" (Ast.IMod (Ast.Var x, -2));
+  match build_with (Ast.IDiv (Ast.Var x, 2)) with
+  | _ -> ()
+  | exception Pipeline.Invalid_pipeline m ->
+    Alcotest.fail ("positive divisor wrongly rejected: " ^ m)
+
+let suite =
+  ( "kernel",
+    [
+      Alcotest.test_case "non-affine shapes rejected" `Quick nonaffine_units;
+      Alcotest.test_case "non-positive divisors rejected" `Quick divisor_units;
+    ]
+    @ affine_props )

@@ -9,6 +9,7 @@ let () =
       Test_runtime.suite;
       Test_eval.suite;
       Test_more_props.suite;
+      Test_kernel.suite;
       Test_exec_matrix.suite;
       Test_random.suite;
       Test_apps.suite;

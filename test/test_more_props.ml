@@ -31,7 +31,7 @@ let access_gen =
     in
     return (num, den, off, e))
 
-let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let floor_div = Polymage_util.Intmath.floor_div
 
 let access_semantics =
   prop "access extraction computes floor((n*x+o)/d)" 300

@@ -1,7 +1,8 @@
-(* Unit and property tests for the utility library: exact rationals
-   and topological sorting. *)
+(* Unit and property tests for the utility library: exact rationals,
+   flooring integer division, and topological sorting. *)
 module Q = Polymage_util.Rational
 module Topo = Polymage_util.Topo
+module Im = Polymage_util.Intmath
 
 let qgen =
   QCheck.Gen.(
@@ -53,6 +54,42 @@ let rational_units () =
   Alcotest.check_raises "make 1 0" (Invalid_argument "Rational.make: zero denominator")
     (fun () -> ignore (Q.make 1 0))
 
+let intmath_units () =
+  let check name exp got = Alcotest.(check int) name exp got in
+  check "floor_div 7 2" 3 (Im.floor_div 7 2);
+  check "floor_div (-7) 2" (-4) (Im.floor_div (-7) 2);
+  check "floor_div 7 (-2)" (-4) (Im.floor_div 7 (-2));
+  check "floor_div (-7) (-2)" 3 (Im.floor_div (-7) (-2));
+  check "floor_div (-8) 2" (-4) (Im.floor_div (-8) 2);
+  check "floor_div 0 5" 0 (Im.floor_div 0 5);
+  check "ceil_div 7 2" 4 (Im.ceil_div 7 2);
+  check "ceil_div (-7) 2" (-3) (Im.ceil_div (-7) 2);
+  check "ceil_div 8 2" 4 (Im.ceil_div 8 2);
+  check "pos_mod 7 3" 1 (Im.pos_mod 7 3);
+  check "pos_mod (-7) 3" 2 (Im.pos_mod (-7) 3);
+  check "pos_mod (-6) 3" 0 (Im.pos_mod (-6) 3);
+  check "pos_mod (-7) (-3)" 2 (Im.pos_mod (-7) (-3))
+
+let nonzero_gen = QCheck.Gen.(map (fun d -> if d = 0 then 1 else d) (int_range (-200) 200))
+
+let intmath_props =
+  let arb = QCheck.make QCheck.Gen.(pair (int_range (-10000) 10000) nonzero_gen) in
+  [
+    prop "floor_div brackets the quotient" 1000 arb (fun (a, b) ->
+        let q = Im.floor_div a b in
+        (* q = floor(a/b): q*b <= a < (q+1)*b when b > 0, reversed when b < 0 *)
+        if b > 0 then (q * b) <= a && a < ((q + 1) * b)
+        else (q * b) >= a && a > ((q + 1) * b));
+    prop "ceil_div = -floor_div(-a)" 1000 arb (fun (a, b) ->
+        Im.ceil_div a b = -Im.floor_div (-a) b);
+    prop "floor_div/pos_mod decompose (b > 0)" 1000 arb (fun (a, b) ->
+        let b = abs b in
+        (Im.floor_div a b * b) + Im.pos_mod a b = a);
+    prop "pos_mod in range" 1000 arb (fun (a, b) ->
+        let r = Im.pos_mod a b in
+        0 <= r && r < abs b);
+  ]
+
 let topo_units () =
   (* diamond: 0 -> 1,2 -> 3 *)
   let succs = function 0 -> [ 1; 2 ] | 1 -> [ 3 ] | 2 -> [ 3 ] | _ -> [] in
@@ -97,6 +134,7 @@ let suite =
   ( "util",
     [
       Alcotest.test_case "rational units" `Quick rational_units;
+      Alcotest.test_case "intmath units" `Quick intmath_units;
       Alcotest.test_case "topo units" `Quick topo_units;
     ]
-    @ rational_props @ topo_props )
+    @ rational_props @ intmath_props @ topo_props )
