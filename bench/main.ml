@@ -23,6 +23,15 @@ module Tune = Polymage_tune.Tune
 
 let opt_workers = [ 1; 2; 4 ]
 
+(* --safe routes executions through the degradation ladder; --fault
+   arms the injector process-wide, so any bench can be exercised under
+   an injected failure. *)
+let safe_mode = ref false
+
+let execute plan env ~images =
+  if !safe_mode then fst (Rt.Executor.run_safe plan env ~images)
+  else Rt.Executor.run plan env ~images
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: the computation patterns of the DSL                        *)
 (* ------------------------------------------------------------------ *)
@@ -132,7 +141,7 @@ let table1 () =
       let t_of opts =
         let plan = C.Compile.run opts ~outputs:[ out ] in
         let imgs = images plan in
-        time_ms (fun () -> Rt.Executor.run plan env ~images:imgs)
+        time_ms (fun () -> execute plan env ~images:imgs)
       in
       let tb = t_of (C.Options.base ~estimates:env ()) in
       let to_ = t_of (C.Options.opt_vec ~estimates:env ()) in
@@ -294,10 +303,16 @@ let fig9 ~quick () =
         "t_seq(ms)" "t_par(ms)" "groups";
       List.iter
         (fun (s : Tune.sample) ->
-          printf "  %6d %6d %6.1f %10.2f %10.2f %7d%s\n" s.tile.(0)
-            s.tile.(1) s.threshold (s.time_seq *. 1000.)
-            (s.time_par *. 1000.) s.n_groups
-            (if s == r.best then "  <= best" else ""))
+          match s.status with
+          | Tune.Timed t ->
+            printf "  %6d %6d %6.1f %10.2f %10.2f %7d%s\n" s.tile.(0)
+              s.tile.(1) s.threshold (t.time_seq *. 1000.)
+              (t.time_par *. 1000.) t.n_groups
+              (if s == r.best then "  <= best" else "")
+          | Tune.Failed e ->
+            printf "  %6d %6d %6.1f failed: %s\n" s.tile.(0) s.tile.(1)
+              s.threshold
+              (Polymage_util.Err.to_string e))
         r.samples)
     [ "pyramid_blend"; "camera_pipe"; "interpolate" ]
 
@@ -539,6 +554,13 @@ let () =
         "FILE  write the row-kernel timings as JSON" );
       ("--quick", Arg.Set quick, "smaller search spaces");
       ("--scale", Arg.Set_int scale, "size divisor vs paper sizes (default 4)");
+      ( "--fault",
+        Arg.String
+          (fun s ->
+            let { Rt.Fault.site; seed } = Rt.Fault.parse s in
+            Rt.Fault.arm ~site ~seed),
+        "SITE:SEED  arm the fault injector" );
+      ("--safe", Arg.Set safe_mode, "execute through the degradation ladder");
     ]
     (fun _ -> ())
     "polymage benchmark harness";

@@ -140,6 +140,33 @@ let codegen_cmd =
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
       $ threshold_flag $ out_flag)
 
+let fault_flag =
+  let parse s =
+    match Rt.Fault.parse s with
+    | { Rt.Fault.site; seed } -> Ok (site, seed)
+    | exception Polymage_util.Err.Polymage_error e ->
+      Error (`Msg (Polymage_util.Err.to_string e))
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, fun ppf (s, n) -> Format.fprintf ppf "%s:%d" s n)))
+        None
+    & info [ "fault" ] ~docv:"SITE:SEED"
+        ~doc:
+          (Printf.sprintf
+             "Arm the fault injector: the SEED-th hit of SITE raises (sites: \
+              %s)"
+             (String.concat ", " Rt.Fault.sites)))
+
+let safe_flag =
+  Arg.(
+    value & flag
+    & info [ "safe" ]
+        ~doc:
+          "Execute with graceful degradation: on failure retry down the \
+           ladder opt+vec+kernels -> opt -> naive, reporting each \
+           degradation")
+
 let run_cmd =
   let repeats_flag =
     Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"Timed repetitions")
@@ -150,21 +177,37 @@ let run_cmd =
       & info [ "no-kernels" ]
           ~doc:"Evaluate with closure trees instead of row kernels (ablation)")
   in
-  let run (app : App.t) size config tile threshold workers repeats no_kernels =
+  let run (app : App.t) size config tile threshold workers repeats no_kernels
+      safe fault =
     let env = env_of app size in
     let opts = options_of config tile threshold workers env in
-    let opts = { opts with C.Options.kernels = not no_kernels } in
+    let opts =
+      C.Options.with_fault fault
+        { opts with C.Options.kernels = not no_kernels }
+    in
     let plan = C.Compile.run opts ~outputs:app.outputs in
     let images =
       List.map
         (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
         plan.pipe.Pipeline.images
     in
-    let res = ref (Rt.Executor.run plan env ~images) in
+    let execute () =
+      if not safe then Rt.Executor.run plan env ~images
+      else begin
+        let r, degradations = Rt.Executor.run_safe plan env ~images in
+        List.iter
+          (fun (d : Rt.Executor.degradation) ->
+            Printf.printf "  degraded from %s: %s\n" d.rung
+              (Polymage_util.Err.to_string d.error))
+          degradations;
+        r
+      end
+    in
+    let res = ref (execute ()) in
     let best = ref infinity in
     for _ = 1 to repeats do
       let t0 = Unix.gettimeofday () in
-      res := Rt.Executor.run plan env ~images;
+      res := execute ();
       let t = Unix.gettimeofday () -. t0 in
       if t < !best then best := t
     done;
@@ -180,7 +223,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute the pipeline and report timing")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ workers_flag $ repeats_flag $ no_kernels_flag)
+      $ threshold_flag $ workers_flag $ repeats_flag $ no_kernels_flag
+      $ safe_flag $ fault_flag)
 
 let tune_cmd =
   let tiles_flag =
@@ -204,9 +248,7 @@ let tune_cmd =
     in
     List.iter
       (fun (s : Tune.sample) ->
-        Printf.printf "tile=%dx%d thresh=%.1f  seq %.2f ms  par %.2f ms%s\n"
-          s.tile.(0) s.tile.(1) s.threshold (s.time_seq *. 1000.)
-          (s.time_par *. 1000.)
+        Format.printf "%a%s@." Tune.pp_sample s
           (if s == r.best then "   <= best" else ""))
       r.samples
   in

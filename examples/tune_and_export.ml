@@ -28,8 +28,7 @@ let () =
   in
   List.iter
     (fun (s : Tune.sample) ->
-      Format.printf "  tile %3dx%-3d thresh %.1f: %7.2f ms%s@." s.tile.(0)
-        s.tile.(1) s.threshold (s.time_par *. 1000.)
+      Format.printf "  %a%s@." Tune.pp_sample s
         (if s == r.best then "   <= best" else ""))
     r.samples;
   let best = Tune.best_options r ~estimates:env ~workers:4 in

@@ -1,18 +1,28 @@
 module C = Polymage_compiler
 module Rt = Polymage_rt
+module Err = Polymage_util.Err
 
 let paper_tiles = [ 8; 16; 32; 64; 128; 256; 512 ]
 let paper_thresholds = [ 0.2; 0.4; 0.5 ]
 
-type sample = {
-  tile : int array;
-  threshold : float;
-  time_seq : float;
-  time_par : float;
-  n_groups : int;
-}
+type status =
+  | Timed of { time_seq : float; time_par : float; n_groups : int }
+  | Failed of Err.t
 
+type sample = { tile : int array; threshold : float; status : status }
 type result = { samples : sample list; best : sample }
+
+let time_par s =
+  match s.status with Timed t -> Some t.time_par | Failed _ -> None
+
+let pp_sample ppf s =
+  Format.fprintf ppf "tile=%dx%d thresh=%.1f  " s.tile.(0) s.tile.(1)
+    s.threshold;
+  match s.status with
+  | Timed t ->
+    Format.fprintf ppf "seq %.2f ms  par %.2f ms  groups %d"
+      (t.time_seq *. 1000.) (t.time_par *. 1000.) t.n_groups
+  | Failed e -> Format.fprintf ppf "FAILED: %a" Err.pp e
 
 let time_run ~repeats pool plan env images =
   let best = ref infinity in
@@ -25,7 +35,7 @@ let time_run ~repeats pool plan env images =
   !best
 
 let explore ?(tiles = [ 16; 32; 64; 128 ]) ?(thresholds = paper_thresholds)
-    ?(workers = 4) ?(repeats = 1) ~outputs ~env ~images () =
+    ?(workers = 4) ?(repeats = 1) ?budget ~outputs ~env ~images () =
   let pool = if workers > 1 then Some (Rt.Pool.create workers) else None in
   let samples = ref [] in
   Fun.protect
@@ -38,42 +48,67 @@ let explore ?(tiles = [ 16; 32; 64; 128 ]) ?(thresholds = paper_thresholds)
               List.iter
                 (fun threshold ->
                   let tile = [| ty; tx |] in
-                  let opts =
-                    C.Options.with_threshold threshold
-                      (C.Options.with_tile tile
-                         (C.Options.opt_vec ~estimates:env ()))
+                  (* Each candidate is isolated: a configuration that
+                     crashes (or blows its time budget) becomes a
+                     [Failed] sample and the sweep continues.  Domains
+                     cannot be interrupted, so the budget is soft —
+                     checked between the compile/run phases of the
+                     candidate. *)
+                  let status =
+                    try
+                      let t_start = Unix.gettimeofday () in
+                      let checkpoint what =
+                        match budget with
+                        | Some b when Unix.gettimeofday () -. t_start > b ->
+                          Err.failf Err.Exec
+                            ~stage:(Printf.sprintf "tile=%dx%d" ty tx)
+                            "Tune.explore: candidate over budget (> %.3fs) \
+                             after %s"
+                            b what
+                        | _ -> ()
+                      in
+                      let opts =
+                        C.Options.with_threshold threshold
+                          (C.Options.with_tile tile
+                             (C.Options.opt_vec ~estimates:env ()))
+                      in
+                      let plan = C.Compile.run opts ~outputs in
+                      (* one warm-up at this configuration *)
+                      ignore (Rt.Executor.run plan env ~images);
+                      checkpoint "warm-up";
+                      let time_seq =
+                        let plan1 =
+                          C.Compile.run { opts with workers = 1 } ~outputs
+                        in
+                        time_run ~repeats None plan1 env images
+                      in
+                      checkpoint "sequential timing";
+                      let time_par =
+                        time_run ~repeats pool
+                          { plan with opts = { plan.opts with workers } }
+                          env images
+                      in
+                      Timed
+                        {
+                          time_seq;
+                          time_par;
+                          n_groups = C.Plan.n_tiled_groups plan;
+                        }
+                    with e -> Failed (Err.of_exn e)
                   in
-                  let plan = C.Compile.run opts ~outputs in
-                  (* one warm-up at this configuration *)
-                  ignore (Rt.Executor.run plan env ~images);
-                  let time_seq =
-                    let plan1 =
-                      C.Compile.run { opts with workers = 1 } ~outputs
-                    in
-                    time_run ~repeats None plan1 env images
-                  in
-                  let time_par =
-                    time_run ~repeats pool
-                      { plan with opts = { plan.opts with workers } }
-                      env images
-                  in
-                  samples :=
-                    {
-                      tile;
-                      threshold;
-                      time_seq;
-                      time_par;
-                      n_groups = C.Plan.n_tiled_groups plan;
-                    }
-                    :: !samples)
+                  samples := { tile; threshold; status } :: !samples)
                 thresholds)
             tiles)
         tiles);
   let samples = List.rev !samples in
   let best =
-    List.fold_left
-      (fun acc s -> if s.time_par < acc.time_par then s else acc)
-      (List.hd samples) samples
+    match List.filter (fun s -> time_par s <> None) samples with
+    | [] ->
+      Err.fail Err.Exec "Tune.explore: every candidate configuration failed"
+    | hd :: tl ->
+      List.fold_left
+        (fun acc s -> if time_par s < time_par acc then s else acc)
+        hd tl
   in
   { samples; best }
 

@@ -5,7 +5,12 @@
 
     The paper's full space is tile sizes {8..512} per dimension and
     thresholds {0.2, 0.4, 0.5}; pass subsets to bound wall-clock time
-    on slow machines. *)
+    on slow machines.
+
+    The sweep is resilient: each candidate runs isolated, so one
+    configuration that crashes (e.g. under fault injection) or
+    exceeds the optional per-candidate budget becomes a [Failed]
+    sample instead of aborting the search. *)
 
 open Polymage_ir
 module C := Polymage_compiler
@@ -17,21 +22,30 @@ val paper_tiles : int list
 val paper_thresholds : float list
 (** [0.2; 0.4; 0.5] *)
 
-type sample = {
-  tile : int array;
-  threshold : float;
-  time_seq : float;  (** seconds, 1 worker *)
-  time_par : float;  (** seconds, [workers] workers *)
-  n_groups : int;  (** tiled groups in the plan *)
-}
+type status =
+  | Timed of {
+      time_seq : float;  (** seconds, 1 worker *)
+      time_par : float;  (** seconds, [workers] workers *)
+      n_groups : int;  (** tiled groups in the plan *)
+    }
+  | Failed of Polymage_util.Err.t
+      (** the candidate crashed or blew its budget; the sweep went on *)
 
+type sample = { tile : int array; threshold : float; status : status }
 type result = { samples : sample list; best : sample }
+
+val time_par : sample -> float option
+(** Parallel time of a [Timed] sample, [None] for a [Failed] one. *)
+
+val pp_sample : Format.formatter -> sample -> unit
+(** One-line rendering, including failures. *)
 
 val explore :
   ?tiles:int list ->
   ?thresholds:float list ->
   ?workers:int ->
   ?repeats:int ->
+  ?budget:float ->
   outputs:Ast.func list ->
   env:Types.bindings ->
   images:(Ast.image * Rt.Buffer.t) list ->
@@ -39,8 +53,12 @@ val explore :
   result
 (** Run the search.  [tiles] are used for both tiled dimensions (the
     benchmarks tile 2, as in the paper); each configuration is timed
-    [repeats] times (default 1) and the minimum is kept.  [best]
-    minimizes the parallel time. *)
+    [repeats] times (default 1) and the minimum is kept.  [budget]
+    bounds one candidate's wall-clock seconds (soft: checked between
+    phases, since running domains cannot be interrupted).  [best]
+    minimizes the parallel time over the [Timed] samples.
+    @raise Polymage_util.Err.Polymage_error (phase [Exec]) when every
+    candidate failed. *)
 
 val best_options :
   result -> estimates:Types.bindings -> workers:int -> C.Options.t

@@ -697,9 +697,9 @@ let emit ?name (plan : C.Plan.t) =
   (match plan.opts.tiling with
   | C.Options.Overlap -> ()
   | C.Options.Parallelogram | C.Options.Split ->
-    invalid_arg
-      "Cgen.emit: the C back end implements overlapped tiling only \
-       (the other strategies are native-executor comparison modes)");
+    Polymage_util.Err.fail Polymage_util.Err.Codegen ~stage:"Cgen.emit"
+      "the C back end implements overlapped tiling only (the other \
+       strategies are native-executor comparison modes)");
   let ctx = { b = Buffer.create 4096; ind = 0 } in
   Buffer.add_string ctx.b preamble;
   blank ctx;

@@ -2,11 +2,17 @@ open Polymage_ir
 module Poly = Polymage_poly
 module Q = Polymage_util.Rational
 
-type diag = { stage : string; target : string; dim : int; detail : string }
+type diag = {
+  stage : string;
+  target : string;
+  dim : int;
+  access : string;
+  detail : string;
+}
 
 let pp_diag ppf d =
-  Format.fprintf ppf "%s: access to %s, dim %d: %s" d.stage d.target d.dim
-    d.detail
+  Format.fprintf ppf "%s: access %s (dim %d of %s): %s" d.stage d.access d.dim
+    d.target d.detail
 
 (* Bounds of one affine access over the consumer box [lo, hi] (per the
    access's variable), as rational affine forms.  floor((n*x+o)/d) is
@@ -22,7 +28,9 @@ let access_bounds (a : Poly.Access.dim) (lo : Abound.t) (hi : Abound.t) =
 
 let check (pipe : Pipeline.t) =
   let diags = ref [] in
-  let report stage target dim detail = diags := { stage; target; dim; detail } :: !diags in
+  let report stage target dim access detail =
+    diags := { stage; target; dim; access; detail } :: !diags
+  in
   let check_refs f (vars : Types.var list) (bounds : (Abound.t * Abound.t) list)
       (cond : Ast.cond option) (exprs : Ast.expr list) =
     (* Effective per-variable bounds: the case condition's box sides
@@ -48,7 +56,7 @@ let check (pipe : Pipeline.t) =
       in
       go 0 vars
     in
-    let check_site (site : Poly.Access.ref_site) =
+    let check_site ((site : Poly.Access.ref_site), access) =
       let target_name, prod_bounds, skip =
         match site.target with
         | `Func g ->
@@ -69,6 +77,9 @@ let check (pipe : Pipeline.t) =
             | Dynamic -> ()
             | Affine a -> (
               let plo, phi = List.nth prod_bounds dim in
+              let prod_dom =
+                Format.asprintf "[%a, %a]" Abound.pp plo Abound.pp phi
+              in
               let arange =
                 match a.v with
                 | None ->
@@ -84,18 +95,18 @@ let check (pipe : Pipeline.t) =
               | Some (amin, amax) ->
                 if not (Abound.nonneg_for_nonneg_params (Abound.sub amin plo))
                 then
-                  report f.Ast.fname target_name dim
+                  report f.Ast.fname target_name dim access
                     (Format.asprintf
-                       "lower bound not provable: min index %a < domain \
-                        lower %a"
-                       Abound.pp amin Abound.pp plo);
+                       "lower bound not provable: min index %a < lower bound \
+                        of producer domain %s"
+                       Abound.pp amin prod_dom);
                 if not (Abound.nonneg_for_nonneg_params (Abound.sub phi amax))
                 then
-                  report f.Ast.fname target_name dim
+                  report f.Ast.fname target_name dim access
                     (Format.asprintf
-                       "upper bound not provable: max index %a > domain \
-                        upper %a"
-                       Abound.pp amax Abound.pp phi)))
+                       "upper bound not provable: max index %a > upper bound \
+                        of producer domain %s"
+                       Abound.pp amax prod_dom)))
           site.dims
     in
     List.iter
@@ -103,12 +114,14 @@ let check (pipe : Pipeline.t) =
         let sites = ref [] in
         let on_call g args =
           sites :=
-            { Poly.Access.target = `Func g; dims = Poly.Access.of_args args }
+            ( { Poly.Access.target = `Func g; dims = Poly.Access.of_args args },
+              Format.asprintf "%a" Expr.pp (Ast.Call (g, args)) )
             :: !sites
         in
         let on_img im args =
           sites :=
-            { Poly.Access.target = `Img im; dims = Poly.Access.of_args args }
+            ( { Poly.Access.target = `Img im; dims = Poly.Access.of_args args },
+              Format.asprintf "%a" Expr.pp (Ast.Img (im, args)) )
             :: !sites
         in
         Expr.iter ~on_call ~on_img e;
@@ -119,7 +132,8 @@ let check (pipe : Pipeline.t) =
         let sites = ref [] in
         let on_call g args =
           sites :=
-            { Poly.Access.target = `Func g; dims = Poly.Access.of_args args }
+            ( { Poly.Access.target = `Func g; dims = Poly.Access.of_args args },
+              Format.asprintf "%a" Expr.pp (Ast.Call (g, args)) )
             :: !sites
         in
         Expr.iter_cond ~on_call c;
@@ -170,8 +184,12 @@ let check (pipe : Pipeline.t) =
                        (Abound.nonneg_for_nonneg_params
                           (Abound.sub iv.hi amax))
                 then
-                  report f.fname (f.fname ^ " (accumulator domain)") dim
-                    (Format.asprintf "index range [%a, %a] not within %a"
+                  report f.fname
+                    (f.fname ^ " (accumulator domain)")
+                    dim
+                    (Format.asprintf "%a" Expr.pp e)
+                    (Format.asprintf
+                       "index range [%a, %a] not within producer domain %a"
                        Abound.pp amin Abound.pp amax Interval.pp iv)))
           r.rindex)
     pipe.stages;
@@ -181,7 +199,8 @@ let check_exn pipe =
   match check pipe with
   | [] -> ()
   | ds ->
-    invalid_arg
+    Polymage_util.Err.fail Polymage_util.Err.Bounds
+      ~stage:(List.hd ds).stage
       (Format.asprintf "@[<v>bounds check failed:@,%a@]"
          (Format.pp_print_list pp_diag)
          ds)

@@ -16,7 +16,10 @@ type diag = {
   stage : string;  (** consuming stage *)
   target : string;  (** producer stage or image *)
   dim : int;
+  access : string;  (** the offending access expression, rendered *)
   detail : string;
+      (** which bound failed, with the access's symbolic index range
+          and the producer's domain interval *)
 }
 
 val check : Pipeline.t -> diag list
@@ -24,7 +27,7 @@ val check : Pipeline.t -> diag list
     analyzable access is provably within bounds. *)
 
 val check_exn : Pipeline.t -> unit
-(** @raise Invalid_argument with a readable report if {!check} finds
-    any violation. *)
+(** @raise Polymage_util.Err.Polymage_error (phase [Bounds]) with a
+    readable report if {!check} finds any violation. *)
 
 val pp_diag : Format.formatter -> diag -> unit

@@ -15,6 +15,8 @@ type t = {
   naive_overlap : bool;
   scratchpads : bool;
   kernels : bool;
+  max_scratch_bytes : int option;
+  fault : (string * int) option;
   estimates : Types.bindings;
 }
 
@@ -32,6 +34,8 @@ let base ?(workers = 1) ~estimates () =
     naive_overlap = false;
     scratchpads = true;
     kernels = true;
+    max_scratch_bytes = None;
+    fault = None;
     estimates;
   }
 
@@ -46,11 +50,19 @@ let opt_vec ?workers ~estimates () =
 
 let with_tile tile t = { t with tile }
 let with_threshold threshold t = { t with threshold }
+let with_scratch_budget bytes t = { t with max_scratch_bytes = bytes }
+let with_fault fault t = { t with fault }
 
 let pp ppf t =
   Format.fprintf ppf
     "{grouping=%b inline=%b vec=%b split=%b workers=%d tile=[%s] \
-     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b}"
+     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s}"
     t.grouping_on t.inline_on t.vec t.split_cases t.workers
     (String.concat ";" (Array.to_list (Array.map string_of_int t.tile)))
     t.threshold t.scratchpads t.naive_overlap t.kernels
+    (match t.max_scratch_bytes with
+    | None -> ""
+    | Some b -> Printf.sprintf " scratch_budget=%dB" b)
+    (match t.fault with
+    | None -> ""
+    | Some (site, seed) -> Printf.sprintf " fault=%s:%d" site seed)

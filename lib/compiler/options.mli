@@ -42,6 +42,14 @@ type t = {
           cursors + loop-invariant hoisting) instead of closure trees
           in the native executor; when false, every expression node is
           an indirect call (ablation, default on) *)
+  max_scratch_bytes : int option;
+      (** per-worker scratchpad memory budget: a fused group whose
+          per-tile scratchpad footprint (under [estimates]) exceeds
+          the budget is demoted to untiled, per-stage execution
+          instead of over-allocating (default [None] = off) *)
+  fault : (string * int) option;
+      (** fault-injection spec [(site, seed)] carried to the runtime
+          ({!Polymage_rt.Fault}); [None] leaves the injector alone *)
   estimates : Types.bindings;  (** parameter estimates for grouping *)
 }
 
@@ -59,4 +67,6 @@ val opt_vec : ?workers:int -> estimates:Types.bindings -> unit -> t
 
 val with_tile : int array -> t -> t
 val with_threshold : float -> t -> t
+val with_scratch_budget : int option -> t -> t
+val with_fault : (string * int) option -> t -> t
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,8 @@ type tiled = {
 
 type item = Straight of int | Tiled of tiled
 
+type demotion = { stages : string list; bytes : int }
+
 type t = {
   pipe : Pipeline.t;
   source_outputs : Ast.func list;
@@ -22,7 +24,24 @@ type t = {
   opts : Options.t;
   grouping : Grouping.t option;
   inlined : (string * string) list;
+  demotions : demotion list;
 }
+
+(* Per-worker scratchpad footprint of a tiled group in bytes, under
+   the parameter estimates: the sum over members that would get a
+   scratchpad of their per-tile extent products (float = 8 bytes).
+   Used by the [max_scratch_bytes] budget to demote groups whose tile
+   window would over-allocate, instead of OOMing at execution time. *)
+let group_scratch_bytes (opts : Options.t) (g : tiled) =
+  Array.fold_left
+    (fun acc (m : member) ->
+      if m.used_in_group then
+        acc
+        + 8
+          * Poly.Tiling.scratch_cells ~naive:opts.naive_overlap g.sched
+              ~tile:g.tile opts.estimates m.ms
+      else acc)
+    0 g.members
 
 let build (pipe : Pipeline.t) (opts : Options.t) =
   let source_outputs = pipe.outputs in
@@ -37,6 +56,7 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
       opts;
       grouping = None;
       inlined;
+      demotions = [];
     }
   else begin
     let gcfg =
@@ -50,20 +70,21 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
     in
     let grouping = Grouping.run pipe gcfg in
     let order = Grouping.group_order pipe grouping in
+    let demotions = ref [] in
     let items =
-      List.map
+      List.concat_map
         (fun g ->
           let members = grouping.groups.(g) in
           match members with
-          | [ i ] -> Straight i
+          | [ i ] -> [ Straight i ]
           | _ -> (
             match Poly.Schedule.solve pipe members with
             | Error f ->
               (* The grouping only ever merges solvable sets, so this
                  is unreachable; fail loudly if the invariant breaks. *)
-              invalid_arg
-                (Format.asprintf "Plan.build: unschedulable group: %a"
-                   Poly.Schedule.pp_failure f)
+              Polymage_util.Err.failf Polymage_util.Err.Schedule
+                "Plan.build: unschedulable group: %a"
+                Poly.Schedule.pp_failure f
             | Ok sched ->
               let in_group i = grouping.of_stage.(i) = g in
               let members =
@@ -82,7 +103,34 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
                     { ms; live_out; used_in_group })
                   sched.members
               in
-              Tiled { sched; members; tile = opts.tile }))
+              let tg = { sched; members; tile = opts.tile } in
+              let over_budget =
+                match opts.max_scratch_bytes with
+                | None -> false
+                | Some budget ->
+                  opts.scratchpads && group_scratch_bytes opts tg > budget
+              in
+              if over_budget then begin
+                (* Demote the whole group to untiled per-stage
+                   execution; pipeline stage indices are topological,
+                   so ascending order respects dependences. *)
+                demotions :=
+                  {
+                    stages =
+                      Array.to_list
+                        (Array.map
+                           (fun (m : member) -> m.ms.func.Ast.fname)
+                           tg.members);
+                    bytes = group_scratch_bytes opts tg;
+                  }
+                  :: !demotions;
+                List.map
+                  (fun i -> Straight i)
+                  (List.sort compare
+                     (Array.to_list
+                        (Array.map (fun (m : member) -> m.ms.sidx) tg.members)))
+              end
+              else [ Tiled tg ]))
         order
     in
     {
@@ -92,6 +140,7 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
       opts;
       grouping = Some grouping;
       inlined;
+      demotions = List.rev !demotions;
     }
   end
 
@@ -105,6 +154,12 @@ let n_straight t = Array.length t.items - n_tiled_groups t
 let pp ppf t =
   Format.fprintf ppf "plan: %d items (%d tiled groups, %d straight)@."
     (Array.length t.items) (n_tiled_groups t) (n_straight t);
+  List.iter
+    (fun d ->
+      Format.fprintf ppf
+        "demoted over scratch budget (%d bytes/tile): %s@." d.bytes
+        (String.concat ", " d.stages))
+    t.demotions;
   if t.inlined <> [] then
     Format.fprintf ppf "inlined: %s@."
       (String.concat ", "

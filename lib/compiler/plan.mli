@@ -27,6 +27,11 @@ type tiled = {
 
 type item = Straight of int | Tiled of tiled
 
+type demotion = { stages : string list; bytes : int }
+(** A fused group demoted to untiled execution by the scratchpad
+    budget ({!Options.t.max_scratch_bytes}): its member stage names
+    and the per-worker scratch footprint that tripped the budget. *)
+
 type t = {
   pipe : Pipeline.t;  (** the (possibly inlined) pipeline *)
   source_outputs : Ast.func list;
@@ -37,12 +42,15 @@ type t = {
   opts : Options.t;
   grouping : Grouping.t option;
   inlined : (string * string) list;  (** (producer, consumer) pairs *)
+  demotions : demotion list;
+      (** groups demoted by the scratchpad budget, in plan order *)
 }
 
 val build : Pipeline.t -> Options.t -> t
 (** Group (when enabled), schedule each multi-stage group, and order
     the items.  Single-member groups, reductions and time-iterated
-    stages become [Straight] items. *)
+    stages become [Straight] items, as are members of groups whose
+    scratchpad footprint exceeds [opts.max_scratch_bytes]. *)
 
 val n_tiled_groups : t -> int
 val n_straight : t -> int

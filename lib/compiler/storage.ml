@@ -3,23 +3,7 @@ module Poly = Polymage_poly
 
 let scratch_extents ~naive (g : Plan.tiled) env
     (ms : Poly.Schedule.stage_sched) =
-  let tau = Poly.Tiling.scaled_tile g.sched ~tile:g.tile in
-  let doms = Array.of_list ms.func.Ast.fdom in
-  Array.of_list
-    (List.mapi
-       (fun j _ ->
-         let d = ms.align.(j) in
-         if d < 0 then Interval.size doms.(j) env
-         else begin
-           let wl = if naive then ms.widen_l_naive.(d) else ms.widen_l.(d) in
-           let wr = if naive then ms.widen_r_naive.(d) else ms.widen_r.(d) in
-           let span = tau.(d) + wl + wr in
-           let s = ms.scale.(j) in
-           (* a tile window never holds more points than the whole
-              domain extent (tiles larger than the image) *)
-           min (((span - 1) / s) + 2) (Interval.size doms.(j) env)
-         end)
-       ms.func.Ast.fdom)
+  Poly.Tiling.scratch_extents ~naive g.sched ~tile:g.tile env ms
 
 type stats = { full_cells : int; scratch_cells : int; unopt_cells : int }
 

@@ -28,8 +28,8 @@ let ( *: ) a b = Ast.Binop (Mul, a, b)
 let ( /: ) a b = Ast.Binop (Div, a, b)
 let check_divisor what n =
   if n <= 0 then
-    invalid_arg
-      (Printf.sprintf "Dsl.( %s ): divisor must be positive, got %d" what n)
+    Polymage_util.Err.failf Polymage_util.Err.Dsl
+      "Dsl.( %s ): divisor must be positive, got %d" what n
 
 let ( /^ ) a n =
   check_divisor "/^" n;
@@ -62,7 +62,7 @@ let not_ a = Ast.Not a
 let between e lo hi = (e >=: lo) &&: (e <=: hi)
 
 let in_box = function
-  | [] -> invalid_arg "Dsl.in_box: empty box"
+  | [] -> Polymage_util.Err.fail Polymage_util.Err.Dsl "Dsl.in_box: empty box"
   | (e, lo, hi) :: rest ->
     List.fold_left
       (fun acc (e, lo, hi) -> acc &&: between e lo hi)

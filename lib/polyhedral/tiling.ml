@@ -25,6 +25,30 @@ let scaled_tile (t : Schedule.t) ~tile =
       let base = if n = 0 then 32 else if d < n then tile.(d) else tile.(n - 1) in
       max 1 (base * s.(d)))
 
+let scratch_extents ~naive (t : Schedule.t) ~tile env
+    (ms : Schedule.stage_sched) =
+  let open Polymage_ir in
+  let tau = scaled_tile t ~tile in
+  let doms = Array.of_list ms.func.Ast.fdom in
+  Array.of_list
+    (List.mapi
+       (fun j _ ->
+         let d = ms.align.(j) in
+         if d < 0 then Interval.size doms.(j) env
+         else begin
+           let wl = if naive then ms.widen_l_naive.(d) else ms.widen_l.(d) in
+           let wr = if naive then ms.widen_r_naive.(d) else ms.widen_r.(d) in
+           let span = tau.(d) + wl + wr in
+           let s = ms.scale.(j) in
+           (* a tile window never holds more points than the whole
+              domain extent (tiles larger than the image) *)
+           min (((span - 1) / s) + 2) (Interval.size doms.(j) env)
+         end)
+       ms.func.Ast.fdom)
+
+let scratch_cells ~naive (t : Schedule.t) ~tile env ms =
+  Array.fold_left ( * ) 1 (scratch_extents ~naive t ~tile env ms)
+
 let relative_overlap ?naive (t : Schedule.t) ~tile =
   if Array.length t.members <= 1 then 0.
   else begin

@@ -23,3 +23,24 @@ val relative_overlap :
 
 val scaled_tile : Schedule.t -> tile:int array -> int array
 (** Tile extents in scaled canonical space ([tile_d * sink_scale_d]). *)
+
+val scratch_extents :
+  naive:bool ->
+  Schedule.t ->
+  tile:int array ->
+  Polymage_ir.Types.bindings ->
+  Schedule.stage_sched ->
+  int array
+(** Allocation extent of a member's scratchpad, per stage dimension
+    (paper §3.6): aligned dimensions cover one widened tile
+    ([ceil((tile_scaled + widen_l + widen_r) / scale)] points, plus
+    slack), residual dimensions cover the whole domain extent. *)
+
+val scratch_cells :
+  naive:bool ->
+  Schedule.t ->
+  tile:int array ->
+  Polymage_ir.Types.bindings ->
+  Schedule.stage_sched ->
+  int
+(** Product of {!scratch_extents}: cells in one member's scratchpad. *)

@@ -1,6 +1,5 @@
 open Polymage_ir
-
-exception Runtime_error of string
+module Err = Polymage_util.Err
 
 type source = Src_func of int | Src_img of int
 
@@ -16,7 +15,7 @@ let view_of_strides descr strides =
 
 let attach_buffer v (b : Buffer.t) =
   if v.strides <> b.strides then
-    invalid_arg "Eval.attach_buffer: stride mismatch";
+    Err.fail Err.Exec ~stage:v.descr "Eval.attach_buffer: stride mismatch";
   v.data <- b.data;
   v.off <- Buffer.offset_of_origin b
 
@@ -36,9 +35,7 @@ let view_of_buffer descr (b : Buffer.t) =
 let var_pos vars v =
   let rec go i = function
     | [] ->
-      raise
-        (Runtime_error
-           (Format.asprintf "unbound variable %a at runtime" Types.pp_var v))
+      Err.failf Err.Exec "unbound variable %a at runtime" Types.pp_var v
     | w :: tl -> if Types.var_equal v w then i else go (i + 1) tl
   in
   go 0 vars
@@ -185,10 +182,8 @@ and read ~unsafe (v : view) (idxs : (int array -> int) array) =
 
 and checked_get v pos =
   if pos < 0 || pos >= Array.length v.data then
-    raise
-      (Runtime_error
-         (Printf.sprintf "access to %s out of window (position %d of %d)"
-            v.descr pos (Array.length v.data)))
+    Err.failf Err.Exec ~stage:v.descr
+      "access out of window (position %d of %d)" pos (Array.length v.data)
   else Array.unsafe_get v.data pos
 
 and compile_cond ~unsafe ~vars ~bindings ~lookup cond : int array -> bool =

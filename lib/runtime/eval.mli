@@ -7,8 +7,6 @@
 
 open Polymage_ir
 
-exception Runtime_error of string
-
 (** Where a reference reads from: a stage's buffer/scratchpad or an
     input image. *)
 type source = Src_func of int  (** [fid] *) | Src_img of int  (** [iid] *)
@@ -37,8 +35,9 @@ val view_of_buffer : string -> Buffer.t -> view
 
 val checked_get : view -> int -> float
 (** Read a flat position with the window check of safe mode.
-    @raise Runtime_error when the position is outside the view's
-    current storage. *)
+    @raise Polymage_util.Err.Polymage_error (phase [Exec], stage = the
+    view's descriptor) when the position is outside the view's current
+    storage. *)
 
 val compile :
   unsafe:bool ->
@@ -51,8 +50,8 @@ val compile :
     (ordered as [vars]).  Parameters are folded to constants.
     [lookup] resolves each referenced source to its view; it is called
     once per reference site, at compile time.
-    @raise Runtime_error (at call time) on an out-of-window access in
-    safe mode. *)
+    @raise Polymage_util.Err.Polymage_error (at call time) on an
+    out-of-window access in safe mode. *)
 
 val compile_cond :
   unsafe:bool ->

@@ -1,11 +1,19 @@
 open Polymage_ir
 module Poly = Polymage_poly
 module C = Polymage_compiler
+module Err = Polymage_util.Err
 
 type result = {
   buffers : Buffer.t option array;
   outputs : (Ast.func * Buffer.t) list;
 }
+
+type degradation = { rung : string; error : Err.t }
+
+(* Full-buffer allocation, visible to the fault injector. *)
+let alloc_buffer (f : Ast.func) env =
+  Fault.hit "alloc";
+  Buffer.of_func f env
 
 let floor_div = Polymage_util.Intmath.floor_div
 let ceil_div = Polymage_util.Intmath.ceil_div
@@ -72,9 +80,11 @@ let compile_cpiece (opts : C.Options.t) (f : Ast.func) env lookup p =
         p.pcond;
     crhs = Eval.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup p.prhs;
     ckern =
-      (if opts.kernels && p.pcond = None then
+      (if opts.kernels && p.pcond = None then begin
+         Fault.hit "kernel_compile";
          Kernel.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup
            ~self:f.Ast.fid p.prhs
+       end
        else None);
   }
 
@@ -92,7 +102,7 @@ let box_empty b = Array.exists (fun (lo, hi) -> lo > hi) b
 let run_pieces ~vec ~ty (view : Eval.view) (coords : int array)
     (cpieces : cpiece list) (box : (int * int) array) =
   let n = Array.length box in
-  if n = 0 then invalid_arg "Executor: zero-dimensional stage";
+  if n = 0 then Err.fail Err.Exec "Executor: zero-dimensional stage";
   let slast = view.strides.(n - 1) in
   List.iter
     (fun cp ->
@@ -244,20 +254,19 @@ let make_lookup (pipe : Pipeline.t) buffers images ~local =
         List.find_opt (fun ((im : Ast.image), _) -> im.iid = iid) images
       with
       | Some (im, b) -> Eval.view_of_buffer im.iname b
-      | None -> invalid_arg "Executor: missing input image")
+      | None -> Err.fail Err.Exec "Executor: missing input image")
     | Eval.Src_func fid -> (
       match local fid with
       | Some v -> v
       | None -> (
         match Hashtbl.find_opt fid_to_idx fid with
-        | None -> invalid_arg "Executor: reference to a foreign stage"
+        | None -> Err.fail Err.Exec "Executor: reference to a foreign stage"
         | Some i -> (
           match buffers.(i) with
           | Some b -> Eval.view_of_buffer pipe.stages.(i).Ast.fname b
           | None ->
-            invalid_arg
-              (Printf.sprintf "Executor: stage %s read before computed"
-                 pipe.stages.(i).Ast.fname))))
+            Err.fail Err.Exec ~stage:pipe.stages.(i).Ast.fname
+              "Executor: stage read before computed")))
 
 (* ---------- straight items ---------- *)
 
@@ -265,7 +274,7 @@ let exec_straight pool (plan : C.Plan.t) env buffers images i =
   let opts = plan.opts in
   let pipe = plan.pipe in
   let f = pipe.stages.(i) in
-  let buf = Buffer.of_func f env in
+  let buf = alloc_buffer f env in
   buffers.(i) <- Some buf;
   match f.fbody with
   | Ast.Undefined -> assert false
@@ -374,7 +383,7 @@ let exec_straight pool (plan : C.Plan.t) env buffers images i =
             let clo = lo0 + (ci * per) in
             let chi = min hi0 (clo + per - 1) in
             if clo <= chi then begin
-              let p = Buffer.of_func f env in
+              let p = alloc_buffer f env in
               Buffer.fill p neutral;
               accumulate_range p clo chi;
               partials.(ci) <- Some p
@@ -405,6 +414,7 @@ type wmember = {
 }
 
 let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
+  Fault.hit "group_schedule";
   let opts = plan.opts in
   let pipe = plan.pipe in
   let sched = g.sched in
@@ -417,7 +427,7 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
   Array.iter
     (fun (m : C.Plan.member) ->
       if m.live_out || not opts.scratchpads then
-        buffers.(m.ms.sidx) <- Some (Buffer.of_func m.ms.func env))
+        buffers.(m.ms.sidx) <- Some (alloc_buffer m.ms.func env))
     g.members;
   (* Tile space: bounding box of the members' scaled domains. *)
   let space_lo = Array.make ncd max_int and space_hi = Array.make ncd min_int in
@@ -475,6 +485,7 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
               if use_scratch then begin
                 let ext = C.Storage.scratch_extents ~naive g env ms in
                 let total = max 1 (Array.fold_left ( * ) 1 ext) in
+                Fault.hit "alloc";
                 let data = Array.make total 0. in
                 let strides =
                   let n = Array.length ext in
@@ -502,7 +513,9 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
             let cases =
               match f.Ast.fbody with
               | Ast.Cases cs -> cs
-              | _ -> invalid_arg "Executor: non-pure stage in tiled group"
+              | _ ->
+                Err.fail Err.Exec ~stage:f.Ast.fname
+                  "Executor: non-pure stage in tiled group"
             in
             let pieces = pieces_of opts f env cases in
             let mcpieces = List.map (compile_cpiece opts f env lookup) pieces in
@@ -524,6 +537,7 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
         Array.map Option.get wmembers)
   in
   let run_tile t =
+    Fault.hit "tile_body";
     let wmembers = Domain.DLS.get key in
     (* tile index per canonical dim *)
     let tidx = Array.make ncd 0 in
@@ -619,7 +633,7 @@ let exec_parallelogram (plan : C.Plan.t) env buffers images
   (* Every member materializes. *)
   Array.iter
     (fun (m : C.Plan.member) ->
-      buffers.(m.ms.sidx) <- Some (Buffer.of_func m.ms.func env))
+      buffers.(m.ms.sidx) <- Some (alloc_buffer m.ms.func env))
     g.members;
   let h_max = Array.fold_left (fun acc m -> max acc (height m)) 0 g.members in
   let skew = sched.slope_r in
@@ -663,7 +677,9 @@ let exec_parallelogram (plan : C.Plan.t) env buffers images
         let cases =
           match f.Ast.fbody with
           | Ast.Cases cs -> cs
-          | _ -> invalid_arg "Executor: non-pure stage in tiled group"
+          | _ ->
+            Err.fail Err.Exec ~stage:f.Ast.fname
+              "Executor: non-pure stage in tiled group"
         in
         let cps =
           List.map (compile_cpiece opts f env lookup) (pieces_of opts f env cases)
@@ -736,7 +752,7 @@ let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
   in
   Array.iter
     (fun (m : C.Plan.member) ->
-      buffers.(m.ms.sidx) <- Some (Buffer.of_func m.ms.func env))
+      buffers.(m.ms.sidx) <- Some (alloc_buffer m.ms.func env))
     g.members;
   let space_lo = Array.make ncd max_int and space_hi = Array.make ncd min_int in
   Array.iter
@@ -775,7 +791,9 @@ let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
             let cases =
               match f.Ast.fbody with
               | Ast.Cases cs -> cs
-              | _ -> invalid_arg "Executor: non-pure stage in tiled group"
+              | _ ->
+                Err.fail Err.Exec ~stage:f.Ast.fname
+                  "Executor: non-pure stage in tiled group"
             in
             let cps =
               List.map (compile_cpiece opts f env lookup)
@@ -788,6 +806,7 @@ let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
   in
   (* Phase = bitmask of "downward" dimensions. *)
   let run_region mask (idx : int array) =
+    Fault.hit "tile_body";
     let compiled = Domain.DLS.get key in
     Array.iteri
       (fun k (m : C.Plan.member) ->
@@ -848,14 +867,14 @@ let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
 (* ---------- driver ---------- *)
 
 let run ?pool (plan : C.Plan.t) env ~images =
+  Fault.ensure plan.opts.fault;
   let pipe = plan.pipe in
   (* Check provided images. *)
   List.iter
     (fun (im : Ast.image) ->
       if not (List.exists (fun (jm, _) -> Ast.image_equal im jm) images) then
-        invalid_arg
-          (Printf.sprintf "Executor.run: input image %s not provided"
-             im.iname))
+        Err.failf Err.Exec ~stage:im.iname
+          "Executor.run: input image %s not provided" im.iname)
     pipe.images;
   let buffers = Array.make (Pipeline.n_stages pipe) None in
   let go pool =
@@ -882,6 +901,49 @@ let run ?pool (plan : C.Plan.t) env ~images =
   match pool with
   | Some p -> go p
   | None -> Pool.with_pool plan.opts.workers go
+
+(* Graceful degradation (ladder): run the plan as given; on failure,
+   recompile from the user's outputs with the risky machinery switched
+   off rung by rung and retry.  The injector's one-shot semantics (see
+   Fault) make a retry observe an injected fault as consumed, so the
+   ladder recovers from every injectable failure; genuine bugs that
+   survive even naive execution are re-raised from the last rung. *)
+let run_safe ?pool (plan : C.Plan.t) env ~images =
+  Fault.ensure plan.opts.fault;
+  let rungs =
+    [
+      ("opt+vec+kernels", fun () -> plan);
+      ( "opt",
+        fun () ->
+          C.Compile.run
+            { plan.opts with C.Options.vec = false; kernels = false }
+            ~outputs:plan.source_outputs );
+      ( "naive",
+        fun () ->
+          C.Compile.run
+            {
+              plan.opts with
+              C.Options.vec = false;
+              kernels = false;
+              grouping_on = false;
+            }
+            ~outputs:plan.source_outputs );
+    ]
+  in
+  let degradations = ref [] in
+  let rec go = function
+    | [] -> assert false
+    | (name, mk) :: rest -> (
+      match run ?pool (mk ()) env ~images with
+      | r -> (r, List.rev !degradations)
+      | exception e ->
+        if rest = [] then Err.reraise e
+        else begin
+          degradations := { rung = name; error = Err.of_exn e } :: !degradations;
+          go rest
+        end)
+  in
+  go rungs
 
 let output_buffer r f =
   match List.find_opt (fun (g, _) -> Ast.func_equal f g) r.outputs with

@@ -17,6 +17,12 @@ type result = {
   outputs : (Ast.func * Buffer.t) list;
 }
 
+type degradation = {
+  rung : string;
+      (** the ladder rung that failed: ["opt+vec+kernels"] or ["opt"] *)
+  error : Polymage_util.Err.t;  (** what went wrong on that rung *)
+}
+
 val run :
   ?pool:Pool.t ->
   C.Plan.t ->
@@ -25,9 +31,24 @@ val run :
   result
 (** Execute the plan.  Every input image of the pipeline must be
     provided with matching extents.  When [pool] is absent a pool of
-    [plan.opts.workers] workers is created for the call.
-    @raise Eval.Runtime_error on out-of-window accesses (safe mode)
-    @raise Invalid_argument on missing images or malformed plans. *)
+    [plan.opts.workers] workers is created for the call.  Arms the
+    fault injector from [plan.opts.fault] first.
+    @raise Polymage_util.Err.Polymage_error (phase [Exec]) on missing
+    images, malformed plans, or out-of-window accesses (safe mode). *)
+
+val run_safe :
+  ?pool:Pool.t ->
+  C.Plan.t ->
+  Types.bindings ->
+  images:(Ast.image * Buffer.t) list ->
+  result * degradation list
+(** Like {!run}, with graceful degradation: on failure the pipeline is
+    recompiled from [plan.source_outputs] and retried down the ladder
+    [opt+vec+kernels] (the plan as given) → [opt] (no vectorization,
+    no row kernels) → [naive] (additionally no grouping: straight
+    per-stage evaluation).  Returns the first successful result along
+    with one {!degradation} per abandoned rung, in order.  Re-raises
+    the last error when even the naive rung fails. *)
 
 val output_buffer : result -> Ast.func -> Buffer.t
 (** Buffer of a given output stage. @raise Not_found if absent. *)

@@ -1,0 +1,76 @@
+module Err = Polymage_util.Err
+
+type spec = { site : string; seed : int }
+
+let sites =
+  [ "alloc"; "kernel_compile"; "tile_body"; "worker_start"; "group_schedule" ]
+
+let phase_of_site = function
+  | "kernel_compile" -> Err.Kernel
+  | "group_schedule" -> Err.Schedule
+  | _ -> Err.Exec
+
+type armed_state = { spec : spec; count : int Atomic.t; has_fired : bool Atomic.t }
+
+(* Written only from arm/disarm (test or startup code); read on the
+   hot path.  A plain ref is enough: arming mid-run is not supported. *)
+let state : armed_state option ref = ref None
+
+let check_site site =
+  if not (List.mem site sites) then
+    Err.failf Err.Exec "unknown fault site %S (known: %s)" site
+      (String.concat ", " sites)
+
+let arm ~site ~seed =
+  check_site site;
+  state :=
+    Some
+      {
+        spec = { site; seed = max 0 seed };
+        count = Atomic.make 0;
+        has_fired = Atomic.make false;
+      }
+
+let disarm () = state := None
+let armed () = Option.map (fun s -> s.spec) !state
+let fired () = match !state with Some s -> Atomic.get s.has_fired | None -> false
+
+let parse str =
+  match String.index_opt str ':' with
+  | None -> Err.failf Err.Exec "fault spec %S is not of the form site:seed" str
+  | Some i -> (
+    let site = String.sub str 0 i in
+    let seed = String.sub str (i + 1) (String.length str - i - 1) in
+    check_site site;
+    match int_of_string_opt seed with
+    | Some seed when seed >= 0 -> { site; seed }
+    | _ -> Err.failf Err.Exec "fault spec %S: seed must be a non-negative int" str)
+
+let ensure = function
+  | None -> ()
+  | Some (site, seed) -> (
+    match !state with
+    | Some s when s.spec.site = site && s.spec.seed = seed -> ()
+    | _ -> arm ~site ~seed)
+
+let hit site =
+  match !state with
+  | None -> ()
+  | Some s ->
+    if String.equal s.spec.site site then begin
+      let n = Atomic.fetch_and_add s.count 1 in
+      if n = s.spec.seed then begin
+        Atomic.set s.has_fired true;
+        Err.failf
+          (phase_of_site site)
+          ~stage:("fault:" ^ site)
+          "injected fault at site %s (hit %d)" site n
+      end
+    end
+
+let () =
+  match Sys.getenv_opt "POLYMAGE_FAULT" with
+  | None | Some "" -> ()
+  | Some s ->
+    let { site; seed } = parse s in
+    arm ~site ~seed

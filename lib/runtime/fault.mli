@@ -1,0 +1,46 @@
+(** Seeded fault injection for the compile→execute path.
+
+    A fault is armed for one named site with a seed; the [seed]-th hit
+    of that site (0-based, counted atomically across workers) raises a
+    {!Polymage_util.Err.Polymage_error}, exactly once.  Because the
+    counter keeps advancing and never re-fires, a degraded retry of
+    the same work observes the fault already consumed — which is what
+    lets tests prove that the degradation ladder recovers.
+
+    Arming is process-global (the injector exists to break things; it
+    is not a per-pipeline facility).  The environment variable
+    [POLYMAGE_FAULT=site:seed] arms the injector at startup. *)
+
+type spec = { site : string; seed : int }
+
+val sites : string list
+(** The named sites:
+    ["alloc"] — full-buffer and scratchpad allocation in the executor;
+    ["kernel_compile"] — row-kernel compilation;
+    ["tile_body"] — execution of one tile (or split-tiling region);
+    ["worker_start"] — worker-pool startup;
+    ["group_schedule"] — per-group schedule setup in the executor. *)
+
+val parse : string -> spec
+(** Parse ["site:seed"]. @raise Polymage_util.Err.Polymage_error on an
+    unknown site or malformed string. *)
+
+val arm : site:string -> seed:int -> unit
+(** Arm the injector, resetting the hit counter.
+    @raise Polymage_util.Err.Polymage_error on an unknown site. *)
+
+val disarm : unit -> unit
+val armed : unit -> spec option
+
+val ensure : (string * int) option -> unit
+(** Arm from a carried option value ([Options.fault]) unless the same
+    spec is already armed — re-running a plan must not reset the
+    counter, or a one-shot fault would fire on every retry. [None]
+    leaves the current arming alone (the env var stays effective). *)
+
+val hit : string -> unit
+(** Mark one hit of [site].  Raises on the armed site's seed-th hit.
+    Near-free when the injector is disarmed. *)
+
+val fired : unit -> bool
+(** Whether the armed fault has already fired. *)

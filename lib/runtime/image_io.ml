@@ -77,8 +77,28 @@ let with_in file f =
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
 
 let read_raster ic n =
-  let bytes = really_input_string ic n in
-  bytes
+  match really_input_string ic n with
+  | bytes -> bytes
+  | exception End_of_file ->
+    raise (Format_error "truncated raster (fewer pixel bytes than the header promises)")
+
+(* Header sanity shared by both readers: dimensions must be positive
+   (and small enough that rows*cols cannot overflow), maxval in
+   [1, 255] (only 1-byte-per-sample rasters are supported). *)
+let check_header what cols rows maxv =
+  if cols <= 0 || rows <= 0 then
+    raise
+      (Format_error
+         (Printf.sprintf "%s: non-positive dimensions %dx%d" what cols rows));
+  if cols > 1 lsl 20 || rows > 1 lsl 20 then
+    raise
+      (Format_error
+         (Printf.sprintf "%s: implausible dimensions %dx%d" what cols rows));
+  if maxv <= 0 || maxv > 255 then
+    raise
+      (Format_error
+         (Printf.sprintf "%s: unsupported max value %d (want 1..255)" what
+            maxv))
 
 let read_pgm file =
   with_in file (fun ic ->
@@ -88,8 +108,7 @@ let read_pgm file =
       let cols = read_int ic in
       let rows = read_int ic in
       let maxv = read_int ic in
-      if maxv <= 0 || maxv > 255 then
-        raise (Format_error "unsupported max value");
+      check_header "PGM" cols rows maxv;
       let raster = read_raster ic (rows * cols) in
       let b = Buffer.create ~lo:[| 0; 0 |] ~dims:[| rows; cols |] in
       for k = 0 to (rows * cols) - 1 do
@@ -105,8 +124,7 @@ let read_ppm file =
       let cols = read_int ic in
       let rows = read_int ic in
       let maxv = read_int ic in
-      if maxv <= 0 || maxv > 255 then
-        raise (Format_error "unsupported max value");
+      check_header "PPM" cols rows maxv;
       let raster = read_raster ic (rows * cols * 3) in
       let b = Buffer.create ~lo:[| 0; 0; 0 |] ~dims:[| 3; rows; cols |] in
       let plane = rows * cols in

@@ -3,7 +3,7 @@ type job = {
   n : int;
   next : int Atomic.t;
   active : int Atomic.t;  (* workers still draining this job *)
-  error : exn option Atomic.t;
+  error : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
 
 type t = {
@@ -16,13 +16,21 @@ type t = {
   mutable stop : bool;
 }
 
+(* Fail-fast: once any worker has recorded an error, the rest stop
+   claiming new indices (checked before the fetch-and-add), so a
+   failing job drains in O(workers) instead of running every remaining
+   index.  The first error wins, with its backtrace. *)
 let drain (j : job) =
   let rec go () =
-    let i = Atomic.fetch_and_add j.next 1 in
-    if i < j.n then begin
-      (try j.f i with
-      | e -> ignore (Atomic.compare_and_set j.error None (Some e)));
-      go ()
+    if Atomic.get j.error = None then begin
+      let i = Atomic.fetch_and_add j.next 1 in
+      if i < j.n then begin
+        (try j.f i with
+        | e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set j.error None (Some (e, bt))));
+        go ()
+      end
     end
   in
   go ()
@@ -50,7 +58,12 @@ let worker_loop t () =
   loop ()
 
 let create workers =
-  if workers < 1 then invalid_arg "Pool.create: need at least one worker";
+  if workers < 1 then
+    Polymage_util.Err.fail Polymage_util.Err.Exec
+      "Pool.create: need at least one worker";
+  (* The fault site fires before any domain is spawned, so a failed
+     create never leaks workers blocked on the condition variable. *)
+  Fault.hit "worker_start";
   let t =
     {
       workers = [||];
@@ -97,7 +110,9 @@ let parallel_for t ~n f =
     else Condition.broadcast t.work_done;
     t.job <- None;
     Mutex.unlock t.mutex;
-    match Atomic.get j.error with Some e -> raise e | None -> ()
+    match Atomic.get j.error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end
 
 let shutdown t =

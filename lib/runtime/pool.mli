@@ -17,8 +17,10 @@ val size : t -> int
 
 val parallel_for : t -> n:int -> (int -> unit) -> unit
 (** Run [f 0 .. f (n-1)], distributing indices over the pool.  An
-    exception raised by any worker is re-raised on the caller (first
-    one wins). Not reentrant. *)
+    exception raised by any worker is re-raised on the caller with the
+    worker's backtrace (first one wins); once an error is recorded the
+    remaining workers stop claiming indices (fail-fast drain), so
+    indices after the failure may never run. Not reentrant. *)
 
 val with_pool : int -> (t -> 'a) -> 'a
 (** Create, use, and always shut down. *)

@@ -1,0 +1,63 @@
+type phase =
+  | Dsl
+  | Bounds
+  | Group
+  | Schedule
+  | Storage
+  | Kernel
+  | Exec
+  | Codegen
+  | IO
+
+type t = { phase : phase; stage : string option; detail : string }
+
+exception Polymage_error of t
+
+let phase_name = function
+  | Dsl -> "dsl"
+  | Bounds -> "bounds"
+  | Group -> "group"
+  | Schedule -> "schedule"
+  | Storage -> "storage"
+  | Kernel -> "kernel"
+  | Exec -> "exec"
+  | Codegen -> "codegen"
+  | IO -> "io"
+
+let pp ppf e =
+  match e.stage with
+  | Some s -> Format.fprintf ppf "[%s] stage %s: %s" (phase_name e.phase) s e.detail
+  | None -> Format.fprintf ppf "[%s] %s" (phase_name e.phase) e.detail
+
+let to_string e = Format.asprintf "%a" pp e
+let error ?stage phase detail = { phase; stage; detail }
+let fail ?stage phase detail = raise (Polymage_error (error ?stage phase detail))
+
+let failf ?stage phase fmt =
+  Format.kasprintf (fun detail -> fail ?stage phase detail) fmt
+
+let of_exn ?(phase = Exec) ?stage exn =
+  match exn with
+  | Polymage_error e -> (
+    match (e.stage, stage) with
+    | None, Some _ -> { e with stage }
+    | _ -> e)
+  | e -> { phase; stage; detail = Printexc.to_string e }
+
+let reraise ?phase ?stage exn =
+  let bt = Printexc.get_raw_backtrace () in
+  Printexc.raise_with_backtrace (Polymage_error (of_exn ?phase ?stage exn)) bt
+
+let with_stage phase stage f =
+  try f () with
+  | Polymage_error e when e.stage <> None -> raise (Polymage_error e)
+  | e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Printexc.raise_with_backtrace
+      (Polymage_error (of_exn ~phase ~stage e))
+      bt
+
+let () =
+  Printexc.register_printer (function
+    | Polymage_error e -> Some ("Polymage_error: " ^ to_string e)
+    | _ -> None)

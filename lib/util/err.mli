@@ -1,0 +1,54 @@
+(** Structured errors for the whole compile→execute path.
+
+    Every failure the system raises on purpose carries the compiler or
+    runtime phase it belongs to and, when one is known, the pipeline
+    stage involved.  This is what makes graceful degradation safe to
+    automate: a handler can tell a kernel-compilation failure (retry
+    without kernels) from a schedule failure (retry without grouping)
+    without parsing message strings. *)
+
+type phase =
+  | Dsl  (** pipeline specification *)
+  | Bounds  (** static bounds checking *)
+  | Group  (** grouping heuristic *)
+  | Schedule  (** alignment/scaling/tiling *)
+  | Storage  (** scratchpad sizing / budgets *)
+  | Kernel  (** row-kernel compilation *)
+  | Exec  (** native execution *)
+  | Codegen  (** C emission *)
+  | IO  (** image file I/O *)
+
+type t = {
+  phase : phase;
+  stage : string option;  (** pipeline stage or site, when known *)
+  detail : string;
+}
+
+exception Polymage_error of t
+
+val phase_name : phase -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val error : ?stage:string -> phase -> string -> t
+val fail : ?stage:string -> phase -> string -> 'a
+(** [fail phase detail] raises {!Polymage_error}. *)
+
+val failf :
+  ?stage:string -> phase -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Formatted {!fail}. *)
+
+val of_exn : ?phase:phase -> ?stage:string -> exn -> t
+(** Structured view of any exception: a {!Polymage_error} payload is
+    returned as is (with [stage] filled in when it was missing); any
+    other exception is wrapped under [phase] (default [Exec]) with
+    [Printexc.to_string] as the detail. *)
+
+val reraise : ?phase:phase -> ?stage:string -> exn -> 'a
+(** Re-raise [exn] as a {!Polymage_error} carrying [phase]/[stage]
+    context, preserving the current backtrace. *)
+
+val with_stage : phase -> string -> (unit -> 'a) -> 'a
+(** Run the thunk; any escaping exception is re-raised as a
+    {!Polymage_error} naming [phase] and [stage] (an existing
+    [Polymage_error] only gains the stage when it had none). *)

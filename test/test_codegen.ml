@@ -151,7 +151,7 @@ let parallelogram_rejected () =
   in
   let plan = C.Compile.run opts ~outputs:app.outputs in
   match Cgen.emit plan with
-  | exception Invalid_argument _ -> ()
+  | exception Polymage_util.Err.Polymage_error { phase = Codegen; _ } -> ()
   | _ -> Alcotest.fail "C back end must reject parallelogram plans"
 
 let suite =

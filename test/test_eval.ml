@@ -127,8 +127,8 @@ let suite =
           let e = app prod [ v xvar +: i 100; v yvar ] in
           let f = compiled false e in
           match f [| 6; 6 |] with
-          | exception Rt.Eval.Runtime_error _ -> ()
-          | _ -> Alcotest.fail "expected Runtime_error");
+          | exception Polymage_util.Err.Polymage_error { phase = Exec; _ } -> ()
+          | _ -> Alcotest.fail "expected Polymage_error");
       Alcotest.test_case "view repositioning" `Quick (fun () ->
           (* reading through a scratch view attached at an offset start
              must agree with absolute reads *)

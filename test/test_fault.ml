@@ -1,0 +1,344 @@
+(* Robustness layer: seeded fault injection, the degradation ladder,
+   the scratchpad budget, autotuner candidate isolation, pool
+   fail-fast, and image I/O hardening.
+
+   The central property: for random pipelines, with a fault armed at
+   every site x a spread of seeds, [Executor.run_safe] either returns
+   an output equal to the naive reference or raises a structured
+   [Polymage_error] — it never returns a corrupt result. *)
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Err = Polymage_util.Err
+module Tune = Polymage_tune.Tune
+module Apps = Polymage_apps.Apps
+
+let naive_output out env images =
+  let plan =
+    C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:[ out ]
+  in
+  Rt.Executor.output_buffer (Rt.Executor.run plan env ~images) out
+
+(* ---- the fault-injection property ---- *)
+
+let fault_property () =
+  let rand = Random.State.make [| 0x5eed; 42 |] in
+  let specs = QCheck.Gen.generate ~rand ~n:2 Test_random.gen_pipeline in
+  let seeds = [ 0; 1; 3; 7; 19 ] in
+  let combos = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Rt.Fault.disarm ())
+    (fun () ->
+      List.iter
+        (fun spec ->
+          let img, out = Test_random.build_random spec in
+          let env = [] in
+          let images =
+            [
+              ( img,
+                Rt.Buffer.of_image img env (fun c ->
+                    float_of_int (((c.(0) * 7) + (c.(1) * 31)) mod 17) /. 3.)
+              );
+            ]
+          in
+          let reference = naive_output out env images in
+          List.iter
+            (fun site ->
+              List.iter
+                (fun seed ->
+                  incr combos;
+                  Rt.Fault.disarm ();
+                  Rt.Fault.arm ~site ~seed;
+                  let opts = C.Options.opt_vec ~estimates:env () in
+                  match
+                    let plan = C.Compile.run opts ~outputs:[ out ] in
+                    Rt.Executor.run_safe plan env ~images
+                  with
+                  | r, degradations ->
+                    let b = Rt.Executor.output_buffer r out in
+                    if Rt.Buffer.max_abs_diff reference b > 1e-9 then
+                      Alcotest.failf
+                        "site %s seed %d: degraded output diverges from the \
+                         naive reference (%d degradations)"
+                        site seed
+                        (List.length degradations);
+                    if degradations <> [] && not (Rt.Fault.fired ()) then
+                      Alcotest.failf
+                        "site %s seed %d: degraded without a fired fault" site
+                        seed
+                  | exception Err.Polymage_error _ ->
+                    (* a structured error is the one acceptable failure
+                       mode; anything else (Invalid_argument, hang,
+                       corrupt output) fails the test *)
+                    ())
+                seeds)
+            Rt.Fault.sites)
+        specs);
+  Alcotest.(check bool)
+    (Printf.sprintf "covered %d combos (want >= 50)" !combos)
+    true (!combos >= 50)
+
+(* ---- ladder order ---- *)
+
+let ladder_order () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let plan0 =
+    C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
+  in
+  let images = Helpers.images_for app plan0 env in
+  let reference = Rt.Executor.run plan0 env ~images in
+  Fun.protect
+    ~finally:(fun () -> Rt.Fault.disarm ())
+    (fun () ->
+      Rt.Fault.disarm ();
+      Rt.Fault.arm ~site:"kernel_compile" ~seed:0;
+      let plan =
+        C.Compile.run (C.Options.opt_vec ~estimates:env ()) ~outputs:app.outputs
+      in
+      let r, degradations = Rt.Executor.run_safe plan env ~images in
+      (match degradations with
+      | [ (d : Rt.Executor.degradation) ] ->
+        Alcotest.(check string)
+          "abandoned rung" "opt+vec+kernels" d.rung;
+        (match d.error.Err.phase with
+        | Err.Kernel -> ()
+        | p ->
+          Alcotest.failf "expected phase kernel, got %s" (Err.phase_name p))
+      | ds ->
+        Alcotest.failf "expected exactly one degradation, got %d"
+          (List.length ds));
+      Alcotest.(check bool) "fault fired" true (Rt.Fault.fired ());
+      Helpers.check_buffers_equal ~eps:1e-9 "degraded output"
+        (Helpers.output_of app reference)
+        (Helpers.output_of app r))
+
+(* A one-shot fault at pool startup: the first rung dies creating the
+   pool, the retry observes the fault consumed and succeeds. *)
+let worker_start_recovers () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let plan0 =
+    C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
+  in
+  let images = Helpers.images_for app plan0 env in
+  let reference = Rt.Executor.run plan0 env ~images in
+  Fun.protect
+    ~finally:(fun () -> Rt.Fault.disarm ())
+    (fun () ->
+      Rt.Fault.disarm ();
+      Rt.Fault.arm ~site:"worker_start" ~seed:0;
+      let plan =
+        C.Compile.run
+          (C.Options.opt ~workers:2 ~estimates:env ())
+          ~outputs:app.outputs
+      in
+      let r, degradations = Rt.Executor.run_safe plan env ~images in
+      Alcotest.(check int) "one degradation" 1 (List.length degradations);
+      Helpers.check_buffers_equal ~eps:1e-9 "recovered output"
+        (Helpers.output_of app reference)
+        (Helpers.output_of app r))
+
+(* run_safe on a healthy plan must not degrade. *)
+let no_fault_no_degradation () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let plan0 =
+    C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
+  in
+  let images = Helpers.images_for app plan0 env in
+  Rt.Fault.disarm ();
+  let plan =
+    C.Compile.run (C.Options.opt_vec ~estimates:env ()) ~outputs:app.outputs
+  in
+  let _, degradations = Rt.Executor.run_safe plan env ~images in
+  Alcotest.(check int) "no degradations" 0 (List.length degradations)
+
+(* ---- scratchpad budget demotion ---- *)
+
+let scratch_budget () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts = C.Options.opt ~estimates:env () in
+  let plan_free = C.Compile.run opts ~outputs:app.outputs in
+  Alcotest.(check bool) "harris groups tile" true
+    (C.Plan.n_tiled_groups plan_free > 0);
+  Alcotest.(check int) "no budget, no demotions" 0
+    (List.length plan_free.C.Plan.demotions);
+  let plan_tight =
+    C.Compile.run
+      (C.Options.with_scratch_budget (Some 1) opts)
+      ~outputs:app.outputs
+  in
+  Alcotest.(check bool) "demotions recorded" true
+    (plan_tight.C.Plan.demotions <> []);
+  Alcotest.(check int) "every group demoted" 0
+    (C.Plan.n_tiled_groups plan_tight);
+  List.iter
+    (fun (d : C.Plan.demotion) ->
+      Alcotest.(check bool) "demotion names stages" true (d.stages <> []);
+      Alcotest.(check bool) "demotion over budget" true (d.bytes > 1))
+    plan_tight.C.Plan.demotions;
+  (* a generous budget demotes nothing *)
+  let plan_loose =
+    C.Compile.run
+      (C.Options.with_scratch_budget (Some max_int) opts)
+      ~outputs:app.outputs
+  in
+  Alcotest.(check int) "loose budget keeps groups"
+    (C.Plan.n_tiled_groups plan_free)
+    (C.Plan.n_tiled_groups plan_loose);
+  (* the demoted plan still computes the right answer *)
+  let images = Helpers.images_for app plan_free env in
+  let r_free = Rt.Executor.run plan_free env ~images in
+  let r_tight = Rt.Executor.run plan_tight env ~images in
+  Helpers.check_buffers_equal ~eps:1e-9 "demoted output"
+    (Helpers.output_of app r_free)
+    (Helpers.output_of app r_tight)
+
+(* ---- autotuner candidate isolation ---- *)
+
+let tune_isolation () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let plan0 =
+    C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
+  in
+  let images = Helpers.images_for app plan0 env in
+  Fun.protect
+    ~finally:(fun () -> Rt.Fault.disarm ())
+    (fun () ->
+      Rt.Fault.disarm ();
+      (* the first candidate's warm-up hits the fault; the sweep must
+         record it as Failed and keep going *)
+      Rt.Fault.arm ~site:"kernel_compile" ~seed:0;
+      let r =
+        Tune.explore ~tiles:[ 8 ] ~thresholds:[ 0.2; 0.5 ] ~workers:1
+          ~outputs:app.outputs ~env ~images ()
+      in
+      Alcotest.(check int) "full space swept" 2 (List.length r.samples);
+      let failed =
+        List.filter
+          (fun (s : Tune.sample) ->
+            match s.status with Tune.Failed _ -> true | Tune.Timed _ -> false)
+          r.samples
+      in
+      Alcotest.(check int) "one candidate failed" 1 (List.length failed);
+      match r.best.Tune.status with
+      | Tune.Timed _ -> ()
+      | Tune.Failed _ -> Alcotest.fail "best must be a timed sample")
+
+(* ---- pool fail-fast ---- *)
+
+let pool_failfast () =
+  Rt.Pool.with_pool 2 (fun pool ->
+      match
+        Rt.Pool.parallel_for pool ~n:64 (fun i ->
+            if i = 3 then failwith "boom")
+      with
+      | () -> Alcotest.fail "worker failure must propagate"
+      | exception Failure m ->
+        Alcotest.(check string) "original exception" "boom" m);
+  (* the pool survives a failed job and runs the next one *)
+  Rt.Pool.with_pool 2 (fun pool ->
+      (try Rt.Pool.parallel_for pool ~n:8 (fun _ -> failwith "boom") with
+      | Failure _ -> ());
+      let hits = Atomic.make 0 in
+      Rt.Pool.parallel_for pool ~n:8 (fun _ ->
+          ignore (Atomic.fetch_and_add hits 1));
+      Alcotest.(check int) "pool reusable after failure" 8 (Atomic.get hits))
+
+(* ---- fault injector plumbing ---- *)
+
+let fault_parse () =
+  let s = Rt.Fault.parse "alloc:3" in
+  Alcotest.(check string) "site" "alloc" s.Rt.Fault.site;
+  Alcotest.(check int) "seed" 3 s.Rt.Fault.seed;
+  let rejects what str =
+    match Rt.Fault.parse str with
+    | _ -> Alcotest.failf "%s: %S accepted" what str
+    | exception Err.Polymage_error _ -> ()
+  in
+  rejects "unknown site" "bogus:1";
+  rejects "missing seed" "alloc";
+  rejects "bad seed" "alloc:x";
+  rejects "negative seed" "alloc:-1"
+
+(* ---- image I/O hardening ---- *)
+
+let with_temp_file content f =
+  let file = Filename.temp_file "polymage_test" ".pnm" in
+  let oc = open_out_bin file in
+  output_string oc content;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+let image_io_malformed () =
+  let rejects_pgm name content =
+    with_temp_file content (fun file ->
+        match Rt.Image_io.read_pgm file with
+        | _ -> Alcotest.failf "%s: malformed PGM accepted" name
+        | exception Rt.Image_io.Format_error _ -> ())
+  in
+  rejects_pgm "bad magic" "P4\n2 2\n255\n\000\000\000\000";
+  rejects_pgm "zero cols" "P5\n0 2\n255\n";
+  rejects_pgm "negative rows" "P5\n2 -2\n255\n\000\000";
+  rejects_pgm "maxval zero" "P5\n2 2\n0\n\000\000\000\000";
+  rejects_pgm "maxval too large" "P5\n2 2\n65535\n\000\000\000\000";
+  rejects_pgm "non-integer dims" "P5\nab 2\n255\n";
+  rejects_pgm "truncated raster" "P5\n4 4\n255\n\000\000";
+  rejects_pgm "empty file" "";
+  with_temp_file "P6\n2 2\n255\n\000\000" (fun file ->
+      match Rt.Image_io.read_ppm file with
+      | _ -> Alcotest.fail "truncated PPM accepted"
+      | exception Rt.Image_io.Format_error _ -> ());
+  (* a well-formed file still round-trips *)
+  with_temp_file "P5\n2 2\n255\n\000\128\255\064" (fun file ->
+      let b = Rt.Image_io.read_pgm file in
+      Alcotest.(check int) "good PGM size" 4 (Rt.Buffer.size b);
+      Alcotest.(check (float 1e-9)) "good PGM value" 1.
+        (Rt.Buffer.get b [| 1; 0 |]))
+
+(* ---- error type rendering ---- *)
+
+let err_rendering () =
+  let e = Err.error ~stage:"harris" Err.Exec "something broke" in
+  Alcotest.(check string)
+    "pp with stage" "[exec] stage harris: something broke" (Err.to_string e);
+  let e2 = Err.error Err.Bounds "out of domain" in
+  Alcotest.(check string)
+    "pp without stage" "[bounds] out of domain" (Err.to_string e2);
+  (* of_exn preserves a structured payload and wraps foreign ones *)
+  let p = Err.of_exn (Err.Polymage_error e) in
+  Alcotest.(check string) "of_exn structured" (Err.to_string e)
+    (Err.to_string p);
+  let w = Err.of_exn ~phase:Err.IO (Failure "disk on fire") in
+  (match w.Err.phase with
+  | Err.IO -> ()
+  | ph -> Alcotest.failf "wrap phase: got %s" (Err.phase_name ph));
+  Alcotest.(check bool) "wrap keeps message" true
+    (let s = Err.to_string w and needle = "disk on fire" in
+     let n = String.length needle in
+     let rec at i =
+       i + n <= String.length s && (String.sub s i n = needle || at (i + 1))
+     in
+     at 0)
+
+let suite =
+  ( "robustness",
+    [
+      Alcotest.test_case "error rendering" `Quick err_rendering;
+      Alcotest.test_case "fault spec parsing" `Quick fault_parse;
+      Alcotest.test_case "pool fail-fast" `Quick pool_failfast;
+      Alcotest.test_case "image io rejects malformed files" `Quick
+        image_io_malformed;
+      Alcotest.test_case "scratch budget demotes groups" `Quick scratch_budget;
+      Alcotest.test_case "ladder order" `Quick ladder_order;
+      Alcotest.test_case "worker-start fault recovers" `Quick
+        worker_start_recovers;
+      Alcotest.test_case "healthy plan does not degrade" `Quick
+        no_fault_no_degradation;
+      Alcotest.test_case "autotuner isolates failed candidates" `Slow
+        tune_isolation;
+      Alcotest.test_case "fault sites x seeds: recover or raise" `Slow
+        fault_property;
+    ] )

@@ -147,7 +147,7 @@ let divisor_units () =
     Alcotest.(check bool)
       name true
       (match f () with
-      | exception Invalid_argument _ -> true
+      | exception Polymage_util.Err.Polymage_error _ -> true
       | _ -> false)
   in
   raises "( /^ ) 0" (fun () -> Dsl.( /^ ) (Ast.Var x) 0);

@@ -15,4 +15,5 @@ let () =
       Test_apps.suite;
       Test_codegen.suite;
       Test_tune.suite;
+      Test_fault.suite;
     ]

@@ -249,7 +249,7 @@ let wrong_image_extent_detected () =
     Rt.Buffer.create ~lo:[| 0; 0 |] ~dims:[| 40; 30 |]
   in
   match Rt.Executor.run plan env ~images:[ (im, bad) ] with
-  | exception Rt.Eval.Runtime_error _ -> ()
+  | exception Polymage_util.Err.Polymage_error _ -> ()
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "undersized input must be detected"
 

@@ -143,7 +143,7 @@ let missing_image_rejected () =
   let env = app.small_env in
   let plan = C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs in
   match Rt.Executor.run plan env ~images:[] with
-  | exception Invalid_argument _ -> ()
+  | exception Polymage_util.Err.Polymage_error { phase = Exec; _ } -> ()
   | _ -> Alcotest.fail "missing input image must be rejected"
 
 let suite =

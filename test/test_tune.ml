@@ -19,10 +19,14 @@ let tune_harris () =
   Alcotest.(check bool) "best is a sample" true (List.memq r.best r.samples);
   List.iter
     (fun (s : Tune.sample) ->
-      Alcotest.(check bool) "times positive" true
-        (s.time_seq > 0. && s.time_par > 0.);
-      Alcotest.(check bool) "best minimizes parallel time" true
-        (r.best.time_par <= s.time_par))
+      match s.status with
+      | Tune.Failed e ->
+        Alcotest.fail ("unexpected failure: " ^ Polymage_util.Err.to_string e)
+      | Tune.Timed t ->
+        Alcotest.(check bool) "times positive" true
+          (t.time_seq > 0. && t.time_par > 0.);
+        Alcotest.(check bool) "best minimizes parallel time" true
+          (Tune.time_par r.best <= Some t.time_par))
     r.samples;
   (* winning configuration is still correct *)
   let best = Tune.best_options r ~estimates:env ~workers:1 in
