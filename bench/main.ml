@@ -532,6 +532,7 @@ let () =
   and run_bech = ref false
   and quick = ref false
   and json = ref None
+  and trace_json = ref None
   and scale = ref 4 in
   let any = ref false in
   let set r () =
@@ -561,9 +562,23 @@ let () =
             Rt.Fault.arm ~site ~seed),
         "SITE:SEED  arm the fault injector" );
       ("--safe", Arg.Set safe_mode, "execute through the degradation ladder");
+      ( "--trace",
+        Arg.Unit
+          (fun () ->
+            Polymage_util.Trace.enable ();
+            Polymage_util.Metrics.enable ()),
+        "enable structured tracing and metrics for all runs" );
+      ( "--trace-json",
+        Arg.String (fun s -> trace_json := Some s),
+        "FILE  write the captured trace as Chrome trace JSON; implies \
+         --trace" );
     ]
     (fun _ -> ())
     "polymage benchmark harness";
+  if !trace_json <> None then begin
+    Polymage_util.Trace.enable ();
+    Polymage_util.Metrics.enable ()
+  end;
   let all = not !any in
   if all || !run_table1 then table1 ();
   if all || !run_table2 then table2 ~scale:!scale ();
@@ -574,5 +589,10 @@ let () =
   if all || !run_abl then ablations ~scale:!scale ();
   if all || !run_kern then kernels_bench ~scale:!scale ~json:!json ();
   if all || !run_bech then bechamel ();
+  (match !trace_json with
+  | Some file ->
+    Polymage_util.Trace.write_chrome_json file (Polymage_util.Trace.events ());
+    printf "wrote trace to %s\n" file
+  | None -> ());
   hr ();
   printf "done.\n"

@@ -167,6 +167,22 @@ let safe_flag =
            ladder opt+vec+kernels -> opt -> naive, reporting each \
            degradation")
 
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Enable structured tracing and metrics; prints a counter \
+           summary after the run")
+
+let trace_json_flag =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the captured trace as Chrome trace format JSON \
+           (chrome://tracing, Perfetto) to FILE; implies tracing")
+
 let run_cmd =
   let repeats_flag =
     Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"Timed repetitions")
@@ -178,13 +194,19 @@ let run_cmd =
           ~doc:"Evaluate with closure trees instead of row kernels (ablation)")
   in
   let run (app : App.t) size config tile threshold workers repeats no_kernels
-      safe fault =
+      safe fault trace trace_json =
     let env = env_of app size in
     let opts = options_of config tile threshold workers env in
     let opts =
       C.Options.with_fault fault
         { opts with C.Options.kernels = not no_kernels }
     in
+    let tracing = trace || trace_json <> None in
+    let opts = C.Options.with_trace tracing opts in
+    if tracing then begin
+      Polymage_util.Trace.reset ();
+      Polymage_util.Metrics.reset ()
+    end;
     let plan = C.Compile.run opts ~outputs:app.outputs in
     let images =
       List.map
@@ -218,13 +240,51 @@ let run_cmd =
         Printf.printf "  output %s: %d values, checksum %.17g\n" f.Ast.fname
           (Rt.Buffer.size b)
           (Array.fold_left ( +. ) 0. b.data))
-      (!res).outputs
+      (!res).outputs;
+    (match trace_json with
+    | Some file ->
+      Polymage_util.Trace.write_chrome_json file (Polymage_util.Trace.events ());
+      Printf.printf "wrote trace to %s\n" file
+    | None -> ());
+    if trace then
+      List.iter
+        (fun (n, v) -> Printf.printf "  %-32s %12d\n" n v)
+        (Polymage_util.Metrics.snapshot ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute the pipeline and report timing")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
       $ threshold_flag $ workers_flag $ repeats_flag $ no_kernels_flag
-      $ safe_flag $ fault_flag)
+      $ safe_flag $ fault_flag $ trace_flag $ trace_json_flag)
+
+let profile_cmd =
+  let run (app : App.t) size config tile threshold workers trace_json =
+    let env = env_of app size in
+    let opts = options_of config tile threshold workers env in
+    let pipe = Pipeline.build ~outputs:app.outputs in
+    let images =
+      List.map
+        (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
+        pipe.Pipeline.images
+    in
+    let report =
+      Rt.Profile.run ~opts ~outputs:app.outputs ~env ~images
+    in
+    Format.printf "%a" Rt.Profile.pp_report report;
+    match trace_json with
+    | Some file ->
+      Rt.Profile.write_chrome_json file report;
+      Printf.printf "wrote trace to %s\n" file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile and run once with tracing on; print per-phase and \
+          per-group tables")
+    Term.(
+      const run $ app_pos $ size_flag $ config_flag $ tile_flag
+      $ threshold_flag $ workers_flag $ trace_json_flag)
 
 let tune_cmd =
   let tiles_flag =
@@ -334,5 +394,5 @@ let () =
        (Cmd.group (Cmd.info "polymage" ~doc)
           [
             list_cmd; graph_cmd; compile_cmd; groups_cmd; codegen_cmd;
-            run_cmd; tune_cmd; process_cmd;
+            run_cmd; profile_cmd; tune_cmd; process_cmd;
           ]))

@@ -1,6 +1,8 @@
 module C = Polymage_compiler
 module Rt = Polymage_rt
 module Err = Polymage_util.Err
+module Trace = Polymage_util.Trace
+module Metrics = Polymage_util.Metrics
 
 let paper_tiles = [ 8; 16; 32; 64; 128; 256; 512 ]
 let paper_thresholds = [ 0.2; 0.4; 0.5 ]
@@ -55,6 +57,14 @@ let explore ?(tiles = [ 16; 32; 64; 128 ]) ?(thresholds = paper_thresholds)
                      checked between the compile/run phases of the
                      candidate. *)
                   let status =
+                    Trace.with_span ~cat:"tune" "tune.candidate"
+                      ~args:
+                        [
+                          ("tile", Printf.sprintf "%dx%d" ty tx);
+                          ("threshold", Printf.sprintf "%.2f" threshold);
+                        ]
+                    @@ fun () ->
+                    Metrics.bumpn "tune/candidates";
                     try
                       let t_start = Unix.gettimeofday () in
                       let checkpoint what =
@@ -94,7 +104,9 @@ let explore ?(tiles = [ 16; 32; 64; 128 ]) ?(thresholds = paper_thresholds)
                           time_par;
                           n_groups = C.Plan.n_tiled_groups plan;
                         }
-                    with e -> Failed (Err.of_exn e)
+                    with e ->
+                      Metrics.bumpn "tune/failed";
+                      Failed (Err.of_exn e)
                   in
                   samples := { tile; threshold; status } :: !samples)
                 thresholds)

@@ -1,17 +1,26 @@
+open Polymage_util
 open Polymage_ir
 
 exception Bounds_error of Bounds_check.diag list
 
-let run ?(check_bounds = true) opts ~outputs =
-  let pipe = Pipeline.build ~outputs in
-  if check_bounds then begin
-    match Bounds_check.check pipe with
-    | [] -> ()
-    | ds -> raise (Bounds_error ds)
+let run ?(check_bounds = true) (opts : Options.t) ~outputs =
+  if opts.trace then begin
+    Trace.enable ();
+    Metrics.enable ()
   end;
-  Plan.build pipe opts
+  Trace.with_span ~cat:"compile" "compile" (fun () ->
+      let pipe =
+        Trace.with_span ~cat:"compile" "pipeline.build" (fun () ->
+            Pipeline.build ~outputs)
+      in
+      if check_bounds then
+        Trace.with_span ~cat:"compile" "bounds_check" (fun () ->
+            match Bounds_check.check pipe with
+            | [] -> ()
+            | ds -> raise (Bounds_error ds));
+      Plan.build pipe opts)
 
-let phases ppf opts ~outputs =
+let phases ppf (opts : Options.t) ~outputs =
   Format.fprintf ppf "== build stage graph ==@.";
   let pipe = Pipeline.build ~outputs in
   Pipeline.pp_summary ppf pipe;

@@ -17,6 +17,7 @@ type t = {
   kernels : bool;
   max_scratch_bytes : int option;
   fault : (string * int) option;
+  trace : bool;
   estimates : Types.bindings;
 }
 
@@ -36,6 +37,7 @@ let base ?(workers = 1) ~estimates () =
     kernels = true;
     max_scratch_bytes = None;
     fault = None;
+    trace = false;
     estimates;
   }
 
@@ -52,11 +54,12 @@ let with_tile tile t = { t with tile }
 let with_threshold threshold t = { t with threshold }
 let with_scratch_budget bytes t = { t with max_scratch_bytes = bytes }
 let with_fault fault t = { t with fault }
+let with_trace trace t = { t with trace }
 
 let pp ppf t =
   Format.fprintf ppf
     "{grouping=%b inline=%b vec=%b split=%b workers=%d tile=[%s] \
-     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s}"
+     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s%s}"
     t.grouping_on t.inline_on t.vec t.split_cases t.workers
     (String.concat ";" (Array.to_list (Array.map string_of_int t.tile)))
     t.threshold t.scratchpads t.naive_overlap t.kernels
@@ -66,3 +69,4 @@ let pp ppf t =
     (match t.fault with
     | None -> ""
     | Some (site, seed) -> Printf.sprintf " fault=%s:%d" site seed)
+    (if t.trace then " trace" else "")

@@ -50,6 +50,10 @@ type t = {
   fault : (string * int) option;
       (** fault-injection spec [(site, seed)] carried to the runtime
           ({!Polymage_rt.Fault}); [None] leaves the injector alone *)
+  trace : bool;
+      (** enable {!Polymage_util.Trace} spans and {!Polymage_util.Metrics}
+          counters for this compile/run (default off; the disabled path
+          costs one atomic load per instrumentation point) *)
   estimates : Types.bindings;  (** parameter estimates for grouping *)
 }
 
@@ -69,4 +73,5 @@ val with_tile : int array -> t -> t
 val with_threshold : float -> t -> t
 val with_scratch_budget : int option -> t -> t
 val with_fault : (string * int) option -> t -> t
+val with_trace : bool -> t -> t
 val pp : Format.formatter -> t -> unit

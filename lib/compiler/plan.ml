@@ -44,9 +44,12 @@ let group_scratch_bytes (opts : Options.t) (g : tiled) =
     0 g.members
 
 let build (pipe : Pipeline.t) (opts : Options.t) =
+  let module Trace = Polymage_util.Trace in
   let source_outputs = pipe.outputs in
   let pipe, inlined =
-    if opts.inline_on then Inline.run pipe else (pipe, [])
+    if opts.inline_on then
+      Trace.with_span ~cat:"compile" "inline" (fun () -> Inline.run pipe)
+    else (pipe, [])
   in
   if not opts.grouping_on then
     {
@@ -68,17 +71,25 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
         naive_overlap = opts.naive_overlap;
       }
     in
-    let grouping = Grouping.run pipe gcfg in
+    let grouping =
+      Trace.with_span ~cat:"compile" "grouping" (fun () ->
+          Grouping.run pipe gcfg)
+    in
     let order = Grouping.group_order pipe grouping in
     let demotions = ref [] in
     let items =
+      Trace.with_span ~cat:"compile" "tiling" (fun () ->
       List.concat_map
         (fun g ->
           let members = grouping.groups.(g) in
           match members with
           | [ i ] -> [ Straight i ]
           | _ -> (
-            match Poly.Schedule.solve pipe members with
+            match
+              Trace.with_span ~cat:"compile" "align_scale"
+                ~args:[ ("group", string_of_int g) ] (fun () ->
+                  Poly.Schedule.solve pipe members)
+            with
             | Error f ->
               (* The grouping only ever merges solvable sets, so this
                  is unreachable; fail loudly if the invariant breaks. *)
@@ -105,10 +116,12 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
               in
               let tg = { sched; members; tile = opts.tile } in
               let over_budget =
-                match opts.max_scratch_bytes with
-                | None -> false
-                | Some budget ->
-                  opts.scratchpads && group_scratch_bytes opts tg > budget
+                Trace.with_span ~cat:"compile" "storage"
+                  ~args:[ ("group", string_of_int g) ] (fun () ->
+                    match opts.max_scratch_bytes with
+                    | None -> false
+                    | Some budget ->
+                      opts.scratchpads && group_scratch_bytes opts tg > budget)
               in
               if over_budget then begin
                 (* Demote the whole group to untiled per-stage
@@ -131,7 +144,7 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
                         (Array.map (fun (m : member) -> m.ms.sidx) tg.members)))
               end
               else [ Tiled tg ]))
-        order
+        order)
     in
     {
       pipe;

@@ -278,10 +278,304 @@ let pyramid_blend ?(levels = 4) env ~fill (app : App.t) =
   done;
   out
 
+(* ---------- Camera RAW pipeline ---------- *)
+
+(* Single-precision store, as the executor applies to every
+   materialized Float stage ([Types.clamp_store Float]). *)
+let f32 v = Int32.float_of_bits (Int32.bits_of_float v)
+
+(* Mirrors the compiled pipeline's numerics exactly: materialized
+   stages round to single precision on store, while the stages the
+   inliner folds away on this pipeline (ccr/ccg/ccb, detail, the tone
+   curve) are evaluated in double inside their consumers. *)
+let camera env ~fill (app : App.t) =
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let r = lookup_param pipe env "R" and c = lookup_param pipe env "C" in
+  let raw = matrix2 env fill (lookup_image pipe "raw") in
+  let rows = (2 * r) + 4 and cols = (2 * c) + 4 in
+  let mk () = Array.make_matrix rows cols 0. in
+  (* hot-pixel suppression: clamp to the same-color neighbour range *)
+  let den = mk () in
+  for x = 2 to (2 * r) + 1 do
+    for y = 2 to (2 * c) + 1 do
+      let v = raw.(x).(y) in
+      let n1 = raw.(x - 2).(y)
+      and n2 = raw.(x + 2).(y)
+      and n3 = raw.(x).(y - 2)
+      and n4 = raw.(x).(y + 2) in
+      let lo = Float.min (Float.min n1 n2) (Float.min n3 n4) in
+      let hi = Float.max (Float.max n1 n2) (Float.max n3 n4) in
+      den.(x).(y) <- f32 (Float.max lo (Float.min v hi))
+    done
+  done;
+  (* black level subtraction + white balance by Bayer phase (GRBG) *)
+  let bal = mk () in
+  for x = 2 to (2 * r) + 1 do
+    for y = 2 to (2 * c) + 1 do
+      let d = den.(x).(y) -. 16.0 in
+      let g =
+        if x mod 2 = 0 then if y mod 2 = 0 then d else 1.9 *. d
+        else if y mod 2 = 0 then 1.4 *. d
+        else d
+      in
+      bal.(x).(y) <- f32 (Float.max 0. g)
+    done
+  done;
+  (* deinterleave into half-resolution planes *)
+  let hrows = r + 2 and hcols = c + 2 in
+  let mkh () = Array.make_matrix hrows hcols 0. in
+  let plane dx dy =
+    let p = mkh () in
+    for x = 0 to r + 1 do
+      for y = 0 to c + 1 do
+        p.(x).(y) <- bal.((2 * x) + dx).((2 * y) + dy)
+      done
+    done;
+    p
+  in
+  let gr = plane 0 0
+  and rp = plane 0 1
+  and bp = plane 1 0
+  and gb = plane 1 1 in
+  let interp f =
+    let p = mkh () in
+    for x = 1 to r do
+      for y = 1 to c do
+        p.(x).(y) <- f32 (f x y)
+      done
+    done;
+    p
+  in
+  let g2 a b = 0.5 *. (a +. b) in
+  let g4 a b cc d = 0.25 *. (((a +. b) +. cc) +. d) in
+  (* gradient-guided green at red and blue sites *)
+  let gh_r = interp (fun x y -> Float.abs (gr.(x).(y) -. gr.(x).(y + 1))) in
+  let gv_r = interp (fun x y -> Float.abs (gb.(x).(y) -. gb.(x - 1).(y))) in
+  let g_r =
+    interp (fun x y ->
+        if gh_r.(x).(y) < gv_r.(x).(y) then g2 gr.(x).(y) gr.(x).(y + 1)
+        else g2 gb.(x).(y) gb.(x - 1).(y))
+  in
+  let gh_b = interp (fun x y -> Float.abs (gb.(x).(y) -. gb.(x).(y - 1))) in
+  let gv_b = interp (fun x y -> Float.abs (gr.(x).(y) -. gr.(x + 1).(y))) in
+  let g_b =
+    interp (fun x y ->
+        if gh_b.(x).(y) < gv_b.(x).(y) then g2 gb.(x).(y) gb.(x).(y - 1)
+        else g2 gr.(x).(y) gr.(x + 1).(y))
+  in
+  (* red/blue at the other sites: plane-space averages *)
+  let r_gr = interp (fun x y -> g2 rp.(x).(y) rp.(x).(y - 1)) in
+  let r_gb = interp (fun x y -> g2 rp.(x).(y) rp.(x + 1).(y)) in
+  let r_b =
+    interp (fun x y ->
+        g4 rp.(x).(y) rp.(x + 1).(y) rp.(x).(y - 1) rp.(x + 1).(y - 1))
+  in
+  let b_gr = interp (fun x y -> g2 bp.(x).(y) bp.(x - 1).(y)) in
+  let b_gb = interp (fun x y -> g2 bp.(x).(y) bp.(x).(y + 1)) in
+  let b_r =
+    interp (fun x y ->
+        g4 bp.(x).(y) bp.(x - 1).(y) bp.(x).(y + 1) bp.(x - 1).(y + 1))
+  in
+  (* recombine to full resolution by Bayer phase *)
+  let full e00 e01 e10 e11 =
+    let m = mk () in
+    for x = 2 to (2 * r) + 1 do
+      for y = 2 to (2 * c) + 1 do
+        let h (p : float array array) = p.(x / 2).(y / 2) in
+        m.(x).(y) <-
+          (if x mod 2 = 0 then if y mod 2 = 0 then h e00 else h e01
+           else if y mod 2 = 0 then h e10
+           else h e11)
+      done
+    done;
+    m
+  in
+  let red = full r_gr rp r_b r_gb in
+  let green = full gr g_r g_b gb in
+  let blue = full b_gr b_r bp b_gb in
+  (* color matrix correction — inlined in the compiled pipeline, so
+     evaluated in double at each use *)
+  let mat =
+    [|
+      [| 1.6; -0.4; -0.2 |]; [| -0.3; 1.5; -0.2 |]; [| -0.1; -0.5; 1.6 |];
+    |]
+  in
+  let cc k x y =
+    let row = mat.(k) in
+    Float.max 0.
+      (Float.min
+         (((row.(0) *. red.(x).(y)) +. (row.(1) *. green.(x).(y)))
+         +. (row.(2) *. blue.(x).(y)))
+         1023.)
+  in
+  let luma = mk () in
+  for x = 2 to (2 * r) + 1 do
+    for y = 2 to (2 * c) + 1 do
+      luma.(x).(y) <-
+        f32
+          (((0.299 *. cc 0 x y) +. (0.587 *. cc 1 x y)) +. (0.114 *. cc 2 x y))
+    done
+  done;
+  (* luma sharpening on the sharp interior [3 .. 2R] x [3 .. 2C] *)
+  let lblurx = mk () and lblury = mk () in
+  for x = 3 to 2 * r do
+    for y = 3 to 2 * c do
+      lblurx.(x).(y) <-
+        f32
+          (0.25
+          *. ((luma.(x - 1).(y) +. (2.0 *. luma.(x).(y))) +. luma.(x + 1).(y)))
+    done
+  done;
+  for x = 3 to 2 * r do
+    for y = 3 to 2 * c do
+      lblury.(x).(y) <-
+        f32
+          (0.25
+          *. ((lblurx.(x).(y - 1) +. (2.0 *. lblurx.(x).(y)))
+             +. lblurx.(x).(y + 1)))
+    done
+  done;
+  (* gamma tone curve (inlined LUT) applied with sharpening folded in *)
+  let out = Rt.Buffer.of_func (List.hd app.outputs) env in
+  let data = out.Rt.Buffer.data in
+  let gamma = 1.0 /. 2.2 in
+  for chn = 0 to 2 do
+    for x = 2 to (2 * r) + 1 do
+      let base = ((chn * rows) + x) * cols in
+      for y = 2 to (2 * c) + 1 do
+        let detail =
+          if x >= 3 && x <= 2 * r && y >= 3 && y <= 2 * c then
+            0.4 *. (luma.(x).(y) -. lblury.(x).(y))
+          else 0.
+        in
+        let z =
+          Float.floor (Float.max 0. (Float.min (cc chn x y +. detail) 1023.))
+        in
+        data.(base + y) <-
+          Types.clamp_store Types.UChar (255.0 *. Float.pow (z /. 1023.0) gamma)
+      done
+    done
+  done;
+  out
+
+(* ---------- Pull-push interpolation ---------- *)
+
+let interpolate ?(levels = 5) env ~fill (app : App.t) =
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let r = lookup_param pipe env "R" and c = lookup_param pipe env "C" in
+  let rgba = matrix3 env fill (lookup_image pipe "rgba") in
+  let rdiv k = r / (1 lsl k) and cdiv k = c / (1 lsl k) in
+  let mk3 k =
+    Array.init 4 (fun _ -> Array.make_matrix (rdiv k + 4) (cdiv k + 4) 0.)
+  in
+  (* alpha-premultiplied level 0 *)
+  let d0 = mk3 0 in
+  for ch = 0 to 3 do
+    for x = 2 to rdiv 0 do
+      for y = 2 to cdiv 0 do
+        d0.(ch).(x).(y) <-
+          f32
+            (if ch = 3 then rgba.(3).(x).(y)
+             else rgba.(ch).(x).(y) *. rgba.(3).(x).(y))
+      done
+    done
+  done;
+  (* separable decimation, columns then rows (two stages per level) *)
+  let w3 a b cc = ((0.25 *. a) +. (0.5 *. b)) +. (0.25 *. cc) in
+  let down k (prev : float array array array) =
+    let dy =
+      Array.init 4 (fun _ ->
+          Array.make_matrix (rdiv (k - 1) + 4) (cdiv k + 4) 0.)
+    in
+    for ch = 0 to 3 do
+      for x = 2 to rdiv (k - 1) do
+        for y = 2 to cdiv k do
+          let p = prev.(ch).(x) in
+          dy.(ch).(x).(y) <-
+            f32 (w3 p.((2 * y) - 1) p.(2 * y) p.((2 * y) + 1))
+        done
+      done
+    done;
+    let d = mk3 k in
+    for ch = 0 to 3 do
+      for x = 2 to rdiv k do
+        for y = 2 to cdiv k do
+          let q = dy.(ch) in
+          d.(ch).(x).(y) <-
+            f32 (w3 q.((2 * x) - 1).(y) q.(2 * x).(y) q.((2 * x) + 1).(y))
+        done
+      done
+    done;
+    d
+  in
+  let d_at = Array.make (levels + 1) d0 in
+  for k = 1 to levels do
+    d_at.(k) <- down k d_at.(k - 1)
+  done;
+  (* level-(k+1) data onto the level-k grid (even/odd bilinear,
+     matching Dsl.upsample2) *)
+  let upsample k (g : float array array array) =
+    let u = mk3 k in
+    for ch = 0 to 3 do
+      let s = g.(ch) in
+      let along_y ix y =
+        if y mod 2 = 0 then s.(ix).(y / 2)
+        else 0.5 *. (s.(ix).((y - 1) / 2) +. s.(ix).((y + 1) / 2))
+      in
+      for x = 2 to rdiv k do
+        for y = 2 to cdiv k do
+          u.(ch).(x).(y) <-
+            f32
+              (if x mod 2 = 0 then along_y (x / 2) y
+               else 0.5 *. (along_y ((x - 1) / 2) y +. along_y ((x + 1) / 2) y))
+        done
+      done
+    done;
+    u
+  in
+  (* pull phase: u_levels = d_levels; u_k = d_k + (1 - alpha_k) * up *)
+  let rec pull k =
+    if k = levels then d_at.(k)
+    else begin
+      let deeper = pull (k + 1) in
+      let up = upsample k deeper in
+      let u = mk3 k in
+      for ch = 0 to 3 do
+        for x = 2 to rdiv k do
+          for y = 2 to cdiv k do
+            u.(ch).(x).(y) <-
+              f32
+                (d_at.(k).(ch).(x).(y)
+                +. ((1.0 -. d_at.(k).(3).(x).(y)) *. up.(ch).(x).(y)))
+          done
+        done
+      done;
+      u
+    end
+  in
+  let u0 = pull 0 in
+  (* normalize by the interpolated alpha *)
+  let out = Rt.Buffer.of_func (List.hd app.outputs) env in
+  let data = out.Rt.Buffer.data in
+  let rows = r + 4 and cols = c + 4 in
+  for ch = 0 to 3 do
+    for x = 2 to r do
+      let base = ((ch * rows) + x) * cols in
+      for y = 2 to c do
+        data.(base + y) <-
+          f32 (u0.(ch).(x).(y) /. Float.max u0.(3).(x).(y) 1e-6)
+      done
+    done
+  done;
+  out
+
 let for_app (app : App.t) =
   match app.name with
   | "unsharp_mask" -> Some (fun env -> unsharp env ~fill:(app.fill env) app)
   | "harris" -> Some (fun env -> harris env ~fill:(app.fill env) app)
   | "pyramid_blend" ->
     Some (fun env -> pyramid_blend env ~fill:(app.fill env) app)
+  | "camera_pipe" -> Some (fun env -> camera env ~fill:(app.fill env) app)
+  | "interpolate" ->
+    Some (fun env -> interpolate env ~fill:(app.fill env) app)
   | _ -> None

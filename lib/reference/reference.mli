@@ -33,6 +33,26 @@ val pyramid_blend :
   App.t ->
   Rt.Buffer.t
 
+val camera :
+  Types.bindings ->
+  fill:(Ast.image -> int array -> float) ->
+  App.t ->
+  Rt.Buffer.t
+(** Camera RAW pipeline oracle.  Mirrors the compiled pipeline's
+    numerics: materialized stages round to single precision on store
+    (as the executor's [clamp_store Float] does), while the stages the
+    inliner folds away (color correction, detail, tone curve) are
+    evaluated in double inside their consumers. *)
+
+val interpolate :
+  ?levels:int ->
+  Types.bindings ->
+  fill:(Ast.image -> int array -> float) ->
+  App.t ->
+  Rt.Buffer.t
+(** Pull-push multiscale interpolation oracle, same precision
+    conventions as {!camera}. *)
+
 val for_app : App.t -> (Types.bindings -> Rt.Buffer.t) option
 (** The reference implementation for a registered app, when one
     exists, already wired to the app's synthetic inputs. *)

@@ -2,6 +2,8 @@ open Polymage_ir
 module Poly = Polymage_poly
 module C = Polymage_compiler
 module Err = Polymage_util.Err
+module Trace = Polymage_util.Trace
+module Metrics = Polymage_util.Metrics
 
 type result = {
   buffers : Buffer.t option array;
@@ -82,8 +84,14 @@ let compile_cpiece (opts : C.Options.t) (f : Ast.func) env lookup p =
     ckern =
       (if opts.kernels && p.pcond = None then begin
          Fault.hit "kernel_compile";
-         Kernel.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup
-           ~self:f.Ast.fid p.prhs
+         let k =
+           Kernel.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup
+             ~self:f.Ast.fid p.prhs
+         in
+         (match k with
+         | Some _ -> Metrics.bumpn "exec/kernels_compiled"
+         | None -> Metrics.bumpn "exec/kernel_fallbacks");
+         k
        end
        else None);
   }
@@ -110,6 +118,19 @@ let run_pieces ~vec ~ty (view : Eval.view) (coords : int array)
         match cp.cbox with Some pb -> intersect_box pb box | None -> box
       in
       if not (box_empty b) then begin
+        if Metrics.enabled () then begin
+          let rows = ref 1 in
+          for d = 0 to n - 2 do
+            let lo, hi = b.(d) in
+            rows := !rows * (hi - lo + 1)
+          done;
+          let rows = !rows in
+          Metrics.addn "exec/rows_total" rows;
+          match (cp.ccond, cp.ckern) with
+          | Some _, _ -> Metrics.addn "exec/rows_cond" rows
+          | None, Some _ -> Metrics.addn "exec/rows_kernel" rows
+          | None, None -> Metrics.addn "exec/rows_closure" rows
+        end;
         let write_row lo hi =
           (* position of (coords with last dim = lo) *)
           let pos0 = ref view.off in
@@ -404,32 +425,11 @@ let exec_straight pool (plan : C.Plan.t) env buffers images i =
 
 (* ---------- tiled groups ---------- *)
 
-type wmember = {
-  mview : Eval.view;  (* where the stage writes (scratch or buffer) *)
-  mbufview : Eval.view option;  (* full-buffer view for live-outs *)
-  mscratch : float array option;  (* scratch storage, when used *)
-  mcpieces : cpiece list;
-  mcoords : int array;
-  mneeds_zero : bool;  (* pieces may not cover the whole box *)
-}
-
-let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
-  Fault.hit "group_schedule";
-  let opts = plan.opts in
-  let pipe = plan.pipe in
-  let sched = g.sched in
-  let ncd = sched.n_cdims in
-  let naive = opts.naive_overlap in
-  let tau = Poly.Tiling.scaled_tile sched ~tile:g.tile in
-  let nm = Array.length g.members in
-  (* Allocate full buffers: live-outs always; every member when the
-     scratchpad optimization is disabled. *)
-  Array.iter
-    (fun (m : C.Plan.member) ->
-      if m.live_out || not opts.scratchpads then
-        buffers.(m.ms.sidx) <- Some (alloc_buffer m.ms.func env))
-    g.members;
-  (* Tile space: bounding box of the members' scaled domains. *)
+(* Tile space of a group: bounding box of the members' scaled domains,
+   per canonical dim.  Shared by all three tiling strategies and by
+   [tile_counts]. *)
+let group_space (g : C.Plan.tiled) env =
+  let ncd = g.sched.n_cdims in
   let space_lo = Array.make ncd max_int and space_hi = Array.make ncd min_int in
   Array.iter
     (fun (m : C.Plan.member) ->
@@ -450,11 +450,128 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
       space_hi.(d) <- 0
     end
   done;
-  let n_tiles =
-    Array.init ncd (fun d ->
-        max 1 (ceil_div (space_hi.(d) - space_lo.(d) + 1) tau.(d)))
+  (space_lo, space_hi)
+
+let tiles_of_space ncd tau space_lo space_hi =
+  Array.init ncd (fun d ->
+      max 1 (ceil_div (space_hi.(d) - space_lo.(d) + 1) tau.(d)))
+
+(* Tile layout (scaled tile sizes, tile-space origin, tiles per dim)
+   for each strategy.  The executors and [tile_counts] both go through
+   these, so reported tile counts agree with execution by
+   construction. *)
+let overlap_layout (g : C.Plan.tiled) env =
+  let ncd = g.sched.n_cdims in
+  let tau = Poly.Tiling.scaled_tile g.sched ~tile:g.tile in
+  let space_lo, space_hi = group_space g env in
+  (tau, space_lo, tiles_of_space ncd tau space_lo space_hi)
+
+let group_heights (pipe : Pipeline.t) (g : C.Plan.tiled) =
+  let sched = g.sched in
+  let sink_level = pipe.level.(sched.members.(sched.sink).sidx) in
+  let height (m : C.Plan.member) = sink_level - pipe.level.(m.ms.sidx) in
+  let h_max = Array.fold_left (fun acc m -> max acc (height m)) 0 g.members in
+  (height, h_max)
+
+let parallelogram_layout (pipe : Pipeline.t) (g : C.Plan.tiled) env =
+  let ncd = g.sched.n_cdims in
+  let tau = Poly.Tiling.scaled_tile g.sched ~tile:g.tile in
+  let _, h_max = group_heights pipe g in
+  let skew = g.sched.slope_r in
+  let space_lo, space_hi = group_space g env in
+  (* extend left so the most-skewed member still covers its domain *)
+  for d = 0 to ncd - 1 do
+    space_lo.(d) <- space_lo.(d) - (h_max * skew.(d))
+  done;
+  (tau, space_lo, tiles_of_space ncd tau space_lo space_hi, h_max, skew)
+
+let split_layout (pipe : Pipeline.t) (g : C.Plan.tiled) env =
+  let sched = g.sched in
+  let ncd = sched.n_cdims in
+  let _, h_max = group_heights pipe g in
+  (* symmetric slope per dim *)
+  let sigma =
+    Array.init ncd (fun d -> max sched.slope_l.(d) sched.slope_r.(d))
   in
+  (* tiles must be wide enough that the sink's upward window is
+     nonempty and phases only depend on earlier phases *)
+  let tau0 = Poly.Tiling.scaled_tile sched ~tile:g.tile in
+  let tau =
+    Array.init ncd (fun d -> max tau0.(d) ((2 * h_max * sigma.(d)) + 2))
+  in
+  let space_lo, space_hi = group_space g env in
+  (tau, space_lo, tiles_of_space ncd tau space_lo space_hi, h_max, sigma)
+
+(* Total units of tile-level work per plan item (Tiled items only):
+   tiles for Overlap/Parallelogram, trapezoid regions over all 2^d
+   phases for Split.  Pure function of the plan and bindings; the
+   executors' per-group "tiles" counters match these by construction. *)
+let tile_counts (plan : C.Plan.t) env =
+  let acc = ref [] in
+  Array.iteri
+    (fun k item ->
+      match (item : C.Plan.item) with
+      | C.Plan.Straight _ -> ()
+      | C.Plan.Tiled g ->
+        let total =
+          match plan.opts.tiling with
+          | C.Options.Overlap ->
+            let _, _, n_tiles = overlap_layout g env in
+            Array.fold_left ( * ) 1 n_tiles
+          | C.Options.Parallelogram ->
+            let _, _, n_tiles, _, _ = parallelogram_layout plan.pipe g env in
+            Array.fold_left ( * ) 1 n_tiles
+          | C.Options.Split ->
+            let ncd = g.sched.n_cdims in
+            let _, _, n_tiles, _, _ = split_layout plan.pipe g env in
+            List.fold_left
+              (fun acc mask ->
+                let counts =
+                  Array.init ncd (fun d ->
+                      if mask land (1 lsl d) = 0 then n_tiles.(d)
+                      else n_tiles.(d) + 1)
+                in
+                acc + Array.fold_left ( * ) 1 counts)
+              0
+              (List.init (1 lsl ncd) Fun.id)
+        in
+        acc := (k, total) :: !acc)
+    plan.items;
+  List.rev !acc
+
+let group_counter gidx what =
+  Metrics.counter (Printf.sprintf "exec/group%d/%s" gidx what)
+
+type wmember = {
+  mview : Eval.view;  (* where the stage writes (scratch or buffer) *)
+  mbufview : Eval.view option;  (* full-buffer view for live-outs *)
+  mscratch : float array option;  (* scratch storage, when used *)
+  mcpieces : cpiece list;
+  mcoords : int array;
+  mneeds_zero : bool;  (* pieces may not cover the whole box *)
+}
+
+let exec_tiled pool (plan : C.Plan.t) env buffers images ~gidx
+    (g : C.Plan.tiled) =
+  Fault.hit "group_schedule";
+  let opts = plan.opts in
+  let pipe = plan.pipe in
+  let sched = g.sched in
+  let ncd = sched.n_cdims in
+  let naive = opts.naive_overlap in
+  let tau, space_lo, n_tiles = overlap_layout g env in
   let total_tiles = Array.fold_left ( * ) 1 n_tiles in
+  let c_tiles = group_counter gidx "tiles" in
+  let c_scratch = group_counter gidx "scratch_bytes" in
+  let c_attach = group_counter gidx "scratch_attaches" in
+  let nm = Array.length g.members in
+  (* Allocate full buffers: live-outs always; every member when the
+     scratchpad optimization is disabled. *)
+  Array.iter
+    (fun (m : C.Plan.member) ->
+      if m.live_out || not opts.scratchpads then
+        buffers.(m.ms.sidx) <- Some (alloc_buffer m.ms.func env))
+    g.members;
   (* Concrete domains, widened/owned range computation per member. *)
   let doms = Array.map (fun (m : C.Plan.member) -> concrete_dom m.ms.func env) g.members in
   let widen_of (ms : Poly.Schedule.stage_sched) d =
@@ -486,6 +603,7 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
                 let ext = C.Storage.scratch_extents ~naive g env ms in
                 let total = max 1 (Array.fold_left ( * ) 1 ext) in
                 Fault.hit "alloc";
+                Metrics.add c_scratch (total * 8);
                 let data = Array.make total 0. in
                 let strides =
                   let n = Array.length ext in
@@ -538,6 +656,7 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
   in
   let run_tile t =
     Fault.hit "tile_body";
+    Metrics.bump c_tiles;
     let wmembers = Domain.DLS.get key in
     (* tile index per canonical dim *)
     let tidx = Array.make ncd 0 in
@@ -576,8 +695,10 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
           end
         done;
         let use_scratch = m.used_in_group && opts.scratchpads in
-        if use_scratch then
+        if use_scratch then begin
           Eval.attach_scratch w.mview (Option.get w.mscratch) ~start;
+          Metrics.bump c_attach
+        end;
         (* Which box does this member compute in this tile? *)
         let box = if m.used_in_group then widened else owned in
         if not (box_empty box) then begin
@@ -621,50 +742,21 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
    every member needs a full buffer since consumers read values across
    tile boundaries (no scratchpad storage optimization). *)
 
-let exec_parallelogram (plan : C.Plan.t) env buffers images
+let exec_parallelogram (plan : C.Plan.t) env buffers images ~gidx
     (g : C.Plan.tiled) =
   let opts = plan.opts in
   let pipe = plan.pipe in
   let sched = g.sched in
   let ncd = sched.n_cdims in
-  let tau = Poly.Tiling.scaled_tile sched ~tile:g.tile in
-  let sink_level = pipe.level.(sched.members.(sched.sink).sidx) in
-  let height m = sink_level - pipe.level.((m : C.Plan.member).ms.sidx) in
+  let height, _ = group_heights pipe g in
   (* Every member materializes. *)
   Array.iter
     (fun (m : C.Plan.member) ->
       buffers.(m.ms.sidx) <- Some (alloc_buffer m.ms.func env))
     g.members;
-  let h_max = Array.fold_left (fun acc m -> max acc (height m)) 0 g.members in
-  let skew = sched.slope_r in
-  (* Tile space, extended left so the most-skewed member still covers
-     its whole domain. *)
-  let space_lo = Array.make ncd max_int and space_hi = Array.make ncd min_int in
-  Array.iter
-    (fun (m : C.Plan.member) ->
-      let sd = Poly.Schedule.scaled_domain ~n_cdims:ncd m.ms env in
-      let covers = Array.make ncd false in
-      Array.iter (fun d -> if d >= 0 then covers.(d) <- true) m.ms.align;
-      Array.iteri
-        (fun d (lo, hi) ->
-          if covers.(d) then begin
-            if lo < space_lo.(d) then space_lo.(d) <- lo;
-            if hi > space_hi.(d) then space_hi.(d) <- hi
-          end)
-        sd)
-    g.members;
-  for d = 0 to ncd - 1 do
-    if space_lo.(d) = max_int then begin
-      space_lo.(d) <- 0;
-      space_hi.(d) <- 0
-    end;
-    space_lo.(d) <- space_lo.(d) - (h_max * skew.(d))
-  done;
-  let n_tiles =
-    Array.init ncd (fun d ->
-        max 1 (ceil_div (space_hi.(d) - space_lo.(d) + 1) tau.(d)))
-  in
+  let tau, space_lo, n_tiles, _, skew = parallelogram_layout pipe g env in
   let total_tiles = Array.fold_left ( * ) 1 n_tiles in
+  let c_tiles = group_counter gidx "tiles" in
   let doms =
     Array.map (fun (m : C.Plan.member) -> concrete_dom m.ms.func env) g.members
   in
@@ -692,6 +784,7 @@ let exec_parallelogram (plan : C.Plan.t) env buffers images
   in
   let tidx = Array.make ncd 0 in
   for t = 0 to total_tiles - 1 do
+    Metrics.bump c_tiles;
     let rem = ref t in
     for d = ncd - 1 downto 0 do
       tidx.(d) <- !rem mod n_tiles.(d);
@@ -732,52 +825,20 @@ let exec_parallelogram (plan : C.Plan.t) env buffers images
    the later phases, so every member gets a full buffer — the paper's
    reason to prefer overlapped tiling for storage optimization. *)
 
-let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
+let exec_split pool (plan : C.Plan.t) env buffers images ~gidx
+    (g : C.Plan.tiled) =
   let opts = plan.opts in
   let pipe = plan.pipe in
   let sched = g.sched in
   let ncd = sched.n_cdims in
-  let sink_level = pipe.level.(sched.members.(sched.sink).sidx) in
-  let height (m : C.Plan.member) = sink_level - pipe.level.(m.ms.sidx) in
-  let h_max = Array.fold_left (fun acc m -> max acc (height m)) 0 g.members in
-  (* symmetric slope per dim; level-from-bottom ell = h_max - height *)
-  let sigma =
-    Array.init ncd (fun d -> max sched.slope_l.(d) sched.slope_r.(d))
-  in
-  (* tiles must be wide enough that the sink's upward window is
-     nonempty and phases only depend on earlier phases *)
-  let tau0 = Poly.Tiling.scaled_tile sched ~tile:g.tile in
-  let tau =
-    Array.init ncd (fun d -> max tau0.(d) ((2 * h_max * sigma.(d)) + 2))
-  in
+  let height, h_max = group_heights pipe g in
+  (* level-from-bottom ell = h_max - height *)
   Array.iter
     (fun (m : C.Plan.member) ->
       buffers.(m.ms.sidx) <- Some (alloc_buffer m.ms.func env))
     g.members;
-  let space_lo = Array.make ncd max_int and space_hi = Array.make ncd min_int in
-  Array.iter
-    (fun (m : C.Plan.member) ->
-      let sd = Poly.Schedule.scaled_domain ~n_cdims:ncd m.ms env in
-      let covers = Array.make ncd false in
-      Array.iter (fun d -> if d >= 0 then covers.(d) <- true) m.ms.align;
-      Array.iteri
-        (fun d (lo, hi) ->
-          if covers.(d) then begin
-            if lo < space_lo.(d) then space_lo.(d) <- lo;
-            if hi > space_hi.(d) then space_hi.(d) <- hi
-          end)
-        sd)
-    g.members;
-  for d = 0 to ncd - 1 do
-    if space_lo.(d) = max_int then begin
-      space_lo.(d) <- 0;
-      space_hi.(d) <- 0
-    end
-  done;
-  let n_tiles =
-    Array.init ncd (fun d ->
-        max 1 (ceil_div (space_hi.(d) - space_lo.(d) + 1) tau.(d)))
-  in
+  let tau, space_lo, n_tiles, _, sigma = split_layout pipe g env in
+  let c_tiles = group_counter gidx "tiles" in
   let doms =
     Array.map (fun (m : C.Plan.member) -> concrete_dom m.ms.func env) g.members
   in
@@ -807,6 +868,7 @@ let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
   (* Phase = bitmask of "downward" dimensions. *)
   let run_region mask (idx : int array) =
     Fault.hit "tile_body";
+    Metrics.bump c_tiles;
     let compiled = Domain.DLS.get key in
     Array.iteri
       (fun k (m : C.Plan.member) ->
@@ -868,6 +930,10 @@ let exec_split pool (plan : C.Plan.t) env buffers images (g : C.Plan.tiled) =
 
 let run ?pool (plan : C.Plan.t) env ~images =
   Fault.ensure plan.opts.fault;
+  if plan.opts.trace then begin
+    Trace.enable ();
+    Metrics.enable ()
+  end;
   let pipe = plan.pipe in
   (* Check provided images. *)
   List.iter
@@ -878,17 +944,28 @@ let run ?pool (plan : C.Plan.t) env ~images =
     pipe.images;
   let buffers = Array.make (Pipeline.n_stages pipe) None in
   let go pool =
-    Array.iter
-      (fun item ->
-        match (item : C.Plan.item) with
-        | Straight i -> exec_straight pool plan env buffers images i
-        | Tiled g -> (
-          match plan.opts.tiling with
-          | C.Options.Overlap -> exec_tiled pool plan env buffers images g
-          | C.Options.Parallelogram ->
-            exec_parallelogram plan env buffers images g
-          | C.Options.Split -> exec_split pool plan env buffers images g))
-      plan.items;
+    Trace.with_span ~cat:"exec" "exec.run" (fun () ->
+        Array.iteri
+          (fun k item ->
+            match (item : C.Plan.item) with
+            | C.Plan.Straight i ->
+              Trace.with_span ~cat:"exec"
+                ("exec.straight." ^ pipe.stages.(i).Ast.fname) (fun () ->
+                  exec_straight pool plan env buffers images i)
+            | C.Plan.Tiled g ->
+              Trace.with_span ~cat:"exec"
+                (Printf.sprintf "exec.group%d" k)
+                ~args:
+                  [ ("members", string_of_int (Array.length g.members)) ]
+                (fun () ->
+                  match plan.opts.tiling with
+                  | C.Options.Overlap ->
+                    exec_tiled pool plan env buffers images ~gidx:k g
+                  | C.Options.Parallelogram ->
+                    exec_parallelogram plan env buffers images ~gidx:k g
+                  | C.Options.Split ->
+                    exec_split pool plan env buffers images ~gidx:k g))
+          plan.items);
     let outputs =
       List.map2
         (fun src f ->
@@ -939,6 +1016,9 @@ let run_safe ?pool (plan : C.Plan.t) env ~images =
       | exception e ->
         if rest = [] then Err.reraise e
         else begin
+          Metrics.bumpn "exec/degradations";
+          Trace.instant ~cat:"exec" ("degrade:" ^ name)
+            ~args:[ ("error", Format.asprintf "%a" Err.pp (Err.of_exn e)) ];
           degradations := { rung = name; error = Err.of_exn e } :: !degradations;
           go rest
         end)

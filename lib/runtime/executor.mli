@@ -52,3 +52,11 @@ val run_safe :
 
 val output_buffer : result -> Ast.func -> Buffer.t
 (** Buffer of a given output stage. @raise Not_found if absent. *)
+
+val tile_counts : C.Plan.t -> Types.bindings -> (int * int) list
+(** [(item_index, total_tiles)] for each [Tiled] item of the plan
+    under the given bindings: tiles for Overlap/Parallelogram tiling,
+    trapezoid regions summed over all phases for Split.  Pure function
+    of the plan; the executors' per-group
+    [exec/group<k>/tiles] {!Polymage_util.Metrics} counters match
+    these by construction. *)

@@ -20,11 +20,13 @@ type t = {
    claiming new indices (checked before the fetch-and-add), so a
    failing job drains in O(workers) instead of running every remaining
    index.  The first error wins, with its backtrace. *)
-let drain (j : job) =
+let drain ~wid (j : job) =
+  let claimed = ref 0 in
   let rec go () =
     if Atomic.get j.error = None then begin
       let i = Atomic.fetch_and_add j.next 1 in
       if i < j.n then begin
+        incr claimed;
         (try j.f i with
         | e ->
           let bt = Printexc.get_raw_backtrace () in
@@ -33,9 +35,12 @@ let drain (j : job) =
       end
     end
   in
-  go ()
+  go ();
+  (* one registry touch per drained job, not per task *)
+  if !claimed > 0 then
+    Polymage_util.Metrics.addn (Printf.sprintf "pool/w%d/tasks" wid) !claimed
 
-let worker_loop t () =
+let worker_loop t wid () =
   let last_gen = ref 0 in
   let rec loop () =
     Mutex.lock t.mutex;
@@ -47,7 +52,7 @@ let worker_loop t () =
       last_gen := t.generation;
       let j = Option.get t.job in
       Mutex.unlock t.mutex;
-      drain j;
+      drain ~wid j;
       Mutex.lock t.mutex;
       if Atomic.fetch_and_add j.active (-1) = 1 then
         Condition.broadcast t.work_done;
@@ -75,17 +80,20 @@ let create workers =
       stop = false;
     }
   in
-  t.workers <- Array.init (workers - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t.workers <-
+    Array.init (workers - 1) (fun i -> Domain.spawn (worker_loop t (i + 1)));
   t
 
 let size t = Array.length t.workers + 1
 
 let parallel_for t ~n f =
   if n <= 0 then ()
-  else if Array.length t.workers = 0 then
+  else if Array.length t.workers = 0 then begin
     for i = 0 to n - 1 do
       f i
-    done
+    done;
+    Polymage_util.Metrics.addn "pool/w0/tasks" n
+  end
   else begin
     let j =
       {
@@ -101,7 +109,7 @@ let parallel_for t ~n f =
     t.generation <- t.generation + 1;
     Condition.broadcast t.have_work;
     Mutex.unlock t.mutex;
-    drain j;
+    drain ~wid:0 j;
     Mutex.lock t.mutex;
     if Atomic.fetch_and_add j.active (-1) <> 1 then
       while Atomic.get j.active > 0 do

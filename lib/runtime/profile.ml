@@ -1,0 +1,97 @@
+(* Shared profiling entry point for the CLI and the benchmark driver:
+   compile and run a pipeline with tracing + metrics on, and render
+   the per-phase / per-group report or the Chrome trace JSON. *)
+
+module C = Polymage_compiler
+module Trace = Polymage_util.Trace
+module Metrics = Polymage_util.Metrics
+
+type report = {
+  plan : C.Plan.t;
+  result : Executor.result;
+  events : Trace.event list;
+  counters : (string * int) list;
+  tiles : (int * int) list;  (* planned tiles per Tiled item *)
+  wall_ms : float;  (* duration of the exec.run span *)
+}
+
+let run ~(opts : C.Options.t) ~outputs ~env ~images =
+  let opts = C.Options.with_trace true opts in
+  let metrics_were_on = Metrics.enabled () in
+  Trace.reset ();
+  Metrics.reset ();
+  let (plan, result), events =
+    Trace.capture (fun () ->
+        let plan = C.Compile.run opts ~outputs in
+        let result = Executor.run plan env ~images in
+        (plan, result))
+  in
+  let counters = Metrics.snapshot () in
+  if not metrics_were_on then Metrics.disable ();
+  let wall_ms =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Trace.Span s when s.name = "exec.run" ->
+          acc +. (float_of_int (s.t_end_ns - s.t_start_ns) /. 1e6)
+        | _ -> acc)
+      0. events
+  in
+  let tiles = Executor.tile_counts plan env in
+  { plan; result; events; counters; tiles; wall_ms }
+
+let pp_spans ppf events ~cat:want =
+  let spans =
+    List.filter_map
+      (function
+        | Trace.Span s when s.cat = want ->
+          Some (s.name, s.args, s.t_start_ns, s.t_end_ns, s.depth)
+        | _ -> None)
+      events
+  in
+  let spans =
+    List.sort
+      (fun (_, _, a, _, da) (_, _, b, _, db) -> compare (a, da) (b, db))
+      spans
+  in
+  List.iter
+    (fun (name, args, t0, t1, depth) ->
+      Format.fprintf ppf "  %s%-*s %10.3f ms%s@."
+        (String.make (2 * depth) ' ')
+        (max 1 (28 - (2 * depth)))
+        name
+        (float_of_int (t1 - t0) /. 1e6)
+        (match args with
+        | [] -> ""
+        | args ->
+          "  ("
+          ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+          ^ ")"))
+    spans
+
+let pp_report ppf r =
+  Format.fprintf ppf "== compile phases ==@.";
+  pp_spans ppf r.events ~cat:"compile";
+  Format.fprintf ppf "== execution ==@.";
+  pp_spans ppf r.events ~cat:"exec";
+  if r.tiles <> [] then begin
+    Format.fprintf ppf "== tiled groups ==@.";
+    Format.fprintf ppf "  %-6s %12s %12s %14s %10s@." "item" "tiles(plan)"
+      "tiles(run)" "scratch KiB" "attaches";
+    List.iter
+      (fun (k, planned) ->
+        let g s = Metrics.get (Printf.sprintf "exec/group%d/%s" k s) in
+        Format.fprintf ppf "  %-6d %12d %12d %14.1f %10d@." k planned
+          (g "tiles")
+          (float_of_int (g "scratch_bytes") /. 1024.)
+          (g "scratch_attaches"))
+      r.tiles
+  end;
+  Format.fprintf ppf "== counters ==@.";
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "  %-32s %12d@." n v)
+    r.counters;
+  Format.fprintf ppf "== wall ==@.  exec.run %.3f ms@." r.wall_ms
+
+let to_chrome_json r = Trace.to_chrome_json r.events
+let write_chrome_json file r = Trace.write_chrome_json file r.events

@@ -1,0 +1,33 @@
+(** Profiling entry point shared by [bin/polymage.ml] ([profile]
+    subcommand, [--trace-json]) and [bench/main.ml]: compile and run a
+    pipeline under {!Polymage_util.Trace} + {!Polymage_util.Metrics}
+    and render the per-phase / per-group report. *)
+
+open Polymage_ir
+module C = Polymage_compiler
+
+type report = {
+  plan : C.Plan.t;
+  result : Executor.result;
+  events : Polymage_util.Trace.event list;
+  counters : (string * int) list;  (** metrics snapshot after the run *)
+  tiles : (int * int) list;
+      (** planned tiles per [Tiled] item, from {!Executor.tile_counts} *)
+  wall_ms : float;  (** duration of the [exec.run] span *)
+}
+
+val run :
+  opts:C.Options.t ->
+  outputs:Ast.func list ->
+  env:Types.bindings ->
+  images:(Ast.image * Buffer.t) list ->
+  report
+(** Compile and execute with tracing forced on ([with_trace true]);
+    trace/metrics global state is reset first and the previous
+    enabled/disabled state is restored afterwards. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Per-phase span table, per-group tile/scratch table, counters. *)
+
+val to_chrome_json : report -> string
+val write_chrome_json : string -> report -> unit

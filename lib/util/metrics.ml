@@ -1,0 +1,59 @@
+(* Named monotonic counters.  Counters live in a global registry;
+   bumping is an atomic increment gated on a single atomic flag load,
+   so instrumentation in hot loops is free when metrics are off.
+   Counter handles stay valid across [reset] (values return to 0). *)
+
+type counter = { cname : string; v : int Atomic.t }
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let counter name =
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; v = Atomic.make 0 } in
+      Hashtbl.add registry name c;
+      c
+  in
+  Mutex.unlock registry_mutex;
+  c
+
+let name c = c.cname
+let value c = Atomic.get c.v
+let add c n = if enabled () then ignore (Atomic.fetch_and_add c.v n)
+let bump c = add c 1
+
+(* name-based convenience: no registry mutation when disabled *)
+let addn name n = if enabled () then ignore (Atomic.fetch_and_add (counter name).v n)
+let bumpn name = addn name 1
+
+let get name =
+  Mutex.lock registry_mutex;
+  let v =
+    match Hashtbl.find_opt registry name with
+    | Some c -> Atomic.get c.v
+    | None -> 0
+  in
+  Mutex.unlock registry_mutex;
+  v
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let all =
+    Hashtbl.fold (fun _ c acc -> (c.cname, Atomic.get c.v) :: acc) registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort compare (List.filter (fun (_, v) -> v <> 0) all)
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.v 0) registry;
+  Mutex.unlock registry_mutex

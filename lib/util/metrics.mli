@@ -1,0 +1,36 @@
+(** Named monotonic counters with a global registry.  Bumps are atomic
+    increments gated on one atomic flag load — free in hot loops when
+    metrics are disabled.  Counter handles remain valid across
+    {!reset}. *)
+
+type counter
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val counter : string -> counter
+(** Find or create the counter registered under [name]. *)
+
+val name : counter -> string
+val value : counter -> int
+
+val bump : counter -> unit
+(** Increment by 1 when enabled; no-op otherwise. *)
+
+val add : counter -> int -> unit
+
+val bumpn : string -> unit
+(** [bumpn name] = [bump (counter name)], but allocates nothing and
+    does not touch the registry when disabled. *)
+
+val addn : string -> int -> unit
+
+val get : string -> int
+(** Current value of a named counter (0 if never created). *)
+
+val snapshot : unit -> (string * int) list
+(** All non-zero counters, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every counter; handles stay valid. *)

@@ -1,0 +1,421 @@
+(* Structured tracing: spans and instant events with monotonic
+   timestamps, an in-memory sink, subscriber hooks for tests, and a
+   Chrome-trace-format JSON emitter with its own mini JSON parser (no
+   external JSON dependency).
+
+   Design constraints:
+   - the disabled fast path is a single atomic load, so leaving
+     instrumentation compiled into hot code costs nothing measurable;
+   - timestamps are clamped to be globally non-decreasing (CAS loop on
+     the last observed value), so spans never have negative durations
+     even if the wall clock steps backwards;
+   - nesting depth is tracked per domain (DLS), so spans from worker
+     domains nest independently of the caller's stack. *)
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      args : (string * string) list;
+      t_start_ns : int;
+      t_end_ns : int;
+      tid : int;
+      depth : int;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      args : (string * string) list;
+      t_ns : int;
+      tid : int;
+    }
+
+(* ---- enable / disable ---- *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+(* ---- clock ---- *)
+
+let last_ns = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let l = Atomic.get last_ns in
+    if t <= l then l
+    else if Atomic.compare_and_set last_ns l t then t
+    else clamp ()
+  in
+  clamp ()
+
+(* ---- sink: buffer + subscribers ---- *)
+
+let sink_mutex = Mutex.create ()
+let buffer : event list ref = ref []
+let subscribers : (int * (event -> unit)) list ref = ref []
+let next_sub = ref 0
+
+let locked f =
+  Mutex.lock sink_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_mutex) f
+
+let emit ev =
+  locked (fun () ->
+      buffer := ev :: !buffer;
+      List.iter (fun (_, f) -> f ev) !subscribers)
+
+let subscribe f =
+  locked (fun () ->
+      let id = !next_sub in
+      incr next_sub;
+      subscribers := (id, f) :: !subscribers;
+      id)
+
+let unsubscribe id =
+  locked (fun () ->
+      subscribers := List.filter (fun (i, _) -> i <> id) !subscribers)
+
+let events () = locked (fun () -> List.rev !buffer)
+let reset () = locked (fun () -> buffer := [])
+
+(* ---- spans ---- *)
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let tid () = (Domain.self () :> int)
+
+let instant ?(cat = "event") ?(args = []) name =
+  if enabled () then
+    emit (Instant { name; cat; args; t_ns = now_ns (); tid = tid () })
+
+let with_span ?(cat = "phase") ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let d = Domain.DLS.get depth_key in
+    let depth = !d in
+    incr d;
+    let t_start_ns = now_ns () in
+    let finish () =
+      let t_end_ns = now_ns () in
+      decr d;
+      emit (Span { name; cat; args; t_start_ns; t_end_ns; tid = tid (); depth })
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let capture f =
+  let acc = ref [] in
+  let id = subscribe (fun ev -> acc := ev :: !acc) in
+  let was = enabled () in
+  enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      unsubscribe id;
+      if not was then disable ())
+    (fun () ->
+      let r = f () in
+      (r, List.rev !acc))
+
+(* ---- accessors ---- *)
+
+let name = function Span s -> s.name | Instant i -> i.name
+let cat = function Span s -> s.cat | Instant i -> i.cat
+
+let duration_ns = function
+  | Span s -> Some (s.t_end_ns - s.t_start_ns)
+  | Instant _ -> None
+
+(* ---- Chrome trace format ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    args;
+  Buffer.add_string b "}"
+
+let to_chrome_json evs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",";
+      (match ev with
+      | Span s ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":"
+             (json_escape s.name) (json_escape s.cat)
+             (float_of_int s.t_start_ns /. 1e3)
+             (float_of_int (s.t_end_ns - s.t_start_ns) /. 1e3)
+             s.tid)
+      | Instant i ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":"
+             (json_escape i.name) (json_escape i.cat)
+             (float_of_int i.t_ns /. 1e3)
+             i.tid));
+      (match ev with
+      | Span s -> add_args b s.args
+      | Instant i -> add_args b i.args);
+      Buffer.add_string b "}")
+    evs;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_chrome_json file evs =
+  let oc = open_out file in
+  output_string oc (to_chrome_json evs);
+  close_out oc
+
+(* ---- mini JSON parser (for schema validation in tests and tools) ---- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 'r' -> Buffer.add_char b '\r'
+             | 't' -> Buffer.add_char b '\t'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'u' ->
+               if !pos + 4 >= n then fail "bad \\u escape";
+               let hex = String.sub s (!pos + 1) 4 in
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with _ -> fail "bad \\u escape"
+               in
+               (* ASCII stays ASCII; anything else becomes '?' — the
+                  emitter only escapes control characters, so this is
+                  lossless for round trips of our own output *)
+               Buffer.add_char b
+                 (if code < 0x80 then Char.chr code else '?');
+               pos := !pos + 4
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          advance ();
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let sub = String.sub s start (!pos - start) in
+    match float_of_string_opt sub with
+    | Some f -> f
+    | None -> fail ("bad number " ^ sub)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Arr (elements [])
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* Schema check for the Chrome trace format we emit: top-level object
+   with a "traceEvents" array; every event has a string name/cat/ph
+   (ph one of X/i), a non-negative numeric ts, numeric pid/tid, and X
+   events additionally carry a non-negative dur.  Returns the number
+   of validated events. *)
+let validate_chrome (src : string) : (int, string) result =
+  match parse_json src with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok (Obj fields) -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Arr evs) -> (
+      let check i ev =
+        match ev with
+        | Obj f -> (
+          let str k =
+            match List.assoc_opt k f with
+            | Some (Str s) -> Ok s
+            | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+          in
+          let num k =
+            match List.assoc_opt k f with
+            | Some (Num v) -> Ok v
+            | _ -> Error (Printf.sprintf "event %d: missing number %S" i k)
+          in
+          let ( let* ) = Result.bind in
+          let* _ = str "name" in
+          let* _ = str "cat" in
+          let* ph = str "ph" in
+          let* ts = num "ts" in
+          let* _ = num "pid" in
+          let* _ = num "tid" in
+          if ts < 0. then Error (Printf.sprintf "event %d: negative ts" i)
+          else
+            match ph with
+            | "X" ->
+              let* dur = num "dur" in
+              if dur < 0. then
+                Error (Printf.sprintf "event %d: negative dur" i)
+              else Ok ()
+            | "i" -> Ok ()
+            | _ -> Error (Printf.sprintf "event %d: bad ph %S" i ph))
+        | _ -> Error (Printf.sprintf "event %d: not an object" i)
+      in
+      let rec go i = function
+        | [] -> Ok (List.length evs)
+        | ev :: rest -> (
+          match check i ev with Ok () -> go (i + 1) rest | Error e -> Error e)
+      in
+      go 0 evs)
+    | _ -> Error "missing traceEvents array")
+  | Ok _ -> Error "top level is not an object"
+
+(* ---- environment hook ---- *)
+
+let () =
+  match Sys.getenv_opt "POLYMAGE_TRACE" with
+  | Some ("1" | "true" | "on" | "yes") -> enable ()
+  | _ -> ()

@@ -1,0 +1,97 @@
+(** Structured tracing: spans and instant events with monotonic
+    timestamps, an in-memory sink, subscriber hooks for tests, and a
+    Chrome-trace-format JSON emitter.  Zero external dependencies.
+
+    The disabled fast path is a single atomic load; instrumentation
+    left in hot code costs nothing measurable when tracing is off.
+    Setting the environment variable [POLYMAGE_TRACE=1] enables
+    tracing at program start. *)
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      args : (string * string) list;
+      t_start_ns : int;
+      t_end_ns : int;  (** always [>= t_start_ns] *)
+      tid : int;  (** domain id *)
+      depth : int;  (** nesting depth within the domain at entry *)
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      args : (string * string) list;
+      t_ns : int;
+      tid : int;
+    }
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {1 Recording} *)
+
+val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and, when tracing is enabled, records a
+    [Span] covering its execution — including when [f] raises.  Spans
+    nest per domain; [depth] reflects the nesting level. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Record a point-in-time event when tracing is enabled. *)
+
+val now_ns : unit -> int
+(** Monotonic (non-decreasing) wall-clock nanoseconds. *)
+
+(** {1 Sink} *)
+
+val events : unit -> event list
+(** Buffered events, oldest first. *)
+
+val reset : unit -> unit
+(** Clear the event buffer (subscribers stay registered). *)
+
+val subscribe : (event -> unit) -> int
+(** Register a callback invoked (under the sink lock) for every event;
+    returns an id for {!unsubscribe}. *)
+
+val unsubscribe : int -> unit
+
+val capture : (unit -> 'a) -> 'a * event list
+(** [capture f] enables tracing, runs [f], and returns its result with
+    the events emitted during the call (oldest first).  The previous
+    enabled state is restored afterwards. *)
+
+(** {1 Accessors} *)
+
+val name : event -> string
+val cat : event -> string
+val duration_ns : event -> int option
+(** [Some] for spans (never negative), [None] for instants. *)
+
+(** {1 Chrome trace format} *)
+
+val to_chrome_json : event list -> string
+(** Serialize as a Chrome trace ({i chrome://tracing} / Perfetto):
+    [{"traceEvents":[...]}] with complete ("X") and instant ("i")
+    events, timestamps in microseconds. *)
+
+val write_chrome_json : string -> event list -> unit
+(** [write_chrome_json file evs] writes {!to_chrome_json} to [file]. *)
+
+(** {1 Mini JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> (json, string) result
+
+val validate_chrome : string -> (int, string) result
+(** Check a string against the Chrome trace schema we emit; [Ok n]
+    gives the number of validated events. *)

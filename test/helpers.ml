@@ -5,6 +5,25 @@ module Rt = Polymage_rt
 module Apps = Polymage_apps.Apps
 module App = Polymage_apps.App
 
+(* ---- reproducible QCheck seed ----
+
+   qcheck-alcotest reads QCHECK_SEED lazily, at the first property run.
+   Resolving it here — module initialization runs before [Alcotest.run]
+   — pins every property in the suite to a single seed, which each
+   failing property prints via [repro_line], so any CI failure
+   reproduces locally with one command. *)
+let qcheck_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None ->
+    Random.self_init ();
+    let s = Random.int 1_000_000_000 in
+    Unix.putenv "QCHECK_SEED" (string_of_int s);
+    s
+
+let repro_line =
+  Printf.sprintf "repro: QCHECK_SEED=%d dune runtest" qcheck_seed
+
 let images_for (app : App.t) (plan : C.Plan.t) env =
   List.map
     (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
@@ -56,3 +75,110 @@ let blur_pipeline () =
            +: app bx [ v x; v y +: i 1 ]));
     ];
   (r, c, img, by)
+
+(* ---- random pipelines (shared by the fuzzing and fault suites) ----
+
+   Stage grids follow the pyramid convention: logical size s, domain
+   [0 .. s+3], computed interior [2 .. s].  All four operation kinds
+   keep accesses inside the producer's domain (see Pyramid). *)
+type op = Point | Stencil | Down | Up
+
+let pp_ops ops =
+  String.concat ";"
+    (List.map
+       (function Point -> "P" | Stencil -> "S" | Down -> "D" | Up -> "U")
+       ops)
+
+let gen_pipeline =
+  let open QCheck.Gen in
+  let* n_stages = int_range 2 8 in
+  let* ops =
+    list_repeat n_stages
+      (frequency
+         [ (3, return Point); (3, return Stencil); (2, return Down); (2, return Up) ])
+  in
+  let* extra_edges = list_repeat n_stages (int_range 0 10) in
+  let* coeffs = list_repeat n_stages (int_range 1 3) in
+  return (ops, extra_edges, coeffs)
+
+let build_random (ops, extra_edges, coeffs) =
+  let open Polymage_dsl.Dsl in
+  let x = Types.var ~name:"x" () and y = Types.var ~name:"y" () in
+  let base_size = 64 in
+  let img = image ~name:"rin" Float [ ib (base_size + 4); ib (base_size + 4) ] in
+  let dom s =
+    [ (x, interval (ib 0) (ib (s + 3))); (y, interval (ib 0) (ib (s + 3))) ]
+  in
+  let interior s = in_box [ (v x, i 2, i s); (v y, i 2, i s) ] in
+  (* stage list with their logical sizes; the image is size base_size *)
+  let stages = ref [] in
+  let idx = ref 0 in
+  List.iter2
+    (fun op (extra, coef) ->
+      let k = !idx in
+      incr idx;
+      (* producer: previous stage or the image *)
+      let prev_size, prev_sample =
+        match !stages with
+        | [] -> (base_size, fun ix iy -> img_at img [ ix; iy ])
+        | (s, f) :: _ -> (s, fun ix iy -> app f [ ix; iy ])
+      in
+      let op =
+        (* keep sizes within [8, 128] *)
+        match op with
+        | Down when prev_size < 16 -> Stencil
+        | Up when prev_size > 64 -> Stencil
+        | o -> o
+      in
+      let size, rhs =
+        match op with
+        | Point ->
+          ( prev_size,
+            (fl (float_of_int coef) *: prev_sample (v x) (v y)) +: fl 0.5 )
+        | Stencil ->
+          ( prev_size,
+            fl (1. /. 5.)
+            *: (prev_sample (v x -: i 1) (v y)
+               +: prev_sample (v x +: i 1) (v y)
+               +: prev_sample (v x) (v y -: i 1)
+               +: prev_sample (v x) (v y +: i 1)
+               +: prev_sample (v x) (v y)) )
+        | Down ->
+          ( prev_size / 2,
+            prev_sample ((i 2 *: v x) -: i 1) (i 2 *: v y)
+            +: prev_sample (i 2 *: v x) ((i 2 *: v y) +: i 1) )
+        | Up ->
+          ( prev_size * 2,
+            prev_sample ((v x -: i 1) /^ 2) (v y /^ 2)
+            +: prev_sample ((v x +: i 1) /^ 2) ((v y +: i 1) /^ 2) )
+      in
+      (* occasionally add a same-size point-wise side input, making the
+         graph a DAG rather than a chain *)
+      let rhs =
+        let same_size = List.filter (fun (s, _) -> s = size) !stages in
+        if same_size <> [] && extra mod 3 = 0 then
+          let _, g = List.nth same_size (extra mod List.length same_size) in
+          rhs +: app g [ v x; v y ]
+        else rhs
+      in
+      let f = func ~name:(Printf.sprintf "s%d" k) Float (dom size) in
+      define f [ case (interior size) rhs ];
+      stages := (size, f) :: !stages)
+    ops
+    (List.combine extra_edges coeffs);
+  match !stages with
+  | (_, out) :: _ -> (img, out)
+  | [] -> assert false
+
+(* deterministic input fills for random pipelines *)
+let rand_fill c = float_of_int (((c.(0) * 13) + (c.(1) * 29)) mod 23) /. 7.
+let fault_fill c = float_of_int (((c.(0) * 7) + (c.(1) * 31)) mod 17) /. 3.
+
+let rand_images img env fill = [ (img, Rt.Buffer.of_image img env fill) ]
+
+(* Naive oracle: base configuration (no grouping/tiling/vec/kernels). *)
+let naive_output out env images =
+  let plan =
+    C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:[ out ]
+  in
+  Rt.Executor.output_buffer (Rt.Executor.run plan env ~images) out

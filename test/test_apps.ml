@@ -127,6 +127,10 @@ let suite =
         (against_reference "harris");
       Alcotest.test_case "pyramid vs reference" `Slow
         (against_reference "pyramid_blend");
+      Alcotest.test_case "camera vs reference" `Slow
+        (against_reference "camera_pipe");
+      Alcotest.test_case "interpolate vs reference" `Slow
+        (against_reference "interpolate");
       Alcotest.test_case "harris sanity" `Quick harris_sanity;
       Alcotest.test_case "camera sanity" `Quick camera_sanity;
       Alcotest.test_case "bilateral sanity" `Quick bilateral_sanity;

@@ -12,17 +12,11 @@ module Err = Polymage_util.Err
 module Tune = Polymage_tune.Tune
 module Apps = Polymage_apps.Apps
 
-let naive_output out env images =
-  let plan =
-    C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:[ out ]
-  in
-  Rt.Executor.output_buffer (Rt.Executor.run plan env ~images) out
-
 (* ---- the fault-injection property ---- *)
 
 let fault_property () =
   let rand = Random.State.make [| 0x5eed; 42 |] in
-  let specs = QCheck.Gen.generate ~rand ~n:2 Test_random.gen_pipeline in
+  let specs = QCheck.Gen.generate ~rand ~n:2 Helpers.gen_pipeline in
   let seeds = [ 0; 1; 3; 7; 19 ] in
   let combos = ref 0 in
   Fun.protect
@@ -30,17 +24,10 @@ let fault_property () =
     (fun () ->
       List.iter
         (fun spec ->
-          let img, out = Test_random.build_random spec in
+          let img, out = Helpers.build_random spec in
           let env = [] in
-          let images =
-            [
-              ( img,
-                Rt.Buffer.of_image img env (fun c ->
-                    float_of_int (((c.(0) * 7) + (c.(1) * 31)) mod 17) /. 3.)
-              );
-            ]
-          in
-          let reference = naive_output out env images in
+          let images = Helpers.rand_images img env Helpers.fault_fill in
+          let reference = Helpers.naive_output out env images in
           List.iter
             (fun site ->
               List.iter

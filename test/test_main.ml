@@ -16,4 +16,5 @@ let () =
       Test_codegen.suite;
       Test_tune.suite;
       Test_fault.suite;
+      Test_trace.suite;
     ]

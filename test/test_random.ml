@@ -1,114 +1,27 @@
 (* Property-based testing on randomly generated pipelines: arbitrary
    DAGs of point-wise, stencil, down- and up-sampling stages must
    execute identically under the base and the fully optimized
-   configurations, for random tile sizes and thresholds. *)
+   configurations, for random tile sizes and thresholds — and also
+   through [Executor.run_safe] (which must not degrade on healthy
+   plans) and the C back end.
+
+   The pipeline generator lives in [Helpers] (shared with the fault
+   suite); the QCheck seed is pinned by [Helpers.qcheck_seed] and every
+   failure prints a one-line repro command. *)
 open Polymage_ir
 module C = Polymage_compiler
 module Rt = Polymage_rt
+module Cgen = Polymage_codegen.Cgen
 open Polymage_dsl.Dsl
 
-(* Stage grids follow the pyramid convention: logical size s, domain
-   [0 .. s+3], computed interior [2 .. s].  All four operation kinds
-   keep accesses inside the producer's domain (see Pyramid). *)
-type op = Point | Stencil | Down | Up
-
-let gen_pipeline =
-  let open QCheck.Gen in
-  let* n_stages = int_range 2 8 in
-  let* ops =
-    list_repeat n_stages
-      (frequency
-         [ (3, return Point); (3, return Stencil); (2, return Down); (2, return Up) ])
-  in
-  let* extra_edges = list_repeat n_stages (int_range 0 10) in
-  let* coeffs = list_repeat n_stages (int_range 1 3) in
-  return (ops, extra_edges, coeffs)
-
-let build_random (ops, extra_edges, coeffs) =
-  let x = Types.var ~name:"x" () and y = Types.var ~name:"y" () in
-  let base_size = 64 in
-  let img = image ~name:"rin" Float [ ib (base_size + 4); ib (base_size + 4) ] in
-  let dom s =
-    [ (x, interval (ib 0) (ib (s + 3))); (y, interval (ib 0) (ib (s + 3))) ]
-  in
-  let interior s = in_box [ (v x, i 2, i s); (v y, i 2, i s) ] in
-  (* stage list with their logical sizes; the image is size base_size *)
-  let stages = ref [] in
-  let idx = ref 0 in
-  List.iter2
-    (fun op (extra, coef) ->
-      let k = !idx in
-      incr idx;
-      (* producer: previous stage or the image *)
-      let prev_size, prev_sample =
-        match !stages with
-        | [] -> (base_size, fun ix iy -> img_at img [ ix; iy ])
-        | (s, f) :: _ -> (s, fun ix iy -> app f [ ix; iy ])
-      in
-      let op =
-        (* keep sizes within [8, 128] *)
-        match op with
-        | Down when prev_size < 16 -> Stencil
-        | Up when prev_size > 64 -> Stencil
-        | o -> o
-      in
-      let size, rhs =
-        match op with
-        | Point ->
-          ( prev_size,
-            (fl (float_of_int coef) *: prev_sample (v x) (v y)) +: fl 0.5 )
-        | Stencil ->
-          ( prev_size,
-            fl (1. /. 5.)
-            *: (prev_sample (v x -: i 1) (v y)
-               +: prev_sample (v x +: i 1) (v y)
-               +: prev_sample (v x) (v y -: i 1)
-               +: prev_sample (v x) (v y +: i 1)
-               +: prev_sample (v x) (v y)) )
-        | Down ->
-          ( prev_size / 2,
-            prev_sample ((i 2 *: v x) -: i 1) (i 2 *: v y)
-            +: prev_sample (i 2 *: v x) ((i 2 *: v y) +: i 1) )
-        | Up ->
-          ( prev_size * 2,
-            prev_sample ((v x -: i 1) /^ 2) (v y /^ 2)
-            +: prev_sample ((v x +: i 1) /^ 2) ((v y +: i 1) /^ 2) )
-      in
-      (* occasionally add a same-size point-wise side input, making the
-         graph a DAG rather than a chain *)
-      let rhs =
-        let same_size =
-          List.filter (fun (s, _) -> s = size) !stages
-        in
-        if same_size <> [] && extra mod 3 = 0 then
-          let _, g = List.nth same_size (extra mod List.length same_size) in
-          rhs +: app g [ v x; v y ]
-        else rhs
-      in
-      let f = func ~name:(Printf.sprintf "s%d" k) Float (dom size) in
-      define f [ case (interior size) rhs ];
-      stages := (size, f) :: !stages)
-    ops
-    (List.combine extra_edges coeffs);
-  match !stages with
-  | (_, out) :: _ -> (img, out)
-  | [] -> assert false
+type op = Helpers.op = Point | Stencil | Down | Up
 
 let exec_equal (spec : op list * int list * int list)
     ((tile, threshold, vec), para) =
-  let img, out = build_random spec in
+  let img, out = Helpers.build_random spec in
   let env = [] in
-  let images plan =
-    ignore plan;
-    [
-      ( img,
-        Rt.Buffer.of_image img env (fun c ->
-            float_of_int (((c.(0) * 13) + (c.(1) * 29)) mod 23) /. 7.) );
-    ]
-  in
-  let base = C.Options.base ~estimates:env () in
-  let plan_b = C.Compile.run base ~outputs:[ out ] in
-  let rb = Rt.Executor.run plan_b env ~images:(images plan_b) in
+  let images = Helpers.rand_images img env Helpers.rand_fill in
+  let reference = Helpers.naive_output out env images in
   let opts =
     C.Options.with_threshold threshold
       (C.Options.with_tile [| tile; tile |]
@@ -122,23 +35,32 @@ let exec_equal (spec : op list * int list * int list)
     | _ -> { opts with C.Options.tiling = C.Options.Split }
   in
   let plan_o = C.Compile.run opts ~outputs:[ out ] in
-  let ro = Rt.Executor.run plan_o env ~images:(images plan_o) in
-  let a = Rt.Executor.output_buffer rb out in
+  let ro = Rt.Executor.run plan_o env ~images in
   let b = Rt.Executor.output_buffer ro out in
-  Rt.Buffer.max_abs_diff a b <= 1e-9
+  if Rt.Buffer.max_abs_diff reference b > 1e-9 then
+    QCheck.Test.fail_reportf "optimized executor diverges from oracle\n%s"
+      Helpers.repro_line;
+  (* the same plan through the degradation ladder: healthy plans must
+     return the identical result without taking any rung *)
+  let rs, degradations = Rt.Executor.run_safe plan_o env ~images in
+  if degradations <> [] then
+    QCheck.Test.fail_reportf "run_safe degraded on a healthy plan (%s)\n%s"
+      (String.concat ", "
+         (List.map (fun (d : Rt.Executor.degradation) -> d.rung) degradations))
+      Helpers.repro_line;
+  let bs = Rt.Executor.output_buffer rs out in
+  if Rt.Buffer.max_abs_diff reference bs > 1e-9 then
+    QCheck.Test.fail_reportf "run_safe output diverges from oracle\n%s"
+      Helpers.repro_line;
+  true
 
 let arb =
   QCheck.make
     ~print:(fun ((ops, _, _), ((t, th, v), para)) ->
-      Printf.sprintf "ops=[%s] tile=%d thresh=%g vec=%b mode=%d"
-        (String.concat ";"
-           (List.map
-              (function
-                | Point -> "P" | Stencil -> "S" | Down -> "D" | Up -> "U")
-              ops))
-        t th v para)
+      Printf.sprintf "ops=[%s] tile=%d thresh=%g vec=%b mode=%d\n%s"
+        (Helpers.pp_ops ops) t th v para Helpers.repro_line)
     QCheck.Gen.(
-      pair gen_pipeline
+      pair Helpers.gen_pipeline
         (pair
            (triple (oneofl [ 4; 8; 16; 33 ]) (oneofl [ 0.2; 0.5; 4.0 ]) bool)
            (int_range 0 2)))
@@ -150,6 +72,96 @@ let suite =
         (QCheck.Test.make ~name:"tiled == naive on random DAGs" ~count:60 arb
            (fun (spec, cfg) -> exec_equal spec cfg));
     ] )
+
+(* ---- the C back end against the naive oracle ---- *)
+
+let have_gcc = lazy (Sys.command "gcc --version > /dev/null 2>&1" = 0)
+
+(* Compile the optimized plan to C, build with gcc, run, and compare
+   the printed checksum against the naive OCaml oracle's sum. *)
+let c_equal (spec : op list * int list * int list) tile =
+  if not (Lazy.force have_gcc) then true
+  else begin
+    let img, out = Helpers.build_random spec in
+    let env = [] in
+    let images = Helpers.rand_images img env Helpers.rand_fill in
+    let reference = Helpers.naive_output out env images in
+    let ref_sum = Array.fold_left ( +. ) 0. reference.Rt.Buffer.data in
+    let opts =
+      C.Options.with_tile [| tile; tile |] (C.Options.opt ~estimates:env ())
+    in
+    let plan = C.Compile.run opts ~outputs:[ out ] in
+    (* same fill as [Helpers.rand_fill], in C *)
+    let c_fill (_ : Ast.image) = "(double)imod(c0*13 + c1*29, 23) / 7.0" in
+    let src = Cgen.emit_with_main plan ~fill:c_fill ~env in
+    let tmp = Filename.temp_file "pm_rand" ".c" in
+    let oc = open_out tmp in
+    output_string oc src;
+    close_out oc;
+    let exe = tmp ^ ".exe" and outf = tmp ^ ".out" in
+    let cleanup () = List.iter (fun f -> try Sys.remove f with _ -> ()) [ tmp; exe; outf ] in
+    Fun.protect ~finally:cleanup (fun () ->
+        if Sys.command (Printf.sprintf "gcc -O1 -std=c99 -o %s %s -lm" exe tmp) <> 0
+        then
+          QCheck.Test.fail_reportf "gcc rejected generated C (%s)\n%s" tmp
+            Helpers.repro_line;
+        if Sys.command (Printf.sprintf "%s > %s" exe outf) <> 0 then
+          QCheck.Test.fail_reportf "generated binary failed\n%s"
+            Helpers.repro_line;
+        let ic = open_in outf in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        close_in ic;
+        let prefix = out.Ast.fname ^ " " in
+        match
+          List.find_opt
+            (fun l ->
+              String.length l > String.length prefix
+              && String.sub l 0 (String.length prefix) = prefix)
+            !lines
+        with
+        | None ->
+          QCheck.Test.fail_reportf "missing checksum line for %s\n%s"
+            out.Ast.fname Helpers.repro_line
+        | Some l -> (
+          match String.split_on_char ' ' l with
+          | [ _; n; s ] ->
+            if int_of_string n <> Rt.Buffer.size reference then
+              QCheck.Test.fail_reportf "C output size mismatch\n%s"
+                Helpers.repro_line;
+            let cs = float_of_string s in
+            let rel =
+              Float.abs (cs -. ref_sum) /. (Float.abs ref_sum +. 1e-9)
+            in
+            if rel > 1e-9 then
+              QCheck.Test.fail_reportf
+                "C checksum %.17g vs oracle %.17g (rel %g)\n%s" cs ref_sum rel
+                Helpers.repro_line;
+            true
+          | _ ->
+            QCheck.Test.fail_reportf "bad checksum line %S\n%s" l
+              Helpers.repro_line))
+  end
+
+let arb_c =
+  QCheck.make
+    ~print:(fun ((ops, _, _), t) ->
+      Printf.sprintf "C ops=[%s] tile=%d\n%s" (Helpers.pp_ops ops) t
+        Helpers.repro_line)
+    QCheck.Gen.(pair Helpers.gen_pipeline (oneofl [ 8; 16 ]))
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        QCheck_alcotest.to_alcotest ~long:true
+          (QCheck.Test.make ~name:"C codegen == naive on random DAGs"
+             ~count:5 arb_c (fun (spec, t) -> c_equal spec t));
+      ] )
 
 (* 1-D chains: exercises single-loop tiling, where the inner loop IS
    the tiled loop. *)
@@ -189,14 +201,12 @@ let exec_equal_1d (ops : op list) tile =
     ops;
   let out = snd (List.hd !stages) in
   let env = [] in
-  let images (_ : C.Plan.t) =
+  let images =
     [ (img, Rt.Buffer.of_image img env (fun c -> float_of_int (c.(0) mod 19) /. 5.)) ]
   in
   let run opts =
     let plan = C.Compile.run opts ~outputs:[ out ] in
-    Rt.Executor.output_buffer
-      (Rt.Executor.run plan env ~images:(images plan))
-      out
+    Rt.Executor.output_buffer (Rt.Executor.run plan env ~images) out
   in
   let a = run (C.Options.base ~estimates:env ()) in
   let b =
@@ -207,7 +217,8 @@ let exec_equal_1d (ops : op list) tile =
 let arb_1d =
   QCheck.make
     ~print:(fun (ops, t) ->
-      Printf.sprintf "1d ops=%d tile=%d" (List.length ops) t)
+      Printf.sprintf "1d ops=%d tile=%d\n%s" (List.length ops) t
+        Helpers.repro_line)
     QCheck.Gen.(
       pair
         (list_size (int_range 2 7)

@@ -1,0 +1,412 @@
+(* The observability layer itself: span stack discipline, counter
+   consistency against the executor, tile counts against the plan, and
+   the Chrome-trace JSON round trip — including the acceptance check
+   that [profile harris --trace-json] output is schema-valid with
+   per-group tile counts matching the compiled plan. *)
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Trace = Polymage_util.Trace
+module Metrics = Polymage_util.Metrics
+module Apps = Polymage_apps.Apps
+open Polymage_ir
+
+(* run [f] with tracing and metrics captured from a clean slate,
+   returning (result, events, counter snapshot); both are disabled
+   again afterwards. *)
+let captured f =
+  Trace.reset ();
+  Metrics.reset ();
+  Metrics.enable ();
+  let r, events = Trace.capture f in
+  let counters = Metrics.snapshot () in
+  Metrics.disable ();
+  (r, events, counters)
+
+(* ---- span properties ---- *)
+
+type tree = Node of tree list
+
+let rec tree_size (Node cs) =
+  1 + List.fold_left (fun a c -> a + tree_size c) 0 cs
+
+let rec run_tree prefix (Node children) =
+  List.iteri
+    (fun k sub ->
+      let name = Printf.sprintf "%s.%d" prefix k in
+      Trace.with_span ~cat:"test" name (fun () -> run_tree name sub))
+    children
+
+(* Spans are recorded at completion, so the event buffer is in
+   completion order: a parent always appears after all of its
+   children.  Walking that order with a pending-children list checks
+   the stack discipline without relying on strict timestamp ordering —
+   with the µs-resolution clock, nested spans routinely tie, so
+   containment only has to hold non-strictly. *)
+let span_nesting (t : tree) =
+  let (), events, _ = captured (fun () -> run_tree "t" t) in
+  let spans =
+    List.filter_map
+      (function
+        | Trace.Span s -> Some (s.name, s.t_start_ns, s.t_end_ns, s.depth)
+        | Trace.Instant _ -> None)
+      events
+  in
+  (* every node except the root produces one span *)
+  if List.length spans <> tree_size t - 1 then
+    QCheck.Test.fail_reportf "expected %d spans, recorded %d\n%s"
+      (tree_size t - 1) (List.length spans) Helpers.repro_line;
+  List.iter
+    (fun (name, t0, t1, depth) ->
+      if t1 < t0 then
+        QCheck.Test.fail_reportf "span %s has negative duration\n%s" name
+          Helpers.repro_line;
+      if depth < 0 then
+        QCheck.Test.fail_reportf "span %s has negative depth\n%s" name
+          Helpers.repro_line)
+    spans;
+  (* completion-order bracket check: when a span at depth d completes,
+     every not-yet-attached deeper span must be its child — depth
+     exactly d+1, name prefixed by the parent's, interval contained. *)
+  let pending = ref [] in
+  List.iter
+    (fun (name, t0, t1, depth) ->
+      let children, rest =
+        List.partition (fun (_, _, _, d) -> d > depth) !pending
+      in
+      List.iter
+        (fun (cname, c0, c1, cdepth) ->
+          if cdepth <> depth + 1 then
+            QCheck.Test.fail_reportf
+              "span %s (depth %d) left dangling under %s (depth %d)\n%s" cname
+              cdepth name depth Helpers.repro_line;
+          let plen = String.length name in
+          if
+            String.length cname <= plen
+            || String.sub cname 0 (plen + 1) <> name ^ "."
+          then
+            QCheck.Test.fail_reportf "span %s is not a child of %s\n%s" cname
+              name Helpers.repro_line;
+          if not (t0 <= c0 && c1 <= t1) then
+            QCheck.Test.fail_reportf
+              "child %s [%d,%d] escapes parent %s [%d,%d]\n%s" cname c0 c1 name
+              t0 t1 Helpers.repro_line)
+        children;
+      pending := (name, t0, t1, depth) :: rest)
+    spans;
+  (* whatever is left unattached must be the top-level spans *)
+  List.iter
+    (fun (name, _, _, depth) ->
+      if depth <> 0 then
+        QCheck.Test.fail_reportf "span %s (depth %d) never found a parent\n%s"
+          name depth Helpers.repro_line)
+    !pending;
+  true
+
+let spans_on_exception () =
+  let (), events, _ =
+    captured (fun () ->
+        match
+          Trace.with_span ~cat:"test" "outer" (fun () ->
+              Trace.with_span ~cat:"test" "inner" (fun () -> failwith "boom"))
+        with
+        | () -> Alcotest.fail "expected the exception to propagate"
+        | exception Failure _ -> ())
+  in
+  let names =
+    List.filter_map (function Trace.Span s -> Some s.name | _ -> None) events
+  in
+  Alcotest.(check (list string))
+    "both spans recorded despite the raise" [ "inner"; "outer" ] names;
+  List.iter
+    (fun ev ->
+      match Trace.duration_ns ev with
+      | Some d -> Alcotest.(check bool) "non-negative duration" true (d >= 0)
+      | None -> ())
+    events
+
+let disabled_records_nothing () =
+  Trace.reset ();
+  Trace.disable ();
+  Metrics.disable ();
+  Trace.with_span "quiet" (fun () -> Trace.instant "nothing");
+  Metrics.bumpn "test/quiet";
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events ()));
+  Alcotest.(check int) "no counts" 0 (Metrics.get "test/quiet")
+
+let subscriber_hook () =
+  Trace.reset ();
+  let seen = ref [] in
+  let id = Trace.subscribe (fun ev -> seen := Trace.name ev :: !seen) in
+  let (), _, _ =
+    captured (fun () ->
+        Trace.with_span "sub.span" (fun () -> Trace.instant "sub.instant"))
+  in
+  Trace.unsubscribe id;
+  let (), _, _ = captured (fun () -> Trace.instant "after.unsub") in
+  Alcotest.(check (list string))
+    "subscriber saw exactly the events while registered"
+    [ "sub.instant"; "sub.span" ]
+    (List.rev !seen)
+
+(* ---- counter consistency against the executor ---- *)
+
+let get counters n = try List.assoc n counters with Not_found -> 0
+
+let row_invariant () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let _, _, counters =
+    captured (fun () ->
+        Helpers.run_app app (C.Options.opt_vec ~estimates:env ()) env)
+  in
+  let kernel = get counters "exec/rows_kernel"
+  and closure = get counters "exec/rows_closure"
+  and cond = get counters "exec/rows_cond"
+  and total = get counters "exec/rows_total" in
+  Alcotest.(check bool) "some rows ran" true (total > 0);
+  Alcotest.(check int) "kernel + closure + cond = total" total
+    (kernel + closure + cond);
+  (* opt_vec splits cases and compiles kernels: every row goes through
+     a compiled kernel *)
+  Alcotest.(check int) "all rows via kernels" total kernel;
+  Alcotest.(check bool) "kernels were compiled" true
+    (get counters "exec/kernels_compiled" > 0)
+
+let rows_without_kernels () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts =
+    { (C.Options.opt ~estimates:env ()) with C.Options.kernels = false }
+  in
+  let _, _, counters = captured (fun () -> Helpers.run_app app opts env) in
+  Alcotest.(check bool) "some rows ran" true
+    (get counters "exec/rows_total" > 0);
+  Alcotest.(check int) "no kernels: closure and cond rows only"
+    (get counters "exec/rows_total")
+    (get counters "exec/rows_closure" + get counters "exec/rows_cond");
+  Alcotest.(check int) "no kernels compiled" 0
+    (get counters "exec/kernels_compiled")
+
+(* tiles executed == planned tile counts, per tiling strategy *)
+let tiles_match_plan mode () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts =
+    { (C.Options.opt ~estimates:env ()) with C.Options.tiling = mode }
+  in
+  let (plan, _res), _, counters =
+    captured (fun () -> Helpers.run_app app opts env)
+  in
+  let planned = Rt.Executor.tile_counts plan env in
+  Alcotest.(check bool) "plan has tiled groups" true (planned <> []);
+  List.iter
+    (fun (k, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "group %d tiles" k)
+        expected
+        (get counters (Printf.sprintf "exec/group%d/tiles" k)))
+    planned
+
+let tiles_match_plan_parallel () =
+  (* the counters are atomics: totals must agree with the plan
+     regardless of how tiles are distributed over worker domains *)
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts = C.Options.opt_vec ~workers:4 ~estimates:env () in
+  let (plan, _res), _, counters =
+    captured (fun () -> Helpers.run_app app opts env)
+  in
+  List.iter
+    (fun (k, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "group %d tiles (4 workers)" k)
+        expected
+        (get counters (Printf.sprintf "exec/group%d/tiles" k)))
+    (Rt.Executor.tile_counts plan env);
+  let pool_tasks =
+    List.fold_left
+      (fun acc (n, v) ->
+        if String.length n > 5 && String.sub n 0 5 = "pool/" then acc + v
+        else acc)
+      0 counters
+  in
+  Alcotest.(check bool) "pool task counters recorded" true (pool_tasks > 0)
+
+(* ---- Chrome JSON: schema round trip (acceptance criterion) ---- *)
+
+let chrome_roundtrip () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let images =
+    List.map
+      (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
+      pipe.Pipeline.images
+  in
+  let report : Rt.Profile.report =
+    Rt.Profile.run
+      ~opts:(C.Options.opt_vec ~estimates:env ())
+      ~outputs:app.outputs ~env ~images
+  in
+  (* 1. the emitted trace is schema-valid *)
+  (match Trace.validate_chrome (Rt.Profile.to_chrome_json report) with
+  | Ok n ->
+    Alcotest.(check bool) "trace has events" true (n > 0);
+    Alcotest.(check int) "every event serialized" (List.length report.events) n
+  | Error e -> Alcotest.failf "trace JSON fails schema check: %s" e);
+  (* 2. per-group tile counts in the trace match the compiled plan *)
+  Alcotest.(check bool) "harris has tiled groups" true (report.tiles <> []);
+  List.iter
+    (fun (k, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "profile group %d tiles" k)
+        expected
+        (get report.counters (Printf.sprintf "exec/group%d/tiles" k)))
+    report.tiles;
+  (* 3. every compiler phase and the executor appear as spans *)
+  let span_names =
+    List.filter_map
+      (function Trace.Span s -> Some s.name | _ -> None)
+      report.events
+  in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) ("span " ^ phase) true (List.mem phase span_names))
+    [
+      "compile"; "pipeline.build"; "bounds_check"; "inline"; "grouping";
+      "tiling"; "exec.run";
+    ];
+  Alcotest.(check bool) "non-negative wall time" true (report.wall_ms >= 0.)
+
+let file_roundtrip () =
+  (* the CLI writes through the same emitter; pin the file round trip
+     with names that need escaping *)
+  let (), events, _ =
+    captured (fun () ->
+        Trace.with_span ~cat:"t" "weird\"name\n\\x"
+          ~args:[ ("k\"", "v\t\165") ]
+          (fun () -> Trace.instant ~cat:"t" "i"))
+  in
+  Alcotest.(check int) "two events captured" 2 (List.length events);
+  let file = Filename.temp_file "pm_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Trace.write_chrome_json file events;
+      let ic = open_in_bin file in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Trace.validate_chrome src with
+      | Ok k -> Alcotest.(check int) "both events validate" 2 k
+      | Error e -> Alcotest.failf "escaped JSON fails validation: %s" e)
+
+let parser_negative () =
+  let bad =
+    [
+      "";
+      "{";
+      "{\"traceEvents\":}";
+      "[1,2,3]";
+      "{\"traceEvents\":[{\"name\":1}]}";
+      (* dur missing for a complete event *)
+      "{\"traceEvents\":[{\"name\":\"a\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"pid\":1,\"tid\":0}]}";
+      (* unknown phase *)
+      "{\"traceEvents\":[{\"name\":\"a\",\"cat\":\"c\",\"ph\":\"Z\",\"ts\":0,\"pid\":1,\"tid\":0}]}";
+      (* negative timestamp *)
+      "{\"traceEvents\":[{\"name\":\"a\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":-5,\"dur\":1,\"pid\":1,\"tid\":0}]}";
+      (* negative duration *)
+      "{\"traceEvents\":[{\"name\":\"a\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":-1,\"pid\":1,\"tid\":0}]}";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Trace.validate_chrome src with
+      | Ok _ -> Alcotest.failf "accepted malformed trace %S" src
+      | Error _ -> ())
+    bad
+
+let parser_positive () =
+  (match Trace.parse_json "{\"a\":[1,true,null,\"x\\n\"],\"b\":-2.5e3}" with
+  | Ok
+      (Trace.Obj
+         [
+           ( "a",
+             Trace.Arr
+               [ Trace.Num 1.; Trace.Bool true; Trace.Null; Trace.Str "x\n" ]
+           );
+           ("b", Trace.Num (-2500.));
+         ]) -> ()
+  | Ok _ -> Alcotest.fail "parsed to the wrong value"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Trace.parse_json "{\"a\":1} trailing" with
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+  | Error _ -> ()
+
+(* ---- metrics registry ---- *)
+
+let metrics_basics () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let c = Metrics.counter "test/m" in
+  Metrics.bump c;
+  Metrics.add c 4;
+  Metrics.bumpn "test/m";
+  Alcotest.(check int) "accumulated" 6 (Metrics.get "test/m");
+  Alcotest.(check bool) "snapshot contains it" true
+    (List.mem ("test/m", 6) (Metrics.snapshot ()));
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.get "test/m");
+  Metrics.bump c;
+  Alcotest.(check int) "handle survives reset" 1 (Metrics.get "test/m");
+  Metrics.disable ();
+  Metrics.bump c;
+  Alcotest.(check int) "disabled bump is a no-op" 1 (Metrics.get "test/m")
+
+(* ---- suite ---- *)
+
+let gen_tree =
+  QCheck.Gen.(
+    sized_size (int_range 0 20)
+    @@ fix (fun self n ->
+           if n <= 0 then return (Node [])
+           else
+             let* width = int_range 1 3 in
+             let* cs = list_repeat width (self (n / (width + 1))) in
+             return (Node cs)))
+
+let arb_tree =
+  QCheck.make
+    ~print:(fun t ->
+      Printf.sprintf "tree of %d nodes\n%s" (tree_size t) Helpers.repro_line)
+    gen_tree
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "metrics counter basics" `Quick metrics_basics;
+      Alcotest.test_case "disabled path records nothing" `Quick
+        disabled_records_nothing;
+      Alcotest.test_case "subscriber hook" `Quick subscriber_hook;
+      Alcotest.test_case "spans survive exceptions" `Quick spans_on_exception;
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~name:"span nesting keeps stack discipline" ~count:30
+           arb_tree span_nesting);
+      Alcotest.test_case "row counters are consistent" `Quick row_invariant;
+      Alcotest.test_case "rows fall back without kernels" `Quick
+        rows_without_kernels;
+      Alcotest.test_case "tiles match plan (overlap)" `Quick
+        (tiles_match_plan C.Options.Overlap);
+      Alcotest.test_case "tiles match plan (parallelogram)" `Quick
+        (tiles_match_plan C.Options.Parallelogram);
+      Alcotest.test_case "tiles match plan (split)" `Quick
+        (tiles_match_plan C.Options.Split);
+      Alcotest.test_case "tiles match plan (4 workers)" `Quick
+        tiles_match_plan_parallel;
+      Alcotest.test_case "profile trace-json round trip" `Quick
+        chrome_roundtrip;
+      Alcotest.test_case "escaped names round trip via file" `Quick
+        file_roundtrip;
+      Alcotest.test_case "schema check rejects malformed traces" `Quick
+        parser_negative;
+      Alcotest.test_case "mini JSON parser" `Quick parser_positive;
+    ] )
