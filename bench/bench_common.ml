@@ -22,6 +22,17 @@ let time_ms ?(repeats = 1) f =
   done;
   !best *. 1000.
 
+(* Median of k runs: robust to one-sided scheduler noise, which
+   best-of-k is not — a single lucky run can hide a real slowdown,
+   and a single unlucky one can fake a regression.  The perf gate
+   compares medians. *)
+let median_ms ?(repeats = 5) f =
+  ignore (f ());
+  (* warm-up *)
+  let ts = Array.init repeats (fun _ -> snd (time f)) in
+  Array.sort compare ts;
+  ts.(repeats / 2) *. 1000.
+
 (* Benchmark-scale parameter bindings: the paper sizes divided by a
    linear factor (the interpreter back end is ~100x slower per point
    than compiled code; the generated-C measurements use the same sizes
@@ -41,6 +52,12 @@ let native_ms ?repeats ?pool (app : App.t) opts env =
   let plan = C.Compile.run opts ~outputs:app.outputs in
   let images = images_for app plan env in
   time_ms ?repeats (fun () -> Rt.Executor.run ?pool plan env ~images)
+
+(* Same, but median-of-k — what the regression gate feeds on. *)
+let native_median_ms ?repeats ?pool (app : App.t) opts env =
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  let images = images_for app plan env in
+  median_ms ?repeats (fun () -> Rt.Executor.run ?pool plan env ~images)
 
 (* ---- generated-C measurements ---- *)
 

@@ -422,13 +422,17 @@ let ablations ~scale () =
 (* Row-kernel ablation (the native executor's compilation strategy)     *)
 (* ------------------------------------------------------------------ *)
 
-let kernels_bench ~scale ~json () =
+module Regress = Polymage_report.Regress
+
+let kernels_bench ~scale ~json ~compare_file ~tolerance () =
   hr ();
   printf "Row kernels (native executor: CSE + access cursors + hoisting)\n";
   printf "  -k = closure trees (kernels=false), +k = flat row kernels\n";
+  printf "  (per-config median of 5 interleaved cycles)\n";
   hr ();
   printf "%-16s %11s | %9s %9s %6s | %9s %9s %6s\n" "app" "size" "base-k"
     "base+k" "spdup" "o+v-k" "o+v+k" "spdup";
+  let repeats = 5 in
   let rows =
     List.map
       (fun (app : App.t) ->
@@ -436,26 +440,70 @@ let kernels_bench ~scale ~json () =
         let base = C.Options.base ~estimates:env () in
         let optv = C.Options.opt_vec ~estimates:env () in
         let nk o = { o with C.Options.kernels = false } in
-        let t_b_nk = native_ms ~repeats:3 app (nk base) env in
-        let t_b = native_ms ~repeats:3 app base env in
-        let t_o_nk = native_ms ~repeats:3 app (nk optv) env in
-        let t_o = native_ms ~repeats:3 app optv env in
+        (* Interleave the four configurations cycle by cycle, then take
+           per-configuration medians: machine-load drift slower than
+           one cycle lands on all four cells equally and cancels out of
+           the speedup ratios, where back-to-back blocks per config
+           would absorb it into whichever config ran during the bad
+           window. *)
+        let runners =
+          Array.map
+            (fun opts ->
+              let plan = C.Compile.run opts ~outputs:app.outputs in
+              let images = images_for app plan env in
+              fun () -> ignore (Rt.Executor.run plan env ~images))
+            [| nk base; base; nk optv; optv |]
+        in
+        (* Warm-up also settles the sticky measured-kernel choices
+           (Options.kernel_measure), so the timed cycles compare the
+           decided paths, not the measuring phase. *)
+        Array.iter
+          (fun f ->
+            f ();
+            f ())
+          runners;
+        let samples = Array.make_matrix 4 repeats 0. in
+        for rep = 0 to repeats - 1 do
+          Array.iteri
+            (fun c f -> samples.(c).(rep) <- 1000. *. snd (time f))
+            runners
+        done;
+        let median s =
+          let s = Array.copy s in
+          Array.sort compare s;
+          s.(Array.length s / 2)
+        in
+        (* relative quartile spread: dispersion of the run itself,
+           ignoring the two extreme samples *)
+        let spread s =
+          let s = Array.copy s in
+          Array.sort compare s;
+          let n = Array.length s in
+          (s.(n - 2) -. s.(1)) /. s.(n / 2)
+        in
+        let t_b_nk = median samples.(0)
+        and t_b = median samples.(1)
+        and t_o_nk = median samples.(2)
+        and t_o = median samples.(3) in
+        let noise_b = spread samples.(0) +. spread samples.(1)
+        and noise_o = spread samples.(2) +. spread samples.(3) in
         printf "%-16s %11s | %9.1f %9.1f %5.2fx | %9.1f %9.1f %5.2fx\n"
           app.name (env_desc env) t_b_nk t_b (t_b_nk /. t_b) t_o_nk t_o
           (t_o_nk /. t_o);
-        (app.name, env_desc env, t_b_nk, t_b, t_o_nk, t_o))
+        (app.name, env_desc env, t_b_nk, t_b, t_o_nk, t_o, noise_b, noise_o))
       (Apps.all ())
   in
-  match json with
+  (match json with
   | None -> ()
   | Some file ->
     (* hand-rolled: the JSON is flat and we add no dependencies *)
     let b = Buffer.create 1024 in
     Buffer.add_string b
-      (Printf.sprintf "{\n  \"bench\": \"kernels\",\n  \"scale\": %d,\n  \"apps\": [\n"
+      (Printf.sprintf
+         "{\n  \"schema_version\": 2,\n  \"bench\": \"kernels\",\n  \"scale\": %d,\n  \"apps\": [\n"
          scale);
     List.iteri
-      (fun i (name, size, t_b_nk, t_b, t_o_nk, t_o) ->
+      (fun i (name, size, t_b_nk, t_b, t_o_nk, t_o, _, _) ->
         Buffer.add_string b
           (Printf.sprintf
              "    {\"name\": \"%s\", \"size\": \"%s\",\n\
@@ -469,7 +517,48 @@ let kernels_bench ~scale ~json () =
     let oc = open_out file in
     output_string oc (Buffer.contents b);
     close_out oc;
-    printf "  wrote %s\n" file
+    printf "  wrote %s\n" file);
+  match compare_file with
+  | None -> ()
+  | Some file -> (
+    match Regress.load file with
+    | Error e ->
+      Printf.eprintf "bench: cannot load baseline: %s\n" e;
+      exit 2
+    | Ok b ->
+      (* Only the kernel_speedup_* ratio columns travel between
+         machines; absolute milliseconds do not. *)
+      let is_ratio (m : Regress.measurement) =
+        String.length m.metric > 15
+        && String.sub m.metric 0 15 = "kernel_speedup_"
+      in
+      let baseline = List.filter is_ratio b.cells in
+      let current =
+        List.concat_map
+          (fun (name, size, t_b_nk, t_b, t_o_nk, t_o, noise_b, noise_o) ->
+            [
+              {
+                Regress.app = name;
+                size;
+                metric = "kernel_speedup_base";
+                value = t_b_nk /. t_b;
+                noise = noise_b;
+              };
+              {
+                Regress.app = name;
+                size;
+                metric = "kernel_speedup_opt_vec";
+                value = t_o_nk /. t_o;
+                noise = noise_o;
+              };
+            ])
+          rows
+      in
+      let o = Regress.compare_cells ~tolerance ~baseline ~current in
+      printf "\nregression gate vs %s (schema v%d, tolerance %.0f%%):\n" file
+        b.schema_version (100. *. tolerance);
+      Format.printf "%a@?" Regress.pp o;
+      if not (Regress.ok o) then exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
@@ -533,6 +622,8 @@ let () =
   and quick = ref false
   and json = ref None
   and trace_json = ref None
+  and compare_file = ref None
+  and tolerance = ref 0.10
   and scale = ref 4 in
   let any = ref false in
   let set r () =
@@ -553,6 +644,17 @@ let () =
       ( "--json",
         Arg.String (fun s -> json := Some s),
         "FILE  write the row-kernel timings as JSON" );
+      ( "--compare",
+        Arg.String
+          (fun s ->
+            any := true;
+            run_kern := true;
+            compare_file := Some s),
+        "FILE  rerun the row-kernel bench and gate the kernel_speedup_* \
+         ratios against this baseline JSON; exit 1 on regression" );
+      ( "--tolerance",
+        Arg.Float (fun p -> tolerance := p /. 100.),
+        "PCT  allowed relative drop before --compare fails (default 10)" );
       ("--quick", Arg.Set quick, "smaller search spaces");
       ("--scale", Arg.Set_int scale, "size divisor vs paper sizes (default 4)");
       ( "--fault",
@@ -587,7 +689,9 @@ let () =
   if all || !run_fig9 then fig9 ~quick:!quick ();
   if all || !run_fig10 then fig10 ~scale:!scale ();
   if all || !run_abl then ablations ~scale:!scale ();
-  if all || !run_kern then kernels_bench ~scale:!scale ~json:!json ();
+  if all || !run_kern then
+    kernels_bench ~scale:!scale ~json:!json ~compare_file:!compare_file
+      ~tolerance:!tolerance ();
   if all || !run_bech then bechamel ();
   (match !trace_json with
   | Some file ->

@@ -9,6 +9,7 @@ module Apps = Polymage_apps.Apps
 module App = Polymage_apps.App
 module Cgen = Polymage_codegen.Cgen
 module Tune = Polymage_tune.Tune
+module Report = Polymage_report
 
 let app_arg =
   let parse s =
@@ -271,6 +272,8 @@ let profile_cmd =
       Rt.Profile.run ~opts ~outputs:app.outputs ~env ~images
     in
     Format.printf "%a" Rt.Profile.pp_report report;
+    Format.printf "%a" Report.Attribution.pp
+      (Report.Attribution.of_report report);
     match trace_json with
     | Some file ->
       Rt.Profile.write_chrome_json file report;
@@ -285,6 +288,45 @@ let profile_cmd =
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
       $ threshold_flag $ workers_flag $ trace_json_flag)
+
+let explain_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the decision report as JSON (schema in DESIGN.md)")
+  in
+  let out_flag =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o" ] ~docv:"FILE" ~doc:"Write the report to FILE")
+  in
+  let run (app : App.t) size config tile threshold workers json out =
+    let env = env_of app size in
+    let opts = options_of config tile threshold workers env in
+    let plan = C.Compile.run opts ~outputs:app.outputs in
+    let ex = Report.Explain.make ~name:app.name plan ~env in
+    let text =
+      if json then Report.Explain.to_json_string ex ^ "\n"
+      else Format.asprintf "%a" Report.Explain.pp ex
+    in
+    match out with
+    | None -> print_string text
+    | Some f ->
+      let oc = open_out f in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" f (String.length text)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain the compiled plan: grouping decisions and why, \
+          alignment/scaling, tile shapes and overlaps, scratch \
+          footprint vs budget, demotions")
+    Term.(
+      const run $ app_pos $ size_flag $ config_flag $ tile_flag
+      $ threshold_flag $ workers_flag $ json_flag $ out_flag)
 
 let tune_cmd =
   let tiles_flag =
@@ -394,5 +436,5 @@ let () =
        (Cmd.group (Cmd.info "polymage" ~doc)
           [
             list_cmd; graph_cmd; compile_cmd; groups_cmd; codegen_cmd;
-            run_cmd; profile_cmd; tune_cmd; process_cmd;
+            run_cmd; profile_cmd; explain_cmd; tune_cmd; process_cmd;
           ]))

@@ -700,6 +700,13 @@ let emit ?name (plan : C.Plan.t) =
     Polymage_util.Err.fail Polymage_util.Err.Codegen ~stage:"Cgen.emit"
       "the C back end implements overlapped tiling only (the other \
        strategies are native-executor comparison modes)");
+  Polymage_util.Trace.with_span ~cat:"codegen" "codegen.emit"
+    ~args:
+      [
+        ("items", string_of_int (Array.length plan.items));
+        ("tiled", string_of_int (C.Plan.n_tiled_groups plan));
+      ]
+  @@ fun () ->
   let ctx = { b = Buffer.create 4096; ind = 0 } in
   Buffer.add_string ctx.b preamble;
   blank ctx;
@@ -730,11 +737,16 @@ let emit ?name (plan : C.Plan.t) =
     pipe.stages;
   pop ctx;
   line ctx "}";
-  Buffer.contents ctx.b
+  let src = Buffer.contents ctx.b in
+  Polymage_util.Metrics.bumpn "codegen/emits";
+  Polymage_util.Metrics.addn "codegen/bytes" (String.length src);
+  src
 
 let emit_with_main ?name ?(time_runs = 0) (plan : C.Plan.t) ~fill ~env =
   let pipe = plan.pipe in
   let base = emit ?name plan in
+  Polymage_util.Trace.with_span ~cat:"codegen" "codegen.emit_main"
+  @@ fun () ->
   let ctx = { b = Buffer.create 1024; ind = 0 } in
   if time_runs > 0 then begin
     line ctx "#include <time.h>";

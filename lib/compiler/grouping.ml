@@ -1,7 +1,24 @@
 open Polymage_ir
 module Poly = Polymage_poly
 
-type t = { groups : int list array; of_stage : int array }
+type verdict =
+  | Merged
+  | Above_threshold of float
+  | Unschedulable of string
+
+type decision = {
+  group : string list;
+  child : string list;
+  overlap : float option;
+  threshold : float;
+  verdict : verdict;
+}
+
+type t = {
+  groups : int list array;
+  of_stage : int array;
+  decisions : decision list;
+}
 
 type config = {
   estimates : Types.bindings;
@@ -48,17 +65,41 @@ let run (pipe : Pipeline.t) (cfg : config) =
       states.(g).members;
     !cs
   in
+  let decisions = ref [] in
+  let names ms =
+    List.map (fun i -> pipe.stages.(i).Ast.fname) (List.sort compare ms)
+  in
+  let record g child overlap verdict =
+    decisions :=
+      {
+        group = names states.(g).members;
+        child = names states.(child).members;
+        overlap;
+        threshold = cfg.threshold;
+        verdict;
+      }
+      :: !decisions
+  in
   let try_merge g child =
     let merged = states.(g).members @ states.(child).members in
     match Poly.Schedule.solve pipe merged with
-    | Error _ -> None
+    | Error f ->
+      record g child None
+        (Unschedulable (Format.asprintf "%a" Poly.Schedule.pp_failure f));
+      None
     | Ok sched ->
       let overlap =
         Poly.Tiling.relative_overlap ~naive:cfg.naive_overlap sched
           ~tile:cfg.tile
       in
-      if overlap < cfg.threshold then Some (List.sort compare merged)
-      else None
+      if overlap < cfg.threshold then begin
+        record g child (Some overlap) Merged;
+        Some (List.sort compare merged)
+      end
+      else begin
+        record g child (Some overlap) (Above_threshold overlap);
+        None
+      end
   in
   let converged = ref false in
   while not !converged do
@@ -101,7 +142,7 @@ let run (pipe : Pipeline.t) (cfg : config) =
       (List.map (fun g -> List.sort compare states.(g).members) live)
   in
   let of_stage = Array.map (fun g -> Hashtbl.find remap g) of_stage in
-  { groups; of_stage }
+  { groups; of_stage; decisions = List.rev !decisions }
 
 let quotient_succs (pipe : Pipeline.t) (t : t) g =
   let cs = ref [] in

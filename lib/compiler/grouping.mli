@@ -10,11 +10,33 @@
 
 open Polymage_ir
 
+(** Outcome of one merge attempt, recorded so reporting layers can
+    explain why the final grouping looks the way it does. *)
+type verdict =
+  | Merged  (** the candidate was folded into its child group *)
+  | Above_threshold of float
+      (** schedulable, but relative overlap >= threshold *)
+  | Unschedulable of string
+      (** no constant-dependence alignment/scaling exists; the string
+          is the rendered {!Polymage_poly.Schedule.failure} *)
+
+type decision = {
+  group : string list;  (** candidate group members at attempt time *)
+  child : string list;  (** unique child group members at attempt time *)
+  overlap : float option;
+      (** relative overlap of the merged group, when schedulable *)
+  threshold : float;  (** threshold in force for this attempt *)
+  verdict : verdict;
+}
+
 type t = {
   groups : int list array;
       (** members (pipeline stage indices) per group, topologically
           ordered within the group *)
   of_stage : int array;  (** stage index -> group index *)
+  decisions : decision list;
+      (** every merge attempt in the order it was made (Algorithm 1's
+          trace), including rejections *)
 }
 
 type config = {

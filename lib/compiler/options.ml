@@ -15,6 +15,7 @@ type t = {
   naive_overlap : bool;
   scratchpads : bool;
   kernels : bool;
+  kernel_measure : bool;
   max_scratch_bytes : int option;
   fault : (string * int) option;
   trace : bool;
@@ -35,6 +36,7 @@ let base ?(workers = 1) ~estimates () =
     naive_overlap = false;
     scratchpads = true;
     kernels = true;
+    kernel_measure = true;
     max_scratch_bytes = None;
     fault = None;
     trace = false;
@@ -51,6 +53,7 @@ let opt_vec ?workers ~estimates () =
   { (opt ?workers ~estimates ()) with vec = true }
 
 let with_tile tile t = { t with tile }
+let with_kernel_measure kernel_measure t = { t with kernel_measure }
 let with_threshold threshold t = { t with threshold }
 let with_scratch_budget bytes t = { t with max_scratch_bytes = bytes }
 let with_fault fault t = { t with fault }
@@ -59,10 +62,11 @@ let with_trace trace t = { t with trace }
 let pp ppf t =
   Format.fprintf ppf
     "{grouping=%b inline=%b vec=%b split=%b workers=%d tile=[%s] \
-     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s%s}"
+     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s%s%s}"
     t.grouping_on t.inline_on t.vec t.split_cases t.workers
     (String.concat ";" (Array.to_list (Array.map string_of_int t.tile)))
     t.threshold t.scratchpads t.naive_overlap t.kernels
+    (if t.kernels && not t.kernel_measure then " kernel_measure=off" else "")
     (match t.max_scratch_bytes with
     | None -> ""
     | Some b -> Printf.sprintf " scratch_budget=%dB" b)

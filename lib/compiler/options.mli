@@ -42,6 +42,14 @@ type t = {
           cursors + loop-invariant hoisting) instead of closure trees
           in the native executor; when false, every expression node is
           an indirect call (ablation, default on) *)
+  kernel_measure : bool;
+      (** measured kernel fallback: when both a compiled row kernel and
+          the closure path exist for a stage, the executor times the
+          first rows of each per worker and keeps the faster path for
+          the rest of the run, recording the choice in
+          [exec/stage/<name>/kernel_kept|kernel_dropped] counters
+          (default on; turn off to pin the row-class split for tests
+          or A/B measurements) *)
   max_scratch_bytes : int option;
       (** per-worker scratchpad memory budget: a fused group whose
           per-tile scratchpad footprint (under [estimates]) exceeds
@@ -70,6 +78,7 @@ val opt_vec : ?workers:int -> estimates:Types.bindings -> unit -> t
 (** The full configuration, "PolyMage (opt+vec)". *)
 
 val with_tile : int array -> t -> t
+val with_kernel_measure : bool -> t -> t
 val with_threshold : float -> t -> t
 val with_scratch_budget : int option -> t -> t
 val with_fault : (string * int) option -> t -> t

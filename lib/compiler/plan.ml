@@ -11,11 +11,12 @@ type tiled = {
   sched : Poly.Schedule.t;
   members : member array;
   tile : int array;
+  scratch_bytes : int;
 }
 
 type item = Straight of int | Tiled of tiled
 
-type demotion = { stages : string list; bytes : int }
+type demotion = { stages : string list; bytes : int; budget : int }
 
 type t = {
   pipe : Pipeline.t;
@@ -32,16 +33,16 @@ type t = {
    scratchpad of their per-tile extent products (float = 8 bytes).
    Used by the [max_scratch_bytes] budget to demote groups whose tile
    window would over-allocate, instead of OOMing at execution time. *)
-let group_scratch_bytes (opts : Options.t) (g : tiled) =
+let scratch_bytes_of (opts : Options.t) sched ~tile members =
   Array.fold_left
     (fun acc (m : member) ->
       if m.used_in_group then
         acc
         + 8
-          * Poly.Tiling.scratch_cells ~naive:opts.naive_overlap g.sched
-              ~tile:g.tile opts.estimates m.ms
+          * Poly.Tiling.scratch_cells ~naive:opts.naive_overlap sched ~tile
+              opts.estimates m.ms
       else acc)
-    0 g.members
+    0 members
 
 let build (pipe : Pipeline.t) (opts : Options.t) =
   let module Trace = Polymage_util.Trace in
@@ -114,14 +115,17 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
                     { ms; live_out; used_in_group })
                   sched.members
               in
-              let tg = { sched; members; tile = opts.tile } in
-              let over_budget =
+              let scratch_bytes =
+                scratch_bytes_of opts sched ~tile:opts.tile members
+              in
+              let tg = { sched; members; tile = opts.tile; scratch_bytes } in
+              let over_budget, budget =
                 Trace.with_span ~cat:"compile" "storage"
                   ~args:[ ("group", string_of_int g) ] (fun () ->
                     match opts.max_scratch_bytes with
-                    | None -> false
+                    | None -> (false, 0)
                     | Some budget ->
-                      opts.scratchpads && group_scratch_bytes opts tg > budget)
+                      (opts.scratchpads && scratch_bytes > budget, budget))
               in
               if over_budget then begin
                 (* Demote the whole group to untiled per-stage
@@ -134,7 +138,8 @@ let build (pipe : Pipeline.t) (opts : Options.t) =
                         (Array.map
                            (fun (m : member) -> m.ms.func.Ast.fname)
                            tg.members);
-                    bytes = group_scratch_bytes opts tg;
+                    bytes = scratch_bytes;
+                    budget;
                   }
                   :: !demotions;
                 List.map

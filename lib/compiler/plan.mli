@@ -23,14 +23,19 @@ type tiled = {
   sched : Poly.Schedule.t;
   members : member array;  (** same order as [sched.members] *)
   tile : int array;  (** tile sizes per canonical dim, sink pixels *)
+  scratch_bytes : int;
+      (** per-worker scratchpad footprint in bytes under the parameter
+          estimates (the quantity compared against
+          [Options.t.max_scratch_bytes]) *)
 }
 
 type item = Straight of int | Tiled of tiled
 
-type demotion = { stages : string list; bytes : int }
+type demotion = { stages : string list; bytes : int; budget : int }
 (** A fused group demoted to untiled execution by the scratchpad
-    budget ({!Options.t.max_scratch_bytes}): its member stage names
-    and the per-worker scratch footprint that tripped the budget. *)
+    budget ({!Options.t.max_scratch_bytes}): its member stage names,
+    the per-worker scratch footprint that tripped the budget, and the
+    budget in force. *)
 
 type t = {
   pipe : Pipeline.t;  (** the (possibly inlined) pipeline *)

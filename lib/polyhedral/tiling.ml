@@ -49,6 +49,37 @@ let scratch_extents ~naive (t : Schedule.t) ~tile env
 let scratch_cells ~naive (t : Schedule.t) ~tile env ms =
   Array.fold_left ( * ) 1 (scratch_extents ~naive t ~tile env ms)
 
+(* Points a member computes per interior tile: the widened tile window
+   projected into the stage's own space, without the allocation slack
+   of [scratch_extents].  Multiplied by the tile count this predicts
+   the group's total computed points (edge tiles are clamped by the
+   executor, so the prediction is an upper bound per tile). *)
+let tile_points ~naive (t : Schedule.t) ~tile env
+    (ms : Schedule.stage_sched) =
+  let open Polymage_ir in
+  let tau = scaled_tile t ~tile in
+  let doms = Array.of_list ms.func.Ast.fdom in
+  List.mapi
+    (fun j _ ->
+      let d = ms.align.(j) in
+      if d < 0 then Interval.size doms.(j) env
+      else begin
+        let wl = if naive then ms.widen_l_naive.(d) else ms.widen_l.(d) in
+        let wr = if naive then ms.widen_r_naive.(d) else ms.widen_r.(d) in
+        let span = tau.(d) + wl + wr in
+        let s = ms.scale.(j) in
+        min (((span - 1) / s) + 1) (Interval.size doms.(j) env)
+      end)
+    ms.func.Ast.fdom
+  |> List.fold_left ( * ) 1
+
+(* Domain points of a member under [env] (the useful work). *)
+let domain_points env (ms : Schedule.stage_sched) =
+  let open Polymage_ir in
+  List.fold_left
+    (fun acc iv -> acc * Interval.size iv env)
+    1 ms.func.Ast.fdom
+
 let relative_overlap ?naive (t : Schedule.t) ~tile =
   if Array.length t.members <= 1 then 0.
   else begin

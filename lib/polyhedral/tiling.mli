@@ -44,3 +44,24 @@ val scratch_cells :
   Schedule.stage_sched ->
   int
 (** Product of {!scratch_extents}: cells in one member's scratchpad. *)
+
+val tile_points :
+  naive:bool ->
+  Schedule.t ->
+  tile:int array ->
+  Polymage_ir.Types.bindings ->
+  Schedule.stage_sched ->
+  int
+(** Predicted points a member computes per interior tile: the widened
+    tile window projected into the stage's own index space
+    ([ceil((tile_scaled + widen_l + widen_r) / scale)] per aligned
+    dimension, the full extent per residual dimension), with no
+    allocation slack.  [tile_points * n_tiles / domain_points - 1] is
+    the model's redundant-compute ratio for a member; edge tiles are
+    clamped to the domain at execution time, so per-tile it is an
+    upper bound. *)
+
+val domain_points :
+  Polymage_ir.Types.bindings -> Schedule.stage_sched -> int
+(** Points in a member's own domain under the bindings — the useful
+    (non-redundant) work for that stage. *)

@@ -1,0 +1,284 @@
+(* Fold a captured trace + metrics snapshot into a per-item /
+   per-stage profile: self vs child time from the span tree, rows by
+   execution class, tiles, scratch traffic, and the redundant-compute
+   ratio both as the tiling model predicts it and as the executed
+   point counters measured it, so model-vs-measurement skew is
+   visible. *)
+
+module C = Polymage_compiler
+module Poly = Polymage_poly
+module Rt = Polymage_rt
+module Trace = Polymage_util.Trace
+
+(* ---- span tree with self time ---- *)
+
+type span_node = {
+  name : string;
+  cat : string;
+  dur_ms : float;
+  self_ms : float;
+  children : span_node list;
+}
+
+type raw = {
+  rname : string;
+  rcat : string;
+  rt0 : int;
+  rt1 : int;
+  rdepth : int;
+  mutable rkids : raw list;
+}
+
+let ms ns = float_of_int ns /. 1e6
+
+let rec freeze (r : raw) =
+  (* rkids accumulates by prepending, so rev_map restores start order *)
+  let children = List.rev_map freeze r.rkids in
+  let child_ns =
+    List.fold_left (fun acc (c : raw) -> acc + (c.rt1 - c.rt0)) 0 r.rkids
+  in
+  {
+    name = r.rname;
+    cat = r.rcat;
+    dur_ms = ms (r.rt1 - r.rt0);
+    self_ms = Float.max 0. (ms (r.rt1 - r.rt0 - child_ns));
+    children;
+  }
+
+(* Nest spans by interval containment, per thread: a span is a child
+   of the innermost span that contains it.  Sorting by (start asc,
+   end desc, depth asc) makes parents precede their children even for
+   zero-length ties, so one stack pass suffices. *)
+let span_tree (events : Trace.event list) =
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Span s ->
+        let l = try Hashtbl.find by_tid s.tid with Not_found -> [] in
+        Hashtbl.replace by_tid s.tid
+          ({
+             rname = s.name;
+             rcat = s.cat;
+             rt0 = s.t_start_ns;
+             rt1 = s.t_end_ns;
+             rdepth = s.depth;
+             rkids = [];
+           }
+          :: l)
+      | Trace.Instant _ -> ())
+    events;
+  let roots = ref [] in
+  let tids = Hashtbl.fold (fun tid _ acc -> tid :: acc) by_tid [] in
+  List.iter
+    (fun tid ->
+      let spans =
+        List.sort
+          (fun a b ->
+            if a.rt0 <> b.rt0 then compare a.rt0 b.rt0
+            else if a.rt1 <> b.rt1 then compare b.rt1 a.rt1
+            else compare a.rdepth b.rdepth)
+          (Hashtbl.find by_tid tid)
+      in
+      let stack = ref [] in
+      List.iter
+        (fun s ->
+          let rec unwind () =
+            match !stack with
+            | top :: rest when not (s.rt0 >= top.rt0 && s.rt1 <= top.rt1) ->
+              stack := rest;
+              unwind ()
+            | _ -> ()
+          in
+          unwind ();
+          (match !stack with
+          | top :: _ -> top.rkids <- s :: top.rkids
+          | [] -> roots := s :: !roots);
+          stack := s :: !stack)
+        spans)
+    (List.sort compare tids);
+  (* roots accumulates by prepending, so rev_map restores start order *)
+  List.rev_map freeze !roots
+
+(* ---- per-item / per-stage profile ---- *)
+
+type stage_profile = {
+  stage : string;
+  rows_kernel : int;
+  rows_closure : int;
+  rows_cond : int;
+  points : int;  (* points actually computed (clamped tile windows) *)
+  domain_points : int;  (* useful points under the run's bindings *)
+  kernel_kept : int;  (* measured-fallback decisions, per worker *)
+  kernel_dropped : int;
+}
+
+type item_profile = {
+  item : int;
+  label : string;
+  item_ms : float;  (* total time of this item's exec spans *)
+  stages : stage_profile list;
+  tiles_planned : int;
+  tiles_run : int;
+  scratch_bytes : int;
+  scratch_attaches : int;
+  redundancy_predicted : float option;  (* tiled groups only *)
+  redundancy_measured : float option;  (* needs nonzero point counters *)
+}
+
+type t = {
+  wall_ms : float;  (* the exec.run span *)
+  compile_ms : float;  (* the top-level compile span *)
+  io_ms : float;  (* image read/write spans *)
+  codegen_ms : float;  (* C emission spans *)
+  tree : span_node list;
+  items : item_profile list;
+}
+
+let get counters n = try List.assoc n counters with Not_found -> 0
+
+let stage_profile counters env (f : Polymage_ir.Ast.func) =
+  let c what = get counters (Printf.sprintf "exec/stage/%s/%s" f.fname what) in
+  {
+    stage = f.fname;
+    rows_kernel = c "rows_kernel";
+    rows_closure = c "rows_closure";
+    rows_cond = c "rows_cond";
+    points = c "points";
+    domain_points =
+      List.fold_left
+        (fun acc iv -> acc * Polymage_ir.Interval.size iv env)
+        1 f.fdom;
+    kernel_kept = c "kernel_kept";
+    kernel_dropped = c "kernel_dropped";
+  }
+
+let rec sum_spans pred nodes =
+  List.fold_left
+    (fun acc (n : span_node) ->
+      (if pred n then acc +. n.dur_ms else acc) +. sum_spans pred n.children)
+    0. nodes
+
+let of_report (r : Rt.Profile.report) =
+  let counters = r.counters in
+  let env = r.env in
+  let plan = r.plan in
+  let tree = span_tree r.events in
+  let span_total name = sum_spans (fun n -> n.name = name) tree in
+  let items =
+    Array.to_list plan.items
+    |> List.mapi (fun k (item : C.Plan.item) ->
+           match item with
+           | C.Plan.Straight i ->
+             let f = plan.pipe.stages.(i) in
+             {
+               item = k;
+               label = "straight " ^ f.fname;
+               item_ms = span_total ("exec.straight." ^ f.fname);
+               stages = [ stage_profile counters env f ];
+               tiles_planned = 0;
+               tiles_run = 0;
+               scratch_bytes = 0;
+               scratch_attaches = 0;
+               redundancy_predicted = None;
+               redundancy_measured = None;
+             }
+           | C.Plan.Tiled g ->
+             let naive = plan.opts.naive_overlap in
+             let tiles_planned =
+               try List.assoc k r.tiles with Not_found -> 0
+             in
+             let gc what =
+               get counters (Printf.sprintf "exec/group%d/%s" k what)
+             in
+             let stages =
+               Array.to_list g.members
+               |> List.map (fun (m : C.Plan.member) ->
+                      stage_profile counters env m.ms.func)
+             in
+             let useful =
+               List.fold_left (fun a s -> a + s.domain_points) 0 stages
+             in
+             let computed = List.fold_left (fun a s -> a + s.points) 0 stages in
+             let predicted =
+               Array.fold_left
+                 (fun a (m : C.Plan.member) ->
+                   a
+                   + Poly.Tiling.tile_points ~naive g.sched ~tile:g.tile env
+                       m.ms
+                     * tiles_planned)
+                 0 g.members
+             in
+             let ratio num den =
+               if den = 0 then None
+               else Some ((float_of_int num /. float_of_int den) -. 1.)
+             in
+             {
+               item = k;
+               label = Printf.sprintf "group%d" k;
+               item_ms = span_total (Printf.sprintf "exec.group%d" k);
+               stages;
+               tiles_planned;
+               tiles_run = gc "tiles";
+               scratch_bytes = gc "scratch_bytes";
+               scratch_attaches = gc "scratch_attaches";
+               redundancy_predicted = ratio predicted useful;
+               redundancy_measured =
+                 (if computed = 0 then None else ratio computed useful);
+             })
+  in
+  {
+    wall_ms = r.wall_ms;
+    compile_ms = span_total "compile";
+    io_ms = sum_spans (fun n -> n.cat = "io") tree;
+    codegen_ms = sum_spans (fun n -> n.cat = "codegen") tree;
+    tree;
+    items;
+  }
+
+(* ---- rendering ---- *)
+
+let pp_tree ppf nodes =
+  let rec go indent (n : span_node) =
+    Format.fprintf ppf "  %s%-*s %10.3f ms  (self %8.3f ms)@."
+      (String.make indent ' ')
+      (max 1 (30 - indent))
+      n.name n.dur_ms n.self_ms;
+    List.iter (go (indent + 2)) n.children
+  in
+  List.iter (go 0) nodes
+
+let opt_ratio = function
+  | None -> "-"
+  | Some x -> Printf.sprintf "%.3f" x
+
+let pp ppf t =
+  Format.fprintf ppf "== attributed spans (self vs child time) ==@.";
+  pp_tree ppf t.tree;
+  Format.fprintf ppf
+    "== phase totals ==@.  compile %10.3f ms@.  exec    %10.3f ms@.  io      \
+     %10.3f ms@.  codegen %10.3f ms@."
+    t.compile_ms t.wall_ms t.io_ms t.codegen_ms;
+  Format.fprintf ppf "== items ==@.";
+  List.iter
+    (fun it ->
+      Format.fprintf ppf
+        "  [%d] %-24s %10.3f ms  tiles %d/%d  scratch %.1f KiB (%d \
+         attaches)  redundancy pred=%s meas=%s@."
+        it.item it.label it.item_ms it.tiles_run it.tiles_planned
+        (float_of_int it.scratch_bytes /. 1024.)
+        it.scratch_attaches
+        (opt_ratio it.redundancy_predicted)
+        (opt_ratio it.redundancy_measured);
+      List.iter
+        (fun s ->
+          Format.fprintf ppf
+            "        %-20s rows k/c/q %d/%d/%d  points %d (domain %d)%s@."
+            s.stage s.rows_kernel s.rows_closure s.rows_cond s.points
+            s.domain_points
+            (if s.kernel_kept + s.kernel_dropped = 0 then ""
+             else
+               Printf.sprintf "  kernel kept %d dropped %d" s.kernel_kept
+                 s.kernel_dropped))
+        it.stages)
+    t.items

@@ -1,0 +1,63 @@
+(** Attribution: fold a {!Polymage_rt.Profile.report} (captured trace
+    + metrics snapshot) into a per-item / per-stage profile.
+
+    Span times are attributed as a tree (a span is a child of the
+    innermost span containing it on the same thread) with self time =
+    duration − children.  Per plan item the profile reports tiles
+    executed vs planned, rows split by execution class
+    (kernel/closure/cond), scratchpad bytes and attaches, and the
+    redundant-compute ratio twice: as predicted by the
+    {!Polymage_poly.Tiling} layouts and as measured by the executed
+    point counters — printing both makes model-vs-measurement skew
+    visible. *)
+
+type span_node = {
+  name : string;
+  cat : string;
+  dur_ms : float;
+  self_ms : float;  (** duration minus the children's durations *)
+  children : span_node list;
+}
+
+val span_tree : Polymage_util.Trace.event list -> span_node list
+(** Exposed for tests: fold flat span events into the nesting tree. *)
+
+type stage_profile = {
+  stage : string;
+  rows_kernel : int;
+  rows_closure : int;
+  rows_cond : int;
+  points : int;  (** points actually computed (clamped tile windows) *)
+  domain_points : int;  (** useful points under the run's bindings *)
+  kernel_kept : int;  (** measured-fallback decisions, one per worker *)
+  kernel_dropped : int;
+}
+
+type item_profile = {
+  item : int;
+  label : string;
+  item_ms : float;
+  stages : stage_profile list;
+  tiles_planned : int;
+  tiles_run : int;
+  scratch_bytes : int;
+  scratch_attaches : int;
+  redundancy_predicted : float option;
+      (** [sum(tile_points * tiles) / sum(domain_points) - 1], from the
+          tiling model; [None] for straight items *)
+  redundancy_measured : float option;
+      (** same ratio from the [exec/stage/<name>/points] counters;
+          [None] when metrics were off *)
+}
+
+type t = {
+  wall_ms : float;
+  compile_ms : float;
+  io_ms : float;
+  codegen_ms : float;
+  tree : span_node list;
+  items : item_profile list;
+}
+
+val of_report : Polymage_rt.Profile.report -> t
+val pp : Format.formatter -> t -> unit

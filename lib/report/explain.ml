@@ -1,0 +1,335 @@
+(* Decision report for a compiled plan: which stages fused into which
+   group and why, the alignment/scaling and tile shape per stage, the
+   scratchpad footprint against its budget, and every demotion — the
+   paper's grouping/tiling heuristics (§3.4–3.5) made inspectable. *)
+
+open Polymage_ir
+module C = Polymage_compiler
+module Poly = Polymage_poly
+module Trace = Polymage_util.Trace
+
+let schema_version = 1
+
+type member_info = {
+  stage : string;
+  align : int array;  (* per stage dim: canonical dim or -1 *)
+  scale : int array;
+  widen_l : int array;  (* per canonical dim *)
+  widen_r : int array;
+  live_out : bool;
+  scratchpad : bool;
+  domain_points : int;
+  tile_points : int;  (* predicted points computed per tile *)
+}
+
+type item_info =
+  | Straight_item of { item : int; stage : string; reason : string }
+  | Tiled_item of {
+      item : int;
+      members : member_info list;
+      tile : int array;  (* scaled tile extents per canonical dim *)
+      overlap : int array;  (* group overlap per canonical dim *)
+      tiles_predicted : int;
+      scratch_bytes : int;
+      redundancy_predicted : float;
+    }
+
+type t = {
+  name : string option;
+  opts : C.Options.t;
+  n_stages : int;
+  env : (string * int) list;
+  inlined : (string * string) list;
+  decisions : C.Grouping.decision list;
+  items : item_info list;
+  demotions : C.Plan.demotion list;
+}
+
+let straight_reason (plan : C.Plan.t) i =
+  let f = plan.pipe.stages.(i) in
+  if List.exists (fun (d : C.Plan.demotion) -> List.mem f.Ast.fname d.stages)
+       plan.demotions
+  then "demoted: group scratchpad footprint over budget"
+  else
+    match f.Ast.fbody with
+    | Ast.Reduce _ -> "reduction: not fusable with overlapped tiling"
+    | _ ->
+      if plan.pipe.self_recursive.(i) then
+        "self-recursive: sequential time iteration"
+      else if not plan.opts.grouping_on then "grouping disabled"
+      else "left in a single-stage group by the grouping heuristic"
+
+let make ?name (plan : C.Plan.t) ~env =
+  let opts = plan.opts in
+  let naive = opts.naive_overlap in
+  let tiles = Polymage_rt.Executor.tile_counts plan env in
+  let items =
+    Array.to_list plan.items
+    |> List.mapi (fun k (item : C.Plan.item) ->
+           match item with
+           | C.Plan.Straight i ->
+             Straight_item
+               {
+                 item = k;
+                 stage = plan.pipe.stages.(i).Ast.fname;
+                 reason = straight_reason plan i;
+               }
+           | C.Plan.Tiled g ->
+             let tiles_predicted =
+               try List.assoc k tiles with Not_found -> 0
+             in
+             let members =
+               Array.to_list g.members
+               |> List.map (fun (m : C.Plan.member) ->
+                      let ms = m.ms in
+                      {
+                        stage = ms.func.Ast.fname;
+                        align = ms.align;
+                        scale = ms.scale;
+                        widen_l = (if naive then ms.widen_l_naive else ms.widen_l);
+                        widen_r = (if naive then ms.widen_r_naive else ms.widen_r);
+                        live_out = m.live_out;
+                        scratchpad = m.used_in_group && opts.scratchpads;
+                        domain_points = Poly.Tiling.domain_points env ms;
+                        tile_points =
+                          Poly.Tiling.tile_points ~naive g.sched ~tile:g.tile
+                            env ms;
+                      })
+             in
+             let useful =
+               List.fold_left (fun a m -> a + m.domain_points) 0 members
+             in
+             let computed =
+               List.fold_left
+                 (fun a m -> a + (m.tile_points * tiles_predicted))
+                 0 members
+             in
+             let redundancy_predicted =
+               if useful = 0 then 0.
+               else (float_of_int computed /. float_of_int useful) -. 1.
+             in
+             Tiled_item
+               {
+                 item = k;
+                 members;
+                 tile = Poly.Tiling.scaled_tile g.sched ~tile:g.tile;
+                 overlap = Poly.Tiling.overlap ~naive g.sched;
+                 tiles_predicted;
+                 scratch_bytes = g.scratch_bytes;
+                 redundancy_predicted;
+               })
+  in
+  {
+    name;
+    opts;
+    n_stages = Pipeline.n_stages plan.pipe;
+    env =
+      List.map (fun ((p : Types.param), v) -> (p.pname, v)) env
+      |> List.sort compare;
+    inlined = plan.inlined;
+    decisions =
+      (match plan.grouping with None -> [] | Some g -> g.decisions);
+    items;
+    demotions = plan.demotions;
+  }
+
+(* ---- JSON rendering (schema documented in DESIGN.md) ---- *)
+
+let jint n = Trace.Num (float_of_int n)
+let jints a = Trace.Arr (List.map jint (Array.to_list a))
+let jstrs l = Trace.Arr (List.map (fun s -> Trace.Str s) l)
+
+let json_of_options (o : C.Options.t) =
+  Trace.Obj
+    [
+      ("grouping", Trace.Bool o.grouping_on);
+      ( "tiling",
+        Trace.Str
+          (match o.tiling with
+          | C.Options.Overlap -> "overlap"
+          | C.Options.Parallelogram -> "parallelogram"
+          | C.Options.Split -> "split") );
+      ("inline", Trace.Bool o.inline_on);
+      ("vec", Trace.Bool o.vec);
+      ("split_cases", Trace.Bool o.split_cases);
+      ("workers", jint o.workers);
+      ("tile", jints o.tile);
+      ("threshold", Trace.Num o.threshold);
+      ("min_size", jint o.min_size);
+      ("naive_overlap", Trace.Bool o.naive_overlap);
+      ("scratchpads", Trace.Bool o.scratchpads);
+      ("kernels", Trace.Bool o.kernels);
+      ("kernel_measure", Trace.Bool o.kernel_measure);
+      ( "max_scratch_bytes",
+        match o.max_scratch_bytes with
+        | None -> Trace.Null
+        | Some b -> jint b );
+    ]
+
+let json_of_decision (d : C.Grouping.decision) =
+  Trace.Obj
+    [
+      ("group", jstrs d.group);
+      ("child", jstrs d.child);
+      ( "overlap",
+        match d.overlap with None -> Trace.Null | Some o -> Trace.Num o );
+      ("threshold", Trace.Num d.threshold);
+      ( "verdict",
+        Trace.Str
+          (match d.verdict with
+          | C.Grouping.Merged -> "merged"
+          | C.Grouping.Above_threshold _ -> "above_threshold"
+          | C.Grouping.Unschedulable _ -> "unschedulable") );
+      ( "detail",
+        match d.verdict with
+        | C.Grouping.Unschedulable msg -> Trace.Str msg
+        | _ -> Trace.Null );
+    ]
+
+let json_of_member (m : member_info) =
+  Trace.Obj
+    [
+      ("stage", Trace.Str m.stage);
+      ("align", jints m.align);
+      ("scale", jints m.scale);
+      ("widen_l", jints m.widen_l);
+      ("widen_r", jints m.widen_r);
+      ("live_out", Trace.Bool m.live_out);
+      ("scratchpad", Trace.Bool m.scratchpad);
+      ("domain_points", jint m.domain_points);
+      ("tile_points", jint m.tile_points);
+    ]
+
+let json_of_item = function
+  | Straight_item s ->
+    Trace.Obj
+      [
+        ("kind", Trace.Str "straight");
+        ("item", jint s.item);
+        ("stage", Trace.Str s.stage);
+        ("reason", Trace.Str s.reason);
+      ]
+  | Tiled_item g ->
+    Trace.Obj
+      [
+        ("kind", Trace.Str "tiled");
+        ("item", jint g.item);
+        ("tile", jints g.tile);
+        ("overlap", jints g.overlap);
+        ("tiles_predicted", jint g.tiles_predicted);
+        ("scratch_bytes", jint g.scratch_bytes);
+        ("redundancy_predicted", Trace.Num g.redundancy_predicted);
+        ("members", Trace.Arr (List.map json_of_member g.members));
+      ]
+
+let to_json t =
+  Trace.Obj
+    [
+      ("schema_version", jint schema_version);
+      ( "app",
+        match t.name with None -> Trace.Null | Some n -> Trace.Str n );
+      ("options", json_of_options t.opts);
+      ("n_stages", jint t.n_stages);
+      ( "env",
+        Trace.Obj (List.map (fun (n, v) -> (n, jint v)) t.env) );
+      ( "inlined",
+        Trace.Arr
+          (List.map
+             (fun (p, c) ->
+               Trace.Obj
+                 [ ("producer", Trace.Str p); ("consumer", Trace.Str c) ])
+             t.inlined) );
+      ("grouping_decisions", Trace.Arr (List.map json_of_decision t.decisions));
+      ("items", Trace.Arr (List.map json_of_item t.items));
+      ( "demotions",
+        Trace.Arr
+          (List.map
+             (fun (d : C.Plan.demotion) ->
+               Trace.Obj
+                 [
+                   ("stages", jstrs d.stages);
+                   ("bytes", jint d.bytes);
+                   ("budget", jint d.budget);
+                 ])
+             t.demotions) );
+    ]
+
+let to_json_string t = Trace.json_to_string (to_json t)
+
+(* ---- text rendering ---- *)
+
+let ints a =
+  String.concat ";" (Array.to_list (Array.map string_of_int a))
+
+let pp ppf t =
+  (match t.name with
+  | Some n -> Format.fprintf ppf "== %s ==@." n
+  | None -> ());
+  Format.fprintf ppf "options: %a@." C.Options.pp t.opts;
+  Format.fprintf ppf "env: %s@."
+    (String.concat ", "
+       (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) t.env));
+  Format.fprintf ppf "stages: %d@." t.n_stages;
+  if t.inlined <> [] then
+    Format.fprintf ppf "inlined: %s@."
+      (String.concat ", "
+         (List.map (fun (p, c) -> p ^ " into " ^ c) t.inlined));
+  if t.decisions <> [] then begin
+    Format.fprintf ppf "@.== grouping decisions (overlap threshold %.2f) ==@."
+      t.opts.threshold;
+    List.iter
+      (fun (d : C.Grouping.decision) ->
+        let side l = "{" ^ String.concat ", " l ^ "}" in
+        match d.verdict with
+        | C.Grouping.Merged ->
+          Format.fprintf ppf "  merge %s into %s: overlap %.3f < %.2f@."
+            (side d.group) (side d.child)
+            (Option.value ~default:0. d.overlap)
+            d.threshold
+        | C.Grouping.Above_threshold o ->
+          Format.fprintf ppf
+            "  keep  %s apart from %s: overlap %.3f >= %.2f@." (side d.group)
+            (side d.child) o d.threshold
+        | C.Grouping.Unschedulable msg ->
+          Format.fprintf ppf "  keep  %s apart from %s: %s@." (side d.group)
+            (side d.child) msg)
+      t.decisions
+  end;
+  Format.fprintf ppf "@.== plan (%d items) ==@." (List.length t.items);
+  List.iter
+    (function
+      | Straight_item s ->
+        Format.fprintf ppf "[%d] straight %s — %s@." s.item s.stage s.reason
+      | Tiled_item g ->
+        Format.fprintf ppf
+          "[%d] tiled group: tile=[%s] overlap=[%s] tiles=%d scratch=%.1f \
+           KiB%s redundancy(pred)=%.3f@."
+          g.item (ints g.tile) (ints g.overlap) g.tiles_predicted
+          (float_of_int g.scratch_bytes /. 1024.)
+          (match t.opts.max_scratch_bytes with
+          | None -> ""
+          | Some b -> Printf.sprintf " (budget %.1f KiB)" (float_of_int b /. 1024.))
+          g.redundancy_predicted;
+        List.iter
+          (fun m ->
+            Format.fprintf ppf
+              "      %-20s align=[%s] scale=[%s] widen_l=[%s] widen_r=[%s]%s%s@."
+              m.stage (ints m.align) (ints m.scale) (ints m.widen_l)
+              (ints m.widen_r)
+              (if m.live_out then " live-out" else "")
+              (if m.scratchpad then " scratchpad" else ""))
+          g.members)
+    t.items;
+  List.iter
+    (fun (d : C.Plan.demotion) ->
+      Format.fprintf ppf
+        "demoted over scratch budget (%d > %d bytes/tile): %s@." d.bytes
+        d.budget
+        (String.concat ", " d.stages))
+    t.demotions;
+  if t.opts.kernels then
+    Format.fprintf ppf
+      "@.kernels: on, measured closure fallback %s (decisions appear as \
+       exec/stage/<name>/kernel_kept|kernel_dropped counters in profile \
+       runs)@."
+      (if t.opts.kernel_measure then "on" else "off")

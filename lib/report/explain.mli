@@ -1,0 +1,58 @@
+(** [polymage explain]: render a compiled {!Polymage_compiler.Plan} as
+    a decision report — which stages fused into which group and why
+    (the grouping heuristic's inputs and verdicts), the
+    alignment/scaling per stage, tile shape and overlap per dimension,
+    scratchpad footprint against its budget, and demotions — as text
+    or JSON.
+
+    The JSON schema (documented in DESIGN.md, [schema_version] 1) is
+    stable for tooling: predicted tile counts come from
+    {!Polymage_rt.Executor.tile_counts}, so they equal the executed
+    tile counters for the same options and bindings by construction. *)
+
+open Polymage_ir
+module C = Polymage_compiler
+
+val schema_version : int
+
+type member_info = {
+  stage : string;
+  align : int array;  (** per stage dim: canonical dim or -1 *)
+  scale : int array;
+  widen_l : int array;  (** per canonical dim, the shape in force *)
+  widen_r : int array;
+  live_out : bool;
+  scratchpad : bool;
+  domain_points : int;
+  tile_points : int;  (** predicted points computed per tile *)
+}
+
+type item_info =
+  | Straight_item of { item : int; stage : string; reason : string }
+  | Tiled_item of {
+      item : int;
+      members : member_info list;
+      tile : int array;
+      overlap : int array;
+      tiles_predicted : int;
+      scratch_bytes : int;
+      redundancy_predicted : float;
+    }
+
+type t = {
+  name : string option;
+  opts : C.Options.t;
+  n_stages : int;
+  env : (string * int) list;
+  inlined : (string * string) list;
+  decisions : C.Grouping.decision list;
+  items : item_info list;
+  demotions : C.Plan.demotion list;
+}
+
+val make : ?name:string -> C.Plan.t -> env:Types.bindings -> t
+(** Pure function of the plan and bindings: no execution happens. *)
+
+val to_json : t -> Polymage_util.Trace.json
+val to_json_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+(* Noise-aware performance regression gate: load a committed bench
+   baseline (BENCH_PRn.json), match its cells against freshly measured
+   values, and flag cells whose metric fell more than the tolerance
+   below the baseline.  Comparisons are meant for machine-independent
+   "higher is better" ratios (the kernel_speedup_* columns) — absolute
+   milliseconds recorded on another machine are not comparable. *)
+
+module Trace = Polymage_util.Trace
+
+type measurement = {
+  app : string;
+  size : string;
+  metric : string;
+  value : float;
+  noise : float;
+      (* relative dispersion of the measurement (0 when unknown, as
+         for baseline cells loaded from JSON); widens the cell's
+         regression bar so a noisy run cannot hard-fail the gate *)
+}
+
+type baseline = {
+  schema_version : int;  (* 1 when the file predates the field *)
+  bench : string;
+  scale : int;
+  cells : measurement list;
+}
+
+let of_json (j : Trace.json) : (baseline, string) result =
+  let field name = function
+    | Trace.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  match j with
+  | Trace.Obj _ -> (
+    let schema_version =
+      match field "schema_version" j with
+      | Some (Trace.Num v) -> int_of_float v
+      | _ -> 1
+    in
+    let bench =
+      match field "bench" j with Some (Trace.Str s) -> s | _ -> ""
+    in
+    let scale =
+      match field "scale" j with
+      | Some (Trace.Num v) -> int_of_float v
+      | _ -> 0
+    in
+    match field "apps" j with
+    | Some (Trace.Arr apps) -> (
+      try
+        let cells =
+          List.concat_map
+            (fun app ->
+              let str name =
+                match field name app with
+                | Some (Trace.Str s) -> s
+                | _ -> failwith ("app entry missing string field " ^ name)
+              in
+              let name = str "name" in
+              let size = str "size" in
+              match app with
+              | Trace.Obj fields ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with
+                    | Trace.Num value ->
+                      if k = "schema_version" then None
+                      else
+                        Some { app = name; size; metric = k; value; noise = 0. }
+                    | _ -> None)
+                  fields
+              | _ -> failwith "apps entry is not an object")
+            apps
+        in
+        Ok { schema_version; bench; scale; cells }
+      with Failure msg -> Error msg)
+    | _ -> Error "baseline has no \"apps\" array")
+  | _ -> Error "baseline top level is not an object"
+
+let load file =
+  match
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | src -> (
+    match Trace.parse_json src with
+    | Error e -> Error (Printf.sprintf "%s: parse error: %s" file e)
+    | Ok j -> (
+      match of_json j with
+      | Error e -> Error (Printf.sprintf "%s: %s" file e)
+      | Ok b -> Ok b))
+
+(* ---- comparison ---- *)
+
+type cell = {
+  capp : string;
+  csize : string;
+  cmetric : string;
+  cbaseline : float;
+  ccurrent : float;
+  delta : float;  (* current/baseline - 1; negative = slower *)
+  cnoise : float;  (* combined relative noise of both measurements *)
+  regressed : bool;  (* delta < -(tolerance + cnoise) *)
+}
+
+type outcome = {
+  tolerance : float;
+  cells : cell list;
+  missing : measurement list;  (* baseline cells with no current value *)
+}
+
+let compare_cells ~tolerance ~(baseline : measurement list)
+    ~(current : measurement list) =
+  let missing = ref [] in
+  let cells =
+    List.filter_map
+      (fun (b : measurement) ->
+        match
+          List.find_opt
+            (fun (c : measurement) -> c.app = b.app && c.metric = b.metric)
+            current
+        with
+        | None ->
+          missing := b :: !missing;
+          None
+        | Some c ->
+          let delta =
+            if b.value = 0. then 0. else (c.value /. b.value) -. 1.
+          in
+          let cnoise = b.noise +. c.noise in
+          Some
+            {
+              capp = b.app;
+              csize = c.size;
+              cmetric = b.metric;
+              cbaseline = b.value;
+              ccurrent = c.value;
+              delta;
+              cnoise;
+              regressed = delta < -.(tolerance +. cnoise);
+            })
+      baseline
+  in
+  { tolerance; cells; missing = List.rev !missing }
+
+let regressions o = List.filter (fun c -> c.regressed) o.cells
+let ok o = regressions o = []
+
+let pp ppf o =
+  Format.fprintf ppf "%-16s %-10s %-24s %10s %10s %8s %8s@." "app" "size"
+    "metric" "baseline" "current" "delta" "bar";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-16s %-10s %-24s %10.3f %10.3f %+7.1f%% %+7.1f%%%s@."
+        c.capp c.csize c.cmetric c.cbaseline c.ccurrent (100. *. c.delta)
+        (-100. *. (o.tolerance +. c.cnoise))
+        (if c.regressed then "  REGRESSED" else ""))
+    o.cells;
+  List.iter
+    (fun (m : measurement) ->
+      Format.fprintf ppf "%-16s %-10s %-24s %10.3f %10s@." m.app m.size
+        m.metric m.value "(missing)")
+    o.missing;
+  let n = List.length (regressions o) in
+  if n > 0 then
+    Format.fprintf ppf
+      "%d cell(s) regressed beyond the %.0f%% tolerance@." n
+      (100. *. o.tolerance)
+  else
+    Format.fprintf ppf "no regressions beyond the %.0f%% tolerance (%d \
+                        cells compared)@."
+      (100. *. o.tolerance)
+      (List.length o.cells)

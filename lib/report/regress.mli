@@ -1,0 +1,63 @@
+(** Noise-aware perf-regression gate for [polymage bench --compare].
+
+    A baseline is a committed bench JSON file ([BENCH_PRn.json]):
+    [{"schema_version": 2, "bench": ..., "scale": ..., "apps":
+    [{"name", "size", <numeric metrics>...}]}].  Files that predate
+    the [schema_version] field load as version 1.
+
+    Comparison is cell-wise on (app, metric) and assumes
+    higher-is-better ratio metrics (the [kernel_speedup_*] columns):
+    a cell regresses when [current/baseline - 1] falls below
+    [-(tolerance + noise)], where [noise] is the combined measured
+    dispersion of the two cells — a noisy run widens its own bar
+    instead of hard-failing the gate.  Absolute millisecond columns
+    from another machine are not comparable — the caller chooses
+    which metrics to pass. *)
+
+type measurement = {
+  app : string;
+  size : string;
+  metric : string;
+  value : float;
+  noise : float;
+      (** relative dispersion of the measurement; 0 when unknown
+          (baseline cells loaded from JSON) *)
+}
+
+type baseline = {
+  schema_version : int;  (** 1 when the file predates the field *)
+  bench : string;
+  scale : int;
+  cells : measurement list;  (** every numeric field of every app *)
+}
+
+val of_json : Polymage_util.Trace.json -> (baseline, string) result
+val load : string -> (baseline, string) result
+
+type cell = {
+  capp : string;
+  csize : string;
+  cmetric : string;
+  cbaseline : float;
+  ccurrent : float;
+  delta : float;  (** [current/baseline - 1]; negative = slower *)
+  cnoise : float;  (** combined relative noise of both measurements *)
+  regressed : bool;  (** [delta < -(tolerance + cnoise)] *)
+}
+
+type outcome = {
+  tolerance : float;
+  cells : cell list;
+  missing : measurement list;
+      (** baseline cells with no matching current measurement *)
+}
+
+val compare_cells :
+  tolerance:float ->
+  baseline:measurement list ->
+  current:measurement list ->
+  outcome
+
+val regressions : outcome -> cell list
+val ok : outcome -> bool
+val pp : Format.formatter -> outcome -> unit

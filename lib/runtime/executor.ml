@@ -59,6 +59,99 @@ let pieces_of (opts : C.Options.t) (f : Ast.func) env cases =
             { pbox = Some b; pcond = None; prhs = rhs }))
     cases
 
+(* Per-stage instrumentation handles, resolved once per compiled piece
+   so the hot loop bumps counters without registry lookups. *)
+type stagectr = {
+  sc_rows_kernel : Metrics.counter;
+  sc_rows_closure : Metrics.counter;
+  sc_rows_cond : Metrics.counter;
+  sc_points : Metrics.counter;
+  sc_kept : Metrics.counter;
+  sc_dropped : Metrics.counter;
+}
+
+let stagectr_of (f : Ast.func) =
+  let c what =
+    Metrics.counter (Printf.sprintf "exec/stage/%s/%s" f.Ast.fname what)
+  in
+  {
+    sc_rows_kernel = c "rows_kernel";
+    sc_rows_closure = c "rows_closure";
+    sc_rows_cond = c "rows_cond";
+    sc_points = c "points";
+    sc_kept = c "kernel_kept";
+    sc_dropped = c "kernel_dropped";
+  }
+
+(* Measured kernel fallback (Options.kernel_measure): the first rows
+   of a stage alternate between the compiled kernel and the closure
+   path under a timer; once both sides have covered [measure_pts]
+   points, the slower path is dropped to a 1-in-32 sampling rate and
+   the choice is recorded in the stage's kernel_kept/kernel_dropped
+   counters.  The sparse samples keep refreshing both accumulators
+   (with exponential decay), so a choice made under transient load
+   self-corrects instead of sticking forever.  Both paths are
+   bit-identical, so switches are invisible in the output. *)
+type kchoice = {
+  mutable kern_ns : int;
+  mutable kern_pts : int;
+  mutable clos_ns : int;
+  mutable clos_pts : int;
+  mutable decided : int;  (* -1 measuring, 0 closure, 1 kernel *)
+  mutable tick : int;  (* rows since the first decision *)
+  mutable stride_log : int;
+      (* log2 of the sampling interval: starts at 5 (every 32nd row);
+         each confirmation doubles it up to 2^12, a flip resets it, so
+         a settled choice costs almost nothing per row *)
+}
+
+(* Nanosecond monotonic clock (clock_gettime) for the row timings:
+   rows run in the 0.1-3 microsecond range, far below what the
+   wall-clock microsecond timestamps in {!Polymage_util.Trace} can
+   resolve per row. *)
+let mono_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Points each side must cover before the measured choice is made:
+   enough sampled rows that scheduler noise averages out, small
+   against any domain where the choice matters. *)
+let measure_pts = 8192
+
+(* Decisions persist for the process, keyed by the stage and the
+   option bit that changes the compiled code ([vec] switches both
+   paths to unchecked evaluation).  Re-measuring on every run would
+   charge stages smaller than 2*[measure_pts] the closure/kernel cost
+   gap forever; sticky choices confine it to the first run.  Workers
+   share the record: the unsynchronized += on the accumulators can
+   drop a sample under contention, which only delays the decision. *)
+let kchoice_mu = Mutex.create ()
+
+let kchoice_tbl : (int * bool, kchoice) Hashtbl.t = Hashtbl.create 64
+
+let kchoice_for (f : Ast.func) (opts : C.Options.t) =
+  let key = (f.Ast.fid, opts.C.Options.vec) in
+  Mutex.protect kchoice_mu (fun () ->
+      match Hashtbl.find_opt kchoice_tbl key with
+      | Some ch -> ch
+      | None ->
+        let ch =
+          {
+            kern_ns = 0;
+            kern_pts = 0;
+            clos_ns = 0;
+            clos_pts = 0;
+            decided = -1;
+            tick = 0;
+            stride_log = 5;
+          }
+        in
+        Hashtbl.add kchoice_tbl key ch;
+        ch)
+
+(* Forget every measured choice (tests, or after the machine's load
+   profile changes). *)
+let reset_kernel_choices () =
+  Mutex.protect kchoice_mu (fun () -> Hashtbl.reset kchoice_tbl)
+
 (* Compiled form of a piece for one worker.  [ckern] is the flat row
    kernel (CSE + cursors + hoisting) used for unconditional pieces;
    [crhs] is the closure fallback, always present. *)
@@ -67,12 +160,28 @@ type cpiece = {
   ccond : (int array -> bool) option;
   crhs : int array -> float;
   ckern : Kernel.t option;
+  cchoice : kchoice option;  (* Some iff measuring kernel vs closure *)
+  cstats : stagectr;
 }
 
 (* Shared by all executors: compile one piece for the current worker.
    The kernel is only attempted for unconditional pieces (a per-point
    condition needs the scalar loop anyway) and when the option is on. *)
 let compile_cpiece (opts : C.Options.t) (f : Ast.func) env lookup p =
+  let ckern =
+    if opts.kernels && p.pcond = None then begin
+      Fault.hit "kernel_compile";
+      let k =
+        Kernel.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup
+          ~self:f.Ast.fid p.prhs
+      in
+      (match k with
+      | Some _ -> Metrics.bumpn "exec/kernels_compiled"
+      | None -> Metrics.bumpn "exec/kernel_fallbacks");
+      k
+    end
+    else None
+  in
   {
     cbox = p.pbox;
     ccond =
@@ -81,19 +190,11 @@ let compile_cpiece (opts : C.Options.t) (f : Ast.func) env lookup p =
            ~lookup)
         p.pcond;
     crhs = Eval.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup p.prhs;
-    ckern =
-      (if opts.kernels && p.pcond = None then begin
-         Fault.hit "kernel_compile";
-         let k =
-           Kernel.compile ~unsafe:opts.vec ~vars:f.fvars ~bindings:env ~lookup
-             ~self:f.Ast.fid p.prhs
-         in
-         (match k with
-         | Some _ -> Metrics.bumpn "exec/kernels_compiled"
-         | None -> Metrics.bumpn "exec/kernel_fallbacks");
-         k
-       end
+    ckern;
+    cchoice =
+      (if ckern <> None && opts.kernel_measure then Some (kchoice_for f opts)
        else None);
+    cstats = stagectr_of f;
   }
 
 let intersect_box a b =
@@ -125,11 +226,23 @@ let run_pieces ~vec ~ty (view : Eval.view) (coords : int array)
             rows := !rows * (hi - lo + 1)
           done;
           let rows = !rows in
+          let rlo, rhi = b.(n - 1) in
           Metrics.addn "exec/rows_total" rows;
-          match (cp.ccond, cp.ckern) with
-          | Some _, _ -> Metrics.addn "exec/rows_cond" rows
-          | None, Some _ -> Metrics.addn "exec/rows_kernel" rows
-          | None, None -> Metrics.addn "exec/rows_closure" rows
+          Metrics.add cp.cstats.sc_points (rows * (rhi - rlo + 1));
+          (* The kernel/closure split under an undecided measured
+             choice is only known per row; those rows are counted in
+             [write_row] instead. *)
+          match (cp.ccond, cp.ckern, cp.cchoice) with
+          | Some _, _, _ ->
+            Metrics.addn "exec/rows_cond" rows;
+            Metrics.add cp.cstats.sc_rows_cond rows
+          | None, Some _, None ->
+            Metrics.addn "exec/rows_kernel" rows;
+            Metrics.add cp.cstats.sc_rows_kernel rows
+          | None, None, _ ->
+            Metrics.addn "exec/rows_closure" rows;
+            Metrics.add cp.cstats.sc_rows_closure rows
+          | None, Some _, Some _ -> ()
         end;
         let write_row lo hi =
           (* position of (coords with last dim = lo) *)
@@ -147,45 +260,134 @@ let run_pieces ~vec ~ty (view : Eval.view) (coords : int array)
                 data.(pos0 + ((j - lo) * slast)) <-
                   Types.clamp_store ty (cp.crhs coords)
             done
-          | None -> (
-            match cp.ckern with
-            | Some k ->
-              Kernel.run_row k ~vec ~ty ~data ~pos0 ~dstride:slast ~coords
-                ~lo ~hi
-            | None ->
-            if vec then begin
-              (* 4x unrolled, bounds-check-free *)
-              let j = ref lo in
-              while !j + 3 <= hi do
-                let j0 = !j in
-                coords.(n - 1) <- j0;
-                let v0 = cp.crhs coords in
-                coords.(n - 1) <- j0 + 1;
-                let v1 = cp.crhs coords in
-                coords.(n - 1) <- j0 + 2;
-                let v2 = cp.crhs coords in
-                coords.(n - 1) <- j0 + 3;
-                let v3 = cp.crhs coords in
-                let base = pos0 + ((j0 - lo) * slast) in
-                Array.unsafe_set data base (Types.clamp_store ty v0);
-                Array.unsafe_set data (base + slast) (Types.clamp_store ty v1);
-                Array.unsafe_set data (base + (2 * slast)) (Types.clamp_store ty v2);
-                Array.unsafe_set data (base + (3 * slast)) (Types.clamp_store ty v3);
-                j := j0 + 4
-              done;
-              for j2 = !j to hi do
-                coords.(n - 1) <- j2;
-                Array.unsafe_set data
-                  (pos0 + ((j2 - lo) * slast))
-                  (Types.clamp_store ty (cp.crhs coords))
-              done
-            end
-            else
-              for j = lo to hi do
-                coords.(n - 1) <- j;
-                data.(pos0 + ((j - lo) * slast)) <-
-                  Types.clamp_store ty (cp.crhs coords)
-              done)
+          | None ->
+            let run_closure () =
+              if vec then begin
+                (* 4x unrolled, bounds-check-free *)
+                let j = ref lo in
+                while !j + 3 <= hi do
+                  let j0 = !j in
+                  coords.(n - 1) <- j0;
+                  let v0 = cp.crhs coords in
+                  coords.(n - 1) <- j0 + 1;
+                  let v1 = cp.crhs coords in
+                  coords.(n - 1) <- j0 + 2;
+                  let v2 = cp.crhs coords in
+                  coords.(n - 1) <- j0 + 3;
+                  let v3 = cp.crhs coords in
+                  let base = pos0 + ((j0 - lo) * slast) in
+                  Array.unsafe_set data base (Types.clamp_store ty v0);
+                  Array.unsafe_set data (base + slast) (Types.clamp_store ty v1);
+                  Array.unsafe_set data (base + (2 * slast)) (Types.clamp_store ty v2);
+                  Array.unsafe_set data (base + (3 * slast)) (Types.clamp_store ty v3);
+                  j := j0 + 4
+                done;
+                for j2 = !j to hi do
+                  coords.(n - 1) <- j2;
+                  Array.unsafe_set data
+                    (pos0 + ((j2 - lo) * slast))
+                    (Types.clamp_store ty (cp.crhs coords))
+                done
+              end
+              else
+                for j = lo to hi do
+                  coords.(n - 1) <- j;
+                  data.(pos0 + ((j - lo) * slast)) <-
+                    Types.clamp_store ty (cp.crhs coords)
+                done
+            in
+            (match cp.ckern with
+            | None -> run_closure ()
+            | Some k -> (
+              let run_kernel () =
+                Kernel.run_row k ~vec ~ty ~data ~pos0 ~dstride:slast ~coords
+                  ~lo ~hi
+              in
+              let count_row kern =
+                if Metrics.enabled () then
+                  if kern then begin
+                    Metrics.add cp.cstats.sc_rows_kernel 1;
+                    Metrics.addn "exec/rows_kernel" 1
+                  end
+                  else begin
+                    Metrics.add cp.cstats.sc_rows_closure 1;
+                    Metrics.addn "exec/rows_closure" 1
+                  end
+              in
+              let timed pick_kern =
+                let t0 = mono_ns () in
+                if pick_kern then run_kernel () else run_closure ();
+                let dt = mono_ns () - t0 in
+                let pts = hi - lo + 1 in
+                (match cp.cchoice with
+                | None -> ()
+                | Some ch ->
+                  (* decay at 2*measure_pts keeps the window fresh, so
+                     old samples stop outvoting current conditions *)
+                  if pick_kern then begin
+                    ch.kern_ns <- ch.kern_ns + dt;
+                    ch.kern_pts <- ch.kern_pts + pts;
+                    if ch.kern_pts >= 2 * measure_pts then begin
+                      ch.kern_ns <- ch.kern_ns / 2;
+                      ch.kern_pts <- ch.kern_pts / 2
+                    end
+                  end
+                  else begin
+                    ch.clos_ns <- ch.clos_ns + dt;
+                    ch.clos_pts <- ch.clos_pts + pts;
+                    if ch.clos_pts >= 2 * measure_pts then begin
+                      ch.clos_ns <- ch.clos_ns / 2;
+                      ch.clos_pts <- ch.clos_pts / 2
+                    end
+                  end;
+                  if ch.kern_pts >= measure_pts && ch.clos_pts >= measure_pts
+                  then begin
+                    (* compare per-point cost: kern_ns/kern_pts vs
+                       clos_ns/clos_pts, cross-multiplied *)
+                    let keep =
+                      ch.kern_ns * ch.clos_pts <= ch.clos_ns * ch.kern_pts
+                    in
+                    let d = if keep then 1 else 0 in
+                    if ch.decided <> d then begin
+                      ch.decided <- d;
+                      ch.stride_log <- 5;
+                      if keep then begin
+                        Metrics.bump cp.cstats.sc_kept;
+                        Metrics.bumpn "exec/kernel_kept"
+                      end
+                      else begin
+                        Metrics.bump cp.cstats.sc_dropped;
+                        Metrics.bumpn "exec/kernel_dropped"
+                      end
+                    end
+                    else if ch.stride_log < 12 then
+                      ch.stride_log <- ch.stride_log + 1
+                  end);
+                count_row pick_kern
+              in
+              match cp.cchoice with
+              | None -> run_kernel ()
+              | Some ch ->
+                if ch.decided < 0 then
+                  (* dense measuring: run the side with fewer sampled
+                     points under the timer *)
+                  timed (ch.kern_pts <= ch.clos_pts)
+                else begin
+                  ch.tick <- ch.tick + 1;
+                  if ch.tick land ((1 lsl ch.stride_log) - 1) = 0 then
+                    (* sparse refresh: one timed row per interval, the
+                       sampled side alternating, so a choice made
+                       under transient load self-corrects *)
+                    timed ((ch.tick lsr ch.stride_log) land 1 = 0)
+                  else if ch.decided = 1 then begin
+                    run_kernel ();
+                    count_row true
+                  end
+                  else begin
+                    run_closure ();
+                    count_row false
+                  end
+                end))
         in
         let rec outer d =
           if d = n - 1 then

@@ -53,6 +53,13 @@ val run_safe :
 val output_buffer : result -> Ast.func -> Buffer.t
 (** Buffer of a given output stage. @raise Not_found if absent. *)
 
+val reset_kernel_choices : unit -> unit
+(** Forget every measured kernel-vs-closure choice
+    ([Options.kernel_measure]).  Choices persist for the process,
+    keyed by stage, so repeated runs of the same plan pay the
+    measuring phase only once; tests and long-lived processes whose
+    load profile has changed can start over with this. *)
+
 val tile_counts : C.Plan.t -> Types.bindings -> (int * int) list
 (** [(item_index, total_tiles)] for each [Tiled] item of the plan
     under the given bindings: tiles for Overlap/Parallelogram tiling,

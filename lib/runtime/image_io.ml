@@ -1,5 +1,8 @@
 exception Format_error of string
 
+module Trace = Polymage_util.Trace
+module Metrics = Polymage_util.Metrics
+
 let byte_of v =
   let b = int_of_float (Float.round (255. *. v)) in
   if b < 0 then 0 else if b > 255 then 255 else b
@@ -10,35 +13,43 @@ let write_pgm file (b : Buffer.t) =
   if Array.length b.dims <> 2 then
     invalid_arg "Image_io.write_pgm: 2-D buffer expected";
   let rows = b.dims.(0) and cols = b.dims.(1) in
-  let oc = open_out_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
+  Trace.with_span ~cat:"io" "io.write_pgm" ~args:[ ("file", file) ]
     (fun () ->
-      write_header oc "P5" cols rows;
-      for x = 0 to rows - 1 do
-        for y = 0 to cols - 1 do
-          output_char oc (Char.chr (byte_of b.data.((x * cols) + y)))
-        done
-      done)
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          write_header oc "P5" cols rows;
+          for x = 0 to rows - 1 do
+            for y = 0 to cols - 1 do
+              output_char oc (Char.chr (byte_of b.data.((x * cols) + y)))
+            done
+          done);
+      Metrics.bumpn "io/images_written";
+      Metrics.addn "io/bytes_written" (rows * cols))
 
 let write_ppm file (b : Buffer.t) =
   if Array.length b.dims <> 3 || b.dims.(0) <> 3 then
     invalid_arg "Image_io.write_ppm: (3, rows, cols) buffer expected";
   let rows = b.dims.(1) and cols = b.dims.(2) in
   let plane = rows * cols in
-  let oc = open_out_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
+  Trace.with_span ~cat:"io" "io.write_ppm" ~args:[ ("file", file) ]
     (fun () ->
-      write_header oc "P6" cols rows;
-      for x = 0 to rows - 1 do
-        for y = 0 to cols - 1 do
-          for ch = 0 to 2 do
-            output_char oc
-              (Char.chr (byte_of b.data.((ch * plane) + (x * cols) + y)))
-          done
-        done
-      done)
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          write_header oc "P6" cols rows;
+          for x = 0 to rows - 1 do
+            for y = 0 to cols - 1 do
+              for ch = 0 to 2 do
+                output_char oc
+                  (Char.chr (byte_of b.data.((ch * plane) + (x * cols) + y)))
+              done
+            done
+          done);
+      Metrics.bumpn "io/images_written";
+      Metrics.addn "io/bytes_written" (3 * plane))
 
 (* Netpbm headers: tokens separated by whitespace, with # comments. *)
 let read_token ic =
@@ -101,38 +112,47 @@ let check_header what cols rows maxv =
             maxv))
 
 let read_pgm file =
-  with_in file (fun ic ->
-      (match read_token ic with
-      | "P5" -> ()
-      | m -> raise (Format_error ("not a binary PGM: " ^ m)));
-      let cols = read_int ic in
-      let rows = read_int ic in
-      let maxv = read_int ic in
-      check_header "PGM" cols rows maxv;
-      let raster = read_raster ic (rows * cols) in
-      let b = Buffer.create ~lo:[| 0; 0 |] ~dims:[| rows; cols |] in
-      for k = 0 to (rows * cols) - 1 do
-        b.data.(k) <- float_of_int (Char.code raster.[k]) /. float_of_int maxv
-      done;
-      b)
+  Trace.with_span ~cat:"io" "io.read_pgm" ~args:[ ("file", file) ]
+    (fun () ->
+      with_in file (fun ic ->
+          (match read_token ic with
+          | "P5" -> ()
+          | m -> raise (Format_error ("not a binary PGM: " ^ m)));
+          let cols = read_int ic in
+          let rows = read_int ic in
+          let maxv = read_int ic in
+          check_header "PGM" cols rows maxv;
+          let raster = read_raster ic (rows * cols) in
+          let b = Buffer.create ~lo:[| 0; 0 |] ~dims:[| rows; cols |] in
+          for k = 0 to (rows * cols) - 1 do
+            b.data.(k) <-
+              float_of_int (Char.code raster.[k]) /. float_of_int maxv
+          done;
+          Metrics.bumpn "io/images_read";
+          Metrics.addn "io/bytes_read" (rows * cols);
+          b))
 
 let read_ppm file =
-  with_in file (fun ic ->
-      (match read_token ic with
-      | "P6" -> ()
-      | m -> raise (Format_error ("not a binary PPM: " ^ m)));
-      let cols = read_int ic in
-      let rows = read_int ic in
-      let maxv = read_int ic in
-      check_header "PPM" cols rows maxv;
-      let raster = read_raster ic (rows * cols * 3) in
-      let b = Buffer.create ~lo:[| 0; 0; 0 |] ~dims:[| 3; rows; cols |] in
-      let plane = rows * cols in
-      for k = 0 to plane - 1 do
-        for ch = 0 to 2 do
-          b.data.((ch * plane) + k) <-
-            float_of_int (Char.code raster.[(k * 3) + ch])
-            /. float_of_int maxv
-        done
-      done;
-      b)
+  Trace.with_span ~cat:"io" "io.read_ppm" ~args:[ ("file", file) ]
+    (fun () ->
+      with_in file (fun ic ->
+          (match read_token ic with
+          | "P6" -> ()
+          | m -> raise (Format_error ("not a binary PPM: " ^ m)));
+          let cols = read_int ic in
+          let rows = read_int ic in
+          let maxv = read_int ic in
+          check_header "PPM" cols rows maxv;
+          let raster = read_raster ic (rows * cols * 3) in
+          let b = Buffer.create ~lo:[| 0; 0; 0 |] ~dims:[| 3; rows; cols |] in
+          let plane = rows * cols in
+          for k = 0 to plane - 1 do
+            for ch = 0 to 2 do
+              b.data.((ch * plane) + k) <-
+                float_of_int (Char.code raster.[(k * 3) + ch])
+                /. float_of_int maxv
+            done
+          done;
+          Metrics.bumpn "io/images_read";
+          Metrics.addn "io/bytes_read" (3 * plane);
+          b))

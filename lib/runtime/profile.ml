@@ -13,6 +13,7 @@ type report = {
   counters : (string * int) list;
   tiles : (int * int) list;  (* planned tiles per Tiled item *)
   wall_ms : float;  (* duration of the exec.run span *)
+  env : Polymage_ir.Types.bindings;  (* bindings the run executed under *)
 }
 
 let run ~(opts : C.Options.t) ~outputs ~env ~images =
@@ -38,7 +39,7 @@ let run ~(opts : C.Options.t) ~outputs ~env ~images =
       0. events
   in
   let tiles = Executor.tile_counts plan env in
-  { plan; result; events; counters; tiles; wall_ms }
+  { plan; result; events; counters; tiles; wall_ms; env }
 
 let pp_spans ppf events ~cat:want =
   let spans =

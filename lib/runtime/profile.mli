@@ -14,6 +14,7 @@ type report = {
   tiles : (int * int) list;
       (** planned tiles per [Tiled] item, from {!Executor.tile_counts} *)
   wall_ms : float;  (** duration of the [exec.run] span *)
+  env : Types.bindings;  (** bindings the run executed under *)
 }
 
 val run :

@@ -361,6 +361,42 @@ let parse_json (s : string) : (json, string) result =
   | v -> Ok v
   | exception Parse_error msg -> Error msg
 
+let rec json_to_buf b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num v ->
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.0f" v)
+    else Buffer.add_string b (Printf.sprintf "%.12g" v)
+  | Str s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (json_escape s);
+    Buffer.add_char b '"'
+  | Arr vs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        json_to_buf b v)
+      vs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (json_escape k);
+        Buffer.add_string b "\":";
+        json_to_buf b v)
+      fields;
+    Buffer.add_char b '}'
+
+let json_to_string v =
+  let b = Buffer.create 256 in
+  json_to_buf b v;
+  Buffer.contents b
+
 (* Schema check for the Chrome trace format we emit: top-level object
    with a "traceEvents" array; every event has a string name/cat/ph
    (ph one of X/i), a non-negative numeric ts, numeric pid/tid, and X

@@ -92,6 +92,10 @@ type json =
 
 val parse_json : string -> (json, string) result
 
+val json_to_string : json -> string
+(** Render a {!json} value compactly; integral [Num]s print without a
+    decimal point, so [parse_json] round-trips them exactly. *)
+
 val validate_chrome : string -> (int, string) result
 (** Check a string against the Chrome trace schema we emit; [Ok n]
     gives the number of validated events. *)

@@ -17,4 +17,5 @@ let () =
       Test_tune.suite;
       Test_fault.suite;
       Test_trace.suite;
+      Test_report.suite;
     ]

@@ -1,0 +1,497 @@
+(* The report layer: the attribution span-tree fold on hand-built
+   traces, [polymage explain] decision reports pinned against the
+   compiled plan for harris and camera_pipe (structure, not timings),
+   and the noise-aware regression gate exercised both ways on doctored
+   baselines. *)
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Trace = Polymage_util.Trace
+module Apps = Polymage_apps.Apps
+module Attribution = Polymage_report.Attribution
+module Explain = Polymage_report.Explain
+module Regress = Polymage_report.Regress
+open Polymage_ir
+
+(* ---- attribution: span-tree fold ---- *)
+
+let span ?(cat = "t") ?(tid = 0) ?(depth = 0) name t0 t1 =
+  Trace.Span
+    { name; cat; args = []; t_start_ns = t0; t_end_ns = t1; tid; depth }
+
+let msf = Alcotest.float 1e-9
+
+let span_tree_nesting () =
+  (* completion order, as the real buffer records it: children first *)
+  let events =
+    [
+      span "b" 1_000_000 4_000_000 ~depth:1;
+      span "d" 5_500_000 6_000_000 ~depth:2;
+      span "c" 5_000_000 9_000_000 ~depth:1;
+      span "a" 0 10_000_000;
+      Trace.Instant { name = "i"; cat = "t"; args = []; t_ns = 7; tid = 0 };
+    ]
+  in
+  match Attribution.span_tree events with
+  | [ a ] ->
+    Alcotest.(check string) "root" "a" a.Attribution.name;
+    Alcotest.check msf "root duration" 10. a.Attribution.dur_ms;
+    (* self = 10 - (3 + 4): the grandchild is not double-counted *)
+    Alcotest.check msf "root self time" 3. a.Attribution.self_ms;
+    (match a.Attribution.children with
+    | [ b; c ] ->
+      Alcotest.(check string) "first child in start order" "b"
+        b.Attribution.name;
+      Alcotest.check msf "leaf self = duration" 3. b.Attribution.self_ms;
+      Alcotest.(check string) "second child" "c" c.Attribution.name;
+      Alcotest.check msf "child self minus grandchild" 3.5
+        c.Attribution.self_ms;
+      (match c.Attribution.children with
+      | [ d ] ->
+        Alcotest.(check string) "grandchild" "d" d.Attribution.name;
+        Alcotest.check msf "grandchild duration" 0.5 d.Attribution.dur_ms
+      | l -> Alcotest.failf "expected 1 grandchild, got %d" (List.length l))
+    | l -> Alcotest.failf "expected 2 children, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l)
+
+let span_tree_threads_and_ties () =
+  let events =
+    [
+      span "a" 0 100;
+      (* zero-length tie: depth breaks it, parent before child *)
+      span "g1" 300 300 ~depth:1;
+      span "g0" 300 300;
+      span "f" 60 70 ~tid:1 ~depth:1;
+      span "e" 50 200 ~tid:1;
+    ]
+  in
+  let names ns = List.map (fun n -> n.Attribution.name) ns in
+  let roots = Attribution.span_tree events in
+  Alcotest.(check (list string))
+    "roots per tid, start order" [ "a"; "g0"; "e" ] (names roots);
+  let g0 = List.nth roots 1 and e = List.nth roots 2 in
+  Alcotest.(check (list string))
+    "zero-length child attaches" [ "g1" ]
+    (names g0.Attribution.children);
+  Alcotest.(check (list string))
+    "other thread nests separately" [ "f" ]
+    (names e.Attribution.children);
+  Alcotest.check msf "zero-length self" 0. g0.Attribution.self_ms
+
+let span_tree_siblings_not_nested () =
+  (* disjoint spans at the same depth stay siblings: the stack unwinds *)
+  let events = [ span "x" 0 50; span "y" 60 90 ] in
+  match Attribution.span_tree events with
+  | [ x; y ] ->
+    Alcotest.(check string) "first" "x" x.Attribution.name;
+    Alcotest.(check int) "no children" 0 (List.length x.Attribution.children);
+    Alcotest.(check string) "second" "y" y.Attribution.name
+  | l -> Alcotest.failf "expected 2 roots, got %d" (List.length l)
+
+(* attribution over a real profile run: counters, tiles, redundancy *)
+let attribution_of_profile () =
+  let app = Apps.find "harris" in
+  let env = app.small_env in
+  let opts =
+    C.Options.with_kernel_measure false (C.Options.opt_vec ~estimates:env ())
+  in
+  let pipe = Pipeline.build ~outputs:app.outputs in
+  let images =
+    List.map
+      (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
+      pipe.Pipeline.images
+  in
+  let report = Rt.Profile.run ~opts ~outputs:app.outputs ~env ~images in
+  let a = Attribution.of_report report in
+  Alcotest.(check int) "one profile item per plan item"
+    (Array.length report.plan.items)
+    (List.length a.Attribution.items);
+  Alcotest.(check bool) "compile span attributed" true
+    (a.Attribution.compile_ms > 0.);
+  Alcotest.(check bool) "wall time recorded" true (a.Attribution.wall_ms >= 0.);
+  let tiled =
+    List.filter
+      (fun it -> it.Attribution.tiles_planned > 0)
+      a.Attribution.items
+  in
+  Alcotest.(check bool) "harris has a tiled item" true (tiled <> []);
+  List.iter
+    (fun it ->
+      Alcotest.(check int)
+        (it.Attribution.label ^ " ran every planned tile")
+        it.Attribution.tiles_planned it.Attribution.tiles_run;
+      Alcotest.(check bool) "members profiled" true
+        (it.Attribution.stages <> []);
+      List.iter
+        (fun s ->
+          let open Attribution in
+          Alcotest.(check bool)
+            (s.stage ^ " rows recorded")
+            true
+            (s.rows_kernel + s.rows_closure + s.rows_cond > 0);
+          Alcotest.(check bool) (s.stage ^ " points counted") true (s.points > 0);
+          Alcotest.(check bool)
+            (s.stage ^ " domain sized")
+            true (s.domain_points > 0);
+          (* measured fallback pinned off: no decisions can fire *)
+          Alcotest.(check int)
+            (s.stage ^ " no fallback decisions")
+            0
+            (s.kernel_kept + s.kernel_dropped))
+        it.Attribution.stages;
+      match
+        (it.Attribution.redundancy_predicted, it.Attribution.redundancy_measured)
+      with
+      | Some p, Some m ->
+        Alcotest.(check bool) "predicted redundancy non-negative" true (p >= 0.);
+        (* clamped tile windows compute at most the full-tile prediction *)
+        Alcotest.(check bool) "measured <= predicted" true (m <= p +. 1e-6);
+        Alcotest.(check bool) "measured above -1" true (m > -1.)
+      | p, m ->
+        Alcotest.failf "tiled item lost a redundancy ratio (pred %b, meas %b)"
+          (p <> None) (m <> None))
+    tiled
+
+(* ---- explain: golden structure for harris and camera_pipe ---- *)
+
+let explain_of app_name =
+  let app = Apps.find app_name in
+  let env = app.small_env in
+  let opts = C.Options.opt_vec ~estimates:env () in
+  let plan = C.Compile.run opts ~outputs:app.outputs in
+  (plan, env, Explain.make ~name:app_name plan ~env)
+
+let tiled_items ex =
+  List.filter
+    (function Explain.Tiled_item _ -> true | Explain.Straight_item _ -> false)
+    ex.Explain.items
+
+let member_names (g : Explain.item_info) =
+  match g with
+  | Explain.Tiled_item g ->
+    List.map (fun m -> m.Explain.stage) g.members |> List.sort compare
+  | Explain.Straight_item s -> [ s.stage ]
+
+let check_tiles_match_executor plan env ex =
+  let planned = Rt.Executor.tile_counts plan env in
+  List.iter
+    (function
+      | Explain.Tiled_item g ->
+        Alcotest.(check int)
+          (Printf.sprintf "item %d tiles_predicted = executor" g.item)
+          (List.assoc g.item planned)
+          g.tiles_predicted
+      | Explain.Straight_item _ -> ())
+    ex.Explain.items
+
+let explain_harris () =
+  let plan, env, ex = explain_of "harris" in
+  Alcotest.(check int) "six stages after inlining" 6 ex.Explain.n_stages;
+  Alcotest.(check int) "one plan item" 1 (List.length ex.Explain.items);
+  (match ex.Explain.items with
+  | [ (Explain.Tiled_item g as item) ] ->
+    Alcotest.(check (list string))
+      "fused group membership"
+      [ "Ix"; "Iy"; "Sxx"; "Sxy"; "Syy"; "harris" ]
+      (member_names item);
+    Alcotest.(check (list string))
+      "only the output is live-out" [ "harris" ]
+      (List.filter_map
+         (fun m -> if m.Explain.live_out then Some m.Explain.stage else None)
+         g.members);
+    Alcotest.(check int) "2-d tile" 2 (Array.length g.tile);
+    Alcotest.(check (array int)) "overlap of the 4-wide stencil chain"
+      [| 2; 2 |] g.overlap;
+    Alcotest.(check bool) "scratchpad footprint accounted" true
+      (g.scratch_bytes > 0);
+    Alcotest.(check bool) "overlap predicts redundant work" true
+      (g.redundancy_predicted > 0.)
+  | _ -> Alcotest.fail "harris should compile to a single tiled group");
+  Alcotest.(check bool) "products inlined into the box sums" true
+    (List.mem ("Ixx", "Sxx") ex.Explain.inlined
+    && List.mem ("trace", "harris") ex.Explain.inlined);
+  Alcotest.(check bool) "every grouping verdict recorded" true
+    (List.length ex.Explain.decisions >= 5
+    && List.for_all
+         (fun (d : C.Grouping.decision) -> d.verdict = C.Grouping.Merged)
+         ex.Explain.decisions);
+  check_tiles_match_executor plan env ex
+
+let explain_camera_pipe () =
+  let plan, env, ex = explain_of "camera_pipe" in
+  Alcotest.(check int) "25 stages" 25 ex.Explain.n_stages;
+  (match tiled_items ex with
+  | [ Explain.Tiled_item g ] ->
+    Alcotest.(check int) "every stage fuses into the one group"
+      ex.Explain.n_stages
+      (List.length g.members);
+    Alcotest.(check (list string))
+      "only the output is live-out" [ "processed" ]
+      (List.filter_map
+         (fun m -> if m.Explain.live_out then Some m.Explain.stage else None)
+         g.members);
+    Alcotest.(check int) "3-d tile (channel dim untiled)" 3
+      (Array.length g.overlap);
+    Alcotest.(check int) "channel dim has no overlap" 0 g.overlap.(0)
+  | l -> Alcotest.failf "expected 1 tiled item, got %d" (List.length l));
+  Alcotest.(check bool) "tone curve inlined into the output" true
+    (List.mem ("curve", "processed") ex.Explain.inlined);
+  Alcotest.(check int) "nothing demoted" 0 (List.length ex.Explain.demotions);
+  check_tiles_match_executor plan env ex
+
+let jfield name = function
+  | Trace.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let explain_json_schema () =
+  let plan, env, ex = explain_of "harris" in
+  match Trace.parse_json (Explain.to_json_string ex) with
+  | Error e -> Alcotest.failf "explain JSON does not parse: %s" e
+  | Ok j ->
+    (match jfield "schema_version" j with
+    | Some (Trace.Num v) ->
+      Alcotest.(check int) "schema version" Explain.schema_version
+        (int_of_float v)
+    | _ -> Alcotest.fail "schema_version missing");
+    (match jfield "app" j with
+    | Some (Trace.Str s) -> Alcotest.(check string) "app name" "harris" s
+    | _ -> Alcotest.fail "app missing");
+    List.iter
+      (fun f ->
+        if jfield f j = None then Alcotest.failf "top-level field %s missing" f)
+      [ "options"; "n_stages"; "env"; "inlined"; "grouping_decisions";
+        "items"; "demotions" ];
+    (* acceptance: tiles_predicted in the JSON equals the executor's
+       planned tile counts for the same plan and bindings *)
+    let planned = Rt.Executor.tile_counts plan env in
+    (match jfield "items" j with
+    | Some (Trace.Arr items) ->
+      let checked = ref 0 in
+      List.iter
+        (fun item ->
+          match (jfield "kind" item, jfield "item" item) with
+          | Some (Trace.Str "tiled"), Some (Trace.Num k) -> (
+            incr checked;
+            match jfield "tiles_predicted" item with
+            | Some (Trace.Num t) ->
+              Alcotest.(check int)
+                (Printf.sprintf "json item %d tiles" (int_of_float k))
+                (List.assoc (int_of_float k) planned)
+                (int_of_float t)
+            | _ -> Alcotest.fail "tiled item lacks tiles_predicted")
+          | _ -> ())
+        items;
+      Alcotest.(check bool) "at least one tiled item serialized" true
+        (!checked > 0)
+    | _ -> Alcotest.fail "items missing")
+
+(* ---- regression gate ---- *)
+
+let m ?(noise = 0.) app metric value =
+  { Regress.app; size = "8x8"; metric; value; noise }
+
+let gate_within_tolerance () =
+  let o =
+    Regress.compare_cells ~tolerance:0.10
+      ~baseline:[ m "harris" "kernel_speedup_base" 1.0 ]
+      ~current:[ m "harris" "kernel_speedup_base" 0.95 ]
+  in
+  Alcotest.(check bool) "ok" true (Regress.ok o);
+  (match o.Regress.cells with
+  | [ c ] ->
+    Alcotest.check (Alcotest.float 1e-9) "delta" (-0.05) c.Regress.delta;
+    Alcotest.(check bool) "not regressed" false c.Regress.regressed
+  | l -> Alcotest.failf "expected 1 cell, got %d" (List.length l));
+  (* improvements never trip the gate *)
+  let o =
+    Regress.compare_cells ~tolerance:0.10
+      ~baseline:[ m "harris" "kernel_speedup_base" 1.0 ]
+      ~current:[ m "harris" "kernel_speedup_base" 2.0 ]
+  in
+  Alcotest.(check bool) "faster is fine" true (Regress.ok o)
+
+let gate_catches_regression () =
+  let o =
+    Regress.compare_cells ~tolerance:0.10
+      ~baseline:
+        [
+          m "harris" "kernel_speedup_base" 1.0;
+          m "unsharp_mask" "kernel_speedup_base" 1.2;
+        ]
+      ~current:
+        [
+          m "harris" "kernel_speedup_base" 0.85;
+          m "unsharp_mask" "kernel_speedup_base" 1.19;
+        ]
+  in
+  Alcotest.(check bool) "gate fails" false (Regress.ok o);
+  match Regress.regressions o with
+  | [ c ] ->
+    Alcotest.(check string) "the slow cell" "harris" c.Regress.capp;
+    Alcotest.(check string) "right metric" "kernel_speedup_base"
+      c.Regress.cmetric
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)
+
+let gate_noise_widens_bar () =
+  let baseline = [ m "harris" "kernel_speedup_base" 1.0 ] in
+  (* -15% with a quiet run: beyond the 10% tolerance *)
+  let noisy current =
+    Regress.compare_cells ~tolerance:0.10 ~baseline ~current
+  in
+  Alcotest.(check bool) "quiet run regresses" false
+    (Regress.ok (noisy [ m "harris" "kernel_speedup_base" 0.85 ]));
+  (* same delta under measured noise: the bar widens, the gate holds *)
+  let o = noisy [ m ~noise:0.08 "harris" "kernel_speedup_base" 0.85 ] in
+  Alcotest.(check bool) "noisy run tolerated" true (Regress.ok o);
+  (match o.Regress.cells with
+  | [ c ] ->
+    Alcotest.check (Alcotest.float 1e-9) "combined noise" 0.08
+      c.Regress.cnoise
+  | _ -> Alcotest.fail "expected 1 cell");
+  (* baseline-side noise counts too *)
+  let o =
+    Regress.compare_cells ~tolerance:0.10
+      ~baseline:[ m ~noise:0.04 "harris" "kernel_speedup_base" 1.0 ]
+      ~current:[ m ~noise:0.04 "harris" "kernel_speedup_base" 0.85 ]
+  in
+  Alcotest.(check bool) "noise sums across both sides" true (Regress.ok o)
+
+let gate_missing_and_degenerate () =
+  let o =
+    Regress.compare_cells ~tolerance:0.10
+      ~baseline:
+        [
+          m "harris" "kernel_speedup_base" 1.0;
+          m "harris" "kernel_speedup_opt_vec" 1.5;
+          m "harris" "degenerate" 0.0;
+        ]
+      ~current:
+        [
+          m "harris" "kernel_speedup_base" 1.0;
+          m "harris" "degenerate" 0.5;
+        ]
+  in
+  Alcotest.(check int) "unmatched baseline cell reported" 1
+    (List.length o.Regress.missing);
+  Alcotest.(check bool) "missing cells do not regress the gate" true
+    (Regress.ok o);
+  let d =
+    List.find (fun c -> c.Regress.cmetric = "degenerate") o.Regress.cells
+  in
+  Alcotest.check (Alcotest.float 1e-9) "zero baseline yields zero delta" 0.
+    d.Regress.delta
+
+let baseline_v2 =
+  {|{"schema_version": 2, "bench": "kernels", "scale": 8,
+     "apps": [{"name": "harris", "size": "96x72",
+               "base_ms": 10.5, "kernel_speedup_base": 1.5}]}|}
+
+let baseline_json_versions () =
+  let parse src =
+    match Trace.parse_json src with
+    | Error e -> Alcotest.failf "baseline does not parse: %s" e
+    | Ok j -> Regress.of_json j
+  in
+  (match parse baseline_v2 with
+  | Error e -> Alcotest.failf "v2 baseline rejected: %s" e
+  | Ok b ->
+    Alcotest.(check int) "schema v2" 2 b.Regress.schema_version;
+    Alcotest.(check string) "bench" "kernels" b.Regress.bench;
+    Alcotest.(check int) "scale" 8 b.Regress.scale;
+    Alcotest.(check int) "every numeric field is a cell" 2
+      (List.length b.Regress.cells);
+    List.iter
+      (fun (c : Regress.measurement) ->
+        Alcotest.(check string) "app" "harris" c.Regress.app;
+        Alcotest.check (Alcotest.float 1e-9) "loaded cells carry no noise" 0.
+          c.Regress.noise)
+      b.Regress.cells);
+  (* PR1-era files predate the field: they load as version 1 *)
+  (match
+     parse
+       {|{"bench": "kernels", "scale": 8,
+          "apps": [{"name": "harris", "size": "96x72",
+                    "kernel_speedup_base": 1.5}]}|}
+   with
+  | Error e -> Alcotest.failf "v1 baseline rejected: %s" e
+  | Ok b -> Alcotest.(check int) "schema v1 default" 1 b.Regress.schema_version);
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed baseline %S" bad
+      | Error _ -> ())
+    [
+      {|{"bench": "kernels"}|};
+      {|{"apps": [{"size": "96x72", "kernel_speedup_base": 1.5}]}|};
+      {|[1, 2]|};
+    ]
+
+let baseline_load_and_compare () =
+  let file = Filename.temp_file "pm_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out file in
+      output_string oc baseline_v2;
+      close_out oc;
+      match Regress.load file with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok b ->
+        let ratios =
+          List.filter
+            (fun (c : Regress.measurement) ->
+              c.Regress.metric = "kernel_speedup_base")
+            b.Regress.cells
+        in
+        (* doctored current at half the baseline: the gate must fire *)
+        let halved =
+          List.map
+            (fun (c : Regress.measurement) ->
+              { c with Regress.value = c.Regress.value /. 2. })
+            ratios
+        in
+        let o =
+          Regress.compare_cells ~tolerance:0.15 ~baseline:ratios
+            ~current:halved
+        in
+        Alcotest.(check bool) "halved speedup regresses" false (Regress.ok o);
+        (* and current == baseline passes *)
+        let o =
+          Regress.compare_cells ~tolerance:0.15 ~baseline:ratios
+            ~current:ratios
+        in
+        Alcotest.(check bool) "identical run passes" true (Regress.ok o));
+  (match Regress.load "/nonexistent/pm_baseline.json" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error _ -> ())
+
+(* ---- suite ---- *)
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "span tree: nesting and self time" `Quick
+        span_tree_nesting;
+      Alcotest.test_case "span tree: threads and zero-length ties" `Quick
+        span_tree_threads_and_ties;
+      Alcotest.test_case "span tree: disjoint siblings" `Quick
+        span_tree_siblings_not_nested;
+      Alcotest.test_case "attribution folds a harris profile" `Quick
+        attribution_of_profile;
+      Alcotest.test_case "explain harris: groups, tiles, inlining" `Quick
+        explain_harris;
+      Alcotest.test_case "explain camera_pipe: fusion and overlap" `Quick
+        explain_camera_pipe;
+      Alcotest.test_case "explain JSON matches schema and executor" `Quick
+        explain_json_schema;
+      Alcotest.test_case "gate: within tolerance" `Quick gate_within_tolerance;
+      Alcotest.test_case "gate: catches a regression" `Quick
+        gate_catches_regression;
+      Alcotest.test_case "gate: noise widens the bar" `Quick
+        gate_noise_widens_bar;
+      Alcotest.test_case "gate: missing and zero cells" `Quick
+        gate_missing_and_degenerate;
+      Alcotest.test_case "baseline JSON: v1/v2 and malformed" `Quick
+        baseline_json_versions;
+      Alcotest.test_case "baseline file: load and gate both ways" `Quick
+        baseline_load_and_compare;
+    ] )

@@ -155,10 +155,12 @@ let get counters n = try List.assoc n counters with Not_found -> 0
 let row_invariant () =
   let app = Apps.find "harris" in
   let env = app.small_env in
-  let _, _, counters =
-    captured (fun () ->
-        Helpers.run_app app (C.Options.opt_vec ~estimates:env ()) env)
+  (* pin the measured kernel fallback off: this test asserts the exact
+     row-class split, which the adaptive choice would perturb *)
+  let opts =
+    C.Options.with_kernel_measure false (C.Options.opt_vec ~estimates:env ())
   in
+  let _, _, counters = captured (fun () -> Helpers.run_app app opts env) in
   let kernel = get counters "exec/rows_kernel"
   and closure = get counters "exec/rows_closure"
   and cond = get counters "exec/rows_cond"
