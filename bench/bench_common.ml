@@ -6,6 +6,7 @@ module Rt = Polymage_rt
 module Apps = Polymage_apps.Apps
 module App = Polymage_apps.App
 module Cgen = Polymage_codegen.Cgen
+module Toolchain = Polymage_backend.Toolchain
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -72,9 +73,15 @@ let c_fill (im : Ast.image) =
 
 exception Cc_failed of string
 
-(* Compile the plan's C with gcc; [run_exe] measures one thread-count
-   setting with the binary's internal best-of-n timer. *)
+(* Compile the plan's C with the discovered toolchain ([POLYMAGE_CC]
+   honored); [run_exe] measures one thread-count setting with the
+   binary's internal best-of-n timer. *)
 let c_compile ?(runs = 3) ~optimize (app : App.t) opts env =
+  let tc =
+    match Toolchain.lookup () with
+    | Some tc -> tc
+    | None -> raise (Cc_failed "no working C compiler")
+  in
   let plan = C.Compile.run opts ~outputs:app.outputs in
   let src = Cgen.emit_with_main ~time_runs:runs plan ~fill:c_fill ~env in
   let tmp = Filename.temp_file "pm_bench" ".c" in
@@ -82,14 +89,17 @@ let c_compile ?(runs = 3) ~optimize (app : App.t) opts env =
   output_string oc src;
   close_out oc;
   let exe = tmp ^ ".exe" in
+  let omp = if tc.has_openmp then " -fopenmp" else "" in
   let flags =
-    if optimize then "-O3 -march=native -fopenmp"
-    else "-O1 -fno-tree-vectorize -fopenmp"
+    if optimize then "-O3 -march=native" ^ omp
+    else "-O1 -fno-tree-vectorize" ^ omp
   in
   let cmd =
-    Printf.sprintf "gcc %s -std=gnu99 -o %s %s -lm 2>/dev/null" flags exe tmp
+    Printf.sprintf "%s %s -std=gnu99 -o %s %s -lm 2>/dev/null" tc.cc flags exe
+      tmp
   in
-  if Sys.command cmd <> 0 then raise (Cc_failed ("gcc failed on " ^ app.name));
+  if Sys.command cmd <> 0 then
+    raise (Cc_failed (tc.cc ^ " failed on " ^ app.name));
   Sys.remove tmp;
   exe
 
@@ -147,6 +157,22 @@ let best_c_config (app : App.t) env =
     let _, cfg = !best in
     Hashtbl.replace tuned key cfg;
     cfg
+
+(* Schema-v3 host metadata: core count, worker setting, compiler
+   identity, and which backend produced the numbers. *)
+let host_json ~backend ~workers =
+  let compiler =
+    match Toolchain.lookup () with
+    | Some (tc : Toolchain.t) -> tc.version
+    | None -> "none"
+  in
+  Printf.sprintf
+    "{\"cores\": %d, \"workers\": %d, \"compiler\": \"%s\"}"
+    (Domain.recommended_domain_count ())
+    workers
+    (String.map (fun c -> if c = '"' then '\'' else c) compiler)
+  |> fun host ->
+  Printf.sprintf "  \"backend\": \"%s\",\n  \"host\": %s,\n" backend host
 
 let stage_count (app : App.t) =
   Pipeline.n_stages (Pipeline.build ~outputs:app.outputs)

@@ -10,6 +10,7 @@ module App = Polymage_apps.App
 module Cgen = Polymage_codegen.Cgen
 module Tune = Polymage_tune.Tune
 module Report = Polymage_report
+module Backend = Polymage_backend.Backend
 
 let app_arg =
   let parse s =
@@ -159,6 +160,16 @@ let fault_flag =
               %s)"
              (String.concat ", " Rt.Fault.sites)))
 
+let backend_flag =
+  Arg.(
+    value
+    & opt (enum [ ("native", Backend.Native); ("c", Backend.C) ]) Backend.Native
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend: native (the OCaml executor) or c (generated C \
+           compiled into the on-disk artifact cache and run as a \
+           subprocess)")
+
 let safe_flag =
   Arg.(
     value & flag
@@ -195,7 +206,7 @@ let run_cmd =
           ~doc:"Evaluate with closure trees instead of row kernels (ablation)")
   in
   let run (app : App.t) size config tile threshold workers repeats no_kernels
-      safe fault trace trace_json =
+      backend safe fault trace trace_json =
     let env = env_of app size in
     let opts = options_of config tile threshold workers env in
     let opts =
@@ -214,34 +225,67 @@ let run_cmd =
         (fun im -> (im, Rt.Buffer.of_image im env (app.fill env im)))
         plan.pipe.Pipeline.images
     in
-    let execute () =
-      if not safe then Rt.Executor.run plan env ~images
-      else begin
-        let r, degradations = Rt.Executor.run_safe plan env ~images in
-        List.iter
-          (fun (d : Rt.Executor.degradation) ->
-            Printf.printf "  degraded from %s: %s\n" d.rung
-              (Polymage_util.Err.to_string d.error))
-          degradations;
-        r
-      end
+    let print_degradations degradations =
+      List.iter
+        (fun (d : Rt.Executor.degradation) ->
+          Printf.printf "  degraded from %s: %s\n" d.rung
+            (Polymage_util.Err.to_string d.error))
+        degradations
     in
-    let res = ref (execute ()) in
-    let best = ref infinity in
-    for _ = 1 to repeats do
-      let t0 = Unix.gettimeofday () in
-      res := execute ();
-      let t = Unix.gettimeofday () -. t0 in
-      if t < !best then best := t
-    done;
-    Printf.printf "%s: %.2f ms (best of %d)\n" app.name (!best *. 1000.)
-      repeats;
-    List.iter
-      (fun (f, (b : Rt.Buffer.t)) ->
-        Printf.printf "  output %s: %d values, checksum %.17g\n" f.Ast.fname
-          (Rt.Buffer.size b)
-          (Array.fold_left ( +. ) 0. b.data))
-      (!res).outputs;
+    let print_outputs (res : Rt.Executor.result) =
+      List.iter
+        (fun (f, (b : Rt.Buffer.t)) ->
+          Printf.printf "  output %s: %d values, checksum %.17g\n" f.Ast.fname
+            (Rt.Buffer.size b)
+            (Array.fold_left ( +. ) 0. b.data))
+        res.outputs
+    in
+    (match backend with
+    | Backend.Native ->
+      let execute () =
+        if not safe then Rt.Executor.run plan env ~images
+        else begin
+          let r, degradations = Rt.Executor.run_safe plan env ~images in
+          print_degradations degradations;
+          r
+        end
+      in
+      let res = ref (execute ()) in
+      let best = ref infinity in
+      for _ = 1 to repeats do
+        let t0 = Unix.gettimeofday () in
+        res := execute ();
+        let t = Unix.gettimeofday () -. t0 in
+        if t < !best then best := t
+      done;
+      Printf.printf "%s: %.2f ms (best of %d)\n" app.name (!best *. 1000.)
+        repeats;
+      print_outputs !res
+    | Backend.C ->
+      let res, stats =
+        if safe then begin
+          let (res, stats), degradations =
+            Backend.run_safe ~repeats plan env ~images
+          in
+          print_degradations degradations;
+          (res, stats)
+        end
+        else
+          let res, st = Backend.run ~repeats plan env ~images in
+          (res, Some st)
+      in
+      (match stats with
+      | Some st ->
+        Printf.printf "%s: %.2f ms (best of %d, compiled C, %s)\n" app.name
+          (Option.value ~default:st.exec_ms st.time_ms)
+          repeats
+          (if st.cache_hit then "cache hit"
+           else Printf.sprintf "compile %.0f ms" st.compile_ms)
+      | None ->
+        (* run_safe fell back to the native executor *)
+        Printf.printf "%s: completed on the native executor (no timing)\n"
+          app.name);
+      print_outputs res);
     (match trace_json with
     | Some file ->
       Polymage_util.Trace.write_chrome_json file (Polymage_util.Trace.events ());
@@ -256,10 +300,10 @@ let run_cmd =
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
       $ threshold_flag $ workers_flag $ repeats_flag $ no_kernels_flag
-      $ safe_flag $ fault_flag $ trace_flag $ trace_json_flag)
+      $ backend_flag $ safe_flag $ fault_flag $ trace_flag $ trace_json_flag)
 
 let profile_cmd =
-  let run (app : App.t) size config tile threshold workers trace_json =
+  let run (app : App.t) size config tile threshold workers backend trace_json =
     let env = env_of app size in
     let opts = options_of config tile threshold workers env in
     let pipe = Pipeline.build ~outputs:app.outputs in
@@ -269,7 +313,18 @@ let profile_cmd =
         pipe.Pipeline.images
     in
     let report =
-      Rt.Profile.run ~opts ~outputs:app.outputs ~env ~images
+      match backend with
+      | Backend.Native -> Rt.Profile.run ~opts ~outputs:app.outputs ~env ~images
+      | Backend.C ->
+        let report, (stats : Backend.stats) =
+          Backend.profile ~opts ~outputs:app.outputs ~env ~images ()
+        in
+        Printf.printf "== compiled backend ==\n";
+        Printf.printf "  %s\n" (Backend.describe ());
+        Printf.printf "  compile %.1f ms (%s), exec %.1f ms\n" stats.compile_ms
+          (if stats.cache_hit then "cache hit" else "cache miss")
+          stats.exec_ms;
+        report
     in
     Format.printf "%a" Rt.Profile.pp_report report;
     Format.printf "%a" Report.Attribution.pp
@@ -287,7 +342,7 @@ let profile_cmd =
           per-group tables")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ workers_flag $ trace_json_flag)
+      $ threshold_flag $ workers_flag $ backend_flag $ trace_json_flag)
 
 let explain_cmd =
   let json_flag =
@@ -301,7 +356,7 @@ let explain_cmd =
       value & opt (some string) None
       & info [ "o" ] ~docv:"FILE" ~doc:"Write the report to FILE")
   in
-  let run (app : App.t) size config tile threshold workers json out =
+  let run (app : App.t) size config tile threshold workers backend json out =
     let env = env_of app size in
     let opts = options_of config tile threshold workers env in
     let plan = C.Compile.run opts ~outputs:app.outputs in
@@ -310,13 +365,17 @@ let explain_cmd =
       if json then Report.Explain.to_json_string ex ^ "\n"
       else Format.asprintf "%a" Report.Explain.pp ex
     in
-    match out with
+    (match out with
     | None -> print_string text
     | Some f ->
       let oc = open_out f in
       output_string oc text;
       close_out oc;
-      Printf.printf "wrote %s (%d bytes)\n" f (String.length text)
+      Printf.printf "wrote %s (%d bytes)\n" f (String.length text));
+    (* Backend and cache status ride along on stdout (never into the
+       JSON report, whose schema is golden-tested). *)
+    if backend = Backend.C && not json then
+      Printf.printf "%s\n" (Backend.describe ())
   in
   Cmd.v
     (Cmd.info "explain"
@@ -326,7 +385,7 @@ let explain_cmd =
           footprint vs budget, demotions")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ workers_flag $ json_flag $ out_flag)
+      $ threshold_flag $ workers_flag $ backend_flag $ json_flag $ out_flag)
 
 let tune_cmd =
   let tiles_flag =
@@ -335,7 +394,7 @@ let tune_cmd =
       & opt (list int) [ 16; 32; 64; 128 ]
       & info [ "tiles" ] ~doc:"Tile size menu")
   in
-  let run (app : App.t) size tiles workers =
+  let run (app : App.t) size tiles workers backend =
     let env = env_of app size in
     let plan0 =
       C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
@@ -346,7 +405,8 @@ let tune_cmd =
         plan0.pipe.Pipeline.images
     in
     let r =
-      Tune.explore ~tiles ~workers ~outputs:app.outputs ~env ~images ()
+      Tune.explore ~tiles ~workers ~backend ~outputs:app.outputs ~env ~images
+        ()
     in
     List.iter
       (fun (s : Tune.sample) ->
@@ -355,7 +415,9 @@ let tune_cmd =
       r.samples
   in
   Cmd.v (Cmd.info "tune" ~doc:"Autotune tile sizes and threshold (§3.8)")
-    Term.(const run $ app_pos $ size_flag $ tiles_flag $ workers_flag)
+    Term.(
+      const run $ app_pos $ size_flag $ tiles_flag $ workers_flag
+      $ backend_flag)
 
 let process_cmd =
   let input_pos =

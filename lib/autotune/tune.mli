@@ -27,6 +27,10 @@ type status =
       time_seq : float;  (** seconds, 1 worker *)
       time_par : float;  (** seconds, [workers] workers *)
       n_groups : int;  (** tiled groups in the plan *)
+      compile_ms : float;
+          (** C-backend candidates: wall milliseconds spent compiling
+              the artifact, reported separately from the run times
+              (0 on a warm cache and for the native backend) *)
     }
   | Failed of Polymage_util.Err.t
       (** the candidate crashed or blew its budget; the sweep went on *)
@@ -46,6 +50,8 @@ val explore :
   ?workers:int ->
   ?repeats:int ->
   ?budget:float ->
+  ?backend:Polymage_backend.Backend.kind ->
+  ?cache_dir:string ->
   outputs:Ast.func list ->
   env:Types.bindings ->
   images:(Ast.image * Rt.Buffer.t) list ->
@@ -57,6 +63,13 @@ val explore :
     bounds one candidate's wall-clock seconds (soft: checked between
     phases, since running domains cannot be interrupted).  [best]
     minimizes the parallel time over the [Timed] samples.
+
+    With [backend = C] (default [Native]) every candidate is compiled
+    through the artifact cache and timed with the binary's internal
+    best-of-[repeats] timer — the paper's §3.8 methodology of sweeping
+    real compiled configurations; compile time is recorded separately
+    in the sample.  A candidate whose compile fails becomes a [Failed]
+    sample like any other crash.
     @raise Polymage_util.Err.Polymage_error (phase [Exec]) when every
     candidate failed. *)
 

@@ -1,0 +1,265 @@
+(* The compiled-C execution backend: emit the plan's C with a raw-blob
+   main, compile it through the artifact cache, run it as a subprocess
+   and read the outputs back into buffers.  This is what turns the
+   paper's Fig. 10 methodology — every number is a compiled-binary
+   time — into a first-class backend behind [--backend c]. *)
+
+open Polymage_ir
+module Comp = Polymage_compiler
+module Rt = Polymage_rt
+module Cgen = Polymage_codegen.Cgen
+module Err = Polymage_util.Err
+module Trace = Polymage_util.Trace
+module Metrics = Polymage_util.Metrics
+
+type kind = Native | C
+
+let kind_of_string = function
+  | "native" -> Some Native
+  | "c" -> Some C
+  | _ -> None
+
+let kind_to_string = function Native -> "native" | C -> "c"
+
+type stats = {
+  cache_hit : bool;
+  compile_ms : float;
+  exec_ms : float;
+  time_ms : float option;
+}
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+let first_lines ?(n = 4) path =
+  match open_in path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go k acc =
+          if k = 0 then acc
+          else
+            match input_line ic with
+            | l -> go (k - 1) (acc ^ (if acc = "" then "" else " | ") ^ l)
+            | exception End_of_file -> acc
+        in
+        go n "")
+
+(* ---- compile through the cache ---- *)
+
+let cc_build (tc : Toolchain.t) src exe =
+  Metrics.bumpn "backend/compile_invocations";
+  let csrc = Filename.temp_file "pm_backend" ".c" in
+  let log = csrc ^ ".log" in
+  Fun.protect
+    ~finally:(fun () ->
+      remove_if_exists csrc;
+      remove_if_exists log)
+    (fun () ->
+      let oc = open_out csrc in
+      output_string oc src;
+      close_out oc;
+      let cmd =
+        Printf.sprintf "%s %s -std=gnu99 -o %s %s -lm > %s 2>&1" tc.cc
+          tc.flags (Filename.quote exe) (Filename.quote csrc)
+          (Filename.quote log)
+      in
+      let rc = Sys.command cmd in
+      if rc <> 0 then
+        Err.failf Err.Codegen "Backend: %s failed (exit %d): %s" tc.cc rc
+          (first_lines log))
+
+(* Compile the plan's raw-main C into a cached executable.  Returns
+   the exe path, compile wall time (0 on a hit), hit flag, and the
+   cache coordinates for later invalidation. *)
+let compile ?cache_dir (plan : Comp.Plan.t) =
+  let tc = Toolchain.get () in
+  let src = Cgen.emit_raw_main plan in
+  let dir =
+    match cache_dir with Some d -> d | None -> Cache.default_dir ()
+  in
+  let key =
+    Cache.key ~cc:tc.cc ~version:tc.version ~flags:tc.flags ~source:src
+  in
+  match Cache.lookup ~dir key with
+  | Some exe ->
+    Metrics.bumpn "backend/cache_hit";
+    (exe, 0., true, key, dir)
+  | None ->
+    Metrics.bumpn "backend/cache_miss";
+    let t0 = Unix.gettimeofday () in
+    let exe =
+      Trace.with_span ~cat:"backend" "backend.compile"
+        ~args:[ ("cc", tc.cc); ("flags", tc.flags) ]
+      @@ fun () -> Cache.store ~dir ~key ~build:(cc_build tc src)
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    Metrics.addn "backend/compile_ms" (int_of_float ms);
+    (exe, ms, false, key, dir)
+
+(* ---- one subprocess execution ---- *)
+
+let parse_time_ms path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let result = ref None in
+        (try
+           while true do
+             match String.split_on_char ' ' (input_line ic) with
+             | [ "TIME_MS"; v ] -> result := float_of_string_opt v
+             | _ -> ()
+           done
+         with End_of_file -> ());
+        !result)
+
+let exec_exe ~repeats (plan : Comp.Plan.t) env ~images exe =
+  Trace.with_span ~cat:"backend" "backend.exec" @@ fun () ->
+  let pipe = plan.pipe in
+  let buf_of (im : Ast.image) =
+    match
+      List.find_opt (fun ((i : Ast.image), _) -> i.iname = im.iname) images
+    with
+    | Some (_, b) -> b
+    | None ->
+      Err.failf Err.Exec "Backend: missing input image %s" im.iname
+  in
+  let temps = ref [] in
+  let fresh prefix =
+    let p = Filename.temp_file prefix ".raw" in
+    temps := p :: !temps;
+    p
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter remove_if_exists !temps)
+    (fun () ->
+      let in_paths =
+        List.map
+          (fun (im : Ast.image) ->
+            let p = fresh "pm_in" in
+            Rawio.write p (buf_of im);
+            p)
+          pipe.images
+      in
+      let out_paths =
+        List.map (fun (_ : Ast.func) -> fresh "pm_out") pipe.outputs
+      in
+      let stdout_f = fresh "pm_stdout" and stderr_f = fresh "pm_stderr" in
+      let argv =
+        string_of_int repeats
+        :: List.map
+             (fun p -> string_of_int (Types.bind_exn env p))
+             pipe.params
+        @ in_paths @ out_paths
+      in
+      let cmd =
+        Printf.sprintf "OMP_NUM_THREADS=%d %s %s > %s 2> %s"
+          plan.opts.workers (Filename.quote exe)
+          (String.concat " " (List.map Filename.quote argv))
+          (Filename.quote stdout_f) (Filename.quote stderr_f)
+      in
+      let t0 = Unix.gettimeofday () in
+      let rc = Sys.command cmd in
+      let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      if rc <> 0 then
+        Err.failf Err.Exec "Backend: compiled pipeline exited %d: %s" rc
+          (first_lines stderr_f);
+      Metrics.addn "backend/exec_ms" (int_of_float exec_ms);
+      let time_ms = if repeats > 0 then parse_time_ms stdout_f else None in
+      (* Read outputs back; results are keyed by the user's original
+         output stages, like the native executor's. *)
+      let outputs =
+        List.map2
+          (fun (src_f : Ast.func) ((out_f : Ast.func), path) ->
+            let lo, dims = Rt.Buffer.geometry_of_func out_f env in
+            (src_f, Rawio.read path ~lo ~dims))
+          plan.source_outputs
+          (List.combine pipe.outputs out_paths)
+      in
+      let buffers = Array.make (Array.length pipe.stages) None in
+      List.iter2
+        (fun ((out_f : Ast.func), _) (_, b) ->
+          Array.iteri
+            (fun i (s : Ast.func) ->
+              if s.fname = out_f.fname then buffers.(i) <- Some b)
+            pipe.stages)
+        (List.combine pipe.outputs out_paths)
+        outputs;
+      ({ Rt.Executor.buffers; outputs }, exec_ms, time_ms))
+
+(* ---- public entry points ---- *)
+
+let run ?cache_dir ?(repeats = 0) (plan : Comp.Plan.t) env ~images =
+  Trace.with_span ~cat:"backend" "backend.run" @@ fun () ->
+  let exe, compile_ms, hit, key, dir = compile ?cache_dir plan in
+  let exec () = exec_exe ~repeats plan env ~images exe in
+  match exec () with
+  | result, exec_ms, time_ms ->
+    (result, { cache_hit = hit; compile_ms; exec_ms; time_ms })
+  | exception e when hit ->
+    (* A cached artifact that will not run is treated like any other
+       corruption: drop the entry and rebuild once. *)
+    ignore e;
+    Cache.invalidate ~dir key;
+    Metrics.bumpn "backend/cache_corrupt";
+    let exe, compile_ms2, _, _, _ = compile ?cache_dir plan in
+    let result, exec_ms, time_ms =
+      exec_exe ~repeats plan env ~images exe
+    in
+    ( result,
+      {
+        cache_hit = false;
+        compile_ms = compile_ms +. compile_ms2;
+        exec_ms;
+        time_ms;
+      } )
+
+let run_safe ?cache_dir ?repeats ?pool (plan : Comp.Plan.t) env ~images =
+  match run ?cache_dir ?repeats plan env ~images with
+  | result, stats -> ((result, Some stats), [])
+  | exception e ->
+    let d = { Rt.Executor.rung = "c-backend"; error = Err.of_exn e } in
+    let result, degr = Rt.Executor.run_safe ?pool plan env ~images in
+    ((result, None), d :: degr)
+
+let profile ?cache_dir ~(opts : Comp.Options.t) ~outputs ~env ~images () =
+  let opts = Comp.Options.with_trace true opts in
+  let metrics_were_on = Metrics.enabled () in
+  Trace.reset ();
+  Metrics.reset ();
+  let (plan, result, stats), events =
+    Trace.capture (fun () ->
+        let plan = Comp.Compile.run opts ~outputs in
+        let result, stats = run ?cache_dir plan env ~images in
+        (plan, result, stats))
+  in
+  let counters = Metrics.snapshot () in
+  if not metrics_were_on then Metrics.disable ();
+  let tiles = Rt.Executor.tile_counts plan env in
+  ( {
+      Rt.Profile.plan;
+      result;
+      events;
+      counters;
+      tiles;
+      wall_ms = stats.exec_ms;
+      env;
+    },
+    stats )
+
+let describe ?cache_dir () =
+  let dir =
+    match cache_dir with Some d -> d | None -> Cache.default_dir ()
+  in
+  let n, bytes = Cache.stats dir in
+  Printf.sprintf
+    "backend c: compiler %s; cache %s (%d entr%s, %.1f MiB used, %.0f MiB \
+     limit)"
+    (Toolchain.describe ()) dir n
+    (if n = 1 then "y" else "ies")
+    (float_of_int bytes /. 1048576.)
+    (float_of_int (Cache.max_bytes ()) /. 1048576.)

@@ -1,0 +1,78 @@
+(** Compiled-C execution backend.
+
+    Emits the plan's C translation unit with a raw-blob [main]
+    ({!Polymage_codegen.Cgen.emit_raw_main}), compiles it through the
+    size-bounded on-disk {!Cache} (key: compiler identity + flags +
+    source hash), executes it as a subprocess with
+    [OMP_NUM_THREADS = opts.workers], and reads every output blob back
+    into a {!Polymage_rt.Buffer.t} — the same {!Polymage_rt.Executor.result}
+    shape the native executor produces, so callers can diff them
+    element-wise.
+
+    Instrumented with [backend.*] {!Polymage_util.Trace} spans and the
+    counters [backend/compile_ms], [backend/cache_hit],
+    [backend/cache_miss], [backend/cache_corrupt],
+    [backend/cache_evictions], [backend/compile_invocations],
+    [backend/exec_ms]. *)
+
+open Polymage_ir
+module Comp = Polymage_compiler
+module Rt = Polymage_rt
+
+type kind = Native | C
+
+val kind_of_string : string -> kind option
+val kind_to_string : kind -> string
+
+type stats = {
+  cache_hit : bool;  (** artifact came from the cache *)
+  compile_ms : float;  (** wall time spent compiling (0 on a hit) *)
+  exec_ms : float;  (** wall time of the subprocess run *)
+  time_ms : float option;
+      (** the binary's own best-of-[repeats] pipeline time, when
+          [repeats > 0] — excludes process start-up and blob I/O *)
+}
+
+val run :
+  ?cache_dir:string ->
+  ?repeats:int ->
+  Comp.Plan.t ->
+  Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  Rt.Executor.result * stats
+(** Compile (or fetch) and execute the plan.  A cached artifact that
+    fails to execute is invalidated and rebuilt once before the error
+    propagates.  @raise Polymage_util.Err.Polymage_error when no
+    compiler is available (phase [Codegen]), compilation fails, the
+    subprocess exits non-zero (phase [Exec]), or an output blob is
+    malformed (phase [IO]). *)
+
+val run_safe :
+  ?cache_dir:string ->
+  ?repeats:int ->
+  ?pool:Rt.Pool.t ->
+  Comp.Plan.t ->
+  Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  (Rt.Executor.result * stats option) * Rt.Executor.degradation list
+(** {!run} with the degradation ladder extended one rung above the
+    native executor's: a failing C backend (no compiler, compile
+    error, exec error) records a ["c-backend"] degradation and falls
+    back to {!Rt.Executor.run_safe} (stats become [None]). *)
+
+val profile :
+  ?cache_dir:string ->
+  opts:Comp.Options.t ->
+  outputs:Ast.func list ->
+  env:Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  unit ->
+  Rt.Profile.report * stats
+(** Compile and run through the C backend under forced tracing +
+    metrics — the compiled-backend counterpart of
+    {!Polymage_rt.Profile.run} ([wall_ms] is the subprocess wall
+    time). *)
+
+val describe : ?cache_dir:string -> unit -> string
+(** One line for [explain]/reports: compiler identity and cache
+    occupancy. *)

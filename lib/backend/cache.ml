@@ -1,0 +1,166 @@
+(* On-disk artifact cache for compiled pipelines.
+
+   Layout: one <key>.exe + <key>.meta pair per artifact in a flat
+   directory, key = MD5 of (compiler identity, flags, emitted source).
+   The meta file records the executable's byte size: a missing,
+   unparseable or mismatching meta marks the entry corrupt (partial
+   store, torn write) and it is silently discarded — the contract is
+   "bad artifact => recompile, never crash".  Stores go through a
+   temporary name + rename so a concurrent reader only ever sees whole
+   files; the meta is written after the exe, so any crash window
+   leaves an exe without meta, which reads as corrupt.  Eviction is
+   LRU by mtime — lookups touch their entry — bounded by
+   [POLYMAGE_CACHE_BYTES] (default 256 MiB). *)
+
+module Err = Polymage_util.Err
+module Metrics = Polymage_util.Metrics
+
+let default_max_bytes = 256 * 1024 * 1024
+
+let max_bytes () =
+  match Sys.getenv_opt "POLYMAGE_CACHE_BYTES" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default_max_bytes)
+  | None -> default_max_bytes
+
+let default_dir () =
+  match Sys.getenv_opt "POLYMAGE_CACHE_DIR" with
+  | Some d -> d
+  | None -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d -> Filename.concat d "polymage"
+    | None -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h -> Filename.concat (Filename.concat h ".cache") "polymage"
+      | None -> Filename.concat (Filename.get_temp_dir_name ()) "polymage-cache"))
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let key ~cc ~version ~flags ~source =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ cc; version; flags; source ]))
+
+let exe_path ~dir key = Filename.concat dir (key ^ ".exe")
+let meta_path ~dir key = Filename.concat dir (key ^ ".meta")
+
+let read_meta_size path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match input_line ic with
+        | line -> (
+          match String.split_on_char ' ' line with
+          | [ "size"; n ] -> int_of_string_opt n
+          | _ -> None)
+        | exception End_of_file -> None)
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> Some st_size
+  | exception Unix.Unix_error _ -> None
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+let invalidate ~dir key =
+  remove_if_exists (exe_path ~dir key);
+  remove_if_exists (meta_path ~dir key)
+
+let touch path =
+  try Unix.utimes path 0. 0. (* both zero: set to now *)
+  with Unix.Unix_error _ -> ()
+
+let lookup ~dir key =
+  let exe = exe_path ~dir key and meta = meta_path ~dir key in
+  match (file_size exe, read_meta_size meta) with
+  | Some got, Some want when got = want && got > 0 ->
+    touch exe;
+    touch meta;
+    Some exe
+  | None, None -> None (* plain miss *)
+  | _ ->
+    (* partial or torn entry: discard, report a miss *)
+    Metrics.bumpn "backend/cache_corrupt";
+    invalidate ~dir key;
+    None
+
+(* Atomic-ish write: temp name in the same directory, then rename. *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let entries dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun n ->
+           if Filename.check_suffix n ".exe" then
+             let k = Filename.chop_suffix n ".exe" in
+             let exe = exe_path ~dir k in
+             match Unix.stat exe with
+             | { Unix.st_size; st_mtime; _ } ->
+               let bytes =
+                 st_size
+                 + Option.value ~default:0 (file_size (meta_path ~dir k))
+               in
+               Some (k, bytes, st_mtime)
+             | exception Unix.Unix_error _ -> None
+           else None)
+
+let evict ?max_bytes:limit ?keep dir =
+  let limit = match limit with Some l -> l | None -> max_bytes () in
+  let es =
+    List.sort (fun (_, _, a) (_, _, b) -> compare a b) (entries dir)
+  in
+  let total = List.fold_left (fun acc (_, b, _) -> acc + b) 0 es in
+  let evicted = ref 0 in
+  let rec go total = function
+    | [] -> ()
+    | _ when total <= limit -> ()
+    | (k, bytes, _) :: rest ->
+      if Some k = keep then go total rest
+      else begin
+        invalidate ~dir k;
+        incr evicted;
+        Metrics.bumpn "backend/cache_evictions";
+        go (total - bytes) rest
+      end
+  in
+  go total es;
+  !evicted
+
+let store ~dir ~key ~build =
+  mkdir_p dir;
+  let exe = exe_path ~dir key in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".build.%d.%s.exe" (Unix.getpid ()) key)
+  in
+  Fun.protect
+    ~finally:(fun () -> remove_if_exists tmp)
+    (fun () ->
+      build tmp;
+      match file_size tmp with
+      | None | Some 0 ->
+        Err.fail Err.Codegen ~stage:key
+          "Cache.store: build produced no executable"
+      | Some size ->
+        Sys.rename tmp exe;
+        write_file_atomic (meta_path ~dir key)
+          (Printf.sprintf "size %d\n" size));
+  ignore (evict ~keep:key dir);
+  exe
+
+let stats dir =
+  let es = entries dir in
+  (List.length es, List.fold_left (fun acc (_, b, _) -> acc + b) 0 es)

@@ -1,0 +1,43 @@
+(** On-disk artifact cache for compiled pipeline executables.
+
+    Entries live as [<key>.exe] + [<key>.meta] pairs in a flat
+    directory ([POLYMAGE_CACHE_DIR], default
+    [$XDG_CACHE_HOME/polymage] or [~/.cache/polymage]).  The key is a
+    content hash of (compiler identity, flags, emitted source); the
+    meta records the executable size so torn or partial stores read as
+    corrupt and are recompiled, never executed.  Size-bounded LRU:
+    lookups touch their entry's mtime, stores evict oldest-first down
+    to [POLYMAGE_CACHE_BYTES] (default 256 MiB). *)
+
+val default_dir : unit -> string
+val max_bytes : unit -> int
+
+val key : cc:string -> version:string -> flags:string -> source:string -> string
+(** Content hash naming the artifact. *)
+
+val exe_path : dir:string -> string -> string
+
+val lookup : dir:string -> string -> string option
+(** Path to a valid cached executable for the key, touching its LRU
+    timestamp.  Corrupt entries (size mismatch against meta, missing
+    meta) are discarded and count as a miss
+    ([backend/cache_corrupt]). *)
+
+val store : dir:string -> key:string -> build:(string -> unit) -> string
+(** [store ~dir ~key ~build] creates the cache directory, calls
+    [build tmp_path] to produce the executable, atomically installs it
+    under the key, writes the meta, evicts down to the size bound
+    (never the entry just stored) and returns the executable path.
+    @raise Polymage_util.Err.Polymage_error when [build] raises or
+    produces nothing. *)
+
+val invalidate : dir:string -> string -> unit
+(** Drop an entry (used when a cached artifact fails to execute). *)
+
+val evict : ?max_bytes:int -> ?keep:string -> string -> int
+(** LRU-evict entries of the directory until total size fits the
+    bound; returns how many entries were removed.  Exposed for
+    tests. *)
+
+val stats : string -> int * int
+(** [(entry count, total bytes)] currently in the directory. *)

@@ -1,0 +1,66 @@
+(* The compiled backend's exchange format: little-endian float64 blobs
+   with a small self-describing header, matching the pm_read_raw /
+   pm_write_raw helpers emitted by [Cgen.emit_raw_main].
+
+   Layout: 8-byte magic "PMRAW01\n", u32 LE rank, rank x i64 LE
+   extents, then the row-major float64 payload.  Lower bounds are not
+   stored — the OCaml side owns the geometry and validates extents. *)
+
+module Rt = Polymage_rt
+module Err = Polymage_util.Err
+
+let magic = Polymage_codegen.Cgen.raw_magic
+let header_bytes rank = 8 + 4 + (8 * rank)
+
+let write path (b : Rt.Buffer.t) =
+  let rank = Array.length b.dims in
+  let total = Rt.Buffer.size b in
+  let bytes = Bytes.create (header_bytes rank + (8 * total)) in
+  Bytes.blit_string magic 0 bytes 0 8;
+  Bytes.set_int32_le bytes 8 (Int32.of_int rank);
+  Array.iteri
+    (fun d e -> Bytes.set_int64_le bytes (12 + (8 * d)) (Int64.of_int e))
+    b.dims;
+  let payload = header_bytes rank in
+  for i = 0 to total - 1 do
+    Bytes.set_int64_le bytes
+      (payload + (8 * i))
+      (Int64.bits_of_float b.data.(i))
+  done;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc bytes)
+
+let read path ~lo ~dims =
+  let fail fmt = Err.failf Err.IO ~stage:path fmt in
+  let ic =
+    try open_in_bin path
+    with Sys_error m -> Err.failf Err.IO ~stage:path "Rawio: %s" m
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rank = Array.length dims in
+      let header = Bytes.create (header_bytes rank) in
+      (try really_input ic header 0 (Bytes.length header)
+       with End_of_file -> fail "Rawio: truncated header");
+      if Bytes.sub_string header 0 8 <> magic then fail "Rawio: bad magic";
+      let got_rank = Int32.to_int (Bytes.get_int32_le header 8) in
+      if got_rank <> rank then
+        fail "Rawio: rank mismatch (got %d, want %d)" got_rank rank;
+      Array.iteri
+        (fun d e ->
+          let got = Int64.to_int (Bytes.get_int64_le header (12 + (8 * d))) in
+          if got <> e then
+            fail "Rawio: extent mismatch in dim %d (got %d, want %d)" d got e)
+        dims;
+      let b = Rt.Buffer.create_uninit ~lo ~dims in
+      let total = Rt.Buffer.size b in
+      let payload = Bytes.create (8 * total) in
+      (try really_input ic payload 0 (8 * total)
+       with End_of_file -> fail "Rawio: truncated payload");
+      for i = 0 to total - 1 do
+        b.data.(i) <- Int64.float_of_bits (Bytes.get_int64_le payload (8 * i))
+      done;
+      b)

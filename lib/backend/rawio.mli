@@ -1,0 +1,19 @@
+(** Little-endian float64 blob exchange with compiled pipelines.
+
+    Format (shared with the C helpers in [Cgen.emit_raw_main]):
+    8-byte magic ["PMRAW01\n"], u32 LE rank, rank i64 LE extents, then
+    the row-major float64 payload.  Lower bounds are not stored; the
+    caller owns the geometry. *)
+
+module Rt = Polymage_rt
+
+val magic : string
+
+val write : string -> Rt.Buffer.t -> unit
+(** Serialize a buffer (header + payload) to a file. *)
+
+val read : string -> lo:int array -> dims:int array -> Rt.Buffer.t
+(** Read a blob back, validating magic, rank and extents against the
+    expected geometry.
+    @raise Polymage_util.Err.Polymage_error (phase [IO]) on any
+    mismatch or truncation. *)

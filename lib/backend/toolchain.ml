@@ -1,0 +1,97 @@
+(* C-compiler discovery, shared by the compiled backend, the benchmark
+   harness and the codegen tests.  One probe per [POLYMAGE_CC] value
+   per process: compiler discovery shells out a handful of times, and
+   every caller (tests especially) asks repeatedly. *)
+
+module Err = Polymage_util.Err
+
+type t = {
+  cc : string;  (* compiler command *)
+  version : string;  (* first line of `cc --version` *)
+  flags : string;  (* best flag set the compiler accepted *)
+  has_openmp : bool;
+}
+
+let opt_flags = "-O3 -march=native -fopenmp"
+let opt_flags_no_omp = "-O3 -march=native"
+let fallback_flags = "-O1"
+
+let first_line_of_command cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+  let line = try Some (input_line ic) with End_of_file -> None in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> line
+  | _ -> None
+
+(* Can [cc flags] turn a trivial translation unit into an executable? *)
+let probe_flags cc flags =
+  let src = Filename.temp_file "pm_probe" ".c" in
+  let exe = src ^ ".exe" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove src with Sys_error _ -> ());
+      try Sys.remove exe with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out src in
+      output_string oc "int main(void) { return 0; }\n";
+      close_out oc;
+      Sys.command
+        (Printf.sprintf "%s %s -o %s %s > /dev/null 2>&1" cc flags
+           (Filename.quote exe) (Filename.quote src))
+      = 0)
+
+let probe cc =
+  match first_line_of_command (cc ^ " --version") with
+  | None -> None
+  | Some version ->
+    if probe_flags cc opt_flags then
+      Some { cc; version; flags = opt_flags; has_openmp = true }
+    else if probe_flags cc opt_flags_no_omp then
+      Some { cc; version; flags = opt_flags_no_omp; has_openmp = false }
+    else if probe_flags cc fallback_flags then
+      Some { cc; version; flags = fallback_flags; has_openmp = false }
+    else None
+
+(* Memoized per POLYMAGE_CC value, so a test can point the variable at
+   a bogus command, observe the degradation, unset it, and get the
+   real compiler back. *)
+let cache : (string option, t option) Hashtbl.t = Hashtbl.create 4
+
+let lookup () =
+  let key = Sys.getenv_opt "POLYMAGE_CC" in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let r =
+      match key with
+      | Some cc -> probe cc (* explicit choice: no silent fallback *)
+      | None ->
+        let rec first = function
+          | [] -> None
+          | cc :: rest -> (
+            match probe cc with Some t -> Some t | None -> first rest)
+        in
+        first [ "cc"; "gcc"; "clang" ]
+    in
+    Hashtbl.replace cache key r;
+    r
+
+let available () = lookup () <> None
+
+let get () =
+  match lookup () with
+  | Some t -> t
+  | None ->
+    Err.fail Err.Codegen
+      (match Sys.getenv_opt "POLYMAGE_CC" with
+      | Some cc ->
+        Printf.sprintf "Toolchain: POLYMAGE_CC=%S is not a working C compiler"
+          cc
+      | None -> "Toolchain: no working C compiler (tried cc, gcc, clang)")
+
+let describe () =
+  match lookup () with
+  | None -> "no C compiler available"
+  | Some t ->
+    Printf.sprintf "%s (%s)%s" t.cc t.version
+      (if t.has_openmp then " +openmp" else " -openmp")

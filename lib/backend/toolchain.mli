@@ -1,0 +1,28 @@
+(** C-compiler discovery, shared by the compiled backend, the
+    benchmark harness and the codegen tests.
+
+    Honors [POLYMAGE_CC]: when set, that command is the only candidate
+    (a broken value means "no compiler", which is how tests drive the
+    degradation ladder); otherwise [cc], [gcc], [clang] are tried in
+    order.  Each candidate is probed for the best working flag set:
+    [-O3 -march=native -fopenmp], then without OpenMP, then a bare
+    [-O1] fallback.  Results are memoized per [POLYMAGE_CC] value for
+    the process. *)
+
+type t = {
+  cc : string;  (** compiler command *)
+  version : string;  (** first line of [cc --version] *)
+  flags : string;  (** best flag set the compiler accepted *)
+  has_openmp : bool;
+}
+
+val lookup : unit -> t option
+val available : unit -> bool
+
+val get : unit -> t
+(** @raise Polymage_util.Err.Polymage_error (phase [Codegen]) when no
+    usable compiler exists — the trigger for [run_safe] degradation
+    to the native executor. *)
+
+val describe : unit -> string
+(** One line for reports: command, version, OpenMP availability. *)

@@ -845,3 +845,167 @@ let emit_with_main ?name ?(time_runs = 0) (plan : C.Plan.t) ~fill ~env =
   pop ctx;
   line ctx "}";
   base ^ "\n" ^ Buffer.contents ctx.b
+
+let raw_magic = "PMRAW01\n"
+
+let raw_helpers =
+  {|#include <stdint.h>
+#include <time.h>
+
+static double pm_now_ms(void) {
+  struct timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1e3 + ts.tv_nsec * 1e-6;
+}
+
+static const char pm_magic[8] = {'P','M','R','A','W','0','1','\n'};
+
+static double* pm_read_raw(const char* path, uint32_t rank,
+                           const int64_t* extents) {
+  FILE* f = fopen(path, "rb");
+  if (!f) { fprintf(stderr, "polymage-raw: cannot open %s\n", path); exit(3); }
+  char magic[8];
+  if (fread(magic, 1, 8, f) != 8 || memcmp(magic, pm_magic, 8) != 0) {
+    fprintf(stderr, "polymage-raw: bad magic in %s\n", path); exit(3);
+  }
+  uint32_t r;
+  if (fread(&r, 4, 1, f) != 1 || r != rank) {
+    fprintf(stderr, "polymage-raw: rank mismatch in %s\n", path); exit(3);
+  }
+  int64_t total = 1;
+  for (uint32_t d = 0; d < rank; d++) {
+    int64_t e;
+    if (fread(&e, 8, 1, f) != 1 || e != extents[d]) {
+      fprintf(stderr, "polymage-raw: extent mismatch in %s (dim %u)\n",
+              path, d);
+      exit(3);
+    }
+    total *= e;
+  }
+  double* buf = (double*)malloc(sizeof(double)
+                                * (size_t)(total > 0 ? total : 1));
+  if (!buf) { fprintf(stderr, "polymage-raw: oom for %s\n", path); exit(3); }
+  if ((int64_t)fread(buf, sizeof(double), (size_t)total, f) != total) {
+    fprintf(stderr, "polymage-raw: truncated payload in %s\n", path);
+    exit(3);
+  }
+  fclose(f);
+  return buf;
+}
+
+static void pm_write_raw(const char* path, uint32_t rank,
+                         const int64_t* extents, const double* data) {
+  FILE* f = fopen(path, "wb");
+  if (!f) {
+    fprintf(stderr, "polymage-raw: cannot open %s for writing\n", path);
+    exit(3);
+  }
+  int64_t total = 1;
+  fwrite(pm_magic, 1, 8, f);
+  fwrite(&rank, 4, 1, f);
+  for (uint32_t d = 0; d < rank; d++) {
+    fwrite(&extents[d], 8, 1, f);
+    total *= extents[d];
+  }
+  if ((int64_t)fwrite(data, sizeof(double), (size_t)total, f) != total
+      || fclose(f) != 0) {
+    fprintf(stderr, "polymage-raw: short write to %s\n", path); exit(3);
+  }
+}
+|}
+
+let emit_raw_main ?name (plan : C.Plan.t) =
+  let pipe = plan.pipe in
+  let base = emit ?name plan in
+  Polymage_util.Trace.with_span ~cat:"codegen" "codegen.emit_raw_main"
+  @@ fun () ->
+  let ctx = { b = Buffer.create 1024; ind = 0 } in
+  Buffer.add_string ctx.b raw_helpers;
+  blank ctx;
+  let np = List.length pipe.params
+  and ni = List.length pipe.images
+  and no = List.length pipe.outputs in
+  line ctx "int main(int argc, char** argv)";
+  line ctx "{";
+  push ctx;
+  line ctx "{ uint32_t one = 1;";
+  line ctx "  if (*(uint8_t*)&one != 1) {";
+  line ctx
+    "    fprintf(stderr, \"polymage-raw: big-endian host unsupported\\n\");";
+  line ctx "    return 3; } }";
+  line ctx "if (argc != %d) {" (2 + np + ni + no);
+  push ctx;
+  line ctx
+    "fprintf(stderr, \"usage: %%s <repeats> <%d params> <%d in.raw> <%d \
+     out.raw>\\n\", argv[0]);"
+    np ni no;
+  line ctx "return 2;";
+  pop ctx;
+  line ctx "}";
+  line ctx "const int repeats = atoi(argv[1]);";
+  List.iteri
+    (fun k (p : Types.param) ->
+      line ctx "const int %s = atoi(argv[%d]);" (pname p) (2 + k))
+    pipe.params;
+  (* Read input images, validating geometry against the parameters. *)
+  List.iteri
+    (fun k (im : Ast.image) ->
+      let n = List.length im.iextents in
+      line ctx "int64_t ext_%s[%d];" im.iname (max n 1);
+      List.iteri
+        (fun d e ->
+          line ctx "ext_%s[%d] = (int64_t)%s;" im.iname d (cbound e))
+        im.iextents;
+      line ctx "double* %s = pm_read_raw(argv[%d], %d, ext_%s);" (iname im)
+        (2 + np + k) n im.iname)
+    pipe.images;
+  List.iter
+    (fun (f : Ast.func) -> line ctx "double* res_%s = NULL;" f.fname)
+    pipe.outputs;
+  let args =
+    List.map pname pipe.params
+    @ List.map iname pipe.images
+    @ List.map (fun (f : Ast.func) -> spf "&res_%s" f.fname) pipe.outputs
+  in
+  let call () = line ctx "%s(%s);" (func_name ?name plan) (String.concat ", " args) in
+  call ();
+  (* Timed repetitions after the warm-up, best-of like the bench main. *)
+  line ctx "if (repeats > 0) {";
+  push ctx;
+  line ctx "double t_best = 1e30;";
+  line ctx "for (int rep = 0; rep < repeats; rep++) {";
+  push ctx;
+  List.iter
+    (fun (f : Ast.func) -> line ctx "free(res_%s);" f.fname)
+    pipe.outputs;
+  line ctx "double t0 = pm_now_ms();";
+  call ();
+  line ctx "double t1 = pm_now_ms();";
+  line ctx "if (t1 - t0 < t_best) t_best = t1 - t0;";
+  pop ctx;
+  line ctx "}";
+  line ctx "printf(\"TIME_MS %%.3f\\n\", t_best);";
+  pop ctx;
+  line ctx "}";
+  (* Write outputs with their concrete geometry. *)
+  List.iteri
+    (fun k (f : Ast.func) ->
+      let n = List.length f.fdom in
+      line ctx "{";
+      push ctx;
+      line ctx "int64_t ext[%d];" (max n 1);
+      List.iteri
+        (fun d (iv : Interval.t) ->
+          line ctx "ext[%d] = (int64_t)imax(0, (%s) - (%s) + 1);" d
+            (cbound iv.hi) (cbound iv.lo))
+        f.fdom;
+      line ctx "pm_write_raw(argv[%d], %d, ext, res_%s);" (2 + np + ni + k) n
+        f.fname;
+      line ctx "free(res_%s);" f.fname;
+      pop ctx;
+      line ctx "}")
+    pipe.outputs;
+  List.iter (fun (im : Ast.image) -> line ctx "free(%s);" (iname im)) pipe.images;
+  line ctx "return 0;";
+  pop ctx;
+  line ctx "}";
+  base ^ "\n" ^ Buffer.contents ctx.b

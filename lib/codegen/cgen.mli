@@ -36,3 +36,24 @@ val emit_with_main :
     warm-up) and prints ["TIME_MS <best>"] — this is how the benchmark
     harness measures the generated code, mirroring the paper's
     methodology of timing compiled output. *)
+
+val raw_magic : string
+(** 8-byte magic opening every [.raw] blob: ["PMRAW01\n"]. *)
+
+val emit_raw_main :
+  ?name:string ->
+  C.Plan.t ->
+  string
+(** The pipeline function plus a runtime-parameterized [main] speaking
+    the compiled-backend protocol:
+    [argv = <repeats> <param values> <input .raw paths>
+    <output .raw paths>] (params in [pipe.params] order, images in
+    [pipe.images] order, outputs in [pipe.outputs] order).  Inputs and
+    outputs are little-endian float64 blobs — magic {!raw_magic}, u32
+    rank, i64 extents per dimension, then the row-major payload.  The
+    main validates each input header against the concrete geometry,
+    runs the pipeline once, optionally times [repeats] further runs
+    (printing ["TIME_MS <best>"]), and writes every output blob.
+    Because sizes arrive via argv, one compiled artifact serves every
+    image size — this is what keeps the artifact cache warm across
+    [--size] changes. *)

@@ -18,10 +18,18 @@ type measurement = {
          regression bar so a noisy run cannot hard-fail the gate *)
 }
 
+type host = {
+  cores : int;
+  workers : int;
+  compiler : string;
+}
+
 type baseline = {
   schema_version : int;  (* 1 when the file predates the field *)
   bench : string;
   scale : int;
+  backend : string;  (* "native" for v1/v2 files, which predate it *)
+  host : host option;  (* schema v3 host metadata, when present *)
   cells : measurement list;
 }
 
@@ -44,6 +52,27 @@ let of_json (j : Trace.json) : (baseline, string) result =
       match field "scale" j with
       | Some (Trace.Num v) -> int_of_float v
       | _ -> 0
+    in
+    (* v1/v2 files predate the backend field; every one of them was
+       measured on the native executor. *)
+    let backend =
+      match field "backend" j with
+      | Some (Trace.Str s) -> s
+      | _ -> "native"
+    in
+    let host =
+      match field "host" j with
+      | Some (Trace.Obj _ as h) ->
+        let num name =
+          match field name h with
+          | Some (Trace.Num v) -> int_of_float v
+          | _ -> 0
+        in
+        let compiler =
+          match field "compiler" h with Some (Trace.Str s) -> s | _ -> ""
+        in
+        Some { cores = num "cores"; workers = num "workers"; compiler }
+      | _ -> None
     in
     match field "apps" j with
     | Some (Trace.Arr apps) -> (
@@ -72,7 +101,7 @@ let of_json (j : Trace.json) : (baseline, string) result =
               | _ -> failwith "apps entry is not an object")
             apps
         in
-        Ok { schema_version; bench; scale; cells }
+        Ok { schema_version; bench; scale; backend; host; cells }
       with Failure msg -> Error msg)
     | _ -> Error "baseline has no \"apps\" array")
   | _ -> Error "baseline top level is not an object"
@@ -92,6 +121,21 @@ let load file =
       match of_json j with
       | Error e -> Error (Printf.sprintf "%s: %s" file e)
       | Ok b -> Ok b))
+
+(* Numbers measured on different backends are not comparable: the
+   compiled backend is 1-2 orders of magnitude faster than the
+   interpreter, so a cross-backend "comparison" only ever reports an
+   artifact of the setup.  Refuse loudly instead. *)
+let check_backend (b : baseline) ~current =
+  if b.backend = current then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "baseline was measured on the %S backend but the current run uses \
+          %S; cross-backend comparisons are meaningless — re-measure the \
+          baseline with --backend %s or compare against a %s-backend \
+          baseline"
+         b.backend current current current)
 
 (* ---- comparison ---- *)
 

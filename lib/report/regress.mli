@@ -24,15 +24,31 @@ type measurement = {
           (baseline cells loaded from JSON) *)
 }
 
+type host = {
+  cores : int;
+  workers : int;
+  compiler : string;
+}
+
 type baseline = {
   schema_version : int;  (** 1 when the file predates the field *)
   bench : string;
   scale : int;
+  backend : string;
+      (** which backend produced the numbers; ["native"] for v1/v2
+          files, which predate the field *)
+  host : host option;  (** schema v3 host metadata, when present *)
   cells : measurement list;  (** every numeric field of every app *)
 }
 
 val of_json : Polymage_util.Trace.json -> (baseline, string) result
 val load : string -> (baseline, string) result
+
+val check_backend : baseline -> current:string -> (unit, string) result
+(** Refuse cross-backend comparisons: numbers from the compiled
+    backend and the interpreter differ by orders of magnitude, so a
+    gate across them only measures the setup.  [Error] carries a
+    user-facing explanation. *)
 
 type cell = {
   capp : string;

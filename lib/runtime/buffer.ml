@@ -22,7 +22,20 @@ let create ~lo ~dims =
   let total = Array.fold_left ( * ) 1 dims in
   { data = Array.make (max total 1) 0.; lo; dims; strides = strides_of dims }
 
-let of_func (f : Ast.func) env =
+(* Skip the zero fill: for buffers the caller proves fully overwritten
+   (a stage with an unconditional case, or a scratch-to-buffer copy
+   covering every owned cell) the O(n) clear on the allocation path is
+   pure waste.  Degenerate (empty) domains keep the zeroed 1-cell
+   allocation so checksum folds over [data] stay deterministic. *)
+let create_uninit ~lo ~dims =
+  Array.iter
+    (fun e -> if e < 0 then invalid_arg "Buffer.create_uninit: negative extent")
+    dims;
+  let total = Array.fold_left ( * ) 1 dims in
+  let data = if total = 0 then Array.make 1 0. else Array.create_float total in
+  { data; lo; dims; strides = strides_of dims }
+
+let geometry_of_func (f : Ast.func) env =
   let lo, dims =
     List.split
       (List.map
@@ -31,7 +44,15 @@ let of_func (f : Ast.func) env =
            (l, max 0 (h - l + 1)))
          f.fdom)
   in
-  create ~lo:(Array.of_list lo) ~dims:(Array.of_list dims)
+  (Array.of_list lo, Array.of_list dims)
+
+let of_func (f : Ast.func) env =
+  let lo, dims = geometry_of_func f env in
+  create ~lo ~dims
+
+let of_func_uninit (f : Ast.func) env =
+  let lo, dims = geometry_of_func f env in
+  create_uninit ~lo ~dims
 
 let of_image (im : Ast.image) env gen =
   let dims =

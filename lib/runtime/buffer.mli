@@ -17,8 +17,21 @@ type t = private {
 val create : lo:int array -> dims:int array -> t
 (** Zero-initialized. @raise Invalid_argument on negative extents. *)
 
+val create_uninit : lo:int array -> dims:int array -> t
+(** Like {!create} but the payload is left uninitialized — for buffers
+    the caller proves fully overwritten before any read.  Empty domains
+    still get a zeroed 1-cell allocation so folds over [data] stay
+    deterministic. @raise Invalid_argument on negative extents. *)
+
 val of_func : Ast.func -> Types.bindings -> t
 (** A zero-initialized buffer covering the stage's concrete domain. *)
+
+val of_func_uninit : Ast.func -> Types.bindings -> t
+(** {!create_uninit} over the stage's concrete domain. *)
+
+val geometry_of_func : Ast.func -> Types.bindings -> int array * int array
+(** [(lo, dims)] of the stage's concrete domain under the bindings —
+    the geometry {!of_func} allocates. *)
 
 val of_image : Ast.image -> Types.bindings -> (int array -> float) -> t
 (** Allocate an input image buffer and fill it pointwise from the

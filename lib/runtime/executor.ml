@@ -12,10 +12,33 @@ type result = {
 
 type degradation = { rung : string; error : Err.t }
 
-(* Full-buffer allocation, visible to the fault injector. *)
-let alloc_buffer (f : Ast.func) env =
+(* A stage whose body writes every cell of its domain: an
+   unconditional case exists (evaluation always lands on some arm
+   whose guard passed, and the unconditional arm catches the rest) or
+   the body is a reduction (initialized with [rinit] up front).  Such
+   buffers never expose uninitialized cells, so zeroing them at
+   allocation is pure overhead. *)
+let body_covers_domain (f : Ast.func) =
+  match f.Ast.fbody with
+  | Ast.Undefined -> false
+  | Ast.Reduce _ -> true
+  | Ast.Cases cases ->
+    List.exists (fun { Ast.ccond; _ } -> ccond = None) cases
+
+(* Full-buffer allocation, visible to the fault injector.  [zero]
+   false skips the zeroing pass for buffers the caller proves fully
+   overwritten before any read (see [body_covers_domain]); the
+   [exec/alloc_zeroed|alloc_uninit] counters record the split. *)
+let alloc_buffer ?(zero = true) (f : Ast.func) env =
   Fault.hit "alloc";
-  Buffer.of_func f env
+  if zero then begin
+    Metrics.bumpn "exec/alloc_zeroed";
+    Buffer.of_func f env
+  end
+  else begin
+    Metrics.bumpn "exec/alloc_uninit";
+    Buffer.of_func_uninit f env
+  end
 
 let floor_div = Polymage_util.Intmath.floor_div
 let ceil_div = Polymage_util.Intmath.ceil_div
@@ -497,7 +520,7 @@ let exec_straight pool (plan : C.Plan.t) env buffers images i =
   let opts = plan.opts in
   let pipe = plan.pipe in
   let f = pipe.stages.(i) in
-  let buf = alloc_buffer f env in
+  let buf = alloc_buffer ~zero:(not (body_covers_domain f)) f env in
   buffers.(i) <- Some buf;
   match f.fbody with
   | Ast.Undefined -> assert false
@@ -606,7 +629,7 @@ let exec_straight pool (plan : C.Plan.t) env buffers images i =
             let clo = lo0 + (ci * per) in
             let chi = min hi0 (clo + per - 1) in
             if clo <= chi then begin
-              let p = alloc_buffer f env in
+              let p = alloc_buffer ~zero:false f env in
               Buffer.fill p neutral;
               accumulate_range p clo chi;
               partials.(ci) <- Some p
@@ -771,8 +794,17 @@ let exec_tiled pool (plan : C.Plan.t) env buffers images ~gidx
      scratchpad optimization is disabled. *)
   Array.iter
     (fun (m : C.Plan.member) ->
-      if m.live_out || not opts.scratchpads then
-        buffers.(m.ms.sidx) <- Some (alloc_buffer m.ms.func env))
+      if m.live_out || not opts.scratchpads then begin
+        (* Scratchpad-backed members copy their owned box into the
+           full buffer tile by tile, so an in-group live-out is fully
+           overwritten even when its body is piecewise. *)
+        let covered =
+          body_covers_domain m.ms.func
+          || (opts.scratchpads && m.used_in_group)
+        in
+        buffers.(m.ms.sidx) <-
+          Some (alloc_buffer ~zero:(not covered) m.ms.func env)
+      end)
     g.members;
   (* Concrete domains, widened/owned range computation per member. *)
   let doms = Array.map (fun (m : C.Plan.member) -> concrete_dom m.ms.func env) g.members in

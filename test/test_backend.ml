@@ -1,0 +1,360 @@
+(* Compiled-C backend: toolchain discovery and the POLYMAGE_CC
+   override, raw-blob round trips, artifact-cache semantics (hit,
+   corruption, LRU eviction), the cross-backend differential suite
+   over every app, the warm-cache no-recompile guarantee, and the
+   c-backend degradation rung. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module App = Polymage_apps.App
+module Cgen = Polymage_codegen.Cgen
+module Err = Polymage_util.Err
+module Metrics = Polymage_util.Metrics
+module Toolchain = Polymage_backend.Toolchain
+module Rawio = Polymage_backend.Rawio
+module Cache = Polymage_backend.Cache
+module Backend = Polymage_backend.Backend
+
+let have_cc = lazy (Toolchain.available ())
+
+(* A fresh directory name under the temp root; the cache creates it. *)
+let fresh_dir () =
+  let d = Filename.temp_file "pm_cache" "" in
+  Sys.remove d;
+  d
+
+let plan_for ?(opts = fun env -> C.Options.opt_vec ~estimates:env ())
+    name =
+  let app = Apps.find name in
+  let env = app.App.small_env in
+  let plan = C.Compile.run (opts env) ~outputs:app.App.outputs in
+  let images =
+    List.map
+      (fun im -> (im, Rt.Buffer.of_image im env (app.App.fill env im)))
+      plan.C.Plan.pipe.Pipeline.images
+  in
+  (plan, env, images)
+
+(* ---- toolchain ---- *)
+
+let toolchain_probe_and_override () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let tc = Toolchain.get () in
+    Alcotest.(check bool) "command nonempty" true
+      (String.length tc.Toolchain.cc > 0);
+    Alcotest.(check bool) "version nonempty" true
+      (String.length tc.Toolchain.version > 0);
+    Alcotest.(check bool) "flags nonempty" true
+      (String.length tc.Toolchain.flags > 0);
+    (* A broken POLYMAGE_CC is the only candidate: no compiler.
+       putenv cannot unset, so restore by naming the real compiler —
+       the probe is memoized per POLYMAGE_CC value. *)
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "POLYMAGE_CC" tc.Toolchain.cc)
+      (fun () ->
+        Unix.putenv "POLYMAGE_CC" "/nonexistent/pm-no-such-cc";
+        Alcotest.(check bool) "broken POLYMAGE_CC means no compiler"
+          false (Toolchain.available ());
+        match Toolchain.get () with
+        | _ -> Alcotest.fail "Toolchain.get should raise without a compiler"
+        | exception Err.Polymage_error e ->
+          Alcotest.(check bool) "failure is a codegen-phase error" true
+            (e.Err.phase = Err.Codegen));
+    Alcotest.(check bool) "override naming a real compiler works" true
+      (Toolchain.available ())
+  end
+
+(* ---- raw blob I/O ---- *)
+
+let rawio_roundtrip_and_validation () =
+  let lo = [| -2; 3 |] and dims = [| 4; 5 |] in
+  let b = Rt.Buffer.create ~lo ~dims in
+  Array.iteri
+    (fun i _ -> b.Rt.Buffer.data.(i) <- (float_of_int i *. 0.25) -. 1.5)
+    b.Rt.Buffer.data;
+  let path = Filename.temp_file "pm_raw" ".raw" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Rawio.write path b;
+      let b' = Rawio.read path ~lo ~dims in
+      Alcotest.(check bool) "roundtrip is bit-exact" true
+        (Rt.Buffer.equal b b');
+      Alcotest.(check bool) "lower bound preserved" true
+        (b'.Rt.Buffer.lo = lo);
+      (* wrong geometry is rejected, not silently reshaped *)
+      (match Rawio.read path ~lo ~dims:[| 5; 4 |] with
+      | _ -> Alcotest.fail "extent mismatch accepted"
+      | exception Err.Polymage_error _ -> ());
+      (* truncated payload *)
+      let full = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (full - 8);
+      (match Rawio.read path ~lo ~dims with
+      | _ -> Alcotest.fail "truncated blob accepted"
+      | exception Err.Polymage_error _ -> ());
+      (* corrupted magic *)
+      Rawio.write path b;
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.write_substring fd "X" 0 1);
+      Unix.close fd;
+      match Rawio.read path ~lo ~dims with
+      | _ -> Alcotest.fail "bad magic accepted"
+      | exception Err.Polymage_error _ -> ())
+
+(* ---- cache unit tests ---- *)
+
+let store_bytes dir key n =
+  Cache.store ~dir ~key ~build:(fun p ->
+      let oc = open_out p in
+      output_string oc (String.make n 'x');
+      close_out oc)
+
+let cache_hit_and_corruption () =
+  let dir = fresh_dir () in
+  let k = Cache.key ~cc:"cc" ~version:"v1" ~flags:"-O3" ~source:"src" in
+  let k' = Cache.key ~cc:"cc" ~version:"v1" ~flags:"-O3" ~source:"other" in
+  Alcotest.(check bool) "key depends on the source" true (k <> k');
+  Alcotest.(check (option string)) "empty cache misses" None
+    (Cache.lookup ~dir k);
+  let exe = store_bytes dir k 64 in
+  Alcotest.(check (option string)) "stored entry hits" (Some exe)
+    (Cache.lookup ~dir k);
+  (* truncated artifact: size disagrees with the meta => corrupt,
+     discarded, miss *)
+  Unix.truncate exe 10;
+  Alcotest.(check (option string)) "truncated entry misses" None
+    (Cache.lookup ~dir k);
+  Alcotest.(check int) "corrupt entry was removed" 0
+    (fst (Cache.stats dir));
+  (* the crash window leaves an exe without meta: also corrupt *)
+  let exe = store_bytes dir k 64 in
+  Sys.remove (Filename.concat dir (k ^ ".meta"));
+  Alcotest.(check (option string)) "meta-less entry misses" None
+    (Cache.lookup ~dir k);
+  Alcotest.(check bool) "meta-less exe was removed" false
+    (Sys.file_exists exe)
+
+let cache_lru_eviction () =
+  let dir = fresh_dir () in
+  let key i =
+    Cache.key ~cc:"cc" ~version:"v" ~flags:"-O" ~source:(string_of_int i)
+  in
+  let k1 = key 1 and k2 = key 2 and k3 = key 3 in
+  List.iter (fun k -> ignore (store_bytes dir k 1000)) [ k1; k2; k3 ];
+  (* each entry is ~1010 bytes (exe + meta line) *)
+  let set_age k age =
+    let t = Unix.gettimeofday () -. age in
+    Unix.utimes (Cache.exe_path ~dir k) t t
+  in
+  set_age k1 300.;
+  set_age k2 200.;
+  set_age k3 100.;
+  let n = Cache.evict ~max_bytes:2500 dir in
+  Alcotest.(check int) "one eviction reaches the bound" 1 n;
+  Alcotest.(check (option string)) "oldest entry went first" None
+    (Cache.lookup ~dir k1);
+  Alcotest.(check bool) "newer entries survive" true
+    (Cache.lookup ~dir k2 <> None && Cache.lookup ~dir k3 <> None);
+  (* that lookup of k2 touched it: k3 is now the LRU entry *)
+  set_age k3 100.;
+  ignore (Cache.lookup ~dir k2);
+  let n = Cache.evict ~max_bytes:1500 dir in
+  Alcotest.(check int) "one more eviction" 1 n;
+  Alcotest.(check (option string)) "untouched entry evicted" None
+    (Cache.lookup ~dir k3);
+  Alcotest.(check bool) "recently used entry survives" true
+    (Cache.lookup ~dir k2 <> None);
+  (* [keep] protects the entry just stored even past the bound *)
+  let n = Cache.evict ~max_bytes:0 ~keep:k2 dir in
+  Alcotest.(check int) "keep wins over the bound" 0 n;
+  Alcotest.(check bool) "kept entry still present" true
+    (Cache.lookup ~dir k2 <> None)
+
+(* ---- differential: compiled C vs the native executor ---- *)
+
+let differential_all_apps () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = fresh_dir () in
+    List.iter
+      (fun (app : App.t) ->
+        let plan, env, images = plan_for app.App.name in
+        let native = Rt.Executor.run plan env ~images in
+        let compiled, (_ : Backend.stats) =
+          Backend.run ~cache_dir:dir plan env ~images
+        in
+        List.iter
+          (fun ((f : Ast.func), (cb : Rt.Buffer.t)) ->
+            let nb = Rt.Executor.output_buffer native f in
+            let maxabs =
+              Array.fold_left
+                (fun a v -> Float.max a (Float.abs v))
+                0. nb.Rt.Buffer.data
+            in
+            (* store-rounding tolerance: both sides compute in f64,
+               but -O3 -march=native may contract into FMAs *)
+            let tol = 1e-6 *. (1. +. maxabs) in
+            let d = Rt.Buffer.max_abs_diff nb cb in
+            match f.Ast.ftyp with
+            | Types.Float | Types.Double ->
+              if not (d <= tol) then
+                Alcotest.failf "%s/%s: |native - c| = %g exceeds %g"
+                  app.App.name f.Ast.fname d tol
+            | Types.UChar | Types.Short | Types.Int ->
+              (* quantized store: an FMA-level difference landing on a
+                 rounding boundary legitimately moves the stored value
+                 by one quantum (camera_pipe's tone-curve LUT index is
+                 floor of a clamped float) — allow single-step flips on
+                 a small fraction of elements *)
+              if not (d <= 1. +. tol) then
+                Alcotest.failf
+                  "%s/%s: quantized outputs differ by %g (> 1 quantum)"
+                  app.App.name f.Ast.fname d;
+              let differing = ref 0 in
+              Array.iteri
+                (fun i v ->
+                  if v <> cb.Rt.Buffer.data.(i) then incr differing)
+                nb.Rt.Buffer.data;
+              let frac =
+                float_of_int !differing
+                /. float_of_int (max 1 (Array.length nb.Rt.Buffer.data))
+              in
+              if frac > 0.01 then
+                Alcotest.failf
+                  "%s/%s: %.1f%% of quantized elements differ"
+                  app.App.name f.Ast.fname (100. *. frac))
+          compiled.Rt.Executor.outputs)
+      (Apps.all ())
+  end
+
+(* ---- the acceptance criterion: warm cache, no compiler ---- *)
+
+let warm_cache_no_recompile () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = fresh_dir () in
+    let plan, env, images = plan_for "harris" in
+    let were_on = Metrics.enabled () in
+    Metrics.enable ();
+    Metrics.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.reset ();
+        if not were_on then Metrics.disable ())
+      (fun () ->
+        let _, st1 = Backend.run ~cache_dir:dir plan env ~images in
+        Alcotest.(check bool) "first run is a miss" false
+          st1.Backend.cache_hit;
+        Alcotest.(check int) "one cache miss" 1
+          (Metrics.get "backend/cache_miss");
+        Alcotest.(check bool) "compiler invoked on the miss" true
+          (Metrics.get "backend/compile_invocations" >= 1);
+        Alcotest.(check bool) "compile time recorded" true
+          (st1.Backend.compile_ms > 0.);
+        Metrics.reset ();
+        let _, st2 = Backend.run ~cache_dir:dir plan env ~images in
+        Alcotest.(check bool) "second run is a hit" true
+          st2.Backend.cache_hit;
+        Alcotest.(check int) "one cache hit" 1
+          (Metrics.get "backend/cache_hit");
+        Alcotest.(check int) "warm run performs no compiler invocation"
+          0
+          (Metrics.get "backend/compile_invocations");
+        Alcotest.check (Alcotest.float 1e-9) "no compile time on a hit"
+          0. st2.Backend.compile_ms)
+  end
+
+(* ---- cached artifact that will not execute ---- *)
+
+let broken_artifact_recovers () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = fresh_dir () in
+    let plan, env, images = plan_for "harris" in
+    (* plant a valid-looking cache entry under the exact key the
+       backend will compute: it runs but exits non-zero *)
+    let tc = Toolchain.get () in
+    let key =
+      Cache.key ~cc:tc.Toolchain.cc ~version:tc.Toolchain.version
+        ~flags:tc.Toolchain.flags
+        ~source:(Cgen.emit_raw_main plan)
+    in
+    ignore
+      (Cache.store ~dir ~key ~build:(fun p ->
+           let oc = open_out p in
+           output_string oc "#!/bin/sh\nexit 7\n";
+           close_out oc;
+           Unix.chmod p 0o755));
+    let compiled, st = Backend.run ~cache_dir:dir plan env ~images in
+    Alcotest.(check bool) "entry was invalidated and rebuilt" false
+      st.Backend.cache_hit;
+    Alcotest.(check bool) "rebuild paid a compile" true
+      (st.Backend.compile_ms > 0.);
+    let native = Rt.Executor.run plan env ~images in
+    List.iter
+      (fun ((f : Ast.func), cb) ->
+        let nb = Rt.Executor.output_buffer native f in
+        Alcotest.(check bool)
+          ("recovered output matches native: " ^ f.Ast.fname)
+          true
+          (Rt.Buffer.max_abs_diff nb cb <= 1e-6))
+      compiled.Rt.Executor.outputs
+  end
+
+(* ---- degradation ladder ---- *)
+
+let run_safe_degrades_to_native () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let tc = Toolchain.get () in
+    let plan, env, images = plan_for "harris" in
+    let (result, st), degr =
+      Fun.protect
+        ~finally:(fun () -> Unix.putenv "POLYMAGE_CC" tc.Toolchain.cc)
+        (fun () ->
+          Unix.putenv "POLYMAGE_CC" "/nonexistent/pm-no-such-cc";
+          Backend.run_safe ~cache_dir:(fresh_dir ()) plan env ~images)
+    in
+    Alcotest.(check bool) "no backend stats after fallback" true
+      (st = None);
+    (match degr with
+    | { Rt.Executor.rung = "c-backend"; error } :: _ ->
+      Alcotest.(check bool) "degradation carries the codegen error"
+        true
+        (error.Err.phase = Err.Codegen)
+    | _ -> Alcotest.fail "expected a c-backend degradation rung");
+    (* the fallback result is the native executor's, bit for bit *)
+    let native = Rt.Executor.run plan env ~images in
+    List.iter
+      (fun ((f : Ast.func), b) ->
+        Alcotest.(check bool)
+          ("fallback output matches native: " ^ f.Ast.fname)
+          true
+          (Rt.Buffer.equal (Rt.Executor.output_buffer native f) b))
+      result.Rt.Executor.outputs
+  end
+
+(* ---- suite ---- *)
+
+let suite =
+  ( "backend",
+    [
+      Alcotest.test_case "toolchain probe and POLYMAGE_CC override"
+        `Quick toolchain_probe_and_override;
+      Alcotest.test_case "raw blobs: roundtrip and validation" `Quick
+        rawio_roundtrip_and_validation;
+      Alcotest.test_case "cache: hit, truncation, torn store" `Quick
+        cache_hit_and_corruption;
+      Alcotest.test_case "cache: LRU eviction order and touch" `Quick
+        cache_lru_eviction;
+      Alcotest.test_case "differential: every app, C vs native" `Slow
+        differential_all_apps;
+      Alcotest.test_case "warm cache performs no compiler invocation"
+        `Quick warm_cache_no_recompile;
+      Alcotest.test_case "cached artifact that fails to run recovers"
+        `Quick broken_artifact_recovers;
+      Alcotest.test_case "run_safe degrades to the native executor"
+        `Quick run_safe_degrades_to_native;
+    ] )

@@ -1,13 +1,17 @@
 (* C back end: structural properties of the emitted code (paper
-   Fig. 7), gcc syntax acceptance for every app in both
+   Fig. 7), compiler syntax acceptance for every app in both
    configurations, and a full compile-run-compare round trip. *)
 open Polymage_ir
 module C = Polymage_compiler
 module Rt = Polymage_rt
 module Apps = Polymage_apps.Apps
 module Cgen = Polymage_codegen.Cgen
+module Toolchain = Polymage_backend.Toolchain
 
-let have_gcc = lazy (Sys.command "gcc --version > /dev/null 2>&1" = 0)
+(* Compiler discovery is shared with the compiled backend and the
+   bench harness: one probe, POLYMAGE_CC honored everywhere. *)
+let have_cc = lazy (Toolchain.available ())
+let cc () = (Toolchain.get ()).Toolchain.cc
 
 let contains hay needle =
   let lh = String.length hay and ln = String.length needle in
@@ -40,7 +44,7 @@ let structure () =
   Alcotest.(check bool) "base has no scratchpads" false (contains src_b "double S_")
 
 let syntax_all_apps () =
-  if not (Lazy.force have_gcc) then ()
+  if not (Lazy.force have_cc) then ()
   else
     List.iter
       (fun (app : Polymage_apps.App.t) ->
@@ -54,11 +58,12 @@ let syntax_all_apps () =
             close_out oc;
             let rc =
               Sys.command
-                (Printf.sprintf "gcc -fsyntax-only -std=c99 %s 2>/dev/null" tmp)
+                (Printf.sprintf "%s -fsyntax-only -std=c99 %s 2>/dev/null"
+                   (cc ()) tmp)
             in
             if rc <> 0 then
-              Alcotest.failf "%s: generated C rejected by gcc (source: %s)"
-                app.name tmp;
+              Alcotest.failf "%s: generated C rejected by %s (source: %s)"
+                app.name (cc ()) tmp;
             Sys.remove tmp)
           [
             C.Options.base ~estimates:app.small_env ();
@@ -69,7 +74,7 @@ let syntax_all_apps () =
 (* Differential round trip: same simple polynomial input on both
    back ends, checksums must agree to the last bit. *)
 let roundtrip name () =
-  if not (Lazy.force have_gcc) then ()
+  if not (Lazy.force have_cc) then ()
   else begin
     let app = Apps.find name in
     let env = app.small_env in
@@ -97,8 +102,11 @@ let roundtrip name () =
     output_string oc src;
     close_out oc;
     let exe = tmp ^ ".exe" in
-    let rc = Sys.command (Printf.sprintf "gcc -O1 -std=c99 -o %s %s -lm" exe tmp) in
-    Alcotest.(check int) "gcc compiles" 0 rc;
+    let rc =
+      Sys.command
+        (Printf.sprintf "%s -O1 -std=c99 -o %s %s -lm" (cc ()) exe tmp)
+    in
+    Alcotest.(check int) "cc compiles" 0 rc;
     let outf = tmp ^ ".out" in
     let rc = Sys.command (Printf.sprintf "%s > %s" exe outf) in
     Alcotest.(check int) "pipeline runs" 0 rc;
@@ -159,7 +167,7 @@ let suite =
     [
       Alcotest.test_case "Fig.7 structure" `Quick structure;
       Alcotest.test_case "parallelogram rejected" `Quick parallelogram_rejected;
-      Alcotest.test_case "gcc accepts all apps" `Slow syntax_all_apps;
+      Alcotest.test_case "cc accepts all apps" `Slow syntax_all_apps;
       Alcotest.test_case "roundtrip harris" `Slow (roundtrip "harris");
       Alcotest.test_case "roundtrip camera" `Slow (roundtrip "camera_pipe");
       Alcotest.test_case "roundtrip pyramid" `Slow (roundtrip "pyramid_blend");

@@ -18,4 +18,5 @@ let () =
       Test_fault.suite;
       Test_trace.suite;
       Test_report.suite;
+      Test_backend.suite;
     ]

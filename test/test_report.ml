@@ -405,6 +405,25 @@ let baseline_json_versions () =
         Alcotest.check (Alcotest.float 1e-9) "loaded cells carry no noise" 0.
           c.Regress.noise)
       b.Regress.cells);
+  (* schema v3 carries the backend and host metadata *)
+  (match
+     parse
+       {|{"schema_version": 3, "bench": "backend", "scale": 8,
+          "backend": "c",
+          "host": {"cores": 4, "workers": 2, "compiler": "cc 13.2"},
+          "apps": [{"name": "harris", "size": "800x800",
+                    "c_speedup_vs_native": 12.0}]}|}
+   with
+  | Error e -> Alcotest.failf "v3 baseline rejected: %s" e
+  | Ok b ->
+    Alcotest.(check int) "schema v3" 3 b.Regress.schema_version;
+    Alcotest.(check string) "backend recorded" "c" b.Regress.backend;
+    (match b.Regress.host with
+    | None -> Alcotest.fail "v3 host metadata dropped"
+    | Some h ->
+      Alcotest.(check int) "cores" 4 h.Regress.cores;
+      Alcotest.(check int) "workers" 2 h.Regress.workers;
+      Alcotest.(check string) "compiler" "cc 13.2" h.Regress.compiler));
   (* PR1-era files predate the field: they load as version 1 *)
   (match
      parse
@@ -424,6 +443,47 @@ let baseline_json_versions () =
       {|{"apps": [{"size": "96x72", "kernel_speedup_base": 1.5}]}|};
       {|[1, 2]|};
     ]
+
+(* Cross-backend comparisons are refused: compiled-binary and
+   interpreter times differ by orders of magnitude, so a gate across
+   them only measures the setup mistake. *)
+let baseline_backend_guard () =
+  let parse src =
+    match Trace.parse_json src with
+    | Error e -> Alcotest.failf "baseline does not parse: %s" e
+    | Ok j -> (
+      match Regress.of_json j with
+      | Error e -> Alcotest.failf "baseline rejected: %s" e
+      | Ok b -> b)
+  in
+  let v2 = parse baseline_v2 in
+  Alcotest.(check string) "pre-v3 files default to native" "native"
+    v2.Regress.backend;
+  (match Regress.check_backend v2 ~current:"native" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "same-backend comparison refused: %s" e);
+  (match Regress.check_backend v2 ~current:"c" with
+  | Ok () -> Alcotest.fail "cross-backend comparison accepted"
+  | Error e ->
+    Alcotest.(check bool) "error names both backends" true
+      (let has needle =
+         let lh = String.length e and ln = String.length needle in
+         let rec go i =
+           i + ln <= lh && (String.sub e i ln = needle || go (i + 1))
+         in
+         go 0
+       in
+       has "\"native\"" && has "\"c\""));
+  let v3 =
+    parse
+      {|{"schema_version": 3, "bench": "backend", "scale": 8,
+         "backend": "c",
+         "apps": [{"name": "harris", "size": "800x800",
+                   "c_speedup_vs_native": 12.0}]}|}
+  in
+  match Regress.check_backend v3 ~current:"c" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "c-vs-c comparison refused: %s" e
 
 let baseline_load_and_compare () =
   let file = Filename.temp_file "pm_baseline" ".json" in
@@ -492,6 +552,8 @@ let suite =
         gate_missing_and_degenerate;
       Alcotest.test_case "baseline JSON: v1/v2 and malformed" `Quick
         baseline_json_versions;
+      Alcotest.test_case "baseline backend guard" `Quick
+        baseline_backend_guard;
       Alcotest.test_case "baseline file: load and gate both ways" `Quick
         baseline_load_and_compare;
     ] )
