@@ -158,9 +158,11 @@ let best_c_config (app : App.t) env =
     Hashtbl.replace tuned key cfg;
     cfg
 
-(* Schema-v3 host metadata: core count, worker setting, compiler
-   identity, and which backend produced the numbers. *)
-let host_json ~backend ~workers =
+(* Schema-v4 host metadata: core count, worker setting, compiler
+   identity, which backend produced the numbers, and (v4) which
+   execution tier — readers of older files default the tier from the
+   backend. *)
+let host_json ~backend ~tier ~workers =
   let compiler =
     match Toolchain.lookup () with
     | Some (tc : Toolchain.t) -> tc.version
@@ -172,7 +174,8 @@ let host_json ~backend ~workers =
     workers
     (String.map (fun c -> if c = '"' then '\'' else c) compiler)
   |> fun host ->
-  Printf.sprintf "  \"backend\": \"%s\",\n  \"host\": %s,\n" backend host
+  Printf.sprintf "  \"backend\": \"%s\",\n  \"tier\": \"%s\",\n  \"host\": %s,\n"
+    backend tier host
 
 let stage_count (app : App.t) =
   Pipeline.n_stages (Pipeline.build ~outputs:app.outputs)

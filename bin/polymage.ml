@@ -11,6 +11,7 @@ module Cgen = Polymage_codegen.Cgen
 module Tune = Polymage_tune.Tune
 module Report = Polymage_report
 module Backend = Polymage_backend.Backend
+module Exec_tier = Polymage_backend.Exec_tier
 
 let app_arg =
   let parse s =
@@ -163,12 +164,18 @@ let fault_flag =
 let backend_flag =
   Arg.(
     value
-    & opt (enum [ ("native", Backend.Native); ("c", Backend.C) ]) Backend.Native
+    & opt
+        (enum
+           (List.map (fun t -> (Exec_tier.to_string t, t)) Exec_tier.all))
+        Exec_tier.Native
     & info [ "backend" ]
         ~doc:
-          "Execution backend: native (the OCaml executor) or c (generated C \
+          "Execution tier: native (the OCaml executor), c (generated C \
            compiled into the on-disk artifact cache and run as a \
-           subprocess)")
+           subprocess), c-dlopen (the same artifact cache, built as a \
+           shared object and called in-process through dlopen), or auto \
+           (serve immediately on the native executor while the shared \
+           object compiles in the background, then hot-swap)")
 
 let safe_flag =
   Arg.(
@@ -241,7 +248,7 @@ let run_cmd =
         res.outputs
     in
     (match backend with
-    | Backend.Native ->
+    | Exec_tier.Native ->
       let execute () =
         if not safe then Rt.Executor.run plan env ~images
         else begin
@@ -261,24 +268,54 @@ let run_cmd =
       Printf.printf "%s: %.2f ms (best of %d)\n" app.name (!best *. 1000.)
         repeats;
       print_outputs !res
-    | Backend.C ->
+    | Exec_tier.Auto ->
+      (* Tiered serving: every call is answered immediately on
+         whatever tier is ready, and the tier upgrades mid-stream
+         when the background compile lands. *)
+      let a = Exec_tier.auto_start plan in
+      let res = ref None in
+      let last = ref "" in
+      let serve i =
+        let (r, st), degradations, served =
+          Exec_tier.auto_run a env ~images
+        in
+        print_degradations degradations;
+        if served <> !last then begin
+          Printf.printf "  call %d served by %s (%s)\n" i served
+            (Exec_tier.auto_state a);
+          last := served
+        end;
+        res := Some (r, st)
+      in
+      for i = 1 to max 1 repeats do serve i done;
+      Exec_tier.auto_await a;
+      serve (max 1 repeats + 1);
+      (match !res with
+      | Some (r, st) ->
+        (match st with
+        | Some st ->
+          Printf.printf "%s: %.2f ms (last call, %s)\n" app.name st.exec_ms
+            !last
+        | None -> Printf.printf "%s: completed (%s)\n" app.name !last);
+        print_outputs r
+      | None -> ())
+    | (Exec_tier.C_subprocess | Exec_tier.C_dlopen) as tier ->
       let res, stats =
         if safe then begin
           let (res, stats), degradations =
-            Backend.run_safe ~repeats plan env ~images
+            Exec_tier.run_safe ~repeats tier plan env ~images
           in
           print_degradations degradations;
           (res, stats)
         end
-        else
-          let res, st = Backend.run ~repeats plan env ~images in
-          (res, Some st)
+        else Exec_tier.run ~repeats tier plan env ~images
       in
       (match stats with
       | Some st ->
-        Printf.printf "%s: %.2f ms (best of %d, compiled C, %s)\n" app.name
+        Printf.printf "%s: %.2f ms (best of %d, %s, %s)\n" app.name
           (Option.value ~default:st.exec_ms st.time_ms)
           repeats
+          (Exec_tier.to_string tier)
           (if st.cache_hit then "cache hit"
            else Printf.sprintf "compile %.0f ms" st.compile_ms)
       | None ->
@@ -313,18 +350,19 @@ let profile_cmd =
         pipe.Pipeline.images
     in
     let report =
-      match backend with
-      | Backend.Native -> Rt.Profile.run ~opts ~outputs:app.outputs ~env ~images
-      | Backend.C ->
-        let report, (stats : Backend.stats) =
-          Backend.profile ~opts ~outputs:app.outputs ~env ~images ()
-        in
-        Printf.printf "== compiled backend ==\n";
+      let report, stats =
+        Exec_tier.profile ~opts ~outputs:app.outputs ~env ~images backend
+      in
+      (match stats with
+      | None -> ()
+      | Some (stats : Backend.stats) ->
+        Printf.printf "== compiled backend (%s) ==\n"
+          (Exec_tier.to_string backend);
         Printf.printf "  %s\n" (Backend.describe ());
         Printf.printf "  compile %.1f ms (%s), exec %.1f ms\n" stats.compile_ms
           (if stats.cache_hit then "cache hit" else "cache miss")
-          stats.exec_ms;
-        report
+          stats.exec_ms);
+      report
     in
     Format.printf "%a" Rt.Profile.pp_report report;
     Format.printf "%a" Report.Attribution.pp
@@ -374,8 +412,8 @@ let explain_cmd =
       Printf.printf "wrote %s (%d bytes)\n" f (String.length text));
     (* Backend and cache status ride along on stdout (never into the
        JSON report, whose schema is golden-tested). *)
-    if backend = Backend.C && not json then
-      Printf.printf "%s\n" (Backend.describe ())
+    if backend <> Exec_tier.Native && not json then
+      Printf.printf "%s\n" (Exec_tier.describe backend)
   in
   Cmd.v
     (Cmd.info "explain"

@@ -50,7 +50,7 @@ val explore :
   ?workers:int ->
   ?repeats:int ->
   ?budget:float ->
-  ?backend:Polymage_backend.Backend.kind ->
+  ?backend:Polymage_backend.Exec_tier.t ->
   ?cache_dir:string ->
   outputs:Ast.func list ->
   env:Types.bindings ->
@@ -64,11 +64,13 @@ val explore :
     phases, since running domains cannot be interrupted).  [best]
     minimizes the parallel time over the [Timed] samples.
 
-    With [backend = C] (default [Native]) every candidate is compiled
-    through the artifact cache and timed with the binary's internal
-    best-of-[repeats] timer — the paper's §3.8 methodology of sweeping
-    real compiled configurations; compile time is recorded separately
-    in the sample.  A candidate whose compile fails becomes a [Failed]
+    With [backend = C_subprocess] or [C_dlopen] (default [Native])
+    every candidate is compiled through the artifact cache and timed
+    with the best-of-[repeats] steady-state timer — the paper's §3.8
+    methodology of sweeping real compiled configurations; compile time
+    is recorded separately in the sample.  [Auto] tunes as [C_dlopen]
+    (a sweep wants the in-process steady state, not the serving
+    policy).  A candidate whose compile fails becomes a [Failed]
     sample like any other crash.
     @raise Polymage_util.Err.Polymage_error (phase [Exec]) when every
     candidate failed. *)

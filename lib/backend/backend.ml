@@ -1,8 +1,11 @@
-(* The compiled-C execution backend: emit the plan's C with a raw-blob
-   main, compile it through the artifact cache, run it as a subprocess
-   and read the outputs back into buffers.  This is what turns the
-   paper's Fig. 10 methodology — every number is a compiled-binary
-   time — into a first-class backend behind [--backend c]. *)
+(* The compiled-C execution backend: emit the plan's C, compile it
+   through the artifact cache, and execute it — either as a subprocess
+   speaking raw blobs over temp files (the c-subprocess tier, PR 5's
+   backend), or in-process through dlopen of a shared object (the
+   c-dlopen tier), which eliminates process start-up and blob I/O from
+   every call.  This is what turns the paper's Fig. 10 methodology —
+   every number is a compiled-binary time — into first-class backends
+   behind [--backend c] and [--backend c-dlopen]. *)
 
 open Polymage_ir
 module Comp = Polymage_compiler
@@ -11,15 +14,6 @@ module Cgen = Polymage_codegen.Cgen
 module Err = Polymage_util.Err
 module Trace = Polymage_util.Trace
 module Metrics = Polymage_util.Metrics
-
-type kind = Native | C
-
-let kind_of_string = function
-  | "native" -> Some Native
-  | "c" -> Some C
-  | _ -> None
-
-let kind_to_string = function Native -> "native" | C -> "c"
 
 type stats = {
   cache_hit : bool;
@@ -30,104 +24,113 @@ type stats = {
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
-let first_lines ?(n = 4) path =
-  match open_in path with
-  | exception Sys_error _ -> ""
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let rec go k acc =
-          if k = 0 then acc
-          else
-            match input_line ic with
-            | l -> go (k - 1) (acc ^ (if acc = "" then "" else " | ") ^ l)
-            | exception End_of_file -> acc
-        in
-        go n "")
-
 (* ---- compile through the cache ---- *)
 
-let cc_build (tc : Toolchain.t) src exe =
+let cc_build (tc : Toolchain.t) ~flags src out =
   Metrics.bumpn "backend/compile_invocations";
   let csrc = Filename.temp_file "pm_backend" ".c" in
-  let log = csrc ^ ".log" in
   Fun.protect
-    ~finally:(fun () ->
-      remove_if_exists csrc;
-      remove_if_exists log)
+    ~finally:(fun () -> remove_if_exists csrc)
     (fun () ->
       let oc = open_out csrc in
       output_string oc src;
       close_out oc;
-      let cmd =
-        Printf.sprintf "%s %s -std=gnu99 -o %s %s -lm > %s 2>&1" tc.cc
-          tc.flags (Filename.quote exe) (Filename.quote csrc)
-          (Filename.quote log)
+      let r =
+        Proc.run tc.cc
+          (Toolchain.split_flags flags
+          @ [ "-std=gnu99"; "-o"; out; csrc; "-lm" ])
       in
-      let rc = Sys.command cmd in
-      if rc <> 0 then
-        Err.failf Err.Codegen "Backend: %s failed (exit %d): %s" tc.cc rc
-          (first_lines log))
+      if r.Proc.status <> 0 then
+        Err.failf Err.Codegen "Backend: %s failed (exit %d): %s" tc.cc
+          r.Proc.status
+          (Proc.first_lines (r.Proc.stderr ^ "\n" ^ r.Proc.stdout)))
 
-(* Compile the plan's raw-main C into a cached executable.  Returns
-   the exe path, compile wall time (0 on a hit), hit flag, and the
-   cache coordinates for later invalidation. *)
-let compile ?cache_dir (plan : Comp.Plan.t) =
+(* Compile the plan's C into a cached artifact of the given kind.
+   Returns the artifact path, compile wall time (0 on a hit), hit
+   flag, and the cache coordinates for later invalidation.  The two
+   kinds never share a key: they differ in both flags and source. *)
+let compile_kind ?cache_dir ~(kind : Cache.kind) (plan : Comp.Plan.t) =
   let tc = Toolchain.get () in
-  let src = Cgen.emit_raw_main plan in
+  let src, flags, entry =
+    match kind with
+    | Cache.Exe -> (Cgen.emit_raw_main plan, tc.flags, "main")
+    | Cache.So ->
+      (Cgen.emit_raw_entry plan, Toolchain.so_flags_exn tc,
+       Cgen.raw_entry_symbol)
+  in
   let dir =
     match cache_dir with Some d -> d | None -> Cache.default_dir ()
   in
   let key =
-    Cache.key ~cc:tc.cc ~version:tc.version ~flags:tc.flags ~source:src
+    Cache.key ~cc:tc.cc ~version:tc.version ~flags ~source:src
   in
-  match Cache.lookup ~dir key with
-  | Some exe ->
+  match Cache.lookup ~kind ~dir key with
+  | Some art ->
     Metrics.bumpn "backend/cache_hit";
-    (exe, 0., true, key, dir)
+    (art, 0., true, key, dir)
   | None ->
     Metrics.bumpn "backend/cache_miss";
     let t0 = Unix.gettimeofday () in
-    let exe =
+    let art =
       Trace.with_span ~cat:"backend" "backend.compile"
-        ~args:[ ("cc", tc.cc); ("flags", tc.flags) ]
-      @@ fun () -> Cache.store ~dir ~key ~build:(cc_build tc src)
+        ~args:
+          [
+            ("cc", tc.cc);
+            ("flags", flags);
+            ("kind", Cache.kind_to_string kind);
+          ]
+      @@ fun () ->
+      Cache.store ~kind ~entry ~dir ~key ~build:(cc_build tc ~flags src) ()
     in
     let ms = (Unix.gettimeofday () -. t0) *. 1000. in
     Metrics.addn "backend/compile_ms" (int_of_float ms);
-    (exe, ms, false, key, dir)
+    (art, ms, false, key, dir)
 
-(* ---- one subprocess execution ---- *)
+let compile ?cache_dir plan = compile_kind ?cache_dir ~kind:Cache.Exe plan
+let compile_so ?cache_dir plan = compile_kind ?cache_dir ~kind:Cache.So plan
 
-let parse_time_ms path =
-  match open_in path with
-  | exception Sys_error _ -> None
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let result = ref None in
-        (try
-           while true do
-             match String.split_on_char ' ' (input_line ic) with
-             | [ "TIME_MS"; v ] -> result := float_of_string_opt v
-             | _ -> ()
-           done
-         with End_of_file -> ());
-        !result)
+(* ---- shared plumbing ---- *)
+
+let image_buffer images (im : Ast.image) =
+  match
+    List.find_opt (fun ((i : Ast.image), _) -> i.iname = im.iname) images
+  with
+  | Some (_, b) -> b
+  | None -> Err.failf Err.Exec "Backend: missing input image %s" im.iname
+
+(* Results are keyed by the user's original output stages, like the
+   native executor's, and mirrored into the per-stage buffer array. *)
+let assemble_result (plan : Comp.Plan.t) out_bufs =
+  let pipe = plan.pipe in
+  let outputs =
+    List.map2
+      (fun (src_f : Ast.func) (_, b) -> (src_f, b))
+      plan.source_outputs out_bufs
+  in
+  let buffers = Array.make (Array.length pipe.stages) None in
+  List.iter
+    (fun ((out_f : Ast.func), b) ->
+      Array.iteri
+        (fun i (s : Ast.func) ->
+          if s.fname = out_f.fname then buffers.(i) <- Some b)
+        pipe.stages)
+    out_bufs;
+  { Rt.Executor.buffers; outputs }
+
+(* ---- one subprocess execution (the c-subprocess tier) ---- *)
+
+let parse_time_ms stdout =
+  List.fold_left
+    (fun acc line ->
+      match String.split_on_char ' ' line with
+      | [ "TIME_MS"; v ] -> float_of_string_opt v
+      | _ -> acc)
+    None
+    (String.split_on_char '\n' stdout)
 
 let exec_exe ~repeats (plan : Comp.Plan.t) env ~images exe =
   Trace.with_span ~cat:"backend" "backend.exec" @@ fun () ->
   let pipe = plan.pipe in
-  let buf_of (im : Ast.image) =
-    match
-      List.find_opt (fun ((i : Ast.image), _) -> i.iname = im.iname) images
-    with
-    | Some (_, b) -> b
-    | None ->
-      Err.failf Err.Exec "Backend: missing input image %s" im.iname
-  in
   let temps = ref [] in
   let fresh prefix =
     let p = Filename.temp_file prefix ".raw" in
@@ -141,14 +144,13 @@ let exec_exe ~repeats (plan : Comp.Plan.t) env ~images exe =
         List.map
           (fun (im : Ast.image) ->
             let p = fresh "pm_in" in
-            Rawio.write p (buf_of im);
+            Rawio.write p (image_buffer images im);
             p)
           pipe.images
       in
       let out_paths =
         List.map (fun (_ : Ast.func) -> fresh "pm_out") pipe.outputs
       in
-      let stdout_f = fresh "pm_stdout" and stderr_f = fresh "pm_stderr" in
       let argv =
         string_of_int repeats
         :: List.map
@@ -156,60 +158,148 @@ let exec_exe ~repeats (plan : Comp.Plan.t) env ~images exe =
              pipe.params
         @ in_paths @ out_paths
       in
-      let cmd =
-        Printf.sprintf "OMP_NUM_THREADS=%d %s %s > %s 2> %s"
-          plan.opts.workers (Filename.quote exe)
-          (String.concat " " (List.map Filename.quote argv))
-          (Filename.quote stdout_f) (Filename.quote stderr_f)
-      in
       let t0 = Unix.gettimeofday () in
-      let rc = Sys.command cmd in
-      let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-      if rc <> 0 then
-        Err.failf Err.Exec "Backend: compiled pipeline exited %d: %s" rc
-          (first_lines stderr_f);
-      Metrics.addn "backend/exec_ms" (int_of_float exec_ms);
-      let time_ms = if repeats > 0 then parse_time_ms stdout_f else None in
-      (* Read outputs back; results are keyed by the user's original
-         output stages, like the native executor's. *)
-      let outputs =
-        List.map2
-          (fun (src_f : Ast.func) ((out_f : Ast.func), path) ->
-            let lo, dims = Rt.Buffer.geometry_of_func out_f env in
-            (src_f, Rawio.read path ~lo ~dims))
-          plan.source_outputs
-          (List.combine pipe.outputs out_paths)
+      let r =
+        Proc.run
+          ~env_extra:
+            [ ("OMP_NUM_THREADS", string_of_int plan.opts.workers) ]
+          exe argv
       in
-      let buffers = Array.make (Array.length pipe.stages) None in
-      List.iter2
-        (fun ((out_f : Ast.func), _) (_, b) ->
-          Array.iteri
-            (fun i (s : Ast.func) ->
-              if s.fname = out_f.fname then buffers.(i) <- Some b)
-            pipe.stages)
-        (List.combine pipe.outputs out_paths)
-        outputs;
-      ({ Rt.Executor.buffers; outputs }, exec_ms, time_ms))
+      let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      if r.Proc.status <> 0 then
+        Err.failf Err.Exec "Backend: compiled pipeline exited %d: %s"
+          r.Proc.status
+          (Proc.first_lines r.Proc.stderr);
+      Metrics.addn "backend/exec_ms" (int_of_float exec_ms);
+      let time_ms =
+        if repeats > 0 then parse_time_ms r.Proc.stdout else None
+      in
+      let out_bufs =
+        List.map2
+          (fun (out_f : Ast.func) path ->
+            let lo, dims = Rt.Buffer.geometry_of_func out_f env in
+            (out_f, Rawio.read path ~lo ~dims))
+          pipe.outputs out_paths
+      in
+      (assemble_result plan out_bufs, exec_ms, time_ms))
+
+(* ---- one in-process execution (the c-dlopen tier) ---- *)
+
+let total_of dims = Array.fold_left ( * ) 1 dims
+
+let exec_dl ~repeats (plan : Comp.Plan.t) env ~images so =
+  Trace.with_span ~cat:"backend" "backend.exec_dl" @@ fun () ->
+  let pipe = plan.pipe in
+  let fn = Dlexec.get ~path:so ~symbol:Cgen.raw_entry_symbol in
+  let params =
+    let a =
+      Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout
+        (List.length pipe.params)
+    in
+    List.iteri
+      (fun i p -> a.{i} <- Int32.of_int (Types.bind_exn env p))
+      pipe.params;
+    a
+  in
+  (* The executor's buffers are plain OCaml float arrays on the GC
+     heap; the stubs release the runtime lock around the call, so the
+     boundary copies through off-heap Bigarrays.  The copies are
+     O(pixels) with no syscalls — the spawn and blob round-trip of the
+     subprocess tier are what this path removes. *)
+  let ins =
+    Array.of_list
+      (List.map
+         (fun (im : Ast.image) ->
+           let b = image_buffer images im in
+           let n = total_of b.Rt.Buffer.dims in
+           let a =
+             Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+           in
+           for i = 0 to n - 1 do
+             a.{i} <- b.Rt.Buffer.data.(i)
+           done;
+           a)
+         pipe.images)
+  in
+  let out_geoms =
+    List.map
+      (fun (f : Ast.func) -> (f, Rt.Buffer.geometry_of_func f env))
+      pipe.outputs
+  in
+  let outs =
+    Array.of_list
+      (List.map
+         (fun (_, (_, dims)) ->
+           Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+             (total_of dims))
+         out_geoms)
+  in
+  let totals =
+    let a =
+      Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout
+        (List.length out_geoms)
+    in
+    List.iteri
+      (fun i (_, (_, dims)) -> a.{i} <- Int64.of_int (total_of dims))
+      out_geoms;
+    a
+  in
+  let nthreads = plan.opts.workers in
+  let call () = Dlexec.call fn ~nthreads ~params ~ins ~outs ~totals in
+  let t0 = Unix.gettimeofday () in
+  let rc = call () in
+  let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  if rc <> 0 then
+    Err.failf Err.Exec
+      "Backend: artifact disagrees about output %d's element count \
+       (stale or mismatched shared object)"
+      (rc - 1);
+  Metrics.addn "backend/exec_ms" (int_of_float exec_ms);
+  let time_ms =
+    if repeats <= 0 then None
+    else begin
+      let best = ref infinity in
+      for _ = 1 to repeats do
+        let t0 = Unix.gettimeofday () in
+        ignore (call ());
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        if ms < !best then best := ms
+      done;
+      Some !best
+    end
+  in
+  let out_bufs =
+    List.map2
+      (fun (f, (lo, dims)) out ->
+        let b = Rt.Buffer.create_uninit ~lo ~dims in
+        let n = total_of dims in
+        for i = 0 to n - 1 do
+          b.Rt.Buffer.data.(i) <- out.{i}
+        done;
+        (f, b))
+      out_geoms (Array.to_list outs)
+  in
+  (assemble_result plan out_bufs, exec_ms, time_ms)
 
 (* ---- public entry points ---- *)
 
-let run ?cache_dir ?(repeats = 0) (plan : Comp.Plan.t) env ~images =
+(* Shared compile+exec driver: a cached artifact that will not run is
+   treated like any other corruption — drop the entry (and, for shared
+   objects, the stale in-memory image) and rebuild once. *)
+let run_with ~compile_art ~exec ?cache_dir ?(repeats = 0)
+    (plan : Comp.Plan.t) env ~images =
   Trace.with_span ~cat:"backend" "backend.run" @@ fun () ->
-  let exe, compile_ms, hit, key, dir = compile ?cache_dir plan in
-  let exec () = exec_exe ~repeats plan env ~images exe in
-  match exec () with
+  let art, compile_ms, hit, key, dir = compile_art ?cache_dir plan in
+  match exec ~repeats plan env ~images art with
   | result, exec_ms, time_ms ->
     (result, { cache_hit = hit; compile_ms; exec_ms; time_ms })
   | exception e when hit ->
-    (* A cached artifact that will not run is treated like any other
-       corruption: drop the entry and rebuild once. *)
     ignore e;
+    Dlexec.forget art;
     Cache.invalidate ~dir key;
     Metrics.bumpn "backend/cache_corrupt";
-    let exe, compile_ms2, _, _, _ = compile ?cache_dir plan in
-    let result, exec_ms, time_ms =
-      exec_exe ~repeats plan env ~images exe
-    in
+    let art, compile_ms2, _, _, _ = compile_art ?cache_dir plan in
+    let result, exec_ms, time_ms = exec ~repeats plan env ~images art in
     ( result,
       {
         cache_hit = false;
@@ -218,15 +308,24 @@ let run ?cache_dir ?(repeats = 0) (plan : Comp.Plan.t) env ~images =
         time_ms;
       } )
 
+let run ?cache_dir ?repeats plan env ~images =
+  run_with ~compile_art:compile ~exec:exec_exe ?cache_dir ?repeats plan env
+    ~images
+
+let run_dl ?cache_dir ?repeats plan env ~images =
+  run_with ~compile_art:compile_so ~exec:exec_dl ?cache_dir ?repeats plan
+    env ~images
+
 let run_safe ?cache_dir ?repeats ?pool (plan : Comp.Plan.t) env ~images =
   match run ?cache_dir ?repeats plan env ~images with
   | result, stats -> ((result, Some stats), [])
   | exception e ->
-    let d = { Rt.Executor.rung = "c-backend"; error = Err.of_exn e } in
+    let d = { Rt.Executor.rung = "c-subprocess"; error = Err.of_exn e } in
     let result, degr = Rt.Executor.run_safe ?pool plan env ~images in
     ((result, None), d :: degr)
 
-let profile ?cache_dir ~(opts : Comp.Options.t) ~outputs ~env ~images () =
+let profile ?cache_dir ?(use_dl = false) ~(opts : Comp.Options.t) ~outputs
+    ~env ~images () =
   let opts = Comp.Options.with_trace true opts in
   let metrics_were_on = Metrics.enabled () in
   Trace.reset ();
@@ -234,7 +333,10 @@ let profile ?cache_dir ~(opts : Comp.Options.t) ~outputs ~env ~images () =
   let (plan, result, stats), events =
     Trace.capture (fun () ->
         let plan = Comp.Compile.run opts ~outputs in
-        let result, stats = run ?cache_dir plan env ~images in
+        let result, stats =
+          if use_dl then run_dl ?cache_dir plan env ~images
+          else run ?cache_dir plan env ~images
+        in
         (plan, result, stats))
   in
   let counters = Metrics.snapshot () in

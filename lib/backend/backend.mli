@@ -1,37 +1,54 @@
-(** Compiled-C execution backend.
+(** Compiled-C execution backend: the c-subprocess and c-dlopen tiers.
 
-    Emits the plan's C translation unit with a raw-blob [main]
-    ({!Polymage_codegen.Cgen.emit_raw_main}), compiles it through the
-    size-bounded on-disk {!Cache} (key: compiler identity + flags +
-    source hash), executes it as a subprocess with
-    [OMP_NUM_THREADS = opts.workers], and reads every output blob back
-    into a {!Polymage_rt.Buffer.t} — the same {!Polymage_rt.Executor.result}
-    shape the native executor produces, so callers can diff them
+    Both tiers emit the plan's C translation unit and compile it
+    through the size-bounded on-disk {!Cache} (key: compiler identity
+    + flags + source hash); they differ in artifact kind and call
+    mechanics:
+
+    - {!run} (c-subprocess): a raw-blob [main]
+      ({!Polymage_codegen.Cgen.emit_raw_main}) executed as a child
+      process with [OMP_NUM_THREADS = opts.workers], inputs and
+      outputs crossing as [.raw] temp files;
+    - {!run_dl} (c-dlopen): a shared object exporting
+      [polymage_run] ({!Polymage_codegen.Cgen.emit_raw_entry}),
+      dlopened once per process ({!Dlexec}) and called in-process on
+      Bigarray-backed buffers — no spawn, no blob I/O.
+
+    Either way the caller gets the same {!Polymage_rt.Executor.result}
+    shape the native executor produces, so results can be diffed
     element-wise.
 
     Instrumented with [backend.*] {!Polymage_util.Trace} spans and the
     counters [backend/compile_ms], [backend/cache_hit],
     [backend/cache_miss], [backend/cache_corrupt],
     [backend/cache_evictions], [backend/compile_invocations],
-    [backend/exec_ms]. *)
+    [backend/exec_ms], [backend/subprocess_spawns], [backend/dl_loads],
+    [backend/dl_calls]. *)
 
 open Polymage_ir
 module Comp = Polymage_compiler
 module Rt = Polymage_rt
 
-type kind = Native | C
-
-val kind_of_string : string -> kind option
-val kind_to_string : kind -> string
-
 type stats = {
   cache_hit : bool;  (** artifact came from the cache *)
   compile_ms : float;  (** wall time spent compiling (0 on a hit) *)
-  exec_ms : float;  (** wall time of the subprocess run *)
+  exec_ms : float;  (** wall time of the first execution *)
   time_ms : float option;
-      (** the binary's own best-of-[repeats] pipeline time, when
-          [repeats > 0] — excludes process start-up and blob I/O *)
+      (** best-of-[repeats] steady-state pipeline time, when
+          [repeats > 0]: the subprocess binary's own [TIME_MS]
+          (excludes start-up and blob I/O) for {!run}; best
+          in-process call time for {!run_dl} *)
 }
+
+val compile : ?cache_dir:string -> Comp.Plan.t -> string * float * bool * string * string
+(** Compile (or fetch) the plan's raw-main executable:
+    [(path, compile_ms, cache_hit, key, dir)]. *)
+
+val compile_so : ?cache_dir:string -> Comp.Plan.t -> string * float * bool * string * string
+(** Compile (or fetch) the plan's shared-object artifact with the
+    toolchain's [-shared -fPIC] flag set.
+    @raise Polymage_util.Err.Polymage_error (phase [Codegen]) when the
+    compiler cannot build shared objects. *)
 
 val run :
   ?cache_dir:string ->
@@ -40,12 +57,29 @@ val run :
   Types.bindings ->
   images:(Ast.image * Rt.Buffer.t) list ->
   Rt.Executor.result * stats
-(** Compile (or fetch) and execute the plan.  A cached artifact that
-    fails to execute is invalidated and rebuilt once before the error
-    propagates.  @raise Polymage_util.Err.Polymage_error when no
-    compiler is available (phase [Codegen]), compilation fails, the
-    subprocess exits non-zero (phase [Exec]), or an output blob is
-    malformed (phase [IO]). *)
+(** Compile (or fetch) and execute the plan as a subprocess.  A cached
+    artifact that fails to execute is invalidated and rebuilt once
+    before the error propagates.
+    @raise Polymage_util.Err.Polymage_error when no compiler is
+    available (phase [Codegen]), compilation fails, the subprocess
+    exits non-zero (phase [Exec]), or an output blob is malformed
+    (phase [IO]). *)
+
+val run_dl :
+  ?cache_dir:string ->
+  ?repeats:int ->
+  Comp.Plan.t ->
+  Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  Rt.Executor.result * stats
+(** Compile (or fetch) the shared-object artifact and execute it
+    in-process.  A cached artifact that fails to load or run is
+    forgotten ({!Dlexec.forget}), invalidated and rebuilt once before
+    the error propagates.
+    @raise Polymage_util.Err.Polymage_error when no compiler is
+    available or it cannot build shared objects (phase [Codegen]),
+    compilation fails, or the object cannot be loaded/called (phase
+    [Exec]). *)
 
 val run_safe :
   ?cache_dir:string ->
@@ -56,12 +90,14 @@ val run_safe :
   images:(Ast.image * Rt.Buffer.t) list ->
   (Rt.Executor.result * stats option) * Rt.Executor.degradation list
 (** {!run} with the degradation ladder extended one rung above the
-    native executor's: a failing C backend (no compiler, compile
-    error, exec error) records a ["c-backend"] degradation and falls
-    back to {!Rt.Executor.run_safe} (stats become [None]). *)
+    native executor's: a failing subprocess backend (no compiler,
+    compile error, exec error) records a ["c-subprocess"] degradation
+    and falls back to {!Rt.Executor.run_safe} (stats become [None]).
+    The full three-tier ladder lives in {!Exec_tier.run_safe}. *)
 
 val profile :
   ?cache_dir:string ->
+  ?use_dl:bool ->
   opts:Comp.Options.t ->
   outputs:Ast.func list ->
   env:Types.bindings ->
@@ -70,8 +106,8 @@ val profile :
   Rt.Profile.report * stats
 (** Compile and run through the C backend under forced tracing +
     metrics — the compiled-backend counterpart of
-    {!Polymage_rt.Profile.run} ([wall_ms] is the subprocess wall
-    time). *)
+    {!Polymage_rt.Profile.run} ([wall_ms] is the first execution's
+    wall time).  [use_dl] selects the in-process tier. *)
 
 val describe : ?cache_dir:string -> unit -> string
 (** One line for [explain]/reports: compiler identity and cache

@@ -1,19 +1,37 @@
 (* On-disk artifact cache for compiled pipelines.
 
-   Layout: one <key>.exe + <key>.meta pair per artifact in a flat
-   directory, key = MD5 of (compiler identity, flags, emitted source).
-   The meta file records the executable's byte size: a missing,
-   unparseable or mismatching meta marks the entry corrupt (partial
-   store, torn write) and it is silently discarded — the contract is
-   "bad artifact => recompile, never crash".  Stores go through a
-   temporary name + rename so a concurrent reader only ever sees whole
-   files; the meta is written after the exe, so any crash window
-   leaves an exe without meta, which reads as corrupt.  Eviction is
-   LRU by mtime — lookups touch their entry — bounded by
+   Layout: one <key>.exe or <key>.so plus <key>.meta per artifact in a
+   flat directory, key = MD5 of (compiler identity, flags, emitted
+   source).  A key never names both kinds: the shared-object build
+   uses different flags and a different emitted entry point, so the
+   digests diverge by construction.  The meta file records the
+   artifact's byte size, kind, and exported entry symbol (meta format
+   2; format-1 files from before the shared-object tier carry only the
+   size and read back as kind=exe, entry=main — old entries stay
+   usable, they are not invalidated).  A missing, unparseable or
+   mismatching meta — or a meta whose kind disagrees with the artifact
+   suffix on disk — marks the entry corrupt (partial store, torn
+   write) and it is silently discarded: the contract is "bad artifact
+   => recompile, never crash/execute".  Stores go through a temporary
+   name + rename so a concurrent reader only ever sees whole files;
+   the meta is written after the artifact, so any crash window leaves
+   an artifact without meta, which reads as corrupt.  Eviction is LRU
+   by mtime over both kinds — lookups touch their entry — bounded by
    [POLYMAGE_CACHE_BYTES] (default 256 MiB). *)
 
 module Err = Polymage_util.Err
 module Metrics = Polymage_util.Metrics
+
+type kind = Exe | So
+
+let kind_to_string = function Exe -> "exe" | So -> "so"
+
+let kind_of_string = function
+  | "exe" -> Some Exe
+  | "so" -> Some So
+  | _ -> None
+
+let suffix_of_kind k = "." ^ kind_to_string k
 
 let default_max_bytes = 256 * 1024 * 1024
 
@@ -44,22 +62,47 @@ let key ~cc ~version ~flags ~source =
   Digest.to_hex
     (Digest.string (String.concat "\x00" [ cc; version; flags; source ]))
 
-let exe_path ~dir key = Filename.concat dir (key ^ ".exe")
+let artifact_path ~dir ~kind key = Filename.concat dir (key ^ suffix_of_kind kind)
+let exe_path ~dir key = artifact_path ~dir ~kind:Exe key
 let meta_path ~dir key = Filename.concat dir (key ^ ".meta")
 
-let read_meta_size path =
-  match open_in path with
+type meta = { m_size : int; m_kind : kind; m_entry : string }
+
+(* Meta format 2: "size N\nkind exe|so\nentry SYMBOL\n".  Format-1
+   files (PR 5) hold only the size line; they read back with the
+   defaults an executable artifact always had. *)
+let read_meta ~dir k =
+  match open_in (meta_path ~dir k) with
   | exception Sys_error _ -> None
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        match input_line ic with
-        | line -> (
-          match String.split_on_char ' ' line with
-          | [ "size"; n ] -> int_of_string_opt n
-          | _ -> None)
-        | exception End_of_file -> None)
+        let fields = Hashtbl.create 4 in
+        (try
+           while true do
+             let line = input_line ic in
+             match String.index_opt line ' ' with
+             | None -> ()
+             | Some i ->
+               Hashtbl.replace fields (String.sub line 0 i)
+                 (String.sub line (i + 1) (String.length line - i - 1))
+           done
+         with End_of_file -> ());
+        match
+          Option.bind (Hashtbl.find_opt fields "size") int_of_string_opt
+        with
+        | None -> None
+        | Some m_size ->
+          let m_kind =
+            match Hashtbl.find_opt fields "kind" with
+            | None -> Some Exe (* format 1 *)
+            | Some s -> kind_of_string s
+          in
+          let m_entry =
+            Option.value ~default:"main" (Hashtbl.find_opt fields "entry")
+          in
+          Option.map (fun m_kind -> { m_size; m_kind; m_entry }) m_kind)
 
 let file_size path =
   match Unix.stat path with
@@ -68,27 +111,39 @@ let file_size path =
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
+(* Kind-agnostic on purpose: invalidation is the corruption/recovery
+   path, where the artifact suffix on disk may disagree with the meta. *)
 let invalidate ~dir key =
-  remove_if_exists (exe_path ~dir key);
+  remove_if_exists (artifact_path ~dir ~kind:Exe key);
+  remove_if_exists (artifact_path ~dir ~kind:So key);
   remove_if_exists (meta_path ~dir key)
 
 let touch path =
   try Unix.utimes path 0. 0. (* both zero: set to now *)
   with Unix.Unix_error _ -> ()
 
-let lookup ~dir key =
-  let exe = exe_path ~dir key and meta = meta_path ~dir key in
-  match (file_size exe, read_meta_size meta) with
-  | Some got, Some want when got = want && got > 0 ->
-    touch exe;
-    touch meta;
-    Some exe
+let lookup ?(kind = Exe) ~dir key =
+  let art = artifact_path ~dir ~kind key in
+  match (file_size art, read_meta ~dir key) with
+  | Some got, Some m when m.m_kind = kind && got = m.m_size && got > 0 ->
+    touch art;
+    touch (meta_path ~dir key);
+    Some art
   | None, None -> None (* plain miss *)
+  | None, Some m when m.m_kind <> kind ->
+    (* the key exists as the other kind; not corrupt, just a miss for
+       this kind (cannot happen for content-hashed keys, but the cache
+       does not rely on that) *)
+    None
   | _ ->
-    (* partial or torn entry: discard, report a miss *)
+    (* partial or torn entry, or meta kind disagreeing with the
+       artifact on disk: discard, report a miss *)
     Metrics.bumpn "backend/cache_corrupt";
     invalidate ~dir key;
     None
+
+let entry_symbol ~dir key =
+  Option.map (fun m -> m.m_entry) (read_meta ~dir key)
 
 (* Atomic-ish write: temp name in the same directory, then rename. *)
 let write_file_atomic path content =
@@ -104,30 +159,39 @@ let entries dir =
   | names ->
     Array.to_list names
     |> List.filter_map (fun n ->
-           if Filename.check_suffix n ".exe" then
-             let k = Filename.chop_suffix n ".exe" in
-             let exe = exe_path ~dir k in
-             match Unix.stat exe with
+           let kinded =
+             if Filename.check_suffix n ".exe" then
+               Some (Filename.chop_suffix n ".exe", Exe)
+             else if Filename.check_suffix n ".so" then
+               Some (Filename.chop_suffix n ".so", So)
+             else None
+           in
+           match kinded with
+           | None -> None
+           | Some (k, kind) -> (
+             let art = artifact_path ~dir ~kind k in
+             match Unix.stat art with
              | { Unix.st_size; st_mtime; _ } ->
                let bytes =
                  st_size
                  + Option.value ~default:0 (file_size (meta_path ~dir k))
                in
-               Some (k, bytes, st_mtime)
-             | exception Unix.Unix_error _ -> None
-           else None)
+               Some (k, kind, bytes, st_mtime)
+             | exception Unix.Unix_error _ -> None))
 
 let evict ?max_bytes:limit ?keep dir =
   let limit = match limit with Some l -> l | None -> max_bytes () in
   let es =
-    List.sort (fun (_, _, a) (_, _, b) -> compare a b) (entries dir)
+    List.sort
+      (fun (_, _, _, a) (_, _, _, b) -> compare a b)
+      (entries dir)
   in
-  let total = List.fold_left (fun acc (_, b, _) -> acc + b) 0 es in
+  let total = List.fold_left (fun acc (_, _, b, _) -> acc + b) 0 es in
   let evicted = ref 0 in
   let rec go total = function
     | [] -> ()
     | _ when total <= limit -> ()
-    | (k, bytes, _) :: rest ->
+    | (k, _, bytes, _) :: rest ->
       if Some k = keep then go total rest
       else begin
         invalidate ~dir k;
@@ -139,12 +203,13 @@ let evict ?max_bytes:limit ?keep dir =
   go total es;
   !evicted
 
-let store ~dir ~key ~build =
+let store ?(kind = Exe) ?(entry = "main") ~dir ~key ~build () =
   mkdir_p dir;
-  let exe = exe_path ~dir key in
+  let art = artifact_path ~dir ~kind key in
   let tmp =
     Filename.concat dir
-      (Printf.sprintf ".build.%d.%s.exe" (Unix.getpid ()) key)
+      (Printf.sprintf ".build.%d.%s%s" (Unix.getpid ()) key
+         (suffix_of_kind kind))
   in
   Fun.protect
     ~finally:(fun () -> remove_if_exists tmp)
@@ -152,15 +217,16 @@ let store ~dir ~key ~build =
       build tmp;
       match file_size tmp with
       | None | Some 0 ->
-        Err.fail Err.Codegen ~stage:key
-          "Cache.store: build produced no executable"
+        Err.failf Err.Codegen ~stage:key
+          "Cache.store: build produced no %s artifact" (kind_to_string kind)
       | Some size ->
-        Sys.rename tmp exe;
+        Sys.rename tmp art;
         write_file_atomic (meta_path ~dir key)
-          (Printf.sprintf "size %d\n" size));
+          (Printf.sprintf "size %d\nkind %s\nentry %s\n" size
+             (kind_to_string kind) entry));
   ignore (evict ~keep:key dir);
-  exe
+  art
 
 let stats dir =
   let es = entries dir in
-  (List.length es, List.fold_left (fun acc (_, b, _) -> acc + b) 0 es)
+  (List.length es, List.fold_left (fun acc (_, _, b, _) -> acc + b) 0 es)

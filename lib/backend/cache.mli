@@ -1,13 +1,24 @@
-(** On-disk artifact cache for compiled pipeline executables.
+(** On-disk artifact cache for compiled pipeline artifacts.
 
-    Entries live as [<key>.exe] + [<key>.meta] pairs in a flat
-    directory ([POLYMAGE_CACHE_DIR], default
+    Entries live as [<key>.exe] or [<key>.so] plus [<key>.meta] in a
+    flat directory ([POLYMAGE_CACHE_DIR], default
     [$XDG_CACHE_HOME/polymage] or [~/.cache/polymage]).  The key is a
-    content hash of (compiler identity, flags, emitted source); the
-    meta records the executable size so torn or partial stores read as
-    corrupt and are recompiled, never executed.  Size-bounded LRU:
-    lookups touch their entry's mtime, stores evict oldest-first down
-    to [POLYMAGE_CACHE_BYTES] (default 256 MiB). *)
+    content hash of (compiler identity, flags, emitted source) — a key
+    never names both kinds, because the shared-object build differs in
+    both flags and emitted entry point.  The meta records the
+    artifact's size, kind, and exported entry symbol (format 2;
+    format-1 metas from before the shared-object tier read back as
+    executables, so old entries remain usable).  Torn or partial
+    stores — including a meta whose kind disagrees with the artifact
+    on disk — read as corrupt and are recompiled, never executed.
+    Size-bounded LRU over both kinds: lookups touch their entry's
+    mtime, stores evict oldest-first down to [POLYMAGE_CACHE_BYTES]
+    (default 256 MiB). *)
+
+type kind = Exe | So
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
 
 val default_dir : unit -> string
 val max_bytes : unit -> int
@@ -15,29 +26,45 @@ val max_bytes : unit -> int
 val key : cc:string -> version:string -> flags:string -> source:string -> string
 (** Content hash naming the artifact. *)
 
+val artifact_path : dir:string -> kind:kind -> string -> string
+
 val exe_path : dir:string -> string -> string
+(** [artifact_path ~kind:Exe]. *)
 
-val lookup : dir:string -> string -> string option
-(** Path to a valid cached executable for the key, touching its LRU
-    timestamp.  Corrupt entries (size mismatch against meta, missing
-    meta) are discarded and count as a miss
-    ([backend/cache_corrupt]). *)
+val lookup : ?kind:kind -> dir:string -> string -> string option
+(** Path to a valid cached artifact of the given kind (default
+    [Exe]) for the key, touching its LRU timestamp.  Corrupt entries
+    (size or kind mismatch against meta, missing meta) are discarded
+    and count as a miss ([backend/cache_corrupt]). *)
 
-val store : dir:string -> key:string -> build:(string -> unit) -> string
+val entry_symbol : dir:string -> string -> string option
+(** The entry symbol recorded in the key's meta ([main] for format-1
+    metas), when the meta is readable. *)
+
+val store :
+  ?kind:kind ->
+  ?entry:string ->
+  dir:string ->
+  key:string ->
+  build:(string -> unit) ->
+  unit ->
+  string
 (** [store ~dir ~key ~build] creates the cache directory, calls
-    [build tmp_path] to produce the executable, atomically installs it
-    under the key, writes the meta, evicts down to the size bound
-    (never the entry just stored) and returns the executable path.
+    [build tmp_path] to produce the artifact, atomically installs it
+    under the key with the given kind (default [Exe]) and entry
+    symbol, writes the meta, evicts down to the size bound (never the
+    entry just stored) and returns the artifact path.
     @raise Polymage_util.Err.Polymage_error when [build] raises or
     produces nothing. *)
 
 val invalidate : dir:string -> string -> unit
-(** Drop an entry (used when a cached artifact fails to execute). *)
+(** Drop an entry, whatever its kind (used when a cached artifact
+    fails to execute or load). *)
 
 val evict : ?max_bytes:int -> ?keep:string -> string -> int
-(** LRU-evict entries of the directory until total size fits the
-    bound; returns how many entries were removed.  Exposed for
-    tests. *)
+(** LRU-evict entries of the directory (both kinds) until total size
+    fits the bound; returns how many entries were removed.  Exposed
+    for tests. *)
 
 val stats : string -> int * int
 (** [(entry count, total bytes)] currently in the directory. *)

@@ -1,0 +1,81 @@
+(* In-process loading and invocation of compiled shared-object
+   artifacts (the c-dlopen tier's bottom half).
+
+   A path-keyed registry caches (dlopen handle, entry pointer) pairs.
+   The registry is not a convenience: dlopen of a path that is already
+   loaded returns the existing handle without re-reading the file, so
+   after the backend invalidates and rebuilds a cached artifact under
+   the same path, a naive re-open would keep executing the stale
+   image.  [forget] dlcloses and drops the registry entry; the backend
+   calls it before every invalidate+rebuild.
+
+   Buffers cross the boundary as Bigarrays (float64/c_layout): their
+   data lives off the OCaml heap, so the stubs can release the runtime
+   lock for the duration of the pipeline call.  The conversion from
+   the executor's [float array] buffers happens in the backend — this
+   module only speaks Bigarray. *)
+
+module Err = Polymage_util.Err
+module Metrics = Polymage_util.Metrics
+module Fault = Polymage_rt.Fault
+
+type f64s =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type i32s =
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type i64s =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external dl_open : string -> nativeint = "pm_dl_open"
+external dl_sym : nativeint -> string -> nativeint = "pm_dl_sym"
+external dl_close : nativeint -> unit = "pm_dl_close"
+
+external dl_call :
+  nativeint -> int -> i32s -> f64s array -> f64s array -> i64s -> int
+  = "pm_dl_call_byte" "pm_dl_call"
+
+(* Entry pointers stay valid exactly as long as their handle stays in
+   the registry; [forget] is the only dlclose site. *)
+type entry = { handle : nativeint; fn : nativeint }
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+let loaded path = Mutex.protect lock (fun () -> Hashtbl.mem registry path)
+
+let get ~path ~symbol =
+  Fault.hit "dlopen";
+  Mutex.protect lock @@ fun () ->
+  match Hashtbl.find_opt registry path with
+  | Some e -> e.fn
+  | None ->
+    let handle =
+      try dl_open path
+      with Failure msg ->
+        Err.failf Err.Exec ~stage:"dlopen" "Dlexec: cannot load %s: %s" path
+          msg
+    in
+    let fn =
+      try dl_sym handle symbol
+      with Failure msg ->
+        dl_close handle;
+        Err.failf Err.Exec ~stage:"dlsym" "Dlexec: no entry %s in %s: %s"
+          symbol path msg
+    in
+    Metrics.bumpn "backend/dl_loads";
+    Hashtbl.replace registry path { handle; fn };
+    fn
+
+let forget path =
+  Mutex.protect lock @@ fun () ->
+  match Hashtbl.find_opt registry path with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove registry path;
+    dl_close e.handle
+
+let call fn ~nthreads ~params ~ins ~outs ~totals =
+  Metrics.bumpn "backend/dl_calls";
+  dl_call fn nthreads params ins outs totals

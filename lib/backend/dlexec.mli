@@ -1,0 +1,47 @@
+(** In-process loading and invocation of shared-object artifacts —
+    the bottom half of the c-dlopen tier.
+
+    Keeps a path-keyed registry of open handles: dlopen of an
+    already-loaded path returns the stale image, so the backend must
+    {!forget} a path before invalidating and rebuilding the artifact
+    behind it.  Buffers cross the boundary as Bigarrays (data off the
+    OCaml heap), letting the stubs release the runtime lock for the
+    duration of the pipeline call. *)
+
+type f64s =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type i32s =
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type i64s =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val get : path:string -> symbol:string -> nativeint
+(** Entry pointer for [symbol] in the shared object at [path], loading
+    it on first use ([backend/dl_loads]).  The pointer stays valid
+    until {!forget}.  Fault site ["dlopen"].
+    @raise Polymage_util.Err.Polymage_error (phase [Exec]) when the
+    object cannot be loaded or lacks the symbol — the trigger for the
+    c-dlopen -> c-subprocess degradation. *)
+
+val forget : string -> unit
+(** dlclose the path's handle and drop it from the registry (no-op
+    when not loaded).  Must precede any invalidate+rebuild of the
+    artifact, or the rebuilt file would be shadowed by the stale
+    in-memory image. *)
+
+val loaded : string -> bool
+(** Whether the path currently has an open handle (for tests). *)
+
+val call :
+  nativeint ->
+  nthreads:int ->
+  params:i32s ->
+  ins:f64s array ->
+  outs:f64s array ->
+  totals:i64s ->
+  int
+(** Invoke a {!get}-obtained entry ([backend/dl_calls]): the exit
+    status of [polymage_run] — 0 on success, [k+1] when the artifact
+    disagrees with the caller about output [k]'s element count. *)

@@ -1,0 +1,147 @@
+(* The execution-tier interface: one dial — native OCaml executor,
+   compiled C as a subprocess, compiled C in-process via dlopen, or
+   [Auto], which serves immediately on whatever is ready while the
+   shared object compiles in a background domain and hot-swaps when it
+   lands.
+
+   The degradation ladder composes left to right:
+
+     c-dlopen -> c-subprocess -> native (opt+vec+kernels -> opt -> naive)
+
+   Each rung records a degradation and falls to the next; the caller
+   always gets a result (or the native executor's terminal error). *)
+
+module Comp = Polymage_compiler
+module Rt = Polymage_rt
+module Err = Polymage_util.Err
+
+type t = Native | C_subprocess | C_dlopen | Auto
+
+let to_string = function
+  | Native -> "native"
+  | C_subprocess -> "c"
+  | C_dlopen -> "c-dlopen"
+  | Auto -> "auto"
+
+let of_string = function
+  | "native" -> Some Native
+  | "c" | "c-subprocess" -> Some C_subprocess
+  | "c-dlopen" -> Some C_dlopen
+  | "auto" -> Some Auto
+  | _ -> None
+
+let all = [ Native; C_subprocess; C_dlopen; Auto ]
+
+(* ---- background compilation state for Auto ---- *)
+
+type auto_phase = Compiling | Ready | Failed of string
+
+type auto = {
+  plan : Comp.Plan.t;
+  cache_dir : string option;
+  state : auto_phase Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+let auto_start ?cache_dir (plan : Comp.Plan.t) =
+  (* Probe the toolchain on this domain first: the memo table is a
+     plain Hashtbl, so the background domain must only read it. *)
+  ignore (Toolchain.lookup ());
+  let state = Atomic.make Compiling in
+  let domain =
+    Domain.spawn (fun () ->
+        match Backend.compile_so ?cache_dir plan with
+        | _ -> Atomic.set state Ready
+        | exception e ->
+          Atomic.set state (Failed (Err.to_string (Err.of_exn e))))
+  in
+  { plan; cache_dir; state; domain = Some domain }
+
+let auto_state a =
+  match Atomic.get a.state with
+  | Compiling -> "compiling"
+  | Ready -> "ready"
+  | Failed m -> "failed: " ^ m
+
+let auto_await a =
+  match a.domain with
+  | None -> ()
+  | Some d ->
+    a.domain <- None;
+    Domain.join d
+
+(* ---- unified execution ---- *)
+
+let rec run_safe ?cache_dir ?repeats ?pool tier (plan : Comp.Plan.t) env
+    ~images =
+  match tier with
+  | Native ->
+    let result, degr = Rt.Executor.run_safe ?pool plan env ~images in
+    ((result, None), degr)
+  | C_subprocess -> Backend.run_safe ?cache_dir ?repeats ?pool plan env ~images
+  | C_dlopen -> (
+    match Backend.run_dl ?cache_dir ?repeats plan env ~images with
+    | result, st -> ((result, Some st), [])
+    | exception e ->
+      let d = { Rt.Executor.rung = "c-dlopen"; error = Err.of_exn e } in
+      let result, degr =
+        run_safe ?cache_dir ?repeats ?pool C_subprocess plan env ~images
+      in
+      (result, d :: degr))
+  | Auto ->
+    (* One-shot Auto: serve on whatever is ready, then join the
+       compile domain so no background work outlives the call.  The
+       hot-swap loop (serve repeatedly, swap mid-stream) uses the
+       explicit {!auto_start}/{!auto_run} API. *)
+    let a = auto_start ?cache_dir plan in
+    let result, degr, _served = auto_run ?repeats ?pool a env ~images in
+    auto_await a;
+    (result, degr)
+
+and auto_run ?repeats ?pool a env ~images =
+  match Atomic.get a.state with
+  | Ready ->
+    let result, degr =
+      run_safe ?cache_dir:a.cache_dir ?repeats ?pool C_dlopen a.plan env
+        ~images
+    in
+    (result, degr, "c-dlopen")
+  | Compiling | Failed _ ->
+    (* Not ready (or sticky failure: the compile will not be retried)
+       — serve on the native executor. *)
+    let result, degr =
+      run_safe ?cache_dir:a.cache_dir ?repeats ?pool Native a.plan env
+        ~images
+    in
+    (result, degr, "native")
+
+let run ?cache_dir ?repeats tier (plan : Comp.Plan.t) env ~images =
+  match tier with
+  | Native -> (Rt.Executor.run plan env ~images, None)
+  | C_subprocess ->
+    let r, st = Backend.run ?cache_dir ?repeats plan env ~images in
+    (r, Some st)
+  | C_dlopen ->
+    let r, st = Backend.run_dl ?cache_dir ?repeats plan env ~images in
+    (r, Some st)
+  | Auto ->
+    let a = auto_start ?cache_dir plan in
+    auto_await a;
+    let r, st = Backend.run_dl ?cache_dir:a.cache_dir ?repeats a.plan env ~images in
+    (r, Some st)
+
+let profile ?cache_dir ~opts ~outputs ~env ~images tier =
+  match tier with
+  | Native -> (Rt.Profile.run ~opts ~outputs ~env ~images, None)
+  | C_subprocess ->
+    let r, st = Backend.profile ?cache_dir ~opts ~outputs ~env ~images () in
+    (r, Some st)
+  | C_dlopen | Auto ->
+    let r, st =
+      Backend.profile ?cache_dir ~use_dl:true ~opts ~outputs ~env ~images ()
+    in
+    (r, Some st)
+
+let describe = function
+  | Native -> "backend native: the OCaml executor"
+  | C_subprocess | C_dlopen | Auto -> Backend.describe ()

@@ -1,0 +1,102 @@
+(** The execution-tier interface: every consumer of "run this plan" —
+    CLI, tuner, benchmarks, tests — goes through one dial.
+
+    Tiers: [Native] (the OCaml executor), [C_subprocess] (compiled C
+    run as a child process, {!Backend.run}), [C_dlopen] (compiled C
+    called in-process through dlopen, {!Backend.run_dl}), and [Auto]
+    (serve immediately on whatever is ready while the shared object
+    compiles in a background domain, hot-swapping when it lands).
+
+    The degradation ladder composes left to right:
+    c-dlopen -> c-subprocess -> native (opt+vec+kernels -> opt ->
+    naive); each rung records a degradation and falls to the next. *)
+
+open Polymage_ir
+module Comp = Polymage_compiler
+module Rt = Polymage_rt
+
+type t = Native | C_subprocess | C_dlopen | Auto
+
+val to_string : t -> string
+(** ["native"], ["c"], ["c-dlopen"], ["auto"] — the CLI spellings. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; also accepts ["c-subprocess"] for ["c"]. *)
+
+val all : t list
+
+val run :
+  ?cache_dir:string ->
+  ?repeats:int ->
+  t ->
+  Comp.Plan.t ->
+  Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  Rt.Executor.result * Backend.stats option
+(** Execute on exactly the given tier (no ladder); [Auto] waits for
+    the background compile and runs on [C_dlopen].  Stats are [None]
+    only for [Native].  @raise Polymage_util.Err.Polymage_error as the
+    tier's runner does. *)
+
+val run_safe :
+  ?cache_dir:string ->
+  ?repeats:int ->
+  ?pool:Rt.Pool.t ->
+  t ->
+  Comp.Plan.t ->
+  Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  (Rt.Executor.result * Backend.stats option) * Rt.Executor.degradation list
+(** Execute with the full degradation ladder from the given tier down.
+    Rung names in recorded degradations: ["c-dlopen"],
+    ["c-subprocess"], then the native executor's.  [Auto] serves
+    one-shot on whatever is ready and joins the compile domain before
+    returning — the hot-swap loop uses {!auto_start}/{!auto_run}. *)
+
+(** {1 Tiered execution with hot-swap}
+
+    [auto_start] kicks off the shared-object compile in a background
+    domain and returns immediately; [auto_run] serves each request on
+    the best tier currently available — the native executor while the
+    compile is in flight (or after it failed: the failure is sticky,
+    the compile is not retried), the in-process artifact once it is
+    ready.  The swap is atomic per call: a request sees entirely one
+    tier or the other, never a mixture. *)
+
+type auto
+
+val auto_start : ?cache_dir:string -> Comp.Plan.t -> auto
+
+val auto_run :
+  ?repeats:int ->
+  ?pool:Rt.Pool.t ->
+  auto ->
+  Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  (Rt.Executor.result * Backend.stats option)
+  * Rt.Executor.degradation list
+  * string
+(** Serve one request; the third component names the tier that served
+    it (["c-dlopen"] or ["native"]). *)
+
+val auto_await : auto -> unit
+(** Block until the background compile finishes and join its domain
+    (idempotent).  Call before process exit or before asserting on
+    {!auto_state}. *)
+
+val auto_state : auto -> string
+(** ["compiling"], ["ready"], or ["failed: <why>"]. *)
+
+val profile :
+  ?cache_dir:string ->
+  opts:Comp.Options.t ->
+  outputs:Ast.func list ->
+  env:Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  t ->
+  Rt.Profile.report * Backend.stats option
+(** Tier-dispatched profiling: {!Rt.Profile.run} for [Native],
+    {!Backend.profile} otherwise ([Auto] profiles the dlopen tier). *)
+
+val describe : t -> string
+(** One line for [explain]/reports. *)

@@ -1,0 +1,87 @@
+/* dlopen/dlsym/dlclose/call stubs for the in-process shared-object
+ * tier.  Handles and function pointers cross into OCaml as boxed
+ * nativeints; buffers cross as Bigarrays, whose data lives outside the
+ * OCaml heap and never moves — that is what makes it safe to release
+ * the runtime lock for the duration of the pipeline call, so OpenMP
+ * worker threads and other domains proceed while the kernel runs.
+ * Every value needed by the call is copied into C locals before the
+ * release.
+ */
+
+#include <dlfcn.h>
+#include <stdint.h>
+
+#include <caml/alloc.h>
+#include <caml/bigarray.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/signals.h>
+
+/* Must match Cgen.emit_raw_entry. */
+typedef int (*pm_entry_fn)(int nthreads, const int32_t *params,
+                           const double *const *ins, double *const *outs,
+                           const int64_t *out_totals);
+
+CAMLprim value pm_dl_open(value vpath)
+{
+  CAMLparam1(vpath);
+  void *h = dlopen(String_val(vpath), RTLD_NOW | RTLD_LOCAL);
+  if (!h) {
+    const char *e = dlerror();
+    caml_failwith(e ? e : "dlopen failed");
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)h));
+}
+
+CAMLprim value pm_dl_sym(value vh, value vname)
+{
+  CAMLparam2(vh, vname);
+  dlerror(); /* clear: NULL is a legal symbol value */
+  void *fn = dlsym((void *)Nativeint_val(vh), String_val(vname));
+  const char *e = dlerror();
+  if (e) caml_failwith(e);
+  if (!fn) caml_failwith("dlsym returned NULL");
+  CAMLreturn(caml_copy_nativeint((intnat)fn));
+}
+
+CAMLprim value pm_dl_close(value vh)
+{
+  CAMLparam1(vh);
+  dlclose((void *)Nativeint_val(vh));
+  CAMLreturn(Val_unit);
+}
+
+#define PM_MAX_BUFS 64
+
+CAMLprim value pm_dl_call(value vfn, value vnthreads, value vparams,
+                          value vins, value vouts, value vtotals)
+{
+  CAMLparam5(vfn, vnthreads, vparams, vins, vouts);
+  CAMLxparam1(vtotals);
+  pm_entry_fn fn = (pm_entry_fn)Nativeint_val(vfn);
+  int nthreads = Int_val(vnthreads);
+  mlsize_t nin = Wosize_val(vins);
+  mlsize_t nout = Wosize_val(vouts);
+  if (nin > PM_MAX_BUFS || nout > PM_MAX_BUFS)
+    caml_invalid_argument("pm_dl_call: too many buffers");
+  const int32_t *params = (const int32_t *)Caml_ba_data_val(vparams);
+  const int64_t *totals = (const int64_t *)Caml_ba_data_val(vtotals);
+  const double *ins[PM_MAX_BUFS];
+  double *outs[PM_MAX_BUFS];
+  for (mlsize_t i = 0; i < nin; i++)
+    ins[i] = (const double *)Caml_ba_data_val(Field(vins, i));
+  for (mlsize_t i = 0; i < nout; i++)
+    outs[i] = (double *)Caml_ba_data_val(Field(vouts, i));
+  int rc;
+  caml_enter_blocking_section();
+  rc = fn(nthreads, params, ins, outs, totals);
+  caml_leave_blocking_section();
+  CAMLreturn(Val_int(rc));
+}
+
+CAMLprim value pm_dl_call_byte(value *argv, int argn)
+{
+  (void)argn;
+  return pm_dl_call(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5]);
+}

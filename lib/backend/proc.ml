@@ -1,0 +1,111 @@
+(* Argv-style subprocess execution for the backend: every child the
+   backend ever spawns (compiler invocations, compiled-artifact runs,
+   toolchain probes) goes through [run], which execs the program
+   directly — no shell, so paths with spaces or metacharacters are
+   passed verbatim — and captures stdout/stderr into temp files read
+   back after the wait.  Files instead of pipes: compiler diagnostics
+   can exceed a pipe buffer, and a full pipe with nobody draining it
+   deadlocks the child.  Captures are capped so a runaway child cannot
+   balloon the parent.
+
+   Every spawn bumps [backend/subprocess_spawns]; the warm-path tests
+   assert the counter stays at zero for in-process execution. *)
+
+module Metrics = Polymage_util.Metrics
+
+type result = {
+  status : int;  (* exit code; 128+signal when killed by a signal *)
+  stdout : string;  (* captured stdout, capped at [capture_limit] *)
+  stderr : string;  (* captured stderr, capped at [capture_limit] *)
+}
+
+let capture_limit = 65536
+
+let read_capped path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = min (in_channel_length ic) capture_limit in
+        really_input_string ic n)
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+(* Extra bindings shadow the inherited environment: libc getenv returns
+   the first match in environ, so stale duplicates must be dropped, not
+   merely appended after. *)
+let env_with extra =
+  let keys = List.map fst extra in
+  let inherited =
+    Array.to_list (Unix.environment ())
+    |> List.filter (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> true
+           | Some i -> not (List.mem (String.sub kv 0 i) keys))
+  in
+  Array.of_list
+    (List.map (fun (k, v) -> k ^ "=" ^ v) extra @ inherited)
+
+let run ?(env_extra = []) prog args =
+  Metrics.bumpn "backend/subprocess_spawns";
+  let out_f = Filename.temp_file "pm_proc" ".out" in
+  let err_f = Filename.temp_file "pm_proc" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      remove_if_exists out_f;
+      remove_if_exists err_f)
+    (fun () ->
+      let status =
+        match
+          let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+          let out_fd =
+            Unix.openfile out_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+          in
+          let err_fd =
+            Unix.openfile err_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Unix.close devnull;
+              Unix.close out_fd;
+              Unix.close err_fd)
+            (fun () ->
+              Unix.create_process_env prog
+                (Array.of_list (prog :: args))
+                (env_with env_extra) devnull out_fd err_fd)
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+          (* exec failure (missing program, permission): report like a
+             shell would, with the reason where stderr goes *)
+          let oc = open_out err_f in
+          Printf.fprintf oc "%s: %s\n" prog (Unix.error_message e);
+          close_out oc;
+          127
+        | pid -> (
+          match snd (Unix.waitpid [] pid) with
+          | Unix.WEXITED n -> n
+          | Unix.WSIGNALED s | Unix.WSTOPPED s -> 128 + s)
+      in
+      { status; stdout = read_capped out_f; stderr = read_capped err_f })
+
+(* First line of a program's stdout (toolchain version probes). *)
+let first_line ?env_extra prog args =
+  match run ?env_extra prog args with
+  | { status = 0; stdout; _ } -> (
+    match String.index_opt stdout '\n' with
+    | Some i -> Some (String.sub stdout 0 i)
+    | None -> if stdout = "" then None else Some stdout)
+  | _ -> None
+
+(* Collapse a capture into a short single-line detail for Err
+   messages: first [n] lines, joined with " | ". *)
+let first_lines ?(n = 4) s =
+  let lines = String.split_on_char '\n' s in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | l :: rest -> if String.trim l = "" then take k rest else l :: take (k - 1) rest
+  in
+  String.concat " | " (take n lines)

@@ -1,0 +1,30 @@
+(** Argv-style subprocess execution (no shell) with captured output.
+
+    The backend's compiler invocations, artifact executions and
+    toolchain probes all go through {!run}: the program is exec'd
+    directly with its argv, so paths containing spaces or shell
+    metacharacters need no quoting, and stdout/stderr are captured
+    (capped at 64 KiB each) for structured error reporting instead of
+    leaking to the terminal.  Every spawn bumps the
+    [backend/subprocess_spawns] counter — the in-process execution
+    tier's tests assert it stays at zero on the warm path. *)
+
+type result = {
+  status : int;  (** exit code; 128+signal when killed by a signal *)
+  stdout : string;
+  stderr : string;
+}
+
+val run : ?env_extra:(string * string) list -> string -> string list -> result
+(** [run prog args] executes [prog] with [args] (argv, not a shell
+    string).  [env_extra] bindings shadow the inherited environment.
+    A failure to exec (missing program) reports status 127 with the
+    reason in [stderr]; never raises. *)
+
+val first_line :
+  ?env_extra:(string * string) list -> string -> string list -> string option
+(** First stdout line of a successful run, [None] otherwise. *)
+
+val first_lines : ?n:int -> string -> string
+(** Collapse a capture into at most [n] non-blank lines joined with
+    [" | "] — the shape Err details expect. *)

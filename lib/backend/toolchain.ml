@@ -1,7 +1,15 @@
 (* C-compiler discovery, shared by the compiled backend, the benchmark
    harness and the codegen tests.  One probe per [POLYMAGE_CC] value
-   per process: compiler discovery shells out a handful of times, and
-   every caller (tests especially) asks repeatedly. *)
+   per process: compiler discovery spawns a handful of processes, and
+   every caller (tests especially) asks repeatedly.
+
+   Probes exec the compiler directly through [Proc] (argv, no shell).
+   The flag ladder is probed twice: once for executables
+   (-O3 -march=native -fopenmp, then without OpenMP, then -O1) and —
+   on the accepted flag set — once more with [-shared -fPIC] for the
+   in-process shared-object tier; a compiler that cannot produce
+   shared objects leaves [so_flags = None] and the dlopen tier
+   degrades to the subprocess tier. *)
 
 module Err = Polymage_util.Err
 
@@ -10,46 +18,54 @@ type t = {
   version : string;  (* first line of `cc --version` *)
   flags : string;  (* best flag set the compiler accepted *)
   has_openmp : bool;
+  so_flags : string option;
+      (* [flags] + "-shared -fPIC" when the compiler can build shared
+         objects; None disables the in-process tier *)
 }
 
 let opt_flags = "-O3 -march=native -fopenmp"
 let opt_flags_no_omp = "-O3 -march=native"
 let fallback_flags = "-O1"
+let shared_extra = "-shared -fPIC"
 
-let first_line_of_command cmd =
-  let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
-  let line = try Some (input_line ic) with End_of_file -> None in
-  match Unix.close_process_in ic with
-  | Unix.WEXITED 0 -> line
-  | _ -> None
+(* Flag strings are kept as single strings (they are part of the cache
+   key) and split on whitespace at the exec boundary. *)
+let split_flags flags =
+  String.split_on_char ' ' flags |> List.filter (fun s -> s <> "")
 
-(* Can [cc flags] turn a trivial translation unit into an executable? *)
+(* Can [cc flags] turn a trivial translation unit into an artifact? *)
 let probe_flags cc flags =
   let src = Filename.temp_file "pm_probe" ".c" in
-  let exe = src ^ ".exe" in
+  let out = src ^ ".out" in
   Fun.protect
     ~finally:(fun () ->
       (try Sys.remove src with Sys_error _ -> ());
-      try Sys.remove exe with Sys_error _ -> ())
+      try Sys.remove out with Sys_error _ -> ())
     (fun () ->
       let oc = open_out src in
-      output_string oc "int main(void) { return 0; }\n";
+      output_string oc
+        "int pm_probe(void) { return 0; }\nint main(void) { return 0; }\n";
       close_out oc;
-      Sys.command
-        (Printf.sprintf "%s %s -o %s %s > /dev/null 2>&1" cc flags
-           (Filename.quote exe) (Filename.quote src))
-      = 0)
+      (Proc.run cc (split_flags flags @ [ "-o"; out; src ])).Proc.status = 0)
 
 let probe cc =
-  match first_line_of_command (cc ^ " --version") with
+  match Proc.first_line cc [ "--version" ] with
   | None -> None
   | Some version ->
-    if probe_flags cc opt_flags then
-      Some { cc; version; flags = opt_flags; has_openmp = true }
-    else if probe_flags cc opt_flags_no_omp then
-      Some { cc; version; flags = opt_flags_no_omp; has_openmp = false }
-    else if probe_flags cc fallback_flags then
-      Some { cc; version; flags = fallback_flags; has_openmp = false }
+    let mk flags has_openmp =
+      let so = flags ^ " " ^ shared_extra in
+      Some
+        {
+          cc;
+          version;
+          flags;
+          has_openmp;
+          so_flags = (if probe_flags cc so then Some so else None);
+        }
+    in
+    if probe_flags cc opt_flags then mk opt_flags true
+    else if probe_flags cc opt_flags_no_omp then mk opt_flags_no_omp false
+    else if probe_flags cc fallback_flags then mk fallback_flags false
     else None
 
 (* Memoized per POLYMAGE_CC value, so a test can point the variable at
@@ -89,9 +105,18 @@ let get () =
           cc
       | None -> "Toolchain: no working C compiler (tried cc, gcc, clang)")
 
+let so_flags_exn (t : t) =
+  match t.so_flags with
+  | Some f -> f
+  | None ->
+    Err.failf Err.Codegen
+      "Toolchain: %s cannot build shared objects (%s rejected)" t.cc
+      shared_extra
+
 let describe () =
   match lookup () with
   | None -> "no C compiler available"
   | Some t ->
-    Printf.sprintf "%s (%s)%s" t.cc t.version
+    Printf.sprintf "%s (%s)%s%s" t.cc t.version
       (if t.has_openmp then " +openmp" else " -openmp")
+      (if t.so_flags <> None then " +shared" else " -shared")

@@ -6,14 +6,19 @@
     degradation ladder); otherwise [cc], [gcc], [clang] are tried in
     order.  Each candidate is probed for the best working flag set:
     [-O3 -march=native -fopenmp], then without OpenMP, then a bare
-    [-O1] fallback.  Results are memoized per [POLYMAGE_CC] value for
-    the process. *)
+    [-O1] fallback — and the accepted set is probed once more with
+    [-shared -fPIC] for the in-process shared-object tier.  Results
+    are memoized per [POLYMAGE_CC] value for the process.  Probes exec
+    the compiler directly ({!Proc}), never through a shell. *)
 
 type t = {
   cc : string;  (** compiler command *)
   version : string;  (** first line of [cc --version] *)
   flags : string;  (** best flag set the compiler accepted *)
   has_openmp : bool;
+  so_flags : string option;
+      (** [flags] + ["-shared -fPIC"] when the compiler can build
+          shared objects; [None] disables the c-dlopen tier *)
 }
 
 val lookup : unit -> t option
@@ -24,5 +29,17 @@ val get : unit -> t
     usable compiler exists — the trigger for [run_safe] degradation
     to the native executor. *)
 
+val so_flags_exn : t -> string
+(** The shared-object flag set.
+    @raise Polymage_util.Err.Polymage_error (phase [Codegen]) when the
+    compiler cannot build shared objects — the trigger for the
+    c-dlopen -> c-subprocess degradation. *)
+
+val split_flags : string -> string list
+(** Split a flag string on whitespace for argv execution; flag strings
+    stay whole everywhere else because they are part of the artifact
+    cache key. *)
+
 val describe : unit -> string
-(** One line for reports: command, version, OpenMP availability. *)
+(** One line for reports: command, version, OpenMP and shared-object
+    availability. *)

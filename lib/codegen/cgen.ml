@@ -1009,3 +1009,94 @@ let emit_raw_main ?name (plan : C.Plan.t) =
   pop ctx;
   line ctx "}";
   base ^ "\n" ^ Buffer.contents ctx.b
+
+(* ---------- shared-object entry point (the c-dlopen tier) ---------- *)
+
+let raw_entry_symbol = "polymage_run"
+
+(* The in-process ABI, compiled with -shared -fPIC and called through
+   dlsym:
+
+     int polymage_run(int nthreads, const int32_t* params,
+                      const double* const* ins, double* const* outs,
+                      const int64_t* out_totals);
+
+   - [nthreads]: worker count for this call (0 = leave the OpenMP
+     default); honored only when the artifact was built with OpenMP.
+   - [params]: the pipeline's runtime parameters, in [pipe.params]
+     order — one artifact serves every size, like the raw main.
+   - [ins]: one pointer per input image, row-major doubles with the
+     geometry the parameters imply.  The caller owns them.
+   - [outs]: one caller-owned destination per output, each holding
+     exactly the element count the parameters imply; results are
+     copied in, so the artifact never retains pointers into the
+     caller's heap.
+   - [out_totals]: expected element count per output, validated
+     BEFORE any pixel is computed; a mismatch returns k+1 for output
+     k (the caller's geometry disagrees with the artifact's — the
+     in-process analogue of the raw main's extent check).  NULL skips
+     the validation.  Returns 0 on success. *)
+let emit_raw_entry ?name (plan : C.Plan.t) =
+  let pipe = plan.pipe in
+  let base = emit ?name plan in
+  Polymage_util.Trace.with_span ~cat:"codegen" "codegen.emit_raw_entry"
+  @@ fun () ->
+  let ctx = { b = Buffer.create 1024; ind = 0 } in
+  Buffer.add_string ctx.b
+    "#include <stdint.h>\n#ifdef _OPENMP\n#include <omp.h>\n#endif\n";
+  blank ctx;
+  line ctx
+    "int %s(int nthreads, const int32_t* params, const double* const* ins,"
+    raw_entry_symbol;
+  line ctx "    double* const* outs, const int64_t* out_totals)";
+  line ctx "{";
+  push ctx;
+  line ctx "#ifdef _OPENMP";
+  line ctx "if (nthreads > 0) omp_set_num_threads(nthreads);";
+  line ctx "#else";
+  line ctx "(void)nthreads;";
+  line ctx "#endif";
+  List.iteri
+    (fun k (p : Types.param) ->
+      line ctx "const int %s = (int)params[%d];" (pname p) k)
+    pipe.params;
+  List.iteri
+    (fun k (im : Ast.image) ->
+      line ctx "const double* %s = ins[%d];" (iname im) k)
+    pipe.images;
+  (* Geometry check up front: no pixel is computed for a caller whose
+     buffers cannot hold the result. *)
+  List.iteri
+    (fun k (f : Ast.func) ->
+      let exts =
+        List.map
+          (fun (iv : Interval.t) ->
+            spf "(int64_t)imax(0, (%s) - (%s) + 1)" (cbound iv.hi)
+              (cbound iv.lo))
+          f.fdom
+      in
+      line ctx "const int64_t total_%s = %s;" f.fname
+        (String.concat " * " exts);
+      line ctx "if (out_totals && out_totals[%d] != total_%s) return %d;" k
+        f.fname (k + 1))
+    pipe.outputs;
+  List.iter
+    (fun (f : Ast.func) -> line ctx "double* res_%s = NULL;" f.fname)
+    pipe.outputs;
+  let args =
+    List.map pname pipe.params
+    @ List.map iname pipe.images
+    @ List.map (fun (f : Ast.func) -> spf "&res_%s" f.fname) pipe.outputs
+  in
+  line ctx "%s(%s);" (func_name ?name plan) (String.concat ", " args);
+  List.iteri
+    (fun k (f : Ast.func) ->
+      line ctx
+        "memcpy(outs[%d], res_%s, (size_t)total_%s * sizeof(double));" k
+        f.fname f.fname;
+      line ctx "free(res_%s);" f.fname)
+    pipe.outputs;
+  line ctx "return 0;";
+  pop ctx;
+  line ctx "}";
+  base ^ "\n" ^ Buffer.contents ctx.b

@@ -57,3 +57,27 @@ val emit_raw_main :
     Because sizes arrive via argv, one compiled artifact serves every
     image size — this is what keeps the artifact cache warm across
     [--size] changes. *)
+
+val raw_entry_symbol : string
+(** The symbol exported by {!emit_raw_entry} artifacts:
+    ["polymage_run"]. *)
+
+val emit_raw_entry : ?name:string -> C.Plan.t -> string
+(** The pipeline function plus an exported in-process entry point (no
+    [main]) for the shared-object tier:
+
+    {[ int polymage_run(int nthreads, const int32_t* params,
+                        const double* const* ins, double* const* outs,
+                        const int64_t* out_totals); ]}
+
+    Parameters arrive in [pipe.params] order, input pointers in
+    [pipe.images] order, output destinations in [pipe.outputs] order —
+    all caller-owned, row-major float64.  [nthreads > 0] sets the
+    OpenMP thread count for the call (per call, since an in-process
+    artifact cannot be steered by [OMP_NUM_THREADS] anymore); the
+    expected per-output element counts in [out_totals] are validated
+    {e before} any computation, returning [k+1] on a mismatch for
+    output [k], else results are copied into [outs] and 0 is
+    returned.  Compiled with the toolchain's shared-object flags and
+    loaded via [dlopen]/[dlsym]; like the raw main, sizes arrive at
+    call time, so one artifact serves every image size. *)

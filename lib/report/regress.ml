@@ -29,6 +29,9 @@ type baseline = {
   bench : string;
   scale : int;
   backend : string;  (* "native" for v1/v2 files, which predate it *)
+  tier : string;
+      (* schema v4 execution tier; for v1-v3 files it defaults to the
+         backend, which itself defaults to "native" *)
   host : host option;  (* schema v3 host metadata, when present *)
   cells : measurement list;
 }
@@ -59,6 +62,12 @@ let of_json (j : Trace.json) : (baseline, string) result =
       match field "backend" j with
       | Some (Trace.Str s) -> s
       | _ -> "native"
+    in
+    (* v4 adds the execution tier (the backend field kept its coarse
+       native-vs-c meaning for old gates); earlier files default to
+       the backend value, which is exactly what they measured. *)
+    let tier =
+      match field "tier" j with Some (Trace.Str s) -> s | _ -> backend
     in
     let host =
       match field "host" j with
@@ -101,7 +110,7 @@ let of_json (j : Trace.json) : (baseline, string) result =
               | _ -> failwith "apps entry is not an object")
             apps
         in
-        Ok { schema_version; bench; scale; backend; host; cells }
+        Ok { schema_version; bench; scale; backend; tier; host; cells }
       with Failure msg -> Error msg)
     | _ -> Error "baseline has no \"apps\" array")
   | _ -> Error "baseline top level is not an object"
@@ -136,6 +145,21 @@ let check_backend (b : baseline) ~current =
           baseline with --backend %s or compare against a %s-backend \
           baseline"
          b.backend current current current)
+
+(* Same refusal one level finer: within the compiled backend, the
+   subprocess and dlopen tiers time different things (the former's
+   steady state includes spawn + blob I/O, the latter's does not), so
+   a cross-tier "comparison" measures the dispatch mechanism, not the
+   generated code. *)
+let check_tier (b : baseline) ~current =
+  if b.tier = current then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "baseline was measured on the %S execution tier but the current \
+          run uses %S; cross-tier comparisons are meaningless — re-measure \
+          the baseline on the %s tier or compare against a %s-tier baseline"
+         b.tier current current current)
 
 (* ---- comparison ---- *)
 

@@ -37,6 +37,10 @@ type baseline = {
   backend : string;
       (** which backend produced the numbers; ["native"] for v1/v2
           files, which predate the field *)
+  tier : string;
+      (** schema v4 execution tier (["native"], ["c"], ["c-dlopen"]);
+          for v1-v3 files it defaults to [backend], which is what
+          those files measured *)
   host : host option;  (** schema v3 host metadata, when present *)
   cells : measurement list;  (** every numeric field of every app *)
 }
@@ -49,6 +53,12 @@ val check_backend : baseline -> current:string -> (unit, string) result
     backend and the interpreter differ by orders of magnitude, so a
     gate across them only measures the setup.  [Error] carries a
     user-facing explanation. *)
+
+val check_tier : baseline -> current:string -> (unit, string) result
+(** Refuse cross-tier comparisons within the compiled backend: the
+    subprocess tier's steady state includes process spawn and blob
+    I/O, the dlopen tier's does not, so a gate across tiers measures
+    the dispatch mechanism rather than the generated code. *)
 
 type cell = {
   capp : string;

@@ -3,7 +3,14 @@ module Err = Polymage_util.Err
 type spec = { site : string; seed : int }
 
 let sites =
-  [ "alloc"; "kernel_compile"; "tile_body"; "worker_start"; "group_schedule" ]
+  [
+    "alloc";
+    "kernel_compile";
+    "tile_body";
+    "worker_start";
+    "group_schedule";
+    "dlopen";
+  ]
 
 let phase_of_site = function
   | "kernel_compile" -> Err.Kernel

@@ -19,7 +19,9 @@ val sites : string list
     ["kernel_compile"] — row-kernel compilation;
     ["tile_body"] — execution of one tile (or split-tiling region);
     ["worker_start"] — worker-pool startup;
-    ["group_schedule"] — per-group schedule setup in the executor. *)
+    ["group_schedule"] — per-group schedule setup in the executor;
+    ["dlopen"] — loading a shared-object artifact in the c-dlopen
+    execution tier. *)
 
 val parse : string -> spec
 (** Parse ["site:seed"]. @raise Polymage_util.Err.Polymage_error on an

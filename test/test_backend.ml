@@ -1,8 +1,9 @@
 (* Compiled-C backend: toolchain discovery and the POLYMAGE_CC
    override, raw-blob round trips, artifact-cache semantics (hit,
-   corruption, LRU eviction), the cross-backend differential suite
-   over every app, the warm-cache no-recompile guarantee, and the
-   c-backend degradation rung. *)
+   corruption, LRU eviction, artifact kinds), the cross-backend
+   differential suites (subprocess and dlopen tiers) over every app,
+   the warm-cache no-recompile/no-spawn guarantees, the tiered-auto
+   hot swap, and the degradation ladder. *)
 open Polymage_ir
 module C = Polymage_compiler
 module Rt = Polymage_rt
@@ -15,6 +16,7 @@ module Toolchain = Polymage_backend.Toolchain
 module Rawio = Polymage_backend.Rawio
 module Cache = Polymage_backend.Cache
 module Backend = Polymage_backend.Backend
+module Exec_tier = Polymage_backend.Exec_tier
 
 let have_cc = lazy (Toolchain.available ())
 
@@ -105,11 +107,13 @@ let rawio_roundtrip_and_validation () =
 
 (* ---- cache unit tests ---- *)
 
-let store_bytes dir key n =
-  Cache.store ~dir ~key ~build:(fun p ->
+let store_bytes ?kind ?entry dir key n =
+  Cache.store ?kind ?entry ~dir ~key
+    ~build:(fun p ->
       let oc = open_out p in
       output_string oc (String.make n 'x');
       close_out oc)
+    ()
 
 let cache_hit_and_corruption () =
   let dir = fresh_dir () in
@@ -172,7 +176,104 @@ let cache_lru_eviction () =
   Alcotest.(check bool) "kept entry still present" true
     (Cache.lookup ~dir k2 <> None)
 
+(* Artifact kinds: shared objects live beside executables with their
+   entry symbol in the meta; format-1 metas (pre-.so) stay usable. *)
+let cache_kinds_and_meta_compat () =
+  let dir = fresh_dir () in
+  let k =
+    Cache.key ~cc:"cc" ~version:"v" ~flags:"-O -shared -fPIC"
+      ~source:"so-src"
+  in
+  let so = store_bytes ~kind:Cache.So ~entry:"polymage_run" dir k 128 in
+  Alcotest.(check (option string)) "so entry hits under its kind" (Some so)
+    (Cache.lookup ~kind:Cache.So ~dir k);
+  Alcotest.(check (option string)) "entry symbol recorded"
+    (Some "polymage_run")
+    (Cache.entry_symbol ~dir k);
+  (* asking for the other kind is a plain miss, not corruption *)
+  Alcotest.(check (option string)) "exe lookup of an so key misses" None
+    (Cache.lookup ~kind:Cache.Exe ~dir k);
+  Alcotest.(check (option string)) "the so entry survives that miss"
+    (Some so)
+    (Cache.lookup ~kind:Cache.So ~dir k);
+  Cache.invalidate ~dir k;
+  Alcotest.(check (option string)) "invalidate drops any kind" None
+    (Cache.lookup ~kind:Cache.So ~dir k);
+  (* format-1 meta (size only): reads back as an executable named main *)
+  let k2 = Cache.key ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"exe-src" in
+  let exe = store_bytes dir k2 64 in
+  let oc = open_out (Filename.concat dir (k2 ^ ".meta")) in
+  Printf.fprintf oc "size %d\n" 64;
+  close_out oc;
+  Alcotest.(check (option string)) "format-1 meta still hits as exe"
+    (Some exe) (Cache.lookup ~dir k2);
+  Alcotest.(check (option string)) "format-1 entry symbol is main"
+    (Some "main")
+    (Cache.entry_symbol ~dir k2);
+  Alcotest.(check (option string)) "format-1 meta is not an so" None
+    (Cache.lookup ~kind:Cache.So ~dir k2);
+  (* a meta whose kind disagrees with the artifact suffix on disk is a
+     torn store: corrupt, discarded *)
+  let k3 = Cache.key ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"torn" in
+  let exe3 = store_bytes dir k3 64 in
+  let oc = open_out (Filename.concat dir (k3 ^ ".meta")) in
+  Printf.fprintf oc "size %d\nkind so\nentry polymage_run\n" 64;
+  close_out oc;
+  Alcotest.(check (option string)) "suffix/meta kind disagreement is \
+                                    corrupt" None (Cache.lookup ~dir k3);
+  Alcotest.(check bool) "corrupt entry was removed" false
+    (Sys.file_exists exe3);
+  (* eviction walks both kinds *)
+  let k4 = Cache.key ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"so2" in
+  ignore (store_bytes ~kind:Cache.So ~entry:"polymage_run" dir k4 1000);
+  let n = Cache.evict ~max_bytes:0 dir in
+  Alcotest.(check int) "eviction removes entries of both kinds" 2 n;
+  Alcotest.(check int) "directory empty after eviction" 0
+    (fst (Cache.stats dir))
+
 (* ---- differential: compiled C vs the native executor ---- *)
+
+(* Shared differential tolerance for every compiled tier.  Both sides
+   compute in f64, but -O3 -march=native may contract into FMAs, so
+   float outputs get a store-rounding tolerance; quantized stores
+   (camera_pipe's tone-curve LUT index is floor of a clamped float)
+   may legitimately flip by one quantum on a rounding boundary, so
+   they allow single-step differences on a small fraction of
+   elements. *)
+let check_outputs_match ~app ~what native
+    (outputs : (Ast.func * Rt.Buffer.t) list) =
+  List.iter
+    (fun ((f : Ast.func), (cb : Rt.Buffer.t)) ->
+      let nb = Rt.Executor.output_buffer native f in
+      let maxabs =
+        Array.fold_left
+          (fun a v -> Float.max a (Float.abs v))
+          0. nb.Rt.Buffer.data
+      in
+      let tol = 1e-6 *. (1. +. maxabs) in
+      let d = Rt.Buffer.max_abs_diff nb cb in
+      match f.Ast.ftyp with
+      | Types.Float | Types.Double ->
+        if not (d <= tol) then
+          Alcotest.failf "%s/%s: |native - %s| = %g exceeds %g" app
+            f.Ast.fname what d tol
+      | Types.UChar | Types.Short | Types.Int ->
+        if not (d <= 1. +. tol) then
+          Alcotest.failf
+            "%s/%s: quantized %s outputs differ by %g (> 1 quantum)" app
+            f.Ast.fname what d;
+        let differing = ref 0 in
+        Array.iteri
+          (fun i v -> if v <> cb.Rt.Buffer.data.(i) then incr differing)
+          nb.Rt.Buffer.data;
+        let frac =
+          float_of_int !differing
+          /. float_of_int (max 1 (Array.length nb.Rt.Buffer.data))
+        in
+        if frac > 0.01 then
+          Alcotest.failf "%s/%s: %.1f%% of quantized %s elements differ"
+            app f.Ast.fname (100. *. frac) what)
+    outputs
 
 let differential_all_apps () =
   if not (Lazy.force have_cc) then ()
@@ -185,46 +286,26 @@ let differential_all_apps () =
         let compiled, (_ : Backend.stats) =
           Backend.run ~cache_dir:dir plan env ~images
         in
-        List.iter
-          (fun ((f : Ast.func), (cb : Rt.Buffer.t)) ->
-            let nb = Rt.Executor.output_buffer native f in
-            let maxabs =
-              Array.fold_left
-                (fun a v -> Float.max a (Float.abs v))
-                0. nb.Rt.Buffer.data
-            in
-            (* store-rounding tolerance: both sides compute in f64,
-               but -O3 -march=native may contract into FMAs *)
-            let tol = 1e-6 *. (1. +. maxabs) in
-            let d = Rt.Buffer.max_abs_diff nb cb in
-            match f.Ast.ftyp with
-            | Types.Float | Types.Double ->
-              if not (d <= tol) then
-                Alcotest.failf "%s/%s: |native - c| = %g exceeds %g"
-                  app.App.name f.Ast.fname d tol
-            | Types.UChar | Types.Short | Types.Int ->
-              (* quantized store: an FMA-level difference landing on a
-                 rounding boundary legitimately moves the stored value
-                 by one quantum (camera_pipe's tone-curve LUT index is
-                 floor of a clamped float) — allow single-step flips on
-                 a small fraction of elements *)
-              if not (d <= 1. +. tol) then
-                Alcotest.failf
-                  "%s/%s: quantized outputs differ by %g (> 1 quantum)"
-                  app.App.name f.Ast.fname d;
-              let differing = ref 0 in
-              Array.iteri
-                (fun i v ->
-                  if v <> cb.Rt.Buffer.data.(i) then incr differing)
-                nb.Rt.Buffer.data;
-              let frac =
-                float_of_int !differing
-                /. float_of_int (max 1 (Array.length nb.Rt.Buffer.data))
-              in
-              if frac > 0.01 then
-                Alcotest.failf
-                  "%s/%s: %.1f%% of quantized elements differ"
-                  app.App.name f.Ast.fname (100. *. frac))
+        check_outputs_match ~app:app.App.name ~what:"c" native
+          compiled.Rt.Executor.outputs)
+      (Apps.all ())
+  end
+
+(* Same differential over the in-process dlopen tier: the shared
+   object is a different emitted entry point and different compile
+   flags, so it gets its own full pass over every app. *)
+let differential_dlopen_all_apps () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = fresh_dir () in
+    List.iter
+      (fun (app : App.t) ->
+        let plan, env, images = plan_for app.App.name in
+        let native = Rt.Executor.run plan env ~images in
+        let compiled, (_ : Backend.stats) =
+          Backend.run_dl ~cache_dir:dir plan env ~images
+        in
+        check_outputs_match ~app:app.App.name ~what:"c-dlopen" native
           compiled.Rt.Executor.outputs)
       (Apps.all ())
   end
@@ -266,6 +347,107 @@ let warm_cache_no_recompile () =
           0. st2.Backend.compile_ms)
   end
 
+(* The dlopen tier's stronger warm guarantee: a warm run not only
+   invokes no compiler, it spawns no subprocess at all — the artifact
+   is already loaded in-process and the call is a function call. *)
+let warm_dlopen_no_compile_no_spawn () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = fresh_dir () in
+    let plan, env, images = plan_for "harris" in
+    let were_on = Metrics.enabled () in
+    Metrics.enable ();
+    Metrics.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.reset ();
+        if not were_on then Metrics.disable ())
+      (fun () ->
+        let _, st1 = Backend.run_dl ~cache_dir:dir plan env ~images in
+        Alcotest.(check bool) "first run is a miss" false
+          st1.Backend.cache_hit;
+        Alcotest.(check bool) "the miss spawned the compiler" true
+          (Metrics.get "backend/subprocess_spawns" >= 1);
+        Alcotest.(check bool) "the artifact was loaded" true
+          (Metrics.get "backend/dl_loads" >= 1);
+        Metrics.reset ();
+        let _, st2 = Backend.run_dl ~cache_dir:dir plan env ~images in
+        Alcotest.(check bool) "second run is a hit" true
+          st2.Backend.cache_hit;
+        Alcotest.(check int) "warm dlopen run invokes no compiler" 0
+          (Metrics.get "backend/compile_invocations");
+        Alcotest.(check int) "warm dlopen run spawns no subprocess" 0
+          (Metrics.get "backend/subprocess_spawns");
+        Alcotest.(check bool) "the warm run went through the loaded \
+                               artifact" true
+          (Metrics.get "backend/dl_calls" >= 1))
+  end
+
+(* ---- tiered auto: serve immediately, hot-swap when the .so lands ---- *)
+
+let auto_hot_swap () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = fresh_dir () in
+    let plan, env, images = plan_for "harris" in
+    let native = Rt.Executor.run plan env ~images in
+    let a = Exec_tier.auto_start ~cache_dir:dir plan in
+    (* Serve while the shared object may still be compiling: whichever
+       tier answers must produce correct results — the caller never
+       observes a gap or a wrong answer around the swap. *)
+    let (r1, _), degr1, served1 = Exec_tier.auto_run a env ~images in
+    Alcotest.(check bool) "first call served by a real tier" true
+      (List.mem served1 [ "native"; "c-dlopen" ]);
+    Alcotest.(check int) "no degradations while serving" 0
+      (List.length degr1);
+    check_outputs_match ~app:"harris" ~what:("auto/" ^ served1) native
+      r1.Rt.Executor.outputs;
+    (* After the background compile lands the next call hot-swaps to
+       the shared object. *)
+    Exec_tier.auto_await a;
+    Alcotest.(check string) "background compile finished" "ready"
+      (Exec_tier.auto_state a);
+    let (r2, st2), degr2, served2 = Exec_tier.auto_run a env ~images in
+    Alcotest.(check string) "hot-swapped to the shared object" "c-dlopen"
+      served2;
+    Alcotest.(check bool) "swapped call carries backend stats" true
+      (st2 <> None);
+    Alcotest.(check int) "no degradations after the swap" 0
+      (List.length degr2);
+    check_outputs_match ~app:"harris" ~what:"auto/c-dlopen" native
+      r2.Rt.Executor.outputs
+  end
+
+(* ---- dlopen fault degrades down the ladder ---- *)
+
+let dlopen_fault_degrades () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let plan, env, images = plan_for "harris" in
+    Rt.Fault.arm ~site:"dlopen" ~seed:0;
+    Fun.protect
+      ~finally:(fun () -> Rt.Fault.disarm ())
+      (fun () ->
+        (* Cold cache: the freshly built .so fails to load, which must
+           not be retried (the artifact is not suspect — the load is),
+           so the ladder falls to the subprocess tier. *)
+        let (result, st), degr =
+          Exec_tier.run_safe ~cache_dir:(fresh_dir ()) Exec_tier.C_dlopen
+            plan env ~images
+        in
+        (match degr with
+        | { Rt.Executor.rung = "c-dlopen"; error } :: _ ->
+          Alcotest.(check bool) "degradation carries an exec-phase error"
+            true
+            (error.Err.phase = Err.Exec)
+        | _ -> Alcotest.fail "expected a c-dlopen degradation rung");
+        Alcotest.(check bool) "the subprocess tier served the result" true
+          (st <> None);
+        let native = Rt.Executor.run plan env ~images in
+        check_outputs_match ~app:"harris" ~what:"degraded c-dlopen" native
+          result.Rt.Executor.outputs)
+  end
+
 (* ---- cached artifact that will not execute ---- *)
 
 let broken_artifact_recovers () =
@@ -282,11 +464,13 @@ let broken_artifact_recovers () =
         ~source:(Cgen.emit_raw_main plan)
     in
     ignore
-      (Cache.store ~dir ~key ~build:(fun p ->
+      (Cache.store ~dir ~key
+         ~build:(fun p ->
            let oc = open_out p in
            output_string oc "#!/bin/sh\nexit 7\n";
            close_out oc;
-           Unix.chmod p 0o755));
+           Unix.chmod p 0o755)
+         ());
     let compiled, st = Backend.run ~cache_dir:dir plan env ~images in
     Alcotest.(check bool) "entry was invalidated and rebuilt" false
       st.Backend.cache_hit;
@@ -320,11 +504,11 @@ let run_safe_degrades_to_native () =
     Alcotest.(check bool) "no backend stats after fallback" true
       (st = None);
     (match degr with
-    | { Rt.Executor.rung = "c-backend"; error } :: _ ->
+    | { Rt.Executor.rung = "c-subprocess"; error } :: _ ->
       Alcotest.(check bool) "degradation carries the codegen error"
         true
         (error.Err.phase = Err.Codegen)
-    | _ -> Alcotest.fail "expected a c-backend degradation rung");
+    | _ -> Alcotest.fail "expected a c-subprocess degradation rung");
     (* the fallback result is the native executor's, bit for bit *)
     let native = Rt.Executor.run plan env ~images in
     List.iter
@@ -349,10 +533,20 @@ let suite =
         cache_hit_and_corruption;
       Alcotest.test_case "cache: LRU eviction order and touch" `Quick
         cache_lru_eviction;
+      Alcotest.test_case "cache: artifact kinds and meta back-compat"
+        `Quick cache_kinds_and_meta_compat;
       Alcotest.test_case "differential: every app, C vs native" `Slow
         differential_all_apps;
+      Alcotest.test_case "differential: every app, dlopen vs native" `Slow
+        differential_dlopen_all_apps;
       Alcotest.test_case "warm cache performs no compiler invocation"
         `Quick warm_cache_no_recompile;
+      Alcotest.test_case "warm dlopen run: no compile, no subprocess"
+        `Quick warm_dlopen_no_compile_no_spawn;
+      Alcotest.test_case "auto tier serves immediately and hot-swaps"
+        `Quick auto_hot_swap;
+      Alcotest.test_case "dlopen fault degrades down the ladder" `Quick
+        dlopen_fault_degrades;
       Alcotest.test_case "cached artifact that fails to run recovers"
         `Quick broken_artifact_recovers;
       Alcotest.test_case "run_safe degrades to the native executor"

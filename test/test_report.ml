@@ -485,6 +485,61 @@ let baseline_backend_guard () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "c-vs-c comparison refused: %s" e
 
+(* Within the compiled backend, the subprocess and dlopen tiers time
+   different things (spawn + blob I/O vs a bare call), so schema v4
+   records the tier and the gate refuses to compare across tiers.
+   Older files default the tier from the backend they measured. *)
+let baseline_tier_guard () =
+  let parse src =
+    match Trace.parse_json src with
+    | Error e -> Alcotest.failf "baseline does not parse: %s" e
+    | Ok j -> (
+      match Regress.of_json j with
+      | Error e -> Alcotest.failf "baseline rejected: %s" e
+      | Ok b -> b)
+  in
+  let v2 = parse baseline_v2 in
+  Alcotest.(check string) "pre-v4 files default tier from backend" "native"
+    v2.Regress.tier;
+  (match Regress.check_tier v2 ~current:"native" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "same-tier comparison refused: %s" e);
+  let v3 =
+    parse
+      {|{"schema_version": 3, "bench": "backend", "scale": 8,
+         "backend": "c",
+         "apps": [{"name": "harris", "size": "800x800",
+                   "c_speedup_vs_native": 12.0}]}|}
+  in
+  Alcotest.(check string) "v3 tier defaults to its backend" "c"
+    v3.Regress.tier;
+  let v4 =
+    parse
+      {|{"schema_version": 4, "bench": "backend", "scale": 8,
+         "backend": "c", "tier": "c-dlopen",
+         "host": {"cores": 4, "workers": 1, "compiler": "cc 13.2"},
+         "apps": [{"name": "harris", "size": "800x800",
+                   "dlopen_steady_ms": 1.5, "c_steady_ms": 4.5}]}|}
+  in
+  Alcotest.(check int) "schema v4" 4 v4.Regress.schema_version;
+  Alcotest.(check string) "v4 tier recorded" "c-dlopen" v4.Regress.tier;
+  Alcotest.(check string) "v4 backend still coarse" "c" v4.Regress.backend;
+  (match Regress.check_tier v4 ~current:"c-dlopen" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "dlopen-vs-dlopen comparison refused: %s" e);
+  match Regress.check_tier v4 ~current:"c" with
+  | Ok () -> Alcotest.fail "cross-tier comparison accepted"
+  | Error e ->
+    Alcotest.(check bool) "error names both tiers" true
+      (let has needle =
+         let lh = String.length e and ln = String.length needle in
+         let rec go i =
+           i + ln <= lh && (String.sub e i ln = needle || go (i + 1))
+         in
+         go 0
+       in
+       has "\"c-dlopen\"" && has "\"c\"")
+
 let baseline_load_and_compare () =
   let file = Filename.temp_file "pm_baseline" ".json" in
   Fun.protect
@@ -554,6 +609,8 @@ let suite =
         baseline_json_versions;
       Alcotest.test_case "baseline backend guard" `Quick
         baseline_backend_guard;
+      Alcotest.test_case "baseline tier guard (schema v4)" `Quick
+        baseline_tier_guard;
       Alcotest.test_case "baseline file: load and gate both ways" `Quick
         baseline_load_and_compare;
     ] )
