@@ -177,6 +177,20 @@ let backend_flag =
            (serve immediately on the native executor while the shared \
            object compiles in the background, then hot-swap)")
 
+let exec_timeout_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "exec-timeout" ] ~docv:"MS"
+        ~doc:
+          "Watchdog deadline in milliseconds for compiled-artifact child \
+           processes (the c tier and quarantine canary runs): a child \
+           that has not exited by the deadline is killed — whole process \
+           group, SIGTERM then SIGKILL — and the run reports a \
+           structured watchdog error (with --safe, execution then \
+           degrades down the tier ladder). Canary runs are always \
+           bounded, by 120000 ms when this flag is absent")
+
 let safe_flag =
   Arg.(
     value & flag
@@ -213,13 +227,14 @@ let run_cmd =
           ~doc:"Evaluate with closure trees instead of row kernels (ablation)")
   in
   let run (app : App.t) size config tile threshold workers repeats no_kernels
-      backend safe fault trace trace_json =
+      backend safe fault exec_timeout trace trace_json =
     let env = env_of app size in
     let opts = options_of config tile threshold workers env in
     let opts =
       C.Options.with_fault fault
         { opts with C.Options.kernels = not no_kernels }
     in
+    let opts = C.Options.with_exec_timeout exec_timeout opts in
     let tracing = trace || trace_json <> None in
     let opts = C.Options.with_trace tracing opts in
     if tracing then begin
@@ -312,12 +327,13 @@ let run_cmd =
       in
       (match stats with
       | Some st ->
-        Printf.printf "%s: %.2f ms (best of %d, %s, %s)\n" app.name
+        Printf.printf "%s: %.2f ms (best of %d, %s, %s%s)\n" app.name
           (Option.value ~default:st.exec_ms st.time_ms)
           repeats
           (Exec_tier.to_string tier)
           (if st.cache_hit then "cache hit"
            else Printf.sprintf "compile %.0f ms" st.compile_ms)
+          (if st.quarantined then ", quarantine canary" else "")
       | None ->
         (* run_safe fell back to the native executor *)
         Printf.printf "%s: completed on the native executor (no timing)\n"
@@ -337,12 +353,15 @@ let run_cmd =
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
       $ threshold_flag $ workers_flag $ repeats_flag $ no_kernels_flag
-      $ backend_flag $ safe_flag $ fault_flag $ trace_flag $ trace_json_flag)
+      $ backend_flag $ safe_flag $ fault_flag $ exec_timeout_flag
+      $ trace_flag $ trace_json_flag)
 
 let profile_cmd =
-  let run (app : App.t) size config tile threshold workers backend trace_json =
+  let run (app : App.t) size config tile threshold workers backend exec_timeout
+      trace_json =
     let env = env_of app size in
     let opts = options_of config tile threshold workers env in
+    let opts = C.Options.with_exec_timeout exec_timeout opts in
     let pipe = Pipeline.build ~outputs:app.outputs in
     let images =
       List.map
@@ -359,9 +378,13 @@ let profile_cmd =
         Printf.printf "== compiled backend (%s) ==\n"
           (Exec_tier.to_string backend);
         Printf.printf "  %s\n" (Backend.describe ());
-        Printf.printf "  compile %.1f ms (%s), exec %.1f ms\n" stats.compile_ms
+        Printf.printf "  compile %.1f ms (%s), exec %.1f ms%s\n"
+          stats.compile_ms
           (if stats.cache_hit then "cache hit" else "cache miss")
-          stats.exec_ms);
+          stats.exec_ms
+          (if stats.quarantined then
+             " [quarantine canary run; artifact now trusted]"
+           else ""));
       report
     in
     Format.printf "%a" Rt.Profile.pp_report report;
@@ -380,7 +403,8 @@ let profile_cmd =
           per-group tables")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ workers_flag $ backend_flag $ trace_json_flag)
+      $ threshold_flag $ workers_flag $ backend_flag $ exec_timeout_flag
+      $ trace_json_flag)
 
 let explain_cmd =
   let json_flag =

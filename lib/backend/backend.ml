@@ -5,7 +5,20 @@
    c-dlopen tier), which eliminates process start-up and blob I/O from
    every call.  This is what turns the paper's Fig. 10 methodology —
    every number is a compiled-binary time — into first-class backends
-   behind [--backend c] and [--backend c-dlopen]. *)
+   behind [--backend c] and [--backend c-dlopen].
+
+   The in-process tier is gated by the quarantine protocol: a shared
+   object of unknown provenance (fresh compile, cache entry from an
+   older process, meta predating the trust bit) is never dlopen'd
+   directly.  Its first execution happens in the crash-isolated canary
+   child ({!Canary}); a clean canary run promotes the entry to trusted
+   in the cache meta, and only trusted objects run in-process.  Around
+   every in-process call the parent maintains a crash marker on disk,
+   so a process that dies mid-call leaves evidence: the next process
+   finds the stale marker, demotes the artifact (invalidate — it
+   recompiles and re-enters quarantine) and never repeats the crash.
+   Subprocess executions run under the watchdog when the plan carries
+   an [exec_timeout_ms]; canary runs are always bounded. *)
 
 open Polymage_ir
 module Comp = Polymage_compiler
@@ -20,14 +33,29 @@ type stats = {
   compile_ms : float;
   exec_ms : float;
   time_ms : float option;
+  quarantined : bool;
 }
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
 (* ---- compile through the cache ---- *)
 
+let compile_timeout_ms = 300_000
+let compile_max_attempts = 3
+
+(* Deterministic "jitter": a hash of (output path, attempt) spreads
+   concurrent retriers without a global RNG — same failure, same
+   schedule, reproducible tests. *)
+let backoff_s out attempt =
+  let base = 0.05 *. float_of_int (1 lsl (attempt - 1)) in
+  base +. (float_of_int (Hashtbl.hash (out, attempt) mod 50) /. 1000.)
+
+(* Compile with bounded retry for transient toolchain failures: a
+   compiler killed by a signal (OOM killer, crashed cc1) or the
+   injected [compile_flaky] fault gets up to two more attempts with
+   jittered backoff; a real diagnostic (non-zero exit, no signal) is
+   deterministic and fails immediately. *)
 let cc_build (tc : Toolchain.t) ~flags src out =
-  Metrics.bumpn "backend/compile_invocations";
   let csrc = Filename.temp_file "pm_backend" ".c" in
   Fun.protect
     ~finally:(fun () -> remove_if_exists csrc)
@@ -35,15 +63,35 @@ let cc_build (tc : Toolchain.t) ~flags src out =
       let oc = open_out csrc in
       output_string oc src;
       close_out oc;
-      let r =
-        Proc.run tc.cc
-          (Toolchain.split_flags flags
-          @ [ "-std=gnu99"; "-o"; out; csrc; "-lm" ])
+      let args =
+        Toolchain.split_flags flags @ [ "-std=gnu99"; "-o"; out; csrc; "-lm" ]
       in
-      if r.Proc.status <> 0 then
-        Err.failf Err.Codegen "Backend: %s failed (exit %d): %s" tc.cc
-          r.Proc.status
-          (Proc.first_lines (r.Proc.stderr ^ "\n" ^ r.Proc.stdout)))
+      let rec attempt n =
+        Metrics.bumpn "backend/compile_invocations";
+        let failure =
+          match Rt.Fault.hit "compile_flaky" with
+          | exception e ->
+            Some (true, "injected: " ^ Err.to_string (Err.of_exn e))
+          | () -> (
+            match Proc.run ~timeout_ms:compile_timeout_ms tc.cc args with
+            | { Proc.status = 0; _ } -> None
+            | r ->
+              Some
+                ( r.Proc.signal <> None,
+                  Printf.sprintf "%s failed (%s): %s" tc.cc
+                    (Proc.describe_status r)
+                    (Proc.first_lines (r.Proc.stderr ^ "\n" ^ r.Proc.stdout))
+                ))
+        in
+        match failure with
+        | None -> ()
+        | Some (true, _) when n < compile_max_attempts ->
+          Metrics.bumpn "backend/compile_retries";
+          Unix.sleepf (backoff_s out n);
+          attempt (n + 1)
+        | Some (_, msg) -> Err.failf Err.Codegen "Backend: %s" msg
+      in
+      attempt 1)
 
 (* Compile the plan's C into a cached artifact of the given kind.
    Returns the artifact path, compile wall time (0 on a hit), hit
@@ -69,22 +117,32 @@ let compile_kind ?cache_dir ~(kind : Cache.kind) (plan : Comp.Plan.t) =
     Metrics.bumpn "backend/cache_hit";
     (art, 0., true, key, dir)
   | None ->
-    Metrics.bumpn "backend/cache_miss";
-    let t0 = Unix.gettimeofday () in
-    let art =
-      Trace.with_span ~cat:"backend" "backend.compile"
-        ~args:
-          [
-            ("cc", tc.cc);
-            ("flags", flags);
-            ("kind", Cache.kind_to_string kind);
-          ]
-      @@ fun () ->
-      Cache.store ~kind ~entry ~dir ~key ~build:(cc_build tc ~flags src) ()
-    in
-    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
-    Metrics.addn "backend/compile_ms" (int_of_float ms);
-    (art, ms, false, key, dir)
+    (* Single-flight across processes: take the key's advisory lock,
+       then re-check — a concurrent process may have compiled this
+       exact key while we waited, in which case its artifact is our
+       hit and we never invoke the compiler. *)
+    Cache.with_flight ~dir ~key @@ fun () ->
+    (match Cache.lookup ~kind ~dir key with
+    | Some art ->
+      Metrics.bumpn "backend/cache_hit";
+      (art, 0., true, key, dir)
+    | None ->
+      Metrics.bumpn "backend/cache_miss";
+      let t0 = Unix.gettimeofday () in
+      let art =
+        Trace.with_span ~cat:"backend" "backend.compile"
+          ~args:
+            [
+              ("cc", tc.cc);
+              ("flags", flags);
+              ("kind", Cache.kind_to_string kind);
+            ]
+        @@ fun () ->
+        Cache.store ~kind ~entry ~dir ~key ~build:(cc_build tc ~flags src) ()
+      in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Metrics.addn "backend/compile_ms" (int_of_float ms);
+      (art, ms, false, key, dir))
 
 let compile ?cache_dir plan = compile_kind ?cache_dir ~kind:Cache.Exe plan
 let compile_so ?cache_dir plan = compile_kind ?cache_dir ~kind:Cache.So plan
@@ -158,17 +216,20 @@ let exec_exe ~repeats (plan : Comp.Plan.t) env ~images exe =
              pipe.params
         @ in_paths @ out_paths
       in
+      Rt.Fault.hit "exec_crash";
+      Rt.Fault.hit "exec_hang";
       let t0 = Unix.gettimeofday () in
       let r =
         Proc.run
+          ?timeout_ms:plan.opts.exec_timeout_ms
           ~env_extra:
             [ ("OMP_NUM_THREADS", string_of_int plan.opts.workers) ]
           exe argv
       in
       let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
       if r.Proc.status <> 0 then
-        Err.failf Err.Exec "Backend: compiled pipeline exited %d: %s"
-          r.Proc.status
+        Err.failf Err.Exec "Backend: compiled pipeline failed (%s): %s"
+          (Proc.describe_status r)
           (Proc.first_lines r.Proc.stderr);
       Metrics.addn "backend/exec_ms" (int_of_float exec_ms);
       let time_ms =
@@ -180,6 +241,92 @@ let exec_exe ~repeats (plan : Comp.Plan.t) env ~images exe =
             let lo, dims = Rt.Buffer.geometry_of_func out_f env in
             (out_f, Rawio.read path ~lo ~dims))
           pipe.outputs out_paths
+      in
+      (assemble_result plan out_bufs, exec_ms, time_ms))
+
+(* ---- one crash-isolated canary execution (quarantine) ---- *)
+
+(* A hung artifact must never wedge the parent, so canary runs are
+   always bounded: the plan's exec_timeout_ms when set, a generous
+   default otherwise.  A CPU rlimit sized from the deadline backstops
+   the watchdog in the kernel (scaled by the worker count — CPU time
+   accumulates across OpenMP threads). *)
+let canary_default_timeout_ms = 120_000
+
+let exec_canary ~repeats (plan : Comp.Plan.t) env ~images ~dir so =
+  Trace.with_span ~cat:"backend" "backend.exec_canary" @@ fun () ->
+  let pipe = plan.pipe in
+  let runner = Canary.runner ~cache_dir:dir () in
+  let temps = ref [] in
+  let fresh prefix =
+    let p = Filename.temp_file prefix ".raw" in
+    temps := p :: !temps;
+    p
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter remove_if_exists !temps)
+    (fun () ->
+      let in_paths =
+        List.map
+          (fun (im : Ast.image) ->
+            let p = fresh "pm_in" in
+            Rawio.write p (image_buffer images im);
+            p)
+          pipe.images
+      in
+      let out_specs =
+        List.map
+          (fun (f : Ast.func) ->
+            let lo, dims = Rt.Buffer.geometry_of_func f env in
+            (f, fresh "pm_out", lo, dims))
+          pipe.outputs
+      in
+      let argv =
+        so :: Cgen.raw_entry_symbol
+        :: string_of_int plan.opts.workers
+        :: string_of_int repeats
+        :: string_of_int (List.length pipe.params)
+        :: List.map
+             (fun p -> string_of_int (Types.bind_exn env p))
+             pipe.params
+        @ (string_of_int (List.length in_paths) :: in_paths)
+        @ string_of_int (List.length out_specs)
+          :: List.concat_map
+               (fun (_, path, _, dims) ->
+                 path
+                 :: string_of_int (Array.length dims)
+                 :: List.map string_of_int (Array.to_list dims))
+               out_specs
+      in
+      let timeout_ms =
+        Option.value plan.opts.exec_timeout_ms
+          ~default:canary_default_timeout_ms
+      in
+      let rlimit_cpu_s =
+        (timeout_ms / 1000 + 1) * 2 * max 1 plan.opts.workers
+      in
+      Rt.Fault.hit "exec_crash";
+      Rt.Fault.hit "exec_hang";
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Proc.run ~timeout_ms ~rlimit_cpu_s
+          ~env_extra:
+            [ ("OMP_NUM_THREADS", string_of_int plan.opts.workers) ]
+          runner argv
+      in
+      let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      if r.Proc.status <> 0 then
+        Err.failf Err.Exec "Backend: quarantine canary failed (%s): %s"
+          (Proc.describe_status r)
+          (Proc.first_lines r.Proc.stderr);
+      Metrics.addn "backend/exec_ms" (int_of_float exec_ms);
+      let time_ms =
+        if repeats > 0 then parse_time_ms r.Proc.stdout else None
+      in
+      let out_bufs =
+        List.map
+          (fun (f, path, lo, dims) -> (f, Rawio.read path ~lo ~dims))
+          out_specs
       in
       (assemble_result plan out_bufs, exec_ms, time_ms))
 
@@ -289,10 +436,16 @@ let exec_dl ~repeats (plan : Comp.Plan.t) env ~images so =
 let run_with ~compile_art ~exec ?cache_dir ?(repeats = 0)
     (plan : Comp.Plan.t) env ~images =
   Trace.with_span ~cat:"backend" "backend.run" @@ fun () ->
+  (* Arm the plan's fault spec here just as Executor.run does: the
+     compiled tiers never pass through the native executor, so the
+     --fault flag would otherwise only reach them via POLYMAGE_FAULT. *)
+  Rt.Fault.ensure plan.opts.fault;
   let art, compile_ms, hit, key, dir = compile_art ?cache_dir plan in
   match exec ~repeats plan env ~images art with
   | result, exec_ms, time_ms ->
-    (result, { cache_hit = hit; compile_ms; exec_ms; time_ms })
+    ( result,
+      { cache_hit = hit; compile_ms; exec_ms; time_ms; quarantined = false }
+    )
   | exception e when hit ->
     ignore e;
     Dlexec.forget art;
@@ -306,15 +459,89 @@ let run_with ~compile_art ~exec ?cache_dir ?(repeats = 0)
         compile_ms = compile_ms +. compile_ms2;
         exec_ms;
         time_ms;
+        quarantined = false;
       } )
 
 let run ?cache_dir ?repeats plan env ~images =
   run_with ~compile_art:compile ~exec:exec_exe ?cache_dir ?repeats plan env
     ~images
 
-let run_dl ?cache_dir ?repeats plan env ~images =
-  run_with ~compile_art:compile_so ~exec:exec_dl ?cache_dir ?repeats plan
-    env ~images
+(* The in-process tier under the quarantine protocol:
+
+   - stale crash marker (a previous process died mid-call inside this
+     artifact): demote — forget the in-memory image, invalidate the
+     entry — and recompile once; the fresh store is quarantined.
+   - trusted artifact: run in-process, with the crash marker written
+     around the call so a death here is attributed next time.  A
+     *recoverable* failure (load error, geometry disagreement — the
+     process is still alive, by definition) is treated as corruption:
+     invalidate and retry once, which routes the rebuilt artifact
+     through the canary.
+   - quarantined (or unknown-trust) artifact: first execution in the
+     crash-isolated canary child.  Success promotes the entry to
+     trusted; failure demotes it (invalidate) and raises, so the tier
+     ladder degrades a rung — deliberately no in-tier rebuild: the
+     same source would recompile to the same crashing object. *)
+let run_dl ?cache_dir ?(repeats = 0) (plan : Comp.Plan.t) env ~images =
+  Trace.with_span ~cat:"backend" "backend.run" @@ fun () ->
+  Rt.Fault.ensure plan.opts.fault;
+  let rec attempt ~retried acc_compile_ms =
+    let so, compile_ms, hit, key, dir = compile_so ?cache_dir plan in
+    let compile_ms = acc_compile_ms +. compile_ms in
+    if (not retried) && Cache.stale_marker ~dir key then begin
+      Metrics.bumpn "backend/crash_demotions";
+      Dlexec.forget so;
+      Cache.invalidate ~dir key;
+      attempt ~retried:true compile_ms
+    end
+    else
+      match Cache.trust ~dir key with
+      | Some Cache.Trusted -> (
+        let exec_marked () =
+          Cache.write_marker ~dir key;
+          Fun.protect
+            ~finally:(fun () -> Cache.clear_marker ~dir key)
+            (fun () ->
+              Rt.Fault.hit "exec_crash";
+              exec_dl ~repeats plan env ~images so)
+        in
+        match exec_marked () with
+        | result, exec_ms, time_ms ->
+          ( result,
+            {
+              cache_hit = hit;
+              compile_ms;
+              exec_ms;
+              time_ms;
+              quarantined = false;
+            } )
+        | exception e when not retried ->
+          ignore e;
+          Dlexec.forget so;
+          Cache.invalidate ~dir key;
+          Metrics.bumpn "backend/cache_corrupt";
+          attempt ~retried:true compile_ms)
+      | _ -> (
+        Metrics.bumpn "backend/quarantine_runs";
+        match exec_canary ~repeats plan env ~images ~dir so with
+        | result, exec_ms, time_ms ->
+          Cache.set_trust ~dir ~key Cache.Trusted;
+          Metrics.bumpn "backend/promotions";
+          ( result,
+            {
+              cache_hit = hit;
+              compile_ms;
+              exec_ms;
+              time_ms;
+              quarantined = true;
+            } )
+        | exception e ->
+          Metrics.bumpn "backend/quarantine_failures";
+          Dlexec.forget so;
+          Cache.invalidate ~dir key;
+          raise e)
+  in
+  attempt ~retried:false 0.
 
 let run_safe ?cache_dir ?repeats ?pool (plan : Comp.Plan.t) env ~images =
   match run ?cache_dir ?repeats plan env ~images with
@@ -358,10 +585,12 @@ let describe ?cache_dir () =
     match cache_dir with Some d -> d | None -> Cache.default_dir ()
   in
   let n, bytes = Cache.stats dir in
+  let trusted, quarantined = Cache.trust_stats dir in
   Printf.sprintf
     "backend c: compiler %s; cache %s (%d entr%s, %.1f MiB used, %.0f MiB \
-     limit)"
+     limit; shared objects: %d trusted, %d quarantined)"
     (Toolchain.describe ()) dir n
     (if n = 1 then "y" else "ies")
     (float_of_int bytes /. 1048576.)
     (float_of_int (Cache.max_bytes ()) /. 1048576.)
+    trusted quarantined

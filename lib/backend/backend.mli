@@ -14,6 +14,19 @@
       dlopened once per process ({!Dlexec}) and called in-process on
       Bigarray-backed buffers — no spawn, no blob I/O.
 
+    The in-process tier is crash-safe through the quarantine protocol:
+    a shared object of unknown provenance is never dlopen'd directly —
+    its first execution happens in the crash-isolated {!Canary} child,
+    and only a clean canary run promotes it to {!Cache.Trusted} (the
+    persistent trust bit in the cache meta).  A crash marker written
+    around every in-process call demotes an artifact whose previous
+    process died mid-call.  Subprocess and canary executions honor the
+    plan's [exec_timeout_ms] watchdog; canary runs are always bounded.
+    Compilation retries transient toolchain failures (signal-killed
+    compiler) with jittered backoff, and concurrent processes
+    compiling the same key are single-flighted through the cache's
+    advisory lock.
+
     Either way the caller gets the same {!Polymage_rt.Executor.result}
     shape the native executor produces, so results can be diffed
     element-wise.
@@ -22,8 +35,13 @@
     counters [backend/compile_ms], [backend/cache_hit],
     [backend/cache_miss], [backend/cache_corrupt],
     [backend/cache_evictions], [backend/compile_invocations],
-    [backend/exec_ms], [backend/subprocess_spawns], [backend/dl_loads],
-    [backend/dl_calls]. *)
+    [backend/compile_retries], [backend/exec_ms],
+    [backend/subprocess_spawns], [backend/dl_loads],
+    [backend/dl_calls], [backend/quarantine_runs],
+    [backend/promotions], [backend/quarantine_failures],
+    [backend/crash_demotions], [backend/watchdog_kills],
+    [backend/flight_waits], [backend/flight_stale],
+    [backend/capture_truncated]. *)
 
 open Polymage_ir
 module Comp = Polymage_compiler
@@ -38,6 +56,10 @@ type stats = {
           [repeats > 0]: the subprocess binary's own [TIME_MS]
           (excludes start-up and blob I/O) for {!run}; best
           in-process call time for {!run_dl} *)
+  quarantined : bool;
+      (** this execution was a quarantine canary run (crash-isolated
+          child; a clean run promoted the artifact to trusted, so the
+          next call runs in-process) *)
 }
 
 val compile : ?cache_dir:string -> Comp.Plan.t -> string * float * bool * string * string
@@ -73,13 +95,20 @@ val run_dl :
   images:(Ast.image * Rt.Buffer.t) list ->
   Rt.Executor.result * stats
 (** Compile (or fetch) the shared-object artifact and execute it
-    in-process.  A cached artifact that fails to load or run is
-    forgotten ({!Dlexec.forget}), invalidated and rebuilt once before
-    the error propagates.
+    under the quarantine protocol: quarantined artifacts run in the
+    crash-isolated canary child (promoted to trusted on success,
+    invalidated on failure — the error then propagates so the tier
+    ladder can degrade a rung); trusted artifacts run in-process with
+    a crash marker maintained around the call.  A stale marker (a
+    previous process died mid-call) demotes the artifact and
+    recompiles once; a trusted artifact that fails recoverably (load
+    error, geometry disagreement) is invalidated and rebuilt once,
+    re-entering quarantine.
     @raise Polymage_util.Err.Polymage_error when no compiler is
     available or it cannot build shared objects (phase [Codegen]),
-    compilation fails, or the object cannot be loaded/called (phase
-    [Exec]). *)
+    compilation fails, the canary run fails (phase [Exec] — the
+    detail names the signal or watchdog deadline), or the object
+    cannot be loaded/called (phase [Exec]). *)
 
 val run_safe :
   ?cache_dir:string ->

@@ -5,10 +5,16 @@
    source).  A key never names both kinds: the shared-object build
    uses different flags and a different emitted entry point, so the
    digests diverge by construction.  The meta file records the
-   artifact's byte size, kind, and exported entry symbol (meta format
-   2; format-1 files from before the shared-object tier carry only the
-   size and read back as kind=exe, entry=main — old entries stay
-   usable, they are not invalidated).  A missing, unparseable or
+   artifact's byte size, kind, exported entry symbol and trust state
+   (meta format 3; format-2 files from before the quarantine layer
+   lack the trust line and read back as quarantined — safe, a canary
+   run re-earns trust; format-1 files from before the shared-object
+   tier carry only the size and read back as kind=exe, entry=main —
+   old entries stay usable, they are not invalidated).  Trust is the
+   quarantine protocol's persistent bit: artifacts are stored
+   quarantined, promoted to trusted only after a clean crash-isolated
+   first execution, and only trusted shared objects are ever dlopen'd
+   into the parent process.  A missing, unparseable or
    mismatching meta — or a meta whose kind disagrees with the artifact
    suffix on disk — marks the entry corrupt (partial store, torn
    write) and it is silently discarded: the contract is "bad artifact
@@ -32,6 +38,17 @@ let kind_of_string = function
   | _ -> None
 
 let suffix_of_kind k = "." ^ kind_to_string k
+
+type trust = Quarantined | Trusted
+
+let trust_to_string = function
+  | Quarantined -> "quarantined"
+  | Trusted -> "trusted"
+
+let trust_of_string = function
+  | "quarantined" -> Some Quarantined
+  | "trusted" -> Some Trusted
+  | _ -> None
 
 let default_max_bytes = 256 * 1024 * 1024
 
@@ -66,11 +83,20 @@ let artifact_path ~dir ~kind key = Filename.concat dir (key ^ suffix_of_kind kin
 let exe_path ~dir key = artifact_path ~dir ~kind:Exe key
 let meta_path ~dir key = Filename.concat dir (key ^ ".meta")
 
-type meta = { m_size : int; m_kind : kind; m_entry : string }
+type meta = {
+  m_size : int;
+  m_kind : kind;
+  m_entry : string;
+  m_trust : trust;
+}
 
-(* Meta format 2: "size N\nkind exe|so\nentry SYMBOL\n".  Format-1
-   files (PR 5) hold only the size line; they read back with the
-   defaults an executable artifact always had. *)
+(* Meta format 3: "size N\nkind exe|so\nentry SYMBOL\ntrust T\n".
+   Format-2 files (PR 6) lack the trust line and read back
+   quarantined — the safe default: an artifact of unknown provenance
+   must re-earn trust through a canary run before it is dlopen'd.
+   Format-1 files (PR 5) hold only the size line; they read back with
+   the defaults an executable artifact always had.  An unrecognized
+   trust value also reads as quarantined rather than corrupt. *)
 let read_meta ~dir k =
   match open_in (meta_path ~dir k) with
   | exception Sys_error _ -> None
@@ -102,7 +128,14 @@ let read_meta ~dir k =
           let m_entry =
             Option.value ~default:"main" (Hashtbl.find_opt fields "entry")
           in
-          Option.map (fun m_kind -> { m_size; m_kind; m_entry }) m_kind)
+          let m_trust =
+            match Hashtbl.find_opt fields "trust" with
+            | None -> Quarantined (* formats 1-2 predate trust *)
+            | Some s -> Option.value ~default:Quarantined (trust_of_string s)
+          in
+          Option.map
+            (fun m_kind -> { m_size; m_kind; m_entry; m_trust })
+            m_kind)
 
 let file_size path =
   match Unix.stat path with
@@ -111,12 +144,16 @@ let file_size path =
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
+let marker_path ~dir key = Filename.concat dir (key ^ ".inflight")
+
 (* Kind-agnostic on purpose: invalidation is the corruption/recovery
-   path, where the artifact suffix on disk may disagree with the meta. *)
+   path, where the artifact suffix on disk may disagree with the meta.
+   Any crash marker goes too: the entry it attributed is gone. *)
 let invalidate ~dir key =
   remove_if_exists (artifact_path ~dir ~kind:Exe key);
   remove_if_exists (artifact_path ~dir ~kind:So key);
-  remove_if_exists (meta_path ~dir key)
+  remove_if_exists (meta_path ~dir key);
+  remove_if_exists (marker_path ~dir key)
 
 let touch path =
   try Unix.utimes path 0. 0. (* both zero: set to now *)
@@ -203,7 +240,116 @@ let evict ?max_bytes:limit ?keep dir =
   go total es;
   !evicted
 
-let store ?(kind = Exe) ?(entry = "main") ~dir ~key ~build () =
+let meta_content m =
+  Printf.sprintf "size %d\nkind %s\nentry %s\ntrust %s\n" m.m_size
+    (kind_to_string m.m_kind) m.m_entry (trust_to_string m.m_trust)
+
+let trust ~dir key = Option.map (fun m -> m.m_trust) (read_meta ~dir key)
+
+(* Rewrite only the trust line, preserving whatever size/kind/entry
+   the meta already records; a missing or unreadable meta means the
+   entry reads as corrupt anyway, so there is nothing to promote. *)
+let set_trust ~dir ~key t =
+  match read_meta ~dir key with
+  | None -> ()
+  | Some m -> (
+    try write_file_atomic (meta_path ~dir key) (meta_content { m with m_trust = t })
+    with Sys_error _ -> ())
+
+let trust_stats dir =
+  List.fold_left
+    (fun (tn, qn) (k, kind, _, _) ->
+      match kind with
+      | Exe -> (tn, qn)
+      | So -> (
+        match trust ~dir k with
+        | Some Trusted -> (tn + 1, qn)
+        | _ -> (tn, qn + 1)))
+    (0, 0) (entries dir)
+
+(* Crash markers: a <key>.inflight file holding the caller's pid,
+   written immediately before an in-process call into the key's
+   artifact and removed immediately after.  If a later process finds a
+   marker whose owner is dead, the previous process died mid-call —
+   almost certainly inside the artifact — and the entry must lose its
+   trust.  A marker owned by a live process is a concurrent run, not
+   evidence of a crash. *)
+let write_marker ~dir key =
+  mkdir_p dir;
+  try
+    write_file_atomic (marker_path ~dir key)
+      (string_of_int (Unix.getpid ()) ^ "\n")
+  with Sys_error _ -> ()
+
+let clear_marker ~dir key = remove_if_exists (marker_path ~dir key)
+
+let stale_marker ~dir key =
+  match open_in (marker_path ~dir key) with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let line = try input_line ic with End_of_file -> "" in
+        match int_of_string_opt (String.trim line) with
+        | None -> true (* unreadable marker: cannot attribute, distrust *)
+        | Some pid when pid = Unix.getpid () -> false
+        | Some pid -> (
+          match Unix.kill pid 0 with
+          | () -> false (* owner alive: concurrent run, not a crash *)
+          | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+          | exception Unix.Unix_error _ -> false (* EPERM: alive *)))
+
+let lock_path ~dir key = Filename.concat dir (key ^ ".lock")
+
+(* Cross-process single-flight for compilation of one key: an advisory
+   fcntl lock on <key>.lock so concurrent processes compiling the same
+   pipeline don't both pay for the build — the loser waits, then finds
+   the winner's artifact with a cheap lookup.  fcntl locks do not
+   exclude within one process (the auto tier's background domain
+   coordinates through its own state machine), and they vanish with
+   their owner, so a crashed holder cannot wedge anyone.  The deadline
+   is a backstop against a pathologically slow holder: past it the
+   waiter proceeds unlocked (worst case: a duplicate compile, the
+   original failure mode). *)
+let with_flight ?(stale_ms = 120_000) ~dir ~key f =
+  mkdir_p dir;
+  let fd =
+    Unix.openfile (lock_path ~dir key) [ Unix.O_RDWR; Unix.O_CREAT ] 0o600
+  in
+  let locked = ref false in
+  let waited = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if !locked then (
+        try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      Unix.close fd)
+    (fun () ->
+      let deadline =
+        Unix.gettimeofday () +. (float_of_int stale_ms /. 1000.)
+      in
+      let rec acquire () =
+        match Unix.lockf fd Unix.F_TLOCK 0 with
+        | () -> locked := true
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+          if not !waited then begin
+            waited := true;
+            Metrics.bumpn "backend/flight_waits"
+          end;
+          if Unix.gettimeofday () >= deadline then
+            Metrics.bumpn "backend/flight_stale" (* proceed unlocked *)
+          else begin
+            Unix.sleepf 0.05;
+            acquire ()
+          end
+        | exception Unix.Unix_error _ ->
+          () (* filesystem without lock support: proceed unlocked *)
+      in
+      acquire ();
+      f ())
+
+let store ?(kind = Exe) ?(entry = "main") ?(trust = Quarantined) ~dir ~key
+    ~build () =
   mkdir_p dir;
   let art = artifact_path ~dir ~kind key in
   let tmp =
@@ -222,8 +368,8 @@ let store ?(kind = Exe) ?(entry = "main") ~dir ~key ~build () =
       | Some size ->
         Sys.rename tmp art;
         write_file_atomic (meta_path ~dir key)
-          (Printf.sprintf "size %d\nkind %s\nentry %s\n" size
-             (kind_to_string kind) entry));
+          (meta_content
+             { m_size = size; m_kind = kind; m_entry = entry; m_trust = trust }));
   ignore (evict ~keep:key dir);
   art
 

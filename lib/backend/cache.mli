@@ -6,19 +6,38 @@
     content hash of (compiler identity, flags, emitted source) — a key
     never names both kinds, because the shared-object build differs in
     both flags and emitted entry point.  The meta records the
-    artifact's size, kind, and exported entry symbol (format 2;
-    format-1 metas from before the shared-object tier read back as
-    executables, so old entries remain usable).  Torn or partial
-    stores — including a meta whose kind disagrees with the artifact
-    on disk — read as corrupt and are recompiled, never executed.
-    Size-bounded LRU over both kinds: lookups touch their entry's
-    mtime, stores evict oldest-first down to [POLYMAGE_CACHE_BYTES]
-    (default 256 MiB). *)
+    artifact's size, kind, exported entry symbol and trust state
+    (format 3; format-2 metas from before the quarantine layer read
+    back as quarantined, format-1 metas from before the shared-object
+    tier read back as quarantined executables — old entries remain
+    usable either way).  Torn or partial stores — including a meta
+    whose kind disagrees with the artifact on disk — read as corrupt
+    and are recompiled, never executed.  Size-bounded LRU over both
+    kinds: lookups touch their entry's mtime, stores evict
+    oldest-first down to [POLYMAGE_CACHE_BYTES] (default 256 MiB).
+
+    The cache also hosts the quarantine protocol's persistence: the
+    trust bit in the meta, per-key crash markers ([<key>.inflight])
+    that attribute a process death to the artifact that was executing,
+    and per-key advisory locks ([<key>.lock]) for cross-process
+    single-flight compilation. *)
 
 type kind = Exe | So
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option
+
+type trust = Quarantined | Trusted
+    (** Quarantine state of an artifact.  Fresh stores default to
+        [Quarantined]: the artifact's first execution must happen in a
+        crash-isolated child (the canary).  A clean canary run
+        promotes to [Trusted], which makes a shared object eligible
+        for in-process dlopen.  A crash attributed to the artifact
+        demotes it (invalidation — it recompiles and re-enters
+        quarantine). *)
+
+val trust_to_string : trust -> string
+val trust_of_string : string -> trust option
 
 val default_dir : unit -> string
 val max_bytes : unit -> int
@@ -44,6 +63,7 @@ val entry_symbol : dir:string -> string -> string option
 val store :
   ?kind:kind ->
   ?entry:string ->
+  ?trust:trust ->
   dir:string ->
   key:string ->
   build:(string -> unit) ->
@@ -51,11 +71,54 @@ val store :
   string
 (** [store ~dir ~key ~build] creates the cache directory, calls
     [build tmp_path] to produce the artifact, atomically installs it
-    under the key with the given kind (default [Exe]) and entry
-    symbol, writes the meta, evicts down to the size bound (never the
-    entry just stored) and returns the artifact path.
+    under the key with the given kind (default [Exe]), entry symbol
+    and trust state (default [Quarantined]), writes the meta, evicts
+    down to the size bound (never the entry just stored) and returns
+    the artifact path.
     @raise Polymage_util.Err.Polymage_error when [build] raises or
     produces nothing. *)
+
+val trust : dir:string -> string -> trust option
+(** The trust state recorded in the key's meta; [None] when the meta
+    is missing or unreadable.  Format-1/2 metas (no trust line) read
+    as [Some Quarantined]. *)
+
+val set_trust : dir:string -> key:string -> trust -> unit
+(** Atomically rewrite the key's meta with the given trust state,
+    preserving size, kind and entry.  No-op when the meta is missing
+    (nothing valid to promote). *)
+
+val trust_stats : string -> int * int
+(** [(trusted, quarantined)] counts over the shared-object entries of
+    the directory — for [describe]/[explain] surfaces. *)
+
+val write_marker : dir:string -> string -> unit
+(** Write the key's crash marker ([<key>.inflight], holding this
+    process's pid) — called immediately before an in-process call into
+    the key's artifact. *)
+
+val clear_marker : dir:string -> string -> unit
+(** Remove the key's crash marker — called immediately after the
+    in-process call returns (or raises). *)
+
+val stale_marker : dir:string -> string -> bool
+(** [true] when the key carries a crash marker owned by a dead
+    process: the previous process died mid-call inside this artifact,
+    and the entry must be demoted.  A marker owned by a live process
+    (concurrent run) or by this process is not stale; an unreadable
+    marker is treated as stale (cannot attribute, distrust). *)
+
+val with_flight :
+  ?stale_ms:int -> dir:string -> key:string -> (unit -> 'a) -> 'a
+(** [with_flight ~dir ~key f] runs [f] holding an advisory
+    cross-process lock on [<key>.lock], so concurrent processes
+    compiling the same key don't both pay for the build — waiters
+    block (polling), then typically find the winner's artifact with a
+    cheap lookup.  Locks are per-process fcntl locks: they do not
+    exclude within one process, and they vanish with a crashed owner.
+    After [stale_ms] (default 120 s) a waiter gives up and proceeds
+    unlocked ([backend/flight_stale]); the first wait of a call bumps
+    [backend/flight_waits]. *)
 
 val invalidate : dir:string -> string -> unit
 (** Drop an entry, whatever its kind (used when a cached artifact

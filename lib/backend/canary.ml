@@ -1,0 +1,223 @@
+(* The quarantine canary: a small generic runner executable that
+   dlopens a given pipeline shared object in a *child* process and
+   drives it through the same raw-blob protocol as the subprocess
+   tier.  A quarantined .so gets its first execution here — if the
+   artifact segfaults, aborts, or loops forever, only the canary dies
+   (or the watchdog kills it); the parent observes a clean failure,
+   keeps its own address space intact, and withholds trust.  A clean
+   canary exit with valid output blobs is what promotes the artifact
+   to trusted (eligible for in-process dlopen).
+
+   The runner is pipeline-agnostic: the .so path, entry symbol,
+   thread count, parameters, input blobs and output geometry all
+   arrive via argv, so ONE canary binary (compiled once per toolchain
+   and cached like any other artifact, born trusted — it is our own
+   static code, not generated) serves every pipeline.
+
+   argv protocol:
+     canary <so> <entry> <nthreads> <repeats>
+            <np> <p0> ... <ni> <in0.raw> ...
+            <no> { <outK.raw> <rankK> <extK_0> ... }...
+
+   Inputs are PMRAW blobs read trusting their own headers; outputs
+   are allocated from the argv geometry, validated by the entry's
+   out_totals check, and written back as PMRAW.  [repeats > 0] adds a
+   best-of timed loop printing TIME_MS, mirroring the raw main.  Exit
+   codes: 2 usage, 3 blob I/O, 4 dlopen/dlsym/entry failure; a crash
+   inside the artifact surfaces as death-by-signal. *)
+
+module Err = Polymage_util.Err
+module Metrics = Polymage_util.Metrics
+
+let runner_source =
+  {|/* polymage quarantine canary: dlopen a pipeline .so and run it
+ * against PMRAW blobs, isolating the parent from artifact crashes. */
+#include <dlfcn.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+
+static double pm_now_ms(void) {
+  struct timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1e3 + ts.tv_nsec * 1e-6;
+}
+
+static const char pm_magic[8] = {'P','M','R','A','W','0','1','\n'};
+
+static double* read_raw(const char* path) {
+  FILE* f = fopen(path, "rb");
+  if (!f) { fprintf(stderr, "canary: cannot open %s\n", path); exit(3); }
+  char magic[8];
+  if (fread(magic, 1, 8, f) != 8 || memcmp(magic, pm_magic, 8) != 0) {
+    fprintf(stderr, "canary: bad magic in %s\n", path); exit(3);
+  }
+  uint32_t rank;
+  if (fread(&rank, 4, 1, f) != 1 || rank > 16) {
+    fprintf(stderr, "canary: bad rank in %s\n", path); exit(3);
+  }
+  int64_t total = 1;
+  for (uint32_t d = 0; d < rank; d++) {
+    int64_t e;
+    if (fread(&e, 8, 1, f) != 1 || e < 0) {
+      fprintf(stderr, "canary: bad extent in %s\n", path); exit(3);
+    }
+    total *= e;
+  }
+  double* buf = (double*)malloc(sizeof(double)
+                                * (size_t)(total > 0 ? total : 1));
+  if (!buf) { fprintf(stderr, "canary: oom for %s\n", path); exit(3); }
+  if ((int64_t)fread(buf, sizeof(double), (size_t)total, f) != total) {
+    fprintf(stderr, "canary: truncated payload in %s\n", path); exit(3);
+  }
+  fclose(f);
+  return buf;
+}
+
+static void write_raw(const char* path, uint32_t rank, const int64_t* ext,
+                      const double* data, int64_t total) {
+  FILE* f = fopen(path, "wb");
+  if (!f) {
+    fprintf(stderr, "canary: cannot open %s for writing\n", path);
+    exit(3);
+  }
+  fwrite(pm_magic, 1, 8, f);
+  fwrite(&rank, 4, 1, f);
+  for (uint32_t d = 0; d < rank; d++) fwrite(&ext[d], 8, 1, f);
+  if ((int64_t)fwrite(data, sizeof(double), (size_t)total, f) != total
+      || fclose(f) != 0) {
+    fprintf(stderr, "canary: short write to %s\n", path); exit(3);
+  }
+}
+
+typedef int (*pm_entry_fn)(int, const int32_t*, const double* const*,
+                           double* const*, const int64_t*);
+
+int main(int argc, char** argv) {
+  { uint32_t one = 1;
+    if (*(uint8_t*)&one != 1) {
+      fprintf(stderr, "canary: big-endian host unsupported\n");
+      return 3; } }
+  int a = 1;
+  if (argc < 6) {
+    fprintf(stderr,
+            "usage: %s <so> <entry> <nthreads> <repeats> <np> [p...] "
+            "<ni> [in.raw...] <no> [out.raw rank ext...]...\n",
+            argv[0]);
+    return 2;
+  }
+  const char* so = argv[a++];
+  const char* entry = argv[a++];
+  int nthreads = atoi(argv[a++]);
+  int repeats = atoi(argv[a++]);
+  int np = atoi(argv[a++]);
+  if (np < 0 || argc < a + np + 1) return 2;
+  int32_t* params = (int32_t*)calloc(np > 0 ? np : 1, sizeof(int32_t));
+  for (int i = 0; i < np; i++) params[i] = (int32_t)atoi(argv[a++]);
+  int ni = atoi(argv[a++]);
+  if (ni < 0 || argc < a + ni + 1) return 2;
+  const double** ins =
+      (const double**)calloc(ni > 0 ? ni : 1, sizeof(double*));
+  for (int i = 0; i < ni; i++) ins[i] = read_raw(argv[a++]);
+  int no = atoi(argv[a++]);
+  if (no <= 0) return 2;
+  const char** out_paths = (const char**)calloc(no, sizeof(char*));
+  uint32_t* out_ranks = (uint32_t*)calloc(no, sizeof(uint32_t));
+  int64_t** out_exts = (int64_t**)calloc(no, sizeof(int64_t*));
+  int64_t* totals = (int64_t*)calloc(no, sizeof(int64_t));
+  double** outs = (double**)calloc(no, sizeof(double*));
+  for (int k = 0; k < no; k++) {
+    if (argc < a + 2) return 2;
+    out_paths[k] = argv[a++];
+    int rank = atoi(argv[a++]);
+    if (rank < 0 || rank > 16 || argc < a + rank) return 2;
+    out_ranks[k] = (uint32_t)rank;
+    out_exts[k] = (int64_t*)calloc(rank > 0 ? rank : 1, sizeof(int64_t));
+    int64_t total = 1;
+    for (int d = 0; d < rank; d++) {
+      out_exts[k][d] = strtoll(argv[a++], NULL, 10);
+      if (out_exts[k][d] < 0) return 2;
+      total *= out_exts[k][d];
+    }
+    totals[k] = total;
+    outs[k] = (double*)malloc(sizeof(double)
+                              * (size_t)(total > 0 ? total : 1));
+    if (!outs[k]) { fprintf(stderr, "canary: oom\n"); exit(3); }
+  }
+  if (a != argc) return 2;
+  void* h = dlopen(so, RTLD_NOW | RTLD_LOCAL);
+  if (!h) { fprintf(stderr, "canary: dlopen: %s\n", dlerror()); return 4; }
+  pm_entry_fn fn = (pm_entry_fn)(intptr_t)dlsym(h, entry);
+  if (!fn) {
+    fprintf(stderr, "canary: dlsym %s: %s\n", entry, dlerror());
+    return 4;
+  }
+  int rc = fn(nthreads, params, ins, outs, totals);
+  if (rc != 0) {
+    fprintf(stderr,
+            "canary: entry reported geometry mismatch on output %d\n",
+            rc - 1);
+    return 4;
+  }
+  if (repeats > 0) {
+    double t_best = 1e30;
+    for (int rep = 0; rep < repeats; rep++) {
+      double t0 = pm_now_ms();
+      (void)fn(nthreads, params, ins, outs, totals);
+      double t1 = pm_now_ms();
+      if (t1 - t0 < t_best) t_best = t1 - t0;
+    }
+    printf("TIME_MS %.3f\n", t_best);
+  }
+  for (int k = 0; k < no; k++)
+    write_raw(out_paths[k], out_ranks[k], out_exts[k], outs[k], totals[k]);
+  return 0;
+}
+|}
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+let build (tc : Toolchain.t) out =
+  Metrics.bumpn "backend/compile_invocations";
+  let csrc = Filename.temp_file "pm_canary" ".c" in
+  Fun.protect
+    ~finally:(fun () -> remove_if_exists csrc)
+    (fun () ->
+      let oc = open_out csrc in
+      output_string oc runner_source;
+      close_out oc;
+      let r =
+        Proc.run ~timeout_ms:300_000 tc.cc
+          (Toolchain.split_flags tc.flags
+          @ [ "-std=gnu99"; "-o"; out; csrc; "-lm"; "-ldl" ])
+      in
+      if r.Proc.status <> 0 then
+        Err.failf Err.Codegen "Canary: %s failed (%s): %s" tc.cc
+          (Proc.describe_status r)
+          (Proc.first_lines (r.Proc.stderr ^ "\n" ^ r.Proc.stdout)))
+
+(* The canary binary is itself cached — keyed off its own source and
+   the toolchain, with a "[canary]" flag salt so it can never collide
+   with a pipeline key — and stored born-trusted: it is this repo's
+   static code, not generated per-pipeline, and it never runs in the
+   parent's address space anyway. *)
+let runner ?cache_dir () =
+  let tc = Toolchain.get () in
+  let dir =
+    match cache_dir with Some d -> d | None -> Cache.default_dir ()
+  in
+  let key =
+    Cache.key ~cc:tc.cc ~version:tc.version
+      ~flags:(tc.flags ^ " [canary]")
+      ~source:runner_source
+  in
+  match Cache.lookup ~kind:Cache.Exe ~dir key with
+  | Some exe -> exe
+  | None ->
+    Cache.with_flight ~dir ~key (fun () ->
+        match Cache.lookup ~kind:Cache.Exe ~dir key with
+        | Some exe -> exe
+        | None ->
+          Cache.store ~kind:Cache.Exe ~entry:"main" ~trust:Cache.Trusted
+            ~dir ~key ~build:(build tc) ())

@@ -1,0 +1,27 @@
+(** The quarantine canary: a generic runner executable that dlopens a
+    pipeline shared object in a {e child} process and drives it
+    through the raw-blob protocol.
+
+    A quarantined [.so]'s first execution happens here, crash-isolated:
+    if the artifact segfaults or hangs, only the canary dies (the
+    watchdog bounds the hang) and the parent keeps its address space.
+    A clean canary run with valid output blobs is what promotes the
+    artifact to {!Cache.Trusted}.
+
+    The runner is pipeline-agnostic — [.so] path, entry symbol, thread
+    count, parameters, input blobs and output geometry all arrive via
+    argv — so one binary, compiled once per toolchain and cached
+    born-trusted (it is static repo code, not generated), serves every
+    pipeline.  Exit codes: 0 success, 2 usage, 3 blob I/O, 4
+    dlopen/dlsym/geometry failure; an artifact crash surfaces as
+    death-by-signal.  With [repeats > 0] it prints a best-of
+    [TIME_MS] line like the raw main. *)
+
+val runner : ?cache_dir:string -> unit -> string
+(** Path to the canary executable, compiling it into the artifact
+    cache on first use (single-flighted across processes).
+    @raise Polymage_util.Err.Polymage_error when no C compiler is
+    available or the build fails. *)
+
+val runner_source : string
+(** The canary's C source (exposed for cache-key tests). *)

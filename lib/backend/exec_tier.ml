@@ -9,7 +9,12 @@
      c-dlopen -> c-subprocess -> native (opt+vec+kernels -> opt -> naive)
 
    Each rung records a degradation and falls to the next; the caller
-   always gets a result (or the native executor's terminal error). *)
+   always gets a result (or the native executor's terminal error).
+   The c-dlopen rung never dlopens an unvetted artifact: Backend's
+   quarantine protocol runs the first execution in a crash-isolated
+   canary child, so a crashing or hanging shared object kills (or
+   times out) the canary, the entry is invalidated, and this ladder
+   degrades to c-subprocess with the parent intact. *)
 
 module Comp = Polymage_compiler
 module Rt = Polymage_rt

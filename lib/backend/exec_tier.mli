@@ -9,7 +9,16 @@
 
     The degradation ladder composes left to right:
     c-dlopen -> c-subprocess -> native (opt+vec+kernels -> opt ->
-    naive); each rung records a degradation and falls to the next. *)
+    naive); each rung records a degradation and falls to the next.
+
+    The c-dlopen rung is crash-safe: a fresh or unknown shared object
+    is quarantined — its first execution happens in a crash-isolated
+    canary child, and only after a clean run is it promoted to trusted
+    and dlopen'd into this process (see {!Backend.run_dl}).  An
+    artifact that crashes or hangs its canary is invalidated, the rung
+    records a degradation naming the signal or watchdog deadline, and
+    execution falls to c-subprocess — the parent process survives
+    every artifact failure mode. *)
 
 open Polymage_ir
 module Comp = Polymage_compiler

@@ -1,0 +1,115 @@
+/* Child-process spawn stub for Proc.run.
+ *
+ * OCaml 5 refuses Unix.fork once any domain has been spawned (forking
+ * a multi-domain runtime is unsafe in general), and the native
+ * executor's worker pool spawns domains — so the backend cannot fork
+ * from OCaml.  The narrow fork+exec case is still sound, though: the
+ * child touches only async-signal-safe calls (setsid, setrlimit,
+ * dup2, execve, write, _exit) before exec'ing, and every argument it
+ * needs is copied onto the C heap before the fork.
+ *
+ * The child calls setsid() so it leads its own session and process
+ * group — the watchdog in Proc.run kills the group, catching any
+ * helpers the child forked (OpenMP runtime, compiler drivers).
+ * Optional rlimits bound CPU seconds (hard limit one second above
+ * soft so SIGXCPU, which the parent can name in its report, fires
+ * before SIGKILL) and address space as a kernel-enforced backstop
+ * underneath the watchdog.
+ *
+ * Argument is a single tuple so no bytecode wrapper is needed:
+ *   (prog, argv, env, out_fd, err_fd, rlimit_cpu_s, rlimit_as_bytes)
+ * stdin comes from /dev/null; rlimit values <= 0 mean "no limit".
+ * Returns the child pid, or -errno when fork itself fails.
+ */
+
+#define _GNU_SOURCE /* execvpe */
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+static char **dup_string_array(value varr)
+{
+  int n = Wosize_val(varr);
+  char **out = calloc((size_t)n + 1, sizeof(char *));
+  if (!out) return NULL;
+  for (int i = 0; i < n; i++) {
+    out[i] = strdup(String_val(Field(varr, i)));
+    if (!out[i]) {
+      for (int j = 0; j < i; j++) free(out[j]);
+      free(out);
+      return NULL;
+    }
+  }
+  out[n] = NULL;
+  return out;
+}
+
+static void free_string_array(char **arr)
+{
+  if (!arr) return;
+  for (char **p = arr; *p; p++) free(*p);
+  free(arr);
+}
+
+CAMLprim value pm_spawn(value vspec)
+{
+  CAMLparam1(vspec);
+  char *prog = strdup(String_val(Field(vspec, 0)));
+  char **argv = dup_string_array(Field(vspec, 1));
+  char **envp = dup_string_array(Field(vspec, 2));
+  int out_fd = Int_val(Field(vspec, 3));
+  int err_fd = Int_val(Field(vspec, 4));
+  long cpu_s = Long_val(Field(vspec, 5));
+  long as_bytes = Long_val(Field(vspec, 6));
+  int devnull = open("/dev/null", O_RDONLY);
+  pid_t pid;
+
+  if (!prog || !argv || !envp) {
+    pid = -1;
+    errno = ENOMEM;
+  } else {
+    pid = fork();
+  }
+  if (pid == 0) {
+    /* Child: async-signal-safe calls only from here to execve. */
+    setsid();
+    if (cpu_s > 0) {
+      struct rlimit rl;
+      rl.rlim_cur = (rlim_t)cpu_s;
+      rl.rlim_max = (rlim_t)cpu_s + 1;
+      (void)setrlimit(RLIMIT_CPU, &rl);
+    }
+    if (as_bytes > 0) {
+      struct rlimit rl;
+      rl.rlim_cur = (rlim_t)as_bytes;
+      rl.rlim_max = (rlim_t)as_bytes;
+      (void)setrlimit(RLIMIT_AS, &rl);
+    }
+    if (devnull >= 0) (void)dup2(devnull, 0);
+    (void)dup2(out_fd, 1);
+    (void)dup2(err_fd, 2);
+    /* execvpe, not execve: bare program names ("cc") resolve through
+     * PATH like the shell would */
+    execvpe(prog, argv, envp);
+    {
+      const char msg[] = ": cannot execute\n";
+      (void)!write(2, prog, strlen(prog));
+      (void)!write(2, msg, sizeof(msg) - 1);
+    }
+    _exit(127);
+  }
+
+  int saved_errno = errno;
+  if (devnull >= 0) close(devnull);
+  free(prog);
+  free_string_array(argv);
+  free_string_array(envp);
+  CAMLreturn(Val_long(pid < 0 ? -(long)saved_errno : (long)pid));
+}

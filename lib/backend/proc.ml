@@ -1,25 +1,58 @@
 (* Argv-style subprocess execution for the backend: every child the
    backend ever spawns (compiler invocations, compiled-artifact runs,
-   toolchain probes) goes through [run], which execs the program
-   directly — no shell, so paths with spaces or metacharacters are
-   passed verbatim — and captures stdout/stderr into temp files read
-   back after the wait.  Files instead of pipes: compiler diagnostics
-   can exceed a pipe buffer, and a full pipe with nobody draining it
-   deadlocks the child.  Captures are capped so a runaway child cannot
-   balloon the parent.
+   canary runs, toolchain probes) goes through [run], which forks and
+   execs the program directly — no shell, so paths with spaces or
+   metacharacters are passed verbatim — and captures stdout/stderr
+   into temp files read back after the wait.  Files instead of pipes:
+   compiler diagnostics can exceed a pipe buffer, and a full pipe with
+   nobody draining it deadlocks the child.  Captures are capped so a
+   runaway child cannot balloon the parent, with an explicit
+   truncation marker so a cut compiler diagnostic is visible as cut.
+
+   The child calls [setsid] before exec, so it leads its own process
+   group: the watchdog ([?timeout_ms]) can kill the whole group —
+   SIGTERM, a short grace window, then SIGKILL — and a child that
+   forks helpers (an OpenMP runtime, a compiler driver's cc1) cannot
+   leave orphans running after the deadline.  Optional rlimits (CPU
+   seconds, address-space bytes) are applied between fork and exec as
+   a kernel-enforced backstop underneath the watchdog.
+
+   The fork+exec itself lives in a C stub (pm_proc_stubs.c): OCaml 5
+   refuses [Unix.fork] once any domain has been spawned, and the
+   native executor's worker pool spawns domains — but the narrow
+   fork-then-immediately-exec case is sound, as the child performs
+   only async-signal-safe calls on pre-copied C-heap arguments.
 
    Every spawn bumps [backend/subprocess_spawns]; the warm-path tests
    assert the counter stays at zero for in-process execution. *)
 
+module Err = Polymage_util.Err
 module Metrics = Polymage_util.Metrics
+
+(* (prog, argv, env, out_fd, err_fd, rlimit_cpu_s, rlimit_as_bytes)
+   -> pid, or -errno when fork fails.  stdin is /dev/null; exec
+   failure surfaces as exit 127 with the reason on stderr. *)
+external pm_spawn :
+  string
+  * string array
+  * string array
+  * Unix.file_descr
+  * Unix.file_descr
+  * int
+  * int
+  -> int = "pm_spawn"
 
 type result = {
   status : int;  (* exit code; 128+signal when killed by a signal *)
   stdout : string;  (* captured stdout, capped at [capture_limit] *)
   stderr : string;  (* captured stderr, capped at [capture_limit] *)
+  signal : string option;  (* signal name when signal-killed *)
+  timed_out : bool;  (* the watchdog killed the process group *)
+  timeout_ms : int option;  (* the deadline that was armed, if any *)
 }
 
 let capture_limit = 65536
+let truncation_marker n = Printf.sprintf "\n... [truncated at %d bytes]" n
 
 let read_capped path =
   match open_in_bin path with
@@ -28,8 +61,13 @@ let read_capped path =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let n = min (in_channel_length ic) capture_limit in
-        really_input_string ic n)
+        let len = in_channel_length ic in
+        if len <= capture_limit then really_input_string ic len
+        else begin
+          Metrics.bumpn "backend/capture_truncated";
+          really_input_string ic capture_limit
+          ^ truncation_marker capture_limit
+        end)
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
@@ -48,7 +86,102 @@ let env_with extra =
   Array.of_list
     (List.map (fun (k, v) -> k ^ "=" ^ v) extra @ inherited)
 
-let run ?(env_extra = []) prog args =
+(* OCaml's Unix translates known signal numbers into its own negative
+   constants; map them back to conventional names and numbers so exit
+   statuses follow the shell's 128+N convention and errors can name
+   the signal (SIGSEGV from a crashing artifact vs SIGKILL from the
+   watchdog vs SIGXCPU from an rlimit). *)
+let signal_table =
+  [
+    (Sys.sighup, ("SIGHUP", 1));
+    (Sys.sigint, ("SIGINT", 2));
+    (Sys.sigquit, ("SIGQUIT", 3));
+    (Sys.sigill, ("SIGILL", 4));
+    (Sys.sigabrt, ("SIGABRT", 6));
+    (Sys.sigfpe, ("SIGFPE", 8));
+    (Sys.sigkill, ("SIGKILL", 9));
+    (Sys.sigusr1, ("SIGUSR1", 10));
+    (Sys.sigsegv, ("SIGSEGV", 11));
+    (Sys.sigusr2, ("SIGUSR2", 12));
+    (Sys.sigpipe, ("SIGPIPE", 13));
+    (Sys.sigalrm, ("SIGALRM", 14));
+    (Sys.sigterm, ("SIGTERM", 15));
+    (Sys.sigchld, ("SIGCHLD", 17));
+    (Sys.sigcont, ("SIGCONT", 18));
+    (Sys.sigstop, ("SIGSTOP", 19));
+    (Sys.sigtstp, ("SIGTSTP", 20));
+    (Sys.sigttin, ("SIGTTIN", 21));
+    (Sys.sigttou, ("SIGTTOU", 22));
+    (Sys.sigxcpu, ("SIGXCPU", 24));
+    (Sys.sigxfsz, ("SIGXFSZ", 25));
+    (Sys.sigvtalrm, ("SIGVTALRM", 26));
+    (Sys.sigprof, ("SIGPROF", 27));
+    (Sys.sigbus, ("SIGBUS", 7));
+  ]
+
+let signal_info s =
+  match List.assoc_opt s signal_table with
+  | Some info -> info
+  | None ->
+    (* positive numbers are system signals OCaml has no constant for *)
+    let n = abs s in
+    (Printf.sprintf "SIG%d" n, n)
+
+let status_of_process = function
+  | Unix.WEXITED n -> (n, None)
+  | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+    let name, n = signal_info s in
+    (128 + n, Some name)
+
+let describe_status r =
+  match (r.timed_out, r.signal) with
+  | true, sig_name ->
+    Printf.sprintf "killed by watchdog after %d ms deadline%s"
+      (Option.value ~default:0 r.timeout_ms)
+      (match sig_name with Some n -> " (" ^ n ^ ")" | None -> "")
+  | false, Some name -> Printf.sprintf "killed by %s (exit %d)" name r.status
+  | false, None -> Printf.sprintf "exit %d" r.status
+
+(* Kill the child's whole process group (it setsid'd, so its pgid is
+   its pid); fall back to the pid alone if the group is already gone. *)
+let kill_group pid signal =
+  (try Unix.kill (-pid) signal with Unix.Unix_error _ -> ());
+  try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+(* Poll for exit until [deadline]; None = still running at deadline. *)
+let rec wait_until pid deadline =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ ->
+    if Unix.gettimeofday () >= deadline then None
+    else begin
+      Unix.sleepf 0.004;
+      wait_until pid deadline
+    end
+  | _, status -> Some status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_until pid deadline
+
+(* Reap with an optional watchdog.  The grace window between SIGTERM
+   and SIGKILL is bounded by the timeout itself so the total time to
+   reap stays under 2x the configured deadline. *)
+let reap pid timeout_ms =
+  match timeout_ms with
+  | None -> (snd (Unix.waitpid [] pid), false)
+  | Some ms ->
+    let seconds = float_of_int ms /. 1000. in
+    (match wait_until pid (Unix.gettimeofday () +. seconds) with
+    | Some status -> (status, false)
+    | None ->
+      Metrics.bumpn "backend/watchdog_kills";
+      kill_group pid Sys.sigterm;
+      let grace = Float.min (Float.max (0.5 *. seconds) 0.05) 2.0 in
+      (match wait_until pid (Unix.gettimeofday () +. grace) with
+      | Some status -> (status, true)
+      | None ->
+        kill_group pid Sys.sigkill;
+        (snd (Unix.waitpid [] pid), true)))
+
+let run ?(env_extra = []) ?timeout_ms ?rlimit_cpu_s ?rlimit_as_bytes prog
+    args =
   Metrics.bumpn "backend/subprocess_spawns";
   let out_f = Filename.temp_file "pm_proc" ".out" in
   let err_f = Filename.temp_file "pm_proc" ".err" in
@@ -57,42 +190,50 @@ let run ?(env_extra = []) prog args =
       remove_if_exists out_f;
       remove_if_exists err_f)
     (fun () ->
-      let status =
-        match
-          let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
-          let out_fd =
-            Unix.openfile out_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
-          in
-          let err_fd =
-            Unix.openfile err_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
-          in
-          Fun.protect
-            ~finally:(fun () ->
-              Unix.close devnull;
-              Unix.close out_fd;
-              Unix.close err_fd)
-            (fun () ->
-              Unix.create_process_env prog
-                (Array.of_list (prog :: args))
-                (env_with env_extra) devnull out_fd err_fd)
-        with
-        | exception Unix.Unix_error (e, _, _) ->
-          (* exec failure (missing program, permission): report like a
-             shell would, with the reason where stderr goes *)
-          let oc = open_out err_f in
-          Printf.fprintf oc "%s: %s\n" prog (Unix.error_message e);
-          close_out oc;
-          127
-        | pid -> (
-          match snd (Unix.waitpid [] pid) with
-          | Unix.WEXITED n -> n
-          | Unix.WSIGNALED s | Unix.WSTOPPED s -> 128 + s)
+      let argv = Array.of_list (prog :: args) in
+      let env = env_with env_extra in
+      let out_fd =
+        Unix.openfile out_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
       in
-      { status; stdout = read_capped out_f; stderr = read_capped err_f })
+      let err_fd =
+        Unix.openfile err_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+      in
+      let spawn () =
+        pm_spawn
+          ( prog,
+            argv,
+            env,
+            out_fd,
+            err_fd,
+            Option.value ~default:0 rlimit_cpu_s,
+            Option.value ~default:0 rlimit_as_bytes )
+      in
+      let pid =
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close out_fd;
+            Unix.close err_fd)
+          spawn
+      in
+      if pid < 0 then
+        Err.failf Err.Exec "Proc: cannot fork to run %s (errno %d)" prog
+          (-pid);
+      let process_status, timed_out = reap pid timeout_ms in
+      let status, signal = status_of_process process_status in
+      {
+        status;
+        stdout = read_capped out_f;
+        stderr = read_capped err_f;
+        signal;
+        timed_out;
+        timeout_ms;
+      })
 
-(* First line of a program's stdout (toolchain version probes). *)
+(* First line of a program's stdout (toolchain version probes).  A
+   probe that hangs would otherwise wedge startup, so probes carry a
+   generous watchdog of their own. *)
 let first_line ?env_extra prog args =
-  match run ?env_extra prog args with
+  match run ?env_extra ~timeout_ms:30_000 prog args with
   | { status = 0; stdout; _ } -> (
     match String.index_opt stdout '\n' with
     | Some i -> Some (String.sub stdout 0 i)

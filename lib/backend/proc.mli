@@ -1,29 +1,73 @@
-(** Argv-style subprocess execution (no shell) with captured output.
+(** Argv-style subprocess execution (no shell) with captured output,
+    an optional watchdog, and optional kernel-enforced rlimits.
 
-    The backend's compiler invocations, artifact executions and
-    toolchain probes all go through {!run}: the program is exec'd
-    directly with its argv, so paths containing spaces or shell
+    The backend's compiler invocations, artifact executions, canary
+    runs and toolchain probes all go through {!run}: the program is
+    exec'd directly with its argv, so paths containing spaces or shell
     metacharacters need no quoting, and stdout/stderr are captured
-    (capped at 64 KiB each) for structured error reporting instead of
-    leaking to the terminal.  Every spawn bumps the
-    [backend/subprocess_spawns] counter — the in-process execution
-    tier's tests assert it stays at zero on the warm path. *)
+    (capped at 64 KiB each, with an explicit truncation marker) for
+    structured error reporting instead of leaking to the terminal.
+
+    The child runs in its own session (and hence its own process
+    group): when a [?timeout_ms] watchdog fires, the whole group is
+    killed — SIGTERM first, a short grace window, then SIGKILL — so a
+    child that forked helpers (OpenMP workers, compiler sub-processes)
+    cannot leave orphans behind.  Total time to reap stays under 2x
+    the configured deadline.  Optional rlimits (CPU seconds, address
+    space) are applied between fork and exec as a kernel backstop
+    underneath the watchdog.
+
+    Every spawn bumps the [backend/subprocess_spawns] counter — the
+    in-process execution tier's tests assert it stays at zero on the
+    warm path.  Watchdog kills bump [backend/watchdog_kills];
+    truncated captures bump [backend/capture_truncated]. *)
 
 type result = {
   status : int;  (** exit code; 128+signal when killed by a signal *)
   stdout : string;
   stderr : string;
+  signal : string option;
+      (** conventional signal name ("SIGSEGV", "SIGKILL", "SIGXCPU",
+          ...) when the child was killed by a signal; distinguishes an
+          artifact crash from a watchdog kill in error reports *)
+  timed_out : bool;  (** the watchdog killed the process group *)
+  timeout_ms : int option;  (** the deadline that was armed, if any *)
 }
 
-val run : ?env_extra:(string * string) list -> string -> string list -> result
+val capture_limit : int
+(** Per-stream capture cap in bytes (64 KiB). *)
+
+val read_capped : string -> string
+(** Read a file, capped at {!capture_limit} bytes; longer content is
+    truncated with an explicit ["... [truncated at N bytes]"] marker
+    appended and the [backend/capture_truncated] counter bumped.
+    Missing file reads as [""]. *)
+
+val run :
+  ?env_extra:(string * string) list ->
+  ?timeout_ms:int ->
+  ?rlimit_cpu_s:int ->
+  ?rlimit_as_bytes:int ->
+  string ->
+  string list ->
+  result
 (** [run prog args] executes [prog] with [args] (argv, not a shell
     string).  [env_extra] bindings shadow the inherited environment.
+    [timeout_ms] arms the watchdog; [rlimit_cpu_s] / [rlimit_as_bytes]
+    bound the child's CPU time (SIGXCPU on overrun) and address space.
     A failure to exec (missing program) reports status 127 with the
     reason in [stderr]; never raises. *)
 
+val describe_status : result -> string
+(** Human-readable one-phrase account of how the child ended:
+    ["exit 1"], ["killed by SIGSEGV (exit 139)"], or
+    ["killed by watchdog after 2000 ms deadline (SIGKILL)"]. *)
+
 val first_line :
   ?env_extra:(string * string) list -> string -> string list -> string option
-(** First stdout line of a successful run, [None] otherwise. *)
+(** First stdout line of a successful run, [None] otherwise.  Probes
+    carry a 30 s watchdog of their own so a wedged compiler cannot
+    hang startup. *)
 
 val first_lines : ?n:int -> string -> string
 (** Collapse a capture into at most [n] non-blank lines joined with

@@ -46,7 +46,9 @@ let probe_flags cc flags =
       output_string oc
         "int pm_probe(void) { return 0; }\nint main(void) { return 0; }\n";
       close_out oc;
-      (Proc.run cc (split_flags flags @ [ "-o"; out; src ])).Proc.status = 0)
+      (* a wedged compiler must not hang startup: probes are bounded *)
+      (Proc.run ~timeout_ms:30_000 cc (split_flags flags @ [ "-o"; out; src ]))
+        .Proc.status = 0)
 
 let probe cc =
   match Proc.first_line cc [ "--version" ] with

@@ -17,6 +17,7 @@ type t = {
   kernels : bool;
   kernel_measure : bool;
   max_scratch_bytes : int option;
+  exec_timeout_ms : int option;
   fault : (string * int) option;
   trace : bool;
   estimates : Types.bindings;
@@ -38,6 +39,7 @@ let base ?(workers = 1) ~estimates () =
     kernels = true;
     kernel_measure = true;
     max_scratch_bytes = None;
+    exec_timeout_ms = None;
     fault = None;
     trace = false;
     estimates;
@@ -56,13 +58,14 @@ let with_tile tile t = { t with tile }
 let with_kernel_measure kernel_measure t = { t with kernel_measure }
 let with_threshold threshold t = { t with threshold }
 let with_scratch_budget bytes t = { t with max_scratch_bytes = bytes }
+let with_exec_timeout ms t = { t with exec_timeout_ms = ms }
 let with_fault fault t = { t with fault }
 let with_trace trace t = { t with trace }
 
 let pp ppf t =
   Format.fprintf ppf
     "{grouping=%b inline=%b vec=%b split=%b workers=%d tile=[%s] \
-     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s%s%s}"
+     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s%s%s%s}"
     t.grouping_on t.inline_on t.vec t.split_cases t.workers
     (String.concat ";" (Array.to_list (Array.map string_of_int t.tile)))
     t.threshold t.scratchpads t.naive_overlap t.kernels
@@ -70,6 +73,9 @@ let pp ppf t =
     (match t.max_scratch_bytes with
     | None -> ""
     | Some b -> Printf.sprintf " scratch_budget=%dB" b)
+    (match t.exec_timeout_ms with
+    | None -> ""
+    | Some ms -> Printf.sprintf " exec_timeout=%dms" ms)
     (match t.fault with
     | None -> ""
     | Some (site, seed) -> Printf.sprintf " fault=%s:%d" site seed)

@@ -55,6 +55,15 @@ type t = {
           per-tile scratchpad footprint (under [estimates]) exceeds
           the budget is demoted to untiled, per-stage execution
           instead of over-allocating (default [None] = off) *)
+  exec_timeout_ms : int option;
+      (** watchdog deadline for compiled-artifact executions run as
+          child processes (the c-subprocess tier and the quarantine
+          canary): a child that has not exited within the deadline is
+          killed — whole process group, SIGTERM then SIGKILL — and the
+          run reports a structured watchdog error.  [None] (default)
+          leaves ordinary subprocess runs unbounded; quarantine canary
+          runs always apply a generous default so a hung artifact can
+          never wedge the process *)
   fault : (string * int) option;
       (** fault-injection spec [(site, seed)] carried to the runtime
           ({!Polymage_rt.Fault}); [None] leaves the injector alone *)
@@ -81,6 +90,7 @@ val with_tile : int array -> t -> t
 val with_kernel_measure : bool -> t -> t
 val with_threshold : float -> t -> t
 val with_scratch_budget : int option -> t -> t
+val with_exec_timeout : int option -> t -> t
 val with_fault : (string * int) option -> t -> t
 val with_trace : bool -> t -> t
 val pp : Format.formatter -> t -> unit

@@ -10,11 +10,15 @@ let sites =
     "worker_start";
     "group_schedule";
     "dlopen";
+    "exec_crash";
+    "exec_hang";
+    "compile_flaky";
   ]
 
 let phase_of_site = function
   | "kernel_compile" -> Err.Kernel
   | "group_schedule" -> Err.Schedule
+  | "compile_flaky" -> Err.Codegen
   | _ -> Err.Exec
 
 type armed_state = { spec : spec; count : int Atomic.t; has_fired : bool Atomic.t }

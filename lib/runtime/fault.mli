@@ -21,7 +21,13 @@ val sites : string list
     ["worker_start"] — worker-pool startup;
     ["group_schedule"] — per-group schedule setup in the executor;
     ["dlopen"] — loading a shared-object artifact in the c-dlopen
-    execution tier. *)
+    execution tier;
+    ["exec_crash"] — execution of a compiled artifact (subprocess,
+    canary or in-process), simulating an artifact that crashes;
+    ["exec_hang"] — the same execution sites, simulating a hung
+    artifact reaped by the watchdog;
+    ["compile_flaky"] — a toolchain invocation, simulating a transient
+    compiler failure that the retry-with-backoff path absorbs. *)
 
 val parse : string -> spec
 (** Parse ["site:seed"]. @raise Polymage_util.Err.Polymage_error on an

@@ -293,7 +293,10 @@ let differential_all_apps () =
 
 (* Same differential over the in-process dlopen tier: the shared
    object is a different emitted entry point and different compile
-   flags, so it gets its own full pass over every app. *)
+   flags, so it gets its own full pass over every app.  Each app runs
+   twice — the first execution is the quarantine canary (crash-
+   isolated child), the second the promoted in-process call — and
+   both must match the native executor. *)
 let differential_dlopen_all_apps () =
   if not (Lazy.force have_cc) then ()
   else begin
@@ -302,11 +305,22 @@ let differential_dlopen_all_apps () =
       (fun (app : App.t) ->
         let plan, env, images = plan_for app.App.name in
         let native = Rt.Executor.run plan env ~images in
-        let compiled, (_ : Backend.stats) =
+        let compiled, (st1 : Backend.stats) =
           Backend.run_dl ~cache_dir:dir plan env ~images
         in
-        check_outputs_match ~app:app.App.name ~what:"c-dlopen" native
-          compiled.Rt.Executor.outputs)
+        Alcotest.(check bool)
+          (app.App.name ^ ": first dlopen run is the quarantine canary")
+          true st1.Backend.quarantined;
+        check_outputs_match ~app:app.App.name ~what:"c-dlopen canary" native
+          compiled.Rt.Executor.outputs;
+        let compiled2, (st2 : Backend.stats) =
+          Backend.run_dl ~cache_dir:dir plan env ~images
+        in
+        Alcotest.(check bool)
+          (app.App.name ^ ": second dlopen run is trusted, in-process")
+          false st2.Backend.quarantined;
+        check_outputs_match ~app:app.App.name ~what:"c-dlopen trusted" native
+          compiled2.Rt.Executor.outputs)
       (Apps.all ())
   end
 
@@ -366,20 +380,44 @@ let warm_dlopen_no_compile_no_spawn () =
         let _, st1 = Backend.run_dl ~cache_dir:dir plan env ~images in
         Alcotest.(check bool) "first run is a miss" false
           st1.Backend.cache_hit;
+        Alcotest.(check bool) "first run is the quarantine canary" true
+          st1.Backend.quarantined;
         Alcotest.(check bool) "the miss spawned the compiler" true
           (Metrics.get "backend/subprocess_spawns" >= 1);
-        Alcotest.(check bool) "the artifact was loaded" true
-          (Metrics.get "backend/dl_loads" >= 1);
+        Alcotest.(check int) "exactly one quarantine run" 1
+          (Metrics.get "backend/quarantine_runs");
+        Alcotest.(check int) "the clean canary run promoted the artifact"
+          1
+          (Metrics.get "backend/promotions");
+        Alcotest.(check int)
+          "quarantined artifact is never loaded in-process" 0
+          (Metrics.get "backend/dl_loads");
         Metrics.reset ();
         let _, st2 = Backend.run_dl ~cache_dir:dir plan env ~images in
         Alcotest.(check bool) "second run is a hit" true
           st2.Backend.cache_hit;
+        Alcotest.(check bool) "second run is trusted, not quarantined"
+          false st2.Backend.quarantined;
         Alcotest.(check int) "warm dlopen run invokes no compiler" 0
           (Metrics.get "backend/compile_invocations");
         Alcotest.(check int) "warm dlopen run spawns no subprocess" 0
           (Metrics.get "backend/subprocess_spawns");
+        Alcotest.(check bool) "the trusted artifact was loaded" true
+          (Metrics.get "backend/dl_loads" >= 1);
         Alcotest.(check bool) "the warm run went through the loaded \
                                artifact" true
+          (Metrics.get "backend/dl_calls" >= 1);
+        Metrics.reset ();
+        (* third run: the artifact is already in the dlopen registry —
+           zero spawns AND zero loads, a plain function call *)
+        let _, st3 = Backend.run_dl ~cache_dir:dir plan env ~images in
+        Alcotest.(check bool) "third run is a hit" true
+          st3.Backend.cache_hit;
+        Alcotest.(check int) "hot dlopen run spawns no subprocess" 0
+          (Metrics.get "backend/subprocess_spawns");
+        Alcotest.(check int) "hot dlopen run loads nothing" 0
+          (Metrics.get "backend/dl_loads");
+        Alcotest.(check bool) "hot run is an in-process call" true
           (Metrics.get "backend/dl_calls" >= 1))
   end
 
@@ -418,34 +456,52 @@ let auto_hot_swap () =
       r2.Rt.Executor.outputs
   end
 
-(* ---- dlopen fault degrades down the ladder ---- *)
+(* ---- dlopen fault on a trusted artifact recovers in-tier ---- *)
 
-let dlopen_fault_degrades () =
+let dlopen_fault_recovers_in_tier () =
   if not (Lazy.force have_cc) then ()
   else begin
+    let dir = fresh_dir () in
     let plan, env, images = plan_for "harris" in
+    (* Warm to Trusted: first run is the quarantine canary. *)
+    let _, (st0 : Backend.stats) =
+      Backend.run_dl ~cache_dir:dir plan env ~images
+    in
+    Alcotest.(check bool) "pre-warm run was the canary" true
+      st0.Backend.quarantined;
+    let were_on = Metrics.enabled () in
+    Metrics.enable ();
+    Metrics.reset ();
     Rt.Fault.arm ~site:"dlopen" ~seed:0;
     Fun.protect
-      ~finally:(fun () -> Rt.Fault.disarm ())
+      ~finally:(fun () ->
+        Rt.Fault.disarm ();
+        if not were_on then Metrics.disable ())
       (fun () ->
-        (* Cold cache: the freshly built .so fails to load, which must
-           not be retried (the artifact is not suspect — the load is),
-           so the ladder falls to the subprocess tier. *)
+        (* The trusted in-process load blows up; the artifact is
+           treated as suspect, invalidated, rebuilt, and re-proven by
+           a fresh canary — all inside the c-dlopen tier, so the
+           ladder never falls. *)
         let (result, st), degr =
-          Exec_tier.run_safe ~cache_dir:(fresh_dir ()) Exec_tier.C_dlopen
-            plan env ~images
+          Exec_tier.run_safe ~cache_dir:dir Exec_tier.C_dlopen plan env
+            ~images
         in
-        (match degr with
-        | { Rt.Executor.rung = "c-dlopen"; error } :: _ ->
-          Alcotest.(check bool) "degradation carries an exec-phase error"
-            true
-            (error.Err.phase = Err.Exec)
-        | _ -> Alcotest.fail "expected a c-dlopen degradation rung");
-        Alcotest.(check bool) "the subprocess tier served the result" true
-          (st <> None);
+        Alcotest.(check int) "no degradation: recovery is in-tier" 0
+          (List.length degr);
+        (match st with
+        | None -> Alcotest.fail "expected backend stats"
+        | Some st ->
+          Alcotest.(check bool) "recovery re-ran the quarantine canary"
+            true st.Backend.quarantined);
+        Alcotest.(check bool) "the bad load marked the entry corrupt"
+          true
+          (Metrics.get "backend/cache_corrupt" >= 1);
+        Alcotest.(check bool) "the rebuilt artifact was re-quarantined"
+          true
+          (Metrics.get "backend/quarantine_runs" >= 1);
         let native = Rt.Executor.run plan env ~images in
-        check_outputs_match ~app:"harris" ~what:"degraded c-dlopen" native
-          result.Rt.Executor.outputs)
+        check_outputs_match ~app:"harris" ~what:"recovered c-dlopen"
+          native result.Rt.Executor.outputs)
   end
 
 (* ---- cached artifact that will not execute ---- *)
@@ -545,8 +601,8 @@ let suite =
         `Quick warm_dlopen_no_compile_no_spawn;
       Alcotest.test_case "auto tier serves immediately and hot-swaps"
         `Quick auto_hot_swap;
-      Alcotest.test_case "dlopen fault degrades down the ladder" `Quick
-        dlopen_fault_degrades;
+      Alcotest.test_case "dlopen fault on trusted artifact recovers \
+                          in-tier" `Quick dlopen_fault_recovers_in_tier;
       Alcotest.test_case "cached artifact that fails to run recovers"
         `Quick broken_artifact_recovers;
       Alcotest.test_case "run_safe degrades to the native executor"

@@ -19,4 +19,5 @@ let () =
       Test_trace.suite;
       Test_report.suite;
       Test_backend.suite;
+      Test_robust.suite;
     ]

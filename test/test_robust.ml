@@ -1,0 +1,541 @@
+(* Robustness layer: structured signal reporting and the watchdog in
+   Proc, rlimit backstops, capped captures, crash markers and trust
+   persistence across cache meta formats, cross-process single-flight
+   locking, and the quarantine protocol end to end against planted
+   hostile artifacts (SIGSEGV, infinite loop) and injected faults
+   (exec_crash, exec_hang, compile_flaky).  The planted-artifact tests
+   are the headline guarantee: a crashing or hanging shared object
+   must never take the parent down — the canary child absorbs it, the
+   entry is invalidated, and the ladder still serves a correct
+   result. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module App = Polymage_apps.App
+module Cgen = Polymage_codegen.Cgen
+module Err = Polymage_util.Err
+module Metrics = Polymage_util.Metrics
+module Toolchain = Polymage_backend.Toolchain
+module Proc = Polymage_backend.Proc
+module Cache = Polymage_backend.Cache
+module Backend = Polymage_backend.Backend
+module Exec_tier = Polymage_backend.Exec_tier
+
+let have_cc = lazy (Toolchain.available ())
+
+let fresh_dir () =
+  let d = Filename.temp_file "pm_robust" "" in
+  Sys.remove d;
+  d
+
+let plan_for ?(opts = fun env -> C.Options.opt_vec ~estimates:env ())
+    name =
+  let app = Apps.find name in
+  let env = app.App.small_env in
+  let plan = C.Compile.run (opts env) ~outputs:app.App.outputs in
+  let images =
+    List.map
+      (fun im -> (im, Rt.Buffer.of_image im env (app.App.fill env im)))
+      plan.C.Plan.pipe.Pipeline.images
+  in
+  (plan, env, images)
+
+let with_metrics f =
+  let were_on = Metrics.enabled () in
+  Metrics.enable ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () -> if not were_on then Metrics.disable ())
+    f
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let check_outputs_match ~what native
+    (outputs : (Ast.func * Rt.Buffer.t) list) =
+  List.iter
+    (fun ((f : Ast.func), (cb : Rt.Buffer.t)) ->
+      let nb = Rt.Executor.output_buffer native f in
+      let maxabs =
+        Array.fold_left
+          (fun a v -> Float.max a (Float.abs v))
+          0. nb.Rt.Buffer.data
+      in
+      let tol = 1e-6 *. (1. +. maxabs) in
+      let d = Rt.Buffer.max_abs_diff nb cb in
+      let tol =
+        match f.Ast.ftyp with
+        | Types.Float | Types.Double -> tol
+        | Types.UChar | Types.Short | Types.Int -> 1. +. tol
+      in
+      if not (d <= tol) then
+        Alcotest.failf "%s/%s: |native - compiled| = %g exceeds %g" what
+          f.Ast.fname d tol)
+    outputs
+
+(* ---- Proc: structured signal reporting ---- *)
+
+let proc_signal_reporting () =
+  let r = Proc.run "sh" [ "-c"; "exit 3" ] in
+  Alcotest.(check int) "plain exit passes through" 3 r.Proc.status;
+  Alcotest.(check (option string)) "no signal on plain exit" None
+    r.Proc.signal;
+  let r = Proc.run "sh" [ "-c"; "kill -11 $$" ] in
+  Alcotest.(check int) "signal death follows 128+N" 139 r.Proc.status;
+  Alcotest.(check (option string)) "the signal is named" (Some "SIGSEGV")
+    r.Proc.signal;
+  Alcotest.(check bool) "a crash is not a watchdog kill" false
+    r.Proc.timed_out;
+  Alcotest.(check bool) "describe_status names the signal" true
+    (contains ~needle:"SIGSEGV" (Proc.describe_status r))
+
+(* ---- Proc: watchdog ---- *)
+
+let proc_watchdog_kills_hung_child () =
+  with_metrics @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let r = Proc.run ~timeout_ms:300 "sleep" [ "30" ] in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "the deadline fired" true r.Proc.timed_out;
+  Alcotest.(check bool) "SIGTERM sufficed" true
+    (r.Proc.signal = Some "SIGTERM");
+  Alcotest.(check bool) "reaped well under 2x the deadline" true
+    (elapsed < 3.0);
+  Alcotest.(check bool) "the kill was counted" true
+    (Metrics.get "backend/watchdog_kills" >= 1);
+  Alcotest.(check bool) "describe_status blames the watchdog" true
+    (contains ~needle:"watchdog" (Proc.describe_status r));
+  (* A child that ignores SIGTERM gets SIGKILL after the grace
+     window.  trap '' TERM is inherited across fork+exec, so the whole
+     process group shrugs off the first kill. *)
+  let t0 = Unix.gettimeofday () in
+  let r = Proc.run ~timeout_ms:300 "sh" [ "-c"; "trap '' TERM; sleep 30" ] in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "the stubborn child still timed out" true
+    r.Proc.timed_out;
+  Alcotest.(check (option string)) "escalated to SIGKILL" (Some "SIGKILL")
+    r.Proc.signal;
+  Alcotest.(check bool) "total reap time stays bounded" true
+    (elapsed < 3.0)
+
+(* ---- Proc: CPU rlimit backstop ---- *)
+
+let proc_rlimit_cpu () =
+  let r =
+    Proc.run ~timeout_ms:20_000 ~rlimit_cpu_s:1 "sh"
+      [ "-c"; "while :; do :; done" ]
+  in
+  Alcotest.(check bool) "the kernel stopped the spin" true
+    (r.Proc.signal = Some "SIGXCPU" || r.Proc.signal = Some "SIGKILL");
+  Alcotest.(check bool) "the watchdog never had to" false r.Proc.timed_out
+
+(* ---- Proc: capped capture with an explicit truncation marker ---- *)
+
+let proc_capture_truncation () =
+  with_metrics @@ fun () ->
+  let r =
+    Proc.run "sh" [ "-c"; "head -c 200000 /dev/zero | tr '\\0' x" ]
+  in
+  Alcotest.(check int) "producer exits cleanly" 0 r.Proc.status;
+  let marker = Printf.sprintf "... [truncated at %d bytes]" Proc.capture_limit in
+  Alcotest.(check bool) "capture ends with the truncation marker" true
+    (contains ~needle:marker r.Proc.stdout);
+  Alcotest.(check int) "capture is capped at the limit plus marker"
+    (Proc.capture_limit + 1 + String.length marker)
+    (String.length r.Proc.stdout);
+  Alcotest.(check bool) "truncation was counted" true
+    (Metrics.get "backend/capture_truncated" >= 1)
+
+(* ---- Cache: trust across meta formats 1/2/3 ---- *)
+
+let meta_format_back_compat () =
+  let dir = fresh_dir () in
+  let key = String.make 32 'a' in
+  let art =
+    Cache.store ~kind:Cache.So ~entry:"polymage_run" ~dir ~key
+      ~build:(fun p -> write_file p "not really an object")
+      ()
+  in
+  let size = (Unix.stat art).Unix.st_size in
+  Alcotest.(check bool) "a fresh store is quarantined" true
+    (Cache.trust ~dir key = Some Cache.Quarantined);
+  Cache.set_trust ~dir ~key Cache.Trusted;
+  Alcotest.(check bool) "promotion persists" true
+    (Cache.trust ~dir key = Some Cache.Trusted);
+  Alcotest.(check bool) "format-3 entry still hits" true
+    (Cache.lookup ~kind:Cache.So ~dir key <> None);
+  (* format 2 (PR 6): no trust line — reads back quarantined *)
+  let meta = Filename.concat dir (key ^ ".meta") in
+  write_file meta
+    (Printf.sprintf "size %d\nkind so\nentry polymage_run\n" size);
+  Alcotest.(check bool) "format-2 meta reads quarantined" true
+    (Cache.trust ~dir key = Some Cache.Quarantined);
+  Alcotest.(check bool) "format-2 entry still hits" true
+    (Cache.lookup ~kind:Cache.So ~dir key <> None);
+  Alcotest.(check (option string)) "format-2 entry symbol survives"
+    (Some "polymage_run")
+    (Cache.entry_symbol ~dir key);
+  (* an unknown trust value is distrust, not corruption *)
+  write_file meta
+    (Printf.sprintf "size %d\nkind so\nentry polymage_run\ntrust shady\n"
+       size);
+  Alcotest.(check bool) "unknown trust value reads quarantined" true
+    (Cache.trust ~dir key = Some Cache.Quarantined);
+  Alcotest.(check bool) "unknown trust value is not corruption" true
+    (Cache.lookup ~kind:Cache.So ~dir key <> None);
+  (* a promotion upgrades the file in place to format 3 *)
+  Cache.set_trust ~dir ~key Cache.Trusted;
+  Alcotest.(check bool) "promotion upgrades an old meta" true
+    (Cache.trust ~dir key = Some Cache.Trusted);
+  (* format 1 (PR 5): size only — kind exe, entry main *)
+  let key2 = String.make 32 'b' in
+  let art2 =
+    Cache.store ~kind:Cache.Exe ~dir ~key:key2
+      ~build:(fun p ->
+        write_file p "#!/bin/sh\nexit 0\n";
+        Unix.chmod p 0o755)
+      ()
+  in
+  let size2 = (Unix.stat art2).Unix.st_size in
+  write_file
+    (Filename.concat dir (key2 ^ ".meta"))
+    (Printf.sprintf "size %d\n" size2);
+  Alcotest.(check bool) "format-1 entry still hits as exe" true
+    (Cache.lookup ~kind:Cache.Exe ~dir key2 <> None);
+  Alcotest.(check (option string)) "format-1 entry symbol defaults"
+    (Some "main")
+    (Cache.entry_symbol ~dir key2);
+  Alcotest.(check bool) "format-1 meta reads quarantined" true
+    (Cache.trust ~dir key2 = Some Cache.Quarantined)
+
+(* ---- Cache: crash markers ---- *)
+
+let crash_markers () =
+  let dir = fresh_dir () in
+  let key = String.make 32 'c' in
+  Alcotest.(check bool) "no marker is not stale" false
+    (Cache.stale_marker ~dir key);
+  Cache.write_marker ~dir key;
+  Alcotest.(check bool) "own live pid is not stale" false
+    (Cache.stale_marker ~dir key);
+  Cache.clear_marker ~dir key;
+  Alcotest.(check bool) "cleared marker is not stale" false
+    (Cache.stale_marker ~dir key);
+  let marker = Filename.concat dir (key ^ ".inflight") in
+  (* a pid that is certainly dead: a child Proc.run already reaped *)
+  let r = Proc.run "sh" [ "-c"; "echo $$" ] in
+  let dead = int_of_string (String.trim r.Proc.stdout) in
+  write_file marker (string_of_int dead ^ "\n");
+  Alcotest.(check bool) "a dead owner means a mid-call crash" true
+    (Cache.stale_marker ~dir key);
+  (* pid 1 is alive (kill 0 says so, or EPERM does): concurrent run *)
+  write_file marker "1\n";
+  Alcotest.(check bool) "a live owner is a concurrent run" false
+    (Cache.stale_marker ~dir key);
+  (* an unreadable marker cannot be attributed: distrust *)
+  write_file marker "not-a-pid\n";
+  Alcotest.(check bool) "garbage marker distrusts" true
+    (Cache.stale_marker ~dir key)
+
+(* ---- Cache: cross-process single-flight ---- *)
+
+(* A helper process (plain C, so it can sit on the lock from another
+   process — fcntl locks do not exclude within one process) that takes
+   the key's advisory lock, signals readiness through a file, and
+   holds the lock for a while. *)
+let holder_source =
+  {|
+#include <fcntl.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <unistd.h>
+int main(int argc, char **argv)
+{
+  if (argc < 4) return 2;
+  int fd = open(argv[1], O_RDWR | O_CREAT, 0600);
+  if (fd < 0 || lockf(fd, F_LOCK, 0) != 0) return 1;
+  FILE *f = fopen(argv[2], "w");
+  if (!f) return 1;
+  fputs("ready\n", f);
+  fclose(f);
+  usleep((useconds_t)atoi(argv[3]) * 1000);
+  return 0;
+}
+|}
+
+let build_holder dir =
+  let tc = Toolchain.get () in
+  let src = Filename.concat dir "holder.c" in
+  let exe = Filename.concat dir "holder" in
+  write_file src holder_source;
+  let r = Proc.run ~timeout_ms:60_000 tc.Toolchain.cc [ "-o"; exe; src ] in
+  if r.Proc.status <> 0 then
+    Alcotest.failf "cannot build lock holder: %s" r.Proc.stderr;
+  exe
+
+(* Start the holder detached (via sh's &) on [key]'s lock file and
+   wait until it holds the lock. *)
+let start_holder ~holder ~dir ~key ~hold_ms =
+  let lock = Filename.concat dir (key ^ ".lock") in
+  let ready = Filename.concat dir (key ^ ".ready") in
+  let cmd =
+    Printf.sprintf "%s %s %s %d >/dev/null 2>&1 &" (Filename.quote holder)
+      (Filename.quote lock) (Filename.quote ready) hold_ms
+  in
+  let r = Proc.run "sh" [ "-c"; cmd ] in
+  Alcotest.(check int) "holder launcher exits cleanly" 0 r.Proc.status;
+  let rec await n =
+    if Sys.file_exists ready then ()
+    else if n = 0 then Alcotest.fail "lock holder never became ready"
+    else begin
+      Unix.sleepf 0.02;
+      await (n - 1)
+    end
+  in
+  await 250;
+  Sys.remove ready
+
+let single_flight_lock () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = fresh_dir () in
+    Unix.mkdir dir 0o755;
+    let holder = build_holder dir in
+    (* another process holds the key's lock: with_flight waits for it *)
+    with_metrics (fun () ->
+        let key = String.make 32 'd' in
+        start_holder ~holder ~dir ~key ~hold_ms:700;
+        let t0 = Unix.gettimeofday () in
+        let ran = ref false in
+        Cache.with_flight ~dir ~key (fun () -> ran := true);
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Alcotest.(check bool) "the critical section ran" true !ran;
+        Alcotest.(check bool) "the waiter actually waited" true
+          (elapsed >= 0.2);
+        Alcotest.(check bool) "the wait was counted" true
+          (Metrics.get "backend/flight_waits" >= 1);
+        Alcotest.(check int) "the lock was never declared stale" 0
+          (Metrics.get "backend/flight_stale"));
+    (* a pathologically slow holder: past the deadline the waiter
+       proceeds unlocked rather than wedge *)
+    with_metrics (fun () ->
+        let key = String.make 32 'e' in
+        start_holder ~holder ~dir ~key ~hold_ms:8_000;
+        let t0 = Unix.gettimeofday () in
+        let ran = ref false in
+        Cache.with_flight ~stale_ms:300 ~dir ~key (fun () -> ran := true);
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Alcotest.(check bool) "the critical section still ran" true !ran;
+        Alcotest.(check bool) "the waiter gave up at the deadline" true
+          (elapsed < 5.0);
+        Alcotest.(check bool) "the stale takeover was counted" true
+          (Metrics.get "backend/flight_stale" >= 1))
+  end
+
+(* ---- planted hostile artifacts ---- *)
+
+let so_available () =
+  Lazy.force have_cc && (Toolchain.get ()).Toolchain.so_flags <> None
+
+(* Plant [evil_source] as a compiled .so under the exact cache key the
+   dlopen tier will compute for [plan], quarantined (the default for
+   any store), so the first execution goes through the canary. *)
+let plant_so ~dir ~(plan : C.Plan.t) evil_source =
+  let tc = Toolchain.get () in
+  let flags = Toolchain.so_flags_exn tc in
+  let key =
+    Cache.key ~cc:tc.Toolchain.cc ~version:tc.Toolchain.version ~flags
+      ~source:(Cgen.emit_raw_entry plan)
+  in
+  ignore
+    (Cache.store ~kind:Cache.So ~entry:Cgen.raw_entry_symbol ~dir ~key
+       ~build:(fun out ->
+         let csrc = Filename.temp_file "pm_evil" ".c" in
+         write_file csrc evil_source;
+         let r =
+           Proc.run ~timeout_ms:60_000 tc.Toolchain.cc
+             (Toolchain.split_flags flags
+             @ [ "-std=gnu99"; "-o"; out; csrc ])
+         in
+         Sys.remove csrc;
+         if r.Proc.status <> 0 then
+           Alcotest.failf "cannot build planted .so: %s" r.Proc.stderr)
+       ())
+
+let evil_prelude =
+  "#include <stdint.h>\n\
+   int polymage_run(int nthreads, const int32_t *params,\n\
+  \                 const double *const *ins, double *const *outs,\n\
+  \                 const int64_t *out_totals)\n"
+
+let segv_source =
+  evil_prelude
+  ^ "{ (void)nthreads; (void)params; (void)ins; (void)outs;\n\
+    \  (void)out_totals; volatile int *p = 0; return *p; }\n"
+
+let hang_source =
+  evil_prelude
+  ^ "{ (void)nthreads; (void)params; (void)ins; (void)outs;\n\
+    \  (void)out_totals; for (;;) { } return 0; }\n"
+
+let planted_segv_is_contained () =
+  if not (so_available ()) then ()
+  else begin
+    let dir = fresh_dir () in
+    let plan, env, images = plan_for "harris" in
+    plant_so ~dir ~plan segv_source;
+    with_metrics @@ fun () ->
+    let (result, st), degr =
+      Exec_tier.run_safe ~cache_dir:dir Exec_tier.C_dlopen plan env ~images
+    in
+    (* reaching this line at all is the tentpole guarantee: the
+       SIGSEGV landed in the canary child, not in this process *)
+    (match degr with
+    | { Rt.Executor.rung = "c-dlopen"; error } :: _ ->
+      Alcotest.(check bool) "the failure names the crash signal" true
+        (contains ~needle:"SIGSEGV" (Err.to_string error))
+    | _ -> Alcotest.fail "expected a c-dlopen degradation rung");
+    Alcotest.(check bool) "the canary absorbed the crash" true
+      (Metrics.get "backend/quarantine_failures" >= 1);
+    Alcotest.(check int) "a crashing artifact is never promoted" 0
+      (Metrics.get "backend/promotions");
+    Alcotest.(check int) "a quarantined artifact is never dlopen'd" 0
+      (Metrics.get "backend/dl_loads");
+    Alcotest.(check bool) "the subprocess tier served the result" true
+      (st <> None);
+    let native = Rt.Executor.run plan env ~images in
+    check_outputs_match ~what:"after planted SIGSEGV" native
+      result.Rt.Executor.outputs
+  end
+
+let planted_hang_is_contained () =
+  if not (so_available ()) then ()
+  else begin
+    let dir = fresh_dir () in
+    let plan, env, images =
+      plan_for
+        ~opts:(fun env ->
+          C.Options.with_exec_timeout (Some 1000)
+            (C.Options.opt_vec ~estimates:env ()))
+        "harris"
+    in
+    plant_so ~dir ~plan hang_source;
+    with_metrics @@ fun () ->
+    let (result, st), degr =
+      Exec_tier.run_safe ~cache_dir:dir Exec_tier.C_dlopen plan env ~images
+    in
+    (match degr with
+    | { Rt.Executor.rung = "c-dlopen"; error } :: _ ->
+      Alcotest.(check bool) "the failure blames the watchdog" true
+        (contains ~needle:"watchdog" (Err.to_string error))
+    | _ -> Alcotest.fail "expected a c-dlopen degradation rung");
+    Alcotest.(check bool) "the hung canary was killed" true
+      (Metrics.get "backend/watchdog_kills" >= 1);
+    Alcotest.(check bool) "the hang counted against quarantine" true
+      (Metrics.get "backend/quarantine_failures" >= 1);
+    Alcotest.(check bool) "the subprocess tier served the result" true
+      (st <> None);
+    let native = Rt.Executor.run plan env ~images in
+    check_outputs_match ~what:"after planted hang" native
+      result.Rt.Executor.outputs
+  end
+
+(* ---- injected faults ---- *)
+
+(* exec_crash / exec_hang fire inside the canary on a cold cache; the
+   one-shot fault is consumed there, so the ladder's c-subprocess rung
+   (whose exec hits the same sites) succeeds. *)
+let fault_in_canary_degrades () =
+  if not (so_available ()) then ()
+  else
+    List.iter
+      (fun site ->
+        let dir = fresh_dir () in
+        let plan, env, images = plan_for "harris" in
+        Rt.Fault.arm ~site ~seed:0;
+        Fun.protect
+          ~finally:(fun () -> Rt.Fault.disarm ())
+          (fun () ->
+            let (result, st), degr =
+              Exec_tier.run_safe ~cache_dir:dir Exec_tier.C_dlopen plan
+                env ~images
+            in
+            Alcotest.(check bool) (site ^ ": the fault fired") true
+              (Rt.Fault.fired ());
+            (match degr with
+            | { Rt.Executor.rung = "c-dlopen"; error } :: _ ->
+              Alcotest.(check bool)
+                (site ^ ": degradation carries an exec-phase error") true
+                (error.Err.phase = Err.Exec)
+            | _ ->
+              Alcotest.fail (site ^ ": expected a c-dlopen degradation"));
+            Alcotest.(check bool)
+              (site ^ ": the subprocess tier served the result") true
+              (st <> None);
+            let native = Rt.Executor.run plan env ~images in
+            check_outputs_match ~what:(site ^ " degraded") native
+              result.Rt.Executor.outputs))
+      [ "exec_crash"; "exec_hang" ]
+
+let fault_compile_flaky_retries () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = fresh_dir () in
+    let plan, env, images = plan_for "harris" in
+    with_metrics @@ fun () ->
+    Rt.Fault.arm ~site:"compile_flaky" ~seed:0;
+    Fun.protect
+      ~finally:(fun () -> Rt.Fault.disarm ())
+      (fun () ->
+        let compiled, (st : Backend.stats) =
+          Backend.run ~cache_dir:dir plan env ~images
+        in
+        Alcotest.(check bool) "the transient failure fired" true
+          (Rt.Fault.fired ());
+        Alcotest.(check bool) "the compile was retried" true
+          (Metrics.get "backend/compile_retries" >= 1);
+        Alcotest.(check bool) "retries happen within one build" true
+          (Metrics.get "backend/compile_invocations" >= 2);
+        Alcotest.(check bool) "the retry still paid a compile" true
+          (st.Backend.compile_ms > 0.);
+        let native = Rt.Executor.run plan env ~images in
+        check_outputs_match ~what:"after flaky compile" native
+          compiled.Rt.Executor.outputs)
+  end
+
+(* ---- suite ---- *)
+
+let suite =
+  ( "robust",
+    [
+      Alcotest.test_case "proc: signal-killed child is reported" `Quick
+        proc_signal_reporting;
+      Alcotest.test_case "proc: watchdog kills a hung child" `Quick
+        proc_watchdog_kills_hung_child;
+      Alcotest.test_case "proc: CPU rlimit backstop" `Quick
+        proc_rlimit_cpu;
+      Alcotest.test_case "proc: capture cap leaves a marker" `Quick
+        proc_capture_truncation;
+      Alcotest.test_case "cache: trust across meta formats 1/2/3" `Quick
+        meta_format_back_compat;
+      Alcotest.test_case "cache: crash marker attribution" `Quick
+        crash_markers;
+      Alcotest.test_case "cache: cross-process single-flight" `Slow
+        single_flight_lock;
+      Alcotest.test_case "planted SIGSEGV .so cannot kill the parent"
+        `Slow planted_segv_is_contained;
+      Alcotest.test_case "planted infinite-loop .so is timed out" `Slow
+        planted_hang_is_contained;
+      Alcotest.test_case "exec faults in the canary degrade the ladder"
+        `Slow fault_in_canary_degrades;
+      Alcotest.test_case "transient compile failure is retried" `Slow
+        fault_compile_flaky_retries;
+    ] )
