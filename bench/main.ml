@@ -592,6 +592,13 @@ let kernels_bench ~scale ~json ~compare_file ~tolerance () =
         | Error msg ->
           Printf.eprintf "bench: %s\n" msg;
           exit 2);
+        (* and the lifecycle: this bench measures fresh one-shot
+           processes, not server request latency *)
+        (match Regress.check_mode b ~current:"oneshot" with
+        | Ok () -> ()
+        | Error msg ->
+          Printf.eprintf "bench: %s\n" msg;
+          exit 2);
         Some (file, b))
   in
   hr ();
@@ -720,11 +727,268 @@ let kernels_bench ~scale ~json ~compare_file ~tolerance () =
             ])
           rows
       in
-      let o = Regress.compare_cells ~tolerance ~baseline ~current in
+      let o = Regress.compare_cells ~tolerance ~baseline ~current () in
       printf "\nregression gate vs %s (schema v%d, tolerance %.0f%%):\n" file
         b.schema_version (100. *. tolerance);
       Format.printf "%a@?" Regress.pp o;
       if not (Regress.ok o) then exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Serve mode: latency percentiles through the long-lived server        *)
+(* ------------------------------------------------------------------ *)
+
+module Srv = Polymage_serve
+module Rawio = Polymage_backend.Rawio
+
+let percentile p samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  a.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+(* relative quartile spread, as in the kernels bench *)
+let spread_of samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n < 4 then 0. else (a.(n - 2) -. a.(1)) /. a.(n / 2)
+
+let serve_clients = 4
+let serve_steady_n = 30
+let serve_per_client = 15
+
+let serve_bench ~scale ~json ~compare_file ~tolerance () =
+  (* Vet the baseline before measuring, like the kernels gate. *)
+  let baseline_file =
+    match compare_file with
+    | None -> None
+    | Some file -> (
+      match Regress.load file with
+      | Error e ->
+        Printf.eprintf "bench: cannot load baseline: %s\n" e;
+        exit 2
+      | Ok b ->
+        List.iter
+          (function
+            | Ok () -> ()
+            | Error msg ->
+              Printf.eprintf "bench: %s\n" msg;
+              exit 2)
+          [
+            Regress.check_backend b ~current:"c";
+            Regress.check_tier b ~current:"c-dlopen";
+            Regress.check_mode b ~current:"serve";
+          ];
+        Some (file, b))
+  in
+  hr ();
+  printf "Serve mode: request latency through the long-lived server\n";
+  printf "  compute  = dispatch-free in-process c-dlopen call\n";
+  printf "  stdy p50 = sequential warm requests (dispatch + blob codec)\n";
+  printf "  p50/p99  = %d concurrent clients, %d requests each\n"
+    serve_clients serve_per_client;
+  hr ();
+  if not (Toolchain.available ()) then
+    printf "  no C toolchain: serve bench skipped\n"
+  else begin
+    printf "%-16s %9s | %8s %8s | %8s %8s %8s | %6s %6s\n" "app" "size"
+      "compute" "stdy p50" "p50" "p99" "req/s" "p50/c" "p99/c";
+    let measure (app : App.t) env =
+      let cache_dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "pm-serve-bench-%d-%s" (Unix.getpid ()) app.name)
+      in
+      let server =
+        Srv.Server.create
+          {
+            Srv.Server.tier = Polymage_backend.Exec_tier.Auto;
+            workers = 1;
+            batch_max = 8;
+            batch_window_ms = 0;
+            shed_depth = 10_000;
+            max_depth = 20_000;
+            cache_dir = Some cache_dir;
+          }
+      in
+      Fun.protect ~finally:(fun () -> Srv.Server.stop server) @@ fun () ->
+      let plan =
+        (* Must match the server's plan exactly (same workers) so the
+           compute column below resolves the same cache key and reuses
+           the artifact the server already canaried and trusts. *)
+        C.Compile.run
+          (C.Options.opt_vec ~workers:1 ~estimates:env ())
+          ~outputs:app.outputs
+      in
+      let request =
+        {
+          Srv.Protocol.app = app.name;
+          params =
+            List.map
+              (fun ((p : Polymage_ir.Types.param), v) -> (p.Polymage_ir.Types.pname, v))
+              env;
+          images =
+            List.map
+              (fun im ->
+                ( im.Polymage_ir.Ast.iname,
+                  Rawio.encode (Rt.Buffer.of_image im env (app.fill env im)) ))
+              plan.pipe.Polymage_ir.Pipeline.images;
+        }
+      in
+      let submit () =
+        match Srv.Server.submit server request with
+        | Srv.Protocol.Ok_response { tier; _ } -> tier
+        | Srv.Protocol.Err_response e ->
+          failwith (Polymage_util.Err.to_string e)
+      in
+      (* First request compiles the plan and kicks off the background
+         .so compile; wait for the hot swap so every timed request is
+         a warm c-dlopen call. *)
+      ignore (submit ());
+      Srv.Server.await_warm server;
+      let tier = submit () in
+      if tier <> "c-dlopen" then
+        failwith ("server never reached c-dlopen, still on " ^ tier);
+      let steady =
+        Array.init serve_steady_n (fun _ ->
+            1000. *. snd (time (fun () -> ignore (submit ()))))
+      in
+      let t0 = Unix.gettimeofday () in
+      let doms =
+        List.init serve_clients (fun _ ->
+            Domain.spawn (fun () ->
+                Array.init serve_per_client (fun _ ->
+                    1000. *. snd (time (fun () -> ignore (submit ()))))))
+      in
+      let lat = Array.concat (List.map Domain.join doms) in
+      let wall = Unix.gettimeofday () -. t0 in
+      let throughput =
+        float_of_int (serve_clients * serve_per_client) /. wall
+      in
+      (* The compute column: best-of-5 wall time of a dispatch-free
+         in-process call on the pinned trusted artifact — the same hot
+         path the warm server takes, minus queueing and the request /
+         response blob codec.  Wall time (not the artifact's internal
+         timer) so the boundary copies every call pays are counted on
+         both sides of the ratio. *)
+      let images = images_for app plan env in
+      (* One run_dl compiles this plan's artifact and canaries it to
+         trusted (the server's artifact has its own key: plan
+         compilation gensyms differently per invocation, so the two
+         C sources hash apart even for identical options). *)
+      ignore (Backend.run_dl ~cache_dir plan env ~images);
+      let so, _, _, key, dir = Backend.compile_so ~cache_dir plan in
+      let compute = ref infinity in
+      for _ = 1 to 5 do
+        let _, t =
+          time (fun () ->
+              ignore (Backend.run_dl_pinned ~dir ~key ~so plan env ~images))
+        in
+        if 1000. *. t < !compute then compute := 1000. *. t
+      done;
+      let compute = !compute in
+      let steady_p50 = percentile 0.50 steady in
+      let p50 = percentile 0.50 lat
+      and p99 = percentile 0.99 lat in
+      let noise = spread_of steady +. spread_of lat in
+      ( app.name,
+        env_desc env,
+        compute,
+        steady_p50,
+        p50,
+        p99,
+        throughput,
+        noise )
+    in
+    let rows =
+      List.filter_map
+        (fun (app : App.t) ->
+          let env = bench_env ~scale app in
+          match measure app env with
+          | row ->
+            let name, size, compute, steady_p50, p50, p99, rps, _ = row in
+            printf
+              "%-16s %9s | %8.2f %8.2f | %8.2f %8.2f %8.1f | %5.2fx %5.2fx\n"
+              name size compute steady_p50 p50 p99 rps (steady_p50 /. compute)
+              (p99 /. compute);
+            Some row
+          | exception e ->
+            printf "%-16s %9s | failed: %s\n" app.name (env_desc env)
+              (Printexc.to_string e);
+            None)
+        (List.filter
+           (fun (a : App.t) -> List.mem a.name [ "unsharp_mask"; "harris" ])
+           (Apps.all ()))
+    in
+    (match json with
+    | None -> ()
+    | Some file ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\n  \"schema_version\": 5,\n  \"bench\": \"serve\",\n\
+           \  \"scale\": %d,\n  \"mode\": \"serve\",\n%s  \"apps\": [\n"
+           scale
+           (host_json ~backend:"c" ~tier:"c-dlopen" ~workers:1));
+      List.iteri
+        (fun i (name, size, compute, steady_p50, p50, p99, rps, _) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"name\": \"%s\", \"size\": \"%s\",\n\
+               \     \"dl_call_ms\": %.3f, \"serve_steady_p50_ms\": %.3f,\n\
+               \     \"serve_p50_ms\": %.3f, \"serve_p99_ms\": %.3f,\n\
+               \     \"throughput_rps\": %.3f,\n\
+               \     \"serve_p50_over_compute\": %.3f, \
+                \"serve_p99_over_compute\": %.3f}%s\n"
+               name size compute steady_p50 p50 p99 rps
+               (steady_p50 /. compute) (p99 /. compute)
+               (if i = List.length rows - 1 then "" else ",")))
+        rows;
+      Buffer.add_string b "  ]\n}\n";
+      let oc = open_out file in
+      output_string oc (Buffer.contents b);
+      close_out oc;
+      printf "  wrote %s\n" file);
+    match baseline_file with
+    | None -> ()
+    | Some (file, b) -> (
+      (* Only the machine-independent dispatch-overhead ratios travel
+         between machines, and for them lower is better. *)
+      let is_ratio (m : Regress.measurement) =
+        Filename.check_suffix m.metric "_over_compute"
+      in
+      let baseline = List.filter is_ratio b.cells in
+      let current =
+        List.concat_map
+          (fun (name, size, compute, steady_p50, _, p99, _, noise) ->
+            [
+              {
+                Regress.app = name;
+                size;
+                metric = "serve_p50_over_compute";
+                value = steady_p50 /. compute;
+                noise;
+              };
+              {
+                Regress.app = name;
+                size;
+                metric = "serve_p99_over_compute";
+                value = p99 /. compute;
+                noise;
+              };
+            ])
+          rows
+      in
+      let o =
+        Regress.compare_cells
+          ~lower_is_better:(fun m -> Filename.check_suffix m "_over_compute")
+          ~tolerance ~baseline ~current ()
+      in
+      printf "\nregression gate vs %s (schema v%d, tolerance %.0f%%):\n" file
+        b.schema_version (100. *. tolerance);
+      Format.printf "%a@?" Regress.pp o;
+      if not (Regress.ok o) then exit 1)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
@@ -786,6 +1050,8 @@ let () =
   and run_kern = ref false
   and run_backend = ref false
   and backend_json = ref None
+  and run_serve = ref false
+  and serve_json = ref None
   and run_bech = ref false
   and quick = ref false
   and json = ref None
@@ -818,6 +1084,16 @@ let () =
             run_backend := true;
             backend_json := Some s),
         "FILE  run the execution-tier bench and write its schema-v4 JSON" );
+      ( "--serve-bench",
+        Arg.Unit (set run_serve),
+        "request-latency percentiles through the long-lived server" );
+      ( "--serve-json",
+        Arg.String
+          (fun s ->
+            any := true;
+            run_serve := true;
+            serve_json := Some s),
+        "FILE  run the serve bench and write its schema-v5 JSON" );
       ("--bechamel", Arg.Unit (set run_bech), "bechamel micro-benchmarks");
       ( "--json",
         Arg.String (fun s -> json := Some s),
@@ -826,10 +1102,10 @@ let () =
         Arg.String
           (fun s ->
             any := true;
-            run_kern := true;
             compare_file := Some s),
-        "FILE  rerun the row-kernel bench and gate the kernel_speedup_* \
-         ratios against this baseline JSON; exit 1 on regression" );
+        "FILE  rerun the bench the baseline records (row kernels, or the \
+         serve bench for a serve-mode baseline) and gate its ratio \
+         columns against this JSON; exit 1 on regression" );
       ( "--tolerance",
         Arg.Float (fun p -> tolerance := p /. 100.),
         "PCT  allowed relative drop before --compare fails (default 10)" );
@@ -859,6 +1135,19 @@ let () =
     Polymage_util.Trace.enable ();
     Polymage_util.Metrics.enable ()
   end;
+  (* --compare dispatches on what the baseline measured: a serve-mode
+     file reruns the serve bench, anything else the row-kernel bench
+     (whose own gate still refuses mismatched files loudly). *)
+  (match !compare_file with
+  | None -> ()
+  | Some file -> (
+    match Regress.load file with
+    | Error e ->
+      Printf.eprintf "bench: cannot load baseline: %s\n" e;
+      exit 2
+    | Ok b ->
+      if b.Regress.mode = "serve" then run_serve := true
+      else run_kern := true));
   let all = not !any in
   if all || !run_table1 then table1 ();
   if all || !run_table2 then table2 ~scale:!scale ();
@@ -872,6 +1161,10 @@ let () =
       ~tolerance:!tolerance ();
   if all || !run_backend then
     backend_bench ~scale:!scale ~json:!backend_json ();
+  if !run_serve then
+    serve_bench ~scale:!scale ~json:!serve_json
+      ~compare_file:(if !run_kern then None else !compare_file)
+      ~tolerance:!tolerance ();
   if all || !run_bech then bechamel ();
   (match !trace_json with
   | Some file ->

@@ -553,6 +553,187 @@ let process_cmd =
        ~doc:"Run a pipeline on a PGM image file and write the result")
     Term.(const run $ app_pos $ input_pos $ out_flag $ normalize_flag)
 
+(* ---- serve: the long-lived daemon, its client, and cache status ---- *)
+
+module Srv = Polymage_serve
+
+let socket_flag =
+  Arg.(
+    value
+    & opt string "/tmp/polymage.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let cache_dir_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Artifact cache directory (default: the per-user cache)")
+
+let print_metrics () =
+  List.iter
+    (fun (n, v) -> Printf.printf "  %-32s %12d\n" n v)
+    (Polymage_util.Metrics.snapshot ())
+
+let serve_cmd =
+  let batch_flag =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Serve up to N consecutive same-plan requests per dispatch")
+  in
+  let batch_window_flag =
+    Arg.(
+      value & opt int 0
+      & info [ "batch-window" ] ~docv:"MS"
+          ~doc:
+            "Hold the head request MS milliseconds so same-plan requests \
+             arriving together ride one dispatch (0 = no window)")
+  in
+  let shed_depth_flag =
+    Arg.(
+      value & opt int 64
+      & info [ "shed-depth" ] ~docv:"N"
+          ~doc:
+            "Queue depth at which requests are shed to the naive plan so \
+             the queue drains faster")
+  in
+  let max_depth_flag =
+    Arg.(
+      value & opt int 256
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:
+            "Queue depth at which requests are rejected with a structured \
+             error")
+  in
+  let max_conns_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Exit after serving N connections (deterministic runs for CI; \
+             default: serve forever)")
+  in
+  let serve_backend_flag =
+    Arg.(
+      value
+      & opt
+          (enum (List.map (fun t -> (Exec_tier.to_string t, t)) Exec_tier.all))
+          Exec_tier.Auto
+      & info [ "backend" ]
+          ~doc:
+            "Serving tier; auto (the default) answers on the native \
+             executor while each plan's shared object compiles in the \
+             background, then hot-swaps")
+  in
+  let run socket backend workers batch batch_window shed_depth max_depth
+      max_conns cache_dir fault trace trace_json =
+    (match fault with
+    | None -> ()
+    | Some (site, seed) -> Rt.Fault.arm ~site ~seed);
+    let tracing = trace || trace_json <> None in
+    if tracing then begin
+      Polymage_util.Trace.reset ();
+      Polymage_util.Metrics.reset ();
+      Polymage_util.Trace.enable ();
+      Polymage_util.Metrics.enable ()
+    end;
+    let server =
+      Srv.Server.create
+        {
+          Srv.Server.tier = backend;
+          workers;
+          batch_max = batch;
+          batch_window_ms = batch_window;
+          shed_depth;
+          max_depth;
+          cache_dir;
+        }
+    in
+    let listener = Srv.Listener.bind ~socket_path:socket server in
+    Printf.printf "serving on %s (%s tier, %d workers%s)\n%!" socket
+      (Exec_tier.to_string backend) workers
+      (match max_conns with
+      | None -> ""
+      | Some n -> Printf.sprintf ", %d connections" n);
+    Srv.Listener.run ?max_conns listener;
+    Srv.Server.stop server;
+    (match trace_json with
+    | Some file ->
+      Polymage_util.Trace.write_chrome_json file (Polymage_util.Trace.events ());
+      Printf.printf "wrote trace to %s\n" file
+    | None -> ());
+    if tracing then print_metrics ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the pipeline server: a long-lived daemon answering requests \
+          over a Unix-domain socket, batching same-plan requests, shedding \
+          load past a queue-depth bound, and hot-swapping to compiled \
+          artifacts as background compiles land")
+    Term.(
+      const run $ socket_flag $ serve_backend_flag $ workers_flag $ batch_flag
+      $ batch_window_flag $ shed_depth_flag $ max_depth_flag $ max_conns_flag
+      $ cache_dir_flag $ fault_flag $ trace_flag $ trace_json_flag)
+
+let client_cmd =
+  let repeats_flag =
+    Arg.(value & opt int 1 & info [ "repeats" ] ~doc:"Requests to send")
+  in
+  let run (app : App.t) socket size repeats =
+    let env = env_of app size in
+    let params =
+      List.map (fun ((p : Types.param), v) -> (p.Types.pname, v)) env
+    in
+    let pipe = Pipeline.build ~outputs:app.outputs in
+    let images =
+      List.map
+        (fun im -> (im.Ast.iname, Rt.Buffer.of_image im env (app.fill env im)))
+        pipe.Pipeline.images
+    in
+    let fd = Srv.Listener.connect socket in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        for i = 1 to max 1 repeats do
+          let t0 = Unix.gettimeofday () in
+          match Srv.Listener.call fd ~app:app.name ~params ~images with
+          | Srv.Protocol.Ok_response { tier; outputs } ->
+            let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+            Printf.printf "call %d: %s, %.2f ms\n" i tier ms;
+            List.iter
+              (fun (name, (b : Rt.Buffer.t)) ->
+                Printf.printf "  output %s: %d values, checksum %.17g\n" name
+                  (Rt.Buffer.size b)
+                  (Array.fold_left ( +. ) 0. b.data))
+              outputs
+          | Srv.Protocol.Err_response e ->
+            Printf.eprintf "call %d: error: %s\n" i
+              (Polymage_util.Err.to_string e);
+            exit 1
+        done)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send pipeline requests to a running server and print the \
+          responses")
+    Term.(const run $ app_pos $ socket_flag $ size_flag $ repeats_flag)
+
+let cache_cmd =
+  let run cache_dir =
+    Printf.printf "%s\n" (Backend.describe ?cache_dir ());
+    Printf.printf "%s\n" (Polymage_backend.Toolchain.describe ())
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Describe the artifact cache (location, entries, trust states) \
+          and the detected C toolchain")
+    Term.(const run $ cache_dir_flag)
+
 let () =
   let doc = "PolyMage: automatic optimization for image processing pipelines" in
   exit
@@ -561,4 +742,5 @@ let () =
           [
             list_cmd; graph_cmd; compile_cmd; groups_cmd; codegen_cmd;
             run_cmd; profile_cmd; explain_cmd; tune_cmd; process_cmd;
+            serve_cmd; client_cmd; cache_cmd;
           ]))

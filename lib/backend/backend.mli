@@ -87,6 +87,27 @@ val run :
     exits non-zero (phase [Exec]), or an output blob is malformed
     (phase [IO]). *)
 
+exception Stale_artifact
+(** Raised by {!run_dl_pinned} when the pinned artifact is gone or no
+    longer trusted; fall back to {!run_dl} to re-resolve. *)
+
+val run_dl_pinned :
+  ?repeats:int ->
+  dir:string ->
+  key:string ->
+  so:string ->
+  Comp.Plan.t ->
+  Types.bindings ->
+  images:(Ast.image * Rt.Buffer.t) list ->
+  Rt.Executor.result * stats
+(** Execute an already-resolved trusted shared object in-process: the
+    warm-server hot path.  Unlike {!run_dl} it does not re-emit and
+    re-hash the generated C to recompute the cache key, so a long-lived
+    process pays only the quarantine-protocol file ops and the
+    boundary copies per call.  @raise Stale_artifact when the artifact
+    is missing or not trusted (invalidated, demoted, still
+    quarantined); other execution errors propagate as usual. *)
+
 val run_dl :
   ?cache_dir:string ->
   ?repeats:int ->

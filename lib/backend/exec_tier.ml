@@ -45,6 +45,10 @@ type auto = {
   plan : Comp.Plan.t;
   cache_dir : string option;
   state : auto_phase Atomic.t;
+  mutable artifact : (string * string * string) option;
+      (* (dir, key, so) pinned once the compile lands, so warm calls
+         skip the per-call source re-emission run_dl pays to recompute
+         the cache key; published before [state] flips to [Ready] *)
   mutable domain : unit Domain.t option;
 }
 
@@ -52,15 +56,21 @@ let auto_start ?cache_dir (plan : Comp.Plan.t) =
   (* Probe the toolchain on this domain first: the memo table is a
      plain Hashtbl, so the background domain must only read it. *)
   ignore (Toolchain.lookup ());
-  let state = Atomic.make Compiling in
+  let a =
+    { plan; cache_dir; state = Atomic.make Compiling; artifact = None;
+      domain = None }
+  in
   let domain =
     Domain.spawn (fun () ->
         match Backend.compile_so ?cache_dir plan with
-        | _ -> Atomic.set state Ready
+        | so, _ms, _hit, key, dir ->
+          a.artifact <- Some (dir, key, so);
+          Atomic.set a.state Ready
         | exception e ->
-          Atomic.set state (Failed (Err.to_string (Err.of_exn e))))
+          Atomic.set a.state (Failed (Err.to_string (Err.of_exn e))))
   in
-  { plan; cache_dir; state; domain = Some domain }
+  a.domain <- Some domain;
+  a
 
 let auto_state a =
   match Atomic.get a.state with
@@ -105,12 +115,30 @@ let rec run_safe ?cache_dir ?repeats ?pool tier (plan : Comp.Plan.t) env
 
 and auto_run ?repeats ?pool a env ~images =
   match Atomic.get a.state with
-  | Ready ->
-    let result, degr =
-      run_safe ?cache_dir:a.cache_dir ?repeats ?pool C_dlopen a.plan env
-        ~images
+  | Ready -> (
+    let full () =
+      let result, degr =
+        run_safe ?cache_dir:a.cache_dir ?repeats ?pool C_dlopen a.plan env
+          ~images
+      in
+      (result, degr, "c-dlopen")
     in
-    (result, degr, "c-dlopen")
+    match a.artifact with
+    | None -> full ()
+    | Some (dir, key, so) -> (
+      match Backend.run_dl_pinned ?repeats ~dir ~key ~so a.plan env ~images with
+      | result, st -> (((result, Some st) : _ * Backend.stats option), [], "c-dlopen")
+      | exception _ ->
+        (* The pin no longer holds (artifact invalidated or demoted)
+           or the call failed; drop it, take the full path — which
+           re-resolves through the cache and can degrade — then try to
+           re-pin off the (now warm) cache. *)
+        a.artifact <- None;
+        let r = full () in
+        (match Backend.compile_so ?cache_dir:a.cache_dir a.plan with
+        | so, _ms, _hit, key, dir -> a.artifact <- Some (dir, key, so)
+        | exception _ -> ());
+        r))
   | Compiling | Failed _ ->
     (* Not ready (or sticky failure: the compile will not be retried)
        — serve on the native executor. *)

@@ -4,7 +4,12 @@
 
    Layout: 8-byte magic "PMRAW01\n", u32 LE rank, rank x i64 LE
    extents, then the row-major float64 payload.  Lower bounds are not
-   stored — the OCaml side owns the geometry and validates extents. *)
+   stored — the OCaml side owns the geometry and validates extents.
+
+   The same blobs travel two roads: as temp files between this process
+   and a compiled subprocess (write/read), and embedded inside serve
+   protocol frames (encode/peek_dims/decode), so both paths share one
+   codec. *)
 
 module Rt = Polymage_rt
 module Err = Polymage_util.Err
@@ -12,7 +17,14 @@ module Err = Polymage_util.Err
 let magic = Polymage_codegen.Cgen.raw_magic
 let header_bytes rank = 8 + 4 + (8 * rank)
 
-let write path (b : Rt.Buffer.t) =
+(* A rank above this is a malformed header, not a real pipeline: it
+   bounds how much a hostile length field can make us allocate. *)
+let max_rank = 32
+
+let blob_bytes dims =
+  header_bytes (Array.length dims) + (8 * Array.fold_left ( * ) 1 dims)
+
+let encode (b : Rt.Buffer.t) =
   let rank = Array.length b.dims in
   let total = Rt.Buffer.size b in
   let bytes = Bytes.create (header_bytes rank + (8 * total)) in
@@ -27,40 +39,62 @@ let write path (b : Rt.Buffer.t) =
       (payload + (8 * i))
       (Int64.bits_of_float b.data.(i))
   done;
+  bytes
+
+let peek_dims ?(stage = "blob") bytes ~off ~len =
+  let fail fmt = Err.failf Err.IO ~stage fmt in
+  if len < 12 then fail "Rawio: truncated header";
+  if Bytes.sub_string bytes off 8 <> magic then fail "Rawio: bad magic";
+  let rank = Int32.to_int (Bytes.get_int32_le bytes (off + 8)) in
+  if rank < 0 || rank > max_rank then fail "Rawio: implausible rank %d" rank;
+  if len < header_bytes rank then fail "Rawio: truncated header";
+  let dims =
+    Array.init rank (fun d ->
+        let e = Int64.to_int (Bytes.get_int64_le bytes (off + 12 + (8 * d))) in
+        if e < 0 then fail "Rawio: negative extent in dim %d" d;
+        e)
+  in
+  if len < blob_bytes dims then fail "Rawio: truncated payload";
+  dims
+
+let decode ?(stage = "blob") bytes ~off ~len ~lo ~dims =
+  let fail fmt = Err.failf Err.IO ~stage fmt in
+  let got = peek_dims ~stage bytes ~off ~len in
+  let rank = Array.length dims in
+  if Array.length got <> rank then
+    fail "Rawio: rank mismatch (got %d, want %d)" (Array.length got) rank;
+  Array.iteri
+    (fun d e ->
+      if got.(d) <> e then
+        fail "Rawio: extent mismatch in dim %d (got %d, want %d)" d got.(d) e)
+    dims;
+  let b = Rt.Buffer.create_uninit ~lo ~dims in
+  let total = Rt.Buffer.size b in
+  let payload = off + header_bytes rank in
+  for i = 0 to total - 1 do
+    b.data.(i) <- Int64.float_of_bits (Bytes.get_int64_le bytes (payload + (8 * i)))
+  done;
+  b
+
+let write path (b : Rt.Buffer.t) =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_bytes oc bytes)
+    (fun () -> output_bytes oc (encode b))
 
 let read path ~lo ~dims =
-  let fail fmt = Err.failf Err.IO ~stage:path fmt in
-  let ic =
-    try open_in_bin path
-    with Sys_error m -> Err.failf Err.IO ~stage:path "Rawio: %s" m
+  let bytes =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          let b = Bytes.create n in
+          really_input ic b 0 n;
+          b)
+    with
+    | b -> b
+    | exception Sys_error m -> Err.failf Err.IO ~stage:path "Rawio: %s" m
   in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rank = Array.length dims in
-      let header = Bytes.create (header_bytes rank) in
-      (try really_input ic header 0 (Bytes.length header)
-       with End_of_file -> fail "Rawio: truncated header");
-      if Bytes.sub_string header 0 8 <> magic then fail "Rawio: bad magic";
-      let got_rank = Int32.to_int (Bytes.get_int32_le header 8) in
-      if got_rank <> rank then
-        fail "Rawio: rank mismatch (got %d, want %d)" got_rank rank;
-      Array.iteri
-        (fun d e ->
-          let got = Int64.to_int (Bytes.get_int64_le header (12 + (8 * d))) in
-          if got <> e then
-            fail "Rawio: extent mismatch in dim %d (got %d, want %d)" d got e)
-        dims;
-      let b = Rt.Buffer.create_uninit ~lo ~dims in
-      let total = Rt.Buffer.size b in
-      let payload = Bytes.create (8 * total) in
-      (try really_input ic payload 0 (8 * total)
-       with End_of_file -> fail "Rawio: truncated payload");
-      for i = 0 to total - 1 do
-        b.data.(i) <- Int64.float_of_bits (Bytes.get_int64_le payload (8 * i))
-      done;
-      b)
+  decode ~stage:path bytes ~off:0 ~len:(Bytes.length bytes) ~lo ~dims

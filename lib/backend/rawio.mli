@@ -3,11 +3,45 @@
     Format (shared with the C helpers in [Cgen.emit_raw_main]):
     8-byte magic ["PMRAW01\n"], u32 LE rank, rank i64 LE extents, then
     the row-major float64 payload.  Lower bounds are not stored; the
-    caller owns the geometry. *)
+    caller owns the geometry.
+
+    One codec serves both transports: files exchanged with compiled
+    subprocesses ({!write}/{!read}) and blobs embedded inside serve
+    protocol frames ({!encode}/{!peek_dims}/{!decode}). *)
 
 module Rt = Polymage_rt
 
 val magic : string
+
+val header_bytes : int -> int
+(** Header size for a given rank. *)
+
+val blob_bytes : int array -> int
+(** Exact encoded size (header + payload) of a blob with the given
+    extents. *)
+
+val encode : Rt.Buffer.t -> bytes
+(** Serialize a buffer (header + payload) to fresh bytes. *)
+
+val peek_dims : ?stage:string -> bytes -> off:int -> len:int -> int array
+(** Read and validate the header of a blob starting at [off] with
+    [len] bytes available, returning its extents.  Bounds the rank so
+    a hostile header cannot force a huge allocation.
+    @raise Polymage_util.Err.Polymage_error (phase [IO]) on bad magic,
+    an implausible rank, a negative extent, or truncation. *)
+
+val decode :
+  ?stage:string ->
+  bytes ->
+  off:int ->
+  len:int ->
+  lo:int array ->
+  dims:int array ->
+  Rt.Buffer.t
+(** Decode a blob at [off], validating magic, rank and extents against
+    the expected geometry.
+    @raise Polymage_util.Err.Polymage_error (phase [IO]) on any
+    mismatch or truncation. *)
 
 val write : string -> Rt.Buffer.t -> unit
 (** Serialize a buffer (header + payload) to a file. *)

@@ -54,6 +54,20 @@ let opt ?workers ~estimates () =
 let opt_vec ?workers ~estimates () =
   { (opt ?workers ~estimates ()) with vec = true }
 
+(* The naive ladder rung as a derived configuration: what an
+   overloaded server degrades a request to.  No grouping, no
+   vectorization, no row kernels, one worker — the cheapest plan that
+   still computes the same pipeline. *)
+let shed t =
+  {
+    t with
+    grouping_on = false;
+    vec = false;
+    kernels = false;
+    kernel_measure = false;
+    workers = 1;
+  }
+
 let with_tile tile t = { t with tile }
 let with_kernel_measure kernel_measure t = { t with kernel_measure }
 let with_threshold threshold t = { t with threshold }

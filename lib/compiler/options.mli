@@ -86,6 +86,12 @@ val opt : ?workers:int -> estimates:Types.bindings -> unit -> t
 val opt_vec : ?workers:int -> estimates:Types.bindings -> unit -> t
 (** The full configuration, "PolyMage (opt+vec)". *)
 
+val shed : t -> t
+(** The naive ladder rung derived from [t]: grouping, vectorization
+    and row kernels off, one worker.  What admission control degrades
+    a request to under load (the serve layer's shed plan); compiles in
+    microseconds and computes the same pipeline. *)
+
 val with_tile : int array -> t -> t
 val with_kernel_measure : bool -> t -> t
 val with_threshold : float -> t -> t

@@ -32,6 +32,10 @@ type baseline = {
   tier : string;
       (* schema v4 execution tier; for v1-v3 files it defaults to the
          backend, which itself defaults to "native" *)
+  mode : string;
+      (* schema v5 measurement mode: "oneshot" (a fresh process per
+         measurement — every earlier schema) or "serve" (request
+         latency through the long-lived server) *)
   host : host option;  (* schema v3 host metadata, when present *)
   cells : measurement list;
 }
@@ -68,6 +72,11 @@ let of_json (j : Trace.json) : (baseline, string) result =
        the backend value, which is exactly what they measured. *)
     let tier =
       match field "tier" j with Some (Trace.Str s) -> s | _ -> backend
+    in
+    (* v5 adds the measurement mode; every earlier file measured fresh
+       one-shot processes. *)
+    let mode =
+      match field "mode" j with Some (Trace.Str s) -> s | _ -> "oneshot"
     in
     let host =
       match field "host" j with
@@ -110,7 +119,7 @@ let of_json (j : Trace.json) : (baseline, string) result =
               | _ -> failwith "apps entry is not an object")
             apps
         in
-        Ok { schema_version; bench; scale; backend; tier; host; cells }
+        Ok { schema_version; bench; scale; backend; tier; mode; host; cells }
       with Failure msg -> Error msg)
     | _ -> Error "baseline has no \"apps\" array")
   | _ -> Error "baseline top level is not an object"
@@ -161,6 +170,20 @@ let check_tier (b : baseline) ~current =
           the baseline on the %s tier or compare against a %s-tier baseline"
          b.tier current current current)
 
+(* And once more for the measurement mode: a one-shot process pays
+   compile and warm-up that a long-lived server amortizes away, so a
+   serve-mode p50 against a one-shot median compares lifecycles, not
+   performance. *)
+let check_mode (b : baseline) ~current =
+  if b.mode = current then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "baseline was measured in %S mode but the current run is in %S \
+          mode; cross-mode comparisons are meaningless — re-measure the \
+          baseline in %s mode or compare against a %s-mode baseline"
+         b.mode current current current)
+
 (* ---- comparison ---- *)
 
 type cell = {
@@ -171,7 +194,13 @@ type cell = {
   ccurrent : float;
   delta : float;  (* current/baseline - 1; negative = slower *)
   cnoise : float;  (* combined relative noise of both measurements *)
-  regressed : bool;  (* delta < -(tolerance + cnoise) *)
+  cbar : float;
+      (* the signed regression bar: the delta is a regression on the
+         far side of it.  Negative for higher-is-better metrics,
+         positive for lower-is-better ones. *)
+  regressed : bool;
+      (* higher-is-better: delta < -(tolerance + cnoise);
+         lower-is-better: delta > +(tolerance + cnoise) *)
 }
 
 type outcome = {
@@ -180,8 +209,8 @@ type outcome = {
   missing : measurement list;  (* baseline cells with no current value *)
 }
 
-let compare_cells ~tolerance ~(baseline : measurement list)
-    ~(current : measurement list) =
+let compare_cells ?(lower_is_better = fun _ -> false) ~tolerance
+    ~(baseline : measurement list) ~(current : measurement list) () =
   let missing = ref [] in
   let cells =
     List.filter_map
@@ -199,6 +228,7 @@ let compare_cells ~tolerance ~(baseline : measurement list)
             if b.value = 0. then 0. else (c.value /. b.value) -. 1.
           in
           let cnoise = b.noise +. c.noise in
+          let bar = tolerance +. cnoise in
           Some
             {
               capp = b.app;
@@ -208,7 +238,10 @@ let compare_cells ~tolerance ~(baseline : measurement list)
               ccurrent = c.value;
               delta;
               cnoise;
-              regressed = delta < -.(tolerance +. cnoise);
+              cbar = (if lower_is_better b.metric then bar else -.bar);
+              regressed =
+                (if lower_is_better b.metric then delta > bar
+                 else delta < -.bar);
             })
       baseline
   in
@@ -224,7 +257,7 @@ let pp ppf o =
     (fun c ->
       Format.fprintf ppf "%-16s %-10s %-24s %10.3f %10.3f %+7.1f%% %+7.1f%%%s@."
         c.capp c.csize c.cmetric c.cbaseline c.ccurrent (100. *. c.delta)
-        (-100. *. (o.tolerance +. c.cnoise))
+        (100. *. c.cbar)
         (if c.regressed then "  REGRESSED" else ""))
     o.cells;
   List.iter

@@ -41,6 +41,10 @@ type baseline = {
       (** schema v4 execution tier (["native"], ["c"], ["c-dlopen"]);
           for v1-v3 files it defaults to [backend], which is what
           those files measured *)
+  mode : string;
+      (** schema v5 measurement mode: ["oneshot"] (a fresh process per
+          measurement — every earlier schema) or ["serve"] (request
+          latency through the long-lived server) *)
   host : host option;  (** schema v3 host metadata, when present *)
   cells : measurement list;  (** every numeric field of every app *)
 }
@@ -60,6 +64,12 @@ val check_tier : baseline -> current:string -> (unit, string) result
     I/O, the dlopen tier's does not, so a gate across tiers measures
     the dispatch mechanism rather than the generated code. *)
 
+val check_mode : baseline -> current:string -> (unit, string) result
+(** Refuse cross-mode comparisons: a one-shot process pays compile and
+    warm-up that a long-lived server amortizes away, so a serve-mode
+    percentile against a one-shot median compares lifecycles, not
+    performance. *)
+
 type cell = {
   capp : string;
   csize : string;
@@ -68,7 +78,13 @@ type cell = {
   ccurrent : float;
   delta : float;  (** [current/baseline - 1]; negative = slower *)
   cnoise : float;  (** combined relative noise of both measurements *)
-  regressed : bool;  (** [delta < -(tolerance + cnoise)] *)
+  cbar : float;
+      (** the signed regression bar ([delta] past it = regression):
+          [-(tolerance + cnoise)] for higher-is-better metrics,
+          [+(tolerance + cnoise)] for lower-is-better ones *)
+  regressed : bool;
+      (** higher-is-better: [delta < -(tolerance + cnoise)];
+          lower-is-better: [delta > +(tolerance + cnoise)] *)
 }
 
 type outcome = {
@@ -79,10 +95,16 @@ type outcome = {
 }
 
 val compare_cells :
+  ?lower_is_better:(string -> bool) ->
   tolerance:float ->
   baseline:measurement list ->
   current:measurement list ->
+  unit ->
   outcome
+(** Cell-wise comparison on (app, metric).  [lower_is_better], given a
+    metric name, flips the regression direction for that metric
+    (latency ratios); the default treats every metric as
+    higher-is-better (speedup ratios). *)
 
 val regressions : outcome -> cell list
 val ok : outcome -> bool

@@ -13,6 +13,7 @@ let sites =
     "exec_crash";
     "exec_hang";
     "compile_flaky";
+    "serve_request";
   ]
 
 let phase_of_site = function

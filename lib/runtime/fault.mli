@@ -27,7 +27,10 @@ val sites : string list
     ["exec_hang"] — the same execution sites, simulating a hung
     artifact reaped by the watchdog;
     ["compile_flaky"] — a toolchain invocation, simulating a transient
-    compiler failure that the retry-with-backoff path absorbs. *)
+    compiler failure that the retry-with-backoff path absorbs;
+    ["serve_request"] — the serve daemon's per-request handler,
+    simulating an internal failure that must surface as a structured
+    error response while the server stays up. *)
 
 val parse : string -> spec
 (** Parse ["site:seed"]. @raise Polymage_util.Err.Polymage_error on an

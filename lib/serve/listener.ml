@@ -1,0 +1,88 @@
+(* Unix-domain-socket transport for the serve daemon: an accept loop
+   feeding connections to per-connection domains, each of which reads
+   request frames and writes the server's response frames back.  All
+   execution still funnels through the server's single dispatcher —
+   connection domains only do protocol I/O, so a slow client cannot
+   stall another client's requests, only its own.
+
+   [max_conns] bounds how many connections are accepted before the
+   listener closes and joins — the deterministic-exit mode CI uses;
+   [None] accepts until the process dies. *)
+
+module Err = Polymage_util.Err
+
+type t = {
+  server : Server.t;
+  sock : Unix.file_descr;
+  path : string;
+}
+
+let bind ~socket_path server =
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  let sock = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.bind sock (ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     Err.failf Err.IO ~stage:"serve" "cannot bind %s: %s" socket_path
+       (Unix.error_message e));
+  Unix.listen sock 64;
+  { server; sock; path = socket_path }
+
+(* One connection: frames in, frames out, until clean EOF.  A protocol
+   error that read_frame can still attribute to a frame gets an 'E'
+   response before the connection closes; anything else just drops the
+   connection — the server itself is untouched either way. *)
+let serve_conn server fd =
+  let closed = ref false in
+  (try
+     while not !closed do
+       match Protocol.read_frame fd with
+       | None -> closed := true
+       | Some (kind, payload) ->
+         let frame = Bytes.create (Protocol.header_bytes + Bytes.length payload) in
+         Bytes.blit_string Protocol.magic 0 frame 0 8;
+         Bytes.set frame 8 kind;
+         Bytes.set_int32_le frame 9 (Int32.of_int (Bytes.length payload));
+         Bytes.blit payload 0 frame Protocol.header_bytes
+           (Bytes.length payload);
+         Protocol.write_all fd (Server.handle_frame server frame)
+     done
+   with
+  | Err.Polymage_error e ->
+    (try
+       Protocol.write_all fd (Protocol.encode_response (Protocol.Err_response e))
+     with _ -> ())
+  | _ -> ());
+  try Unix.close fd with _ -> ()
+
+let run ?max_conns t =
+  let conns = ref []
+  and accepted = ref 0 in
+  let more () = match max_conns with None -> true | Some n -> !accepted < n in
+  (try
+     while more () do
+       let fd, _ = Unix.accept t.sock in
+       incr accepted;
+       conns := Domain.spawn (fun () -> serve_conn t.server fd) :: !conns
+     done
+   with Unix.Unix_error _ -> ());
+  List.iter Domain.join !conns;
+  (try Unix.close t.sock with _ -> ());
+  (try Sys.remove t.path with _ -> ())
+
+(* ---- client side ---- *)
+
+let connect socket_path =
+  let sock = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect sock (ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close sock with _ -> ());
+     Err.failf Err.IO ~stage:"serve" "cannot connect to %s: %s" socket_path
+       (Unix.error_message e));
+  sock
+
+let call fd ~app ~params ~images =
+  Protocol.write_all fd (Protocol.encode_request ~app ~params ~images);
+  match Protocol.read_frame fd with
+  | None ->
+    Err.failf Err.IO ~stage:"serve" "server closed the connection"
+  | Some (kind, payload) -> Protocol.decode_response ~kind payload

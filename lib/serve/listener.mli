@@ -1,0 +1,34 @@
+(** Unix-domain-socket transport for the serve daemon, plus the
+    matching client helpers.
+
+    The listener accepts connections and spawns one domain per
+    connection for protocol I/O; execution is still serialized through
+    the {!Server}'s single dispatcher, so a slow client only stalls
+    itself. *)
+
+type t
+
+val bind : socket_path:string -> Server.t -> t
+(** Bind and listen on a Unix-domain socket (an existing file at the
+    path is removed first).
+    @raise Polymage_util.Err.Polymage_error (phase [IO]) on failure. *)
+
+val run : ?max_conns:int -> t -> unit
+(** Accept loop: serve each connection on its own domain until
+    [max_conns] connections have been accepted (forever when absent),
+    then join them all, close the socket and remove the socket file.
+    Does not stop the server — callers own its lifecycle. *)
+
+(** {1 Client side} *)
+
+val connect : string -> Unix.file_descr
+(** Connect to a daemon's socket path.
+    @raise Polymage_util.Err.Polymage_error (phase [IO]). *)
+
+val call :
+  Unix.file_descr ->
+  app:string ->
+  params:(string * int) list ->
+  images:(string * Polymage_rt.Buffer.t) list ->
+  Protocol.response
+(** One request/response round trip on an open connection. *)

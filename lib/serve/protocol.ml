@@ -1,0 +1,301 @@
+(* The serve wire protocol: length-prefixed frames carrying pipeline
+   requests and responses, with input and output values embedded as
+   PMRAW blobs (Rawio) — the compiled backend's exchange format reused
+   unchanged at the process boundary.
+
+   Frame layout (all integers little-endian):
+
+     8 bytes   magic "PMSRV01\n"
+     1 byte    kind: 'Q' request, 'R' ok response, 'E' error response
+     u32       payload length (bounded by [max_payload])
+     payload
+
+   Request payload:
+     str16 app name
+     u16 n_params; each: str16 name, i64 value
+     u16 n_images; each: str16 name, u32 blob length, PMRAW blob
+
+   Ok payload:
+     str16 serving-tier label
+     u16 n_outputs; each: str16 name, u8 rank, rank x i64 lower
+       bounds, u32 blob length, PMRAW blob
+
+   Error payload (a structured {!Err.t} crossing the wire):
+     str16 phase name, str16 stage ("" = none), str32 detail
+
+   str16/str32 are u16-/u32-length-prefixed byte strings.  Every
+   decoding failure raises a phase-[IO] error with stage ["serve"];
+   the server turns those into error responses and stays up. *)
+
+module Rt = Polymage_rt
+module Err = Polymage_util.Err
+module Rawio = Polymage_backend.Rawio
+
+let magic = "PMSRV01\n"
+let header_bytes = 8 + 1 + 4
+
+(* Generous for image pipelines, small enough that a hostile length
+   prefix cannot make the server allocate without bound. *)
+let max_payload = 256 * 1024 * 1024
+
+type request = {
+  app : string;
+  params : (string * int) list;
+  images : (string * bytes) list;  (* name -> embedded PMRAW blob *)
+}
+
+type response =
+  | Ok_response of {
+      tier : string;  (* which tier served the request *)
+      outputs : (string * Rt.Buffer.t) list;
+    }
+  | Err_response of Err.t
+
+let fail fmt = Err.failf Err.IO ~stage:"serve" fmt
+
+(* ---- primitive writers ---- *)
+
+let add_u16 b v =
+  if v < 0 || v > 0xffff then fail "Protocol: u16 out of range (%d)" v;
+  Buffer.add_uint16_le b v
+
+let add_u32 b v =
+  if v < 0 then fail "Protocol: u32 out of range (%d)" v;
+  Buffer.add_int32_le b (Int32.of_int v)
+
+let add_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let add_str16 b s =
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+let add_str32 b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* ---- primitive readers over a payload ---- *)
+
+type cursor = { buf : bytes; mutable pos : int; stop : int }
+
+let need c n =
+  if c.pos + n > c.stop then fail "Protocol: truncated payload"
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  need c 2;
+  let v = Bytes.get_uint16_le c.buf c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_le c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then fail "Protocol: u32 out of range";
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_le c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_str16 c =
+  let n = get_u16 c in
+  need c n;
+  let s = Bytes.sub_string c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_str32 c =
+  let n = get_u32 c in
+  need c n;
+  let s = Bytes.sub_string c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bytes c n =
+  need c n;
+  let s = Bytes.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* ---- framing ---- *)
+
+let frame ~kind payload =
+  let n = Buffer.length payload in
+  if n > max_payload then fail "Protocol: payload too large (%d bytes)" n;
+  let b = Buffer.create (header_bytes + n) in
+  Buffer.add_string b magic;
+  Buffer.add_char b kind;
+  Buffer.add_int32_le b (Int32.of_int n);
+  Buffer.add_buffer b payload;
+  Buffer.to_bytes b
+
+let known_kind = function 'Q' | 'R' | 'E' -> true | _ -> false
+
+let parse_frame bytes =
+  let len = Bytes.length bytes in
+  if len < header_bytes then fail "Protocol: truncated frame header";
+  if Bytes.sub_string bytes 0 8 <> magic then fail "Protocol: bad magic";
+  let kind = Bytes.get bytes 8 in
+  if not (known_kind kind) then
+    fail "Protocol: unknown frame kind %C" kind;
+  let n = Int32.to_int (Bytes.get_int32_le bytes 9) in
+  if n < 0 || n > max_payload then
+    fail "Protocol: oversized length prefix (%d bytes, bound %d)" n max_payload;
+  if len < header_bytes + n then fail "Protocol: truncated payload";
+  (kind, Bytes.sub bytes header_bytes n)
+
+(* ---- requests ---- *)
+
+let encode_request ~app ~params ~images =
+  let b = Buffer.create 1024 in
+  add_str16 b app;
+  add_u16 b (List.length params);
+  List.iter
+    (fun (name, v) ->
+      add_str16 b name;
+      add_i64 b v)
+    params;
+  add_u16 b (List.length images);
+  List.iter
+    (fun (name, buf) ->
+      add_str16 b name;
+      let blob = Rawio.encode buf in
+      add_u32 b (Bytes.length blob);
+      Buffer.add_bytes b blob)
+    images;
+  frame ~kind:'Q' b
+
+let decode_request payload =
+  let c = { buf = payload; pos = 0; stop = Bytes.length payload } in
+  let app = get_str16 c in
+  let n_params = get_u16 c in
+  let params =
+    List.init n_params (fun _ ->
+        let name = get_str16 c in
+        let v = get_i64 c in
+        (name, v))
+  in
+  let n_images = get_u16 c in
+  let images =
+    List.init n_images (fun _ ->
+        let name = get_str16 c in
+        let n = get_u32 c in
+        let blob = get_bytes c n in
+        (* vet the blob header here so a malformed image is reported
+           against its name, not deep inside execution *)
+        let dims = Rawio.peek_dims ~stage:("image " ^ name) blob ~off:0
+            ~len:(Bytes.length blob) in
+        if Rawio.blob_bytes dims <> Bytes.length blob then
+          fail "Protocol: image %s blob has trailing bytes" name;
+        (name, blob))
+  in
+  if c.pos <> c.stop then fail "Protocol: trailing bytes after request";
+  { app; params; images }
+
+(* ---- responses ---- *)
+
+let encode_response = function
+  | Ok_response { tier; outputs } ->
+    let b = Buffer.create 1024 in
+    add_str16 b tier;
+    add_u16 b (List.length outputs);
+    List.iter
+      (fun (name, (buf : Rt.Buffer.t)) ->
+        add_str16 b name;
+        let rank = Array.length buf.dims in
+        if rank > 0xff then fail "Protocol: rank too large";
+        Buffer.add_char b (Char.chr rank);
+        Array.iter (fun l -> add_i64 b l) buf.lo;
+        let blob = Rawio.encode buf in
+        add_u32 b (Bytes.length blob);
+        Buffer.add_bytes b blob)
+      outputs;
+    frame ~kind:'R' b
+  | Err_response e ->
+    let b = Buffer.create 256 in
+    add_str16 b (Err.phase_name e.Err.phase);
+    add_str16 b (Option.value ~default:"" e.Err.stage);
+    add_str32 b e.Err.detail;
+    frame ~kind:'E' b
+
+let decode_response ~kind payload =
+  let c = { buf = payload; pos = 0; stop = Bytes.length payload } in
+  match kind with
+  | 'R' ->
+    let tier = get_str16 c in
+    let n = get_u16 c in
+    let outputs =
+      List.init n (fun _ ->
+          let name = get_str16 c in
+          let rank = get_u8 c in
+          let lo = Array.init rank (fun _ -> get_i64 c) in
+          let blob_len = get_u32 c in
+          let off = c.pos in
+          need c blob_len;
+          c.pos <- c.pos + blob_len;
+          let dims =
+            Rawio.peek_dims ~stage:("output " ^ name) c.buf ~off ~len:blob_len
+          in
+          (name, Rawio.decode ~stage:("output " ^ name) c.buf ~off
+             ~len:blob_len ~lo ~dims))
+    in
+    if c.pos <> c.stop then fail "Protocol: trailing bytes after response";
+    Ok_response { tier; outputs }
+  | 'E' ->
+    let phase_s = get_str16 c in
+    let stage = get_str16 c in
+    let detail = get_str32 c in
+    let phase =
+      match Err.phase_of_name phase_s with
+      | Some p -> p
+      | None -> fail "Protocol: unknown error phase %S" phase_s
+    in
+    Err_response
+      (Err.error ?stage:(if stage = "" then None else Some stage) phase detail)
+  | k -> fail "Protocol: frame kind %C is not a response" k
+
+(* ---- file-descriptor transport ---- *)
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd bytes !off (n - !off)
+  done
+
+let really_read fd bytes off len =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let n = Unix.read fd bytes (off + !got) (len - !got) in
+       if n = 0 then raise Exit;
+       got := !got + n
+     done
+   with Exit -> ());
+  !got
+
+let read_frame fd =
+  let header = Bytes.create header_bytes in
+  match really_read fd header 0 header_bytes with
+  | 0 -> None (* clean EOF at a frame boundary *)
+  | n when n < header_bytes -> fail "Protocol: truncated frame header"
+  | _ ->
+    if Bytes.sub_string header 0 8 <> magic then fail "Protocol: bad magic";
+    let kind = Bytes.get header 8 in
+    if not (known_kind kind) then
+      fail "Protocol: unknown frame kind %C" kind;
+    let n = Int32.to_int (Bytes.get_int32_le header 9) in
+    if n < 0 || n > max_payload then
+      fail "Protocol: oversized length prefix (%d bytes, bound %d)" n
+        max_payload;
+    let payload = Bytes.create n in
+    if really_read fd payload 0 n < n then fail "Protocol: truncated payload";
+    Some (kind, payload)

@@ -1,0 +1,65 @@
+(** The serve wire protocol: length-prefixed frames over a socket or
+    pipe, with pipeline inputs and outputs embedded as PMRAW blobs
+    ({!Polymage_backend.Rawio}).
+
+    Frame: 8-byte magic ["PMSRV01\n"], one kind byte (['Q'] request,
+    ['R'] ok response, ['E'] error response), u32 LE payload length
+    (bounded by {!max_payload}), payload.  See [protocol.ml] for the
+    payload layouts.  Every decoding failure raises a structured
+    phase-[IO] error with stage ["serve"]; the server converts those
+    into ['E'] responses and keeps serving. *)
+
+module Rt = Polymage_rt
+module Err = Polymage_util.Err
+
+val magic : string
+val header_bytes : int
+
+val max_payload : int
+(** Upper bound on a frame's payload length; a larger length prefix is
+    rejected before any allocation. *)
+
+type request = {
+  app : string;  (** pipeline name, as in [polymage list] *)
+  params : (string * int) list;  (** parameter overrides by name *)
+  images : (string * bytes) list;  (** input name -> PMRAW blob *)
+}
+
+type response =
+  | Ok_response of {
+      tier : string;  (** which tier served it, e.g. ["c-dlopen"] *)
+      outputs : (string * Rt.Buffer.t) list;
+    }
+  | Err_response of Err.t
+
+val parse_frame : bytes -> char * bytes
+(** Split a complete frame into kind and payload, validating magic,
+    kind and length prefix.  @raise Polymage_util.Err.Polymage_error
+    (phase [IO]) on malformed frames. *)
+
+val encode_request :
+  app:string ->
+  params:(string * int) list ->
+  images:(string * Rt.Buffer.t) list ->
+  bytes
+(** A complete ['Q'] frame. *)
+
+val decode_request : bytes -> request
+(** Decode a ['Q'] payload, vetting every embedded blob header.
+    @raise Polymage_util.Err.Polymage_error (phase [IO]). *)
+
+val encode_response : response -> bytes
+(** A complete ['R'] or ['E'] frame. *)
+
+val decode_response : kind:char -> bytes -> response
+(** Decode an ['R'] or ['E'] payload.
+    @raise Polymage_util.Err.Polymage_error (phase [IO]). *)
+
+(** {1 File-descriptor transport} *)
+
+val write_all : Unix.file_descr -> bytes -> unit
+
+val read_frame : Unix.file_descr -> (char * bytes) option
+(** Read one frame; [None] on clean EOF at a frame boundary.
+    @raise Polymage_util.Err.Polymage_error (phase [IO]) on a
+    malformed or truncated frame. *)

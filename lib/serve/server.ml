@@ -1,0 +1,369 @@
+(* The serve daemon's core: one long-lived process multiplexing
+   pipeline requests over the layers the CLI pays for per invocation —
+   one compiled plan per (app, params) key, one shared artifact cache,
+   one worker pool, and (on the Auto tier) one background compile per
+   plan whose artifact hot-swaps in after canary promotion.
+
+   Concurrency shape: client domains submit requests into a bounded
+   FIFO; a single dispatcher domain drains it and executes.  The
+   dispatcher is alone on purpose — [Pool.parallel_for] is not
+   reentrant and a request already fans its tiles out over every
+   worker, so a second in-flight request would add contention, not
+   throughput.  Batching (consecutive same-plan requests served
+   back-to-back, optionally after a short collection window) amortizes
+   dispatch without reordering anything.
+
+   Admission control is the degradation ladder turned outward: at
+   [shed_depth] pending requests a request is still served, but on the
+   shed plan (Options.shed: the naive rung — no grouping, no
+   vectorization, no kernels) so the queue drains faster; at
+   [max_depth] it is rejected outright with a structured error.  Shed
+   before queue, reject before hang.
+
+   Telemetry: serve/requests, serve/responses, serve/batched,
+   serve/shed, serve/rejected, serve/invalid, serve/degraded,
+   serve/queue_depth and serve/served/<tier> counters, plus
+   serve.request / serve.exec trace spans. *)
+
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module App = Polymage_apps.App
+module Err = Polymage_util.Err
+module Metrics = Polymage_util.Metrics
+module Trace = Polymage_util.Trace
+module Exec_tier = Polymage_backend.Exec_tier
+module Rawio = Polymage_backend.Rawio
+
+type config = {
+  tier : Exec_tier.t;
+  workers : int;
+  batch_max : int;
+  batch_window_ms : int;
+  shed_depth : int;
+  max_depth : int;
+  cache_dir : string option;
+}
+
+let default_config ?cache_dir () =
+  {
+    tier = Exec_tier.Auto;
+    workers = 2;
+    batch_max = 8;
+    batch_window_ms = 0;
+    shed_depth = 64;
+    max_depth = 256;
+    cache_dir;
+  }
+
+type plan_state = {
+  key : string;
+  app : App.t;
+  env : Types.bindings;
+  plan : C.Plan.t;
+  shed_plan : C.Plan.t Lazy.t;  (* forced by the dispatcher only *)
+  auto : Exec_tier.auto option;  (* background compile, Auto tier *)
+}
+
+type job = {
+  ps : plan_state;
+  images : (Ast.image * Rt.Buffer.t) list;
+  mutable shed : bool;
+  mutable reply : Protocol.response option;
+  jmu : Mutex.t;
+  jcv : Condition.t;
+}
+
+type t = {
+  cfg : config;
+  pool : Rt.Pool.t;
+  plans : (string, plan_state) Hashtbl.t;
+  pmu : Mutex.t;
+  q : job Queue.t;
+  qmu : Mutex.t;
+  qcv : Condition.t;
+  mutable stopping : bool;
+  mutable dispatcher : unit Domain.t option;
+}
+
+(* ---- request resolution (caller domain) ---- *)
+
+let env_of_request (app : App.t) params =
+  let known (p : Types.param) = p.Types.pname in
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (p, _) -> known p = name) app.small_env) then
+        Err.failf Err.Dsl ~stage:"serve" "unknown parameter %S for %s (has: %s)"
+          name app.name
+          (String.concat ", " (List.map (fun (p, _) -> known p) app.small_env)))
+    params;
+  List.map
+    (fun (p, dv) ->
+      (p, Option.value ~default:dv (List.assoc_opt (known p) params)))
+    app.small_env
+
+let plan_key (app : App.t) env =
+  app.name ^ "?"
+  ^ String.concat "&"
+      (List.map
+         (fun ((p : Types.param), v) ->
+           Printf.sprintf "%s=%d" p.Types.pname v)
+         env)
+
+let plan_state t (app : App.t) env =
+  let key = plan_key app env in
+  Mutex.protect t.pmu (fun () ->
+      match Hashtbl.find_opt t.plans key with
+      | Some ps -> ps
+      | None ->
+        let opts = C.Options.opt_vec ~workers:t.cfg.workers ~estimates:env () in
+        let plan = C.Compile.run opts ~outputs:app.outputs in
+        let ps =
+          {
+            key;
+            app;
+            env;
+            plan;
+            shed_plan =
+              lazy (C.Compile.run (C.Options.shed opts) ~outputs:app.outputs);
+            auto =
+              (if t.cfg.tier = Exec_tier.Auto then
+                 Some (Exec_tier.auto_start ?cache_dir:t.cfg.cache_dir plan)
+               else None);
+          }
+        in
+        Hashtbl.replace t.plans key ps;
+        ps)
+
+let pp_dims dims =
+  String.concat "x" (Array.to_list (Array.map string_of_int dims))
+
+let images_of_request ps (req : Protocol.request) =
+  let pipe_images = ps.plan.C.Plan.pipe.Pipeline.images in
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (im : Ast.image) -> im.Ast.iname = name)
+                pipe_images)
+      then
+        Err.failf Err.Dsl ~stage:"serve" "unknown input image %S for %s" name
+          ps.app.App.name)
+    req.images;
+  List.map
+    (fun (im : Ast.image) ->
+      match List.assoc_opt im.Ast.iname req.images with
+      | None ->
+        Err.failf Err.Dsl ~stage:"serve" "missing input image %S for %s"
+          im.Ast.iname ps.app.App.name
+      | Some blob ->
+        let stage = "image " ^ im.Ast.iname in
+        let dims =
+          Array.of_list (List.map (fun e -> Abound.eval e ps.env) im.Ast.iextents)
+        in
+        let got =
+          Rawio.peek_dims ~stage blob ~off:0 ~len:(Bytes.length blob)
+        in
+        if got <> dims then
+          Err.failf Err.IO ~stage:"serve"
+            "geometry mismatch for image %S: got [%s], want [%s]"
+            im.Ast.iname (pp_dims got) (pp_dims dims);
+        let lo = Array.make (Array.length dims) 0 in
+        (im, Rawio.decode ~stage blob ~off:0 ~len:(Bytes.length blob) ~lo ~dims))
+    pipe_images
+
+(* ---- execution (dispatcher domain) ---- *)
+
+let serve_one t (job : job) =
+  let ps = job.ps in
+  let resp =
+    try
+      Rt.Fault.hit "serve_request";
+      Trace.with_span ~cat:"serve"
+        ~args:[ ("app", ps.app.App.name); ("key", ps.key) ]
+        "serve.exec"
+        (fun () ->
+          let result, tier_label, degradations =
+            if job.shed then
+              let r, d =
+                Rt.Executor.run_safe ~pool:t.pool (Lazy.force ps.shed_plan)
+                  ps.env ~images:job.images
+              in
+              (r, "native-shed", d)
+            else
+              match ps.auto with
+              | Some a ->
+                let (r, _st), d, served =
+                  Exec_tier.auto_run ~pool:t.pool a ps.env ~images:job.images
+                in
+                (r, served, d)
+              | None ->
+                let (r, _st), d =
+                  Exec_tier.run_safe ?cache_dir:t.cfg.cache_dir ~pool:t.pool
+                    t.cfg.tier ps.plan ps.env ~images:job.images
+                in
+                (r, Exec_tier.to_string t.cfg.tier, d)
+          in
+          List.iter (fun _ -> Metrics.bumpn "serve/degraded") degradations;
+          Metrics.bumpn ("serve/served/" ^ tier_label);
+          Protocol.Ok_response
+            {
+              tier = tier_label;
+              outputs =
+                List.map
+                  (fun ((f : Ast.func), b) -> (f.Ast.fname, b))
+                  result.Rt.Executor.outputs;
+            })
+    with e -> Protocol.Err_response (Err.of_exn e)
+  in
+  Metrics.bumpn "serve/responses";
+  Mutex.protect job.jmu (fun () ->
+      job.reply <- Some resp;
+      Condition.broadcast job.jcv)
+
+let rec dispatch_loop t =
+  Mutex.lock t.qmu;
+  while Queue.is_empty t.q && not t.stopping do
+    Condition.wait t.qcv t.qmu
+  done;
+  if Queue.is_empty t.q then Mutex.unlock t.qmu (* stopping, drained *)
+  else begin
+    let job = Queue.pop t.q in
+    Metrics.addn "serve/queue_depth" (-1);
+    Mutex.unlock t.qmu;
+    (* The batching window: hold the first request briefly so
+       same-plan requests arriving together ride one dispatch. *)
+    if t.cfg.batch_window_ms > 0 then
+      Unix.sleepf (float_of_int t.cfg.batch_window_ms /. 1000.);
+    let batch = ref [ job ]
+    and n = ref 1 in
+    Mutex.protect t.qmu (fun () ->
+        while
+          !n < t.cfg.batch_max
+          && (not (Queue.is_empty t.q))
+          && (Queue.peek t.q).ps.key = job.ps.key
+        do
+          batch := Queue.pop t.q :: !batch;
+          Metrics.addn "serve/queue_depth" (-1);
+          incr n
+        done);
+    Metrics.addn "serve/batched" (!n - 1);
+    List.iter (serve_one t) (List.rev !batch);
+    dispatch_loop t
+  end
+
+(* ---- public interface ---- *)
+
+let create cfg =
+  let t =
+    {
+      cfg;
+      pool = Rt.Pool.create (max 1 cfg.workers);
+      plans = Hashtbl.create 8;
+      pmu = Mutex.create ();
+      q = Queue.create ();
+      qmu = Mutex.create ();
+      qcv = Condition.create ();
+      stopping = false;
+      dispatcher = None;
+    }
+  in
+  t.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop t));
+  t
+
+let submit t (req : Protocol.request) =
+  Trace.with_span ~cat:"serve" ~args:[ ("app", req.Protocol.app) ]
+    "serve.request"
+    (fun () ->
+      Metrics.bumpn "serve/requests";
+      match
+        let app =
+          try Apps.find req.Protocol.app
+          with Not_found ->
+            Err.failf Err.Dsl ~stage:"serve" "unknown app %S (known: %s)"
+              req.Protocol.app
+              (String.concat ", " Apps.names)
+        in
+        let env = env_of_request app req.Protocol.params in
+        let ps = plan_state t app env in
+        (ps, images_of_request ps req)
+      with
+      | exception e ->
+        Metrics.bumpn "serve/invalid";
+        Protocol.Err_response (Err.of_exn e)
+      | ps, images -> (
+        let job =
+          {
+            ps;
+            images;
+            shed = false;
+            reply = None;
+            jmu = Mutex.create ();
+            jcv = Condition.create ();
+          }
+        in
+        let verdict =
+          Mutex.protect t.qmu (fun () ->
+              if t.stopping then `Reject "server is shutting down"
+              else
+                let depth = Queue.length t.q in
+                if depth >= t.cfg.max_depth then
+                  `Reject
+                    (Printf.sprintf
+                       "overloaded: queue depth %d at bound %d; retry later"
+                       depth t.cfg.max_depth)
+                else begin
+                  if depth >= t.cfg.shed_depth then job.shed <- true;
+                  Queue.push job t.q;
+                  Metrics.addn "serve/queue_depth" 1;
+                  Condition.signal t.qcv;
+                  `Admitted
+                end)
+        in
+        match verdict with
+        | `Reject why ->
+          Metrics.bumpn "serve/rejected";
+          Protocol.Err_response (Err.error ~stage:"serve" Err.Exec
+              ("admission: " ^ why))
+        | `Admitted ->
+          if job.shed then Metrics.bumpn "serve/shed";
+          Mutex.protect job.jmu (fun () ->
+              while job.reply = None do
+                Condition.wait job.jcv job.jmu
+              done;
+              Option.get job.reply)))
+
+let handle_frame t bytes =
+  let resp =
+    try
+      let kind, payload = Protocol.parse_frame bytes in
+      if kind <> 'Q' then
+        Err.failf Err.IO ~stage:"serve"
+          "Protocol: expected a request frame, got %C" kind;
+      submit t (Protocol.decode_request payload)
+    with e ->
+      Metrics.bumpn "serve/invalid";
+      Protocol.Err_response (Err.of_exn e)
+  in
+  Protocol.encode_response resp
+
+let await_warm t =
+  let autos =
+    Mutex.protect t.pmu (fun () ->
+        Hashtbl.fold
+          (fun _ ps acc ->
+            match ps.auto with Some a -> a :: acc | None -> acc)
+          t.plans [])
+  in
+  List.iter Exec_tier.auto_await autos
+
+let stop t =
+  Mutex.protect t.qmu (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.qcv);
+  (match t.dispatcher with
+  | None -> ()
+  | Some d ->
+    t.dispatcher <- None;
+    Domain.join d);
+  await_warm t;
+  Rt.Pool.shutdown t.pool

@@ -1,0 +1,64 @@
+(** The serve daemon's core: a long-lived in-process server that
+    multiplexes pipeline requests over one compiled plan per
+    (app, params) key, one shared artifact cache, one worker pool and
+    — on the [Auto] tier — one background compile per plan whose
+    artifact hot-swaps in after canary promotion.
+
+    Requests are submitted by any domain and executed by a single
+    dispatcher domain ({!Polymage_rt.Pool.parallel_for} is not
+    reentrant, and each request already fans out over every worker).
+    Consecutive same-plan requests are served back-to-back as a batch,
+    optionally after a short collection window.
+
+    Admission control is the degradation ladder turned outward: past
+    [shed_depth] pending requests a request is still served but on the
+    naive shed plan ({!Polymage_compiler.Options.shed}) so the queue
+    drains faster; past [max_depth] it is rejected with a structured
+    error.  Shed before queue, reject before hang.
+
+    Counters (when {!Polymage_util.Metrics} is enabled):
+    [serve/requests], [serve/responses], [serve/batched], [serve/shed],
+    [serve/rejected], [serve/invalid], [serve/degraded],
+    [serve/queue_depth] and [serve/served/<tier>]. *)
+
+module Exec_tier = Polymage_backend.Exec_tier
+
+type config = {
+  tier : Exec_tier.t;  (** serving tier; [Auto] hot-swaps per plan *)
+  workers : int;  (** size of the shared worker pool *)
+  batch_max : int;  (** max consecutive same-plan requests per batch *)
+  batch_window_ms : int;
+      (** hold the head request this long to let same-plan requests
+          accumulate (0 = no window) *)
+  shed_depth : int;  (** queue depth at which requests are shed *)
+  max_depth : int;  (** queue depth at which requests are rejected *)
+  cache_dir : string option;  (** shared artifact cache directory *)
+}
+
+val default_config : ?cache_dir:string -> unit -> config
+(** [Auto] tier, 2 workers, batches of 8 with no window, shed at 64,
+    reject at 256. *)
+
+type t
+
+val create : config -> t
+(** Start the dispatcher domain and the shared pool. *)
+
+val submit : t -> Protocol.request -> Protocol.response
+(** Resolve, admit, enqueue and wait for the response.  Thread-safe;
+    callable from any domain.  Never raises: every failure — unknown
+    app or parameter, malformed or mismatched image blob, admission
+    rejection, execution error — comes back as [Err_response]. *)
+
+val handle_frame : t -> bytes -> bytes
+(** Frame-level entry point: parse a ['Q'] frame, {!submit}, encode
+    the response frame.  Malformed frames yield encoded ['E'] frames;
+    never raises. *)
+
+val await_warm : t -> unit
+(** Join every plan's background compile ([Auto] tier); after this,
+    requests for already-seen plans are served on their final tier. *)
+
+val stop : t -> unit
+(** Drain the queue, join the dispatcher and background compiles, shut
+    the pool down.  Requests submitted after [stop] are rejected. *)

@@ -24,6 +24,18 @@ let phase_name = function
   | Codegen -> "codegen"
   | IO -> "io"
 
+let phase_of_name = function
+  | "dsl" -> Some Dsl
+  | "bounds" -> Some Bounds
+  | "group" -> Some Group
+  | "schedule" -> Some Schedule
+  | "storage" -> Some Storage
+  | "kernel" -> Some Kernel
+  | "exec" -> Some Exec
+  | "codegen" -> Some Codegen
+  | "io" -> Some IO
+  | _ -> None
+
 let pp ppf e =
   match e.stage with
   | Some s -> Format.fprintf ppf "[%s] stage %s: %s" (phase_name e.phase) s e.detail

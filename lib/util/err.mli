@@ -27,6 +27,11 @@ type t = {
 exception Polymage_error of t
 
 val phase_name : phase -> string
+
+val phase_of_name : string -> phase option
+(** Inverse of {!phase_name} — lets structured errors cross a process
+    or wire boundary (the serve protocol) without losing the phase. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -20,4 +20,5 @@ let () =
       Test_report.suite;
       Test_backend.suite;
       Test_robust.suite;
+      Test_serve.suite;
     ]

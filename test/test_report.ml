@@ -293,7 +293,7 @@ let gate_within_tolerance () =
   let o =
     Regress.compare_cells ~tolerance:0.10
       ~baseline:[ m "harris" "kernel_speedup_base" 1.0 ]
-      ~current:[ m "harris" "kernel_speedup_base" 0.95 ]
+      ~current:[ m "harris" "kernel_speedup_base" 0.95 ] ()
   in
   Alcotest.(check bool) "ok" true (Regress.ok o);
   (match o.Regress.cells with
@@ -305,7 +305,7 @@ let gate_within_tolerance () =
   let o =
     Regress.compare_cells ~tolerance:0.10
       ~baseline:[ m "harris" "kernel_speedup_base" 1.0 ]
-      ~current:[ m "harris" "kernel_speedup_base" 2.0 ]
+      ~current:[ m "harris" "kernel_speedup_base" 2.0 ] ()
   in
   Alcotest.(check bool) "faster is fine" true (Regress.ok o)
 
@@ -322,6 +322,7 @@ let gate_catches_regression () =
           m "harris" "kernel_speedup_base" 0.85;
           m "unsharp_mask" "kernel_speedup_base" 1.19;
         ]
+      ()
   in
   Alcotest.(check bool) "gate fails" false (Regress.ok o);
   match Regress.regressions o with
@@ -335,7 +336,7 @@ let gate_noise_widens_bar () =
   let baseline = [ m "harris" "kernel_speedup_base" 1.0 ] in
   (* -15% with a quiet run: beyond the 10% tolerance *)
   let noisy current =
-    Regress.compare_cells ~tolerance:0.10 ~baseline ~current
+    Regress.compare_cells ~tolerance:0.10 ~baseline ~current ()
   in
   Alcotest.(check bool) "quiet run regresses" false
     (Regress.ok (noisy [ m "harris" "kernel_speedup_base" 0.85 ]));
@@ -351,7 +352,7 @@ let gate_noise_widens_bar () =
   let o =
     Regress.compare_cells ~tolerance:0.10
       ~baseline:[ m ~noise:0.04 "harris" "kernel_speedup_base" 1.0 ]
-      ~current:[ m ~noise:0.04 "harris" "kernel_speedup_base" 0.85 ]
+      ~current:[ m ~noise:0.04 "harris" "kernel_speedup_base" 0.85 ] ()
   in
   Alcotest.(check bool) "noise sums across both sides" true (Regress.ok o)
 
@@ -369,6 +370,7 @@ let gate_missing_and_degenerate () =
           m "harris" "kernel_speedup_base" 1.0;
           m "harris" "degenerate" 0.5;
         ]
+      ()
   in
   Alcotest.(check int) "unmatched baseline cell reported" 1
     (List.length o.Regress.missing);
@@ -540,6 +542,184 @@ let baseline_tier_guard () =
        in
        has "\"c-dlopen\"" && has "\"c\"")
 
+(* Schema v5 records the measurement lifecycle: one-shot CLI runs and
+   serve-mode latency percentiles are different quantities, so the
+   gate refuses to compare across modes — in both directions.  Every
+   older schema defaults to "oneshot". *)
+let baseline_mode_guard () =
+  let parse src =
+    match Trace.parse_json src with
+    | Error e -> Alcotest.failf "baseline does not parse: %s" e
+    | Ok j -> (
+      match Regress.of_json j with
+      | Error e -> Alcotest.failf "baseline rejected: %s" e
+      | Ok b -> b)
+  in
+  let v5 =
+    parse
+      {|{"schema_version": 5, "bench": "serve", "scale": 4,
+         "mode": "serve", "backend": "c", "tier": "c-dlopen",
+         "host": {"cores": 1, "workers": 1, "compiler": "cc 13.2"},
+         "apps": [{"name": "harris", "size": "1600x1600",
+                   "serve_p50_over_compute": 1.05,
+                   "serve_p99_over_compute": 7.3}]}|}
+  in
+  Alcotest.(check int) "schema v5" 5 v5.Regress.schema_version;
+  Alcotest.(check string) "v5 mode recorded" "serve" v5.Regress.mode;
+  Alcotest.(check int) "ratio cells loaded" 2 (List.length v5.Regress.cells);
+  (* every pre-v5 file is a one-shot measurement *)
+  List.iter
+    (fun (src, what) ->
+      Alcotest.(check string)
+        (what ^ " defaults to oneshot")
+        "oneshot" (parse src).Regress.mode)
+    [
+      (baseline_v2, "v2");
+      ( {|{"bench": "kernels", "scale": 8,
+           "apps": [{"name": "harris", "size": "96x72",
+                     "kernel_speedup_base": 1.5}]}|},
+        "v1" );
+      ( {|{"schema_version": 3, "bench": "backend", "scale": 8,
+           "backend": "c",
+           "apps": [{"name": "harris", "size": "800x800",
+                     "c_speedup_vs_native": 12.0}]}|},
+        "v3" );
+      ( {|{"schema_version": 4, "bench": "backend", "scale": 8,
+           "backend": "c", "tier": "c-dlopen",
+           "apps": [{"name": "harris", "size": "800x800",
+                     "dlopen_steady_ms": 1.5}]}|},
+        "v4" );
+    ];
+  (match Regress.check_mode v5 ~current:"serve" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "serve-vs-serve comparison refused: %s" e);
+  let has hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  (* refused fast, both ways, naming both modes *)
+  (match Regress.check_mode v5 ~current:"oneshot" with
+  | Ok () -> Alcotest.fail "serve baseline accepted for a oneshot run"
+  | Error e ->
+    Alcotest.(check bool) "refusal names both modes" true
+      (has e "\"serve\"" && has e "\"oneshot\""));
+  match Regress.check_mode (parse baseline_v2) ~current:"serve" with
+  | Ok () -> Alcotest.fail "oneshot baseline accepted for a serve run"
+  | Error e ->
+    Alcotest.(check bool) "refusal names both modes" true
+      (has e "\"serve\"" && has e "\"oneshot\"")
+
+(* Serve-mode cells are latency ratios — lower is better — so the
+   gate's regression direction flips per metric. *)
+let gate_lower_is_better () =
+  let lower = fun metric -> metric = "serve_p99_over_compute" in
+  let base = [ m "harris" "serve_p99_over_compute" 7.0 ] in
+  (* a higher latency ratio beyond tolerance trips the flipped gate *)
+  let o =
+    Regress.compare_cells ~lower_is_better:lower ~tolerance:0.10
+      ~baseline:base
+      ~current:[ m "harris" "serve_p99_over_compute" 8.4 ]
+      ()
+  in
+  Alcotest.(check bool) "doctored p99 increase regresses" false (Regress.ok o);
+  (match o.Regress.cells with
+  | [ c ] ->
+    Alcotest.(check bool) "bar is positive for lower-is-better" true
+      (c.Regress.cbar > 0.)
+  | _ -> Alcotest.fail "expected 1 cell");
+  (* a lower ratio is an improvement, not a regression *)
+  let o =
+    Regress.compare_cells ~lower_is_better:lower ~tolerance:0.10
+      ~baseline:base
+      ~current:[ m "harris" "serve_p99_over_compute" 3.5 ]
+      ()
+  in
+  Alcotest.(check bool) "halved p99 passes" true (Regress.ok o);
+  (* the same doctored increase without the flip sails through — the
+     direction really is per-metric *)
+  let o =
+    Regress.compare_cells ~tolerance:0.10 ~baseline:base
+      ~current:[ m "harris" "serve_p99_over_compute" 8.4 ]
+      ()
+  in
+  Alcotest.(check bool) "unflipped gate ignores the increase" true
+    (Regress.ok o);
+  (* and the default direction still catches a drop on another metric
+     in the same comparison *)
+  let o =
+    Regress.compare_cells ~lower_is_better:lower ~tolerance:0.10
+      ~baseline:
+        [
+          m "harris" "serve_p99_over_compute" 7.0;
+          m "harris" "throughput_rps" 10.0;
+        ]
+      ~current:
+        [
+          m "harris" "serve_p99_over_compute" 7.0;
+          m "harris" "throughput_rps" 6.0;
+        ]
+      ()
+  in
+  (match Regress.regressions o with
+  | [ c ] ->
+    Alcotest.(check string) "throughput drop still regresses"
+      "throughput_rps" c.Regress.cmetric;
+    Alcotest.(check bool) "bar is negative for higher-is-better" true
+      (c.Regress.cbar < 0.)
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* noise widens the flipped bar too *)
+  let o =
+    Regress.compare_cells ~lower_is_better:lower ~tolerance:0.10
+      ~baseline:base
+      ~current:[ m ~noise:0.15 "harris" "serve_p99_over_compute" 8.4 ]
+      ()
+  in
+  Alcotest.(check bool) "noisy flipped cell tolerated" true (Regress.ok o)
+
+(* A serve baseline written to disk drives the file-based gate both
+   ways, exactly as bench --compare consumes it. *)
+let serve_baseline_file_gate () =
+  let file = Filename.temp_file "pm_serve_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out file in
+      output_string oc
+        {|{"schema_version": 5, "bench": "serve", "scale": 4,
+           "mode": "serve", "backend": "c", "tier": "c-dlopen",
+           "apps": [{"name": "unsharp_mask", "size": "512x512",
+                     "serve_p50_over_compute": 1.16,
+                     "serve_p99_over_compute": 11.2}]}|};
+      close_out oc;
+      match Regress.load file with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok b ->
+        Alcotest.(check string) "mode survives the file" "serve"
+          b.Regress.mode;
+        let ratios =
+          List.filter
+            (fun (c : Regress.measurement) ->
+              Filename.check_suffix c.Regress.metric "_over_compute")
+            b.Regress.cells
+        in
+        let lower = fun metric -> Filename.check_suffix metric "_over_compute" in
+        let scaled k =
+          List.map
+            (fun (c : Regress.measurement) ->
+              { c with Regress.value = c.Regress.value *. k })
+            ratios
+        in
+        let gate current =
+          Regress.ok
+            (Regress.compare_cells ~lower_is_better:lower ~tolerance:0.10
+               ~baseline:ratios ~current ())
+        in
+        Alcotest.(check bool) "identical run passes" true (gate ratios);
+        Alcotest.(check bool) "doctored +50%% latency fires" false
+          (gate (scaled 1.5));
+        Alcotest.(check bool) "improved latency passes" true (gate (scaled 0.6)))
+
 let baseline_load_and_compare () =
   let file = Filename.temp_file "pm_baseline" ".json" in
   Fun.protect
@@ -566,13 +746,13 @@ let baseline_load_and_compare () =
         in
         let o =
           Regress.compare_cells ~tolerance:0.15 ~baseline:ratios
-            ~current:halved
+            ~current:halved ()
         in
         Alcotest.(check bool) "halved speedup regresses" false (Regress.ok o);
         (* and current == baseline passes *)
         let o =
           Regress.compare_cells ~tolerance:0.15 ~baseline:ratios
-            ~current:ratios
+            ~current:ratios ()
         in
         Alcotest.(check bool) "identical run passes" true (Regress.ok o));
   (match Regress.load "/nonexistent/pm_baseline.json" with
@@ -611,6 +791,12 @@ let suite =
         baseline_backend_guard;
       Alcotest.test_case "baseline tier guard (schema v4)" `Quick
         baseline_tier_guard;
+      Alcotest.test_case "baseline mode guard (schema v5)" `Quick
+        baseline_mode_guard;
+      Alcotest.test_case "gate: lower-is-better metrics" `Quick
+        gate_lower_is_better;
+      Alcotest.test_case "serve baseline file: gate both ways" `Quick
+        serve_baseline_file_gate;
       Alcotest.test_case "baseline file: load and gate both ways" `Quick
         baseline_load_and_compare;
     ] )

@@ -1,0 +1,632 @@
+(* The serve layer: wire-protocol round trips and negative paths
+   (truncated frames, bad magic, hostile length prefixes, unknown
+   apps, geometry mismatches — the server must answer a structured
+   error and stay up), the concurrency soak (8 client domains against
+   the single-dispatcher server, bit-identical to the single-threaded
+   oracle), overload shedding and admission rejection observable
+   through serve/* counters, the warm-server guarantee (zero compiler
+   invocations and zero subprocess spawns per request once a plan's
+   artifact is pinned), and the Unix-socket listener. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module App = Polymage_apps.App
+module Err = Polymage_util.Err
+module Metrics = Polymage_util.Metrics
+module Toolchain = Polymage_backend.Toolchain
+module Backend = Polymage_backend.Backend
+module Exec_tier = Polymage_backend.Exec_tier
+module Rawio = Polymage_backend.Rawio
+module Protocol = Polymage_serve.Protocol
+module Server = Polymage_serve.Server
+module Listener = Polymage_serve.Listener
+
+let have_cc = lazy (Toolchain.available ())
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Run [f] with metrics enabled and freshly zeroed, restoring the
+   previous enablement either way. *)
+let with_metrics f =
+  let were_on = Metrics.enabled () in
+  Metrics.enable ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.reset ();
+      if not were_on then Metrics.disable ())
+    f
+
+let with_server cfg f =
+  let server = Server.create cfg in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let native_cfg ?(workers = 2) () =
+  { (Server.default_config ()) with Server.tier = Exec_tier.Native; workers }
+
+(* The request a well-behaved client sends for [app] at [env], plus
+   the oracle images — the exact buffers the server will decode (the
+   wire drops lower bounds, so the oracle must too). *)
+let request_for (app : App.t) env =
+  let plan =
+    C.Compile.run (C.Options.opt_vec ~estimates:env ()) ~outputs:app.outputs
+  in
+  let images =
+    List.map
+      (fun (im : Ast.image) ->
+        (im, Rt.Buffer.of_image im env (app.fill env im)))
+      plan.C.Plan.pipe.Pipeline.images
+  in
+  let req =
+    {
+      Protocol.app = app.App.name;
+      params =
+        List.map (fun ((p : Types.param), v) -> (p.Types.pname, v)) env;
+      images =
+        List.map
+          (fun ((im : Ast.image), b) -> (im.Ast.iname, Rawio.encode b))
+          images;
+    }
+  in
+  let oracle_images =
+    List.map
+      (fun ((im : Ast.image), b) ->
+        let blob = Rawio.encode b in
+        let dims =
+          Rawio.peek_dims ~stage:"test" blob ~off:0 ~len:(Bytes.length blob)
+        in
+        ( im,
+          Rawio.decode ~stage:"test" blob ~off:0 ~len:(Bytes.length blob)
+            ~lo:(Array.make (Array.length dims) 0)
+            ~dims ))
+      images
+  in
+  (req, oracle_images)
+
+(* Single-threaded oracle with the server's own plan options. *)
+let oracle (app : App.t) env ~workers ~images =
+  let plan =
+    C.Compile.run
+      (C.Options.opt_vec ~workers ~estimates:env ())
+      ~outputs:app.outputs
+  in
+  let res = Rt.Executor.run plan env ~images in
+  List.map
+    (fun ((f : Ast.func), b) -> (f.Ast.fname, b))
+    res.Rt.Executor.outputs
+
+let check_outputs ?(eps = 0.) what expected got =
+  Alcotest.(check int)
+    (what ^ ": output count")
+    (List.length expected) (List.length got);
+  List.iter
+    (fun (name, (want : Rt.Buffer.t)) ->
+      match List.assoc_opt name got with
+      | None -> Alcotest.failf "%s: missing output %s" what name
+      | Some have ->
+        let d = Rt.Buffer.max_abs_diff want have in
+        if Float.is_nan d then
+          Alcotest.failf "%s: output %s shape differs" what name;
+        if d > eps then
+          Alcotest.failf "%s: output %s max abs diff %g > %g" what name d eps)
+    expected
+
+let env_with (app : App.t) scale =
+  List.map (fun (p, v) -> (p, v * scale)) app.App.small_env
+
+(* ---- protocol round trips ---- *)
+
+let protocol_roundtrip () =
+  let app = Apps.find "unsharp_mask" in
+  let env = app.App.small_env in
+  let req, _ = request_for app env in
+  let buffers =
+    List.map
+      (fun (name, blob) ->
+        let dims =
+          Rawio.peek_dims ~stage:"t" blob ~off:0 ~len:(Bytes.length blob)
+        in
+        ( name,
+          Rawio.decode ~stage:"t" blob ~off:0 ~len:(Bytes.length blob)
+            ~lo:(Array.make (Array.length dims) 0)
+            ~dims ))
+      req.Protocol.images
+  in
+  let frame =
+    Protocol.encode_request ~app:req.Protocol.app ~params:req.Protocol.params
+      ~images:buffers
+  in
+  let kind, payload = Protocol.parse_frame frame in
+  Alcotest.(check char) "request kind" 'Q' kind;
+  let back = Protocol.decode_request payload in
+  Alcotest.(check string) "app survives" req.Protocol.app back.Protocol.app;
+  Alcotest.(check (list (pair string int)))
+    "params survive" req.Protocol.params back.Protocol.params;
+  List.iter2
+    (fun (n1, b1) (n2, b2) ->
+      Alcotest.(check string) "image name" n1 n2;
+      Alcotest.(check bool) "image blob" true (Bytes.equal b1 b2))
+    req.Protocol.images back.Protocol.images;
+  (* an Ok response with a non-zero lower bound survives the wire *)
+  let b = Rt.Buffer.create ~lo:[| -2; 3 |] ~dims:[| 4; 5 |] in
+  Array.iteri
+    (fun i _ -> b.Rt.Buffer.data.(i) <- (float_of_int i *. 0.5) -. 3.)
+    b.Rt.Buffer.data;
+  let resp = Protocol.Ok_response { tier = "native"; outputs = [ ("f", b) ] } in
+  (match
+     Protocol.parse_frame (Protocol.encode_response resp) |> fun (k, p) ->
+     Protocol.decode_response ~kind:k p
+   with
+  | Protocol.Ok_response { tier; outputs = [ (name, b') ] } ->
+    Alcotest.(check string) "tier survives" "native" tier;
+    Alcotest.(check string) "output name" "f" name;
+    Alcotest.(check bool) "lower bounds survive" true (b'.Rt.Buffer.lo = b.Rt.Buffer.lo);
+    Alcotest.(check (float 0.)) "payload survives" 0.
+      (Rt.Buffer.max_abs_diff b b')
+  | _ -> Alcotest.fail "ok response did not survive the wire");
+  (* and so does a structured error *)
+  let e = Err.error ~stage:"serve" Err.IO "boom" in
+  match
+    Protocol.parse_frame (Protocol.encode_response (Protocol.Err_response e))
+    |> fun (k, p) -> Protocol.decode_response ~kind:k p
+  with
+  | Protocol.Err_response e' ->
+    Alcotest.(check bool) "phase survives" true (e'.Err.phase = Err.IO);
+    Alcotest.(check (option string)) "stage survives" (Some "serve") e'.Err.stage;
+    Alcotest.(check string) "detail survives" "boom" e'.Err.detail
+  | _ -> Alcotest.fail "error response did not survive the wire"
+
+(* ---- negative paths: the server answers a structured error and
+   stays up after every one of them ---- *)
+
+let expect_err what frame_or_req ~(server : Server.t) =
+  let reply =
+    match frame_or_req with
+    | `Frame f -> Server.handle_frame server f
+    | `Req r -> Protocol.encode_response (Server.submit server r)
+  in
+  let kind, payload = Protocol.parse_frame reply in
+  Alcotest.(check char) (what ^ ": error frame") 'E' kind;
+  match Protocol.decode_response ~kind payload with
+  | Protocol.Err_response e -> e
+  | Protocol.Ok_response _ -> Alcotest.failf "%s: expected an error" what
+
+let protocol_negative_paths () =
+  with_metrics @@ fun () ->
+  with_server (native_cfg ()) @@ fun server ->
+  let app = Apps.find "unsharp_mask" in
+  let env = app.App.small_env in
+  let req, _ = request_for app env in
+  let good () =
+    match Server.submit server req with
+    | Protocol.Ok_response { tier; _ } ->
+      Alcotest.(check string) "server still serves" "native" tier
+    | Protocol.Err_response e ->
+      Alcotest.failf "server wedged: %s" (Err.to_string e)
+  in
+  let good_frame =
+    Protocol.encode_request ~app:req.Protocol.app ~params:req.Protocol.params
+      ~images:
+        (List.map
+           (fun ((im : Ast.image), b) -> (im.Ast.iname, b))
+           (List.map
+              (fun (im : Ast.image) ->
+                (im, Rt.Buffer.of_image im env (app.fill env im)))
+              (C.Compile.run
+                 (C.Options.opt_vec ~estimates:env ())
+                 ~outputs:app.outputs)
+                .C.Plan.pipe.Pipeline.images))
+  in
+  let surgery f =
+    let b = Bytes.copy good_frame in
+    f b;
+    b
+  in
+  (* transport garbage *)
+  let e =
+    expect_err "short header" ~server
+      (`Frame (Bytes.of_string "PM"))
+  in
+  Alcotest.(check bool) "short header is IO" true (e.Err.phase = Err.IO);
+  good ();
+  let e =
+    expect_err "bad magic" ~server
+      (`Frame (surgery (fun b -> Bytes.set b 0 'X')))
+  in
+  Alcotest.(check bool) "bad magic is IO" true (e.Err.phase = Err.IO);
+  good ();
+  let e =
+    expect_err "unknown kind" ~server
+      (`Frame (surgery (fun b -> Bytes.set b 8 'Z')))
+  in
+  Alcotest.(check bool) "unknown kind mentions kind" true
+    (String.length e.Err.detail > 0);
+  good ();
+  (* a response frame is not a request *)
+  let e =
+    expect_err "response as request" ~server
+      (`Frame
+        (Protocol.encode_response
+           (Protocol.Err_response (Err.error Err.IO "x"))))
+  in
+  Alcotest.(check bool) "response-as-request is IO" true (e.Err.phase = Err.IO);
+  good ();
+  (* hostile length prefix: bigger than the payload bound *)
+  let e =
+    expect_err "oversized length prefix" ~server
+      (`Frame
+        (surgery (fun b ->
+             Bytes.set_int32_le b 9
+               (Int32.of_int (Protocol.max_payload + 1)))))
+  in
+  Alcotest.(check bool) "oversized prefix is IO" true (e.Err.phase = Err.IO);
+  good ();
+  (* length prefix promising more than arrived *)
+  let e =
+    expect_err "truncated payload" ~server
+      (`Frame (Bytes.sub good_frame 0 (Bytes.length good_frame - 7)))
+  in
+  Alcotest.(check bool) "truncated payload is IO" true (e.Err.phase = Err.IO);
+  good ();
+  (* app-level garbage: unknown app, unknown parameter, unknown /
+     missing image, geometry mismatch *)
+  let e = expect_err "unknown app" ~server (`Req { req with Protocol.app = "nope" }) in
+  Alcotest.(check bool) "unknown app is Dsl" true (e.Err.phase = Err.Dsl);
+  Alcotest.(check bool) "unknown app names the app" true
+    (contains e.Err.detail "nope"
+     || String.length e.Err.detail > 0);
+  good ();
+  let e =
+    expect_err "unknown parameter" ~server
+      (`Req { req with Protocol.params = [ ("ZZ", 1) ] })
+  in
+  Alcotest.(check bool) "unknown parameter is Dsl" true (e.Err.phase = Err.Dsl);
+  good ();
+  let e =
+    expect_err "missing image" ~server (`Req { req with Protocol.images = [] })
+  in
+  Alcotest.(check bool) "missing image is Dsl" true (e.Err.phase = Err.Dsl);
+  good ();
+  let e =
+    expect_err "unknown image" ~server
+      (`Req
+        {
+          req with
+          Protocol.images =
+            ("nope", snd (List.hd req.Protocol.images)) :: req.Protocol.images;
+        })
+  in
+  Alcotest.(check bool) "unknown image is Dsl" true (e.Err.phase = Err.Dsl);
+  good ();
+  let wrong_geometry =
+    let name, blob = List.hd req.Protocol.images in
+    let dims =
+      Rawio.peek_dims ~stage:"t" blob ~off:0 ~len:(Bytes.length blob)
+    in
+    let b =
+      Rt.Buffer.create
+        ~lo:(Array.make (Array.length dims) 0)
+        ~dims:(Array.map (fun d -> d + 1) dims)
+    in
+    (name, Rawio.encode b)
+  in
+  let e =
+    expect_err "geometry mismatch" ~server
+      (`Req
+        {
+          req with
+          Protocol.images =
+            wrong_geometry :: List.tl req.Protocol.images;
+        })
+  in
+  Alcotest.(check bool) "geometry mismatch is IO" true (e.Err.phase = Err.IO);
+  Alcotest.(check bool) "geometry mismatch says so" true
+    (contains e.Err.detail "geometry");
+  good ();
+  Alcotest.(check bool) "invalid requests were counted" true
+    (Metrics.get "serve/invalid" >= 10)
+
+(* read_frame against a real file descriptor: clean EOF is None, a cut
+   connection mid-frame is a structured IO error. *)
+let transport_negative_paths () =
+  let pipe_to f =
+    let r, w = Unix.pipe () in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close r with _ -> ());
+        try Unix.close w with _ -> ())
+      (fun () -> f r w)
+  in
+  pipe_to (fun r w ->
+      Unix.close w;
+      Alcotest.(check bool) "clean EOF is None" true
+        (Protocol.read_frame r = None));
+  pipe_to (fun r w ->
+      Protocol.write_all w (Bytes.of_string "PMSRV");
+      Unix.close w;
+      match Protocol.read_frame r with
+      | _ -> Alcotest.fail "mid-header cut should raise"
+      | exception Err.Polymage_error e ->
+        Alcotest.(check bool) "mid-header cut is IO" true (e.Err.phase = Err.IO));
+  pipe_to (fun r w ->
+      let app = Apps.find "unsharp_mask" in
+      let req, _ = request_for app app.App.small_env in
+      let frame =
+        Protocol.encode_request ~app:req.Protocol.app
+          ~params:req.Protocol.params ~images:[]
+      in
+      Protocol.write_all w (Bytes.sub frame 0 (Bytes.length frame - 3));
+      Unix.close w;
+      match Protocol.read_frame r with
+      | _ -> Alcotest.fail "mid-payload cut should raise"
+      | exception Err.Polymage_error e ->
+        Alcotest.(check bool) "mid-payload cut is IO" true
+          (e.Err.phase = Err.IO))
+
+(* ---- the soak: 8 client domains, mixed apps and sizes, every
+   response bit-identical to the single-threaded oracle ---- *)
+
+let soak_domains = 8
+let soak_per_domain = 6
+
+let concurrency_soak () =
+  with_metrics @@ fun () ->
+  let cfg = native_cfg ~workers:2 () in
+  with_server cfg @@ fun server ->
+  (* one build per app: parameters compare by identity, so the env
+     must come from the same App.t the plan compiles against *)
+  let unsharp = Apps.find "unsharp_mask" and harris = Apps.find "harris" in
+  let configs =
+    [|
+      (unsharp, env_with unsharp 1);
+      (unsharp, env_with unsharp 2);
+      (harris, env_with harris 1);
+      (harris, env_with harris 2);
+    |]
+  in
+  let prepared =
+    Array.map
+      (fun (app, env) ->
+        let req, oracle_images = request_for app env in
+        (req, oracle (app : App.t) env ~workers:cfg.Server.workers
+           ~images:oracle_images))
+      configs
+  in
+  let doms =
+    List.init soak_domains (fun d ->
+        Domain.spawn (fun () ->
+            List.init soak_per_domain (fun j ->
+                let i = (d + j) mod Array.length prepared in
+                let req, _ = prepared.(i) in
+                (i, Server.submit server req))))
+  in
+  let replies = List.concat_map Domain.join doms in
+  Alcotest.(check int) "every request answered"
+    (soak_domains * soak_per_domain)
+    (List.length replies);
+  List.iter
+    (fun (i, reply) ->
+      match reply with
+      | Protocol.Err_response e ->
+        Alcotest.failf "soak request failed: %s" (Err.to_string e)
+      | Protocol.Ok_response { tier; outputs } ->
+        Alcotest.(check string) "served on the native tier" "native" tier;
+        let _, expected = prepared.(i) in
+        check_outputs ~eps:0. "soak vs oracle" expected outputs)
+    replies;
+  Alcotest.(check int) "serve/requests counts them all"
+    (soak_domains * soak_per_domain)
+    (Metrics.get "serve/requests");
+  Alcotest.(check int) "every request got a response"
+    (Metrics.get "serve/requests")
+    (Metrics.get "serve/responses");
+  Alcotest.(check int) "queue drained" 0 (Metrics.get "serve/queue_depth");
+  Alcotest.(check int) "nothing rejected" 0 (Metrics.get "serve/rejected")
+
+(* ---- overload: shed before queue, reject before hang ---- *)
+
+let overload_shedding () =
+  with_metrics @@ fun () ->
+  Rt.Fault.arm ~site:"compile_flaky" ~seed:0;
+  Fun.protect ~finally:(fun () -> Rt.Fault.disarm ()) @@ fun () ->
+  let cfg =
+    {
+      (Server.default_config ()) with
+      Server.tier = Exec_tier.Auto;
+      workers = 1;
+      batch_max = 4;
+      batch_window_ms = 200;
+      shed_depth = 2;
+      max_depth = 5;
+    }
+  in
+  with_server cfg @@ fun server ->
+  let app = Apps.find "unsharp_mask" in
+  let env = app.App.small_env in
+  let req, oracle_images = request_for app env in
+  let expected = oracle app env ~workers:1 ~images:oracle_images in
+  let doms =
+    List.init 8 (fun _ ->
+        Domain.spawn (fun () ->
+            List.init 2 (fun _ -> Server.submit server req)))
+  in
+  let replies = List.concat_map Domain.join doms in
+  Alcotest.(check int) "no request hangs: all 16 answered" 16
+    (List.length replies);
+  let ok, err =
+    List.partition_map
+      (function
+        | Protocol.Ok_response { tier = _; outputs } -> Either.Left outputs
+        | Protocol.Err_response e -> Either.Right e)
+      replies
+  in
+  (* every rejection is a structured, phase-Exec admission error *)
+  List.iter
+    (fun (e : Err.t) ->
+      Alcotest.(check bool) "rejection is phase Exec" true
+        (e.Err.phase = Err.Exec);
+      Alcotest.(check bool) "rejection says overloaded" true
+        (contains e.Err.detail "admission"))
+    err;
+  Alcotest.(check int) "rejections counted" (List.length err)
+    (Metrics.get "serve/rejected");
+  Alcotest.(check bool) "the bound rejected someone" true
+    (List.length err >= 1);
+  Alcotest.(check bool) "the ladder shed someone first" true
+    (Metrics.get "serve/shed" >= 1);
+  Alcotest.(check bool) "shed requests were served on the shed plan" true
+    (Metrics.get "serve/served/native-shed" >= 1);
+  (* shed or not, every Ok result is still the right image *)
+  List.iter
+    (fun outputs -> check_outputs ~eps:1e-6 "overload result" expected outputs)
+    ok;
+  Alcotest.(check int) "queue drained" 0 (Metrics.get "serve/queue_depth")
+
+(* ---- an internal failure surfaces as a structured error and the
+   server keeps serving ---- *)
+
+let serve_request_fault () =
+  with_metrics @@ fun () ->
+  Rt.Fault.arm ~site:"serve_request" ~seed:0;
+  Fun.protect ~finally:(fun () -> Rt.Fault.disarm ()) @@ fun () ->
+  with_server (native_cfg ()) @@ fun server ->
+  let app = Apps.find "unsharp_mask" in
+  let req, _ = request_for app app.App.small_env in
+  (match Server.submit server req with
+  | Protocol.Err_response e ->
+    Alcotest.(check bool) "injected failure is structured" true
+      (e.Err.phase = Err.Exec)
+  | Protocol.Ok_response _ -> Alcotest.fail "fault did not fire");
+  match Server.submit server req with
+  | Protocol.Ok_response _ -> ()
+  | Protocol.Err_response e ->
+    Alcotest.failf "server did not survive the fault: %s" (Err.to_string e)
+
+(* ---- warm server: once a plan's artifact is pinned, a request costs
+   zero compiler invocations, zero subprocess spawns, zero dlopens —
+   just one in-process call ---- *)
+
+let warm_server_zero_compiles () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let dir = Filename.temp_file "pm_serve" "" in
+    Sys.remove dir;
+    with_metrics @@ fun () ->
+    let cfg =
+      {
+        (Server.default_config ~cache_dir:dir ()) with
+        Server.tier = Exec_tier.Auto;
+        workers = 1;
+      }
+    in
+    with_server cfg @@ fun server ->
+    let app = Apps.find "unsharp_mask" in
+    let req, _ = request_for app app.App.small_env in
+    let tier_of () =
+      match Server.submit server req with
+      | Protocol.Ok_response { tier; _ } -> tier
+      | Protocol.Err_response e -> Alcotest.failf "%s" (Err.to_string e)
+    in
+    ignore (tier_of ());
+    Server.await_warm server;
+    (* settle: the first post-warm call canaries + promotes the fresh
+       artifact, the second runs pinned *)
+    ignore (tier_of ());
+    Alcotest.(check string) "hot-swapped to c-dlopen" "c-dlopen" (tier_of ());
+    Metrics.reset ();
+    for _ = 1 to 10 do
+      Alcotest.(check string) "warm request stays in-process" "c-dlopen"
+        (tier_of ())
+    done;
+    Alcotest.(check int) "zero compiler invocations when warm" 0
+      (Metrics.get "backend/compile_invocations");
+    Alcotest.(check int) "zero subprocess spawns when warm" 0
+      (Metrics.get "backend/subprocess_spawns");
+    Alcotest.(check int) "zero dlopens when warm (image already loaded)" 0
+      (Metrics.get "backend/dl_loads");
+    Alcotest.(check int) "ten in-process calls" 10
+      (Metrics.get "backend/dl_calls");
+    Alcotest.(check int) "all served on c-dlopen" 10
+      (Metrics.get "serve/served/c-dlopen");
+    (* the cache CLI's data source knows about the artifact *)
+    let d = Backend.describe ~cache_dir:dir () in
+    Alcotest.(check bool) "cache describe reports the trusted artifact" true
+      (contains d "trusted")
+  end
+
+(* ---- the Unix-socket listener ---- *)
+
+let listener_socket_roundtrip () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pm-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  with_server (native_cfg ()) @@ fun server ->
+  let listener = Listener.bind ~socket_path:path server in
+  let accept_dom = Domain.spawn (fun () -> Listener.run ~max_conns:2 listener) in
+  let app = Apps.find "unsharp_mask" in
+  let env = app.App.small_env in
+  let plan =
+    C.Compile.run (C.Options.opt_vec ~estimates:env ()) ~outputs:app.outputs
+  in
+  let images =
+    List.map
+      (fun (im : Ast.image) ->
+        (im.Ast.iname, Rt.Buffer.of_image im env (app.fill env im)))
+      plan.C.Plan.pipe.Pipeline.images
+  in
+  let params =
+    List.map (fun ((p : Types.param), v) -> (p.Types.pname, v)) env
+  in
+  (* connection 1: a good call round-trips through the socket *)
+  let fd = Listener.connect path in
+  (match Listener.call fd ~app:app.App.name ~params ~images with
+  | Protocol.Ok_response { tier; outputs } ->
+    Alcotest.(check string) "socket call served" "native" tier;
+    Alcotest.(check bool) "socket call returned outputs" true
+      (List.length outputs > 0)
+  | Protocol.Err_response e -> Alcotest.failf "%s" (Err.to_string e));
+  Unix.close fd;
+  (* connection 2: garbage gets a structured error frame, then the
+     connection is dropped — and the listener exits cleanly after *)
+  let fd = Listener.connect path in
+  (* exactly one header's worth of garbage, so the server consumes it
+     all before closing and the client sees a clean FIN, not an RST *)
+  Protocol.write_all fd (Bytes.of_string "XXXXXXXXZ\x00\x00\x00\x00");
+  (match Protocol.read_frame fd with
+  | Some ('E', payload) -> (
+    match Protocol.decode_response ~kind:'E' payload with
+    | Protocol.Err_response e ->
+      Alcotest.(check bool) "garbage answered with IO error" true
+        (e.Err.phase = Err.IO)
+    | _ -> Alcotest.fail "expected an error response")
+  | _ -> Alcotest.fail "expected an error frame for garbage");
+  (match Protocol.read_frame fd with
+  | None -> ()
+  | Some _ -> Alcotest.fail "connection should close after the error"
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+  Unix.close fd;
+  Domain.join accept_dom;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol round trips" `Quick protocol_roundtrip;
+      Alcotest.test_case "protocol negative paths" `Quick
+        protocol_negative_paths;
+      Alcotest.test_case "transport negative paths" `Quick
+        transport_negative_paths;
+      Alcotest.test_case "concurrency soak vs oracle" `Slow concurrency_soak;
+      Alcotest.test_case "overload sheds then rejects" `Slow overload_shedding;
+      Alcotest.test_case "injected request fault is structured" `Quick
+        serve_request_fault;
+      Alcotest.test_case "warm server compiles nothing" `Slow
+        warm_server_zero_compiles;
+      Alcotest.test_case "unix-socket listener" `Quick
+        listener_socket_roundtrip;
+    ] )
