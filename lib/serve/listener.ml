@@ -5,6 +5,14 @@
    connection domains only do protocol I/O, so a slow client cannot
    stall another client's requests, only its own.
 
+   Connection domains are a bounded resource: OCaml caps live domains
+   well below typical fd limits, and the pool workers, dispatcher and
+   background compiles draw from the same budget.  The accept loop
+   therefore keeps at most [max_live] connection domains alive at
+   once — finished handlers are joined opportunistically, and accepts
+   past the cap wait for a slot while the kernel backlog queues
+   clients.
+
    [max_conns] bounds how many connections are accepted before the
    listener closes and joins — the deterministic-exit mode CI uses;
    [None] accepts until the process dies. *)
@@ -17,8 +25,37 @@ type t = {
   path : string;
 }
 
+(* A client that disconnects before its response is written must cost
+   one connection, not the daemon: with SIGPIPE at its default
+   disposition, the first write to a closed socket kills the whole
+   process.  Ignored, the write fails with EPIPE instead, which
+   serve_conn treats as a dropped connection. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let bind ~socket_path server =
-  if Sys.file_exists socket_path then Sys.remove socket_path;
+  ignore_sigpipe ();
+  if Sys.file_exists socket_path then begin
+    (* Only sweep a *stale* socket file: if a daemon still answers on
+       it, unlinking would silently steal its address — clients would
+       reach us while the old daemon keeps serving its established
+       connections into the void. *)
+    let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (ADDR_UNIX socket_path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with _ -> ());
+    if live then
+      Err.failf Err.IO ~stage:"serve"
+        "%s is already being served (stop the other daemon or pick \
+         another --socket path)"
+        socket_path;
+    Sys.remove socket_path
+  end;
   let sock = Unix.socket PF_UNIX SOCK_STREAM 0 in
   (try Unix.bind sock (ADDR_UNIX socket_path)
    with Unix.Unix_error (e, _, _) ->
@@ -29,8 +66,10 @@ let bind ~socket_path server =
 
 (* One connection: frames in, frames out, until clean EOF.  A protocol
    error that read_frame can still attribute to a frame gets an 'E'
-   response before the connection closes; anything else just drops the
-   connection — the server itself is untouched either way. *)
+   response before the connection closes; anything else — including
+   EPIPE/ECONNRESET from a client that vanished before its response —
+   just drops the connection; the server itself is untouched either
+   way. *)
 let serve_conn server fd =
   let closed = ref false in
   (try
@@ -54,24 +93,86 @@ let serve_conn server fd =
   | _ -> ());
   try Unix.close fd with _ -> ()
 
-let run ?max_conns t =
+(* Accept, riding out the transient failures a long-lived daemon will
+   see: interruption by a signal, a connection aborted between accept
+   and return, fd exhaustion (back off and let connections close).
+   Only a genuinely fatal error — e.g. EBADF once the socket is
+   closed — ends the accept loop. *)
+let rec accept_retry sock =
+  match Unix.accept sock with
+  | conn -> Some conn
+  | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
+    accept_retry sock
+  | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+    Unix.sleepf 0.05;
+    accept_retry sock
+  | exception Unix.Unix_error _ -> None
+
+type conn = { dom : unit Domain.t; done_ : bool Atomic.t }
+
+let default_max_live = 32
+
+let run ?(max_live = default_max_live) ?max_conns t =
+  let max_live = max 1 max_live in
+  let mu = Mutex.create ()
+  and cv = Condition.create () in
   let conns = ref []
   and accepted = ref 0 in
+  (* under [mu]: drop finished handlers from the live list, returning
+     them for the caller to join outside the lock *)
+  let reap () =
+    let finished, alive =
+      List.partition (fun c -> Atomic.get c.done_) !conns
+    in
+    conns := alive;
+    finished
+  in
   let more () = match max_conns with None -> true | Some n -> !accepted < n in
-  (try
-     while more () do
-       let fd, _ = Unix.accept t.sock in
-       incr accepted;
-       conns := Domain.spawn (fun () -> serve_conn t.server fd) :: !conns
-     done
-   with Unix.Unix_error _ -> ());
-  List.iter Domain.join !conns;
+  let continue = ref true in
+  while !continue && more () do
+    let joinable =
+      Mutex.protect mu (fun () ->
+          let j = ref (reap ()) in
+          while List.length !conns >= max_live do
+            Condition.wait cv mu;
+            j := reap () @ !j
+          done;
+          !j)
+    in
+    List.iter (fun c -> Domain.join c.dom) joinable;
+    match accept_retry t.sock with
+    | None -> continue := false
+    | Some (fd, _) ->
+      incr accepted;
+      let done_ = Atomic.make false in
+      (match
+         Domain.spawn (fun () ->
+             Fun.protect
+               ~finally:(fun () ->
+                 Atomic.set done_ true;
+                 Mutex.protect mu (fun () -> Condition.signal cv))
+               (fun () -> serve_conn t.server fd))
+       with
+      | dom -> Mutex.protect mu (fun () -> conns := { dom; done_ } :: !conns)
+      | exception _ ->
+        (* the domain budget is shared with pool workers and background
+           compiles; if it is exhausted despite the cap, drop this
+           connection rather than the daemon *)
+        (try Unix.close fd with _ -> ()))
+  done;
+  let rest =
+    Mutex.protect mu (fun () ->
+        let finished = reap () in
+        finished @ !conns)
+  in
+  List.iter (fun c -> Domain.join c.dom) rest;
   (try Unix.close t.sock with _ -> ());
   (try Sys.remove t.path with _ -> ())
 
 (* ---- client side ---- *)
 
 let connect socket_path =
+  ignore_sigpipe ();
   let sock = Unix.socket PF_UNIX SOCK_STREAM 0 in
   (try Unix.connect sock (ADDR_UNIX socket_path)
    with Unix.Unix_error (e, _, _) ->

@@ -4,20 +4,27 @@
     The listener accepts connections and spawns one domain per
     connection for protocol I/O; execution is still serialized through
     the {!Server}'s single dispatcher, so a slow client only stalls
-    itself. *)
+    itself.  SIGPIPE is ignored once a listener is bound (or a client
+    connects): a peer that vanishes mid-write costs one connection,
+    never the process. *)
 
 type t
 
 val bind : socket_path:string -> Server.t -> t
-(** Bind and listen on a Unix-domain socket (an existing file at the
-    path is removed first).
+(** Bind and listen on a Unix-domain socket.  A stale socket file at
+    the path (no daemon answering) is swept first; a live one is an
+    error — binding never steals a running daemon's address.
     @raise Polymage_util.Err.Polymage_error (phase [IO]) on failure. *)
 
-val run : ?max_conns:int -> t -> unit
+val run : ?max_live:int -> ?max_conns:int -> t -> unit
 (** Accept loop: serve each connection on its own domain until
     [max_conns] connections have been accepted (forever when absent),
     then join them all, close the socket and remove the socket file.
-    Does not stop the server — callers own its lifecycle. *)
+    At most [max_live] (default 32) connection domains are alive at
+    once — beyond that, accepts wait for a slot while the kernel
+    backlog holds clients.  Transient accept failures (EINTR,
+    ECONNABORTED, fd exhaustion) are retried, not fatal.  Does not
+    stop the server — callers own its lifecycle. *)
 
 (** {1 Client side} *)
 

@@ -66,6 +66,18 @@ type plan_state = {
   auto : Exec_tier.auto option;  (* background compile, Auto tier *)
 }
 
+(* One table entry per plan key.  The table mutex only guards
+   lookup/insert; the compile itself happens outside it, publishing
+   through the slot's own lock — so one plan's cold compile never
+   blocks another connection's lookup of an already-compiled plan. *)
+type plan_slot = {
+  smu : Mutex.t;
+  scv : Condition.t;
+  mutable built : plan_build;
+}
+
+and plan_build = Building | Ready of plan_state | Failed of exn
+
 type job = {
   ps : plan_state;
   images : (Ast.image * Rt.Buffer.t) list;
@@ -78,7 +90,7 @@ type job = {
 type t = {
   cfg : config;
   pool : Rt.Pool.t;
-  plans : (string, plan_state) Hashtbl.t;
+  plans : (string, plan_slot) Hashtbl.t;
   pmu : Mutex.t;
   q : job Queue.t;
   qmu : Mutex.t;
@@ -113,28 +125,62 @@ let plan_key (app : App.t) env =
 
 let plan_state t (app : App.t) env =
   let key = plan_key app env in
-  Mutex.protect t.pmu (fun () ->
-      match Hashtbl.find_opt t.plans key with
-      | Some ps -> ps
-      | None ->
-        let opts = C.Options.opt_vec ~workers:t.cfg.workers ~estimates:env () in
-        let plan = C.Compile.run opts ~outputs:app.outputs in
-        let ps =
-          {
-            key;
-            app;
-            env;
-            plan;
-            shed_plan =
-              lazy (C.Compile.run (C.Options.shed opts) ~outputs:app.outputs);
-            auto =
-              (if t.cfg.tier = Exec_tier.Auto then
-                 Some (Exec_tier.auto_start ?cache_dir:t.cfg.cache_dir plan)
-               else None);
-          }
+  let slot, builder =
+    Mutex.protect t.pmu (fun () ->
+        match Hashtbl.find_opt t.plans key with
+        | Some s -> (s, false)
+        | None ->
+          let s =
+            { smu = Mutex.create (); scv = Condition.create ();
+              built = Building }
+          in
+          Hashtbl.replace t.plans key s;
+          (s, true))
+  in
+  if builder then (
+    match
+      let opts = C.Options.opt_vec ~workers:t.cfg.workers ~estimates:env () in
+      let plan = C.Compile.run opts ~outputs:app.outputs in
+      {
+        key;
+        app;
+        env;
+        plan;
+        shed_plan =
+          lazy (C.Compile.run (C.Options.shed opts) ~outputs:app.outputs);
+        auto =
+          (if t.cfg.tier = Exec_tier.Auto then
+             Some (Exec_tier.auto_start ?cache_dir:t.cfg.cache_dir plan)
+           else None);
+      }
+    with
+    | ps ->
+      Mutex.protect slot.smu (fun () ->
+          slot.built <- Ready ps;
+          Condition.broadcast slot.scv);
+      ps
+    | exception e ->
+      (* a failed build must not poison the key: waiters see this
+         failure, but later requests retry from scratch *)
+      Mutex.protect t.pmu (fun () ->
+          match Hashtbl.find_opt t.plans key with
+          | Some s when s == slot -> Hashtbl.remove t.plans key
+          | _ -> ());
+      Mutex.protect slot.smu (fun () ->
+          slot.built <- Failed e;
+          Condition.broadcast slot.scv);
+      raise e)
+  else
+    Mutex.protect slot.smu (fun () ->
+        let rec settled () =
+          match slot.built with
+          | Building ->
+            Condition.wait slot.scv slot.smu;
+            settled ()
+          | Ready ps -> ps
+          | Failed e -> raise e
         in
-        Hashtbl.replace t.plans key ps;
-        ps)
+        settled ())
 
 let pp_dims dims =
   String.concat "x" (Array.to_list (Array.map string_of_int dims))
@@ -350,8 +396,10 @@ let await_warm t =
   let autos =
     Mutex.protect t.pmu (fun () ->
         Hashtbl.fold
-          (fun _ ps acc ->
-            match ps.auto with Some a -> a :: acc | None -> acc)
+          (fun _ s acc ->
+            match s.built with
+            | Ready { auto = Some a; _ } -> a :: acc
+            | Ready { auto = None; _ } | Building | Failed _ -> acc)
           t.plans [])
   in
   List.iter Exec_tier.auto_await autos

@@ -613,6 +613,84 @@ let listener_socket_roundtrip () =
   Domain.join accept_dom;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
 
+(* A client that fires a request and vanishes before reading the
+   response must cost one connection, not the daemon: the response
+   write hits a closed peer (EPIPE — or a fatal SIGPIPE if the
+   listener forgot to ignore it), and the next connection must still
+   be served. *)
+let listener_client_early_close () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pm-serve-early-%d.sock" (Unix.getpid ()))
+  in
+  with_server (native_cfg ()) @@ fun server ->
+  let listener = Listener.bind ~socket_path:path server in
+  let accept_dom = Domain.spawn (fun () -> Listener.run ~max_conns:2 listener) in
+  let app = Apps.find "unsharp_mask" in
+  let env = app.App.small_env in
+  let plan =
+    C.Compile.run (C.Options.opt_vec ~estimates:env ()) ~outputs:app.outputs
+  in
+  let images =
+    List.map
+      (fun (im : Ast.image) ->
+        (im.Ast.iname, Rt.Buffer.of_image im env (app.fill env im)))
+      plan.C.Plan.pipe.Pipeline.images
+  in
+  let params =
+    List.map (fun ((p : Types.param), v) -> (p.Types.pname, v)) env
+  in
+  (* connection 1: request in, hang up without reading the response *)
+  let fd = Listener.connect path in
+  Protocol.write_all fd (Protocol.encode_request ~app:app.App.name ~params ~images);
+  Unix.close fd;
+  (* connection 2: the daemon is still alive and still serving *)
+  let fd = Listener.connect path in
+  (match Listener.call fd ~app:app.App.name ~params ~images with
+  | Protocol.Ok_response { tier; _ } ->
+    Alcotest.(check string) "daemon survived the early close" "native" tier
+  | Protocol.Err_response e -> Alcotest.failf "%s" (Err.to_string e));
+  Unix.close fd;
+  Domain.join accept_dom
+
+(* Socket-file hygiene: binding refuses to steal a live daemon's
+   address, but sweeps a stale socket file nobody answers on. *)
+let listener_socket_hygiene () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pm-serve-hyg-%d.sock" (Unix.getpid ()))
+  in
+  with_server (native_cfg ()) @@ fun server ->
+  let listener = Listener.bind ~socket_path:path server in
+  (match Listener.bind ~socket_path:path server with
+  | _ -> Alcotest.fail "second bind should refuse a live socket"
+  | exception Err.Polymage_error e ->
+    Alcotest.(check bool) "refusal is IO" true (e.Err.phase = Err.IO);
+    Alcotest.(check bool) "refusal says already served" true
+      (contains e.Err.detail "already"));
+  Alcotest.(check bool) "live socket file survives the refused bind" true
+    (Sys.file_exists path);
+  (* drain: the refused bind's liveness probe is connection 1 in the
+     backlog (already closed — immediate EOF); ours is connection 2 *)
+  let accept_dom = Domain.spawn (fun () -> Listener.run ~max_conns:2 listener) in
+  let fd = Listener.connect path in
+  Unix.close fd;
+  Domain.join accept_dom;
+  Alcotest.(check bool) "socket file removed after run" false
+    (Sys.file_exists path);
+  (* a stale socket file — bound once, nobody listening — is swept *)
+  let stale = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind stale (ADDR_UNIX path);
+  Unix.close stale;
+  Alcotest.(check bool) "stale socket file exists" true (Sys.file_exists path);
+  let listener = Listener.bind ~socket_path:path server in
+  let accept_dom = Domain.spawn (fun () -> Listener.run ~max_conns:1 listener) in
+  let fd = Listener.connect path in
+  Unix.close fd;
+  Domain.join accept_dom;
+  Alcotest.(check bool) "stale path rebound and cleaned up" false
+    (Sys.file_exists path)
+
 let suite =
   ( "serve",
     [
@@ -629,4 +707,8 @@ let suite =
         warm_server_zero_compiles;
       Alcotest.test_case "unix-socket listener" `Quick
         listener_socket_roundtrip;
+      Alcotest.test_case "client early close survives" `Quick
+        listener_client_early_close;
+      Alcotest.test_case "socket file hygiene" `Quick
+        listener_socket_hygiene;
     ] )
