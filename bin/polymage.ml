@@ -627,18 +627,39 @@ let serve_cmd =
              executor while each plan's shared object compiles in the \
              background, then hot-swaps")
   in
+  let access_log_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL record per completed request (timestamp, \
+             plan, tier, queue-wait ms, exec ms, bytes, outcome)")
+  in
+  let no_telemetry_flag =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Disable serve telemetry (latency histograms, per-plan \
+             counters, slow-request ring, access log): the request path \
+             takes no clock readings")
+  in
   let run socket backend workers batch batch_window shed_depth max_depth
-      max_conns cache_dir fault trace trace_json =
+      max_conns cache_dir access_log no_telemetry fault trace trace_json =
     (match fault with
     | None -> ()
     | Some (site, seed) -> Rt.Fault.arm ~site ~seed);
+    let telemetry = not no_telemetry in
     let tracing = trace || trace_json <> None in
     if tracing then begin
       Polymage_util.Trace.reset ();
       Polymage_util.Metrics.reset ();
-      Polymage_util.Trace.enable ();
-      Polymage_util.Metrics.enable ()
+      Polymage_util.Trace.enable ()
     end;
+    (* the stats frame reports Metrics counters and gauges; they are
+       part of the telemetry layer, not only of tracing *)
+    if tracing || telemetry then Polymage_util.Metrics.enable ();
     let server =
       Srv.Server.create
         {
@@ -649,6 +670,8 @@ let serve_cmd =
           shed_depth;
           max_depth;
           cache_dir;
+          telemetry;
+          access_log = (if telemetry then access_log else None);
         }
     in
     let listener = Srv.Listener.bind ~socket_path:socket server in
@@ -676,13 +699,34 @@ let serve_cmd =
     Term.(
       const run $ socket_flag $ serve_backend_flag $ workers_flag $ batch_flag
       $ batch_window_flag $ shed_depth_flag $ max_depth_flag $ max_conns_flag
-      $ cache_dir_flag $ fault_flag $ trace_flag $ trace_json_flag)
+      $ cache_dir_flag $ access_log_flag $ no_telemetry_flag $ fault_flag
+      $ trace_flag $ trace_json_flag)
+
+let timeout_flag =
+  Arg.(
+    value & opt int 5000
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Connect/read deadline: a hung server yields a structured \
+           timeout error and exit code 1 instead of blocking forever \
+           (0 = wait indefinitely)")
+
+let with_timeout_errors f =
+  try f ()
+  with Polymage_util.Err.Polymage_error e ->
+    Printf.eprintf "error: %s\n" (Polymage_util.Err.to_string e);
+    exit 1
+
+let connect_with_timeout socket timeout_ms =
+  Srv.Listener.connect
+    ?timeout_ms:(if timeout_ms <= 0 then None else Some timeout_ms)
+    socket
 
 let client_cmd =
   let repeats_flag =
     Arg.(value & opt int 1 & info [ "repeats" ] ~doc:"Requests to send")
   in
-  let run (app : App.t) socket size repeats =
+  let run (app : App.t) socket size repeats timeout_ms =
     let env = env_of app size in
     let params =
       List.map (fun ((p : Types.param), v) -> (p.Types.pname, v)) env
@@ -693,34 +737,234 @@ let client_cmd =
         (fun im -> (im.Ast.iname, Rt.Buffer.of_image im env (app.fill env im)))
         pipe.Pipeline.images
     in
-    let fd = Srv.Listener.connect socket in
-    Fun.protect
-      ~finally:(fun () -> try Unix.close fd with _ -> ())
-      (fun () ->
-        for i = 1 to max 1 repeats do
-          let t0 = Unix.gettimeofday () in
-          match Srv.Listener.call fd ~app:app.name ~params ~images with
-          | Srv.Protocol.Ok_response { tier; outputs } ->
-            let ms = (Unix.gettimeofday () -. t0) *. 1000. in
-            Printf.printf "call %d: %s, %.2f ms\n" i tier ms;
-            List.iter
-              (fun (name, (b : Rt.Buffer.t)) ->
-                Printf.printf "  output %s: %d values, checksum %.17g\n" name
-                  (Rt.Buffer.size b)
-                  (Array.fold_left ( +. ) 0. b.data))
-              outputs
-          | Srv.Protocol.Err_response e ->
-            Printf.eprintf "call %d: error: %s\n" i
-              (Polymage_util.Err.to_string e);
-            exit 1
-        done)
+    with_timeout_errors (fun () ->
+        let fd = connect_with_timeout socket timeout_ms in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with _ -> ())
+          (fun () ->
+            for i = 1 to max 1 repeats do
+              let t0 = Unix.gettimeofday () in
+              match Srv.Listener.call fd ~app:app.name ~params ~images with
+              | Srv.Protocol.Ok_response { tier; outputs } ->
+                let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                Printf.printf "call %d: %s, %.2f ms\n" i tier ms;
+                List.iter
+                  (fun (name, (b : Rt.Buffer.t)) ->
+                    Printf.printf "  output %s: %d values, checksum %.17g\n"
+                      name
+                      (Rt.Buffer.size b)
+                      (Array.fold_left ( +. ) 0. b.data))
+                  outputs
+              | Srv.Protocol.Err_response e ->
+                Printf.eprintf "call %d: error: %s\n" i
+                  (Polymage_util.Err.to_string e);
+                exit 1
+            done))
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send pipeline requests to a running server and print the \
           responses")
-    Term.(const run $ app_pos $ socket_flag $ size_flag $ repeats_flag)
+    Term.(
+      const run $ app_pos $ socket_flag $ size_flag $ repeats_flag
+      $ timeout_flag)
+
+(* ---- stats: scrape and render a daemon's 'S' snapshot ---- *)
+
+module J = Polymage_util.Trace
+
+let jfield name = function
+  | J.Obj fs -> List.assoc_opt name fs
+  | _ -> None
+
+let jnum j name = match jfield name j with Some (J.Num v) -> v | _ -> 0.
+let jint j name = int_of_float (jnum j name)
+let jstr j name = match jfield name j with Some (J.Str s) -> s | _ -> ""
+let jbool j name = match jfield name j with Some (J.Bool b) -> b | _ -> false
+let jobj j name = match jfield name j with Some o -> o | None -> J.Null
+let jarr j name = match jfield name j with Some (J.Arr l) -> l | _ -> []
+
+let prom_sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+      | _ -> '_')
+    name
+
+let print_prometheus j =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let metric ?(typ = "gauge") name v =
+    line "# TYPE %s %s" name typ;
+    line "%s %g" name v
+  in
+  metric "polymage_serve_uptime_seconds" (jnum j "uptime_ms" /. 1000.);
+  let conns = jobj j "connections" and queue = jobj j "queue" in
+  metric "polymage_serve_connections" (jnum conns "live");
+  metric "polymage_serve_connections_peak" (jnum conns "peak");
+  metric "polymage_serve_queue_depth" (jnum queue "depth");
+  metric "polymage_serve_queue_depth_peak" (jnum queue "peak");
+  (* the gauges above come from their structured sections; skip their
+     Metrics-registry copies so each series is emitted once *)
+  let skip =
+    [
+      "serve/queue_depth"; "serve/queue_depth_peak"; "serve/connections";
+      "serve/connections_peak";
+    ]
+  in
+  (match jobj j "counters" with
+  | J.Obj fs ->
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | J.Num n when not (List.mem name skip) ->
+          metric ~typ:"counter"
+            ("polymage_serve_"
+            ^ prom_sanitize
+                (if String.length name > 6 then
+                   String.sub name 6 (String.length name - 6)
+                 else name))
+            n
+        | _ -> ())
+      fs
+  | _ -> ());
+  (match jobj j "histograms" with
+  | J.Obj phases ->
+    line "# TYPE polymage_serve_latency_ms summary";
+    List.iter
+      (fun (phase, h) ->
+        List.iter
+          (fun (q, field) ->
+            line "polymage_serve_latency_ms{phase=%S,quantile=%S} %g" phase q
+              (jnum h field))
+          [
+            ("0.5", "p50_ms"); ("0.9", "p90_ms"); ("0.99", "p99_ms");
+            ("0.999", "p999_ms");
+          ];
+        line "polymage_serve_latency_ms_count{phase=%S} %g" phase
+          (jnum h "count"))
+      phases
+  | _ -> ());
+  print_string (Buffer.contents b)
+
+let print_pretty socket j =
+  Printf.printf "%s on %s — schema v%d, up %.1f s, telemetry %s\n"
+    (jstr j "service") socket (jint j "schema_version")
+    (jnum j "uptime_ms" /. 1000.)
+    (if jbool j "telemetry" then "on" else "off");
+  let conns = jobj j "connections" and queue = jobj j "queue" in
+  Printf.printf
+    "connections: %d live (peak %d)   queue: %d deep (peak %d, shed at %d, \
+     reject at %d)\n"
+    (jint conns "live") (jint conns "peak") (jint queue "depth")
+    (jint queue "peak") (jint queue "shed_depth") (jint queue "max_depth");
+  let pool = jobj j "pool" in
+  Printf.printf "pool: %d workers, batch up to %d (window %d ms)\n"
+    (jint pool "workers") (jint pool "batch_max") (jint pool "batch_window_ms");
+  (match jobj j "counters" with
+  | J.Obj fs when fs <> [] ->
+    Printf.printf "\ncounters:\n";
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | J.Num n -> Printf.printf "  %-32s %12.0f\n" name n
+        | _ -> ())
+      fs
+  | _ -> ());
+  let print_hist_table indent h =
+    match h with
+    | J.Obj phases ->
+      Printf.printf "%s%-10s %8s %9s %9s %9s %9s %9s %9s\n" indent "phase"
+        "count" "p50" "p90" "p99" "p999" "mean" "max";
+      List.iter
+        (fun (phase, ph) ->
+          Printf.printf
+            "%s%-10s %8.0f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n" indent phase
+            (jnum ph "count") (jnum ph "p50_ms") (jnum ph "p90_ms")
+            (jnum ph "p99_ms") (jnum ph "p999_ms") (jnum ph "mean_ms")
+            (jnum ph "max_ms"))
+        phases
+    | _ -> ()
+  in
+  (match jobj j "histograms" with
+  | J.Null -> ()
+  | h ->
+    Printf.printf "\nlatency (ms):\n";
+    print_hist_table "  " h);
+  (match jarr j "plans" with
+  | [] -> ()
+  | plans ->
+    Printf.printf "\nplans:\n";
+    List.iter
+      (fun p ->
+        let pinned =
+          match jfield "pinned_artifact" p with
+          | Some (J.Obj _ as pa) -> ", pinned " ^ jstr pa "so"
+          | _ -> ""
+        in
+        Printf.printf
+          "  %s [%s%s]  requests %d, batched %d, shed %d, rejected %d, \
+           errors %d\n"
+          (jstr p "key") (jstr p "state") pinned (jint p "requests")
+          (jint p "batched") (jint p "shed") (jint p "rejected")
+          (jint p "errors");
+        print_hist_table "    " (jobj p "histograms"))
+      plans);
+  let cache = jobj j "cache" in
+  Printf.printf "\ncache: %s — %d entries, %d bytes, %d trusted, %d quarantined\n"
+    (jstr cache "dir") (jint cache "entries") (jint cache "bytes")
+    (jint cache "trusted") (jint cache "quarantined");
+  match jarr j "slow_requests" with
+  | [] -> ()
+  | slow ->
+    Printf.printf "\nslowest recent requests:\n";
+    List.iter
+      (fun r ->
+        Printf.printf
+          "  rid %-6d %-12s %-12s %-8s queue %8.2f  exec %8.2f  total %8.2f \
+           ms  in %d B out %d B\n"
+          (jint r "rid") (jstr r "app") (jstr r "tier") (jstr r "outcome")
+          (jnum r "queue_ms") (jnum r "exec_ms") (jnum r "total_ms")
+          (jint r "bytes_in") (jint r "bytes_out"))
+      slow
+
+let stats_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw JSON snapshot unmodified")
+  in
+  let prom_flag =
+    Arg.(
+      value & flag
+      & info [ "prom" ] ~doc:"Print Prometheus text-format metrics")
+  in
+  let run socket json prom timeout_ms =
+    with_timeout_errors (fun () ->
+        let fd = connect_with_timeout socket timeout_ms in
+        let body =
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () -> Srv.Listener.call_stats fd)
+        in
+        if json then print_endline body
+        else
+          match J.parse_json body with
+          | Error why ->
+            Printf.eprintf "error: malformed stats snapshot: %s\n" why;
+            exit 1
+          | Ok j -> if prom then print_prometheus j else print_pretty socket j)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Scrape a running server's live stats snapshot (uptime, queue and \
+          connection gauges, latency quantiles per phase and per plan, \
+          cache trust, slowest recent requests) and render it \
+          human-readable, as raw JSON, or as Prometheus text metrics")
+    Term.(const run $ socket_flag $ json_flag $ prom_flag $ timeout_flag)
 
 let cache_cmd =
   let run cache_dir =
@@ -742,5 +986,5 @@ let () =
           [
             list_cmd; graph_cmd; compile_cmd; groups_cmd; codegen_cmd;
             run_cmd; profile_cmd; explain_cmd; tune_cmd; process_cmd;
-            serve_cmd; client_cmd; cache_cmd;
+            serve_cmd; client_cmd; stats_cmd; cache_cmd;
           ]))

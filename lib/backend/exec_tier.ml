@@ -78,6 +78,8 @@ let auto_state a =
   | Ready -> "ready"
   | Failed m -> "failed: " ^ m
 
+let auto_artifact a = a.artifact
+
 let auto_await a =
   match a.domain with
   | None -> ()

@@ -96,6 +96,11 @@ val auto_await : auto -> unit
 val auto_state : auto -> string
 (** ["compiling"], ["ready"], or ["failed: <why>"]. *)
 
+val auto_artifact : auto -> (string * string * string) option
+(** The pinned (cache dir, cache key, shared-object path) once the
+    background compile has landed; [None] while compiling, after a
+    failed compile, or while a demoted pin is being re-established. *)
+
 val profile :
   ?cache_dir:string ->
   opts:Comp.Options.t ->

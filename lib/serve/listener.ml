@@ -18,6 +18,8 @@
    [None] accepts until the process dies. *)
 
 module Err = Polymage_util.Err
+module Metrics = Polymage_util.Metrics
+module Trace = Polymage_util.Trace
 
 type t = {
   server : Server.t;
@@ -71,19 +73,28 @@ let bind ~socket_path server =
    just drops the connection; the server itself is untouched either
    way. *)
 let serve_conn server fd =
+  Metrics.gauge_addn "serve/connections" 1;
   let closed = ref false in
   (try
      while not !closed do
        match Protocol.read_frame fd with
        | None -> closed := true
        | Some (kind, payload) ->
+         (* one request id per incoming frame, spanning accept
+            through respond — the same id the server threads into its
+            parse/enqueue/exec spans and the slow-request ring *)
+         let rid = Server.next_rid server in
          let frame = Bytes.create (Protocol.header_bytes + Bytes.length payload) in
          Bytes.blit_string Protocol.magic 0 frame 0 8;
          Bytes.set frame 8 kind;
          Bytes.set_int32_le frame 9 (Int32.of_int (Bytes.length payload));
          Bytes.blit payload 0 frame Protocol.header_bytes
            (Bytes.length payload);
-         Protocol.write_all fd (Server.handle_frame server frame)
+         let reply = Server.handle_frame ~rid server frame in
+         Trace.with_span ~cat:"serve"
+           ~args:[ ("rid", string_of_int rid) ]
+           "serve.respond"
+           (fun () -> Protocol.write_all fd reply)
      done
    with
   | Err.Polymage_error e ->
@@ -91,7 +102,8 @@ let serve_conn server fd =
        Protocol.write_all fd (Protocol.encode_response (Protocol.Err_response e))
      with _ -> ())
   | _ -> ());
-  try Unix.close fd with _ -> ()
+  Metrics.gauge_addn "serve/connections" (-1);
+  (try Unix.close fd with _ -> ())
 
 (* Accept, riding out the transient failures a long-lived daemon will
    see: interruption by a signal, a connection aborted between accept
@@ -171,10 +183,20 @@ let run ?(max_live = default_max_live) ?max_conns t =
 
 (* ---- client side ---- *)
 
-let connect socket_path =
+(* [timeout_ms] arms SO_RCVTIMEO/SO_SNDTIMEO on the socket: a server
+   that accepts but never answers surfaces as a structured phase-[IO]
+   timeout from Protocol's transport instead of blocking forever. *)
+let connect ?timeout_ms socket_path =
   ignore_sigpipe ();
   let sock = Unix.socket PF_UNIX SOCK_STREAM 0 in
-  (try Unix.connect sock (ADDR_UNIX socket_path)
+  (try
+     (match timeout_ms with
+     | None -> ()
+     | Some ms ->
+       let s = float_of_int (max 1 ms) /. 1000. in
+       Unix.setsockopt_float sock SO_RCVTIMEO s;
+       Unix.setsockopt_float sock SO_SNDTIMEO s);
+     Unix.connect sock (ADDR_UNIX socket_path)
    with Unix.Unix_error (e, _, _) ->
      (try Unix.close sock with _ -> ());
      Err.failf Err.IO ~stage:"serve" "cannot connect to %s: %s" socket_path
@@ -187,3 +209,17 @@ let call fd ~app ~params ~images =
   | None ->
     Err.failf Err.IO ~stage:"serve" "server closed the connection"
   | Some (kind, payload) -> Protocol.decode_response ~kind payload
+
+let call_stats fd =
+  Protocol.write_all fd (Protocol.encode_stats_request ());
+  match Protocol.read_frame fd with
+  | None ->
+    Err.failf Err.IO ~stage:"serve" "server closed the connection"
+  | Some ('T', payload) -> Protocol.decode_stats_response payload
+  | Some ('E', payload) -> (
+    match Protocol.decode_response ~kind:'E' payload with
+    | Protocol.Err_response e -> raise (Err.Polymage_error e)
+    | Protocol.Ok_response _ -> assert false)
+  | Some (kind, _) ->
+    Err.failf Err.IO ~stage:"serve"
+      "Protocol: expected a stats response, got %C" kind

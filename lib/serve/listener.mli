@@ -28,8 +28,11 @@ val run : ?max_live:int -> ?max_conns:int -> t -> unit
 
 (** {1 Client side} *)
 
-val connect : string -> Unix.file_descr
-(** Connect to a daemon's socket path.
+val connect : ?timeout_ms:int -> string -> Unix.file_descr
+(** Connect to a daemon's socket path.  [timeout_ms] arms a
+    send/receive deadline on the socket: a server that accepts but
+    never answers makes the next {!call} raise a structured phase-[IO]
+    timeout instead of blocking forever.
     @raise Polymage_util.Err.Polymage_error (phase [IO]). *)
 
 val call :
@@ -39,3 +42,8 @@ val call :
   images:(string * Polymage_rt.Buffer.t) list ->
   Protocol.response
 (** One request/response round trip on an open connection. *)
+
+val call_stats : Unix.file_descr -> string
+(** One ['S']/['T'] round trip: the server's JSON stats snapshot.
+    @raise Polymage_util.Err.Polymage_error on an ['E'] reply or a
+    malformed response. *)

@@ -6,9 +6,15 @@
    Frame layout (all integers little-endian):
 
      8 bytes   magic "PMSRV01\n"
-     1 byte    kind: 'Q' request, 'R' ok response, 'E' error response
+     1 byte    kind: 'Q' request, 'R' ok response, 'E' error response,
+               'S' stats request, 'T' stats response
      u32       payload length (bounded by [max_payload])
      payload
+
+   Stats request payload: empty ('S' with any payload bytes is
+   malformed).  Stats response payload: a UTF-8 JSON document — the
+   schema-versioned snapshot described in DESIGN.md "Serve
+   telemetry".
 
    Request payload:
      str16 app name
@@ -137,7 +143,7 @@ let frame ~kind payload =
   Buffer.add_buffer b payload;
   Buffer.to_bytes b
 
-let known_kind = function 'Q' | 'R' | 'E' -> true | _ -> false
+let known_kind = function 'Q' | 'R' | 'E' | 'S' | 'T' -> true | _ -> false
 
 let parse_frame bytes =
   let len = Bytes.length bytes in
@@ -199,6 +205,22 @@ let decode_request payload =
   in
   if c.pos <> c.stop then fail "Protocol: trailing bytes after request";
   { app; params; images }
+
+(* ---- stats frames ---- *)
+
+let encode_stats_request () = frame ~kind:'S' (Buffer.create 0)
+
+let decode_stats_request payload =
+  if Bytes.length payload <> 0 then
+    fail "Protocol: stats request carries %d payload bytes (must be empty)"
+      (Bytes.length payload)
+
+let encode_stats_response json =
+  let b = Buffer.create (String.length json + 16) in
+  Buffer.add_string b json;
+  frame ~kind:'T' b
+
+let decode_stats_response payload = Bytes.to_string payload
 
 (* ---- responses ---- *)
 
@@ -264,18 +286,32 @@ let decode_response ~kind payload =
 
 (* ---- file-descriptor transport ---- *)
 
+(* On a socket with SO_RCVTIMEO/SO_SNDTIMEO set (client timeouts),
+   expiry surfaces as EAGAIN/EWOULDBLOCK; report it as a structured
+   timeout rather than a raw errno.  Descriptors without timeouts —
+   the server side — never see these. *)
+let timed_out op =
+  fail "Protocol: timed out %s (peer not responding within the deadline)" op
+
 let write_all fd bytes =
   let n = Bytes.length bytes in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write fd bytes !off (n - !off)
+    match Unix.write fd bytes !off (n - !off) with
+    | w -> off := !off + w
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      timed_out "writing a frame"
   done
 
 let really_read fd bytes off len =
   let got = ref 0 in
   (try
      while !got < len do
-       let n = Unix.read fd bytes (off + !got) (len - !got) in
+       let n =
+         try Unix.read fd bytes (off + !got) (len - !got)
+         with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+           timed_out "waiting for a frame"
+       in
        if n = 0 then raise Exit;
        got := !got + n
      done

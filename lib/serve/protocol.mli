@@ -3,11 +3,12 @@
     ({!Polymage_backend.Rawio}).
 
     Frame: 8-byte magic ["PMSRV01\n"], one kind byte (['Q'] request,
-    ['R'] ok response, ['E'] error response), u32 LE payload length
-    (bounded by {!max_payload}), payload.  See [protocol.ml] for the
-    payload layouts.  Every decoding failure raises a structured
-    phase-[IO] error with stage ["serve"]; the server converts those
-    into ['E'] responses and keeps serving. *)
+    ['R'] ok response, ['E'] error response, ['S'] stats request,
+    ['T'] stats response), u32 LE payload length (bounded by
+    {!max_payload}), payload.  See [protocol.ml] for the payload
+    layouts.  Every decoding failure raises a structured phase-[IO]
+    error with stage ["serve"]; the server converts those into ['E']
+    responses and keeps serving. *)
 
 module Rt = Polymage_rt
 module Err = Polymage_util.Err
@@ -54,6 +55,20 @@ val encode_response : response -> bytes
 val decode_response : kind:char -> bytes -> response
 (** Decode an ['R'] or ['E'] payload.
     @raise Polymage_util.Err.Polymage_error (phase [IO]). *)
+
+(** {1 Stats frames} *)
+
+val encode_stats_request : unit -> bytes
+(** A complete ['S'] frame (empty payload). *)
+
+val decode_stats_request : bytes -> unit
+(** Vet an ['S'] payload: it must be empty.
+    @raise Polymage_util.Err.Polymage_error (phase [IO]) otherwise. *)
+
+val encode_stats_response : string -> bytes
+(** A complete ['T'] frame wrapping a JSON document. *)
+
+val decode_stats_response : bytes -> string
 
 (** {1 File-descriptor transport} *)
 

@@ -20,10 +20,22 @@
    [max_depth] it is rejected outright with a structured error.  Shed
    before queue, reject before hang.
 
-   Telemetry: serve/requests, serve/responses, serve/batched,
-   serve/shed, serve/rejected, serve/invalid, serve/degraded,
-   serve/queue_depth and serve/served/<tier> counters, plus
-   serve.request / serve.exec trace spans. *)
+   Telemetry has two layers, separately gated.  Metrics counters
+   (serve/requests, serve/responses, serve/batched, serve/shed,
+   serve/rejected, serve/invalid, serve/degraded, serve/served/<tier>)
+   and the serve/queue_depth and serve/connections gauges follow
+   [Metrics.enabled] as everywhere else.  The serve-local layer —
+   per-plan counters, queue-wait/exec/end-to-end histograms, the
+   slow-request ring, the access log, and the per-request timestamps
+   feeding all of them — is gated on [config.telemetry]: with it off,
+   the request path takes no clock readings and touches no histogram,
+   so the hot path is the PR 8 one plus a single [None] branch.
+
+   Every request carries a request id (rid) threaded from the
+   listener through parse -> enqueue -> dispatch -> exec -> respond as
+   trace spans; queue wait is attributed explicitly by a span whose
+   endpoints were measured on the submitting and dispatching
+   domains. *)
 
 open Polymage_ir
 module C = Polymage_compiler
@@ -33,7 +45,9 @@ module App = Polymage_apps.App
 module Err = Polymage_util.Err
 module Metrics = Polymage_util.Metrics
 module Trace = Polymage_util.Trace
+module Histogram = Polymage_util.Histogram
 module Exec_tier = Polymage_backend.Exec_tier
+module Cache = Polymage_backend.Cache
 module Rawio = Polymage_backend.Rawio
 
 type config = {
@@ -44,6 +58,8 @@ type config = {
   shed_depth : int;
   max_depth : int;
   cache_dir : string option;
+  telemetry : bool;
+  access_log : string option;
 }
 
 let default_config ?cache_dir () =
@@ -55,7 +71,68 @@ let default_config ?cache_dir () =
     shed_depth = 64;
     max_depth = 256;
     cache_dir;
+    telemetry = true;
+    access_log = None;
   }
+
+(* ---- telemetry state ---- *)
+
+(* Per-plan request accounting: plain atomics (not Metrics counters)
+   so per-plan numbers survive a [Metrics.reset] and exist even when
+   the global registry is disabled, plus one histogram per phase. *)
+type plan_tel = {
+  t_requests : int Atomic.t;
+  t_batched : int Atomic.t;
+  t_shed : int Atomic.t;
+  t_rejected : int Atomic.t;
+  t_errors : int Atomic.t;
+  h_queue : Histogram.t;  (* enqueue -> dequeue, ns *)
+  h_exec : Histogram.t;  (* execution proper, ns *)
+  h_total : Histogram.t;  (* submit entry -> reply ready, ns *)
+}
+
+let make_plan_tel () =
+  {
+    t_requests = Atomic.make 0;
+    t_batched = Atomic.make 0;
+    t_shed = Atomic.make 0;
+    t_rejected = Atomic.make 0;
+    t_errors = Atomic.make 0;
+    h_queue = Histogram.create ();
+    h_exec = Histogram.create ();
+    h_total = Histogram.create ();
+  }
+
+(* One completed request, as retained by the slow-request ring and the
+   access log.  [r_key] is "" when the request never resolved to a
+   plan (unknown app, bad parameter, malformed image). *)
+type req_record = {
+  r_rid : int;
+  r_app : string;
+  r_key : string;
+  r_tier : string;
+  r_outcome : string;  (* "ok" | "error" | "shed" | "rejected" | "invalid" *)
+  r_queue_ns : int;
+  r_exec_ns : int;
+  r_total_ns : int;
+  r_bytes_in : int;
+  r_bytes_out : int;
+  r_wall : float;  (* completion time, epoch seconds *)
+}
+
+let ring_size = 256
+let slow_report = 8
+
+type telemetry = {
+  g_queue : Histogram.t;
+  g_exec : Histogram.t;
+  g_total : Histogram.t;  (* every request, including rejected/invalid *)
+  ring : req_record option array;
+  mutable ring_pos : int;
+  rmu : Mutex.t;
+  log : out_channel option;
+  lmu : Mutex.t;
+}
 
 type plan_state = {
   key : string;
@@ -64,6 +141,7 @@ type plan_state = {
   plan : C.Plan.t;
   shed_plan : C.Plan.t Lazy.t;  (* forced by the dispatcher only *)
   auto : Exec_tier.auto option;  (* background compile, Auto tier *)
+  ptel : plan_tel;
 }
 
 (* One table entry per plan key.  The table mutex only guards
@@ -81,6 +159,11 @@ and plan_build = Building | Ready of plan_state | Failed of exn
 type job = {
   ps : plan_state;
   images : (Ast.image * Rt.Buffer.t) list;
+  rid : int;
+  bytes_in : int;
+  t_submit_ns : int;  (* 0 when telemetry is off *)
+  mutable t_enq_ns : int;
+  mutable t_deq_ns : int;
   mutable shed : bool;
   mutable reply : Protocol.response option;
   jmu : Mutex.t;
@@ -95,9 +178,51 @@ type t = {
   q : job Queue.t;
   qmu : Mutex.t;
   qcv : Condition.t;
+  tel : telemetry option;
+  next_rid : int Atomic.t;
+  started_ns : int;
+  started_wall : float;
   mutable stopping : bool;
   mutable dispatcher : unit Domain.t option;
 }
+
+let next_rid t = Atomic.fetch_and_add t.next_rid 1
+
+(* ---- request records: ring + access log ---- *)
+
+let record_json ?ts (r : req_record) =
+  let ms ns = float_of_int ns /. 1e6 in
+  let base =
+    [
+      ("rid", Trace.Num (float_of_int r.r_rid));
+      ("app", Trace.Str r.r_app);
+      ("plan", Trace.Str r.r_key);
+      ("tier", Trace.Str r.r_tier);
+      ("outcome", Trace.Str r.r_outcome);
+      ("queue_ms", Trace.Num (ms r.r_queue_ns));
+      ("exec_ms", Trace.Num (ms r.r_exec_ns));
+      ("total_ms", Trace.Num (ms r.r_total_ns));
+      ("bytes_in", Trace.Num (float_of_int r.r_bytes_in));
+      ("bytes_out", Trace.Num (float_of_int r.r_bytes_out));
+    ]
+  in
+  Trace.Obj
+    (match ts with
+    | None -> base
+    | Some w -> ("ts", Trace.Num w) :: base)
+
+let record_request tel (r : req_record) =
+  Mutex.protect tel.rmu (fun () ->
+      tel.ring.(tel.ring_pos mod ring_size) <- Some r;
+      tel.ring_pos <- tel.ring_pos + 1);
+  match tel.log with
+  | None -> ()
+  | Some oc ->
+    let line = Trace.json_to_string (record_json ~ts:r.r_wall r) in
+    Mutex.protect tel.lmu (fun () ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
 
 (* ---- request resolution (caller domain) ---- *)
 
@@ -152,6 +277,7 @@ let plan_state t (app : App.t) env =
           (if t.cfg.tier = Exec_tier.Auto then
              Some (Exec_tier.auto_start ?cache_dir:t.cfg.cache_dir plan)
            else None);
+        ptel = make_plan_tel ();
       }
     with
     | ps ->
@@ -221,11 +347,22 @@ let images_of_request ps (req : Protocol.request) =
 
 let serve_one t (job : job) =
   let ps = job.ps in
+  let rid_s = string_of_int job.rid in
+  (match t.tel with
+  | None -> ()
+  | Some _ ->
+    (* queue wait, measured across domains: enqueue on the submitter,
+       dequeue on the dispatcher *)
+    Trace.emit_span ~cat:"serve"
+      ~args:[ ("rid", rid_s); ("key", ps.key) ]
+      ~t_start_ns:job.t_enq_ns ~t_end_ns:job.t_deq_ns "serve.queue_wait");
+  let t_exec0 = match t.tel with None -> 0 | Some _ -> Trace.now_ns () in
   let resp =
     try
       Rt.Fault.hit "serve_request";
       Trace.with_span ~cat:"serve"
-        ~args:[ ("app", ps.app.App.name); ("key", ps.key) ]
+        ~args:
+          [ ("rid", rid_s); ("app", ps.app.App.name); ("key", ps.key) ]
         "serve.exec"
         (fun () ->
           let result, tier_label, degradations =
@@ -261,6 +398,46 @@ let serve_one t (job : job) =
             })
     with e -> Protocol.Err_response (Err.of_exn e)
   in
+  (match t.tel with
+  | None -> ()
+  | Some tel ->
+    let t_done = Trace.now_ns () in
+    let queue_ns = max 0 (job.t_deq_ns - job.t_enq_ns)
+    and exec_ns = max 0 (t_done - t_exec0)
+    and total_ns = max 0 (t_done - job.t_submit_ns) in
+    let tier, outcome, bytes_out =
+      match resp with
+      | Protocol.Ok_response { tier; outputs } ->
+        ( tier,
+          (if job.shed then "shed" else "ok"),
+          List.fold_left
+            (fun acc ((_, b) : _ * Rt.Buffer.t) ->
+              acc + Rawio.blob_bytes b.Rt.Buffer.dims)
+            0 outputs )
+      | Protocol.Err_response _ ->
+        Atomic.incr ps.ptel.t_errors;
+        ("-", "error", 0)
+    in
+    Histogram.record tel.g_queue queue_ns;
+    Histogram.record tel.g_exec exec_ns;
+    Histogram.record tel.g_total total_ns;
+    Histogram.record ps.ptel.h_queue queue_ns;
+    Histogram.record ps.ptel.h_exec exec_ns;
+    Histogram.record ps.ptel.h_total total_ns;
+    record_request tel
+      {
+        r_rid = job.rid;
+        r_app = ps.app.App.name;
+        r_key = ps.key;
+        r_tier = tier;
+        r_outcome = outcome;
+        r_queue_ns = queue_ns;
+        r_exec_ns = exec_ns;
+        r_total_ns = total_ns;
+        r_bytes_in = job.bytes_in;
+        r_bytes_out = bytes_out;
+        r_wall = Unix.gettimeofday ();
+      });
   Metrics.bumpn "serve/responses";
   Mutex.protect job.jmu (fun () ->
       job.reply <- Some resp;
@@ -274,8 +451,9 @@ let rec dispatch_loop t =
   if Queue.is_empty t.q then Mutex.unlock t.qmu (* stopping, drained *)
   else begin
     let job = Queue.pop t.q in
-    Metrics.addn "serve/queue_depth" (-1);
+    Metrics.gauge_addn "serve/queue_depth" (-1);
     Mutex.unlock t.qmu;
+    if t.tel <> None then job.t_deq_ns <- Trace.now_ns ();
     (* The batching window: hold the first request briefly so
        same-plan requests arriving together ride one dispatch. *)
     if t.cfg.batch_window_ms > 0 then
@@ -288,11 +466,15 @@ let rec dispatch_loop t =
           && (not (Queue.is_empty t.q))
           && (Queue.peek t.q).ps.key = job.ps.key
         do
-          batch := Queue.pop t.q :: !batch;
-          Metrics.addn "serve/queue_depth" (-1);
+          let j = Queue.pop t.q in
+          if t.tel <> None then j.t_deq_ns <- Trace.now_ns ();
+          batch := j :: !batch;
+          Metrics.gauge_addn "serve/queue_depth" (-1);
           incr n
         done);
     Metrics.addn "serve/batched" (!n - 1);
+    if t.tel <> None then
+      ignore (Atomic.fetch_and_add job.ps.ptel.t_batched (!n - 1));
     List.iter (serve_one t) (List.rev !batch);
     dispatch_loop t
   end
@@ -300,6 +482,25 @@ let rec dispatch_loop t =
 (* ---- public interface ---- *)
 
 let create cfg =
+  let tel =
+    if not cfg.telemetry then None
+    else
+      Some
+        {
+          g_queue = Histogram.create ();
+          g_exec = Histogram.create ();
+          g_total = Histogram.create ();
+          ring = Array.make ring_size None;
+          ring_pos = 0;
+          rmu = Mutex.create ();
+          log =
+            (match cfg.access_log with
+            | None -> None
+            | Some file ->
+              Some (open_out_gen [ Open_append; Open_creat ] 0o644 file));
+          lmu = Mutex.create ();
+        }
+  in
   let t =
     {
       cfg;
@@ -309,6 +510,10 @@ let create cfg =
       q = Queue.create ();
       qmu = Mutex.create ();
       qcv = Condition.create ();
+      tel;
+      next_rid = Atomic.make 1;
+      started_ns = Trace.now_ns ();
+      started_wall = Unix.gettimeofday ();
       stopping = false;
       dispatcher = None;
     }
@@ -316,11 +521,49 @@ let create cfg =
   t.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop t));
   t
 
-let submit t (req : Protocol.request) =
-  Trace.with_span ~cat:"serve" ~args:[ ("app", req.Protocol.app) ]
+(* A request that never reached the dispatcher (invalid or rejected)
+   still lands in the ring, the access log and the end-to-end
+   histogram, so histogram totals always equal serve/requests. *)
+let record_short t ~rid ~app ~key ~outcome ~bytes_in ~t_submit_ns =
+  match t.tel with
+  | None -> ()
+  | Some tel ->
+    let total_ns = max 0 (Trace.now_ns () - t_submit_ns) in
+    Histogram.record tel.g_total total_ns;
+    record_request tel
+      {
+        r_rid = rid;
+        r_app = app;
+        r_key = key;
+        r_tier = "-";
+        r_outcome = outcome;
+        r_queue_ns = 0;
+        r_exec_ns = 0;
+        r_total_ns = total_ns;
+        r_bytes_in = bytes_in;
+        r_bytes_out = 0;
+        r_wall = Unix.gettimeofday ();
+      }
+
+let submit ?rid t (req : Protocol.request) =
+  let rid = match rid with Some r -> r | None -> next_rid t in
+  let rid_s = string_of_int rid in
+  Trace.with_span ~cat:"serve"
+    ~args:[ ("rid", rid_s); ("app", req.Protocol.app) ]
     "serve.request"
     (fun () ->
       Metrics.bumpn "serve/requests";
+      let t_submit_ns =
+        match t.tel with None -> 0 | Some _ -> Trace.now_ns ()
+      in
+      let bytes_in =
+        match t.tel with
+        | None -> 0
+        | Some _ ->
+          List.fold_left
+            (fun acc (_, blob) -> acc + Bytes.length blob)
+            0 req.Protocol.images
+      in
       match
         let app =
           try Apps.find req.Protocol.app
@@ -335,12 +578,20 @@ let submit t (req : Protocol.request) =
       with
       | exception e ->
         Metrics.bumpn "serve/invalid";
+        record_short t ~rid ~app:req.Protocol.app ~key:"" ~outcome:"invalid"
+          ~bytes_in ~t_submit_ns;
         Protocol.Err_response (Err.of_exn e)
       | ps, images -> (
+        if t.tel <> None then Atomic.incr ps.ptel.t_requests;
         let job =
           {
             ps;
             images;
+            rid;
+            bytes_in;
+            t_submit_ns;
+            t_enq_ns = 0;
+            t_deq_ns = 0;
             shed = false;
             reply = None;
             jmu = Mutex.create ();
@@ -359,8 +610,9 @@ let submit t (req : Protocol.request) =
                        depth t.cfg.max_depth)
                 else begin
                   if depth >= t.cfg.shed_depth then job.shed <- true;
+                  if t.tel <> None then job.t_enq_ns <- Trace.now_ns ();
                   Queue.push job t.q;
-                  Metrics.addn "serve/queue_depth" 1;
+                  Metrics.gauge_addn "serve/queue_depth" 1;
                   Condition.signal t.qcv;
                   `Admitted
                 end)
@@ -368,29 +620,211 @@ let submit t (req : Protocol.request) =
         match verdict with
         | `Reject why ->
           Metrics.bumpn "serve/rejected";
+          if t.tel <> None then Atomic.incr ps.ptel.t_rejected;
+          record_short t ~rid ~app:ps.app.App.name ~key:ps.key
+            ~outcome:"rejected" ~bytes_in ~t_submit_ns;
           Protocol.Err_response (Err.error ~stage:"serve" Err.Exec
               ("admission: " ^ why))
         | `Admitted ->
-          if job.shed then Metrics.bumpn "serve/shed";
+          Trace.instant ~cat:"serve" ~args:[ ("rid", rid_s) ] "serve.enqueue";
+          if job.shed then begin
+            Metrics.bumpn "serve/shed";
+            if t.tel <> None then Atomic.incr job.ps.ptel.t_shed
+          end;
           Mutex.protect job.jmu (fun () ->
               while job.reply = None do
                 Condition.wait job.jcv job.jmu
               done;
               Option.get job.reply)))
 
-let handle_frame t bytes =
-  let resp =
+(* ---- stats snapshot ---- *)
+
+let stats_schema_version = 1
+
+let quantile_json h =
+  let s = Histogram.snapshot h in
+  let ms v = v /. 1e6 in
+  Trace.Obj
+    [
+      ("count", Trace.Num (float_of_int s.Histogram.total));
+      ("p50_ms", Trace.Num (ms (Histogram.quantile s 0.5)));
+      ("p90_ms", Trace.Num (ms (Histogram.quantile s 0.9)));
+      ("p99_ms", Trace.Num (ms (Histogram.quantile s 0.99)));
+      ("p999_ms", Trace.Num (ms (Histogram.quantile s 0.999)));
+      ("mean_ms", Trace.Num (ms (Histogram.mean s)));
+      ("max_ms", Trace.Num (ms (float_of_int s.Histogram.s_max)));
+    ]
+
+let histograms_json ~queue ~exec ~total =
+  Trace.Obj
+    [
+      ("queue_ms", quantile_json queue);
+      ("exec_ms", quantile_json exec);
+      ("e2e_ms", quantile_json total);
+    ]
+
+let plan_json ps =
+  let a name at = (name, Trace.Num (float_of_int (Atomic.get at))) in
+  Trace.Obj
+    [
+      ("key", Trace.Str ps.key);
+      ("app", Trace.Str ps.app.App.name);
+      ( "state",
+        Trace.Str
+          (match ps.auto with
+          | Some auto -> Exec_tier.auto_state auto
+          | None -> "static") );
+      ( "pinned_artifact",
+        match ps.auto with
+        | Some auto -> (
+          match Exec_tier.auto_artifact auto with
+          | Some (_dir, key, so) ->
+            Trace.Obj
+              [
+                ("key", Trace.Str key);
+                ("so", Trace.Str (Filename.basename so));
+              ]
+          | None -> Trace.Null)
+        | None -> Trace.Null );
+      a "requests" ps.ptel.t_requests;
+      a "batched" ps.ptel.t_batched;
+      a "shed" ps.ptel.t_shed;
+      a "rejected" ps.ptel.t_rejected;
+      a "errors" ps.ptel.t_errors;
+      ( "histograms",
+        histograms_json ~queue:ps.ptel.h_queue ~exec:ps.ptel.h_exec
+          ~total:ps.ptel.h_total );
+    ]
+
+let slow_requests_json tel =
+  let recs =
+    Mutex.protect tel.rmu (fun () ->
+        Array.fold_left
+          (fun acc r -> match r with None -> acc | Some r -> r :: acc)
+          [] tel.ring)
+  in
+  let sorted =
+    List.sort (fun a b -> compare b.r_total_ns a.r_total_ns) recs
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  Trace.Arr (List.map (fun r -> record_json r) (take slow_report sorted))
+
+let cache_json t =
+  let dir =
+    match t.cfg.cache_dir with
+    | Some d -> d
+    | None -> Cache.default_dir ()
+  in
+  let entries, bytes = try Cache.stats dir with _ -> (0, 0) in
+  let trusted, quarantined = try Cache.trust_stats dir with _ -> (0, 0) in
+  Trace.Obj
+    [
+      ("dir", Trace.Str dir);
+      ("entries", Trace.Num (float_of_int entries));
+      ("bytes", Trace.Num (float_of_int bytes));
+      ("trusted", Trace.Num (float_of_int trusted));
+      ("quarantined", Trace.Num (float_of_int quarantined));
+    ]
+
+let stats_json t =
+  let num i = Trace.Num (float_of_int i) in
+  let depth = Mutex.protect t.qmu (fun () -> Queue.length t.q) in
+  let plans =
+    Mutex.protect t.pmu (fun () ->
+        Hashtbl.fold
+          (fun _ s acc ->
+            match s.built with
+            | Ready ps -> ps :: acc
+            | Building | Failed _ -> acc)
+          t.plans [])
+  in
+  let plans = List.sort (fun a b -> compare a.key b.key) plans in
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        if String.length name >= 6 && String.sub name 0 6 = "serve/" then
+          Some (name, num v)
+        else None)
+      (Metrics.snapshot ())
+  in
+  let o =
+    Trace.Obj
+      [
+        ("schema_version", num stats_schema_version);
+        ("service", Trace.Str "polymage-serve");
+        ("uptime_ms",
+         Trace.Num (float_of_int (Trace.now_ns () - t.started_ns) /. 1e6));
+        ("telemetry", Trace.Bool (t.tel <> None));
+        ( "connections",
+          Trace.Obj
+            [
+              ("live", num (Metrics.get "serve/connections"));
+              ("peak", num (Metrics.get "serve/connections_peak"));
+            ] );
+        ( "queue",
+          Trace.Obj
+            [
+              ("depth", num depth);
+              ("peak", num (Metrics.get "serve/queue_depth_peak"));
+              ("shed_depth", num t.cfg.shed_depth);
+              ("max_depth", num t.cfg.max_depth);
+            ] );
+        ( "pool",
+          Trace.Obj
+            [
+              ("workers", num t.cfg.workers);
+              ("batch_max", num t.cfg.batch_max);
+              ("batch_window_ms", num t.cfg.batch_window_ms);
+            ] );
+        ("counters", Trace.Obj counters);
+        ( "histograms",
+          match t.tel with
+          | Some tel ->
+            histograms_json ~queue:tel.g_queue ~exec:tel.g_exec
+              ~total:tel.g_total
+          | None -> Trace.Null );
+        ("plans", Trace.Arr (List.map plan_json plans));
+        ("cache", cache_json t);
+        ( "slow_requests",
+          match t.tel with
+          | Some tel -> slow_requests_json tel
+          | None -> Trace.Arr [] );
+      ]
+  in
+  Trace.json_to_string o
+
+let handle_frame ?rid t bytes =
+  let rid = match rid with Some r -> r | None -> next_rid t in
+  let reply =
     try
+      let t_parse0 = if Trace.enabled () then Trace.now_ns () else 0 in
       let kind, payload = Protocol.parse_frame bytes in
-      if kind <> 'Q' then
+      match kind with
+      | 'Q' ->
+        let req = Protocol.decode_request payload in
+        if t_parse0 <> 0 then
+          Trace.emit_span ~cat:"serve"
+            ~args:[ ("rid", string_of_int rid); ("app", req.Protocol.app) ]
+            ~t_start_ns:t_parse0 ~t_end_ns:(Trace.now_ns ()) "serve.parse";
+        `Resp (submit ~rid t req)
+      | 'S' ->
+        Protocol.decode_stats_request payload;
+        Metrics.bumpn "serve/stats";
+        `Stats (stats_json t)
+      | k ->
         Err.failf Err.IO ~stage:"serve"
-          "Protocol: expected a request frame, got %C" kind;
-      submit t (Protocol.decode_request payload)
+          "Protocol: expected a request frame, got %C" k
     with e ->
       Metrics.bumpn "serve/invalid";
-      Protocol.Err_response (Err.of_exn e)
+      `Resp (Protocol.Err_response (Err.of_exn e))
   in
-  Protocol.encode_response resp
+  match reply with
+  | `Resp r -> Protocol.encode_response r
+  | `Stats j -> Protocol.encode_stats_response j
 
 let await_warm t =
   let autos =
@@ -414,4 +848,8 @@ let stop t =
     t.dispatcher <- None;
     Domain.join d);
   await_warm t;
+  (match t.tel with
+  | Some { log = Some oc; lmu; _ } ->
+    Mutex.protect lmu (fun () -> try close_out oc with _ -> ())
+  | _ -> ());
   Rt.Pool.shutdown t.pool

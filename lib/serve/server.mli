@@ -16,10 +16,20 @@
     drains faster; past [max_depth] it is rejected with a structured
     error.  Shed before queue, reject before hang.
 
-    Counters (when {!Polymage_util.Metrics} is enabled):
+    Telemetry comes in two separately gated layers.  Counters and
+    gauges (when {!Polymage_util.Metrics} is enabled):
     [serve/requests], [serve/responses], [serve/batched], [serve/shed],
-    [serve/rejected], [serve/invalid], [serve/degraded],
-    [serve/queue_depth] and [serve/served/<tier>]. *)
+    [serve/rejected], [serve/invalid], [serve/degraded], [serve/stats],
+    [serve/served/<tier>], and the [serve/queue_depth] and
+    [serve/connections] gauges with their [_peak] watermarks.  The
+    serve-local layer (gated on [config.telemetry]): per-plan request
+    accounting, lock-free latency histograms for queue-wait, exec and
+    end-to-end time — per plan and globally — a fixed-size ring of
+    recent requests from which the slowest are reported, and an
+    optional JSONL access log.  All of it is exposed as a
+    schema-versioned JSON snapshot over the ['S'] stats frame
+    ({!stats_json}).  With [telemetry = false] the request path takes
+    no clock readings and touches no histogram. *)
 
 module Exec_tier = Polymage_backend.Exec_tier
 
@@ -33,27 +43,48 @@ type config = {
   shed_depth : int;  (** queue depth at which requests are shed *)
   max_depth : int;  (** queue depth at which requests are rejected *)
   cache_dir : string option;  (** shared artifact cache directory *)
+  telemetry : bool;
+      (** histograms, per-plan counters, slow-request ring, access
+          log; off = no per-request clock readings *)
+  access_log : string option;
+      (** append one JSONL record per completed request (requires
+          [telemetry]) *)
 }
 
 val default_config : ?cache_dir:string -> unit -> config
 (** [Auto] tier, 2 workers, batches of 8 with no window, shed at 64,
-    reject at 256. *)
+    reject at 256, telemetry on, no access log. *)
 
 type t
 
 val create : config -> t
-(** Start the dispatcher domain and the shared pool. *)
+(** Start the dispatcher domain and the shared pool; open the access
+    log when configured. *)
 
-val submit : t -> Protocol.request -> Protocol.response
+val next_rid : t -> int
+(** Allocate the next request id — the listener draws one per incoming
+    frame so the id spans accept through respond. *)
+
+val submit : ?rid:int -> t -> Protocol.request -> Protocol.response
 (** Resolve, admit, enqueue and wait for the response.  Thread-safe;
     callable from any domain.  Never raises: every failure — unknown
     app or parameter, malformed or mismatched image blob, admission
     rejection, execution error — comes back as [Err_response]. *)
 
-val handle_frame : t -> bytes -> bytes
-(** Frame-level entry point: parse a ['Q'] frame, {!submit}, encode
-    the response frame.  Malformed frames yield encoded ['E'] frames;
-    never raises. *)
+val handle_frame : ?rid:int -> t -> bytes -> bytes
+(** Frame-level entry point: parse a ['Q'] frame and {!submit} it, or
+    answer an ['S'] stats frame with a ['T'] snapshot.  Malformed
+    frames — including an ['S'] with a non-empty payload — yield
+    encoded ['E'] frames; never raises. *)
+
+val stats_json : t -> string
+(** The live stats snapshot as a compact JSON document
+    ([schema_version] 1): uptime, connection and queue gauges with
+    peaks, [serve/*] counters, global and per-plan latency quantiles
+    (queue-wait / exec / end-to-end, in ms), per-plan
+    request/batched/shed/rejected/error counts with tier state and
+    pinned artifact, cache trust totals, and the slowest recent
+    requests. *)
 
 val await_warm : t -> unit
 (** Join every plan's background compile ([Auto] tier); after this,
@@ -61,4 +92,5 @@ val await_warm : t -> unit
 
 val stop : t -> unit
 (** Drain the queue, join the dispatcher and background compiles, shut
-    the pool down.  Requests submitted after [stop] are rejected. *)
+    the pool down and close the access log.  Requests submitted after
+    [stop] are rejected. *)

@@ -1,0 +1,169 @@
+(* Lock-free log-bucketed histogram, HdrHistogram-style.
+
+   Bucket layout for [m = sub_bits], [sc = 2^m]:
+     index 0 .. sc-1            value v = index        (width 1, exact)
+     octave o = 0, 1, ...       values [2^(m+o), 2^(m+o+1)) split into
+                                [sc] sub-buckets of width [2^o]
+   A bucket in octave [o] with sub-index [s] spans
+   [(sc+s) * 2^o .. (sc+s+1) * 2^o - 1], so width / lower-bound is
+   [1 / (sc+s) <= 2^-m]; quantiles report the midpoint, for a
+   worst-case relative error of [2^-(m+1)].
+
+   OCaml ints are 63-bit, so the highest bit position is 61 and the
+   octave count is [62 - m]: the array has [sc * (63 - m)] buckets —
+   1856 at the default [m = 5], one cache-friendly block of atomics
+   covering the full non-negative int range with ~1.6% error. *)
+
+type t = {
+  m : int;  (* sub_bits *)
+  buckets : int Atomic.t array;
+  n : int Atomic.t;  (* total observations *)
+  s : int Atomic.t;  (* sum of observations *)
+  mn : int Atomic.t;  (* max_int when empty *)
+  mx : int Atomic.t;  (* -1 when empty *)
+}
+
+let create ?(sub_bits = 5) () =
+  let m = if sub_bits < 1 then 1 else if sub_bits > 8 then 8 else sub_bits in
+  let size = (1 lsl m) * (63 - m) in
+  {
+    m;
+    buckets = Array.init size (fun _ -> Atomic.make 0);
+    n = Atomic.make 0;
+    s = Atomic.make 0;
+    mn = Atomic.make max_int;
+    mx = Atomic.make (-1);
+  }
+
+let sub_bits t = t.m
+let error_bound t = 1. /. float_of_int (2 lsl t.m)
+
+(* position of the highest set bit of [v > 0], branch cascade *)
+let high_bit v =
+  let k = ref 0 and x = ref v in
+  if !x lsr 32 <> 0 then (k := !k + 32; x := !x lsr 32);
+  if !x lsr 16 <> 0 then (k := !k + 16; x := !x lsr 16);
+  if !x lsr 8 <> 0 then (k := !k + 8; x := !x lsr 8);
+  if !x lsr 4 <> 0 then (k := !k + 4; x := !x lsr 4);
+  if !x lsr 2 <> 0 then (k := !k + 2; x := !x lsr 2);
+  if !x lsr 1 <> 0 then incr k;
+  !k
+
+let bucket_index m v =
+  let sc = 1 lsl m in
+  if v < sc then v
+  else
+    let o = high_bit v - m in
+    (* sub-index within the octave: top [m+1] bits of v, less the
+       leading one *)
+    (sc * (o + 1)) + ((v lsr o) - sc)
+
+(* lower bound and width of bucket [i] *)
+let bucket_bounds m i =
+  let sc = 1 lsl m in
+  if i < sc then (i, 1)
+  else
+    let j = i - sc in
+    let o = j / sc and s = j mod sc in
+    ((sc + s) lsl o, 1 lsl o)
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add t.buckets.(bucket_index t.m v) 1);
+  ignore (Atomic.fetch_and_add t.n 1);
+  ignore (Atomic.fetch_and_add t.s v);
+  atomic_min t.mn v;
+  atomic_max t.mx v
+
+let count t = Atomic.get t.n
+let sum t = Atomic.get t.s
+let min_value t = if Atomic.get t.n = 0 then 0 else Atomic.get t.mn
+let max_value t = if Atomic.get t.n = 0 then 0 else Atomic.get t.mx
+
+let reset t =
+  Array.iter (fun b -> Atomic.set b 0) t.buckets;
+  Atomic.set t.n 0;
+  Atomic.set t.s 0;
+  Atomic.set t.mn max_int;
+  Atomic.set t.mx (-1)
+
+let merge a b =
+  if a.m <> b.m then
+    invalid_arg
+      (Printf.sprintf "Histogram.merge: sub_bits mismatch (%d vs %d)" a.m b.m);
+  let r = create ~sub_bits:a.m () in
+  Array.iteri
+    (fun i bk ->
+      Atomic.set r.buckets.(i) (Atomic.get bk + Atomic.get b.buckets.(i)))
+    a.buckets;
+  Atomic.set r.n (Atomic.get a.n + Atomic.get b.n);
+  Atomic.set r.s (Atomic.get a.s + Atomic.get b.s);
+  Atomic.set r.mn (min (Atomic.get a.mn) (Atomic.get b.mn));
+  Atomic.set r.mx (max (Atomic.get a.mx) (Atomic.get b.mx));
+  r
+
+type snapshot = {
+  s_sub_bits : int;
+  total : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  buckets : (int * int * int) list;
+}
+
+let snapshot (t : t) =
+  let buckets = ref []
+  and total = ref 0 in
+  for i = Array.length t.buckets - 1 downto 0 do
+    let c = Atomic.get t.buckets.(i) in
+    if c > 0 then begin
+      let lo, w = bucket_bounds t.m i in
+      buckets := (lo, lo + w - 1, c) :: !buckets;
+      total := !total + c
+    end
+  done;
+  {
+    s_sub_bits = t.m;
+    (* bucket-sum, not the [n] atomic: keeps the snapshot
+       self-consistent even when taken mid-record *)
+    total = !total;
+    s_sum = Atomic.get t.s;
+    s_min = (if !total = 0 then 0 else Atomic.get t.mn);
+    s_max = (if !total = 0 then 0 else Atomic.get t.mx);
+    buckets = !buckets;
+  }
+
+let quantile s q =
+  if s.total = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int s.total)) in
+      if r < 1 then 1 else if r > s.total then s.total else r
+    in
+    let rec walk cum = function
+      | [] -> float_of_int s.s_max (* unreachable: ranks <= total *)
+      | (lo, hi, c) :: rest ->
+        let cum = cum + c in
+        if cum >= rank then begin
+          let mid = (float_of_int lo +. float_of_int hi) /. 2. in
+          (* clamping to the observed extremes only tightens the
+             midpoint toward the true rank value *)
+          let mid = if mid < float_of_int s.s_min then float_of_int s.s_min else mid in
+          if mid > float_of_int s.s_max then float_of_int s.s_max else mid
+        end
+        else walk cum rest
+    in
+    walk 0 s.buckets
+  end
+
+let mean s =
+  if s.total = 0 then 0. else float_of_int s.s_sum /. float_of_int s.total

@@ -1,0 +1,80 @@
+(** Lock-free log-bucketed latency histograms (HdrHistogram-style).
+
+    A histogram is a fixed array of atomic bucket counters over the
+    non-negative integers.  Values below [2^sub_bits] get their own
+    width-1 bucket (exact); above that, each power-of-two octave is
+    split into [2^sub_bits] equal sub-buckets, so a bucket's width
+    divided by its lower bound never exceeds [2^-sub_bits].  Quantile
+    estimates report a bucket's midpoint, halving that worst case: the
+    documented relative error bound is [2^-(sub_bits+1)] — about 1.6%
+    at the default [sub_bits = 5] — see {!error_bound}.
+
+    [record] is O(1) and lock-free: one bucket index computation and a
+    handful of atomic read-modify-writes, no allocation.  Any number
+    of domains may record concurrently; every recorded value lands in
+    exactly one bucket, so the bucket counts always sum to {!count}
+    once recorders quiesce.  {!snapshot} taken during concurrent
+    recording is internally consistent enough for monitoring (each
+    counter is read atomically) but is not a point-in-time cut. *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+(** A fresh histogram.  [sub_bits] (default 5, clamped to [1..8])
+    fixes the bucket resolution and therefore {!error_bound}. *)
+
+val sub_bits : t -> int
+
+val error_bound : t -> float
+(** Worst-case relative error of quantile estimates: [2^-(sub_bits+1)].
+    Values below [2^sub_bits] are reported exactly. *)
+
+val record : t -> int -> unit
+(** Record one observation.  Negative values clamp to 0.  Lock-free,
+    O(1), allocation-free. *)
+
+val count : t -> int
+(** Total observations recorded. *)
+
+val sum : t -> int
+(** Sum of all recorded values (after clamping). *)
+
+val min_value : t -> int
+(** Smallest recorded value; 0 when empty. *)
+
+val max_value : t -> int
+(** Largest recorded value; 0 when empty. *)
+
+val reset : t -> unit
+(** Zero every bucket and the count/sum/min/max.  Not atomic with
+    respect to concurrent recorders: records racing a reset may or may
+    not survive it, but the histogram stays internally consistent. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a new histogram holding every observation of both.
+    Associative and commutative up to snapshots.
+    @raise Invalid_argument when [sub_bits] differ. *)
+
+(** {1 Snapshots and quantiles} *)
+
+type snapshot = {
+  s_sub_bits : int;
+  total : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  buckets : (int * int * int) list;
+      (** non-empty buckets, ascending: (lower bound, upper bound
+          inclusive, count) *)
+}
+
+val snapshot : t -> snapshot
+
+val quantile : snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([0. <= q <= 1.]) as the
+    midpoint of the bucket holding the rank-[ceil q*total] value,
+    clamped to the observed [s_min]/[s_max].  0 when empty.  Within
+    {!error_bound} of the exact sorted quantile. *)
+
+val mean : snapshot -> float
+(** Exact mean from [s_sum]/[total]; 0 when empty. *)

@@ -1,9 +1,14 @@
-(* Named monotonic counters.  Counters live in a global registry;
-   bumping is an atomic increment gated on a single atomic flag load,
-   so instrumentation in hot loops is free when metrics are off.
-   Counter handles stay valid across [reset] (values return to 0). *)
+(* Named monotonic counters and level gauges.  Both live in global
+   registries; updates are atomic operations gated on a single atomic
+   flag load, so instrumentation in hot loops is free when metrics are
+   off.  Handles stay valid across [reset] (values return to 0).
+
+   A gauge is a level, not a rate: it goes up and down (queue depth,
+   live connections) and remembers its high-water mark, which CAS-
+   ratchets upward on every update. *)
 
 type counter = { cname : string; v : int Atomic.t }
+type gauge = { gname : string; g : int Atomic.t; gpeak : int Atomic.t }
 
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
@@ -35,12 +40,68 @@ let bump c = add c 1
 let addn name n = if enabled () then ignore (Atomic.fetch_and_add (counter name).v n)
 let bumpn name = addn name 1
 
+(* ---- gauges ---- *)
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge name =
+  Mutex.lock registry_mutex;
+  let g =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+      let g = { gname = name; g = Atomic.make 0; gpeak = Atomic.make 0 } in
+      Hashtbl.add gauges name g;
+      g
+  in
+  Mutex.unlock registry_mutex;
+  g
+
+let gauge_name g = g.gname
+let gauge_value g = Atomic.get g.g
+let gauge_peak g = Atomic.get g.gpeak
+
+let rec ratchet_peak g v =
+  let cur = Atomic.get g.gpeak in
+  if v > cur && not (Atomic.compare_and_set g.gpeak cur v) then
+    ratchet_peak g v
+
+let gauge_set g v =
+  if enabled () then begin
+    Atomic.set g.g v;
+    ratchet_peak g v
+  end
+
+let gauge_add g n =
+  if enabled () then begin
+    let v = Atomic.fetch_and_add g.g n + n in
+    ratchet_peak g v
+  end
+
+let gauge_setn name v = if enabled () then gauge_set (gauge name) v
+let gauge_addn name n = if enabled () then gauge_add (gauge name) n
+
+let peak_suffix = "_peak"
+
+(* [get] resolves counters first, then gauge levels, then — for names
+   ending in "_peak" — the matching gauge's high-water mark, so
+   "serve/queue_depth" kept its meaning when it migrated from a
+   counter to a gauge. *)
 let get name =
   Mutex.lock registry_mutex;
   let v =
     match Hashtbl.find_opt registry name with
     | Some c -> Atomic.get c.v
-    | None -> 0
+    | None -> (
+      match Hashtbl.find_opt gauges name with
+      | Some g -> Atomic.get g.g
+      | None ->
+        let n = String.length name and pn = String.length peak_suffix in
+        if n > pn && String.sub name (n - pn) pn = peak_suffix then
+          match Hashtbl.find_opt gauges (String.sub name 0 (n - pn)) with
+          | Some g -> Atomic.get g.gpeak
+          | None -> 0
+        else 0)
   in
   Mutex.unlock registry_mutex;
   v
@@ -50,10 +111,23 @@ let snapshot () =
   let all =
     Hashtbl.fold (fun _ c acc -> (c.cname, Atomic.get c.v) :: acc) registry []
   in
+  let all =
+    Hashtbl.fold
+      (fun _ g acc ->
+        (g.gname, Atomic.get g.g)
+        :: (g.gname ^ peak_suffix, Atomic.get g.gpeak)
+        :: acc)
+      gauges all
+  in
   Mutex.unlock registry_mutex;
   List.sort compare (List.filter (fun (_, v) -> v <> 0) all)
 
 let reset () =
   Mutex.lock registry_mutex;
   Hashtbl.iter (fun _ c -> Atomic.set c.v 0) registry;
+  Hashtbl.iter
+    (fun _ g ->
+      Atomic.set g.g 0;
+      Atomic.set g.gpeak 0)
+    gauges;
   Mutex.unlock registry_mutex

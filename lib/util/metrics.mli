@@ -1,9 +1,10 @@
-(** Named monotonic counters with a global registry.  Bumps are atomic
-    increments gated on one atomic flag load — free in hot loops when
-    metrics are disabled.  Counter handles remain valid across
-    {!reset}. *)
+(** Named monotonic counters and level gauges with a global registry.
+    Updates are atomic operations gated on one atomic flag load — free
+    in hot loops when metrics are disabled.  Handles remain valid
+    across {!reset}. *)
 
 type counter
+type gauge
 
 val enabled : unit -> bool
 val enable : unit -> unit
@@ -26,11 +27,42 @@ val bumpn : string -> unit
 
 val addn : string -> int -> unit
 
+(** {1 Gauges}
+
+    A gauge tracks a level that rises and falls — queue depth, live
+    connections — and ratchets a peak watermark upward on every
+    update.  Like counters, updates are no-ops while disabled. *)
+
+val gauge : string -> gauge
+(** Find or create the gauge registered under [name]. *)
+
+val gauge_name : gauge -> string
+
+val gauge_value : gauge -> int
+(** Current level. *)
+
+val gauge_peak : gauge -> int
+(** Highest level ever set while enabled (since the last {!reset}). *)
+
+val gauge_set : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+
+val gauge_setn : string -> int -> unit
+(** [gauge_setn name v] = [gauge_set (gauge name) v], but does not
+    touch the registry when disabled. *)
+
+val gauge_addn : string -> int -> unit
+
+(** {1 Reading} *)
+
 val get : string -> int
-(** Current value of a named counter (0 if never created). *)
+(** Current value of a named counter or gauge (0 if never created).
+    For a name ending in ["_peak"] with no counter or gauge of its
+    own, the matching gauge's peak watermark. *)
 
 val snapshot : unit -> (string * int) list
-(** All non-zero counters, sorted by name. *)
+(** All non-zero counters and gauges, sorted by name; each gauge also
+    contributes its ["<name>_peak"] watermark. *)
 
 val reset : unit -> unit
-(** Zero every counter; handles stay valid. *)
+(** Zero every counter, gauge and peak; handles stay valid. *)

@@ -90,6 +90,17 @@ let instant ?(cat = "event") ?(args = []) name =
   if enabled () then
     emit (Instant { name; cat; args; t_ns = now_ns (); tid = tid () })
 
+(* A span whose endpoints were measured elsewhere — e.g. queue wait,
+   where the enqueue happens on the submitting domain and the dequeue
+   on the dispatcher.  Emitted at the current domain's nesting depth
+   without entering a scope of its own. *)
+let emit_span ?(cat = "phase") ?(args = []) ~t_start_ns ~t_end_ns name =
+  if enabled () then begin
+    let t_end_ns = if t_end_ns < t_start_ns then t_start_ns else t_end_ns in
+    let depth = !(Domain.DLS.get depth_key) in
+    emit (Span { name; cat; args; t_start_ns; t_end_ns; tid = tid (); depth })
+  end
+
 let with_span ?(cat = "phase") ?(args = []) name f =
   if not (enabled ()) then f ()
   else begin

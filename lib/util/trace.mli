@@ -41,6 +41,19 @@ val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -
 val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 (** Record a point-in-time event when tracing is enabled. *)
 
+val emit_span :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  t_start_ns:int ->
+  t_end_ns:int ->
+  string ->
+  unit
+(** Record a span with explicitly measured endpoints — for intervals
+    whose start and end were observed on different domains (e.g. queue
+    wait between enqueue and dispatch).  [t_end_ns] is clamped up to
+    [t_start_ns]; the span carries the emitting domain's id and
+    current nesting depth. *)
+
 val now_ns : unit -> int
 (** Monotonic (non-decreasing) wall-clock nanoseconds. *)
 

@@ -1,0 +1,167 @@
+(* The latency histogram: quantile estimates against exact sorted
+   quantiles (within the documented bucket error bound), bucket
+   invariants, merge associativity up to snapshots, and total-count
+   preservation under concurrent recorders. *)
+module H = Polymage_util.Histogram
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* Latency-shaped values: mostly small, with octave-spanning spikes so
+   every bucket regime (exact sub-[2^m] buckets and log buckets across
+   many octaves) gets exercised. *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        int_range 0 31;
+        int_range 0 1_000;
+        int_range 1_000 1_000_000;
+        map (fun x -> x * 10_007) (int_range 1 200_000);
+      ])
+
+let values_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_int l))
+    QCheck.Gen.(list_size (int_range 1 300) value_gen)
+
+(* The estimator's own rank definition: the q-quantile of n sorted
+   values is element [ceil (q*n)] (1-based), clamped into [1, n]. *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  let rank = max 1 (min n rank) in
+  float_of_int sorted.(rank - 1)
+
+let fill values =
+  let h = H.create () in
+  List.iter (H.record h) values;
+  h
+
+let quantile_props =
+  let within_bound values q =
+    let h = fill values in
+    let eb = H.error_bound h in
+    let sorted = Array.of_list values in
+    Array.sort compare sorted;
+    let ex = exact_quantile sorted q in
+    let est = H.quantile (H.snapshot h) q in
+    abs_float (est -. ex) <= (eb *. ex) +. 1e-9
+  in
+  [
+    prop "p50 within the error bound" 300 values_arb (fun vs ->
+        within_bound vs 0.5);
+    prop "p90 within the error bound" 300 values_arb (fun vs ->
+        within_bound vs 0.9);
+    prop "p99 within the error bound" 300 values_arb (fun vs ->
+        within_bound vs 0.99);
+    prop "count/sum/min/max are exact" 300 values_arb (fun vs ->
+        let h = fill vs in
+        H.count h = List.length vs
+        && H.sum h = List.fold_left ( + ) 0 vs
+        && H.min_value h = List.fold_left min max_int vs
+        && H.max_value h = List.fold_left max 0 vs);
+    prop "snapshot buckets are disjoint, ascending, and sum to count" 300
+      values_arb
+      (fun vs ->
+        let h = fill vs in
+        let s = H.snapshot h in
+        let rec ok prev_hi total = function
+          | [] -> total = s.H.total
+          | (lo, hi, c) :: rest ->
+            lo > prev_hi && hi >= lo && c > 0 && ok hi (total + c) rest
+        in
+        s.H.total = List.length vs && ok (-1) 0 s.H.buckets);
+    prop "every value lands in a bucket that contains it" 300 values_arb
+      (fun vs ->
+        let h = fill vs in
+        let s = H.snapshot h in
+        List.for_all
+          (fun v ->
+            List.exists (fun (lo, hi, _) -> lo <= v && v <= hi) s.H.buckets)
+          vs);
+  ]
+
+let merge_props =
+  let arb = QCheck.triple values_arb values_arb values_arb in
+  let snap_eq a b =
+    let sa = H.snapshot a and sb = H.snapshot b in
+    sa.H.total = sb.H.total && sa.H.s_sum = sb.H.s_sum
+    && sa.H.s_min = sb.H.s_min && sa.H.s_max = sb.H.s_max
+    && sa.H.buckets = sb.H.buckets
+  in
+  [
+    prop "merge is associative up to snapshots" 200 arb (fun (x, y, z) ->
+        let a = fill x and b = fill y and c = fill z in
+        snap_eq (H.merge (H.merge a b) c) (H.merge a (H.merge b c)));
+    prop "merge is commutative up to snapshots" 200
+      (QCheck.pair values_arb values_arb)
+      (fun (x, y) ->
+        let a = fill x and b = fill y in
+        snap_eq (H.merge a b) (H.merge b a));
+    prop "merge equals recording the concatenation" 200
+      (QCheck.pair values_arb values_arb)
+      (fun (x, y) ->
+        snap_eq (H.merge (fill x) (fill y)) (fill (x @ y)));
+  ]
+
+let histogram_units () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check (float 0.)) "empty quantile" 0.
+    (H.quantile (H.snapshot h) 0.5);
+  Alcotest.(check (float 0.)) "empty mean" 0. (H.mean (H.snapshot h));
+  H.record h (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (H.min_value h);
+  Alcotest.(check int) "clamped value counted" 1 (H.count h);
+  H.record h 7;
+  (* sub-[2^sub_bits] values are exact: a width-1 bucket's midpoint is
+     the value itself *)
+  Alcotest.(check (float 0.)) "small values exact" 7.
+    (H.quantile (H.snapshot h) 1.0);
+  H.reset h;
+  Alcotest.(check int) "reset zeroes count" 0 (H.count h);
+  Alcotest.(check int) "reset zeroes max" 0 (H.max_value h);
+  Alcotest.(check int) "sub_bits clamps high" 8 (H.sub_bits (H.create ~sub_bits:12 ()));
+  Alcotest.(check int) "sub_bits clamps low" 1 (H.sub_bits (H.create ~sub_bits:0 ()));
+  Alcotest.(check (float 1e-12)) "error bound at default resolution"
+    (1. /. 64.)
+    (H.error_bound (H.create ()));
+  (* max_int must not overflow the bucket index computation *)
+  let big = H.create () in
+  H.record big max_int;
+  Alcotest.(check int) "max_int records" 1 (H.count big);
+  Alcotest.(check int) "max_int is the max" max_int (H.max_value big);
+  Alcotest.check_raises "merge rejects mismatched resolutions"
+    (Invalid_argument "Histogram.merge: sub_bits mismatch (5 vs 3)") (fun () ->
+      ignore (H.merge (H.create ()) (H.create ~sub_bits:3 ())))
+
+(* 8 domains hammer one histogram; every record must land in exactly
+   one bucket, so once they join the totals are exact. *)
+let concurrent_records () =
+  let domains = 8 and per_domain = 20_000 in
+  let h = H.create () in
+  let doms =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              (* deterministic, domain-distinct values across octaves *)
+              H.record h ((i * (d + 1)) land 0xFFFFF)
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "total count preserved under 8 domains"
+    (domains * per_domain) (H.count h);
+  let s = H.snapshot h in
+  Alcotest.(check int) "bucket counts sum to the total"
+    (domains * per_domain)
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 s.H.buckets)
+
+let suite =
+  ( "histogram",
+    [
+      Alcotest.test_case "histogram units" `Quick histogram_units;
+      Alcotest.test_case "concurrent records preserve the count" `Slow
+        concurrent_records;
+    ]
+    @ quantile_props @ merge_props )

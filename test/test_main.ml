@@ -2,6 +2,7 @@ let () =
   Alcotest.run "polymage"
     [
       Test_util.suite;
+      Test_histogram.suite;
       Test_ir.suite;
       Test_dsl.suite;
       Test_poly.suite;

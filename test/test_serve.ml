@@ -14,6 +14,7 @@ module Apps = Polymage_apps.Apps
 module App = Polymage_apps.App
 module Err = Polymage_util.Err
 module Metrics = Polymage_util.Metrics
+module Trace = Polymage_util.Trace
 module Toolchain = Polymage_backend.Toolchain
 module Backend = Polymage_backend.Backend
 module Exec_tier = Polymage_backend.Exec_tier
@@ -653,6 +654,231 @@ let listener_client_early_close () =
   Unix.close fd;
   Domain.join accept_dom
 
+(* ---- the 'S' stats frame: a mixed-app soak, then the snapshot must
+   agree with the oracle — end-to-end histogram count equals
+   serve/requests, per-plan counters match what we actually sent — and
+   a malformed stats frame gets a structured 'E' with the server still
+   serving ---- *)
+
+let jfield what name j =
+  match j with
+  | Trace.Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> Alcotest.failf "%s: missing field %S" what name)
+  | _ -> Alcotest.failf "%s: expected an object holding %S" what name
+
+let jint what name j =
+  match jfield what name j with
+  | Trace.Num n -> int_of_float n
+  | _ -> Alcotest.failf "%s: field %S is not a number" what name
+
+let jstr what name j =
+  match jfield what name j with
+  | Trace.Str s -> s
+  | _ -> Alcotest.failf "%s: field %S is not a string" what name
+
+let fetch_stats server =
+  let reply = Server.handle_frame server (Protocol.encode_stats_request ()) in
+  let kind, payload = Protocol.parse_frame reply in
+  Alcotest.(check char) "stats frame kind" 'T' kind;
+  match Trace.parse_json (Protocol.decode_stats_response payload) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "stats JSON does not parse: %s" e
+
+let stats_roundtrip () =
+  with_metrics @@ fun () ->
+  with_server (native_cfg ()) @@ fun server ->
+  let unsharp = Apps.find "unsharp_mask" and harris = Apps.find "harris" in
+  let req_u, _ = request_for unsharp unsharp.App.small_env in
+  let req_h, _ = request_for harris harris.App.small_env in
+  let n_unsharp = 5 and n_harris = 3 in
+  let ok what = function
+    | Protocol.Ok_response _ -> ()
+    | Protocol.Err_response e ->
+      Alcotest.failf "%s failed: %s" what (Err.to_string e)
+  in
+  for _ = 1 to n_unsharp do
+    ok "unsharp" (Server.submit server req_u)
+  done;
+  for _ = 1 to n_harris do
+    ok "harris" (Server.submit server req_h)
+  done;
+  (* one invalid request: counted in serve/requests and the end-to-end
+     histogram, attributed to no plan *)
+  (match Server.submit server { req_u with Protocol.app = "nope" } with
+  | Protocol.Err_response _ -> ()
+  | Protocol.Ok_response _ -> Alcotest.fail "unknown app served");
+  let j = fetch_stats server in
+  Alcotest.(check int) "schema version" 1 (jint "stats" "schema_version" j);
+  Alcotest.(check string) "service name" "polymage-serve"
+    (jstr "stats" "service" j);
+  (match jfield "stats" "telemetry" j with
+  | Trace.Bool true -> ()
+  | _ -> Alcotest.fail "telemetry should be on by default");
+  let requests = Metrics.get "serve/requests" in
+  Alcotest.(check int) "oracle request count"
+    (n_unsharp + n_harris + 1)
+    requests;
+  (* the acceptance invariant: every request — served, shed, rejected
+     or invalid — lands in the end-to-end histogram exactly once *)
+  let e2e = jfield "stats" "e2e_ms" (jfield "stats" "histograms" j) in
+  Alcotest.(check int) "e2e histogram count equals serve/requests" requests
+    (jint "histograms" "count" e2e);
+  Alcotest.(check bool) "e2e p99 is positive" true
+    (match jfield "e2e" "p99_ms" e2e with
+    | Trace.Num n -> n > 0.
+    | _ -> false);
+  (* per-plan counters match the oracle *)
+  let plans =
+    match jfield "stats" "plans" j with
+    | Trace.Arr ps -> ps
+    | _ -> Alcotest.fail "plans is not an array"
+  in
+  Alcotest.(check int) "two plans built" 2 (List.length plans);
+  let plan_of app =
+    match List.find_opt (fun p -> jstr "plan" "app" p = app) plans with
+    | Some p -> p
+    | None -> Alcotest.failf "no plan entry for %s" app
+  in
+  let pu = plan_of "unsharp_mask" and ph = plan_of "harris" in
+  Alcotest.(check int) "unsharp plan requests" n_unsharp
+    (jint "plan" "requests" pu);
+  Alcotest.(check int) "harris plan requests" n_harris
+    (jint "plan" "requests" ph);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "nothing shed" 0 (jint "plan" "shed" p);
+      Alcotest.(check int) "nothing rejected" 0 (jint "plan" "rejected" p);
+      Alcotest.(check int) "no errors" 0 (jint "plan" "errors" p);
+      let pe2e = jfield "plan" "e2e_ms" (jfield "plan" "histograms" p) in
+      Alcotest.(check int) "plan histogram counts executed requests"
+        (jint "plan" "requests" p)
+        (jint "plan-hist" "count" pe2e))
+    [ pu; ph ];
+  (* the queue is idle and the peak watermark saw at least one entry *)
+  let q = jfield "stats" "queue" j in
+  Alcotest.(check int) "queue drained" 0 (jint "queue" "depth" q);
+  Alcotest.(check bool) "queue peak recorded" true
+    (jint "queue" "peak" q >= 1);
+  (* slow-request ring holds our soak, slowest first *)
+  (match jfield "stats" "slow_requests" j with
+  | Trace.Arr (r0 :: _ as rs) ->
+    Alcotest.(check bool) "ring is bounded" true (List.length rs <= 8);
+    let t0 = jint "slow" "total_ms" r0 in
+    List.iter
+      (fun r ->
+        Alcotest.(check bool) "ring sorted slowest-first" true
+          (jint "slow" "total_ms" r <= t0))
+      rs
+  | Trace.Arr [] -> Alcotest.fail "slow-request ring is empty after a soak"
+  | _ -> Alcotest.fail "slow_requests is not an array");
+  (* a malformed stats frame — 'S' with a payload — is a structured
+     error, and the server keeps serving *)
+  let bad = Bytes.create (Protocol.header_bytes + 3) in
+  Bytes.blit_string Protocol.magic 0 bad 0 8;
+  Bytes.set bad 8 'S';
+  Bytes.set_int32_le bad 9 3l;
+  Bytes.blit_string "boo" 0 bad Protocol.header_bytes 3;
+  let e = expect_err "stats with payload" ~server (`Frame bad) in
+  Alcotest.(check bool) "malformed stats is IO" true (e.Err.phase = Err.IO);
+  ok "server still serves" (Server.submit server req_u);
+  let j' = fetch_stats server in
+  Alcotest.(check int) "stats still answers, count advanced"
+    (requests + 1)
+    (jint "histograms" "count"
+       (jfield "stats" "e2e_ms" (jfield "stats" "histograms" j')))
+
+(* With telemetry off the snapshot still answers — counters and live
+   gauges — but reports no histograms and no slow requests. *)
+let stats_telemetry_off () =
+  with_metrics @@ fun () ->
+  with_server { (native_cfg ()) with Server.telemetry = false }
+  @@ fun server ->
+  let app = Apps.find "unsharp_mask" in
+  let req, _ = request_for app app.App.small_env in
+  (match Server.submit server req with
+  | Protocol.Ok_response _ -> ()
+  | Protocol.Err_response e -> Alcotest.failf "%s" (Err.to_string e));
+  let j = fetch_stats server in
+  (match jfield "stats" "telemetry" j with
+  | Trace.Bool false -> ()
+  | _ -> Alcotest.fail "telemetry should report off");
+  (match jfield "stats" "histograms" j with
+  | Trace.Null -> ()
+  | _ -> Alcotest.fail "histograms should be null with telemetry off");
+  Alcotest.(check int) "counters still live" 1
+    (Metrics.get "serve/requests")
+
+(* The JSONL access log: one record per completed request, each line
+   its own JSON document with the fields the ops tooling keys on. *)
+let access_log_records () =
+  let log = Filename.temp_file "pm-serve-log" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove log with _ -> ())
+  @@ fun () ->
+  with_metrics @@ fun () ->
+  (with_server { (native_cfg ()) with Server.access_log = Some log }
+   @@ fun server ->
+   let app = Apps.find "unsharp_mask" in
+   let req, _ = request_for app app.App.small_env in
+   for _ = 1 to 3 do
+     match Server.submit server req with
+     | Protocol.Ok_response _ -> ()
+     | Protocol.Err_response e -> Alcotest.failf "%s" (Err.to_string e)
+   done);
+  let ic = open_in log in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one line per request" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Trace.parse_json line with
+      | Error e -> Alcotest.failf "access log line does not parse: %s" e
+      | Ok r ->
+        Alcotest.(check string) "log records the app" "unsharp_mask"
+          (jstr "log" "app" r);
+        Alcotest.(check string) "log records the outcome" "ok"
+          (jstr "log" "outcome" r);
+        Alcotest.(check bool) "log records a rid" true
+          (jint "log" "rid" r >= 0))
+    lines
+
+(* ---- client timeouts: a listener that accepts but never answers
+   must surface as a structured timeout, not a hang ---- *)
+
+let client_timeout () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pm-serve-timeout-%d.sock" (Unix.getpid ()))
+  in
+  (* a deliberately silent peer: bound and listening so connects
+     succeed, but nothing ever accepts or answers *)
+  let sock = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind sock (ADDR_UNIX path);
+  Unix.listen sock 4;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with _ -> ());
+      try Sys.remove path with _ -> ())
+  @@ fun () ->
+  let fd = Listener.connect ~timeout_ms:200 path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  match Listener.call_stats fd with
+  | _ -> Alcotest.fail "silent server should time the client out"
+  | exception Err.Polymage_error e ->
+    let dt = Unix.gettimeofday () -. t0 in
+    Alcotest.(check bool) "timeout is IO" true (e.Err.phase = Err.IO);
+    Alcotest.(check bool) "error says timed out" true
+      (contains e.Err.detail "timed out");
+    Alcotest.(check bool) "deadline honored (< 5s)" true (dt < 5.)
+
 (* Socket-file hygiene: binding refuses to steal a live daemon's
    address, but sweeps a stale socket file nobody answers on. *)
 let listener_socket_hygiene () =
@@ -705,6 +931,13 @@ let suite =
         serve_request_fault;
       Alcotest.test_case "warm server compiles nothing" `Slow
         warm_server_zero_compiles;
+      Alcotest.test_case "stats frame round trip" `Slow stats_roundtrip;
+      Alcotest.test_case "stats with telemetry off" `Quick
+        stats_telemetry_off;
+      Alcotest.test_case "access log records requests" `Quick
+        access_log_records;
+      Alcotest.test_case "client times out on a silent server" `Quick
+        client_timeout;
       Alcotest.test_case "unix-socket listener" `Quick
         listener_socket_roundtrip;
       Alcotest.test_case "client early close survives" `Quick

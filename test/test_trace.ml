@@ -364,6 +364,42 @@ let metrics_basics () =
   Metrics.bump c;
   Alcotest.(check int) "disabled bump is a no-op" 1 (Metrics.get "test/m")
 
+(* Gauges rise and fall while their peak watermark only ratchets up;
+   both show in snapshots and both zero on reset. *)
+let gauge_basics () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let g = Metrics.gauge "test/depth" in
+  Metrics.gauge_add g 3;
+  Metrics.gauge_add g 2;
+  Metrics.gauge_addn "test/depth" (-4);
+  Alcotest.(check int) "level tracks adds" 1 (Metrics.gauge_value g);
+  Alcotest.(check int) "peak is the high-water mark" 5
+    (Metrics.gauge_peak g);
+  Metrics.gauge_set g 4;
+  Alcotest.(check int) "set replaces the level" 4 (Metrics.gauge_value g);
+  Alcotest.(check int) "peak never falls" 5 (Metrics.gauge_peak g);
+  Metrics.gauge_setn "test/depth" 9;
+  Alcotest.(check int) "setn ratchets the peak" 9 (Metrics.gauge_peak g);
+  (* get resolves gauges and their _peak watermarks by name *)
+  Alcotest.(check int) "get reads the gauge" 9 (Metrics.get "test/depth");
+  Alcotest.(check int) "get reads the peak" 9 (Metrics.get "test/depth_peak");
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "snapshot has the gauge" true
+    (List.mem ("test/depth", 9) snap);
+  Alcotest.(check bool) "snapshot has the watermark" true
+    (List.mem ("test/depth_peak", 9) snap);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes the level" 0 (Metrics.gauge_value g);
+  Alcotest.(check int) "reset zeroes the peak" 0 (Metrics.gauge_peak g);
+  Metrics.disable ();
+  Metrics.gauge_add g 7;
+  Metrics.gauge_setn "test/depth" 7;
+  Alcotest.(check int) "disabled updates are no-ops" 0
+    (Metrics.gauge_value g);
+  Alcotest.(check int) "disabled updates leave the peak" 0
+    (Metrics.gauge_peak g)
+
 (* ---- suite ---- *)
 
 let gen_tree =
@@ -386,6 +422,7 @@ let suite =
   ( "trace",
     [
       Alcotest.test_case "metrics counter basics" `Quick metrics_basics;
+      Alcotest.test_case "metrics gauge basics" `Quick gauge_basics;
       Alcotest.test_case "disabled path records nothing" `Quick
         disabled_records_nothing;
       Alcotest.test_case "subscriber hook" `Quick subscriber_hook;
