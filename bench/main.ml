@@ -452,9 +452,48 @@ type tier_row = {
   r_dl_steady : float;  (* best warm in-process call *)
 }
 
-let backend_bench ~scale ~json () =
+(* The explicit-SIMD level this run's C backend will emit, as the
+   string the schema-v7 "isa" field records: the forced level, or for
+   auto whatever the toolchain/host probe resolves ("off" when the
+   probe finds nothing). *)
+let isa_name simd =
+  match simd with
+  | C.Options.Simd_auto -> (
+    match Toolchain.isa_lookup () with
+    | None -> "off"
+    | Some i -> Toolchain.isa_to_string i)
+  | C.Options.Simd_off -> "off"
+  | m -> C.Options.simd_mode_to_string m
+
+let backend_bench ~scale ~simd ~json ~compare_file ~tolerance () =
+  (* Vet the baseline before spending minutes measuring. *)
+  let isa = isa_name simd in
+  let baseline_file =
+    match compare_file with
+    | None -> None
+    | Some file -> (
+      match Regress.load file with
+      | Error e ->
+        Printf.eprintf "bench: cannot load baseline: %s\n" e;
+        exit 2
+      | Ok b ->
+        List.iter
+          (function
+            | Ok () -> ()
+            | Error msg ->
+              Printf.eprintf "bench: %s\n" msg;
+              exit 2)
+          [
+            Regress.check_backend b ~current:"c";
+            Regress.check_tier b ~current:"c-dlopen";
+            Regress.check_mode b ~current:"oneshot";
+            Regress.check_isa b ~current:isa;
+          ];
+        Some (file, b))
+  in
   hr ();
-  printf "Execution tiers vs native executor (opt+vec, scale %d)\n" scale;
+  printf "Execution tiers vs native executor (opt+vec, scale %d, simd %s)\n"
+    scale isa;
   printf "  first  = compile + first call (cold artifact cache)\n";
   printf "  steady = best warm call; c-subprocess pays spawn + blob I/O\n";
   printf "  per call, c-dlopen is an in-process function call\n";
@@ -470,7 +509,7 @@ let backend_bench ~scale ~json () =
       (Printf.sprintf "pm-bench-cache-%d" (Unix.getpid ()))
   in
   let measure (app : App.t) env =
-    let optv = C.Options.opt_vec ~estimates:env () in
+    let optv = C.Options.with_simd simd (C.Options.opt_vec ~estimates:env ()) in
     let native = native_median_ms ~repeats:5 app optv env in
     let plan = C.Compile.run optv ~outputs:app.outputs in
     let images = images_for app plan env in
@@ -537,15 +576,18 @@ let backend_bench ~scale ~json () =
           [ scale * 4; scale ])
       (Apps.all ())
   in
-  match json with
+  (match json with
   | None -> ()
   | Some file ->
+    (* Schema v7 adds the "isa" field: the explicit-SIMD level the
+       backend emitted for.  v1-v6 files still load — the reader
+       defaults the field to "". *)
     let b = Buffer.create 1024 in
     Buffer.add_string b
       (Printf.sprintf
-         "{\n  \"schema_version\": 4,\n  \"bench\": \"backend\",\n\
-         \  \"scale\": %d,\n%s  \"apps\": [\n"
-         scale
+         "{\n  \"schema_version\": 7,\n  \"bench\": \"backend\",\n\
+         \  \"scale\": %d,\n  \"isa\": \"%s\",\n%s  \"apps\": [\n"
+         scale isa
          (host_json ~backend:"c" ~tier:"c-dlopen" ~workers:1));
     List.iteri
       (fun i r ->
@@ -566,7 +608,40 @@ let backend_bench ~scale ~json () =
     let oc = open_out file in
     output_string oc (Buffer.contents b);
     close_out oc;
-    printf "  wrote %s\n" file
+    printf "  wrote %s\n" file);
+  match baseline_file with
+  | None -> ()
+  | Some (file, b) -> (
+    (* Only the tier-dispatch speedup ratio travels between machines;
+       absolute milliseconds do not.  This bench has two rows per app
+       (small and large size) and the comparator matches on
+       (app, metric), so the size is folded into the app name to keep
+       the cells distinct. *)
+    let is_ratio (m : Regress.measurement) =
+      m.metric = "dlopen_speedup_vs_subprocess"
+    in
+    let by_size (m : Regress.measurement) =
+      { m with Regress.app = m.app ^ " " ^ m.size }
+    in
+    let baseline = List.map by_size (List.filter is_ratio b.cells) in
+    let current =
+      List.map
+        (fun r ->
+          by_size
+            {
+              Regress.app = r.r_app;
+              size = r.r_size;
+              metric = "dlopen_speedup_vs_subprocess";
+              value = r.r_sub_steady /. r.r_dl_steady;
+              noise = 0.;
+            })
+        rows
+    in
+    let o = Regress.compare_cells ~tolerance ~baseline ~current () in
+    printf "\nregression gate vs %s (schema v%d, tolerance %.0f%%):\n" file
+      b.schema_version (100. *. tolerance);
+    Format.printf "%a@?" Regress.pp o;
+    if not (Regress.ok o) then exit 1)
 
 let kernels_bench ~scale ~json ~compare_file ~tolerance () =
   (* Load and vet the baseline up front: refusing a cross-backend or
@@ -814,6 +889,7 @@ let serve_bench ~scale ~json ~compare_file ~tolerance () =
             cache_dir = Some cache_dir;
             telemetry = false;
             access_log = None;
+            simd = C.Options.Simd_auto;
           }
       in
       Fun.protect ~finally:(fun () -> Srv.Server.stop server) @@ fun () ->
@@ -1053,6 +1129,7 @@ let serve_ab ~scale () =
             cache_dir = Some cache_dir;
             telemetry;
             access_log = None;
+            simd = C.Options.Simd_auto;
           }
       in
       let plan =
@@ -1126,6 +1203,112 @@ let serve_ab ~scale () =
           p50_off p50_on delta)
   end
 
+(* Interleaved SIMD A/B: the same plan compiled twice through the
+   c-dlopen tier — --simd auto vs --simd off — both canaried to
+   trusted and pinned, then timed in alternating rounds so machine
+   drift lands on both arms equally.  Runs the two fast-math-heavy
+   apps at >= 512x512 (the acceptance sizes); reports each arm's
+   steady p50 and the auto-over-off speedup. *)
+let simd_ab ~scale () =
+  hr ();
+  printf "SIMD A/B: c-dlopen steady state, --simd auto vs off, interleaved\n";
+  hr ();
+  if not (Toolchain.available ()) then
+    printf "  no C toolchain: SIMD A/B skipped\n"
+  else
+    match Toolchain.isa_lookup () with
+    | None -> printf "  no SIMD level probed (POLYMAGE_ISA=off?): A/B skipped\n"
+    | Some isa ->
+      printf "  resolved level: %s\n" (Toolchain.isa_to_string isa);
+      let cache_dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "pm-simd-ab-%d" (Unix.getpid ()))
+      in
+      List.iter
+        (fun name ->
+          let app = Apps.find name in
+          (* acceptance sizes: the scaled default, floored at 512 per
+             dimension (512 is a multiple of every pyramid step) *)
+          let env =
+            List.map
+              (fun (p, v) -> (p, max 512 (v / scale / 16 * 16)))
+              app.App.default_env
+          in
+          match
+            let arm simd =
+              let opts =
+                C.Options.with_simd simd (C.Options.opt_vec ~estimates:env ())
+              in
+              let plan = C.Compile.run opts ~outputs:app.outputs in
+              let images = images_for app plan env in
+              (* first run_dl compiles the arm's artifact (the SIMD
+                 level is part of the cache key) and canaries it to
+                 trusted; then pin it for dispatch-free calls *)
+              ignore (Backend.run_dl ~cache_dir plan env ~images);
+              let so, _, _, key, dir = Backend.compile_so ~cache_dir plan in
+              fun () ->
+                1000.
+                *. snd
+                     (time (fun () ->
+                          ignore
+                            (Backend.run_dl_pinned ~dir ~key ~so plan env
+                               ~images)))
+            in
+            let run_auto = arm C.Options.Simd_auto in
+            let run_off = arm C.Options.Simd_off in
+            let rounds = 12
+            and per_round = 3 in
+            let lat_auto = ref []
+            and lat_off = ref []
+            and ratios = ref [] in
+            let batch f =
+              let acc = ref [] in
+              for _ = 1 to per_round do
+                acc := f () :: !acc
+              done;
+              !acc
+            in
+            for r = 1 to rounds do
+              (* alternate which arm goes first each round *)
+              let a, o =
+                if r mod 2 = 0 then begin
+                  let o = batch run_off in
+                  let a = batch run_auto in
+                  (a, o)
+                end
+                else begin
+                  let a = batch run_auto in
+                  let o = batch run_off in
+                  (a, o)
+                end
+              in
+              lat_auto := a @ !lat_auto;
+              lat_off := o @ !lat_off;
+              (* pair the two arms within the round: machine-wide load
+                 drift on a shared box moves adjacent batches together,
+                 so the per-round ratio cancels it where a global
+                 percentile ratio would not (identical binaries measure
+                 1.0x under this estimator, ±10% under the global one) *)
+              ratios :=
+                percentile 0.50 (Array.of_list o)
+                /. percentile 0.50 (Array.of_list a)
+                :: !ratios
+            done;
+            let p50_auto = percentile 0.50 (Array.of_list !lat_auto)
+            and p50_off = percentile 0.50 (Array.of_list !lat_off)
+            and speedup = percentile 0.50 (Array.of_list !ratios) in
+            (p50_auto, p50_off, speedup)
+          with
+          | p50_auto, p50_off, speedup ->
+            printf
+              "  %-16s %9s | off %8.2f ms | auto %8.2f ms | speedup %.2fx\n"
+              app.App.name (env_desc env) p50_off p50_auto speedup
+          | exception e ->
+            printf "  %-16s %9s | failed: %s\n" app.App.name (env_desc env)
+              (Printexc.to_string e))
+        [ "bilateral_grid"; "local_laplacian" ]
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure)           *)
 (* ------------------------------------------------------------------ *)
@@ -1185,6 +1368,8 @@ let () =
   and run_abl = ref false
   and run_kern = ref false
   and run_backend = ref false
+  and run_simd_ab = ref false
+  and simd = ref C.Options.Simd_auto
   and backend_json = ref None
   and run_serve = ref false
   and run_serve_ab = ref false
@@ -1220,7 +1405,22 @@ let () =
             any := true;
             run_backend := true;
             backend_json := Some s),
-        "FILE  run the execution-tier bench and write its schema-v4 JSON" );
+        "FILE  run the execution-tier bench and write its schema-v7 JSON" );
+      ( "--simd",
+        Arg.String
+          (fun s ->
+            match C.Options.simd_mode_of_string s with
+            | Some m -> simd := m
+            | None ->
+              Printf.eprintf
+                "bench: unknown --simd %S (auto, off, sse2, avx2, avx512)\n" s;
+              exit 2),
+        "LEVEL  explicit SIMD for the compiled-C benches: auto (default), \
+         off, sse2, avx2, avx512" );
+      ( "--simd-ab",
+        Arg.Unit (set run_simd_ab),
+        "interleaved c-dlopen steady-state A/B of --simd auto vs off on the \
+         fast-math-heavy apps" );
       ( "--serve-bench",
         Arg.Unit (set run_serve),
         "request-latency percentiles through the long-lived server" );
@@ -1244,9 +1444,10 @@ let () =
           (fun s ->
             any := true;
             compare_file := Some s),
-        "FILE  rerun the bench the baseline records (row kernels, or the \
-         serve bench for a serve-mode baseline) and gate its ratio \
-         columns against this JSON; exit 1 on regression" );
+        "FILE  rerun the bench the baseline records (row kernels, the \
+         execution-tier bench for a backend baseline, or the serve bench \
+         for a serve-mode baseline) and gate its ratio columns against \
+         this JSON; exit 1 on regression" );
       ( "--tolerance",
         Arg.Float (fun p -> tolerance := p /. 100.),
         "PCT  allowed relative drop before --compare fails (default 10)" );
@@ -1277,8 +1478,9 @@ let () =
     Polymage_util.Metrics.enable ()
   end;
   (* --compare dispatches on what the baseline measured: a serve-mode
-     file reruns the serve bench, anything else the row-kernel bench
-     (whose own gate still refuses mismatched files loudly). *)
+     file reruns the serve bench, a backend file the execution-tier
+     bench, anything else the row-kernel bench (whose own gate still
+     refuses mismatched files loudly). *)
   (match !compare_file with
   | None -> ()
   | Some file -> (
@@ -1288,6 +1490,7 @@ let () =
       exit 2
     | Ok b ->
       if b.Regress.mode = "serve" then run_serve := true
+      else if b.Regress.bench = "backend" then run_backend := true
       else run_kern := true));
   let all = not !any in
   if all || !run_table1 then table1 ();
@@ -1301,12 +1504,15 @@ let () =
     kernels_bench ~scale:!scale ~json:!json ~compare_file:!compare_file
       ~tolerance:!tolerance ();
   if all || !run_backend then
-    backend_bench ~scale:!scale ~json:!backend_json ();
-  if !run_serve then
-    serve_bench ~scale:!scale ~json:!serve_json
+    backend_bench ~scale:!scale ~simd:!simd ~json:!backend_json
       ~compare_file:(if !run_kern then None else !compare_file)
       ~tolerance:!tolerance ();
+  if !run_serve then
+    serve_bench ~scale:!scale ~json:!serve_json
+      ~compare_file:(if !run_kern || !run_backend then None else !compare_file)
+      ~tolerance:!tolerance ();
   if !run_serve_ab then serve_ab ~scale:!scale ();
+  if !run_simd_ab then simd_ab ~scale:!scale ();
   if all || !run_bech then bechamel ();
   (match !trace_json with
   | Some file ->

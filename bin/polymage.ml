@@ -61,7 +61,30 @@ let threshold_flag =
 let workers_flag =
   Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Worker domains")
 
-let options_of config tile threshold workers env =
+let simd_flag =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", C.Options.Simd_auto);
+             ("off", C.Options.Simd_off);
+             ("sse2", C.Options.Simd_sse2);
+             ("avx2", C.Options.Simd_avx2);
+             ("avx512", C.Options.Simd_avx512);
+           ])
+        C.Options.Simd_auto
+    & info [ "simd" ]
+        ~doc:
+          "Explicit SIMD codegen for the compiled-C tiers: auto (probe \
+           the toolchain and host, the default), off (scalar loops), or \
+           a forced level (sse2, avx2, avx512). Forcing a level the \
+           host lacks is safe: the generated C is portable and the \
+           fast-math dispatcher caps at what cpuid reports. Ignored by \
+           the native executor")
+
+let options_of ?(simd = C.Options.Simd_auto) config tile threshold workers env
+    =
   let mk =
     match config with
     | `Base -> C.Options.base
@@ -69,8 +92,9 @@ let options_of config tile threshold workers env =
     | `Opt -> C.Options.opt
     | `OptVec -> C.Options.opt_vec
   in
-  C.Options.with_threshold threshold
-    (C.Options.with_tile (Array.of_list tile) (mk ~workers ~estimates:env ()))
+  C.Options.with_simd simd
+    (C.Options.with_threshold threshold
+       (C.Options.with_tile (Array.of_list tile) (mk ~workers ~estimates:env ())))
 
 (* ---- commands ---- *)
 
@@ -125,11 +149,11 @@ let codegen_cmd =
       value & opt (some string) None
       & info [ "o" ] ~docv:"FILE" ~doc:"Write the C to FILE")
   in
-  let run (app : App.t) size config tile threshold out =
+  let run (app : App.t) size config tile threshold simd out =
     let env = env_of app size in
-    let opts = options_of config tile threshold 1 env in
+    let opts = options_of ~simd config tile threshold 1 env in
     let plan = C.Compile.run opts ~outputs:app.outputs in
-    let src = Cgen.emit plan in
+    let src = Cgen.emit ?simd:(Backend.resolve_simd opts) plan in
     match out with
     | None -> print_string src
     | Some f ->
@@ -141,7 +165,7 @@ let codegen_cmd =
   Cmd.v (Cmd.info "codegen" ~doc:"Emit the generated C (Fig. 7)")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ out_flag)
+      $ threshold_flag $ simd_flag $ out_flag)
 
 let fault_flag =
   let parse s =
@@ -226,10 +250,10 @@ let run_cmd =
       & info [ "no-kernels" ]
           ~doc:"Evaluate with closure trees instead of row kernels (ablation)")
   in
-  let run (app : App.t) size config tile threshold workers repeats no_kernels
-      backend safe fault exec_timeout trace trace_json =
+  let run (app : App.t) size config tile threshold workers simd repeats
+      no_kernels backend safe fault exec_timeout trace trace_json =
     let env = env_of app size in
-    let opts = options_of config tile threshold workers env in
+    let opts = options_of ~simd config tile threshold workers env in
     let opts =
       C.Options.with_fault fault
         { opts with C.Options.kernels = not no_kernels }
@@ -352,15 +376,15 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute the pipeline and report timing")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ workers_flag $ repeats_flag $ no_kernels_flag
-      $ backend_flag $ safe_flag $ fault_flag $ exec_timeout_flag
-      $ trace_flag $ trace_json_flag)
+      $ threshold_flag $ workers_flag $ simd_flag $ repeats_flag
+      $ no_kernels_flag $ backend_flag $ safe_flag $ fault_flag
+      $ exec_timeout_flag $ trace_flag $ trace_json_flag)
 
 let profile_cmd =
-  let run (app : App.t) size config tile threshold workers backend exec_timeout
-      trace_json =
+  let run (app : App.t) size config tile threshold workers simd backend
+      exec_timeout trace_json =
     let env = env_of app size in
-    let opts = options_of config tile threshold workers env in
+    let opts = options_of ~simd config tile threshold workers env in
     let opts = C.Options.with_exec_timeout exec_timeout opts in
     let pipe = Pipeline.build ~outputs:app.outputs in
     let images =
@@ -403,8 +427,8 @@ let profile_cmd =
           per-group tables")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ workers_flag $ backend_flag $ exec_timeout_flag
-      $ trace_json_flag)
+      $ threshold_flag $ workers_flag $ simd_flag $ backend_flag
+      $ exec_timeout_flag $ trace_json_flag)
 
 let explain_cmd =
   let json_flag =
@@ -418,9 +442,10 @@ let explain_cmd =
       value & opt (some string) None
       & info [ "o" ] ~docv:"FILE" ~doc:"Write the report to FILE")
   in
-  let run (app : App.t) size config tile threshold workers backend json out =
+  let run (app : App.t) size config tile threshold workers simd backend json
+      out =
     let env = env_of app size in
-    let opts = options_of config tile threshold workers env in
+    let opts = options_of ~simd config tile threshold workers env in
     let plan = C.Compile.run opts ~outputs:app.outputs in
     let ex = Report.Explain.make ~name:app.name plan ~env in
     let text =
@@ -437,7 +462,19 @@ let explain_cmd =
     (* Backend and cache status ride along on stdout (never into the
        JSON report, whose schema is golden-tested). *)
     if backend <> Exec_tier.Native && not json then
-      Printf.printf "%s\n" (Exec_tier.describe backend)
+      Printf.printf "%s\n" (Exec_tier.describe backend);
+    (* The SIMD report rides along the same way: the resolved level and
+       the vector width each plan item's innermost loop is blocked by
+       (1 = scalar: reductions, guarded split cases, self-recursive). *)
+    if not json then
+      match Backend.resolve_simd opts with
+      | None -> ()
+      | Some level ->
+        let widths = Cgen.plan_widths ~simd:level plan in
+        Printf.printf "simd: %s, loop widths per plan item [%s]\n"
+          (Cgen.simd_level_to_string level)
+          (String.concat "; "
+             (Array.to_list (Array.map string_of_int widths)))
   in
   Cmd.v
     (Cmd.info "explain"
@@ -447,7 +484,8 @@ let explain_cmd =
           footprint vs budget, demotions")
     Term.(
       const run $ app_pos $ size_flag $ config_flag $ tile_flag
-      $ threshold_flag $ workers_flag $ backend_flag $ json_flag $ out_flag)
+      $ threshold_flag $ workers_flag $ simd_flag $ backend_flag $ json_flag
+      $ out_flag)
 
 let tune_cmd =
   let tiles_flag =
@@ -456,7 +494,7 @@ let tune_cmd =
       & opt (list int) [ 16; 32; 64; 128 ]
       & info [ "tiles" ] ~doc:"Tile size menu")
   in
-  let run (app : App.t) size tiles workers backend =
+  let run (app : App.t) size tiles workers simd backend =
     let env = env_of app size in
     let plan0 =
       C.Compile.run (C.Options.base ~estimates:env ()) ~outputs:app.outputs
@@ -467,8 +505,8 @@ let tune_cmd =
         plan0.pipe.Pipeline.images
     in
     let r =
-      Tune.explore ~tiles ~workers ~backend ~outputs:app.outputs ~env ~images
-        ()
+      Tune.explore ~tiles ~workers ~backend ~simd ~outputs:app.outputs ~env
+        ~images ()
     in
     List.iter
       (fun (s : Tune.sample) ->
@@ -478,7 +516,7 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Autotune tile sizes and threshold (§3.8)")
     Term.(
-      const run $ app_pos $ size_flag $ tiles_flag $ workers_flag
+      const run $ app_pos $ size_flag $ tiles_flag $ workers_flag $ simd_flag
       $ backend_flag)
 
 let process_cmd =
@@ -645,7 +683,7 @@ let serve_cmd =
              counters, slow-request ring, access log): the request path \
              takes no clock readings")
   in
-  let run socket backend workers batch batch_window shed_depth max_depth
+  let run socket backend workers simd batch batch_window shed_depth max_depth
       max_conns cache_dir access_log no_telemetry fault trace trace_json =
     (match fault with
     | None -> ()
@@ -672,6 +710,7 @@ let serve_cmd =
           cache_dir;
           telemetry;
           access_log = (if telemetry then access_log else None);
+          simd;
         }
     in
     let listener = Srv.Listener.bind ~socket_path:socket server in
@@ -697,10 +736,10 @@ let serve_cmd =
           load past a queue-depth bound, and hot-swapping to compiled \
           artifacts as background compiles land")
     Term.(
-      const run $ socket_flag $ serve_backend_flag $ workers_flag $ batch_flag
-      $ batch_window_flag $ shed_depth_flag $ max_depth_flag $ max_conns_flag
-      $ cache_dir_flag $ access_log_flag $ no_telemetry_flag $ fault_flag
-      $ trace_flag $ trace_json_flag)
+      const run $ socket_flag $ serve_backend_flag $ workers_flag $ simd_flag
+      $ batch_flag $ batch_window_flag $ shed_depth_flag $ max_depth_flag
+      $ max_conns_flag $ cache_dir_flag $ access_log_flag $ no_telemetry_flag
+      $ fault_flag $ trace_flag $ trace_json_flag)
 
 let timeout_flag =
   Arg.(

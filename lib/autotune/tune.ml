@@ -50,7 +50,7 @@ let time_run ~repeats pool plan env images =
 
 let explore ?(tiles = [ 16; 32; 64; 128 ]) ?(thresholds = paper_thresholds)
     ?(workers = 4) ?(repeats = 1) ?budget ?(backend = Exec_tier.Native)
-    ?cache_dir ~outputs ~env ~images () =
+    ?(simd = C.Options.Simd_auto) ?cache_dir ~outputs ~env ~images () =
   (* Auto is a serving-time policy; for a sweep the interesting number
      is the in-process steady state, so tune it as c-dlopen. *)
   let backend =
@@ -96,9 +96,10 @@ let explore ?(tiles = [ 16; 32; 64; 128 ]) ?(thresholds = paper_thresholds)
                         | _ -> ()
                       in
                       let opts =
-                        C.Options.with_threshold threshold
-                          (C.Options.with_tile tile
-                             (C.Options.opt_vec ~estimates:env ()))
+                        C.Options.with_simd simd
+                          (C.Options.with_threshold threshold
+                             (C.Options.with_tile tile
+                                (C.Options.opt_vec ~estimates:env ())))
                       in
                       let plan = C.Compile.run opts ~outputs in
                       match backend with

@@ -51,6 +51,7 @@ val explore :
   ?repeats:int ->
   ?budget:float ->
   ?backend:Polymage_backend.Exec_tier.t ->
+  ?simd:Polymage_compiler.Options.simd_mode ->
   ?cache_dir:string ->
   outputs:Ast.func list ->
   env:Types.bindings ->
@@ -71,7 +72,9 @@ val explore :
     is recorded separately in the sample.  [Auto] tunes as [C_dlopen]
     (a sweep wants the in-process steady state, not the serving
     policy).  A candidate whose compile fails becomes a [Failed]
-    sample like any other crash.
+    sample like any other crash.  [simd] (default [Simd_auto]) is the
+    explicit SIMD knob applied to every candidate's options; it only
+    affects the compiled-C backends.
     @raise Polymage_util.Err.Polymage_error (phase [Exec]) when every
     candidate failed. *)
 

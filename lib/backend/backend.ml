@@ -93,24 +93,66 @@ let cc_build (tc : Toolchain.t) ~flags src out =
       in
       attempt 1)
 
+(* Resolve the plan's SIMD knob to the emission level: forced levels
+   pass straight through (always safe — the artifact dispatches its
+   fast-math kernels by cpuid at load time), [Simd_auto] asks the
+   toolchain's compile-and-run ISA probe, [Simd_off] keeps the scalar
+   emission.  The resolved level is surfaced in the
+   [backend/simd_level] gauge (0 = scalar, 1..3 = sse2/avx2/avx512). *)
+let resolve_simd (opts : Comp.Options.t) : Cgen.simd_level option =
+  match opts.simd with
+  | Comp.Options.Simd_off -> None
+  | Comp.Options.Simd_sse2 -> Some Cgen.Sse2
+  | Comp.Options.Simd_avx2 -> Some Cgen.Avx2
+  | Comp.Options.Simd_avx512 -> Some Cgen.Avx512
+  | Comp.Options.Simd_auto -> (
+    match Toolchain.isa_lookup () with
+    | None -> None
+    | Some Toolchain.Sse2 -> Some Cgen.Sse2
+    | Some Toolchain.Avx2 -> Some Cgen.Avx2
+    | Some Toolchain.Avx512 -> Some Cgen.Avx512)
+
+let simd_gauge = function
+  | None -> 0
+  | Some Cgen.Sse2 -> 1
+  | Some Cgen.Avx2 -> 2
+  | Some Cgen.Avx512 -> 3
+
 (* Compile the plan's C into a cached artifact of the given kind.
    Returns the artifact path, compile wall time (0 on a hit), hit
    flag, and the cache coordinates for later invalidation.  The two
-   kinds never share a key: they differ in both flags and source. *)
+   kinds never share a key: they differ in both flags and source.
+   SIMD configuration reaches the key three ways — strip widths and
+   the fast-math header change the source, [simd_cflags] changes the
+   flags (batching plans only), and the level is named in the key tag
+   outright — so scalar and vector artifacts, and artifacts for
+   different ISA levels, can never collide. *)
 let compile_kind ?cache_dir ~(kind : Cache.kind) (plan : Comp.Plan.t) =
   let tc = Toolchain.get () in
+  let simd = resolve_simd plan.opts in
+  Metrics.gauge_setn "backend/simd_level" (simd_gauge simd);
   let src, flags, entry =
     match kind with
-    | Cache.Exe -> (Cgen.emit_raw_main plan, tc.flags, "main")
+    | Cache.Exe -> (Cgen.emit_raw_main ?simd plan, tc.flags, "main")
     | Cache.So ->
-      (Cgen.emit_raw_entry plan, Toolchain.so_flags_exn tc,
+      (Cgen.emit_raw_entry ?simd plan, Toolchain.so_flags_exn tc,
        Cgen.raw_entry_symbol)
+  in
+  let flags =
+    if simd <> None && Cgen.plan_batches plan then
+      flags ^ " " ^ Toolchain.simd_cflags
+    else flags
+  in
+  let tag =
+    match simd with
+    | None -> ""
+    | Some l -> "simd=" ^ Cgen.simd_level_to_string l
   in
   let dir =
     match cache_dir with Some d -> d | None -> Cache.default_dir ()
   in
   let key =
-    Cache.key ~cc:tc.cc ~version:tc.version ~flags ~source:src
+    Cache.key ~tag ~cc:tc.cc ~version:tc.version ~flags ~source:src
   in
   match Cache.lookup ~kind ~dir key with
   | Some art ->

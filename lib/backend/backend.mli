@@ -62,6 +62,15 @@ type stats = {
           next call runs in-process) *)
 }
 
+val resolve_simd :
+  Comp.Options.t -> Polymage_codegen.Cgen.simd_level option
+(** The explicit SIMD level the backend will hand to codegen for these
+    options: [Simd_off] is [None], a forced mode maps to its level
+    directly (portable even on hosts lacking the ISA — the emitted C
+    stays arch-neutral and the fast-math dispatcher caps at cpuid),
+    and [Simd_auto] consults {!Toolchain.isa_lookup} (compile-and-run
+    probe, [POLYMAGE_ISA] override). *)
+
 val compile : ?cache_dir:string -> Comp.Plan.t -> string * float * bool * string * string
 (** Compile (or fetch) the plan's raw-main executable:
     [(path, compile_ms, cache_hit, key, dir)]. *)

@@ -75,9 +75,16 @@ let rec mkdir_p d =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let key ~cc ~version ~flags ~source =
-  Digest.to_hex
-    (Digest.string (String.concat "\x00" [ cc; version; flags; source ]))
+(* [tag] carries configuration that changes the artifact without
+   necessarily changing (cc, version, flags, source) — the explicit
+   SIMD level, today.  An empty tag hashes exactly like the
+   four-element legacy key, so every artifact cached before the tag
+   existed keeps its identity (meta compat is tested). *)
+let key ~tag ~cc ~version ~flags ~source =
+  let parts =
+    [ cc; version; flags; source ] @ if tag = "" then [] else [ tag ]
+  in
+  Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
 let artifact_path ~dir ~kind key = Filename.concat dir (key ^ suffix_of_kind kind)
 let exe_path ~dir key = artifact_path ~dir ~kind:Exe key

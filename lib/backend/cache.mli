@@ -42,8 +42,17 @@ val trust_of_string : string -> trust option
 val default_dir : unit -> string
 val max_bytes : unit -> int
 
-val key : cc:string -> version:string -> flags:string -> source:string -> string
-(** Content hash naming the artifact. *)
+val key :
+  tag:string ->
+  cc:string ->
+  version:string ->
+  flags:string ->
+  source:string ->
+  string
+(** Content hash naming the artifact.  [tag] folds extra configuration
+    into the identity (the explicit SIMD level); the default empty tag
+    hashes identically to the pre-tag key, so existing cache entries
+    stay addressable. *)
 
 val artifact_path : dir:string -> kind:kind -> string -> string
 

@@ -208,7 +208,7 @@ let runner ?cache_dir () =
     match cache_dir with Some d -> d | None -> Cache.default_dir ()
   in
   let key =
-    Cache.key ~cc:tc.cc ~version:tc.version
+    Cache.key ~tag:"" ~cc:tc.cc ~version:tc.version
       ~flags:(tc.flags ^ " [canary]")
       ~source:runner_source
   in

@@ -54,8 +54,12 @@ type auto = {
 
 let auto_start ?cache_dir (plan : Comp.Plan.t) =
   (* Probe the toolchain on this domain first: the memo table is a
-     plain Hashtbl, so the background domain must only read it. *)
+     plain Hashtbl, so the background domain must only read it.  The
+     ISA probe's own table is mutex-protected, but prewarming it here
+     too keeps the compile domain from paying the compile-and-run
+     probe. *)
   ignore (Toolchain.lookup ());
+  ignore (Toolchain.isa_lookup ());
   let a =
     { plan; cache_dir; state = Atomic.make Compiling; artifact = None;
       domain = None }

@@ -107,6 +107,101 @@ let get () =
           cc
       | None -> "Toolchain: no working C compiler (tried cc, gcc, clang)")
 
+(* ---- ISA probing for explicit SIMD codegen ----
+
+   Which vector ISA should strip-mined loops and the fast-math kernels
+   target?  The probe compiles AND RUNS a cpuid feature check — a
+   compile-only check would report what the compiler can emit, not
+   what this machine can execute, and the answer feeds codegen
+   decisions (strip width) that we want matched to the hardware.
+
+   [POLYMAGE_ISA] overrides the probe, mirroring [POLYMAGE_CC]:
+   "sse2"/"avx2"/"avx512" force that level (always safe — the emitted
+   artifact still dispatches its fast-math kernels by cpuid at load
+   time, so a forced level above the hardware only changes the strip
+   width), "off" disables explicit SIMD, anything else falls back to
+   the probe.  Memoized per (POLYMAGE_CC, POLYMAGE_ISA) under a mutex:
+   unlike {!lookup}, this table is consulted from background compile
+   domains (the Auto tier, serve workers). *)
+
+type isa = Sse2 | Avx2 | Avx512
+
+let isa_to_string = function
+  | Sse2 -> "sse2"
+  | Avx2 -> "avx2"
+  | Avx512 -> "avx512"
+
+let isa_of_string = function
+  | "sse2" -> Some Sse2
+  | "avx2" -> Some Avx2
+  | "avx512" -> Some Avx512
+  | _ -> None
+
+(* Appended to the compile flags when the emitted source batches
+   transcendentals: gcc 12 refuses to if-convert the branchless
+   ternaries in the fast-math kernels (and in select-bearing vector
+   bodies) unless FP-exception-flag traps may be ignored.  The flag
+   never changes computed values, only whether FE_* flags are
+   faithfully raised.  A per-function optimize attribute would scope
+   it tighter but gcc re-derives the whole optimization state for
+   attributed functions, which measurably deoptimizes them — so the
+   flag stays TU-wide and the backend instead skips it entirely for
+   plans with nothing to batch ({!Cgen.plan_batches}). *)
+let simd_cflags = "-fno-trapping-math"
+
+let probe_isa_src =
+  "#include <stdio.h>\n\
+   int main(void) {\n\
+   #if defined(__x86_64__) && defined(__GNUC__)\n\
+   \  __builtin_cpu_init();\n\
+   \  if (__builtin_cpu_supports(\"avx512f\")) { puts(\"avx512\"); return 0; }\n\
+   \  if (__builtin_cpu_supports(\"avx2\")) { puts(\"avx2\"); return 0; }\n\
+   \  puts(\"sse2\"); return 0;\n\
+   #else\n\
+   \  puts(\"none\"); return 0;\n\
+   #endif\n\
+   }\n"
+
+let probe_isa cc =
+  let src = Filename.temp_file "pm_isa" ".c" in
+  let out = src ^ ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove src with Sys_error _ -> ());
+      try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out src in
+      output_string oc probe_isa_src;
+      close_out oc;
+      if (Proc.run ~timeout_ms:30_000 cc [ "-O0"; "-o"; out; src ]).Proc.status
+         <> 0
+      then None
+      else
+        match Proc.first_line out [] with
+        | Some l -> isa_of_string (String.trim l)
+        | None -> None)
+
+let isa_cache : (string option * string option, isa option) Hashtbl.t =
+  Hashtbl.create 4
+
+let isa_mutex = Mutex.create ()
+
+let isa_lookup () =
+  let key = (Sys.getenv_opt "POLYMAGE_CC", Sys.getenv_opt "POLYMAGE_ISA") in
+  Mutex.protect isa_mutex @@ fun () ->
+  match Hashtbl.find_opt isa_cache key with
+  | Some r -> r
+  | None ->
+    let r =
+      match snd key with
+      | Some "off" -> None
+      | Some s when isa_of_string s <> None -> isa_of_string s
+      | _ -> (
+        match lookup () with None -> None | Some t -> probe_isa t.cc)
+    in
+    Hashtbl.replace isa_cache key r;
+    r
+
 let so_flags_exn (t : t) =
   match t.so_flags with
   | Some f -> f

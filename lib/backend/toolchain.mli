@@ -40,6 +40,33 @@ val split_flags : string -> string list
     stay whole everywhere else because they are part of the artifact
     cache key. *)
 
+(** Highest vector ISA level this machine can execute, as established
+    by compiling and running a cpuid feature check (not a compile-only
+    test: the answer drives codegen decisions that must match the
+    hardware, not the compiler). *)
+type isa = Sse2 | Avx2 | Avx512
+
+val isa_to_string : isa -> string
+val isa_of_string : string -> isa option
+
+val isa_lookup : unit -> isa option
+(** The probed ISA level, or [None] when no compiler is available, the
+    probe fails, or the host is not x86-64.  Honors [POLYMAGE_ISA]
+    (mirroring [POLYMAGE_CC]): ["sse2"|"avx2"|"avx512"] force that
+    level without probing — safe even above the hardware, because
+    emitted artifacts still select fast-math code paths by cpuid at
+    load time — and ["off"] answers [None].  Memoized per
+    ([POLYMAGE_CC], [POLYMAGE_ISA]) pair under a mutex; safe to call
+    from background compile domains. *)
+
+val simd_cflags : string
+(** Extra compile flags the backend appends when the emitted source
+    batches transcendentals (currently [-fno-trapping-math], which
+    licenses the if-conversion the vector fast-math bodies rely on
+    without changing any computed value).  Skipped entirely for plans
+    with nothing to batch, so their compile command — and artifact —
+    is identical to the SIMD-off one. *)
+
 val describe : unit -> string
 (** One line for reports: command, version, OpenMP and shared-object
     availability. *)

@@ -28,6 +28,29 @@ let bname (f : Ast.func) = "B_" ^ f.fname
 let sname (f : Ast.func) = "S_" ^ f.fname
 let vname (v : Types.var) = spf "v%d" v.vid
 
+(* ---------- SIMD strip-mining spec ---------- *)
+
+type simd_level = Sse2 | Avx2 | Avx512
+
+type simd = { level : simd_level; lanes : int; width : int }
+
+(* Strip width = 16 vector registers' worth of doubles: wide enough to
+   amortize the indirect call into a batched fast-math kernel (measured
+   on the remap workload, per-element cost keeps falling well past 4
+   registers' worth), small enough that the per-strip argument/result
+   arrays stay on the stack and in L1 (32..128 doubles, ≤1 KiB each). *)
+let simd_of_level = function
+  | Sse2 -> { level = Sse2; lanes = 2; width = 32 }
+  | Avx2 -> { level = Avx2; lanes = 4; width = 64 }
+  | Avx512 -> { level = Avx512; lanes = 8; width = 128 }
+
+let simd_level_to_string = function
+  | Sse2 -> "sse2"
+  | Avx2 -> "avx2"
+  | Avx512 -> "avx512"
+
+let simd_width l = (simd_of_level l).width
+
 (* ---------- parametric bounds ---------- *)
 
 let cbound (a : Abound.t) =
@@ -47,11 +70,17 @@ let cfloat x =
   if Float.is_integer x && Float.abs x < 1e9 then spf "%.1f" x
   else spf "%h" x
 
-(* Renderers for stage/image reads, switched per emission context. *)
+(* Renderers for stage/image reads, switched per emission context.
+   [sub] short-circuits whole subexpressions — the strip-mined vector
+   bodies use it to splice in references to batched fast-math results
+   where the transcendental node sat in the tree. *)
 type readers = {
   rf : Ast.func -> string list -> string;
   ri : Ast.image -> string list -> string;
+  sub : Ast.expr -> string option;
 }
+
+let no_sub (_ : Ast.expr) = None
 
 (* Integer-shaped index expressions; None falls back to
    (int)floor(double). *)
@@ -76,6 +105,9 @@ and map2 op a b =
   | _ -> None
 
 let rec dexp rd e =
+  match rd.sub e with Some s -> s | None -> dexp_raw rd e
+
+and dexp_raw rd e =
   let open Ast in
   let index a =
     match iexp a with
@@ -198,7 +230,275 @@ let image_read (im : Ast.image) args =
   in
   spf "%s[%s]" (iname im) (String.concat " + " parts)
 
-let default_readers = { rf = buffer_read; ri = image_read }
+let default_readers = { rf = buffer_read; ri = image_read; sub = no_sub }
+
+(* ---------- vector fast-math header ----------
+
+   Batched polynomial exp/log/pow over contiguous lanes, Cephes-style:
+   a rational (exp, log) or composed (pow) approximation with
+   branchless ternary specials, written so gcc's vectorizer can
+   if-convert every select.  One complete clone per ISA level behind
+   __attribute__((target("arch=..."))) — full bodies, never shared
+   static-inline helpers, because gcc refuses to inline across target
+   boundaries and a scalarized call inside the loop would silently
+   defeat the whole exercise.  The "arch=" (replacing) target form
+   matters too: a bare target("avx2") is additive over -march=native
+   and would not actually lower the clone.
+
+   Dispatch is by cpuid at load time (constructor), capped by the
+   POLYMAGE_ISA environment variable — so one cached artifact carries
+   all paths and keeps working when the cache or a serve daemon
+   outlives the build host's microarchitecture.
+
+   Numerical contract (documented bounds, enforced by the test suite
+   against libm): exp <= 4 ulp over the normal range, flushing to zero
+   below exp(-745.13) after producing denormals via two-step scaling;
+   log <= 2 ulp including denormal inputs (prescaled by 2^54);
+   pow = exp(y*log|x|) with relative error growing as |y*ln x| * 2^-51
+   (hundreds of ulps at the extreme magnitude edge), exact special
+   cases except pow(-0, negative odd integer) which returns +inf where
+   libm returns -inf.  NaN/inf propagation matches libm throughout. *)
+
+let str_replace sub by s =
+  let bl = String.length sub in
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + bl <= n && String.sub s !i bl = sub then begin
+      Buffer.add_string buf by;
+      i := !i + bl
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let fm_inst ?(y = "") ~x ~sfx tmpl =
+  str_replace "$X" x (str_replace "$Y" y (str_replace "$S" sfx tmpl))
+
+(* exp($X) -> v$S.  Round-to-nearest via the 1.5*2^52 magic constant,
+   then a division-free degree-12 minimax polynomial (Horner, all
+   fused-multiply-adds) on the reduced argument — a vector division
+   costs ~2 cycles per element on every ISA level and the classic
+   Cephes rational form needs one; the polynomial is both faster and
+   tighter (≤1 ulp measured vs the rational's 2).  The result is then
+   scaled by 2^k in two steps so the overflow (k up to 1024) and
+   gradual-underflow (k down to -1075) edges stay inside exponent
+   range.  The exponent integer is recovered from the magic sum's bit
+   pattern with adds and logical shifts only: pre-AVX-512 targets have
+   no vector double->int64 conversion or arithmetic 64-bit shift, and
+   either would scalarize the loop. *)
+let fm_exp_core =
+  {|    double t$S = $X * 1.4426950408889634073599247;
+    double fn$S = (t$S + 6755399441055744.0) - 6755399441055744.0;
+    double r$S = $X - fn$S * 6.93147180559662956511601805687e-1;
+    r$S -= fn$S * 2.82352905630315771225884481750e-13;
+    double u$S = 2.08860621107283687536341e-09;
+    u$S = u$S * r$S + 2.51112930892876518610661e-08;
+    u$S = u$S * r$S + 2.75573911234900471893338e-07;
+    u$S = u$S * r$S + 2.75572362911928827629423e-06;
+    u$S = u$S * r$S + 2.48015871592354729987910e-05;
+    u$S = u$S * r$S + 1.98412698960509205564975e-04;
+    u$S = u$S * r$S + 1.38888888889774492207962e-03;
+    u$S = u$S * r$S + 8.33333333331652721664984e-03;
+    u$S = u$S * r$S + 4.16666666666665047591422e-02;
+    u$S = u$S * r$S + 1.66666666666666851703837e-01;
+    u$S = u$S * r$S + 5.0e-01;
+    double e$S = r$S * r$S * u$S + r$S + 1.0;
+    double fc$S = fn$S > 1025.0 ? 1025.0 : fn$S;
+    fc$S = fc$S < -1075.0 ? -1075.0 : fc$S;
+    double md$S = fc$S + 6755399441055744.0;
+    int64_t mb$S; memcpy(&mb$S, &md$S, 8);
+    int64_t k$S = mb$S - 0x4338000000000000LL;
+    uint64_t j$S = (uint64_t)(k$S + 1076);
+    int64_t k1$S = (int64_t)(j$S >> 1) - 538;
+    int64_t k2$S = k$S - k1$S;
+    uint64_t b1$S = (uint64_t)(k1$S + 1023) << 52;
+    uint64_t b2$S = (uint64_t)(k2$S + 1023) << 52;
+    double s1$S, s2$S; memcpy(&s1$S, &b1$S, 8); memcpy(&s2$S, &b2$S, 8);
+    double v$S = (e$S * s1$S) * s2$S;
+    v$S = $X > 709.782712893383996732 ? (1.0/0.0) : v$S;
+    v$S = $X < -745.133219101941108420 ? 0.0 : v$S;
+    v$S = $X != $X ? $X : v$S;
+|}
+
+(* log($X) -> v$S.  Exponent/mantissa split by bit extraction (logical
+   shifts only, exponent rebuilt as a double through the 2^52 mantissa
+   trick rather than an int64->double conversion, for the same
+   pre-AVX-512 reason as above), denormals prescaled by 2^54, Cephes
+   P/Q rational on the mantissa. *)
+let fm_log_core =
+  {|    int dn$S = $X > 0.0 && $X < 2.2250738585072014e-308;
+    double xs$S = dn$S ? $X * 18014398509481984.0 : $X;
+    int64_t lb$S; memcpy(&lb$S, &xs$S, 8);
+    uint64_t ee$S = ((uint64_t)lb$S >> 52) & 0x7ff;
+    uint64_t eb$S = 0x4330000000000000ULL | ee$S;
+    double eu$S; memcpy(&eu$S, &eb$S, 8);
+    double ed$S = (eu$S - 4503599627370496.0) - 1022.0 - (dn$S ? 54.0 : 0.0);
+    uint64_t lm$S = ((uint64_t)lb$S & 0x000fffffffffffffULL) | 0x3fe0000000000000ULL;
+    double m$S; memcpy(&m$S, &lm$S, 8);
+    int sm$S = m$S < 0.70710678118654752440;
+    m$S = sm$S ? 2.0 * m$S : m$S;
+    ed$S = sm$S ? ed$S - 1.0 : ed$S;
+    double f$S = m$S - 1.0;
+    double z$S = f$S * f$S;
+    double lp$S = f$S * z$S * (((((1.01875663804580931796e-4 * f$S
+        + 4.97494994976747001425e-1) * f$S + 4.70579119878881725854e0) * f$S
+        + 1.44989225341610930846e1) * f$S + 1.79368678507819816313e1) * f$S
+        + 7.70838733755885391666e0);
+    double lq$S = (((((f$S + 1.12873587189167450590e1) * f$S
+        + 4.52279145837532221105e1) * f$S + 8.29875266912776603211e1) * f$S
+        + 7.11544750618563894466e1) * f$S + 2.31251620126765340583e1);
+    double lr$S = lp$S / lq$S;
+    lr$S -= ed$S * 2.121944400546905827679e-4;
+    lr$S -= 0.5 * z$S;
+    double v$S = f$S + lr$S + ed$S * 0.693359375;
+    v$S = $X == 0.0 ? -(1.0/0.0) : v$S;
+    v$S = $X < 0.0 ? (0.0/0.0) : v$S;
+    v$S = $X != $X ? $X : v$S;
+    v$S = $X > 1.7976931348623157e308 ? $X : v$S;
+|}
+
+(* pow($X, $Y) -> r$S: exp($Y * log|$X|) with the log and exp cores
+   instantiated inline (suffixes $Sl / $Se), then sign and special
+   cases patched branchlessly.  Integer-ness of $Y uses the same
+   magic-constant rounding; |y| >= 2^53 is always an even integer. *)
+let fm_pow_core =
+  let log_part = fm_inst ~x:"ax$S" ~sfx:"$Sl" fm_log_core in
+  let exp_part = fm_inst ~x:"tt$S" ~sfx:"$Se" fm_exp_core in
+  {|    double ax$S = $X < 0.0 ? -$X : $X;
+|} ^ log_part
+  ^ {|    double tt$S = $Y * v$Sl;
+    tt$S = ($Y == 0.0 || ax$S == 1.0) ? 0.0 : tt$S;
+|} ^ exp_part
+  ^ {|    double r$S = v$Se;
+    double ym$S = $Y < 0.0 ? -$Y : $Y;
+    double yr$S = ($Y + 6755399441055744.0) - 6755399441055744.0;
+    int bigy$S = ym$S >= 9007199254740992.0;
+    int isint$S = bigy$S || yr$S == $Y;
+    double yh$S = $Y * 0.5;
+    double yhr$S = (yh$S + 6755399441055744.0) - 6755399441055744.0;
+    int isodd$S = isint$S && !bigy$S && yhr$S != yh$S;
+    r$S = ($X < 0.0 && isodd$S) ? -r$S : r$S;
+    r$S = ($X < 0.0 && !isint$S && ax$S <= 1.7976931348623157e308) ? (0.0/0.0) : r$S;
+    r$S = ($X != $X && $Y != 0.0) ? $X : r$S;
+    r$S = ($Y != $Y && $X != 1.0) ? $Y : r$S;
+    r$S = ($Y == 0.0) ? 1.0 : r$S;
+|}
+
+let fm_variants =
+  (* (name suffix, target attribute) — "port" is the unattributed
+     portable fallback compiled with the TU's own -march; the x86
+     clones use replacing "arch=" targets and are guarded by
+     PM_SIMD_X86 together with the cpuid dispatch. *)
+  [
+    ("sse2", Some "arch=x86-64");
+    ("avx2", Some "arch=haswell");
+    ("avx512", Some "arch=skylake-avx512");
+  ]
+
+let fm_function ~variant ~attr ~kind =
+  let b = Buffer.create 2048 in
+  (* The edge ternaries rely on if-conversion, which gcc only
+     performs under -fno-trapping-math ({!Toolchain.simd_cflags},
+     appended by the backend whenever the emitted source batches).
+     The per-function optimize attribute is NOT an alternative: gcc
+     re-derives the whole optimization state for attributed
+     functions, which measurably deoptimizes them. *)
+  let attr_s =
+    match attr with
+    | Some t -> spf "__attribute__((target(\"%s\"),unused)) " t
+    | None -> "__attribute__((unused)) "
+  in
+  (match kind with
+  | `Exp | `Log ->
+    Buffer.add_string b
+      (spf
+         "%sstatic void pm_v%s_%s(const double* restrict x, double* \
+          restrict y, int n) {\n"
+         attr_s
+         (if kind = `Exp then "exp" else "log")
+         variant);
+    Buffer.add_string b "#pragma GCC ivdep\n";
+    Buffer.add_string b "  for (int i = 0; i < n; i++) {\n";
+    Buffer.add_string b "    double xi = x[i];\n";
+    Buffer.add_string b
+      (fm_inst ~x:"xi" ~sfx:""
+         (if kind = `Exp then fm_exp_core else fm_log_core));
+    Buffer.add_string b "    y[i] = v;\n  }\n}\n"
+  | `Pow ->
+    Buffer.add_string b
+      (spf
+         "%sstatic void pm_vpow_%s(const double* restrict x, const double* \
+          restrict yv, double* restrict r, int n) {\n"
+         attr_s variant);
+    Buffer.add_string b "#pragma GCC ivdep\n";
+    Buffer.add_string b "  for (int i = 0; i < n; i++) {\n";
+    Buffer.add_string b "    double xi = x[i], yi = yv[i];\n";
+    (* suffix "0" keeps the core's result variable (r0) clear of the
+       out-parameter r *)
+    Buffer.add_string b (fm_inst ~x:"xi" ~y:"yi" ~sfx:"0" fm_pow_core);
+    Buffer.add_string b "    r[i] = r0;\n  }\n}\n");
+  Buffer.contents b
+
+let fastmath_source =
+  let b = Buffer.create 16384 in
+     let add = Buffer.add_string b in
+     add "/* ---- polymage vector fast-math: exp/log/pow ---- */\n";
+     add "#include <stdint.h>\n";
+     add
+       "#if defined(__x86_64__) && defined(__GNUC__)\n\
+        #define PM_SIMD_X86 1\n\
+        #else\n\
+        #define PM_SIMD_X86 0\n\
+        #endif\n\n";
+     List.iter
+       (fun kind -> add (fm_function ~variant:"port" ~attr:None ~kind))
+       [ `Exp; `Log; `Pow ];
+     add "#if PM_SIMD_X86\n";
+     List.iter
+       (fun (variant, attr) ->
+         List.iter
+           (fun kind -> add (fm_function ~variant ~attr ~kind))
+           [ `Exp; `Log; `Pow ])
+       fm_variants;
+     add "#endif /* PM_SIMD_X86 */\n\n";
+     add
+       "typedef void (*pm_v1fn)(const double* restrict, double* restrict, \
+        int);\n\
+        typedef void (*pm_v2fn)(const double* restrict, const double* \
+        restrict, double* restrict, int);\n\
+        static pm_v1fn pm_vexp = pm_vexp_port;\n\
+        static pm_v1fn pm_vlog = pm_vlog_port;\n\
+        static pm_v2fn pm_vpow = pm_vpow_port;\n\
+        static int pm_simd_level __attribute__((unused)) = 0;\n\
+        #if PM_SIMD_X86\n\
+        __attribute__((constructor)) static void pm_simd_init(void) {\n\
+       \  int level = 1;\n\
+       \  __builtin_cpu_init();\n\
+       \  if (__builtin_cpu_supports(\"avx512f\")) level = 3;\n\
+       \  else if (__builtin_cpu_supports(\"avx2\")) level = 2;\n\
+       \  const char* cap = getenv(\"POLYMAGE_ISA\");\n\
+       \  if (cap) {\n\
+       \    int c = level;\n\
+       \    if (!strcmp(cap, \"off\") || !strcmp(cap, \"sse2\")) c = 1;\n\
+       \    else if (!strcmp(cap, \"avx2\")) c = 2;\n\
+       \    else if (!strcmp(cap, \"avx512\")) c = 3;\n\
+       \    if (c < level) level = c;\n\
+       \  }\n\
+       \  pm_simd_level = level;\n\
+       \  if (level >= 3) { pm_vexp = pm_vexp_avx512; pm_vlog = \
+        pm_vlog_avx512; pm_vpow = pm_vpow_avx512; }\n\
+       \  else if (level >= 2) { pm_vexp = pm_vexp_avx2; pm_vlog = \
+        pm_vlog_avx2; pm_vpow = pm_vpow_avx2; }\n\
+       \  else { pm_vexp = pm_vexp_sse2; pm_vlog = pm_vlog_sse2; pm_vpow = \
+        pm_vpow_sse2; }\n\
+        }\n\
+        #endif /* PM_SIMD_X86 */\n\n";
+     Buffer.contents b
 
 (* ---------- symbolic case boxes ---------- *)
 
@@ -238,10 +538,19 @@ let emit_loops ctx ?(parallel = false) ?(ivdep = true) tag (f : Ast.func)
     (fun d (lo, hi) ->
       line ctx "const int %s_l%d = %s, %s_u%d = %s;" tag d lo tag d hi)
     bounds;
+  (* Exactly one annotation per loop: gcc rejects [#pragma GCC ivdep]
+     stacked with any omp pragma on the same for statement, so a 1-D
+     parallel loop takes the combined [omp parallel for simd] form.
+     (The ivdep pragma used to be spelled [#pragma ivdep], which gcc
+     silently ignores — it is icc spelling; the GCC form actually
+     licenses vectorization.) *)
   List.iteri
     (fun d v ->
-      if d = 0 && parallel then line ctx "#pragma omp parallel for";
-      if d = n - 1 && ivdep then line ctx "#pragma ivdep";
+      if d = 0 && parallel then
+        line ctx
+          (if n = 1 && ivdep then "#pragma omp parallel for simd"
+           else "#pragma omp parallel for")
+      else if d = n - 1 && ivdep then line ctx "#pragma GCC ivdep";
       line ctx "for (int %s = %s_l%d; %s <= %s_u%d; %s++) {" (vname v) tag d
         (vname v) tag d (vname v);
       push ctx)
@@ -258,7 +567,159 @@ let emit_store ctx rd (f : Ast.func) target_index (case : Ast.case) =
   let rhs = store_of f.ftyp (dexp rd case.rhs) in
   line ctx "%s = %s;" target_index rhs
 
-let emit_straight ctx (plan : C.Plan.t) i =
+(* ---------- explicit SIMD strip-mining ---------- *)
+
+(* The transcendental nodes of an expression in post-order (inner
+   before outer, structurally deduplicated): the batching schedule for
+   a strip body.  Post-order guarantees that when node k's argument is
+   rendered, every transcendental strictly inside it already has a
+   result array to substitute. *)
+let collect_trans (e : Ast.expr) =
+  let open Ast in
+  let acc = ref [] in
+  let add n = if not (List.mem n !acc) then acc := n :: !acc in
+  let rec go e =
+    match e with
+    | Const _ | Var _ | Param _ -> ()
+    | Call (_, args) | Img (_, args) -> List.iter go args
+    | Binop (Pow, a, b) ->
+      go a;
+      go b;
+      add e
+    | Binop (_, a, b) ->
+      go a;
+      go b
+    | Unop ((Exp | Log), a) ->
+      go a;
+      add e
+    | Unop (_, a) -> go a
+    | IDiv (a, _) | IMod (a, _) | Cast (_, a) -> go a
+    | Select (c, a, b) ->
+      go_cond c;
+      go a;
+      go b
+  and go_cond c =
+    match c with
+    | Cmp (_, a, b) ->
+      go a;
+      go b
+    | And (a, b) | Or (a, b) ->
+      go_cond a;
+      go_cond b
+    | Not a -> go_cond a
+  in
+  go e;
+  List.rev !acc
+
+(* Strip-mining only pays where there is transcendental work to batch:
+   a plain arithmetic loop already vectorizes under its ivdep / omp
+   simd annotation, and the strip's gather arrays and two-level
+   structure are pure overhead there (measurably so on
+   bilateral_grid).  Emission and [plan_widths] both gate on this. *)
+let case_batches (case : Ast.case) = collect_trans case.Ast.rhs <> []
+
+(* One boxed case as a vector-width-blocked nest: the innermost loop is
+   strip-mined into whole strips of [simd.width] iterations plus a
+   scalar epilogue; inside a strip, every transcendental is evaluated
+   as a batched call into the fast-math kernels (argument gather loop,
+   one indirect call, results substituted into the readers), and the
+   remaining arithmetic runs under [#pragma GCC ivdep] so gcc
+   vectorizes it.  Only sound for cases with no loop-carried
+   dependence — callers gate on non-self-recursive stages.
+
+   Batching evaluates a transcendental for every lane even when it
+   sits under a [Select] arm; that is exactly the speculation
+   if-conversion performs, and it is safe because the kernels are
+   total over all doubles and the strip never reads outside the loop
+   bounds the scalar nest would have read. *)
+let emit_strip_case ctx ?(parallel = false) ~(simd : simd) tag (f : Ast.func)
+    (bounds : (string * string) array) rd (case : Ast.case) ~target =
+  let open Ast in
+  let n = Array.length bounds in
+  let w = simd.width in
+  Array.iteri
+    (fun d (lo, hi) ->
+      line ctx "const int %s_l%d = %s, %s_u%d = %s;" tag d lo tag d hi)
+    bounds;
+  let vars = Array.of_list f.fvars in
+  for d = 0 to n - 2 do
+    if d = 0 && parallel then line ctx "#pragma omp parallel for";
+    line ctx "for (int %s = %s_l%d; %s <= %s_u%d; %s++) {" (vname vars.(d))
+      tag d
+      (vname vars.(d))
+      tag d
+      (vname vars.(d));
+    push ctx
+  done;
+  let li = n - 1 in
+  let lv = vname vars.(li) in
+  let trans = collect_trans case.rhs in
+  (* First iteration past the last whole strip; empty and negative
+     ranges make it land at or below the lower bound, so both the
+     blocked loop and the epilogue guard degenerate correctly. *)
+  line ctx "const int %s_vs = %s_l%d + ((%s_u%d - %s_l%d + 1) / %d) * %d;" tag
+    tag li tag li tag li w w;
+  let strip_body ~start ~cnt =
+    let subs = ref [] in
+    let rd_with subs_now = { rd with sub = (fun e -> List.assoc_opt e subs_now) } in
+    List.iteri
+      (fun k node ->
+        let rdk = rd_with !subs in
+        let a = spf "%s_a%d" tag k and t = spf "%s_t%d" tag k in
+        (match node with
+        | Unop ((Exp | Log) as op, arg) ->
+          line ctx "double %s[%d]; double %s[%d];" a w t w;
+          line ctx "#pragma GCC ivdep";
+          line ctx "for (int %s = %s; %s < %s + %s; %s++) %s[%s - %s] = %s;"
+            lv start lv start cnt lv a lv start (dexp rdk arg);
+          line ctx "%s(%s, %s, %s);"
+            (if op = Exp then "pm_vexp" else "pm_vlog")
+            a t cnt
+        | Binop (Pow, x, y) ->
+          let bx = spf "%s_b%d" tag k in
+          line ctx "double %s[%d]; double %s[%d]; double %s[%d];" a w bx w t w;
+          line ctx "#pragma GCC ivdep";
+          line ctx "for (int %s = %s; %s < %s + %s; %s++) {" lv start lv start
+            cnt lv;
+          push ctx;
+          line ctx "%s[%s - %s] = %s;" a lv start (dexp rdk x);
+          line ctx "%s[%s - %s] = %s;" bx lv start (dexp rdk y);
+          pop ctx;
+          line ctx "}";
+          line ctx "pm_vpow(%s, %s, %s, %s);" a bx t cnt
+        | _ -> assert false);
+        subs := (node, spf "%s[%s - %s]" t lv start) :: !subs)
+      trans;
+    let rdf = rd_with !subs in
+    line ctx "#pragma GCC ivdep";
+    line ctx "for (int %s = %s; %s < %s + %s; %s++) {" lv start lv start cnt
+      lv;
+    push ctx;
+    line ctx "%s = %s;" target (store_of f.ftyp (dexp rdf case.rhs));
+    pop ctx;
+    line ctx "}"
+  in
+  if n = 1 && parallel then line ctx "#pragma omp parallel for";
+  line ctx "for (int %sB = %s_l%d; %sB < %s_vs; %sB += %d) {" tag tag li tag
+    tag tag w;
+  push ctx;
+  strip_body ~start:(spf "%sB" tag) ~cnt:(string_of_int w);
+  pop ctx;
+  line ctx "}";
+  line ctx "if (%s_vs <= %s_u%d) {" tag tag li;
+  push ctx;
+  line ctx "const int %s_r = %s_u%d - %s_vs + 1;" tag tag li tag;
+  strip_body ~start:(spf "%s_vs" tag) ~cnt:(spf "%s_r" tag);
+  pop ctx;
+  line ctx "}";
+  Polymage_util.Metrics.bumpn "cgen/vector_loops";
+  Polymage_util.Metrics.bumpn "cgen/scalar_epilogues";
+  for _ = 1 to n - 1 do
+    pop ctx;
+    line ctx "}"
+  done
+
+let emit_straight ctx ?simd (plan : C.Plan.t) i =
   let pipe = plan.pipe in
   let f = pipe.stages.(i) in
   line ctx "/* ---- stage %s ---- */" f.fname;
@@ -276,13 +737,22 @@ let emit_straight ctx (plan : C.Plan.t) i =
         match
           if plan.opts.split_cases then piece_bounds f case else None
         with
-        | Some bounds ->
+        | Some bounds -> (
           line ctx "{ /* case %d (split) */" k;
           push ctx;
-          emit_loops ctx ~parallel (spf "c%d_%d" i k) f bounds (fun () ->
-              emit_store ctx default_readers f (target ()) case);
+          (match simd with
+          | Some s when parallel && case_batches case ->
+            emit_strip_case ctx ~parallel ~simd:s (spf "c%d_%d" i k) f bounds
+              default_readers case ~target:(target ())
+          | _ ->
+            (* ivdep is gated on [parallel]: a self-recursive stage has
+               real loop-carried dependences, and the GCC form of the
+               pragma is a promise the compiler believes. *)
+            emit_loops ctx ~parallel ~ivdep:parallel (spf "c%d_%d" i k) f
+              bounds (fun () ->
+                emit_store ctx default_readers f (target ()) case));
           pop ctx;
-          line ctx "}"
+          line ctx "}")
         | None ->
           line ctx "{ /* case %d (guarded) */" k;
           push ctx;
@@ -343,7 +813,16 @@ let emit_straight ctx (plan : C.Plan.t) i =
 
 (* ---------- tiled groups ---------- *)
 
-let emit_tiled ctx (plan : C.Plan.t) gi (g : C.Plan.tiled) =
+let emit_tiled ctx ?simd (plan : C.Plan.t) gi (g : C.Plan.tiled) =
+  let self_rec (f : Ast.func) =
+    let pipe = plan.pipe in
+    let r = ref false in
+    Array.iteri
+      (fun i (st : Ast.func) ->
+        if st.fid = f.Ast.fid && pipe.self_recursive.(i) then r := true)
+      pipe.stages;
+    !r
+  in
   let sched = g.sched in
   let ncd = sched.n_cdims in
   let naive = plan.opts.naive_overlap in
@@ -430,7 +909,9 @@ let emit_tiled ctx (plan : C.Plan.t) gi (g : C.Plan.tiled) =
   Array.iter
     (fun (m : C.Plan.member) ->
       if m.used_in_group && plan.opts.scratchpads then
-        line ctx "double* %s = (double*)malloc(sizeof(double) * %s_sc_total);"
+        line ctx
+          "double* restrict %s = (double*)malloc(sizeof(double) * \
+           %s_sc_total);"
           (sname m.ms.func) m.ms.func.Ast.fname)
     g.members;
   line ctx "#pragma omp for";
@@ -468,6 +949,7 @@ let emit_tiled ctx (plan : C.Plan.t) gi (g : C.Plan.tiled) =
           if Hashtbl.mem in_scratch f.Ast.fid then scratch_read f args
           else buffer_read f args);
       ri = image_read;
+      sub = no_sub;
     }
   in
   (* Widened ([st, en]) and owned ([ost, oen]) ranges per member and
@@ -592,11 +1074,22 @@ let emit_tiled ctx (plan : C.Plan.t) gi (g : C.Plan.tiled) =
             | None -> None
           in
           match bounds with
-          | Some bs ->
-            emit_loops ctx (spf "m%d_%d_%d" gi k kc) f bs (fun () ->
-                emit_store ctx rd f
-                  (target (List.map vname f.Ast.fvars))
-                  case)
+          | Some bs -> (
+            match simd with
+            | Some s when (not (self_rec f)) && case_batches case ->
+              emit_strip_case ctx ~simd:s
+                (spf "m%d_%d_%d" gi k kc)
+                f bs rd case
+                ~target:(target (List.map vname f.Ast.fvars))
+            | _ ->
+              emit_loops ctx
+                ~ivdep:(not (self_rec f))
+                (spf "m%d_%d_%d" gi k kc)
+                f bs
+                (fun () ->
+                  emit_store ctx rd f
+                    (target (List.map vname f.Ast.fvars))
+                    case))
           | None ->
             let bs =
               Array.of_list
@@ -682,18 +1175,53 @@ let signature ?name (plan : C.Plan.t) =
   let params =
     List.map (fun p -> spf "int %s" (pname p)) pipe.params
   in
+  (* Every buffer the pipeline touches is reached through exactly one
+     pointer (inputs are caller-owned and distinct from the
+     internally-allocated stage buffers), so [restrict] is sound and
+     tells the vectorizer the gather/store loops cannot alias. *)
   let imgs =
-    List.map (fun im -> spf "const double* %s" (iname im)) pipe.images
+    List.map
+      (fun im -> spf "const double* restrict %s" (iname im))
+      pipe.images
   in
   let outs =
     List.map
-      (fun (f : Ast.func) -> spf "double** out_%s" f.fname)
+      (fun (f : Ast.func) -> spf "double** restrict out_%s" f.fname)
       pipe.outputs
   in
   spf "void %s(%s)" (func_name ?name plan)
     (String.concat ", " (params @ imgs @ outs))
 
-let emit ?name (plan : C.Plan.t) =
+(* True when SIMD emission would strip-mine at least one loop nest of
+   the plan: a non-self-recursive Cases stage with a boxed case whose
+   rhs batches transcendentals.  Gates the fast-math header and the
+   backend's -fno-trapping-math flag — a plan with no batched loops
+   compiles byte-identically to the SIMD-off emission, which keeps
+   the off/auto A/B comparison honest. *)
+let plan_batches (plan : C.Plan.t) =
+  let pipe = plan.pipe in
+  let self_rec (f : Ast.func) =
+    let r = ref false in
+    Array.iteri
+      (fun i (st : Ast.func) ->
+        if st.fid = f.Ast.fid && pipe.self_recursive.(i) then r := true)
+      pipe.stages;
+    !r
+  in
+  plan.opts.split_cases
+  && Array.exists
+       (fun (f : Ast.func) ->
+         (not (self_rec f))
+         &&
+         match f.Ast.fbody with
+         | Ast.Cases cases ->
+           List.exists
+             (fun c -> piece_bounds f c <> None && case_batches c)
+             cases
+         | _ -> false)
+       pipe.stages
+
+let emit ?name ?simd (plan : C.Plan.t) =
   (match plan.opts.tiling with
   | C.Options.Overlap -> ()
   | C.Options.Parallelogram | C.Options.Split ->
@@ -707,8 +1235,17 @@ let emit ?name (plan : C.Plan.t) =
         ("tiled", string_of_int (C.Plan.n_tiled_groups plan));
       ]
   @@ fun () ->
+  let simd = Option.map simd_of_level simd in
   let ctx = { b = Buffer.create 4096; ind = 0 } in
   Buffer.add_string ctx.b preamble;
+  (* The fast-math helpers ride along only when some loop actually
+     calls them: a plan with nothing to batch emits byte-identically
+     to the SIMD-off emission, so the off/auto A/B compares the
+     batched code and nothing else. *)
+  if simd <> None && plan_batches plan then begin
+    blank ctx;
+    Buffer.add_string ctx.b fastmath_source
+  end;
   blank ctx;
   line ctx "%s" (signature ?name plan);
   line ctx "{";
@@ -716,14 +1253,14 @@ let emit ?name (plan : C.Plan.t) =
   let pipe = plan.pipe in
   emit_geometry ctx pipe;
   Array.iter
-    (fun (f : Ast.func) -> line ctx "double* %s = NULL;" (bname f))
+    (fun (f : Ast.func) -> line ctx "double* restrict %s = NULL;" (bname f))
     pipe.stages;
   blank ctx;
   Array.iteri
     (fun k item ->
       (match (item : C.Plan.item) with
-      | Straight i -> emit_straight ctx plan i
-      | Tiled g -> emit_tiled ctx plan k g);
+      | Straight i -> emit_straight ctx ?simd plan i
+      | Tiled g -> emit_tiled ctx ?simd plan k g);
       blank ctx)
     plan.items;
   (* Hand outputs to the caller, free the rest. *)
@@ -742,9 +1279,9 @@ let emit ?name (plan : C.Plan.t) =
   Polymage_util.Metrics.addn "codegen/bytes" (String.length src);
   src
 
-let emit_with_main ?name ?(time_runs = 0) (plan : C.Plan.t) ~fill ~env =
+let emit_with_main ?name ?simd ?(time_runs = 0) (plan : C.Plan.t) ~fill ~env =
   let pipe = plan.pipe in
-  let base = emit ?name plan in
+  let base = emit ?name ?simd plan in
   Polymage_util.Trace.with_span ~cat:"codegen" "codegen.emit_main"
   @@ fun () ->
   let ctx = { b = Buffer.create 1024; ind = 0 } in
@@ -913,9 +1450,9 @@ static void pm_write_raw(const char* path, uint32_t rank,
 }
 |}
 
-let emit_raw_main ?name (plan : C.Plan.t) =
+let emit_raw_main ?name ?simd (plan : C.Plan.t) =
   let pipe = plan.pipe in
-  let base = emit ?name plan in
+  let base = emit ?name ?simd plan in
   Polymage_util.Trace.with_span ~cat:"codegen" "codegen.emit_raw_main"
   @@ fun () ->
   let ctx = { b = Buffer.create 1024; ind = 0 } in
@@ -1036,9 +1573,9 @@ let raw_entry_symbol = "polymage_run"
      k (the caller's geometry disagrees with the artifact's — the
      in-process analogue of the raw main's extent check).  NULL skips
      the validation.  Returns 0 on success. *)
-let emit_raw_entry ?name (plan : C.Plan.t) =
+let emit_raw_entry ?name ?simd (plan : C.Plan.t) =
   let pipe = plan.pipe in
-  let base = emit ?name plan in
+  let base = emit ?name ?simd plan in
   Polymage_util.Trace.with_span ~cat:"codegen" "codegen.emit_raw_entry"
   @@ fun () ->
   let ctx = { b = Buffer.create 1024; ind = 0 } in
@@ -1100,3 +1637,48 @@ let emit_raw_entry ?name (plan : C.Plan.t) =
   pop ctx;
   line ctx "}";
   base ^ "\n" ^ Buffer.contents ctx.b
+
+(* ---------- plan introspection for explain ---------- *)
+
+let plan_widths ?simd (plan : C.Plan.t) =
+  match Option.map simd_of_level simd with
+  | None -> Array.map (fun _ -> 1) plan.items
+  | Some s ->
+    let pipe = plan.pipe in
+    (* Mirrors the emission gates above: a plan item strip-mines when
+       at least one of its loop nests would — a boxed (split) case of
+       a non-self-recursive Cases stage with transcendental work to
+       batch. *)
+    let strippable (f : Ast.func) =
+      plan.opts.split_cases
+      &&
+      match f.Ast.fbody with
+      | Ast.Cases cases ->
+        List.exists
+          (fun c -> piece_bounds f c <> None && case_batches c)
+          cases
+      | _ -> false
+    in
+    let self_rec (f : Ast.func) =
+      let r = ref false in
+      Array.iteri
+        (fun i (st : Ast.func) ->
+          if st.fid = f.Ast.fid && pipe.self_recursive.(i) then r := true)
+        pipe.stages;
+      !r
+    in
+    Array.map
+      (fun item ->
+        match (item : C.Plan.item) with
+        | C.Plan.Straight i ->
+          let f = pipe.stages.(i) in
+          if (not pipe.self_recursive.(i)) && strippable f then s.width else 1
+        | C.Plan.Tiled g ->
+          if
+            Array.exists
+              (fun (m : C.Plan.member) ->
+                (not (self_rec m.ms.func)) && strippable m.ms.func)
+              g.members
+          then s.width
+          else 1)
+      plan.items

@@ -13,14 +13,58 @@
 open Polymage_ir
 module C := Polymage_compiler
 
-val emit : ?name:string -> C.Plan.t -> string
+(** Vector ISA level for explicit SIMD emission.  Chosen by the caller
+    (the backend resolves {!C.Options.simd_mode} through
+    [Toolchain.isa_lookup]); codegen itself never probes hardware. *)
+type simd_level = Sse2 | Avx2 | Avx512
+
+val simd_level_to_string : simd_level -> string
+
+val simd_width : simd_level -> int
+(** The strip width (doubles per block) emission uses for a level:
+    16 vector registers' worth — 32 / 64 / 128 — chosen to amortize
+    the batched fast-math calls while the per-strip arrays stay in
+    L1. *)
+
+val fastmath_source : string
+(** The vector fast-math header every SIMD-emitting translation unit
+    carries: batched Cephes-style [pm_vexp]/[pm_vlog]/[pm_vpow] with
+    one full clone per ISA level behind
+    [__attribute__((target("arch=...")))], selected at load time by a
+    cpuid constructor (capped by the [POLYMAGE_ISA] environment
+    variable, which can only lower the choice).  Self-contained C99 +
+    GNU attributes; non-x86-64 or non-GNU builds compile only the
+    portable fallback.  Exposed for the accuracy/vectorization tests. *)
+
+val plan_widths : ?simd:simd_level -> C.Plan.t -> int array
+(** Per plan item, the strip width explicit SIMD emission would use
+    (1 = scalar: reductions, guarded cases, self-recursive stages,
+    and loops with no transcendental work to batch — a plain
+    arithmetic loop already autovectorizes under its ivdep
+    annotation, so strip-mining it is pure overhead).  Drives
+    [explain]'s per-group SIMD reporting. *)
+
+val plan_batches : C.Plan.t -> bool
+(** Whether SIMD emission strip-mines anything at all — i.e. some
+    non-self-recursive Cases stage has a boxed case whose rhs calls
+    [exp]/[log]/[pow].  When false the SIMD emission is byte-identical
+    to the scalar one, and the backend drops
+    {!Toolchain.simd_cflags} from the compile too. *)
+
+val emit : ?name:string -> ?simd:simd_level -> C.Plan.t -> string
 (** The pipeline function alone:
     [void pipeline_<name>(int <param>.., const double* <image>..,
     double** out_<stage>..)].  Output buffers are allocated inside
-    (caller frees). *)
+    (caller frees).  With [simd], loops that batch transcendentals
+    are strip-mined to the level's width with batched fast-math calls
+    and a scalar epilogue, and {!fastmath_source} is prepended
+    (only when something batches); without [simd] the emission is
+    scalar (annotated for autovectorization only) and byte-stable
+    across hosts. *)
 
 val emit_with_main :
   ?name:string ->
+  ?simd:simd_level ->
   ?time_runs:int ->
   C.Plan.t ->
   fill:(Ast.image -> string) ->
@@ -42,6 +86,7 @@ val raw_magic : string
 
 val emit_raw_main :
   ?name:string ->
+  ?simd:simd_level ->
   C.Plan.t ->
   string
 (** The pipeline function plus a runtime-parameterized [main] speaking
@@ -62,7 +107,7 @@ val raw_entry_symbol : string
 (** The symbol exported by {!emit_raw_entry} artifacts:
     ["polymage_run"]. *)
 
-val emit_raw_entry : ?name:string -> C.Plan.t -> string
+val emit_raw_entry : ?name:string -> ?simd:simd_level -> C.Plan.t -> string
 (** The pipeline function plus an exported in-process entry point (no
     [main]) for the shared-object tier:
 

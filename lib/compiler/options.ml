@@ -2,6 +2,23 @@ open Polymage_ir
 
 type tiling_mode = Overlap | Parallelogram | Split
 
+type simd_mode = Simd_auto | Simd_off | Simd_sse2 | Simd_avx2 | Simd_avx512
+
+let simd_mode_to_string = function
+  | Simd_auto -> "auto"
+  | Simd_off -> "off"
+  | Simd_sse2 -> "sse2"
+  | Simd_avx2 -> "avx2"
+  | Simd_avx512 -> "avx512"
+
+let simd_mode_of_string = function
+  | "auto" -> Some Simd_auto
+  | "off" -> Some Simd_off
+  | "sse2" -> Some Simd_sse2
+  | "avx2" -> Some Simd_avx2
+  | "avx512" -> Some Simd_avx512
+  | _ -> None
+
 type t = {
   grouping_on : bool;
   tiling : tiling_mode;
@@ -20,6 +37,7 @@ type t = {
   exec_timeout_ms : int option;
   fault : (string * int) option;
   trace : bool;
+  simd : simd_mode;
   estimates : Types.bindings;
 }
 
@@ -42,6 +60,7 @@ let base ?(workers = 1) ~estimates () =
     exec_timeout_ms = None;
     fault = None;
     trace = false;
+    simd = Simd_auto;
     estimates;
   }
 
@@ -75,11 +94,12 @@ let with_scratch_budget bytes t = { t with max_scratch_bytes = bytes }
 let with_exec_timeout ms t = { t with exec_timeout_ms = ms }
 let with_fault fault t = { t with fault }
 let with_trace trace t = { t with trace }
+let with_simd simd t = { t with simd }
 
 let pp ppf t =
   Format.fprintf ppf
     "{grouping=%b inline=%b vec=%b split=%b workers=%d tile=[%s] \
-     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s%s%s%s}"
+     thresh=%.2f scratch=%b naive_overlap=%b kernels=%b%s%s%s%s%s%s}"
     t.grouping_on t.inline_on t.vec t.split_cases t.workers
     (String.concat ";" (Array.to_list (Array.map string_of_int t.tile)))
     t.threshold t.scratchpads t.naive_overlap t.kernels
@@ -94,3 +114,6 @@ let pp ppf t =
     | None -> ""
     | Some (site, seed) -> Printf.sprintf " fault=%s:%d" site seed)
     (if t.trace then " trace" else "")
+    (match t.simd with
+    | Simd_auto -> ""
+    | m -> Printf.sprintf " simd=%s" (simd_mode_to_string m))

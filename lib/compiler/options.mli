@@ -17,6 +17,20 @@ open Polymage_ir
     trade-offs of the paper's Fig. 5 table. *)
 type tiling_mode = Overlap | Parallelogram | Split
 
+(** SIMD strategy for the C backend's explicit vector codegen.
+    [Simd_auto] probes the build host's ISA through
+    {!Polymage_backend.Toolchain} and strip-mines inner loops for it;
+    [Simd_off] keeps the scalar emission (autovectorization only); the
+    remaining constructors force a specific strip width and fast-math
+    kernel target regardless of the probe — safe everywhere, because
+    the emitted artifact still selects its fast-math code path by
+    cpuid at load time.  The knob only affects the C backend; the
+    native executor ignores it. *)
+type simd_mode = Simd_auto | Simd_off | Simd_sse2 | Simd_avx2 | Simd_avx512
+
+val simd_mode_to_string : simd_mode -> string
+val simd_mode_of_string : string -> simd_mode option
+
 type t = {
   grouping_on : bool;  (** fuse stages and tile with overlap (§3.4-3.5) *)
   tiling : tiling_mode;
@@ -71,6 +85,9 @@ type t = {
       (** enable {!Polymage_util.Trace} spans and {!Polymage_util.Metrics}
           counters for this compile/run (default off; the disabled path
           costs one atomic load per instrumentation point) *)
+  simd : simd_mode;
+      (** explicit SIMD codegen for the C backend (default
+          [Simd_auto]); see {!simd_mode} *)
   estimates : Types.bindings;  (** parameter estimates for grouping *)
 }
 
@@ -99,4 +116,5 @@ val with_scratch_budget : int option -> t -> t
 val with_exec_timeout : int option -> t -> t
 val with_fault : (string * int) option -> t -> t
 val with_trace : bool -> t -> t
+val with_simd : simd_mode -> t -> t
 val pp : Format.formatter -> t -> unit

@@ -36,6 +36,10 @@ type baseline = {
       (* schema v5 measurement mode: "oneshot" (a fresh process per
          measurement — every earlier schema) or "serve" (request
          latency through the long-lived server) *)
+  isa : string;
+      (* schema v7 explicit-SIMD level the C backend emitted for
+         ("off", "sse2", "avx2", "avx512"); "" for earlier files,
+         which predate explicit SIMD codegen *)
   host : host option;  (* schema v3 host metadata, when present *)
   cells : measurement list;
 }
@@ -78,6 +82,11 @@ let of_json (j : Trace.json) : (baseline, string) result =
     let mode =
       match field "mode" j with Some (Trace.Str s) -> s | _ -> "oneshot"
     in
+    (* v7 adds the explicit-SIMD level; earlier files predate the
+       knob and load with an empty level. *)
+    let isa =
+      match field "isa" j with Some (Trace.Str s) -> s | _ -> ""
+    in
     let host =
       match field "host" j with
       | Some (Trace.Obj _ as h) ->
@@ -119,7 +128,8 @@ let of_json (j : Trace.json) : (baseline, string) result =
               | _ -> failwith "apps entry is not an object")
             apps
         in
-        Ok { schema_version; bench; scale; backend; tier; mode; host; cells }
+        Ok
+          { schema_version; bench; scale; backend; tier; mode; isa; host; cells }
       with Failure msg -> Error msg)
     | _ -> Error "baseline has no \"apps\" array")
   | _ -> Error "baseline top level is not an object"
@@ -183,6 +193,21 @@ let check_mode (b : baseline) ~current =
           mode; cross-mode comparisons are meaningless — re-measure the \
           baseline in %s mode or compare against a %s-mode baseline"
          b.mode current current current)
+
+(* The SIMD level is part of what the generated code is; a baseline
+   that recorded one (schema v7) only gates runs at the same level.
+   Pre-v7 baselines recorded no level — they predate the knob — and
+   remain comparable with any run, since the ratio columns the gates
+   feed on divide the level's effect out of both sides. *)
+let check_isa (b : baseline) ~current =
+  if b.isa = "" || b.isa = current then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "baseline was measured at SIMD level %S but the current run emits \
+          %S; re-measure the baseline at --simd %s or compare against a \
+          %s baseline"
+         b.isa current current current)
 
 (* ---- comparison ---- *)
 

@@ -45,6 +45,10 @@ type baseline = {
       (** schema v5 measurement mode: ["oneshot"] (a fresh process per
           measurement — every earlier schema) or ["serve"] (request
           latency through the long-lived server) *)
+  isa : string;
+      (** schema v7 explicit-SIMD level the C backend emitted
+          (["off"], ["sse2"], ["avx2"], ["avx512"]); [""] for earlier
+          files, which predate explicit SIMD codegen *)
   host : host option;  (** schema v3 host metadata, when present *)
   cells : measurement list;  (** every numeric field of every app *)
 }
@@ -69,6 +73,12 @@ val check_mode : baseline -> current:string -> (unit, string) result
     warm-up that a long-lived server amortizes away, so a serve-mode
     percentile against a one-shot median compares lifecycles, not
     performance. *)
+
+val check_isa : baseline -> current:string -> (unit, string) result
+(** Refuse cross-SIMD-level comparisons when the baseline recorded a
+    level (schema v7).  Pre-v7 baselines ([isa = ""]) pass against any
+    current level: they predate the knob, and the ratio columns the
+    gates feed on divide the level's effect out of both sides. *)
 
 type cell = {
   capp : string;

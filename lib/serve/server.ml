@@ -60,6 +60,7 @@ type config = {
   cache_dir : string option;
   telemetry : bool;
   access_log : string option;
+  simd : C.Options.simd_mode;
 }
 
 let default_config ?cache_dir () =
@@ -73,6 +74,7 @@ let default_config ?cache_dir () =
     cache_dir;
     telemetry = true;
     access_log = None;
+    simd = C.Options.Simd_auto;
   }
 
 (* ---- telemetry state ---- *)
@@ -264,7 +266,10 @@ let plan_state t (app : App.t) env =
   in
   if builder then (
     match
-      let opts = C.Options.opt_vec ~workers:t.cfg.workers ~estimates:env () in
+      let opts =
+        C.Options.with_simd t.cfg.simd
+          (C.Options.opt_vec ~workers:t.cfg.workers ~estimates:env ())
+      in
       let plan = C.Compile.run opts ~outputs:app.outputs in
       {
         key;

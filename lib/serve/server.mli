@@ -49,6 +49,9 @@ type config = {
   access_log : string option;
       (** append one JSONL record per completed request (requires
           [telemetry]) *)
+  simd : Polymage_compiler.Options.simd_mode;
+      (** explicit SIMD knob applied to every plan the server builds
+          (default [Simd_auto]) *)
 }
 
 val default_config : ?cache_dir:string -> unit -> config

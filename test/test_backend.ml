@@ -117,8 +117,8 @@ let store_bytes ?kind ?entry dir key n =
 
 let cache_hit_and_corruption () =
   let dir = fresh_dir () in
-  let k = Cache.key ~cc:"cc" ~version:"v1" ~flags:"-O3" ~source:"src" in
-  let k' = Cache.key ~cc:"cc" ~version:"v1" ~flags:"-O3" ~source:"other" in
+  let k = Cache.key ~tag:"" ~cc:"cc" ~version:"v1" ~flags:"-O3" ~source:"src" in
+  let k' = Cache.key ~tag:"" ~cc:"cc" ~version:"v1" ~flags:"-O3" ~source:"other" in
   Alcotest.(check bool) "key depends on the source" true (k <> k');
   Alcotest.(check (option string)) "empty cache misses" None
     (Cache.lookup ~dir k);
@@ -143,7 +143,7 @@ let cache_hit_and_corruption () =
 let cache_lru_eviction () =
   let dir = fresh_dir () in
   let key i =
-    Cache.key ~cc:"cc" ~version:"v" ~flags:"-O" ~source:(string_of_int i)
+    Cache.key ~tag:"" ~cc:"cc" ~version:"v" ~flags:"-O" ~source:(string_of_int i)
   in
   let k1 = key 1 and k2 = key 2 and k3 = key 3 in
   List.iter (fun k -> ignore (store_bytes dir k 1000)) [ k1; k2; k3 ];
@@ -181,7 +181,7 @@ let cache_lru_eviction () =
 let cache_kinds_and_meta_compat () =
   let dir = fresh_dir () in
   let k =
-    Cache.key ~cc:"cc" ~version:"v" ~flags:"-O -shared -fPIC"
+    Cache.key ~tag:"" ~cc:"cc" ~version:"v" ~flags:"-O -shared -fPIC"
       ~source:"so-src"
   in
   let so = store_bytes ~kind:Cache.So ~entry:"polymage_run" dir k 128 in
@@ -200,7 +200,7 @@ let cache_kinds_and_meta_compat () =
   Alcotest.(check (option string)) "invalidate drops any kind" None
     (Cache.lookup ~kind:Cache.So ~dir k);
   (* format-1 meta (size only): reads back as an executable named main *)
-  let k2 = Cache.key ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"exe-src" in
+  let k2 = Cache.key ~tag:"" ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"exe-src" in
   let exe = store_bytes dir k2 64 in
   let oc = open_out (Filename.concat dir (k2 ^ ".meta")) in
   Printf.fprintf oc "size %d\n" 64;
@@ -214,7 +214,7 @@ let cache_kinds_and_meta_compat () =
     (Cache.lookup ~kind:Cache.So ~dir k2);
   (* a meta whose kind disagrees with the artifact suffix on disk is a
      torn store: corrupt, discarded *)
-  let k3 = Cache.key ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"torn" in
+  let k3 = Cache.key ~tag:"" ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"torn" in
   let exe3 = store_bytes dir k3 64 in
   let oc = open_out (Filename.concat dir (k3 ^ ".meta")) in
   Printf.fprintf oc "size %d\nkind so\nentry polymage_run\n" 64;
@@ -224,7 +224,7 @@ let cache_kinds_and_meta_compat () =
   Alcotest.(check bool) "corrupt entry was removed" false
     (Sys.file_exists exe3);
   (* eviction walks both kinds *)
-  let k4 = Cache.key ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"so2" in
+  let k4 = Cache.key ~tag:"" ~cc:"cc" ~version:"v" ~flags:"-O" ~source:"so2" in
   ignore (store_bytes ~kind:Cache.So ~entry:"polymage_run" dir k4 1000);
   let n = Cache.evict ~max_bytes:0 dir in
   Alcotest.(check int) "eviction removes entries of both kinds" 2 n;
@@ -510,12 +510,20 @@ let broken_artifact_recovers () =
   if not (Lazy.force have_cc) then ()
   else begin
     let dir = fresh_dir () in
-    let plan, env, images = plan_for "harris" in
+    (* simd off so the key below (legacy flags, empty tag, scalar
+       source) is exactly what the backend computes for this plan *)
+    let plan, env, images =
+      plan_for
+        ~opts:(fun env ->
+          C.Options.with_simd C.Options.Simd_off
+            (C.Options.opt_vec ~estimates:env ()))
+        "harris"
+    in
     (* plant a valid-looking cache entry under the exact key the
        backend will compute: it runs but exits non-zero *)
     let tc = Toolchain.get () in
     let key =
-      Cache.key ~cc:tc.Toolchain.cc ~version:tc.Toolchain.version
+      Cache.key ~tag:"" ~cc:tc.Toolchain.cc ~version:tc.Toolchain.version
         ~flags:tc.Toolchain.flags
         ~source:(Cgen.emit_raw_main plan)
     in

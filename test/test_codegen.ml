@@ -32,8 +32,10 @@ let structure () =
     [
       "#pragma omp parallel";  (* parallel region around the tiles *)
       "#pragma omp for";  (* parallel tile loop *)
-      "#pragma ivdep";  (* unit-stride inner loops *)
-      "double* S_";  (* per-thread scratchpads *)
+      "#pragma GCC ivdep";  (* unit-stride inner loops (the GCC
+                               spelling — plain [#pragma ivdep] is icc
+                               syntax that gcc silently ignores) *)
+      "double* restrict S_";  (* per-thread scratchpads *)
       "ceild(base";  (* relative tile geometry *)
       "out_harris";  (* live-out returned *)
       "calloc";

@@ -22,4 +22,5 @@ let () =
       Test_backend.suite;
       Test_robust.suite;
       Test_serve.suite;
+      Test_simd.suite;
     ]

@@ -352,7 +352,7 @@ let plant_so ~dir ~(plan : C.Plan.t) evil_source =
   let tc = Toolchain.get () in
   let flags = Toolchain.so_flags_exn tc in
   let key =
-    Cache.key ~cc:tc.Toolchain.cc ~version:tc.Toolchain.version ~flags
+    Cache.key ~tag:"" ~cc:tc.Toolchain.cc ~version:tc.Toolchain.version ~flags
       ~source:(Cgen.emit_raw_entry plan)
   in
   ignore
@@ -390,7 +390,14 @@ let planted_segv_is_contained () =
   if not (so_available ()) then ()
   else begin
     let dir = fresh_dir () in
-    let plan, env, images = plan_for "harris" in
+    (* simd off so plant_so's legacy key matches the backend's *)
+    let plan, env, images =
+      plan_for
+        ~opts:(fun env ->
+          C.Options.with_simd C.Options.Simd_off
+            (C.Options.opt_vec ~estimates:env ()))
+        "harris"
+    in
     plant_so ~dir ~plan segv_source;
     with_metrics @@ fun () ->
     let (result, st), degr =
@@ -423,8 +430,9 @@ let planted_hang_is_contained () =
     let plan, env, images =
       plan_for
         ~opts:(fun env ->
-          C.Options.with_exec_timeout (Some 1000)
-            (C.Options.opt_vec ~estimates:env ()))
+          C.Options.with_simd C.Options.Simd_off
+            (C.Options.with_exec_timeout (Some 1000)
+               (C.Options.opt_vec ~estimates:env ())))
         "harris"
     in
     plant_so ~dir ~plan hang_source;

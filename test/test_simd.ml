@@ -1,0 +1,465 @@
+(* Explicit SIMD codegen and the vector fast-math kernels: option
+   plumbing, ISA probing overrides, cache-key hygiene, emitted-code
+   structure, gcc's own vectorization report on the kernels, ulp-bound
+   accuracy against libm (at every ISA level the POLYMAGE_ISA cap can
+   reach on this host), and a forced-ISA differential round trip for
+   every app. *)
+open Polymage_ir
+module C = Polymage_compiler
+module Rt = Polymage_rt
+module Apps = Polymage_apps.Apps
+module Cgen = Polymage_codegen.Cgen
+module Toolchain = Polymage_backend.Toolchain
+module Cache = Polymage_backend.Cache
+
+let have_cc = lazy (Toolchain.available ())
+let cc () = (Toolchain.get ()).Toolchain.cc
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let write_tmp ~suffix src =
+  let tmp = Filename.temp_file "pm_simd" suffix in
+  let oc = open_out tmp in
+  output_string oc src;
+  close_out oc;
+  tmp
+
+(* ---------- option plumbing ---------- *)
+
+let mode_roundtrip () =
+  List.iter
+    (fun (s, m) ->
+      Alcotest.(check bool)
+        ("of_string " ^ s) true
+        (C.Options.simd_mode_of_string s = Some m);
+      Alcotest.(check string) ("to_string " ^ s) s
+        (C.Options.simd_mode_to_string m))
+    [
+      ("auto", C.Options.Simd_auto);
+      ("off", C.Options.Simd_off);
+      ("sse2", C.Options.Simd_sse2);
+      ("avx2", C.Options.Simd_avx2);
+      ("avx512", C.Options.Simd_avx512);
+    ];
+  Alcotest.(check bool)
+    "junk rejected" true
+    (C.Options.simd_mode_of_string "avx1024" = None);
+  let o = C.Options.opt ~estimates:[] () in
+  Alcotest.(check bool) "default auto" true (o.C.Options.simd = Simd_auto);
+  let o = C.Options.with_simd C.Options.Simd_avx2 o in
+  Alcotest.(check bool) "with_simd" true (o.C.Options.simd = Simd_avx2)
+
+(* ---------- POLYMAGE_ISA override ---------- *)
+
+let isa_override () =
+  let saved = Sys.getenv_opt "POLYMAGE_ISA" in
+  let restore () =
+    (* Unix.putenv cannot unset; the empty string matches no level and
+       no "off", so isa_lookup falls back to the probe — the same
+       answer an absent variable gives. *)
+    Unix.putenv "POLYMAGE_ISA" (Option.value saved ~default:"")
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  Unix.putenv "POLYMAGE_ISA" "off";
+  Alcotest.(check bool) "off disables" true (Toolchain.isa_lookup () = None);
+  List.iter
+    (fun (s, l) ->
+      Unix.putenv "POLYMAGE_ISA" s;
+      Alcotest.(check bool) ("forces " ^ s) true
+        (Toolchain.isa_lookup () = Some l))
+    [
+      ("sse2", Toolchain.Sse2);
+      ("avx2", Toolchain.Avx2);
+      ("avx512", Toolchain.Avx512);
+    ];
+  (* an unrecognized value falls back to the probe *)
+  Unix.putenv "POLYMAGE_ISA" "pentium3";
+  let probed = Toolchain.isa_lookup () in
+  restore ();
+  Alcotest.(check bool) "junk means probe" true
+    (probed = Toolchain.isa_lookup ())
+
+(* ---------- cache-key hygiene ---------- *)
+
+let cache_key_tag () =
+  let k ~tag =
+    Cache.key ~tag ~cc:"gcc" ~version:"gcc 12" ~flags:"-O3"
+      ~source:"int main(void){return 0;}"
+  in
+  Alcotest.(check bool)
+    "simd level distinguishes keys" true
+    (k ~tag:"simd=avx2" <> k ~tag:"");
+  Alcotest.(check bool)
+    "levels distinguish keys" true
+    (k ~tag:"simd=avx2" <> k ~tag:"simd=avx512");
+  (* the empty tag must keep hashing exactly as the pre-tag key did,
+     so artifacts cached by earlier releases stay addressable *)
+  let legacy =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00"
+            [ "gcc"; "gcc 12"; "-O3"; "int main(void){return 0;}" ]))
+  in
+  Alcotest.(check string) "empty tag = legacy key" legacy (k ~tag:"")
+
+(* ---------- emitted-code structure ---------- *)
+
+let plan_for name opts_of =
+  let app = Apps.find name in
+  let env = app.small_env in
+  (C.Compile.run (opts_of env) ~outputs:app.outputs, env)
+
+let structure () =
+  let plan, _ = plan_for "local_laplacian" (fun env -> C.Options.opt_vec ~estimates:env ()) in
+  let scalar = Cgen.emit plan in
+  let simd = Cgen.emit ~simd:Cgen.Avx2 plan in
+  Alcotest.(check bool) "scalar has no batched calls" false
+    (contains scalar "pm_vexp(");
+  (* satellite: the GCC spelling only — a bare "#pragma ivdep" is icc
+     syntax that gcc ignores *)
+  Alcotest.(check bool) "no ignored icc pragma" false
+    (contains scalar "#pragma ivdep");
+  Alcotest.(check bool) "GCC ivdep present" true
+    (contains scalar "#pragma GCC ivdep");
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("simd contains " ^ needle) true
+        (contains simd needle))
+    [
+      "pm_vexp(";  (* remap stages batch their exp *)
+      Printf.sprintf "+= %d" (Cgen.simd_width Cgen.Avx2);  (* strip loop *)
+      "restrict";
+      "__attribute__((constructor))";  (* cpuid dispatch *)
+      "pm_vexp_avx512";  (* every clone is always present *)
+      "POLYMAGE_ISA";  (* runtime cap *)
+    ];
+  Alcotest.(check bool) "plan batches" true (Cgen.plan_batches plan);
+  let widths = Cgen.plan_widths ~simd:Cgen.Avx2 plan in
+  Alcotest.(check bool) "some item strips at the avx2 width" true
+    (Array.exists (fun w -> w = Cgen.simd_width Cgen.Avx2) widths)
+
+let structure_no_batch () =
+  (* no transcendentals anywhere in bilateral_grid: the SIMD emission
+     must be byte-identical to the scalar one, so the off/auto A/B
+     compares batched code and nothing else *)
+  let plan, _ = plan_for "bilateral_grid" (fun env -> C.Options.opt_vec ~estimates:env ()) in
+  Alcotest.(check bool) "plan does not batch" false (Cgen.plan_batches plan);
+  Alcotest.(check string) "emission identical to scalar"
+    (Digest.to_hex (Digest.string (Cgen.emit plan)))
+    (Digest.to_hex (Digest.string (Cgen.emit ~simd:Cgen.Avx512 plan)));
+  let widths = Cgen.plan_widths ~simd:Cgen.Avx512 plan in
+  Alcotest.(check bool) "all items scalar" true
+    (Array.for_all (fun w -> w = 1) widths)
+
+(* ---------- gcc's own vectorization report ---------- *)
+
+let kernels_vectorize () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let tmp = write_tmp ~suffix:".c" (Cgen.fastmath_source ^ "int main(void){return 0;}\n") in
+    let probe = Filename.temp_file "pm_vecprobe" ".c" in
+    let oc = open_out probe in
+    output_string oc "int main(void){return 0;}\n";
+    close_out oc;
+    let supported =
+      Sys.command
+        (Printf.sprintf "%s -fopt-info-vec -fsyntax-only %s 2>/dev/null"
+           (cc ()) probe)
+      = 0
+    in
+    Sys.remove probe;
+    if supported then begin
+      let log = tmp ^ ".log" in
+      let rc =
+        Sys.command
+          (Printf.sprintf
+             "%s -O3 -march=native -fno-trapping-math -fopt-info-vec -c -o %s.o %s 2> %s"
+             (cc ()) tmp tmp log)
+      in
+      Alcotest.(check int) "kernels compile" 0 rc;
+      let ic = open_in log in
+      let n = in_channel_length ic in
+      let report = really_input_string ic n in
+      close_in ic;
+      Sys.remove log;
+      (try Sys.remove (tmp ^ ".o") with Sys_error _ -> ());
+      (* the whole point of the kernels: gcc must report their loops
+         as vectorized (a regression here silently reverts every
+         batched call to scalar speed) *)
+      Alcotest.(check bool) "gcc reports vectorized loops" true
+        (contains report "vectorized")
+    end;
+    Sys.remove tmp
+  end
+
+(* ---------- accuracy against libm ---------- *)
+
+(* Monotonic integer view of a double: adjacent floats map to adjacent
+   integers across the whole line (negatives reflected below
+   Int64.min_int + bits), so ulp distance is plain subtraction. *)
+let mono f =
+  let i = Int64.bits_of_float f in
+  if Int64.compare i 0L >= 0 then i else Int64.sub Int64.min_int i
+
+let ulp a b =
+  if a = b then 0L
+  else Int64.abs (Int64.sub (mono a) (mono b))
+
+let log_spaced lo hi per_decade =
+  let decades = (log10 hi -. log10 lo) *. float_of_int per_decade in
+  let n = int_of_float decades in
+  List.init (n + 1) (fun i ->
+      lo *. (10. ** (float_of_int i /. float_of_int per_decade)))
+
+let exp_inputs =
+  let mags = log_spaced 1e-320 700. 7 in
+  List.concat_map (fun m -> [ m; -.m ]) mags
+  @ [
+      0.; -0.; infinity; neg_infinity; nan;
+      709.782712893383996732; -745.133219101941108420;
+      710.; -746.; 1e308; -1e308;
+      4.94e-324; -4.94e-324; 2.225073858507201e-308;
+    ]
+
+let log_inputs =
+  log_spaced 1e-320 1e308 7
+  @ [ 0.; -0.; -1.; -1e308; infinity; neg_infinity; nan; 1.;
+      4.94e-324; 2.2250738585072014e-308; 0.9999999999999999;
+      1.0000000000000002 ]
+
+let pow_inputs =
+  let xs = [ 0.1; 0.5; 1.5; 2.; 7.389; 10.; 1e-3; 1e3 ]
+  and ys = [ -30.; -10.7; -3.5; -1.; -0.5; 0.; 0.5; 1.; 2.; 10.7; 30. ] in
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+  @ [
+      (0., 0.); (1., nan); (nan, 0.); (0., 3.); (0., -2.);
+      (-2., 3.); (-2., 2.); (-2., -3.); (-1.5, 7.); (-1.5, 8.);
+      (infinity, 2.); (2., infinity); (2., neg_infinity);
+      (0.5, infinity); (0.5, neg_infinity); (nan, 2.); (2., nan);
+    ]
+
+(* Build one C driver around {!Cgen.fastmath_source} that runs all
+   three kernels over the embedded inputs and prints one "%.17g" per
+   result; compile once, then run it under each POLYMAGE_ISA cap so
+   every reachable clone on this host is exercised. *)
+let accuracy_driver () =
+  let b = Buffer.create (String.length Cgen.fastmath_source + 4096) in
+  let add = Buffer.add_string b in
+  add "#include <stdio.h>\n#include <stdlib.h>\n#include <string.h>\n";
+  add "#include <math.h>\n";
+  add Cgen.fastmath_source;
+  let arr name vals =
+    add (Printf.sprintf "static const double %s[] = {" name);
+    List.iteri
+      (fun i v ->
+        if i > 0 then add ", ";
+        if Float.is_nan v then add "(0.0/0.0)"
+        else if v = infinity then add "(1.0/0.0)"
+        else if v = neg_infinity then add "(-1.0/0.0)"
+        else add (Printf.sprintf "%.17g" v))
+      vals;
+    add "};\n"
+  in
+  arr "ein" exp_inputs;
+  arr "lin" log_inputs;
+  arr "pxin" (List.map fst pow_inputs);
+  arr "pyin" (List.map snd pow_inputs);
+  add
+    {|
+int main(void) {
+  int ne = sizeof(ein)/sizeof(ein[0]);
+  int nl = sizeof(lin)/sizeof(lin[0]);
+  int np = sizeof(pxin)/sizeof(pxin[0]);
+  static double out[16384];
+  pm_vexp(ein, out, ne);
+  for (int i = 0; i < ne; i++) printf("%.17g\n", out[i]);
+  pm_vlog(lin, out, nl);
+  for (int i = 0; i < nl; i++) printf("%.17g\n", out[i]);
+  pm_vpow(pxin, pyin, out, np);
+  for (int i = 0; i < np; i++) printf("%.17g\n", out[i]);
+  printf("level %d\n", pm_simd_level);
+  return 0;
+}
+|};
+  Buffer.contents b
+
+let parse_floats path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let check_against_libm ~cap lines =
+  let rest = ref lines in
+  let next () =
+    match !rest with
+    | l :: tl ->
+      rest := tl;
+      float_of_string l
+    | [] -> Alcotest.fail "driver output truncated"
+  in
+  let check_ulp what bound refv got =
+    if Float.is_nan refv then
+      Alcotest.(check bool) (what ^ " nan") true (Float.is_nan got)
+    else if Float.abs refv = infinity || refv = 0. then
+      Alcotest.(check bool)
+        (Printf.sprintf "%s exact (%h vs %h)" what refv got)
+        true
+        (got = refv || (refv = 0. && got = 0.))
+    else begin
+      let u = Int64.to_float (ulp refv got) in
+      if u > bound then
+        Alcotest.failf "%s [%s]: %.0f ulp (ref %.17g, got %.17g)" what cap u
+          refv got
+    end
+  in
+  List.iter
+    (fun x -> check_ulp (Printf.sprintf "exp(%.17g)" x) 4. (exp x) (next ()))
+    exp_inputs;
+  List.iter
+    (fun x -> check_ulp (Printf.sprintf "log(%.17g)" x) 2. (log x) (next ()))
+    log_inputs;
+  List.iter
+    (fun (x, y) ->
+      (* error amplification: d/dx of 2^(y log2 x) puts a factor of
+         |y ln x| on the reduced-argument error, on top of the exp and
+         log cores' own few ulp *)
+      let bound = 64. +. (4. *. Float.abs (y *. log (Float.abs x))) in
+      check_ulp
+        (Printf.sprintf "pow(%.17g, %.17g)" x y)
+        bound (Float.pow x y) (next ()))
+    pow_inputs;
+  match !rest with
+  | [ lvl ] ->
+    Alcotest.(check bool) ("level line under " ^ cap) true
+      (String.length lvl >= 6 && String.sub lvl 0 6 = "level ")
+  | _ -> Alcotest.fail "driver output length mismatch"
+
+let kernel_accuracy () =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let tmp = write_tmp ~suffix:".c" (accuracy_driver ()) in
+    let exe = tmp ^ ".exe" in
+    let rc =
+      Sys.command
+        (Printf.sprintf "%s -O2 -std=gnu99 -o %s %s -lm" (cc ()) exe tmp)
+    in
+    Alcotest.(check int) "driver compiles" 0 rc;
+    (* unset = full cpuid level; the caps exercise the lower clones *)
+    List.iter
+      (fun cap ->
+        let out = tmp ^ "." ^ cap ^ ".out" in
+        let pre = if cap = "native" then "" else "POLYMAGE_ISA=" ^ cap ^ " " in
+        let rc = Sys.command (Printf.sprintf "%s%s > %s" pre exe out) in
+        Alcotest.(check int) ("driver runs under " ^ cap) 0 rc;
+        check_against_libm ~cap (parse_floats out);
+        Sys.remove out)
+      [ "native"; "avx2"; "sse2" ];
+    Sys.remove tmp;
+    Sys.remove exe
+  end
+
+(* ---------- forced-ISA differential round trip ---------- *)
+
+(* Every app, every forced level: emitted SIMD C vs the native
+   executor.  Tolerance is fast-math scale (the batched kernels are
+   not bit-identical to libm), far tighter than any plausible bug. *)
+let differential level () =
+  if not (Lazy.force have_cc) then ()
+  else
+    List.iter
+      (fun (app : Polymage_apps.App.t) ->
+        let env = app.small_env in
+        let opts =
+          C.Options.with_tile [| 16; 16 |] (C.Options.opt ~estimates:env ())
+        in
+        let plan = C.Compile.run opts ~outputs:app.outputs in
+        let c_fill (im : Ast.image) =
+          let n = List.length im.iextents in
+          let x = Printf.sprintf "c%d" (max 0 (n - 2)) in
+          let y = if n >= 2 then Printf.sprintf "c%d" (n - 1) else "0" in
+          let ch = if n >= 3 then "c0" else "0" in
+          Printf.sprintf "(double)imod(%s*7 + %s*13 + %s*5, 32) / 8.0" x y ch
+        in
+        let ocaml_fill (c : int array) =
+          let n = Array.length c in
+          let x = if n >= 2 then c.(n - 2) else c.(0) in
+          let y = if n >= 2 then c.(n - 1) else 0 in
+          let ch = if n >= 3 then c.(0) else 0 in
+          float_of_int (((x * 7) + (y * 13) + (ch * 5)) mod 32) /. 8.0
+        in
+        let src = Cgen.emit_with_main ~simd:level plan ~fill:c_fill ~env in
+        let tmp = write_tmp ~suffix:".c" src in
+        let exe = tmp ^ ".exe" in
+        let rc =
+          Sys.command
+            (Printf.sprintf "%s -O1 -std=gnu99 -o %s %s -lm" (cc ()) exe tmp)
+        in
+        Alcotest.(check int) (app.name ^ " compiles") 0 rc;
+        let outf = tmp ^ ".out" in
+        let rc = Sys.command (Printf.sprintf "%s > %s" exe outf) in
+        Alcotest.(check int) (app.name ^ " runs") 0 rc;
+        let lines = parse_floats outf in
+        let images =
+          List.map
+            (fun im -> (im, Rt.Buffer.of_image im env ocaml_fill))
+            plan.pipe.Pipeline.images
+        in
+        let res = Rt.Executor.run plan env ~images in
+        List.iter
+          (fun (f, (b : Rt.Buffer.t)) ->
+            let sum = Array.fold_left ( +. ) 0. b.Rt.Buffer.data in
+            let prefix = f.Ast.fname ^ " " in
+            match
+              List.find_opt
+                (fun l ->
+                  String.length l > String.length prefix
+                  && String.sub l 0 (String.length prefix) = prefix)
+                lines
+            with
+            | None -> Alcotest.failf "%s: missing checksum line" app.name
+            | Some l -> (
+              match String.split_on_char ' ' l with
+              | [ _; n; s ] ->
+                Alcotest.(check int)
+                  (app.name ^ " count")
+                  (Rt.Buffer.size b) (int_of_string n);
+                let cs = float_of_string s in
+                let rel =
+                  Float.abs (cs -. sum) /. (Float.abs sum +. 1e-9)
+                in
+                if rel > 1e-8 then
+                  Alcotest.failf "%s/%s: checksum off by %g rel" app.name
+                    f.Ast.fname rel
+              | _ -> Alcotest.failf "%s: bad checksum line" app.name))
+          res.outputs;
+        Sys.remove tmp;
+        Sys.remove exe;
+        Sys.remove outf)
+      (Apps.all ())
+
+let suite =
+  ( "simd",
+    [
+      Alcotest.test_case "simd_mode roundtrip" `Quick mode_roundtrip;
+      Alcotest.test_case "POLYMAGE_ISA override" `Quick isa_override;
+      Alcotest.test_case "cache key carries ISA tag" `Quick cache_key_tag;
+      Alcotest.test_case "emission structure" `Quick structure;
+      Alcotest.test_case "no-batch emission is scalar" `Quick
+        structure_no_batch;
+      Alcotest.test_case "kernels vectorize (-fopt-info-vec)" `Slow
+        kernels_vectorize;
+      Alcotest.test_case "kernel accuracy vs libm" `Slow kernel_accuracy;
+      Alcotest.test_case "differential sse2" `Slow (differential Cgen.Sse2);
+      Alcotest.test_case "differential avx2" `Slow (differential Cgen.Avx2);
+      Alcotest.test_case "differential avx512" `Slow
+        (differential Cgen.Avx512);
+    ] )
